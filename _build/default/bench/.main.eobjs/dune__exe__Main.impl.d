@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Bench_util Benchmark Filename Hashtbl List Measure Printf Staged String Sys Test Time Toolkit Workloads Xsb

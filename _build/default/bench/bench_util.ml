@@ -1,0 +1,28 @@
+(* Timing helpers for the experiment harness. *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+(* run [f] enough times to accumulate a stable measurement; returns
+   seconds per run *)
+let time_per_run ?(min_total = 0.05) f =
+  ignore (f ());
+  (* warmup *)
+  let rec go runs total =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    let dt = Unix.gettimeofday () -. t0 in
+    let total = total +. dt in
+    if total >= min_total || runs >= 200 then total /. float_of_int (runs + 1)
+    else go (runs + 1) total
+  in
+  go 0 0.0
+
+let ms t = 1000.0 *. t
+
+let header title =
+  Printf.printf "\n==== %s ====\n%!" title
+
+let row fmt = Printf.printf fmt

@@ -1,0 +1,114 @@
+(* Program/text generators shared by the experiment harness. *)
+
+let buffer_program f =
+  let buf = Buffer.create 4096 in
+  f buf;
+  Buffer.contents buf
+
+(* move/2 facts for a complete binary tree with [2^height - 1] nodes *)
+let binary_tree_moves height =
+  buffer_program (fun buf ->
+      let nodes = (1 lsl height) - 1 in
+      for i = 1 to nodes do
+        if 2 * i <= nodes then Buffer.add_string buf (Printf.sprintf "move(%d,%d).\n" i (2 * i));
+        if (2 * i) + 1 <= nodes then
+          Buffer.add_string buf (Printf.sprintf "move(%d,%d).\n" i ((2 * i) + 1))
+      done)
+
+let win_program ~neg height =
+  (match neg with
+  | `Tnot -> ":- table win/1.\nwin(X) :- move(X,Y), tnot(win(Y)).\n"
+  | `Etnot -> ":- table win/1.\nwin(X) :- move(X,Y), e_tnot(win(Y)).\n"
+  | `Sldnf -> "win(X) :- move(X,Y), \\+ win(Y).\n")
+  ^ binary_tree_moves height
+
+(* edge/2 cycles: edge(1,2) ... edge(n,1) *)
+let cycle_edges n =
+  buffer_program (fun buf ->
+      for i = 1 to n - 1 do
+        Buffer.add_string buf (Printf.sprintf "edge(%d,%d).\n" i (i + 1))
+      done;
+      Buffer.add_string buf (Printf.sprintf "edge(%d,1).\n" n))
+
+let chain_edges n =
+  buffer_program (fun buf ->
+      for i = 1 to n - 1 do
+        Buffer.add_string buf (Printf.sprintf "edge(%d,%d).\n" i (i + 1))
+      done)
+
+(* fanout: edge(1,1) ... edge(1,n) *)
+let fanout_edges n =
+  buffer_program (fun buf ->
+      for i = 1 to n do
+        Buffer.add_string buf (Printf.sprintf "edge(1,%d).\n" i)
+      done)
+
+let tree_edges height =
+  buffer_program (fun buf ->
+      let nodes = (1 lsl height) - 1 in
+      for i = 1 to nodes do
+        if 2 * i <= nodes then Buffer.add_string buf (Printf.sprintf "edge(%d,%d).\n" i (2 * i));
+        if (2 * i) + 1 <= nodes then
+          Buffer.add_string buf (Printf.sprintf "edge(%d,%d).\n" i ((2 * i) + 1))
+      done)
+
+let left_path_tabled = ":- table path/2.\npath(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).\n"
+let right_path_tabled = ":- table path/2.\npath(X,Y) :- edge(X,Y).\npath(X,Y) :- edge(X,Z), path(Z,Y).\n"
+let double_path_tabled = ":- table path/2.\npath(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), path(Z,Y).\n"
+let left_path_plain = "path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).\n"
+let double_path_plain = "path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), path(Z,Y).\n"
+let right_path_plain = "path(X,Y) :- edge(X,Y).\npath(X,Y) :- edge(X,Z), path(Z,Y).\n"
+
+let sg_program n =
+  ":- table sg/2.\n\
+   sg(X,Y) :- sib(X,Y).\n\
+   sg(X,Y) :- par(X,XP), sg(XP,YP), par(Y,YP).\n\
+   sib(X,Y) :- par(X,P), par(Y,P).\n"
+  ^ buffer_program (fun buf ->
+        for i = 1 to n do
+          Buffer.add_string buf (Printf.sprintf "par(%d,%d).\npar(%d,%d).\n" (2 * i) i ((2 * i) + 1) i)
+        done)
+
+let sg_datalog n =
+  "sg(X,Y) :- sib(X,Y).\n\
+   sg(X,Y) :- par(X,XP), sg(XP,YP), par(Y,YP).\n\
+   sib(X,Y) :- par(X,P), par(Y,P).\n"
+  ^ buffer_program (fun buf ->
+        for i = 1 to n do
+          Buffer.add_string buf (Printf.sprintf "par(%d,%d).\npar(%d,%d).\n" (2 * i) i ((2 * i) + 1) i)
+        done)
+
+let append_program = "app([],L,L).\napp([H|T],L,[H|R]) :- app(T,L,R).\n"
+let append_tabled = ":- table app/3.\n" ^ append_program
+
+let int_list n =
+  "[" ^ String.concat "," (List.init n (fun i -> string_of_int (i + 1))) ^ "]"
+
+(* the program as data for the SLG meta-interpreter of §3.2 *)
+let meta_program n =
+  ":- table mi/1.\n\
+   mi(G) :- rule(G, B), mi_all(B).\n\
+   mi_all([]).\n\
+   mi_all([G|R]) :- mi(G), mi_all(R).\n\
+   rule(path(X,Y), [edge(X,Y)]).\n\
+   rule(path(X,Y), [path(X,Z), edge(Z,Y)]).\n"
+  ^ buffer_program (fun buf ->
+        for i = 1 to n - 1 do
+          Buffer.add_string buf (Printf.sprintf "rule(edge(%d,%d), []).\n" i (i + 1))
+        done)
+
+let flat_facts n =
+  buffer_program (fun buf ->
+      for i = 1 to n do
+        Buffer.add_string buf (Printf.sprintf "emp(%d, name_%d, dept_%d, %d).\n" i i (i mod 20) (i * 3))
+      done)
+
+let hilog_plain_tc n =
+  left_path_tabled ^ chain_edges n
+
+let hilog_encoded_tc n =
+  ":- hilog edge.\n\
+   :- table apply/3.\n\
+   path(G)(X,Y) :- G(X,Y).\n\
+   path(G)(X,Y) :- path(G)(X,Z), G(Z,Y).\n"
+  ^ chain_edges n

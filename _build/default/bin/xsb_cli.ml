@@ -1,0 +1,153 @@
+(* The command-line front end: consult files, run goals, or enter a
+   read-eval-print loop — the usual way XSB is invoked (paper §4.2). *)
+
+let run_goal session engine_kind wfs text =
+  match engine_kind with
+  | `Slg ->
+      if wfs then begin
+        match Xsb.Session.wfs_query session text with
+        | [] -> Fmt.pr "no@."
+        | solutions ->
+            List.iter
+              (fun (s : Xsb.Residual.solution) ->
+                let parts =
+                  List.map
+                    (fun (n, v) -> Fmt.str "%s = %a" n (Xsb.Pretty.pp ()) v)
+                    s.Xsb.Residual.bindings
+                in
+                Fmt.pr "%s%s@."
+                  (if parts = [] then "true" else String.concat ", " parts)
+                  (match s.Xsb.Residual.truth with
+                  | Xsb.Ground.Undefined -> " (undefined)"
+                  | _ -> ""))
+              solutions
+      end
+      else Xsb.Session.show session text
+  | `Wam ->
+      let program = Xsb.Wam.of_database (Xsb.Session.db session) in
+      let machine = Xsb.Wam.create program in
+      let goal = Xsb.Parser.term_of_string ~ops:(Xsb.Database.ops (Xsb.Session.db session)) text in
+      let vars = List.map (fun v -> Xsb.Term.Var v) (Xsb.Term.vars goal) in
+      let n =
+        Xsb.Wam.run machine goal ~on_solution:(fun values ->
+            List.iteri
+              (fun i v ->
+                ignore (List.nth_opt vars i);
+                Fmt.pr "%s%a" (if i = 0 then "" else ", ") (Xsb.Pretty.pp ()) v)
+              values;
+            if values <> [] then Fmt.pr "@.";
+            true)
+      in
+      Fmt.pr "%s (%d solution%s)@." (if n > 0 then "yes" else "no") n (if n = 1 then "" else "s")
+  | `Bottomup ->
+      let db = Xsb.Session.db session in
+      let goal = Xsb.Parser.term_of_string ~ops:(Xsb.Database.ops db) text in
+      let program = Xsb.Datalog.of_database db in
+      let answers =
+        match Xsb.Magic.answers program goal with
+        | answers -> answers
+        | exception Xsb.Magic.Not_applicable _ ->
+            let st = Xsb.Bottomup.run program in
+            Xsb.Bottomup.answers st goal
+      in
+      List.iter (fun c -> Fmt.pr "%a@." Xsb.Canon.pp c) answers;
+      Fmt.pr "%s (%d solution%s)@."
+        (if answers <> [] then "yes" else "no")
+        (List.length answers)
+        (if List.length answers = 1 then "" else "s")
+
+let print_stats session =
+  let stats = Xsb.Engine.stats (Xsb.Session.engine session) in
+  Fmt.pr
+    "subgoals=%d answers=%d (dups %d) suspensions=%d resumptions=%d resolutions=%d neg-susp=%d \
+     nested-evals=%d completions=%d steps=%d@."
+    stats.Xsb.Machine.st_subgoals stats.Xsb.Machine.st_answers stats.Xsb.Machine.st_dup_answers
+    stats.Xsb.Machine.st_suspensions stats.Xsb.Machine.st_resumptions
+    stats.Xsb.Machine.st_resolutions stats.Xsb.Machine.st_neg_suspensions
+    stats.Xsb.Machine.st_nested_evals stats.Xsb.Machine.st_completions stats.Xsb.Machine.st_steps
+
+let repl session engine_kind wfs =
+  Fmt.pr "XSB-repro (OCaml). Type goals ending with '.', or 'halt.' to quit.@.";
+  let rec loop () =
+    Fmt.pr "?- @?";
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+        let line = String.trim line in
+        if line = "" then loop ()
+        else if line = "halt." || line = "halt" then ()
+        else begin
+          let text =
+            if String.length line > 0 && line.[String.length line - 1] = '.' then
+              String.sub line 0 (String.length line - 1)
+            else line
+          in
+          (try
+             if String.length text > 2 && String.sub text 0 2 = ":-" then
+               Xsb.Session.consult session (text ^ ".")
+             else run_goal session engine_kind wfs text
+           with e -> Fmt.pr "error: %s@." (Printexc.to_string e));
+          loop ()
+        end
+  in
+  loop ()
+
+let main files goals wfs engine_name interactive stats compile do_trace =
+  let mode = if wfs then Some Xsb.Machine.Well_founded else None in
+  let session = Xsb.Session.create ?mode () in
+  if do_trace then
+    Xsb.Engine.set_trace (Xsb.Session.engine session)
+      (Some (fun event term -> Fmt.epr "[%s] %a@." event (Xsb.Pretty.pp ()) term));
+  let engine_kind =
+    match engine_name with
+    | "slg" -> `Slg
+    | "wam" -> `Wam
+    | "bottomup" -> `Bottomup
+    | other -> Fmt.failwith "unknown engine %S (use slg, wam or bottomup)" other
+  in
+  try
+    List.iter (fun f -> Xsb.Session.consult_file session f) files;
+    if compile then begin
+      let program = Xsb.Wam.of_database (Xsb.Session.db session) in
+      Xsb.Wam.disassemble program Format.std_formatter;
+      Format.print_flush ()
+    end;
+    List.iter (fun g -> run_goal session engine_kind wfs g) goals;
+    if stats then print_stats session;
+    if interactive || (goals = [] && (not stats) && not compile) then
+      repl session engine_kind wfs;
+    0
+  with e ->
+    Fmt.epr "error: %s@." (Printexc.to_string e);
+    1
+
+open Cmdliner
+
+let files = Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"Program files to consult.")
+
+let goals =
+  Arg.(value & opt_all string [] & info [ "e"; "eval" ] ~docv:"GOAL" ~doc:"Goal to evaluate.")
+
+let wfs =
+  Arg.(value & flag & info [ "wfs" ] ~doc:"Evaluate under the well-founded semantics (delaying).")
+
+let engine_name =
+  Arg.(value & opt string "slg" & info [ "engine" ] ~docv:"ENGINE" ~doc:"slg | wam | bottomup")
+
+let interactive = Arg.(value & flag & info [ "i"; "interactive" ] ~doc:"Enter the REPL.")
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics.")
+
+let compile =
+  Arg.(value & flag & info [ "compile" ] ~doc:"Print the WAM byte-code listing of the program.")
+
+let do_trace =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Trace call/table/answer events to stderr.")
+
+let cmd =
+  let doc = "an in-memory deductive database engine (XSB reproduction)" in
+  Cmd.v
+    (Cmd.info "xsb" ~doc)
+    Term.(
+      const main $ files $ goals $ wfs $ engine_name $ interactive $ stats $ compile $ do_trace)
+
+let () = exit (Cmd.eval' cmd)

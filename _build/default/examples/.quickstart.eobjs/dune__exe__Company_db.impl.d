@@ -1,0 +1,1 @@
+examples/company_db.ml: Array Buffer Filename Fmt List Printf Sys Xsb

@@ -1,0 +1,1 @@
+examples/hilog_sets.ml: Fmt Xsb

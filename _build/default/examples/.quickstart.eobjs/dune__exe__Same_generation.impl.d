@@ -1,0 +1,1 @@
+examples/same_generation.ml: Buffer Fmt List Printf Unix Xsb

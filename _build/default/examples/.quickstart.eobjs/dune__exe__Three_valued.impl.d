@@ -1,0 +1,1 @@
+examples/three_valued.ml: Fmt List String Xsb

@@ -1,0 +1,1 @@
+examples/win_game.ml: Buffer Fmt List Printf Xsb

@@ -1,0 +1,58 @@
+(* HiLog and sets (paper §4.7): complex terms act as predicate symbols,
+   which gives named sets, parameterized set operations, and generic
+   closures — with plain first-order semantics via the apply encoding.
+
+   Run with: dune exec examples/hilog_sets.exe *)
+
+let () =
+  let session = Xsb.Session.create () in
+  Xsb.Session.consult session
+    {|
+      :- hilog package1. :- hilog package2.
+
+      % benefits packages: sets of (benefit, required/optional) pairs
+      package1(health_ins, required).
+      package1(life_ins, optional).
+      package2(free_car, optional).
+      package2(long_vacations, optional).
+      package2(life_ins, optional).
+
+      benefits('John', package1).
+      benefits('Bob', package2).
+
+      % generic set operations: a term names the set of its tuples
+      intersect_2(S1,S2)(X,Y) :- S1(X,Y), S2(X,Y).
+      union_2(S1,S2)(X,Y) :- S1(X,Y).
+      union_2(S1,S2)(X,Y) :- S2(X,Y).
+    |};
+
+  Fmt.pr "John's benefits (the set named by his package):@.";
+  Xsb.Session.show session "benefits('John', P), P(X, Y)";
+
+  Fmt.pr "@.Common benefits of John and Bob:@.";
+  Xsb.Session.show session "benefits('John',P), benefits('Bob',Q), intersect_2(P,Q)(X,Y)";
+
+  Fmt.pr "@.All benefits of either:@.";
+  Xsb.Session.show session "benefits('John',P), benefits('Bob',Q), union_2(P,Q)(X,_)";
+
+  (* the generic-closure example of §4.7: path(Graph) is a predicate
+     parameterized by the edge relation it closes over *)
+  let closures = Xsb.Session.create () in
+  Xsb.Session.consult closures
+    {|
+      :- hilog tube. :- hilog rail.
+      :- table apply/3.
+
+      path(Graph)(X, Y) :- Graph(X, Y).
+      path(Graph)(X, Y) :- path(Graph)(X, Z), Graph(Z, Y).
+
+      union_2(S1,S2)(X,Y) :- S1(X,Y).
+      union_2(S1,S2)(X,Y) :- S2(X,Y).
+
+      tube(oxford_circus, warren_street).
+      tube(warren_street, euston).
+      rail(euston, lime_street).
+    |};
+  Fmt.pr "@.Generic transitive closure over two graphs:@.";
+  Xsb.Session.show closures "path(tube)(oxford_circus, Z)";
+  Xsb.Session.show closures "path(union_2(tube,rail))(oxford_circus, Z)"

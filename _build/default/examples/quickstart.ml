@@ -1,0 +1,42 @@
+(* Quickstart: load a program, declare a predicate tabled, and query it.
+
+   The left-recursive transitive closure below would loop forever under
+   plain Prolog (SLD) resolution; SLG tabling makes it terminate even on
+   cyclic graphs — the core point of the paper.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let session = Xsb.Session.create () in
+  Xsb.Session.consult session
+    {|
+      :- table path/2.
+      path(X,Y) :- edge(X,Y).
+      path(X,Y) :- path(X,Z), edge(Z,Y).
+
+      edge(stony_brook, new_york).
+      edge(new_york, boston).
+      edge(boston, montreal).
+      edge(montreal, stony_brook).   % a cycle!
+      edge(new_york, philadelphia).
+    |};
+
+  Fmt.pr "Cities reachable from stony_brook:@.";
+  Xsb.Session.show session "path(stony_brook, Where)";
+
+  Fmt.pr "@.Is there a round trip? ";
+  if Xsb.Session.succeeds session "path(stony_brook, stony_brook)" then Fmt.pr "yes@."
+  else Fmt.pr "no@.";
+
+  (* the same query, first answer only (existential) *)
+  (match Xsb.Session.query_first session "path(X, philadelphia)" with
+  | Some s -> Fmt.pr "@.A city with a route to philadelphia: %a@." (Xsb.Session.pp_solution session) s
+  | None -> Fmt.pr "@.none@.");
+
+  (* ordinary Prolog programming works too *)
+  Xsb.Session.consult session
+    {|
+      len([], 0).
+      len([_|T], N) :- len(T, M), N is M + 1.
+    |};
+  Xsb.Session.show session "len([a,b,c,d], N)"

@@ -1,0 +1,62 @@
+(* The same-generation program (paper §5): one of the standard deductive
+   database benchmarks the paper uses to compare XSB with CORAL. This
+   example runs the same query through three evaluation strategies:
+
+   - SLG tabling (XSB's engine),
+   - plain semi-naive bottom-up over the whole model,
+   - magic-sets rewriting + semi-naive (the CORAL regime),
+
+   and checks they agree.
+
+   Run with: dune exec examples/same_generation.exe *)
+
+let program_text n =
+  (* a balanced binary "parenthood" tree with n internal nodes *)
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    ":- table sg/2.\n\
+     sg(X,Y) :- sib(X,Y).\n\
+     sg(X,Y) :- par(X,XP), sg(XP,YP), par(Y,YP).\n\
+     sib(X,Y) :- par(X,P), par(Y,P).\n";
+  for i = 1 to n do
+    Buffer.add_string buf (Printf.sprintf "par(%d,%d). par(%d,%d).\n" (2 * i) i ((2 * i) + 1) i)
+  done;
+  Buffer.contents buf
+
+let () =
+  let n = 60 in
+  let text = program_text n in
+
+  (* 1: SLG *)
+  let session = Xsb.Session.create () in
+  Xsb.Session.consult session text;
+  let t0 = Unix.gettimeofday () in
+  let slg_count = Xsb.Session.count session "sg(4, Y)" in
+  let slg_time = Unix.gettimeofday () -. t0 in
+
+  (* 2 & 3: bottom-up over the pure-datalog part (drop the directive) *)
+  let clauses =
+    Xsb.Parser.program_of_string text
+    |> List.filter (fun t ->
+           match Xsb.Term.deref t with Xsb.Term.Struct (":-", [| _ |]) -> false | _ -> true)
+  in
+  let program = Xsb.Datalog.of_clauses clauses in
+  let goal () = Xsb.Parser.term_of_string "sg(4, Y)" in
+
+  let t0 = Unix.gettimeofday () in
+  let st = Xsb.Bottomup.run program in
+  let full_count = List.length (Xsb.Bottomup.answers st (goal ())) in
+  let full_time = Unix.gettimeofday () -. t0 in
+
+  let t0 = Unix.gettimeofday () in
+  let magic_count = List.length (Xsb.Magic.answers program (goal ())) in
+  let magic_time = Unix.gettimeofday () -. t0 in
+
+  Fmt.pr "same_generation over a %d-node tree, query sg(4,Y):@." ((2 * n) + 1);
+  Fmt.pr "  SLG tabling:          %4d answers  %6.2f ms@." slg_count (1000. *. slg_time);
+  Fmt.pr "  semi-naive (full):    %4d answers  %6.2f ms  (model size %d)@." full_count
+    (1000. *. full_time)
+    (Xsb.Bottomup.relation_size st ("sg", 2));
+  Fmt.pr "  magic + semi-naive:   %4d answers  %6.2f ms@." magic_count (1000. *. magic_time);
+  assert (slg_count = full_count && full_count = magic_count);
+  Fmt.pr "all strategies agree.@."

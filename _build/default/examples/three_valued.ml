@@ -1,0 +1,80 @@
+(* The non-stratified story (paper §3.1 and reference [5]): delayed
+   literals make conditional answers; the conditional answers form a
+   residual program; its well-founded model gives three-valued answers,
+   and its two-valued stable models can be enumerated.
+
+   Run with: dune exec examples/three_valued.exe *)
+
+let truth_name = function
+  | Xsb.Ground.True -> "true"
+  | Xsb.Ground.False -> "false"
+  | Xsb.Ground.Undefined -> "undefined"
+
+let show session query =
+  match Xsb.Session.wfs_query session query with
+  | [] -> Fmt.pr "  %-22s false@." query
+  | answers ->
+      List.iter
+        (fun (a : Xsb.Residual.solution) ->
+          let bindings =
+            if a.Xsb.Residual.bindings = [] then ""
+            else
+              " ["
+              ^ String.concat ", "
+                  (List.map
+                     (fun (n, v) -> Fmt.str "%s=%a" n (Xsb.Pretty.pp ()) v)
+                     a.Xsb.Residual.bindings)
+              ^ "]"
+          in
+          Fmt.pr "  %-22s %s%s@." query (truth_name a.Xsb.Residual.truth) bindings)
+        answers
+
+let () =
+  (* 1: the classic even loop: two stable models, both atoms undefined
+     under the well-founded semantics *)
+  let s = Xsb.Session.create ~mode:Xsb.Machine.Well_founded () in
+  Xsb.Session.consult s
+    {| :- table jobs_tom/0, jobs_ann/0.
+       % one position: if Tom does not get it Ann does, and vice versa
+       jobs_tom :- tnot(jobs_ann).
+       jobs_ann :- tnot(jobs_tom). |};
+  Fmt.pr "One position, two candidates (even negative loop):@.";
+  show s "jobs_tom";
+  show s "jobs_ann";
+  (match Xsb.Residual.stable_models (Xsb.Session.engine s) with
+  | Some models ->
+      Fmt.pr "  stable models: %d (one hires Tom, one hires Ann)@." (List.length models);
+      List.iter
+        (fun m ->
+          Fmt.pr "    {%s}@." (String.concat ", " (List.map (Fmt.str "%a" Xsb.Canon.pp) m)))
+        models
+  | None -> Fmt.pr "  too many unknowns to enumerate@.");
+
+  (* 2: an odd loop: no stable model at all, undefined under WFS *)
+  let s2 = Xsb.Session.create ~mode:Xsb.Machine.Well_founded () in
+  Xsb.Session.consult s2 ":- table paradox/0.\nparadox :- tnot(paradox).";
+  Fmt.pr "@.The barber paradox (odd negative loop):@.";
+  show s2 "paradox";
+  (match Xsb.Residual.stable_models (Xsb.Session.engine s2) with
+  | Some [] -> Fmt.pr "  stable models: none (as the theory predicts)@."
+  | Some models -> Fmt.pr "  stable models: %d?!@." (List.length models)
+  | None -> Fmt.pr "  too many unknowns@.");
+
+  (* 3: a mixed program where the undefined zone is localized *)
+  let s3 = Xsb.Session.create ~mode:Xsb.Machine.Well_founded () in
+  Xsb.Session.consult s3
+    {| :- table works/1, sabotaged/1, suspicious/1.
+       machine(a). machine(b). machine(c).
+       % c is definitely broken, a is definitely fine;
+       % b works iff it was not sabotaged, and the only sabotage
+       % evidence is self-referential
+       works(a).
+       works(b) :- tnot(sabotaged(b)).
+       sabotaged(b) :- tnot(works(b)).
+       suspicious(X) :- machine(X), tnot(works(X)). |};
+  Fmt.pr "@.Diagnosis with a localized unknown:@.";
+  show s3 "works(a)";
+  show s3 "works(b)";
+  show s3 "works(c)";
+  Fmt.pr "  suspicious machines:@.";
+  show s3 "suspicious(X)"

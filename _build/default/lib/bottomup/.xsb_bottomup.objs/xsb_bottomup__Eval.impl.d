@@ -1,0 +1,1 @@
+lib/bottomup/eval.ml: Array Canon Fmt Hashtbl List Program Relation Symbol Term Trail Unify Xsb_index Xsb_term

@@ -1,0 +1,1 @@
+lib/bottomup/eval.mli: Canon Program Term Xsb_term

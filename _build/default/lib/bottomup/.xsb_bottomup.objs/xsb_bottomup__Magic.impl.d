@@ -1,0 +1,1 @@
+lib/bottomup/magic.ml: Array Canon Eval Fmt Fun Hashtbl List Printf Program Queue String Term Trail Unify Xsb_term

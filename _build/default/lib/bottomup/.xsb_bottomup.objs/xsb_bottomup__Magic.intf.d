@@ -1,0 +1,1 @@
+lib/bottomup/magic.mli: Canon Eval Program Term Xsb_term

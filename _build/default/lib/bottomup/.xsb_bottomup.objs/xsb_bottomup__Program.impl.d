@@ -1,0 +1,1 @@
+lib/bottomup/program.ml: Array Fmt Hashtbl List Option Term Xsb_db Xsb_term

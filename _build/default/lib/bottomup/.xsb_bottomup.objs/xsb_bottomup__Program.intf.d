@@ -1,0 +1,1 @@
+lib/bottomup/program.mli: Fmt Term Xsb_db Xsb_term

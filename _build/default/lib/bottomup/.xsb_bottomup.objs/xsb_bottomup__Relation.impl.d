@@ -1,0 +1,1 @@
+lib/bottomup/relation.ml: Array Canon List Symbol Vec Xsb_index Xsb_term

@@ -1,0 +1,1 @@
+lib/bottomup/relation.mli: Canon Symbol Vec Xsb_index Xsb_term

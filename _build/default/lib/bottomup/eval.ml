@@ -1,0 +1,181 @@
+open Xsb_term
+open Xsb_index
+
+type strategy = Naive | Seminaive
+
+type state = {
+  relations : (string * int, Relation.t) Hashtbl.t;
+  trail : Trail.t;
+  mutable rounds : int;
+}
+
+let get_relation st key =
+  match Hashtbl.find_opt st.relations key with
+  | Some r -> r
+  | None ->
+      let r = Relation.create () in
+      Hashtbl.add st.relations key r;
+      r
+
+(* Match a body literal against a source of tuples, using the
+   first-argument index when the literal's first argument is bound. *)
+let candidates relation literal =
+  let sym =
+    match Term.deref literal with
+    | Term.Struct (_, args) when Array.length args >= 1 -> Symbol.of_term args.(0)
+    | _ -> None
+  in
+  Relation.matching relation sym
+
+(* Evaluate one rule; [delta] optionally designates one positive body
+   position that must draw its tuples from the delta relation instead of
+   the full one. Every derived head instance is offered to [emit]. *)
+let eval_rule st ~full ~delta rule emit =
+  let renamed =
+    Term.copy
+      (Term.Struct
+         ( "$rule",
+           Array.of_list
+             (rule.Program.head
+             :: List.map (function Program.Pos a | Program.Neg a -> a) rule.Program.body) ))
+  in
+  let head, body_atoms =
+    match renamed with
+    | Term.Struct ("$rule", args) ->
+        (args.(0), Array.to_list (Array.sub args 1 (Array.length args - 1)))
+    | _ -> assert false
+  in
+  let body =
+    List.map2
+      (fun lit atom -> match lit with Program.Pos _ -> Program.Pos atom | Program.Neg _ -> Program.Neg atom)
+      rule.Program.body body_atoms
+  in
+  let rec walk position literals =
+    match literals with
+    | [] -> emit (Canon.of_term head)
+    | Program.Pos atom :: rest ->
+        let key = Program.pred_of atom in
+        let source =
+          match delta with
+          | Some (dpos, drel) when dpos = position -> drel
+          | _ -> full key
+        in
+        List.iter
+          (fun tuple ->
+            let m = Trail.mark st.trail in
+            if Unify.unify st.trail atom (Canon.to_term tuple) then walk (position + 1) rest;
+            Trail.undo_to st.trail m)
+          (candidates source atom)
+    | Program.Neg atom :: rest ->
+        if not (Term.is_ground atom) then
+          raise (Program.Not_datalog (Fmt.str "non-ground negative literal: %a" Term.pp atom));
+        let rel = full (Program.pred_of atom) in
+        if not (Relation.mem rel (Canon.of_term atom)) then walk (position + 1) rest
+  in
+  walk 0 body
+
+let run ?(strategy = Seminaive) program =
+  let st = { relations = Hashtbl.create 32; trail = Trail.create (); rounds = 0 } in
+  List.iter
+    (fun fact -> ignore (Relation.insert (get_relation st (Program.pred_of fact)) (Canon.of_term fact)))
+    program.Program.facts;
+  let full key = get_relation st key in
+  let strata = Program.strata program in
+  List.iter
+    (fun stratum ->
+      let rules =
+        List.filter (fun r -> List.mem (Program.pred_of r.Program.head) stratum) program.Program.rules
+      in
+      if rules <> [] then
+        match strategy with
+        | Naive ->
+            (* recompute everything until no new tuples *)
+            let changed = ref true in
+            while !changed do
+              st.rounds <- st.rounds + 1;
+              changed := false;
+              List.iter
+                (fun rule ->
+                  eval_rule st ~full ~delta:None rule (fun tuple ->
+                      let rel = full (Program.pred_of rule.Program.head) in
+                      if Relation.insert rel tuple then changed := true))
+                rules
+            done
+        | Seminaive ->
+            (* delta relations per in-stratum predicate *)
+            let delta = Hashtbl.create 8 in
+            let next_delta = Hashtbl.create 8 in
+            let in_stratum key = List.mem key stratum in
+            (* round 0: all rules, no delta restriction; seeds deltas *)
+            st.rounds <- st.rounds + 1;
+            List.iter
+              (fun rule ->
+                eval_rule st ~full ~delta:None rule (fun tuple ->
+                    let key = Program.pred_of rule.Program.head in
+                    if Relation.insert (full key) tuple then begin
+                      let d =
+                        match Hashtbl.find_opt delta key with
+                        | Some d -> d
+                        | None ->
+                            let d = Relation.create () in
+                            Hashtbl.add delta key d;
+                            d
+                      in
+                      ignore (Relation.insert d tuple)
+                    end))
+              rules;
+            let any_delta () = Hashtbl.fold (fun _ d acc -> acc || Relation.size d > 0) delta false in
+            while any_delta () do
+              st.rounds <- st.rounds + 1;
+              Hashtbl.reset next_delta;
+              List.iter
+                (fun rule ->
+                  (* one evaluation per recursive body position *)
+                  List.iteri
+                    (fun position lit ->
+                      match lit with
+                      | Program.Pos atom when in_stratum (Program.pred_of atom) -> (
+                          match Hashtbl.find_opt delta (Program.pred_of atom) with
+                          | Some drel when Relation.size drel > 0 ->
+                              eval_rule st ~full ~delta:(Some (position, drel)) rule
+                                (fun tuple ->
+                                  let key = Program.pred_of rule.Program.head in
+                                  if Relation.insert (full key) tuple then begin
+                                    let d =
+                                      match Hashtbl.find_opt next_delta key with
+                                      | Some d -> d
+                                      | None ->
+                                          let d = Relation.create () in
+                                          Hashtbl.add next_delta key d;
+                                          d
+                                    in
+                                    ignore (Relation.insert d tuple)
+                                  end)
+                          | _ -> ())
+                      | _ -> ())
+                    rule.Program.body)
+                rules;
+              Hashtbl.reset delta;
+              Hashtbl.iter (fun k d -> Hashtbl.add delta k d) next_delta
+            done)
+    strata;
+  st
+
+let relation st key =
+  match Hashtbl.find_opt st.relations key with Some r -> Relation.to_list r | None -> []
+
+let relation_size st key =
+  match Hashtbl.find_opt st.relations key with Some r -> Relation.size r | None -> 0
+
+let answers st goal =
+  let key = Program.pred_of goal in
+  let result = ref [] in
+  List.iter
+    (fun tuple ->
+      let m = Trail.mark st.trail in
+      if Unify.unify st.trail goal (Canon.to_term tuple) then result := Canon.of_term goal :: !result;
+      Trail.undo_to st.trail m)
+    (relation st key);
+  List.rev !result
+
+let iterations st = st.rounds

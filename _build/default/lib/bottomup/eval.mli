@@ -1,0 +1,24 @@
+(** Bottom-up fixpoint evaluation: naive and semi-naive (with delta
+    relations), stratum by stratum for stratified negation. This is the
+    evaluation regime of the set-at-a-time deductive database systems
+    XSB is compared against in section 5 of the paper. *)
+
+open Xsb_term
+
+type strategy = Naive | Seminaive
+
+type state
+
+val run : ?strategy:strategy -> Program.t -> state
+(** Evaluate the whole program to its (perfect) model. *)
+
+val relation : state -> string * int -> Canon.t list
+(** Tuples of a predicate in the computed model (whole atoms). *)
+
+val relation_size : state -> string * int -> int
+
+val answers : state -> Term.t -> Canon.t list
+(** Instances of an arbitrary goal atom in the model. *)
+
+val iterations : state -> int
+(** Number of fixpoint rounds performed (across all strata). *)

@@ -1,0 +1,325 @@
+open Xsb_term
+
+exception Not_applicable of string
+
+type rewritten = { program : Program.t; query_pred : string * int; goal : Term.t }
+
+let fail fmt = Fmt.kstr (fun s -> raise (Not_applicable s)) fmt
+
+let args_of atom = match Term.deref atom with Term.Struct (_, args) -> args | _ -> [||]
+
+let adorned_name (name, _arity) ad = Printf.sprintf "%s__%s" name ad
+let magic_name (name, _arity) ad = Printf.sprintf "m__%s__%s" name ad
+
+let adornment_of goal =
+  let args = args_of goal in
+  String.init (Array.length args) (fun i -> if Term.is_ground args.(i) then 'b' else 'f')
+
+let var_ids t = List.map (fun v -> v.Term.vid) (Term.vars t)
+
+let adornment_wrt bound atom =
+  let args = args_of atom in
+  String.init (Array.length args) (fun i ->
+      if List.for_all (fun v -> List.mem v bound) (var_ids args.(i)) then 'b' else 'f')
+
+let bound_args ad args =
+  let acc = ref [] in
+  Array.iteri (fun i a -> if ad.[i] = 'b' then acc := a :: !acc) args;
+  List.rev !acc
+
+let conj_of_body body =
+  match body with
+  | [] -> Term.Atom "true"
+  | Program.Pos a :: rest ->
+      List.fold_left
+        (fun acc lit ->
+          match lit with
+          | Program.Pos b -> Term.Struct (",", [| acc; b |])
+          | Program.Neg b -> Term.Struct (",", [| acc; Term.Struct ("\\+", [| b |]) |]))
+        a rest
+  | Program.Neg a :: rest ->
+      List.fold_left
+        (fun acc lit ->
+          match lit with
+          | Program.Pos b -> Term.Struct (",", [| acc; b |])
+          | Program.Neg b -> Term.Struct (",", [| acc; Term.Struct ("\\+", [| b |]) |]))
+        (Term.Struct ("\\+", [| a |]))
+        rest
+
+let clause_of_rule r =
+  match r.Program.body with
+  | [] -> r.Program.head
+  | body -> Term.Struct (":-", [| r.Program.head; conj_of_body body |])
+
+let program_of_rules rules facts =
+  Program.of_clauses (List.map clause_of_rule rules @ facts)
+
+let rename_rule rule =
+  let wrapped =
+    Term.Struct
+      ( "$rule",
+        Array.of_list
+          (rule.Program.head
+          :: List.map (function Program.Pos a | Program.Neg a -> a) rule.Program.body) )
+  in
+  match Term.copy wrapped with
+  | Term.Struct ("$rule", args) ->
+      let head = args.(0) in
+      let atoms = Array.to_list (Array.sub args 1 (Array.length args - 1)) in
+      let body =
+        List.map2
+          (fun lit atom ->
+            match lit with Program.Pos _ -> Program.Pos atom | Program.Neg _ -> Program.Neg atom)
+          rule.Program.body atoms
+      in
+      { Program.head; body }
+  | _ -> assert false
+
+(* Predicates defined by facts as well as rules: move the facts to a
+   fresh base relation so that the magic restriction still reaches
+   them. *)
+let separate_mixed_facts program =
+  let idb = program.Program.idb in
+  let moved = Hashtbl.create 4 in
+  let facts =
+    List.map
+      (fun fact ->
+        let key = Program.pred_of fact in
+        if List.mem key idb then begin
+          Hashtbl.replace moved key ();
+          match Term.deref fact with
+          | Term.Struct (name, args) -> Term.Struct (name ^ "$base", args)
+          | Term.Atom name -> Term.Atom (name ^ "$base")
+          | t -> t
+        end
+        else fact)
+      program.Program.facts
+  in
+  let bridge_rules =
+    Hashtbl.fold
+      (fun (name, arity) () acc ->
+        let args = Array.init arity (fun _ -> Term.fresh_var ()) in
+        {
+          Program.head = Term.struct_ name args;
+          body = [ Program.Pos (Term.struct_ (name ^ "$base") (Array.copy args)) ];
+        }
+        :: acc)
+      moved []
+  in
+  { program with Program.facts; rules = bridge_rules @ program.Program.rules }
+
+(* Factoring [10]: project the bound arguments out of the adorned query
+   predicate when (a) its magic predicate has only the query seed and
+   (b) every recursive call passes the bound arguments through
+   unchanged. *)
+let factorize rewritten ~ad ~seed =
+  let qname, _ = rewritten.query_pred in
+  let seed_key = Program.pred_of seed in
+  let seed_args = Array.of_list (Array.to_list (args_of seed)) in
+  let goal_args = args_of rewritten.goal in
+  let bound_positions =
+    List.filter (fun i -> ad.[i] = 'b') (List.init (String.length ad) Fun.id)
+  in
+  if bound_positions = [] then fail "nothing to factor";
+  List.iter
+    (fun r ->
+      if Program.pred_of r.Program.head = seed_key then fail "magic predicate is recursive")
+    rewritten.program.Program.rules;
+  let is_q atom = Program.pred_of atom = rewritten.query_pred in
+  let q_rules, other_rules =
+    List.partition (fun r -> is_q r.Program.head) rewritten.program.Program.rules
+  in
+  (* bound arguments must be passed through every recursive call *)
+  List.iter
+    (fun r ->
+      let head_args = args_of r.Program.head in
+      List.iter
+        (function
+          | Program.Pos atom when is_q atom ->
+              List.iter
+                (fun i ->
+                  let same =
+                    match (Term.deref head_args.(i), Term.deref (args_of atom).(i)) with
+                    | Term.Var v, Term.Var w -> v == w
+                    | _ -> false
+                  in
+                  if not same then fail "bound argument not passed through")
+                bound_positions
+          | _ -> ())
+        r.Program.body)
+    q_rules;
+  (* no other rule may call the query predicate *)
+  List.iter
+    (fun r ->
+      List.iter
+        (function
+          | Program.Pos atom when is_q atom -> fail "query predicate used elsewhere"
+          | _ -> ())
+        r.Program.body)
+    other_rules;
+  let fname = "f__" ^ qname in
+  let drop_bound args =
+    let keep = ref [] in
+    Array.iteri (fun i a -> if ad.[i] <> 'b' then keep := a :: !keep) args;
+    Array.of_list (List.rev !keep)
+  in
+  let trail = Trail.create () in
+  let transform_rule r =
+    let m = Trail.mark trail in
+    let head_args = args_of r.Program.head in
+    (* substitute the seed constants for the head's bound variables *)
+    List.iteri
+      (fun si i ->
+        match Term.deref head_args.(i) with
+        | Term.Var v -> Term.bind trail v seed_args.(si)
+        | t ->
+            if Term.compare t seed_args.(si) <> 0 then begin
+              Trail.undo_to trail m;
+              fail "head constant differs from the seed"
+            end)
+      bound_positions;
+    let rewrite_atom atom =
+      if is_q atom then Term.struct_ fname (drop_bound (args_of atom)) else atom
+    in
+    let body_atoms =
+      List.filter_map
+        (function
+          | Program.Pos atom ->
+              if Program.pred_of atom = seed_key then None else Some (rewrite_atom atom)
+          | Program.Neg _ -> fail "unexpected negation")
+        r.Program.body
+    in
+    let wrapped =
+      Term.copy
+        (Term.Struct ("$rule", Array.of_list (rewrite_atom r.Program.head :: body_atoms)))
+    in
+    Trail.undo_to trail m;
+    match wrapped with
+    | Term.Struct ("$rule", parts) ->
+        {
+          Program.head = parts.(0);
+          body =
+            List.map
+              (fun a -> Program.Pos a)
+              (Array.to_list (Array.sub parts 1 (Array.length parts - 1)));
+        }
+    | _ -> assert false
+  in
+  let q_rules' = List.map transform_rule q_rules in
+  let facts =
+    List.filter (fun f -> Program.pred_of f <> seed_key) rewritten.program.Program.facts
+  in
+  let goal' = Term.struct_ fname (drop_bound goal_args) in
+  {
+    program = program_of_rules (q_rules' @ other_rules) facts;
+    query_pred = Program.pred_of goal';
+    goal = goal';
+  }
+
+let rewrite ?(factor = false) program goal =
+  let program = separate_mixed_facts program in
+  let idb = program.Program.idb in
+  let goal_key = Program.pred_of goal in
+  if not (List.mem goal_key idb) then
+    fail "query predicate %s/%d has no rules" (fst goal_key) (snd goal_key);
+  List.iter
+    (fun r ->
+      List.iter
+        (function
+          | Program.Neg _ -> fail "magic rewriting requires a positive program"
+          | Program.Pos _ -> ())
+        r.Program.body)
+    program.Program.rules;
+  let goal_ad = adornment_of goal in
+  let produced = Hashtbl.create 16 in
+  let out_rules = ref [] in
+  let queue = Queue.create () in
+  Queue.add (goal_key, goal_ad) queue;
+  Hashtbl.replace produced (goal_key, goal_ad) ();
+  while not (Queue.is_empty queue) do
+    let key, ad = Queue.pop queue in
+    let defining =
+      List.filter (fun r -> Program.pred_of r.Program.head = key) program.Program.rules
+    in
+    List.iter
+      (fun rule ->
+        let rule = rename_rule rule in
+        let head_args = args_of rule.Program.head in
+        let magic_head = Term.app (magic_name key ad) (bound_args ad head_args) in
+        let bound = ref [] in
+        Array.iteri (fun i a -> if ad.[i] = 'b' then bound := var_ids a @ !bound) head_args;
+        let prefix = ref [ Program.Pos magic_head ] in
+        let new_body =
+          List.map
+            (fun lit ->
+              match lit with
+              | Program.Neg _ -> assert false
+              | Program.Pos atom ->
+                  let akey = Program.pred_of atom in
+                  let lit' =
+                    if List.mem akey idb then begin
+                      let aad = adornment_wrt !bound atom in
+                      let m_atom =
+                        Term.app (magic_name akey aad) (bound_args aad (args_of atom))
+                      in
+                      (* skip tautological magic rules (m(X) :- ..., m(X)):
+                         they arise from recursive calls that pass the
+                         bound arguments through unchanged and would both
+                         bloat the program and defeat factoring *)
+                      let tautology =
+                        List.exists
+                          (function
+                            | Program.Pos b -> Term.compare b m_atom = 0
+                            | Program.Neg _ -> false)
+                          !prefix
+                      in
+                      if not tautology then
+                        out_rules := { Program.head = m_atom; body = List.rev !prefix } :: !out_rules;
+                      if not (Hashtbl.mem produced (akey, aad)) then begin
+                        Hashtbl.replace produced (akey, aad) ();
+                        Queue.add (akey, aad) queue
+                      end;
+                      Program.Pos (Term.struct_ (adorned_name akey aad) (args_of atom))
+                    end
+                    else Program.Pos atom
+                  in
+                  prefix := lit' :: !prefix;
+                  bound := var_ids atom @ !bound;
+                  lit')
+            rule.Program.body
+        in
+        out_rules :=
+          {
+            Program.head = Term.struct_ (adorned_name key ad) head_args;
+            body = Program.Pos magic_head :: new_body;
+          }
+          :: !out_rules)
+      defining
+  done;
+  let seed = Term.app (magic_name goal_key goal_ad) (bound_args goal_ad (args_of goal)) in
+  let adorned_goal = Term.struct_ (adorned_name goal_key goal_ad) (args_of goal) in
+  let rewritten =
+    {
+      program = program_of_rules (List.rev !out_rules) (seed :: program.Program.facts);
+      query_pred = Program.pred_of adorned_goal;
+      goal = adorned_goal;
+    }
+  in
+  if factor then (try factorize rewritten ~ad:goal_ad ~seed with Not_applicable _ -> rewritten)
+  else rewritten
+
+let answers ?strategy ?factor program goal =
+  let r = rewrite ?factor program goal in
+  let st = Eval.run ?strategy r.program in
+  (* the rewritten goal shares its variables with [goal], so matching a
+     model tuple against it instantiates the original goal too *)
+  let trail = Trail.create () in
+  List.filter_map
+    (fun tuple ->
+      let m = Trail.mark trail in
+      let result =
+        if Unify.unify trail r.goal (Canon.to_term tuple) then Some (Canon.of_term goal) else None
+      in
+      Trail.undo_to trail m;
+      result)
+    (Eval.relation st r.query_pred)

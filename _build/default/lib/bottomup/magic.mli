@@ -1,0 +1,34 @@
+(** Magic-sets rewriting: the goal-directedness mechanism of the
+    bottom-up systems in the paper's Table 1 (Aditi, LDL use magic sets;
+    CORAL uses magic templates). Given a query, the program is adorned
+    with bound/free annotations under a left-to-right sideways
+    information passing strategy, and magic predicates restrict the
+    fixpoint to query-relevant facts.
+
+    Also implements the *factoring* optimization of Naughton et al. [10]
+    (the paper's CORAL-fac configuration): when every recursive call
+    passes the bound arguments of a single-seed magic predicate through
+    unchanged, those arguments are projected away, halving the arity of
+    the recursive predicate. *)
+
+open Xsb_term
+
+exception Not_applicable of string
+
+type rewritten = {
+  program : Program.t;  (** adorned rules + magic rules (facts of the original kept) *)
+  query_pred : string * int;  (** the adorned query predicate *)
+  goal : Term.t;  (** the adorned goal to match against the model *)
+}
+
+val adornment_of : Term.t -> string
+(** "b"/"f" string for a goal's arguments by groundness. *)
+
+val rewrite : ?factor:bool -> Program.t -> Term.t -> rewritten
+(** Magic rewriting of [program] for the given goal. Only positive
+    programs are supported ({!Not_applicable} otherwise; negation in
+    bottom-up evaluation goes through {!Eval} without magic). With
+    [~factor:true], factoring is applied where detected. *)
+
+val answers : ?strategy:Eval.strategy -> ?factor:bool -> Program.t -> Term.t -> Canon.t list
+(** Rewrite, evaluate, and return the query's answer instances. *)

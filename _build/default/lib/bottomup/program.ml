@@ -1,0 +1,134 @@
+open Xsb_term
+
+exception Not_datalog of string
+exception Unstratifiable of (string * int) list
+
+type literal = Pos of Term.t | Neg of Term.t
+
+type rule = { head : Term.t; body : literal list }
+
+type t = { rules : rule list; facts : Term.t list; idb : (string * int) list }
+
+let pred_of atom =
+  match Term.deref atom with
+  | Term.Atom name -> (name, 0)
+  | Term.Struct (name, args) -> (name, Array.length args)
+  | t -> raise (Not_datalog (Fmt.str "bad atom: %a" Term.pp t))
+
+let rec literals_of body =
+  match Term.deref body with
+  | Term.Atom "true" -> []
+  | Term.Struct (",", [| l; r |]) -> literals_of l @ literals_of r
+  | Term.Struct (("\\+" | "not" | "tnot" | "e_tnot"), [| g |]) -> [ Neg (Term.deref g) ]
+  | Term.Struct ((";" | "->"), _) ->
+      raise (Not_datalog "disjunction and if-then-else are not datalog")
+  | atom -> [ Pos atom ]
+
+let of_clauses clauses =
+  let rules = ref [] and facts = ref [] and idb = ref [] in
+  List.iter
+    (fun clause ->
+      match Term.deref clause with
+      | Term.Struct (":-", [| head; body |]) ->
+          let rule = { head; body = literals_of body } in
+          if rule.body = [] then facts := head :: !facts
+          else begin
+            rules := rule :: !rules;
+            let key = pred_of head in
+            if not (List.mem key !idb) then idb := key :: !idb
+          end
+      | fact -> facts := fact :: !facts)
+    clauses;
+  { rules = List.rev !rules; facts = List.rev !facts; idb = List.rev !idb }
+
+let of_database db =
+  let clauses =
+    List.concat_map
+      (fun pred ->
+        List.map
+          (fun c ->
+            match Term.deref c.Xsb_db.Pred.body with
+            | Term.Atom "true" -> c.Xsb_db.Pred.head
+            | body -> Term.Struct (":-", [| c.Xsb_db.Pred.head; body |]))
+          (Xsb_db.Pred.clauses pred))
+      (Xsb_db.Database.preds db)
+  in
+  of_clauses clauses
+
+(* Stratification: SCC condensation of the dependency graph; a negative
+   edge inside an SCC makes the program unstratifiable. *)
+let strata t =
+  let preds = Hashtbl.create 16 in
+  let note key = if not (Hashtbl.mem preds key) then Hashtbl.add preds key () in
+  List.iter (fun r ->
+      note (pred_of r.head);
+      List.iter (function Pos a | Neg a -> note (pred_of a)) r.body)
+    t.rules;
+  List.iter (fun f -> note (pred_of f)) t.facts;
+  let nodes = Hashtbl.fold (fun k () acc -> k :: acc) preds [] in
+  let edges = Hashtbl.create 32 in
+  (* (from, to, negative) *)
+  List.iter
+    (fun r ->
+      let h = pred_of r.head in
+      List.iter
+        (fun lit ->
+          let key, negative = match lit with Pos a -> (pred_of a, false) | Neg a -> (pred_of a, true) in
+          let existing = Hashtbl.find_opt edges (h, key) in
+          Hashtbl.replace edges (h, key) (negative || Option.value existing ~default:false))
+        r.body)
+    t.rules;
+  let succs v =
+    Hashtbl.fold (fun (f, to_) _neg acc -> if f = v then to_ :: acc else acc) edges []
+  in
+  (* Tarjan SCC *)
+  let index = Hashtbl.create 16 and lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] and counter = ref 0 in
+  let sccs = ref [] in
+  let rec connect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          connect w;
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then connect v) nodes;
+  (* check no negative edge within an SCC *)
+  let scc_of = Hashtbl.create 16 in
+  List.iteri (fun i scc -> List.iter (fun v -> Hashtbl.replace scc_of v i) scc) !sccs;
+  Hashtbl.iter
+    (fun (f, to_) negative ->
+      if negative && Hashtbl.find_opt scc_of f = Hashtbl.find_opt scc_of to_ then
+        raise (Unstratifiable [ f; to_ ]))
+    edges;
+  (* Tarjan emits callee SCCs before caller SCCs; since we prepend, the
+     accumulated list has callers first — reverse for evaluation order *)
+  List.rev !sccs
+
+let pp_literal ppf = function
+  | Pos a -> Term.pp ppf a
+  | Neg a -> Fmt.pf ppf "\\+ %a" Term.pp a
+
+let pp_rule ppf r =
+  Fmt.pf ppf "%a :- %a." Term.pp r.head Fmt.(list ~sep:(any ", ") pp_literal) r.body

@@ -1,0 +1,32 @@
+(** Datalog programs for the bottom-up engine: rules with positive and
+    negative body literals, facts, and stratification by negation. *)
+
+open Xsb_term
+
+exception Not_datalog of string
+exception Unstratifiable of (string * int) list
+
+type literal = Pos of Term.t | Neg of Term.t
+
+type rule = { head : Term.t; body : literal list }
+
+type t = {
+  rules : rule list;
+  facts : Term.t list;  (** ground unit clauses *)
+  idb : (string * int) list;  (** predicates defined by rules *)
+}
+
+val pred_of : Term.t -> string * int
+
+val of_clauses : Term.t list -> t
+(** Build from clause terms ([H :- B] / facts). [\+], [not], [tnot] and
+    [e_tnot] body literals all map to negation. *)
+
+val of_database : Xsb_db.Database.t -> t
+(** Extract every predicate of a loaded database. *)
+
+val strata : t -> (string * int) list list
+(** Stratification: predicate groups in evaluation order. Negation must
+    not cross into the same stratum; raises {!Unstratifiable}. *)
+
+val pp_rule : rule Fmt.t

@@ -1,0 +1,45 @@
+open Xsb_term
+open Xsb_index
+
+type t = {
+  order : Canon.t Vec.t;
+  set : unit Canon.Tbl.t;
+  index1 : Canon.t list ref Symbol.Tbl.t;  (* reverse order *)
+  mutable unindexed : Canon.t list;  (* first arg is a variable; reverse *)
+}
+
+let create () =
+  { order = Vec.create (); set = Canon.Tbl.create 64; index1 = Symbol.Tbl.create 64; unindexed = [] }
+
+let size t = Vec.length t.order
+let mem t tuple = Canon.Tbl.mem t.set tuple
+
+let first_arg_symbol tuple =
+  match tuple with
+  | Canon.CStruct (_, args) when Array.length args >= 1 -> Symbol.of_canon args.(0)
+  | _ -> None
+
+let insert t tuple =
+  if mem t tuple then false
+  else begin
+    Canon.Tbl.add t.set tuple ();
+    Vec.push t.order tuple;
+    (match first_arg_symbol tuple with
+    | Some s -> (
+        match Symbol.Tbl.find_opt t.index1 s with
+        | Some cell -> cell := tuple :: !cell
+        | None -> Symbol.Tbl.add t.index1 s (ref [ tuple ]))
+    | None -> t.unindexed <- tuple :: t.unindexed);
+    true
+  end
+
+let tuples t = t.order
+
+let matching t sym =
+  match sym with
+  | None -> Vec.to_list t.order
+  | Some s ->
+      let indexed = match Symbol.Tbl.find_opt t.index1 s with Some cell -> !cell | None -> [] in
+      List.rev_append t.unindexed indexed
+
+let to_list t = Vec.to_list t.order

@@ -1,0 +1,25 @@
+(** Materialized relations for the bottom-up engine: a deduplicating
+    tuple store with a first-argument symbol index for joins. Tuples are
+    whole atoms in canonical form. *)
+
+open Xsb_term
+open Xsb_index
+
+type t
+
+val create : unit -> t
+val size : t -> int
+
+val insert : t -> Canon.t -> bool
+(** [true] if the tuple is new. *)
+
+val mem : t -> Canon.t -> bool
+
+val tuples : t -> Canon.t Vec.t
+(** All tuples in insertion order (do not mutate). *)
+
+val matching : t -> Symbol.t option -> Canon.t list
+(** Tuples whose first argument has the given outer symbol ([None] = all
+    tuples, or the first argument is unknown). *)
+
+val to_list : t -> Canon.t list

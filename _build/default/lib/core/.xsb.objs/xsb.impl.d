@@ -1,0 +1,1 @@
+lib/core/xsb.ml: Prelude Session Xsb_bottomup Xsb_db Xsb_hilog Xsb_index Xsb_parse Xsb_rel Xsb_slg Xsb_term Xsb_wam Xsb_wfs

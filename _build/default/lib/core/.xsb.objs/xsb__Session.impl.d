@@ -1,0 +1,1 @@
+lib/core/session.ml: Engine Fmt List Xsb_db Xsb_parse Xsb_slg Xsb_wfs

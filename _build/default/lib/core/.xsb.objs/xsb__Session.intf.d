@@ -1,0 +1,1 @@
+lib/core/session.mli: Engine Fmt Machine Xsb_db Xsb_slg Xsb_wfs

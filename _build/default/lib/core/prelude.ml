@@ -1,0 +1,70 @@
+let source =
+  {|
+% ---- list library ----
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+memberchk(X, L) :- member(X, L), !.
+
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+reverse(L, R) :- reverse_acc(L, [], R).
+reverse_acc([], Acc, Acc).
+reverse_acc([H|T], Acc, R) :- reverse_acc(T, [H|Acc], R).
+
+last([X], X) :- !.
+last([_|T], X) :- last(T, X).
+
+nth0(0, [X|_], X) :- !.
+nth0(N, [_|T], X) :- N > 0, N1 is N - 1, nth0(N1, T, X).
+
+nth1(N, L, X) :- N >= 1, N0 is N - 1, nth0(N0, L, X).
+
+sum_list([], 0).
+sum_list([H|T], S) :- sum_list(T, S1), S is S1 + H.
+
+max_list([X], X) :- !.
+max_list([H|T], M) :- max_list(T, M1), M is max(H, M1).
+
+min_list([X], X) :- !.
+min_list([H|T], M) :- min_list(T, M1), M is min(H, M1).
+
+numlist(L, H, []) :- L > H, !.
+numlist(L, H, [L|T]) :- L1 is L + 1, numlist(L1, H, T).
+
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+permutation([], []).
+permutation(L, [H|T]) :- select(H, L, R), permutation(R, T).
+
+delete([], _, []).
+delete([X|T], X, R) :- !, delete(T, X, R).
+delete([H|T], X, [H|R]) :- delete(T, X, R).
+
+% ---- aggregates through findall (paper §4.7: count and sum are
+% second-order and need findall; tcount/tsum wait for completed
+% tables via tfindall) ----
+count(Goal, N) :- findall(x, Goal, L), length(L, N).
+sum(Expr, Goal, S) :- findall(Expr, Goal, L), sum_list(L, S).
+tcount(Goal, N) :- tfindall(x, Goal, L), length(L, N).
+tsum(Expr, Goal, S) :- tfindall(Expr, Goal, L), sum_list(L, S).
+aggregate_max(Expr, Goal, M) :- findall(Expr, Goal, L), max_list(L, M).
+aggregate_min(Expr, Goal, M) :- findall(Expr, Goal, L), min_list(L, M).
+
+% ---- DCG driver ----
+phrase(NT, List) :- phrase(NT, List, []).
+phrase(NT, List, Rest) :- call(NT, List, Rest).
+
+% ---- HiLog set operations over set names (paper §4.7) ----
+intersect_2(S1, S2)(X, Y) :- S1(X, Y), S2(X, Y).
+union_2(S1, S2)(X, Y) :- S1(X, Y).
+union_2(S1, S2)(X, Y) :- S2(X, Y).
+diff_2(S1, S2)(X, Y) :- S1(X, Y), \+ S2(X, Y).
+subset_2(S1, S2) :- \+ (S1(X, Y), \+ S2(X, Y)).
+set_equal_2(S1, S2) :- subset_2(S1, S2), subset_2(S2, S1).
+member_2(S)(X, Y) :- S(X, Y).
+|}
+
+let load session = Session.consult session source

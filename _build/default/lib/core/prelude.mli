@@ -1,0 +1,12 @@
+(** A small library of standard predicates written in the object
+    language itself (the paper's point that "the rich and proven
+    environment of Prolog can be included in XSB"): list predicates,
+    the §4.7 set operations over HiLog set names, and the count/sum
+    aggregates the paper notes must go through findall because HiLog
+    alone cannot express them. *)
+
+val source : string
+(** The library text; consult it into any session. *)
+
+val load : Session.t -> unit
+(** Consult {!source} into the session. *)

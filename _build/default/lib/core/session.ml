@@ -1,0 +1,39 @@
+open Xsb_slg
+
+type t = { database : Xsb_db.Database.t; eng : Engine.t }
+
+let create ?mode () =
+  let database = Xsb_db.Database.create () in
+  { database; eng = Engine.create ?mode database }
+
+let db t = t.database
+let engine t = t.eng
+
+let consult t source = Engine.consult_string t.eng source
+let consult_file t path = Engine.consult_file t.eng path
+
+let query t text = Engine.query_string t.eng text
+let query_first t text = Engine.query_first_string t.eng text
+let succeeds t text = Engine.succeeds t.eng text
+let count t text = Engine.count_solutions t.eng text
+
+let pp_solution t ppf (s : Engine.solution) =
+  let ops = Xsb_db.Database.ops t.database in
+  let pp_term = Xsb_parse.Pretty.pp ~ops () in
+  if s.Engine.bindings = [] then Fmt.string ppf "true"
+  else
+    Fmt.pf ppf "%a"
+      Fmt.(list ~sep:(any ", ") (fun ppf (n, v) -> Fmt.pf ppf "%s = %a" n pp_term v))
+      s.Engine.bindings;
+  if s.Engine.conditional then Fmt.string ppf " (undefined)"
+
+let show t text =
+  match query t text with
+  | [] -> Fmt.pr "no@."
+  | solutions ->
+      List.iter (fun s -> Fmt.pr "%a@." (pp_solution t) s) solutions;
+      Fmt.pr "yes (%d solution%s)@." (List.length solutions)
+        (if List.length solutions = 1 then "" else "s")
+
+let wfs_query t text = Xsb_wfs.Residual.query_string t.eng text
+

@@ -1,0 +1,31 @@
+(** A convenient front end bundling a database with an SLG engine: the
+    programmatic equivalent of XSB's read-eval-print loop. *)
+
+open Xsb_slg
+
+type t
+
+val create : ?mode:Machine.mode -> unit -> t
+
+val db : t -> Xsb_db.Database.t
+val engine : t -> Engine.t
+
+val consult : t -> string -> unit
+(** Load program text. *)
+
+val consult_file : t -> string -> unit
+
+val query : t -> string -> Engine.solution list
+val query_first : t -> string -> Engine.solution option
+val succeeds : t -> string -> bool
+val count : t -> string -> int
+
+val pp_solution : t -> Engine.solution Fmt.t
+(** ["X = f(Y), Z = 3"]-style rendering using the session's operators. *)
+
+val show : t -> string -> unit
+(** Run a query and print its solutions, REPL-style, to stdout. *)
+
+val wfs_query : t -> string -> Xsb_wfs.Residual.solution list
+(** Three-valued query (sessions created with
+    [~mode:Machine.Well_founded]). *)

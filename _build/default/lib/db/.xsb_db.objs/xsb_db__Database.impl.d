@@ -1,0 +1,1 @@
+lib/db/database.ml: Array Fmt Hashtbl Ops Pred Term Xsb_hilog Xsb_parse Xsb_term

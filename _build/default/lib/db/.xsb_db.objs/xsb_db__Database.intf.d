@@ -1,0 +1,1 @@
+lib/db/database.mli: Ops Pred Term Xsb_parse Xsb_term

@@ -1,0 +1,1 @@
+lib/db/dcg.ml: Array Fmt Term Xsb_term

@@ -1,0 +1,1 @@
+lib/db/dcg.mli: Term Xsb_term

@@ -1,0 +1,1 @@
+lib/db/fast_load.ml: Array Buffer Database Fun List Printf String Term Xsb_term

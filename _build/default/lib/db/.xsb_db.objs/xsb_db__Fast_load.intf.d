@@ -1,0 +1,1 @@
+lib/db/fast_load.mli: Database

@@ -1,0 +1,1 @@
+lib/db/loader.ml: Database Dcg Fmt Fun Lexer List Ops Parser Pred Table_all Term Xsb_parse Xsb_term

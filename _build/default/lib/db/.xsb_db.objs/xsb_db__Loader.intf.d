@@ -1,0 +1,1 @@
+lib/db/loader.mli: Database Term Xsb_parse Xsb_term

@@ -1,0 +1,1 @@
+lib/db/obj_file.ml: Canon Database Fun List Marshal Option Pred String Term Xsb_term

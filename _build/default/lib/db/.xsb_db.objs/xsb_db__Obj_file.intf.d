@@ -1,0 +1,1 @@
+lib/db/obj_file.mli: Database

@@ -1,0 +1,1 @@
+lib/db/pred.ml: Arg_hash Array Disc_tree First_string Hashtbl Int List Term Vec Xsb_index Xsb_term

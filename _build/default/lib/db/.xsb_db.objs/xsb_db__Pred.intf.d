@@ -1,0 +1,1 @@
+lib/db/pred.mli: Term Xsb_term

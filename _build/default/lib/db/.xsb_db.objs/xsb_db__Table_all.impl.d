@@ -1,0 +1,1 @@
+lib/db/table_all.ml: Array Database Hashtbl List Pred Term Xsb_term

@@ -1,0 +1,1 @@
+lib/db/table_all.mli: Database Term Xsb_term

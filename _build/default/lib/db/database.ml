@@ -1,0 +1,67 @@
+open Xsb_term
+open Xsb_parse
+
+type module_info = { module_name : string; exports : (string * int) list }
+
+type t = {
+  preds : (string * int, Pred.t) Hashtbl.t;
+  ops : Ops.t;
+  hilog : (string, unit) Hashtbl.t;
+  module_table : (string, module_info) Hashtbl.t;
+  mutable current : string;
+}
+
+let create () =
+  {
+    preds = Hashtbl.create 64;
+    ops = Ops.create ();
+    hilog = Hashtbl.create 16;
+    module_table = Hashtbl.create 8;
+    current = "usermod";
+  }
+
+let ops t = t.ops
+let find t name arity = Hashtbl.find_opt t.preds (name, arity)
+
+let declare t ?kind name arity =
+  match find t name arity with
+  | Some p -> p
+  | None ->
+      let p = Pred.create ?kind name arity in
+      Hashtbl.replace t.preds (name, arity) p;
+      p
+
+let preds t = Hashtbl.fold (fun _ p acc -> p :: acc) t.preds []
+let remove_pred t name arity = Hashtbl.remove t.preds (name, arity)
+
+let declare_hilog t name = Hashtbl.replace t.hilog name ()
+let is_hilog t name = Hashtbl.mem t.hilog name
+
+let encode t term = Xsb_hilog.Encode.encode_term ~is_hilog:(is_hilog t) term
+
+let clause_parts term =
+  match Term.deref term with
+  | Term.Struct (":-", [| h; b |]) -> (h, b)
+  | t -> (t, Term.Atom "true")
+
+let head_key head =
+  match Term.deref head with
+  | Term.Atom name -> (name, 0)
+  | Term.Struct (name, args) -> (name, Array.length args)
+  | t -> Fmt.failwith "ill-formed clause head: %a" Term.pp t
+
+let add_clause t ?(front = false) clause =
+  let clause = encode t clause in
+  let head, body = clause_parts clause in
+  let name, arity = head_key head in
+  let pred = declare t name arity in
+  let stored = if front then Pred.asserta pred ~head ~body else Pred.assertz pred ~head ~body in
+  (pred, stored)
+
+let declare_module t name exports =
+  Hashtbl.replace t.module_table name { module_name = name; exports }
+
+let current_module t = t.current
+let set_current_module t name = t.current <- name
+let module_info t name = Hashtbl.find_opt t.module_table name
+let modules t = Hashtbl.fold (fun _ m acc -> m :: acc) t.module_table []

@@ -1,0 +1,53 @@
+(** The in-memory deductive database: predicate registry, operator table,
+    HiLog symbol declarations, and the light-weight module registry. *)
+
+open Xsb_term
+open Xsb_parse
+
+type t
+
+val create : unit -> t
+val ops : t -> Ops.t
+
+(** {1 Predicates} *)
+
+val find : t -> string -> int -> Pred.t option
+
+val declare : t -> ?kind:Pred.kind -> string -> int -> Pred.t
+(** Find or create. The kind is only used at creation. *)
+
+val preds : t -> Pred.t list
+
+val remove_pred : t -> string -> int -> unit
+(** [abolish]: drop the predicate entirely. *)
+
+(** {1 HiLog symbols} *)
+
+val declare_hilog : t -> string -> unit
+val is_hilog : t -> string -> bool
+
+val encode : t -> Term.t -> Term.t
+(** HiLog-encode a term under the database's declarations. *)
+
+(** {1 Clause interface} *)
+
+val add_clause : t -> ?front:bool -> Term.t -> Pred.t * Pred.clause
+(** Add a clause term ([H :- B] or a fact). The term is HiLog-encoded
+    first. Raises [Failure] on ill-formed heads. *)
+
+val clause_parts : Term.t -> (Term.t * Term.t)
+(** Split a clause term into head and body ([true] for facts). *)
+
+val head_key : Term.t -> string * int
+(** Predicate name/arity of a (dereferenced, encoded) head. Raises
+    [Failure] for variables or numbers. *)
+
+(** {1 Modules (term-based, §4.2)} *)
+
+type module_info = { module_name : string; exports : (string * int) list }
+
+val declare_module : t -> string -> (string * int) list -> unit
+val current_module : t -> string
+val set_current_module : t -> string -> unit
+val module_info : t -> string -> module_info option
+val modules : t -> module_info list

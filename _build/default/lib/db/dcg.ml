@@ -1,0 +1,51 @@
+open Xsb_term
+
+exception Dcg_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Dcg_error s)) fmt
+
+let is_dcg_rule t =
+  match Term.deref t with Term.Struct ("-->", [| _; _ |]) -> true | _ -> false
+
+let extend atom s0 s =
+  match Term.deref atom with
+  | Term.Atom name -> Term.Struct (name, [| s0; s |])
+  | Term.Struct (name, args) -> Term.Struct (name, Array.append args [| s0; s |])
+  | t -> fail "bad non-terminal: %a" Term.pp t
+
+(* terminal list: [t1,...,tn] consumed between S0 and S means
+   S0 = [t1,...,tn|S] *)
+let terminals list s0 s =
+  let rec build t =
+    match Term.deref t with
+    | Term.Atom "[]" -> s
+    | Term.Struct (".", [| h; tl |]) -> Term.cons h (build tl)
+    | t -> fail "bad terminal list: %a" Term.pp t
+  in
+  Term.Struct ("=", [| s0; build list |])
+
+let rec body t s0 s =
+  match Term.deref t with
+  | Term.Struct (",", [| a; b |]) ->
+      let mid = Term.fresh_var () in
+      Term.Struct (",", [| body a s0 mid; body b mid s |])
+  | Term.Struct (";", [| a; b |]) -> Term.Struct (";", [| body a s0 s; body b s0 s |])
+  | Term.Struct ("->", [| a; b |]) ->
+      let mid = Term.fresh_var () in
+      Term.Struct ("->", [| body a s0 mid; body b mid s |])
+  | Term.Struct ("\\+", [| g |]) ->
+      (* negation consumes nothing *)
+      Term.Struct (",", [| Term.Struct ("\\+", [| body g s0 (Term.fresh_var ()) |]);
+                           Term.Struct ("=", [| s0; s |]) |])
+  | Term.Struct ("{}", [| goal |]) -> Term.Struct (",", [| goal; Term.Struct ("=", [| s0; s |]) |])
+  | Term.Atom "!" -> Term.Struct (",", [| Term.Atom "!"; Term.Struct ("=", [| s0; s |]) |])
+  | Term.Atom "[]" -> Term.Struct ("=", [| s0; s |])
+  | Term.Struct (".", [| _; _ |]) as list -> terminals list s0 s
+  | nonterminal -> extend nonterminal s0 s
+
+let translate t =
+  match Term.deref t with
+  | Term.Struct ("-->", [| head; rhs |]) ->
+      let s0 = Term.fresh_var () and s = Term.fresh_var () in
+      Term.Struct (":-", [| extend head s0 s; body rhs s0 s |])
+  | t -> fail "not a DCG rule: %a" Term.pp t

@@ -1,0 +1,14 @@
+(** Definite clause grammar translation: [H --> B] rules become ordinary
+    clauses threading a pair of difference-list arguments, part of the
+    "rich and proven environment of Prolog" the paper folds into XSB. *)
+
+open Xsb_term
+
+exception Dcg_error of string
+
+val translate : Term.t -> Term.t
+(** Translate one [-->/2] term into a [:-/2] clause. Handles
+    non-terminals, terminal lists (including the empty list), [{Goal}]
+    escapes, [,], [;], [->], [!] and [\+]. *)
+
+val is_dcg_rule : Term.t -> bool

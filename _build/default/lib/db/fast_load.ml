@@ -1,0 +1,189 @@
+open Xsb_term
+
+exception Syntax of string * int
+
+(* A hand-rolled scanner over the whole buffer: no operators, no
+   variables, no comments inside facts (line comments between facts are
+   allowed), which is what makes it fast. *)
+type cursor = { src : string; mutable pos : int }
+
+let fail cur msg = raise (Syntax (msg, cur.pos))
+
+let at_end cur = cur.pos >= String.length cur.src
+let peek cur = cur.src.[cur.pos]
+
+let skip_layout cur =
+  let n = String.length cur.src in
+  let rec go () =
+    if cur.pos < n then
+      match cur.src.[cur.pos] with
+      | ' ' | '\t' | '\n' | '\r' ->
+          cur.pos <- cur.pos + 1;
+          go ()
+      | '%' ->
+          while cur.pos < n && cur.src.[cur.pos] <> '\n' do
+            cur.pos <- cur.pos + 1
+          done;
+          go ()
+      | _ -> ()
+  in
+  go ()
+
+let is_lower c = c >= 'a' && c <= 'z'
+let is_digit c = c >= '0' && c <= '9'
+let is_alnum c =
+  is_lower c || is_digit c || (c >= 'A' && c <= 'Z') || c = '_'
+
+let scan_while cur pred =
+  let start = cur.pos in
+  let n = String.length cur.src in
+  while cur.pos < n && pred cur.src.[cur.pos] do
+    cur.pos <- cur.pos + 1
+  done;
+  String.sub cur.src start (cur.pos - start)
+
+let scan_quoted cur =
+  cur.pos <- cur.pos + 1;
+  let buf = Buffer.create 16 in
+  let n = String.length cur.src in
+  let rec go () =
+    if cur.pos >= n then fail cur "unterminated quoted atom"
+    else
+      match cur.src.[cur.pos] with
+      | '\'' ->
+          if cur.pos + 1 < n && cur.src.[cur.pos + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            cur.pos <- cur.pos + 2;
+            go ()
+          end
+          else cur.pos <- cur.pos + 1
+      | '\\' when cur.pos + 1 < n ->
+          (let c =
+             match cur.src.[cur.pos + 1] with
+             | 'n' -> '\n'
+             | 't' -> '\t'
+             | c -> c
+           in
+           Buffer.add_char buf c);
+          cur.pos <- cur.pos + 2;
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          cur.pos <- cur.pos + 1;
+          go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let rec scan_term cur =
+  skip_layout cur;
+  if at_end cur then fail cur "unexpected end of input"
+  else
+    match peek cur with
+    | '\'' ->
+        let name = scan_quoted cur in
+        maybe_args cur name
+    | '[' ->
+        cur.pos <- cur.pos + 1;
+        scan_list cur
+    | c when is_lower c ->
+        let name = scan_while cur is_alnum in
+        maybe_args cur name
+    | c when is_digit c || c = '-' -> scan_number cur
+    | c -> fail cur (Printf.sprintf "unexpected character %C" c)
+
+and scan_number cur =
+  let start = cur.pos in
+  if peek cur = '-' then cur.pos <- cur.pos + 1;
+  let _ = scan_while cur is_digit in
+  let is_float =
+    (not (at_end cur))
+    && peek cur = '.'
+    && cur.pos + 1 < String.length cur.src
+    && is_digit cur.src.[cur.pos + 1]
+  in
+  if is_float then begin
+    cur.pos <- cur.pos + 1;
+    let _ = scan_while cur is_digit in
+    Term.Float (float_of_string (String.sub cur.src start (cur.pos - start)))
+  end
+  else
+    match int_of_string_opt (String.sub cur.src start (cur.pos - start)) with
+    | Some i -> Term.Int i
+    | None -> fail cur "bad number"
+
+and maybe_args cur name =
+  if (not (at_end cur)) && peek cur = '(' then begin
+    cur.pos <- cur.pos + 1;
+    let args = scan_args cur [] in
+    Term.struct_ name (Array.of_list args)
+  end
+  else Term.Atom name
+
+and scan_args cur acc =
+  let arg = scan_term cur in
+  skip_layout cur;
+  if at_end cur then fail cur "unterminated argument list"
+  else
+    match peek cur with
+    | ',' ->
+        cur.pos <- cur.pos + 1;
+        scan_args cur (arg :: acc)
+    | ')' ->
+        cur.pos <- cur.pos + 1;
+        List.rev (arg :: acc)
+    | c -> fail cur (Printf.sprintf "expected , or ) but found %C" c)
+
+and scan_list cur =
+  skip_layout cur;
+  if at_end cur then fail cur "unterminated list"
+  else if peek cur = ']' then begin
+    cur.pos <- cur.pos + 1;
+    Term.nil
+  end
+  else
+    let rec elements acc =
+      let e = scan_term cur in
+      skip_layout cur;
+      if at_end cur then fail cur "unterminated list"
+      else
+        match peek cur with
+        | ',' ->
+            cur.pos <- cur.pos + 1;
+            skip_layout cur;
+            elements (e :: acc)
+        | ']' ->
+            cur.pos <- cur.pos + 1;
+            List.fold_left (fun tl h -> Term.cons h tl) Term.nil (e :: acc)
+        | c -> fail cur (Printf.sprintf "expected , or ] but found %C" c)
+    in
+    elements []
+
+let string_ db src =
+  let cur = { src; pos = 0 } in
+  let count = ref 0 in
+  let rec go () =
+    skip_layout cur;
+    if not (at_end cur) then begin
+      let fact = scan_term cur in
+      skip_layout cur;
+      if at_end cur || peek cur <> '.' then fail cur "expected '.' after fact"
+      else begin
+        cur.pos <- cur.pos + 1;
+        ignore (Database.add_clause db fact);
+        incr count;
+        go ()
+      end
+    end
+  in
+  go ();
+  !count
+
+let file db path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let src = really_input_string ic len in
+      string_ db src)

@@ -1,0 +1,15 @@
+(** The "formatted read" bulk loader (paper §4.6).
+
+    Database data files are highly structured and do not need the
+    general reader's operator handling: this loader accepts ground facts
+    of the form [pred(arg,...).] where arguments are unquoted or quoted
+    atoms, integers, floats, and (nested) structures or lists of the
+    same — and asserts them with index maintenance, an order of
+    magnitude faster than consulting through the general reader. *)
+
+exception Syntax of string * int
+
+val string_ : Database.t -> string -> int
+(** Load every fact in the string; returns the count. *)
+
+val file : Database.t -> string -> int

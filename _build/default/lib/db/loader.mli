@@ -1,0 +1,25 @@
+(** Consulting source files: reads clauses and processes declarative
+    directives ([table], [table_all], [index], [hilog], [op], [dynamic],
+    [module], [import], [export]). Any other directive is returned as a
+    deferred goal for the engine to run. *)
+
+open Xsb_term
+
+type result = {
+  clauses_loaded : int;
+  deferred_goals : Term.t list;  (** non-declarative [:- G] directives, in order *)
+  defined : (string * int) list;  (** predicates defined by this load unit *)
+  table_all_requested : bool;
+}
+
+exception Load_error of string
+
+val consult_string : Database.t -> string -> result
+val consult_file : Database.t -> string -> result
+
+val consult_lexer : Database.t -> Xsb_parse.Lexer.t -> result
+
+val process_directive :
+  Database.t -> Term.t -> [ `Handled | `Deferred of Term.t | `Table_all ]
+(** Process one directive body (exposed for the engine's runtime
+    directive handling). *)

@@ -1,0 +1,82 @@
+open Xsb_term
+
+exception Bad_object_file of string
+
+let magic = "XSBOBJ01"
+
+(* The on-disk image: everything is canonical (immutable, no variable
+   cells), so marshalling is stable. *)
+type pred_image = {
+  p_name : string;
+  p_arity : int;
+  p_dynamic : bool;
+  p_tabled : bool;
+  p_index : [ `Fields of int list list | `First_string | `Disc_tree ];
+  p_clauses : Canon.t list;  (* each is ':-'(Head, Body) *)
+}
+
+type image = pred_image list
+
+let image_of_pred pred =
+  {
+    p_name = Pred.name pred;
+    p_arity = Pred.arity pred;
+    p_dynamic = Pred.kind pred = Pred.Dynamic;
+    p_tabled = Pred.tabled pred;
+    p_index =
+      (match Pred.index_spec pred with
+      | Pred.Fields combos -> `Fields combos
+      | Pred.First_string_index -> `First_string
+      | Pred.Disc_tree_index -> `Disc_tree);
+    p_clauses =
+      List.map
+        (fun c -> Canon.of_term (Term.Struct (":-", [| c.Pred.head; c.Pred.body |])))
+        (Pred.clauses pred);
+  }
+
+let save db keys path =
+  let images =
+    List.filter_map
+      (fun (name, arity) -> Option.map image_of_pred (Database.find db name arity))
+      keys
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      Marshal.to_channel oc (images : image) [])
+
+let save_all db path =
+  let keys = List.map (fun p -> (Pred.name p, Pred.arity p)) (Database.preds db) in
+  save db keys path
+
+let load db path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let header = really_input_string ic (String.length magic) in
+      if header <> magic then raise (Bad_object_file "bad magic header");
+      let images : image = Marshal.from_channel ic in
+      let count = ref 0 in
+      List.iter
+        (fun img ->
+          Database.remove_pred db img.p_name img.p_arity;
+          let kind = if img.p_dynamic then Pred.Dynamic else Pred.Static in
+          let pred = Database.declare db ~kind img.p_name img.p_arity in
+          Pred.set_tabled pred img.p_tabled;
+          (match img.p_index with
+          | `Fields combos -> Pred.set_index pred (Pred.Fields combos)
+          | `First_string -> Pred.set_index pred Pred.First_string_index
+          | `Disc_tree -> Pred.set_index pred Pred.Disc_tree_index);
+          List.iter
+            (fun canon ->
+              match Term.deref (Canon.to_term canon) with
+              | Term.Struct (":-", [| head; body |]) ->
+                  ignore (Pred.assertz pred ~head ~body);
+                  incr count
+              | _ -> raise (Bad_object_file "corrupt clause"))
+            img.p_clauses)
+        images;
+      !count)

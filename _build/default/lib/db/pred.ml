@@ -1,0 +1,162 @@
+open Xsb_term
+open Xsb_index
+
+type kind = Static | Dynamic
+
+type clause = { id : int; head : Term.t; body : Term.t }
+
+type index_spec = Fields of int list list | First_string_index | Disc_tree_index
+
+type t = {
+  name : string;
+  arity : int;
+  mutable kind : kind;
+  mutable tabled : bool;
+  store : clause option Vec.t;
+  mutable nlive : int;
+  mutable spec : index_spec;
+  mutable hash_indexes : Arg_hash.t list;
+  mutable first_string : First_string.t option;
+  mutable disc_tree : Disc_tree.t option;
+  mutable front_id : int;  (* next id for asserta (decreasing) *)
+  mutable back_id : int;  (* next id for assertz (increasing) *)
+  by_id : (int, clause) Hashtbl.t;
+}
+
+let create ?(kind = Static) name arity =
+  {
+    name;
+    arity;
+    kind;
+    tabled = false;
+    store = Vec.create ();
+    nlive = 0;
+    spec = Fields [ [ 1 ] ];
+    hash_indexes = (if arity >= 1 then [ Arg_hash.create [ 1 ] ] else []);
+    first_string = None;
+    disc_tree = None;
+    front_id = -1;
+    back_id = 0;
+    by_id = Hashtbl.create 64;
+  }
+
+let name t = t.name
+let arity t = t.arity
+let kind t = t.kind
+let set_kind t kind = t.kind <- kind
+let tabled t = t.tabled
+let set_tabled t flag = t.tabled <- flag
+let index_spec t = t.spec
+let clause_count t = t.nlive
+
+let head_args clause =
+  match Term.deref clause.head with
+  | Term.Struct (_, args) -> args
+  | Term.Atom _ | Term.Int _ | Term.Float _ | Term.Var _ -> [||]
+
+let index_insert t clause =
+  let args = head_args clause in
+  List.iter (fun idx -> Arg_hash.insert idx clause.id args) t.hash_indexes;
+  (match t.first_string with
+  | Some trie -> First_string.insert trie clause.id args
+  | None -> ());
+  match t.disc_tree with
+  | Some tree -> Disc_tree.insert tree clause.id args
+  | None -> ()
+
+let live_clauses t =
+  Vec.fold_left (fun acc slot -> match slot with Some c -> c :: acc | None -> acc) [] t.store
+  |> List.sort (fun a b -> Int.compare a.id b.id)
+
+let rebuild_indexes t ?size_hint () =
+  (match t.spec with
+  | Fields combos ->
+      t.hash_indexes <-
+        List.filter_map
+          (fun combo ->
+            if List.for_all (fun f -> f >= 1 && f <= t.arity) combo && combo <> [] then
+              Some (Arg_hash.create ?size_hint combo)
+            else None)
+          combos;
+      t.first_string <- None;
+      t.disc_tree <- None
+  | First_string_index ->
+      t.hash_indexes <- [];
+      t.first_string <- Some (First_string.create ());
+      t.disc_tree <- None
+  | Disc_tree_index ->
+      t.hash_indexes <- [];
+      t.first_string <- None;
+      t.disc_tree <- Some (Disc_tree.create ()));
+  List.iter (fun c -> index_insert t c) (live_clauses t)
+
+let set_index t ?size_hint spec =
+  t.spec <- spec;
+  rebuild_indexes t ?size_hint ()
+
+let push t clause =
+  Vec.push t.store (Some clause);
+  Hashtbl.replace t.by_id clause.id clause;
+  t.nlive <- t.nlive + 1;
+  index_insert t clause;
+  clause
+
+let assertz t ~head ~body =
+  let id = t.back_id in
+  t.back_id <- id + 1;
+  push t { id; head; body }
+
+let asserta t ~head ~body =
+  let id = t.front_id in
+  t.front_id <- id - 1;
+  push t { id; head; body }
+
+let remove t clause =
+  let removed = ref false in
+  Vec.iteri
+    (fun i slot ->
+      match slot with
+      | Some c when c.id = clause.id && not !removed ->
+          Vec.set t.store i None;
+          removed := true
+      | _ -> ())
+    t.store;
+  if !removed then begin
+    Hashtbl.remove t.by_id clause.id;
+    t.nlive <- t.nlive - 1;
+    let args = head_args clause in
+    List.iter (fun idx -> Arg_hash.remove idx clause.id args) t.hash_indexes;
+    (* tries do not support removal: static predicates are never
+       retracted clause-by-clause; if it ever happens, rebuild *)
+    if t.first_string <> None || t.disc_tree <> None then rebuild_indexes t ()
+  end
+
+let remove_all t =
+  Vec.clear t.store;
+  Hashtbl.reset t.by_id;
+  t.nlive <- 0;
+  t.front_id <- -1;
+  t.back_id <- 0;
+  rebuild_indexes t ()
+
+let clauses = live_clauses
+
+let by_ids t ids = List.filter_map (fun id -> Hashtbl.find_opt t.by_id id) ids
+
+let lookup t call_args =
+  if Array.length call_args <> t.arity then []
+  else
+    let rec try_hash = function
+      | [] -> None
+      | idx :: rest -> (
+          match Arg_hash.lookup idx call_args with
+          | Some ids -> Some ids
+          | None -> try_hash rest)
+    in
+    match try_hash t.hash_indexes with
+    | Some ids -> by_ids t ids
+    | None -> (
+        match (t.first_string, t.disc_tree) with
+        | Some trie, _ -> by_ids t (First_string.lookup trie call_args)
+        | None, Some tree -> by_ids t (Disc_tree.lookup tree call_args)
+        | None, None -> live_clauses t)

@@ -1,0 +1,62 @@
+(** One predicate: clause storage plus its indexes.
+
+    XSB distinguishes static predicates (compiled, fixed) from dynamic
+    ones (modifiable one tuple at a time; the normal representation of
+    the extensional database). Both support hash indexing on argument
+    combinations; static predicates additionally support first-string
+    indexing (paper §4.2, §4.5). *)
+
+open Xsb_term
+(* for Arg_hash, First_string *)
+
+type kind = Static | Dynamic
+
+type clause = {
+  id : int;  (** position key: clauses are returned in increasing id order *)
+  head : Term.t;
+  body : Term.t;  (** conjunction term; [true] for facts *)
+}
+
+type index_spec =
+  | Fields of int list list
+      (** [:- index(p/5,[1,2,3+5])]: one hash index per element, tried in
+          order; each element indexes on up to three fields. *)
+  | First_string_index  (** trie indexing on the pre-order head string *)
+  | Disc_tree_index
+      (** full discrimination tree: first-string indexing "across
+          variables" (§4.5's in-development variant) *)
+
+type t
+
+val create : ?kind:kind -> string -> int -> t
+val name : t -> string
+val arity : t -> int
+val kind : t -> kind
+val set_kind : t -> kind -> unit
+val tabled : t -> bool
+val set_tabled : t -> bool -> unit
+
+val set_index : t -> ?size_hint:int -> index_spec -> unit
+(** Declare the indexing for this predicate; existing clauses are
+    re-indexed. The default is a hash index on the first argument. *)
+
+val index_spec : t -> index_spec
+
+val assertz : t -> head:Term.t -> body:Term.t -> clause
+val asserta : t -> head:Term.t -> body:Term.t -> clause
+
+val remove : t -> clause -> unit
+(** Retract one clause by identity. *)
+
+val remove_all : t -> unit
+(** Predicate-level retraction: drop every clause. *)
+
+val clause_count : t -> int
+
+val clauses : t -> clause list
+(** All live clauses in order. *)
+
+val lookup : t -> Term.t array -> clause list
+(** Candidate clauses for a call with the given (possibly unbound)
+    arguments, using the best applicable index; a superset of the
+    unifiable clauses, in clause order. *)

@@ -1,0 +1,72 @@
+open Xsb_term
+
+let rec body_calls body =
+  match Term.deref body with
+  | Term.Struct ((("," | ";" | "->")), [| l; r |]) -> body_calls l @ body_calls r
+  | Term.Struct (("\\+" | "tnot" | "e_tnot" | "not" | "call"), [| g |]) -> body_calls g
+  | Term.Struct (("findall" | "bagof" | "setof" | "tfindall"), [| _; g; _ |]) -> body_calls g
+  | Term.Atom name -> [ (name, 0) ]
+  | Term.Struct (name, args) -> [ (name, Array.length args) ]
+  | Term.Int _ | Term.Float _ | Term.Var _ -> []
+
+(* Tarjan's strongly-connected components over the call graph. *)
+let cyclic_preds db ~scope =
+  let in_scope = Hashtbl.create 16 in
+  List.iter (fun key -> Hashtbl.replace in_scope key ()) scope;
+  let succs key =
+    match Database.find db (fst key) (snd key) with
+    | None -> []
+    | Some pred ->
+        List.concat_map (fun c -> body_calls c.Pred.body) (Pred.clauses pred)
+        |> List.filter (Hashtbl.mem in_scope)
+  in
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let result = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    let self_loop = ref false in
+    List.iter
+      (fun w ->
+        if w = v then self_loop := true;
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      (* v is the root of an SCC; pop it *)
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      let scc = pop [] in
+      match scc with
+      | [ single ] -> if !self_loop then result := single :: !result
+      | _ :: _ :: _ -> result := scc @ !result
+      | [] -> ()
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) scope;
+  !result
+
+let apply db ~scope =
+  List.iter
+    (fun (name, arity) ->
+      match Database.find db name arity with
+      | Some pred -> Pred.set_tabled pred true
+      | None -> ())
+    (cyclic_preds db ~scope)

@@ -1,0 +1,24 @@
+(** The [:- table_all] directive (paper §4.3): choose predicates to table
+    so that every loop in the call graph is broken.
+
+    Determining the minimal such set is intractable (it contains feedback
+    vertex set), and predicting call repetition exactly is undecidable;
+    as in XSB, "simplicity and speed were chosen over refinements in the
+    precision of the algorithm": we table every predicate that lies on a
+    cycle of the call graph (every member of a cyclic strongly-connected
+    component), which may table more than needed — the paper notes the
+    same about XSB and offers module scoping as the remedy, which the
+    [scope] argument provides. *)
+
+open Xsb_term
+
+val body_calls : Term.t -> (string * int) list
+(** Predicates called by a body term, looking through the control
+    constructs [,], [;], [->], [\+], [tnot], [e_tnot], [not], [call] and
+    the goal argument of the findall family. *)
+
+val cyclic_preds : Database.t -> scope:(string * int) list -> (string * int) list
+(** Members of cyclic SCCs of the call graph restricted to [scope]. *)
+
+val apply : Database.t -> scope:(string * int) list -> unit
+(** Mark {!cyclic_preds} tabled. *)

@@ -1,0 +1,1 @@
+lib/hilog/encode.ml: Array Term Xsb_term

@@ -1,0 +1,1 @@
+lib/hilog/encode.mli: Term Xsb_term

@@ -1,0 +1,1 @@
+lib/hilog/specialize.ml: Array List Option Printf Set Stdlib Term Xsb_term

@@ -1,0 +1,1 @@
+lib/hilog/specialize.mli: Term Xsb_term

@@ -1,0 +1,38 @@
+open Xsb_term
+
+let apply_symbol = "apply"
+
+let encode_term ~is_hilog term =
+  let rec go term =
+    match Term.deref term with
+    | (Term.Atom _ | Term.Int _ | Term.Float _ | Term.Var _) as t -> t
+    | Term.Struct (name, args) ->
+        let args' = Array.map go args in
+        if is_hilog name && name <> apply_symbol then
+          Term.Struct (apply_symbol, Array.append [| Term.Atom name |] args')
+        else Term.Struct (name, args')
+  in
+  go term
+
+let decode_term ~is_hilog term =
+  let rec go term =
+    match Term.deref term with
+    | (Term.Atom _ | Term.Int _ | Term.Float _ | Term.Var _) as t -> t
+    | Term.Struct (name, args) -> (
+        let args' = Array.map go args in
+        match (name, args') with
+        | "apply", [||] -> Term.Atom name
+        | "apply", _ -> (
+            match args'.(0) with
+            | Term.Atom h when is_hilog h ->
+                Term.struct_ h (Array.sub args' 1 (Array.length args' - 1))
+            | _ -> Term.Struct (name, args'))
+        | _ -> Term.Struct (name, args'))
+  in
+  go term
+
+let hilog_functor term =
+  match Term.deref term with
+  | Term.Struct ("apply", args) when Array.length args >= 2 ->
+      Some (args.(0), Array.sub args 1 (Array.length args - 1))
+  | _ -> None

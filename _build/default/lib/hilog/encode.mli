@@ -1,0 +1,30 @@
+(** HiLog to first-order translation (paper §4.1, §4.7).
+
+    A HiLog term [T] of arity [N] is encoded with the [apply] symbol of
+    arity [N+1]: the first argument is the functor of [T] and the rest
+    are its arguments, e.g. [X(bob,Y)] becomes [apply(X,bob,Y)].
+
+    The parser already produces this encoding for applications whose
+    functor is not an atom (there is no first-order reading for those).
+    What remains — and what this module does — is the translation of
+    *declared* HiLog constants: after [:- hilog h], the term [h(a)] reads
+    as [apply(h,a)]. *)
+
+open Xsb_term
+
+val apply_symbol : string
+(** The reserved encoding symbol, ["apply"]. *)
+
+val encode_term : is_hilog:(string -> bool) -> Term.t -> Term.t
+(** Rewrite every application [h(t1,...,tn)] whose functor [h] is a
+    declared HiLog constant into [apply(h,t1,...,tn)], recursively.
+    Occurrences of [h] in non-functor positions are untouched. The input
+    is not mutated; unbound variables are shared with the input. *)
+
+val decode_term : is_hilog:(string -> bool) -> Term.t -> Term.t
+(** Inverse of {!encode_term} on its image: [apply(h,args)] with a
+    declared atom functor becomes [h(args)]. General [apply] terms with
+    non-atom functors are left for the printer's application syntax. *)
+
+val hilog_functor : Term.t -> (Term.t * Term.t array) option
+(** View a dereferenced [apply(F,A1..An)] encoding as [(F, args)]. *)

@@ -1,0 +1,97 @@
+open Xsb_term
+
+(* Shapes are keyed by the outer functor name of the HiLog functor term,
+   its arity, and the application arity. *)
+module Shape = struct
+  type t = string * int * int
+
+  let compare = Stdlib.compare
+end
+
+module Shape_set = Set.Make (Shape)
+
+let specialized_name f nparams nargs =
+  ignore nargs;
+  (* the application arity is encoded in the predicate's own arity; the
+     parameter count is appended only to keep distinct shapes of the same
+     total arity apart *)
+  Printf.sprintf "apply_%s_%d" f nparams
+
+let head_and_body clause =
+  match Term.deref clause with
+  | Term.Struct (":-", [| h; b |]) -> (h, Some b)
+  | t -> (t, None)
+
+let rebuild head body =
+  match body with Some b -> Term.Struct (":-", [| head; b |]) | None -> head
+
+let shape_of_head head =
+  match Term.deref head with
+  | Term.Struct ("apply", args) when Array.length args >= 2 -> (
+      match Term.deref args.(0) with
+      | Term.Struct (f, params) -> Some (f, Array.length params, Array.length args - 1)
+      | _ -> None)
+  | _ -> None
+
+(* Rewrite an application term into its specialized form, when its shape
+   is known. *)
+let rewrite_app shapes t =
+  match Term.deref t with
+  | Term.Struct ("apply", args) when Array.length args >= 2 -> (
+      match Term.deref args.(0) with
+      | Term.Struct (f, params) ->
+          let shape = (f, Array.length params, Array.length args - 1) in
+          if Shape_set.mem shape shapes then
+            let rest = Array.sub args 1 (Array.length args - 1) in
+            Some
+              (Term.Struct
+                 (specialized_name f (Array.length params) (Array.length rest),
+                  Array.append params rest))
+          else None
+      | _ -> None)
+  | _ -> None
+
+(* Walk goal positions of a body, leaving data positions alone. *)
+let rec rewrite_goal shapes goal =
+  match Term.deref goal with
+  | Term.Struct ((("," | ";" | "->") as c), [| l; r |]) ->
+      Term.Struct (c, [| rewrite_goal shapes l; rewrite_goal shapes r |])
+  | Term.Struct ((("\\+" | "tnot" | "e_tnot" | "not" | "call") as c), [| g |]) ->
+      Term.Struct (c, [| rewrite_goal shapes g |])
+  | Term.Struct ((("findall" | "bagof" | "setof" | "tfindall") as c), [| t; g; l |]) ->
+      Term.Struct (c, [| t; rewrite_goal shapes g; l |])
+  | t -> ( match rewrite_app shapes t with Some t' -> t' | None -> t)
+
+let specialize clauses =
+  let shapes =
+    List.fold_left
+      (fun acc clause ->
+        let head, _ = head_and_body clause in
+        match shape_of_head head with
+        | Some shape -> Shape_set.add shape acc
+        | None -> acc)
+      Shape_set.empty clauses
+  in
+  if Shape_set.is_empty shapes then clauses
+  else
+    let transformed =
+      List.map
+        (fun clause ->
+          let head, body = head_and_body clause in
+          let head' = match rewrite_app shapes head with Some h -> h | None -> head in
+          let body' = Option.map (rewrite_goal shapes) body in
+          rebuild head' body')
+        clauses
+    in
+    let bridges =
+      List.map
+        (fun (f, nparams, nargs) ->
+          let params = Array.init nparams (fun _ -> Term.fresh_var ()) in
+          let args = Array.init nargs (fun _ -> Term.fresh_var ()) in
+          let functor_term = Term.struct_ f params in
+          let head = Term.Struct ("apply", Array.append [| functor_term |] args) in
+          let call = Term.Struct (specialized_name f nparams nargs, Array.append params args) in
+          Term.Struct (":-", [| head; call |]))
+        (Shape_set.elements shapes)
+    in
+    transformed @ bridges

@@ -1,0 +1,30 @@
+(** Compile-time specialization of known calls to HiLog predicates
+    (paper §4.7).
+
+    Clauses whose head is an encoded HiLog application with a compound
+    functor, such as
+
+    {v apply(path(Graph),X,Y) :- apply(Graph,X,Y). v}
+
+    pay an extra level of discrimination through [apply/3]. The
+    specializer introduces a dedicated first-order predicate per known
+    functor shape and rewrites heads and known body calls:
+
+    {v apply(path(Graph),X,Y) :- apply_path(Graph,X,Y).   % bridge
+       apply_path(Graph,X,Y)  :- apply(Graph,X,Y). v}
+
+    After this source transformation, a HiLog predicate "is not much less
+    efficient than if it were written in first-order syntax". *)
+
+open Xsb_term
+
+val specialized_name : string -> int -> int -> string
+(** [specialized_name f nparams nargs] is the name of the specialized
+    predicate for applications [apply(f(P1..Pk), X1..Xn)]. *)
+
+val specialize : Term.t list -> Term.t list
+(** Transform a list of clause terms ([H :- B] structures or facts).
+    Every head of the form [apply(f(Params),Args)] is specialized; known
+    calls in goal positions of all bodies are rewritten; one bridge
+    clause per specialized shape is appended so unknown (truly
+    higher-order) calls still reach the predicate through [apply]. *)

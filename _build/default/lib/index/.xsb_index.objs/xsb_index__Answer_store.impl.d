@@ -1,0 +1,1 @@
+lib/index/answer_store.ml: Array Canon Hashtbl List Vec Xsb_term

@@ -1,0 +1,1 @@
+lib/index/answer_store.mli: Canon Xsb_term

@@ -1,0 +1,1 @@
+lib/index/arg_hash.ml: Array Hashtbl List Symbol

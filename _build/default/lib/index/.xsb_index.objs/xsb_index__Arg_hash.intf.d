@@ -1,0 +1,1 @@
+lib/index/arg_hash.mli: Term Xsb_term

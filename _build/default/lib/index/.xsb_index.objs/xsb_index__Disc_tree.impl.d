@@ -1,0 +1,1 @@
+lib/index/disc_tree.ml: Array Hashtbl List Option Symbol Term Xsb_term

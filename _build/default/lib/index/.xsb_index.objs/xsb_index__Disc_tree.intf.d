@@ -1,0 +1,1 @@
+lib/index/disc_tree.mli: Term Xsb_term

@@ -1,0 +1,1 @@
+lib/index/first_string.ml: Array Fmt List Symbol Term Xsb_term

@@ -1,0 +1,1 @@
+lib/index/first_string.mli: Fmt Symbol Term Xsb_term

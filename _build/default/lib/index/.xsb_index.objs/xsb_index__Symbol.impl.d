@@ -1,0 +1,1 @@
+lib/index/symbol.ml: Array Canon Fmt Hashtbl Term Xsb_term

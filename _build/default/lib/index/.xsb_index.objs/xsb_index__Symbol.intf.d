@@ -1,0 +1,1 @@
+lib/index/symbol.mli: Canon Fmt Hashtbl Term Xsb_term

@@ -1,0 +1,43 @@
+(** Answer-clause storage with duplicate detection (paper §4.5).
+
+    Answers returned for a tabled subgoal are copied to table space in
+    canonical form; inserting an answer that is a variant of an existing
+    one fails the inserting derivation path, which is how SLG avoids
+    duplicate computation. Answers retain insertion order so that
+    consumers can resume incrementally from the position they have
+    already consumed.
+
+    Two interchangeable implementations are provided: [Hash] — "a hash
+    index that includes all arguments of the answer", XSB's shipping
+    mechanism — and [Trie] — the trie-based answer index the paper
+    describes as under development, which integrates the index with the
+    storage of the answers. *)
+
+open Xsb_term
+
+module type S = sig
+  type t
+
+  val create : ?size_hint:int -> unit -> t
+
+  val insert : t -> Canon.t -> bool
+  (** [true] if the answer is new; [false] for a duplicate (variant). *)
+
+  val mem : t -> Canon.t -> bool
+
+  val size : t -> int
+
+  val get : t -> int -> Canon.t
+  (** Answer by insertion position, [0 .. size-1]. *)
+
+  val iter : (Canon.t -> unit) -> t -> unit
+  (** In insertion order. *)
+
+  val to_list : t -> Canon.t list
+end
+
+module Hash : S
+module Trie : S
+
+include S
+(** The default implementation (currently [Hash], as in XSB 1.3). *)

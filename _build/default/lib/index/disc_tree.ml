@@ -1,0 +1,92 @@
+open Xsb_term
+
+type tok = Star | Sym of Symbol.t
+
+module Tok_tbl = Hashtbl.Make (struct
+  type t = tok
+
+  let equal (a : t) (b : t) = a = b
+  let hash (t : t) = Hashtbl.hash t
+end)
+
+type node = { mutable stored : int list; children : node Tok_tbl.t }
+
+type t = { root : node; mutable count : int }
+
+let fresh_node () = { stored = []; children = Tok_tbl.create 4 }
+
+let create () = { root = fresh_node (); count = 0 }
+
+let size t = t.count
+
+(* complete pre-order token string; variables are wildcards *)
+let tokens args =
+  let acc = ref [] in
+  let rec go term =
+    match Symbol.of_term term with
+    | None -> acc := Star :: !acc
+    | Some s -> (
+        acc := Sym s :: !acc;
+        match Term.deref term with
+        | Term.Struct (_, sub) -> Array.iter go sub
+        | _ -> ())
+  in
+  Array.iter go args;
+  List.rev !acc
+
+let insert t id args =
+  let rec go node = function
+    | [] -> node.stored <- id :: node.stored
+    | tok :: rest ->
+        let child =
+          match Tok_tbl.find_opt node.children tok with
+          | Some child -> child
+          | None ->
+              let child = fresh_node () in
+              Tok_tbl.add node.children tok child;
+              child
+        in
+        go child rest
+  in
+  go t.root (tokens args);
+  t.count <- t.count + 1
+
+(* arity of the subterm a token opens: how many further subterms must be
+   consumed before this one is complete *)
+let opens = function
+  | Star | Sym (Symbol.SAtom _) | Sym (Symbol.SInt _) | Sym (Symbol.SFloat _) -> 0
+  | Sym (Symbol.SStruct (_, n)) -> n
+
+(* all nodes reachable from [node] by consuming exactly [k] whole stored
+   subterms (used when the call has a variable) *)
+let rec skip node k acc =
+  if k = 0 then node :: acc
+  else
+    Tok_tbl.fold (fun tok child acc -> skip child (k - 1 + opens tok) acc) node.children acc
+
+let lookup t call_args =
+  let acc = ref [] in
+  (* terms: the call's remaining pre-order agenda *)
+  let rec go node terms =
+    match terms with
+    | [] -> acc := List.rev_append node.stored !acc
+    | term :: rest -> (
+        (* a clause wildcard absorbs the whole first call subterm *)
+        (match Tok_tbl.find_opt node.children Star with
+        | Some child -> go child rest
+        | None -> ());
+        match Term.deref term with
+        | Term.Var _ ->
+            (* call variable: skip one stored subterm along every branch *)
+            List.iter (fun n -> go n rest) (skip node 1 [])
+        | t -> (
+            let sym = Option.get (Symbol.of_term t) in
+            match Tok_tbl.find_opt node.children (Sym sym) with
+            | Some child -> (
+                match t with
+                | Term.Struct (_, sub) -> go child (Array.to_list sub @ rest)
+                | _ -> go child rest)
+            | None -> ()))
+  in
+  go t.root (Array.to_list call_args);
+  List.sort_uniq compare !acc

@@ -1,0 +1,26 @@
+(** Full discrimination-tree indexing — the "new implementation of a
+    variant of first-string indexing ... which will allow it both to be
+    more efficient and to still apply across variables in the indexed
+    clauses" that §4.5 describes as under development.
+
+    Unlike {!First_string}, clause strings are complete pre-order symbol
+    strings in which variables appear as a wildcard token, so
+    discrimination continues past a clause variable. Retrieval walks the
+    tree against the call term: a clause wildcard skips one call
+    subterm, and a call variable skips one stored subterm along every
+    branch. Candidates remain a superset of the unifiable clauses (no
+    consistency check for repeated variables), in clause order. *)
+
+open Xsb_term
+
+type t
+
+val create : unit -> t
+
+val insert : t -> int -> Term.t array -> unit
+
+val lookup : t -> Term.t array -> int list
+(** Candidate clause ids, increasing. *)
+
+val size : t -> int
+(** Number of stored clauses. *)

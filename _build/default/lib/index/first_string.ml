@@ -1,0 +1,82 @@
+open Xsb_term
+
+type node = {
+  mutable stored : int list;  (* clauses whose string ends here, reverse order *)
+  children : node Symbol.Tbl.t;
+}
+
+type t = node
+
+let fresh_node () = { stored = []; children = Symbol.Tbl.create 4 }
+
+let create () = fresh_node ()
+
+exception Hit_variable
+
+(* Pre-order symbols of the argument vector, truncated at the first
+   variable. *)
+let string_of_head args =
+  let acc = ref [] in
+  let rec go t =
+    match Symbol.of_term t with
+    | None -> raise Hit_variable
+    | Some s -> (
+        acc := s :: !acc;
+        match Term.deref t with
+        | Term.Struct (_, subargs) -> Array.iter go subargs
+        | _ -> ())
+  in
+  (try Array.iter go args with Hit_variable -> ());
+  List.rev !acc
+
+let insert t id args =
+  let symbols = string_of_head args in
+  let rec go node = function
+    | [] -> node.stored <- id :: node.stored
+    | s :: rest ->
+        let child =
+          match Symbol.Tbl.find_opt node.children s with
+          | Some child -> child
+          | None ->
+              let child = fresh_node () in
+              Symbol.Tbl.add node.children s child;
+              child
+        in
+        go child rest
+  in
+  go t symbols
+
+let rec subtree_ids node acc =
+  let acc = List.rev_append node.stored acc in
+  Symbol.Tbl.fold (fun _ child acc -> subtree_ids child acc) node.children acc
+
+let lookup t args =
+  let symbols = string_of_head args in
+  let rec go node acc = function
+    | [] -> subtree_ids node acc
+    | s :: rest -> (
+        let acc = List.rev_append node.stored acc in
+        match Symbol.Tbl.find_opt node.children s with
+        | Some child -> go child acc rest
+        | None -> acc)
+  in
+  List.sort_uniq compare (go t [] symbols)
+
+let pp ppf t =
+  let rec go indent node =
+    let sorted =
+      Symbol.Tbl.fold (fun s child acc -> (s, child) :: acc) node.children []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    List.iter
+      (fun (s, child) ->
+        Fmt.pf ppf "%s%a" indent Symbol.pp s;
+        if child.stored <> [] then
+          Fmt.pf ppf "  {%a}" Fmt.(list ~sep:(any ",") int) (List.rev child.stored);
+        Fmt.pf ppf "@\n";
+        go (indent ^ "  ") child)
+      sorted
+  in
+  if t.stored <> [] then
+    Fmt.pf ppf "(root) {%a}@\n" Fmt.(list ~sep:(any ",") int) (List.rev t.stored);
+  go "" t

@@ -1,0 +1,32 @@
+(** First-string indexing (paper §4.5, Example 4.2, Figure 3): a variant
+    of path-based indexing that stores parts of clauses in a
+    discrimination network.
+
+    Each clause head is turned into the string of symbols of the
+    pre-order traversal of its arguments, truncated at the first
+    variable; the strings are kept in a trie. Retrieval walks the trie
+    with the call's pre-order symbol string (also truncated at the call's
+    first variable): candidates are the clauses stored on the path walked
+    (more general clauses) plus, when the call string is exhausted at a
+    node, every clause below that node (more specific clauses). The
+    result is a superset of the unifiable clauses, in clause order. *)
+
+open Xsb_term
+
+type t
+
+val create : unit -> t
+
+val insert : t -> int -> Term.t array -> unit
+(** [insert t clause_id head_args]; ids must be inserted in increasing
+    order. *)
+
+val lookup : t -> Term.t array -> int list
+(** Candidate clause ids, increasing. *)
+
+val string_of_head : Term.t array -> Symbol.t list
+(** The truncated pre-order symbol string itself (exposed for tests and
+    for drawing Figure 3). *)
+
+val pp : t Fmt.t
+(** Draw the trie, as in Figure 3 of the paper. *)

@@ -1,0 +1,34 @@
+open Xsb_term
+
+type t = SAtom of string | SInt of int | SFloat of float | SStruct of string * int
+
+let of_term t =
+  match Term.deref t with
+  | Term.Atom a -> Some (SAtom a)
+  | Term.Int i -> Some (SInt i)
+  | Term.Float x -> Some (SFloat x)
+  | Term.Struct (f, args) -> Some (SStruct (f, Array.length args))
+  | Term.Var _ -> None
+
+let of_canon = function
+  | Canon.CAtom a -> Some (SAtom a)
+  | Canon.CInt i -> Some (SInt i)
+  | Canon.CFloat x -> Some (SFloat x)
+  | Canon.CStruct (f, args) -> Some (SStruct (f, Array.length args))
+  | Canon.CVar _ -> None
+
+let equal (a : t) (b : t) = a = b
+let hash (s : t) = Hashtbl.hash s
+
+let pp ppf = function
+  | SAtom a -> Fmt.string ppf a
+  | SInt i -> Fmt.int ppf i
+  | SFloat x -> Fmt.float ppf x
+  | SStruct (f, n) -> Fmt.pf ppf "%s/%d" f n
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,22 @@
+(** Outer functor symbols, the unit of discrimination for all of XSB's
+    hash-based indexing (paper §4.5: "All XSB hash-based indexing uses
+    only the outer functor symbol of a given argument"). *)
+
+open Xsb_term
+
+type t =
+  | SAtom of string
+  | SInt of int
+  | SFloat of float
+  | SStruct of string * int  (** name/arity *)
+
+val of_term : Term.t -> t option
+(** The outer symbol of a dereferenced term; [None] for a variable. *)
+
+val of_canon : Canon.t -> t option
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : t Fmt.t
+
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,1 @@
+lib/parse/lexer.ml: Buffer Char Fmt Option Printf String

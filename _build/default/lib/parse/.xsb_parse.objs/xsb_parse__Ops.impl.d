@@ -1,0 +1,1 @@
+lib/parse/ops.ml: Hashtbl List

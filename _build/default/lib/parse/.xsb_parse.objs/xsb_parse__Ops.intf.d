@@ -1,0 +1,1 @@
+lib/parse/ops.mli:

@@ -1,0 +1,1 @@
+lib/parse/parser.ml: Array Char Fmt Hashtbl Lexer List Ops String Term Xsb_term

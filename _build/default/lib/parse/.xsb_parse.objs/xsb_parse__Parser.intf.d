@@ -1,0 +1,1 @@
+lib/parse/parser.mli: Lexer Ops Term Xsb_term

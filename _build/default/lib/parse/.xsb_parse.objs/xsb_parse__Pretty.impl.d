@@ -1,0 +1,1 @@
+lib/parse/pretty.ml: Array Fmt Lazy Ops Term Xsb_term

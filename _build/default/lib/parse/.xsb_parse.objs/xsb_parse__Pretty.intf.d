@@ -1,0 +1,1 @@
+lib/parse/pretty.mli: Fmt Ops Term Xsb_term

@@ -1,0 +1,358 @@
+type token =
+  | ATOM of string
+  | VAR of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN_CT
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | BAR
+  | END
+  | EOF
+
+exception Error of string * int
+
+(* Character source: either a whole string or a channel read one char at a
+   time with a one-character pushback. *)
+type source = Str of string | Chan of in_channel
+
+type t = {
+  source : source;
+  mutable offset : int;  (* next char to read (string source) / count (channel) *)
+  mutable pushback : char list;  (* LIFO; block comments need two chars *)
+  mutable lookahead : token option;
+  mutable last_was_functorish : bool;
+      (* whether the previously returned token can act as a functor, so
+         that a directly following '(' is LPAREN_CT *)
+}
+
+let of_string ?(pos = 0) s =
+  { source = Str s; offset = pos; pushback = []; lookahead = None; last_was_functorish = false }
+
+let of_channel ic =
+  { source = Chan ic; offset = 0; pushback = []; lookahead = None; last_was_functorish = false }
+
+let read_char t =
+  match t.pushback with
+  | c :: rest ->
+      t.pushback <- rest;
+      t.offset <- t.offset + 1;
+      Some c
+  | [] -> (
+      match t.source with
+      | Str s ->
+          if t.offset >= String.length s then None
+          else begin
+            let c = s.[t.offset] in
+            t.offset <- t.offset + 1;
+            Some c
+          end
+      | Chan ic -> (
+          match input_char ic with
+          | c ->
+              t.offset <- t.offset + 1;
+              Some c
+          | exception End_of_file -> None))
+
+let unread_char t c =
+  t.pushback <- c :: t.pushback;
+  t.offset <- t.offset - 1
+
+let peek_char t =
+  match read_char t with
+  | None -> None
+  | Some c ->
+      unread_char t c;
+      Some c
+
+let pos t = t.offset
+
+let is_lower c = c >= 'a' && c <= 'z'
+let is_upper c = (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_alnum c = is_lower c || is_upper c || is_digit c
+let is_symbolic c = String.contains "+-*/\\^<>=~:.?@#&$" c
+let is_layout c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let error t msg = raise (Error (msg, t.offset))
+
+let take_while t first pred =
+  let buf = Buffer.create 16 in
+  Buffer.add_char buf first;
+  let rec go () =
+    match read_char t with
+    | Some c when pred c ->
+        Buffer.add_char buf c;
+        go ()
+    | Some c -> unread_char t c
+    | None -> ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* Skip layout and comments; return [true] if any layout was skipped
+   (needed to distinguish "f(" from "f ("). *)
+let rec skip_layout t skipped =
+  match read_char t with
+  | None -> skipped
+  | Some c when is_layout c -> skip_layout t true
+  | Some '%' ->
+      let rec line () =
+        match read_char t with Some '\n' | None -> () | Some _ -> line ()
+      in
+      line ();
+      skip_layout t true
+  | Some '/' -> (
+      match read_char t with
+      | Some '*' ->
+          let rec block () =
+            match read_char t with
+            | None -> error t "unterminated block comment"
+            | Some '*' -> (
+                match read_char t with
+                | Some '/' -> ()
+                | Some c ->
+                    unread_char t c;
+                    block ()
+                | None -> error t "unterminated block comment")
+            | Some _ -> block ()
+          in
+          block ();
+          skip_layout t true
+      | Some c ->
+          unread_char t c;
+          unread_char t '/';
+          skipped
+      | None ->
+          unread_char t '/';
+          skipped)
+  | Some c ->
+      unread_char t c;
+      skipped
+
+let escape_char t quote =
+  match read_char t with
+  | None -> error t "unterminated escape"
+  | Some 'n' -> Some '\n'
+  | Some 't' -> Some '\t'
+  | Some 'r' -> Some '\r'
+  | Some 'a' -> Some '\007'
+  | Some 'b' -> Some '\b'
+  | Some 'f' -> Some '\012'
+  | Some 'v' -> Some '\011'
+  | Some '0' -> Some '\000'
+  | Some '\\' -> Some '\\'
+  | Some '\'' -> Some '\''
+  | Some '"' -> Some '"'
+  | Some '`' -> Some '`'
+  | Some '\n' -> None (* line continuation *)
+  | Some 'x' ->
+      let rec hex acc =
+        match read_char t with
+        | Some c when is_digit c -> hex ((acc * 16) + (Char.code c - Char.code '0'))
+        | Some c when c >= 'a' && c <= 'f' -> hex ((acc * 16) + (Char.code c - Char.code 'a' + 10))
+        | Some c when c >= 'A' && c <= 'F' -> hex ((acc * 16) + (Char.code c - Char.code 'A' + 10))
+        | Some '\\' -> acc
+        | Some c ->
+            unread_char t c;
+            acc
+        | None -> acc
+      in
+      Some (Char.chr (hex 0 land 0xff))
+  | Some c when c = quote -> Some c
+  | Some c -> error t (Printf.sprintf "bad escape \\%c" c)
+
+let quoted t quote =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match read_char t with
+    | None -> error t "unterminated quoted token"
+    | Some '\\' -> (
+        match escape_char t quote with
+        | Some c ->
+            Buffer.add_char buf c;
+            go ()
+        | None -> go ())
+    | Some c when c = quote -> (
+        (* doubled quote = literal quote *)
+        match read_char t with
+        | Some c' when c' = quote ->
+            Buffer.add_char buf quote;
+            go ()
+        | Some c' ->
+            unread_char t c';
+            Buffer.contents buf
+        | None -> Buffer.contents buf)
+    | Some c ->
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let radix_literal t prefix pred =
+  match peek_char t with
+  | Some c when pred c ->
+      let c = Option.get (read_char t) in
+      INT (int_of_string (prefix ^ take_while t c pred))
+  | _ -> error t (Printf.sprintf "missing digits after %s" prefix)
+
+let number t first =
+  let intpart = take_while t first is_digit in
+  let special =
+    if intpart <> "0" then None
+    else
+      match read_char t with
+      | Some '\'' -> (
+          (* 0'c character code *)
+          match read_char t with
+          | None -> error t "bad character code"
+          | Some '\\' -> (
+              match escape_char t '\'' with
+              | Some c -> Some (INT (Char.code c))
+              | None -> error t "bad character escape")
+          | Some c -> Some (INT (Char.code c)))
+      | Some 'x' ->
+          Some
+            (radix_literal t "0x" (fun c ->
+                 is_digit c
+                 || (Char.lowercase_ascii c >= 'a' && Char.lowercase_ascii c <= 'f')))
+      | Some 'o' -> Some (radix_literal t "0o" (fun c -> c >= '0' && c <= '7'))
+      | Some 'b' -> Some (radix_literal t "0b" (fun c -> c = '0' || c = '1'))
+      | Some c ->
+          unread_char t c;
+          None
+      | None -> None
+  in
+  match special with
+  | Some token -> token
+  | None ->
+    (* optional fraction and exponent *)
+    let fraction =
+      match read_char t with
+      | Some '.' -> (
+          match peek_char t with
+          | Some c when is_digit c ->
+              let c = Option.get (read_char t) in
+              Some (take_while t c is_digit)
+          | _ ->
+              unread_char t '.';
+              None)
+      | Some c ->
+          unread_char t c;
+          None
+      | None -> None
+    in
+    let exponent =
+      match peek_char t with
+      | Some ('e' | 'E') -> (
+          let e = Option.get (read_char t) in
+          match read_char t with
+          | Some (('+' | '-') as sign) -> (
+              match peek_char t with
+              | Some c when is_digit c ->
+                  let c = Option.get (read_char t) in
+                  Some (String.make 1 sign ^ take_while t c is_digit)
+              | _ ->
+                  unread_char t sign;
+                  unread_char t e;
+                  None)
+          | Some c when is_digit c -> Some (take_while t c is_digit)
+          | Some c ->
+              unread_char t c;
+              unread_char t e;
+              None
+          | None ->
+              unread_char t e;
+              None)
+      | _ -> None
+    in
+    match (fraction, exponent) with
+    | None, None -> INT (int_of_string intpart)
+    | _ ->
+        let s =
+          intpart
+          ^ (match fraction with Some f -> "." ^ f | None -> ".0")
+          ^ match exponent with Some e -> "e" ^ e | None -> ""
+        in
+        FLOAT (float_of_string s)
+
+let scan t =
+  let skipped = skip_layout t false in
+  match read_char t with
+  | None -> EOF
+  | Some '(' -> if t.last_was_functorish && not skipped then LPAREN_CT else LPAREN
+  | Some ')' -> RPAREN
+  | Some '[' -> LBRACKET
+  | Some ']' -> RBRACKET
+  | Some '{' -> LBRACE
+  | Some '}' -> RBRACE
+  | Some ',' -> COMMA
+  | Some '|' -> (
+      match peek_char t with
+      | Some '|' ->
+          ignore (read_char t);
+          ATOM "||"
+      | _ -> BAR)
+  | Some '!' -> ATOM "!"
+  | Some ';' -> ATOM ";"
+  | Some '\'' -> ATOM (quoted t '\'')
+  | Some '"' -> STRING (quoted t '"')
+  | Some c when is_digit c -> number t c
+  | Some c when is_lower c -> ATOM (take_while t c is_alnum)
+  | Some c when is_upper c -> VAR (take_while t c is_alnum)
+  | Some '.' -> (
+      (* END if followed by layout, EOF or a line comment *)
+      match peek_char t with
+      | None -> END
+      | Some c when is_layout c || c = '%' -> END
+      | Some _ -> ATOM (take_while t '.' is_symbolic))
+  | Some c when is_symbolic c -> ATOM (take_while t c is_symbolic)
+  | Some c -> error t (Printf.sprintf "unexpected character %C" c)
+
+let functorish = function
+  | ATOM _ | VAR _ | INT _ | FLOAT _ | RPAREN | RBRACKET | RBRACE -> true
+  | STRING _ | LPAREN | LPAREN_CT | LBRACKET | LBRACE | COMMA | BAR | END | EOF -> false
+
+let next t =
+  let token =
+    match t.lookahead with
+    | Some token ->
+        t.lookahead <- None;
+        token
+    | None -> scan t
+  in
+  t.last_was_functorish <- functorish token;
+  token
+
+let peek t =
+  match t.lookahead with
+  | Some token -> token
+  | None ->
+      (* [last_was_functorish] still reflects the previously returned
+         token, which is exactly the state [scan] needs *)
+      let token = scan t in
+      t.lookahead <- Some token;
+      token
+
+let pp_token ppf = function
+  | ATOM a -> Fmt.pf ppf "atom %s" a
+  | VAR v -> Fmt.pf ppf "variable %s" v
+  | INT i -> Fmt.pf ppf "integer %d" i
+  | FLOAT x -> Fmt.pf ppf "float %g" x
+  | STRING s -> Fmt.pf ppf "string %S" s
+  | LPAREN_CT | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | LBRACKET -> Fmt.string ppf "["
+  | RBRACKET -> Fmt.string ppf "]"
+  | LBRACE -> Fmt.string ppf "{"
+  | RBRACE -> Fmt.string ppf "}"
+  | COMMA -> Fmt.string ppf ","
+  | BAR -> Fmt.string ppf "|"
+  | END -> Fmt.string ppf "."
+  | EOF -> Fmt.string ppf "end of input"

@@ -1,0 +1,39 @@
+(** Tokenizer for XSB's Prolog/HiLog syntax. *)
+
+type token =
+  | ATOM of string
+  | VAR of string  (** including "_" *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string  (** double-quoted; converted to a code list by the parser *)
+  | LPAREN_CT  (** '(' immediately following a functor-capable token *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | BAR
+  | END  (** clause-terminating '.' *)
+  | EOF
+
+exception Error of string * int
+(** Lexical error with message and position. *)
+
+type t
+
+val of_string : ?pos:int -> string -> t
+val of_channel : in_channel -> t
+
+val next : t -> token
+(** Consume and return the next token. Returns [EOF] forever at end of
+    input. *)
+
+val peek : t -> token
+(** Look at the next token without consuming it. *)
+
+val pos : t -> int
+(** Byte offset of the lookahead point, for error messages. *)
+
+val pp_token : token Fmt.t

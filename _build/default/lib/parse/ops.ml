@@ -1,0 +1,106 @@
+type fixity = XFX | XFY | YFX | FY | FX | XF | YF
+
+type t = {
+  prefixes : (string, int * fixity) Hashtbl.t;
+  infixes : (string, int * fixity) Hashtbl.t;
+  postfixes : (string, int * fixity) Hashtbl.t;
+}
+
+let empty () =
+  { prefixes = Hashtbl.create 32; infixes = Hashtbl.create 32; postfixes = Hashtbl.create 8 }
+
+let class_table t = function
+  | FY | FX -> t.prefixes
+  | XFX | XFY | YFX -> t.infixes
+  | XF | YF -> t.postfixes
+
+let add t priority fixity name =
+  if priority < 0 || priority > 1200 then invalid_arg "Ops.add: priority out of range";
+  let table = class_table t fixity in
+  if priority = 0 then Hashtbl.remove table name else Hashtbl.replace table name (priority, fixity)
+
+let standard =
+  [
+    (1200, XFX, ":-");
+    (1200, XFX, "-->");
+    (1200, FX, ":-");
+    (1200, FX, "?-");
+    (1150, FX, "table");
+    (1150, FX, "dynamic");
+    (1150, FX, "hilog");
+    (1150, FX, "import");
+    (1150, FX, "export");
+    (1150, FX, "discontiguous");
+    (1100, XFY, ";");
+    (1050, XFY, "->");
+    (1000, XFY, ",");
+    (900, FY, "\\+");
+    (900, FY, "tnot");
+    (900, FY, "e_tnot");
+    (900, FY, "not");
+    (700, XFX, "=");
+    (700, XFX, "\\=");
+    (700, XFX, "==");
+    (700, XFX, "\\==");
+    (700, XFX, "@<");
+    (700, XFX, "@>");
+    (700, XFX, "@=<");
+    (700, XFX, "@>=");
+    (700, XFX, "=..");
+    (700, XFX, "is");
+    (700, XFX, "=:=");
+    (700, XFX, "=\\=");
+    (700, XFX, "<");
+    (700, XFX, ">");
+    (700, XFX, "=<");
+    (700, XFX, ">=");
+    (500, YFX, "+");
+    (500, YFX, "-");
+    (500, YFX, "/\\");
+    (500, YFX, "\\/");
+    (500, YFX, "xor");
+    (400, YFX, "*");
+    (400, YFX, "/");
+    (400, YFX, "//");
+    (400, YFX, "mod");
+    (400, YFX, "rem");
+    (400, YFX, "div");
+    (400, YFX, "<<");
+    (400, YFX, ">>");
+    (200, XFX, "**");
+    (200, XFY, "^");
+    (200, FY, "-");
+    (200, FY, "+");
+    (200, FY, "\\");
+  ]
+
+let create () =
+  let t = empty () in
+  List.iter (fun (p, f, name) -> add t p f name) standard;
+  t
+
+let prefix t name = Hashtbl.find_opt t.prefixes name
+let infix t name = Hashtbl.find_opt t.infixes name
+let postfix t name = Hashtbl.find_opt t.postfixes name
+
+let is_op t name =
+  Hashtbl.mem t.prefixes name || Hashtbl.mem t.infixes name || Hashtbl.mem t.postfixes name
+
+let fixity_of_string = function
+  | "xfx" -> Some XFX
+  | "xfy" -> Some XFY
+  | "yfx" -> Some YFX
+  | "fy" -> Some FY
+  | "fx" -> Some FX
+  | "xf" -> Some XF
+  | "yf" -> Some YF
+  | _ -> None
+
+let fixity_to_string = function
+  | XFX -> "xfx"
+  | XFY -> "xfy"
+  | YFX -> "yfx"
+  | FY -> "fy"
+  | FX -> "fx"
+  | XF -> "xf"
+  | YF -> "yf"

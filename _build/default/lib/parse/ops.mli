@@ -1,0 +1,25 @@
+(** Operator tables, as declared by [op/3]. XSB integrates Prolog operator
+    definitions with the HiLog syntax (paper §4.1). *)
+
+type fixity = XFX | XFY | YFX | FY | FX | XF | YF
+
+type t
+
+val create : unit -> t
+(** A table preloaded with the standard Prolog operators. *)
+
+val empty : unit -> t
+
+val add : t -> int -> fixity -> string -> unit
+(** [add t priority fixity name] declares an operator. Priority must be in
+    1..1200. A priority of 0 removes the operator in that class
+    (prefix vs infix/postfix). *)
+
+val prefix : t -> string -> (int * fixity) option
+val infix : t -> string -> (int * fixity) option
+val postfix : t -> string -> (int * fixity) option
+
+val is_op : t -> string -> bool
+
+val fixity_of_string : string -> fixity option
+val fixity_to_string : fixity -> string

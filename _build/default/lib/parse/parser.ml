@@ -1,0 +1,208 @@
+open Xsb_term
+
+exception Error of string * int
+
+type binding = string * Term.t
+
+type state = {
+  lexer : Lexer.t;
+  ops : Ops.t;
+  variables : (string, Term.t) Hashtbl.t;
+  mutable names : binding list;  (* named variables, reverse order *)
+}
+
+let error st msg = raise (Error (msg, Lexer.pos st.lexer))
+
+let variable st name =
+  if name = "_" then Term.fresh_var ()
+  else
+    match Hashtbl.find_opt st.variables name with
+    | Some v -> v
+    | None ->
+        let v = Term.fresh_var ~name () in
+        Hashtbl.add st.variables name v;
+        if name.[0] <> '_' then st.names <- (name, v) :: st.names;
+        v
+
+let string_to_codes s = Term.list_ (List.map (fun c -> Term.Int (Char.code c)) (List.of_seq (String.to_seq s)))
+
+(* Can the given lookahead token begin a term? Used to decide whether a
+   prefix operator is acting as an operator or as a plain atom. *)
+let starts_term = function
+  | Lexer.ATOM _ | Lexer.VAR _ | Lexer.INT _ | Lexer.FLOAT _ | Lexer.STRING _ | Lexer.LPAREN
+  | Lexer.LPAREN_CT | Lexer.LBRACKET | Lexer.LBRACE ->
+      true
+  | Lexer.RPAREN | Lexer.RBRACKET | Lexer.RBRACE | Lexer.COMMA | Lexer.BAR | Lexer.END
+  | Lexer.EOF ->
+      false
+
+(* Terms are parsed together with the priority of their principal
+   operator (0 for non-operator terms), as required to enforce argument
+   priorities of x (strictly smaller) vs y (smaller or equal). *)
+let rec parse st maxp =
+  let left = parse_primary st maxp in
+  infix_loop st maxp left
+
+and parse_primary st maxp =
+  match Lexer.next st.lexer with
+  | Lexer.INT i -> apply_chain st (Term.Int i, 0)
+  | Lexer.FLOAT x -> apply_chain st (Term.Float x, 0)
+  | Lexer.STRING s -> (string_to_codes s, 0)
+  | Lexer.VAR name -> apply_chain st (variable st name, 0)
+  | Lexer.LPAREN | Lexer.LPAREN_CT ->
+      let t, _ = parse st 1200 in
+      expect st Lexer.RPAREN ")";
+      apply_chain st (t, 0)
+  | Lexer.LBRACKET -> apply_chain st (parse_list st, 0)
+  | Lexer.LBRACE ->
+      if Lexer.peek st.lexer = Lexer.RBRACE then begin
+        ignore (Lexer.next st.lexer);
+        apply_chain st (Term.Atom "{}", 0)
+      end
+      else begin
+        let t, _ = parse st 1200 in
+        expect st Lexer.RBRACE "}";
+        apply_chain st (Term.Struct ("{}", [| t |]), 0)
+      end
+  | Lexer.ATOM a -> parse_atom st maxp a
+  | token -> error st (Fmt.str "unexpected %a" Lexer.pp_token token)
+
+and parse_atom st maxp a =
+  match Lexer.peek st.lexer with
+  | Lexer.LPAREN_CT ->
+      ignore (Lexer.next st.lexer);
+      let args = parse_arglist st in
+      apply_chain st (Term.struct_ a (Array.of_list args), 0)
+  | peeked -> (
+      match Ops.prefix st.ops a with
+      | Some (p, fixity) when p <= maxp && starts_term peeked -> (
+          (* negative numeric literals *)
+          match (a, peeked) with
+          | "-", Lexer.INT i ->
+              ignore (Lexer.next st.lexer);
+              apply_chain st (Term.Int (-i), 0)
+          | "-", Lexer.FLOAT x ->
+              ignore (Lexer.next st.lexer);
+              apply_chain st (Term.Float (-.x), 0)
+          | _ -> (
+              (* an operator atom directly followed by an infix operator is
+                 a plain atom, as in [X = -] or [assert(- = 1)] *)
+              match peeked with
+              | Lexer.ATOM b when Ops.infix st.ops b <> None && Ops.prefix st.ops b = None ->
+                  (Term.Atom a, 0)
+              | _ ->
+                  let argmax = match fixity with Ops.FY -> p | _ -> p - 1 in
+                  let arg, _ = parse st argmax in
+                  (Term.Struct (a, [| arg |]), p)))
+      | _ -> (Term.Atom a, 0))
+
+(* HiLog application chains: any term directly followed by '(' applies the
+   term to the arguments via the first-order [apply] encoding. *)
+and apply_chain st (t, p) =
+  match Lexer.peek st.lexer with
+  | Lexer.LPAREN_CT ->
+      ignore (Lexer.next st.lexer);
+      let args = parse_arglist st in
+      apply_chain st (Term.struct_ "apply" (Array.of_list (t :: args)), 0)
+  | _ -> (t, p)
+
+and parse_arglist st =
+  let rec go acc =
+    let arg, _ = parse st 999 in
+    match Lexer.next st.lexer with
+    | Lexer.COMMA -> go (arg :: acc)
+    | Lexer.RPAREN -> List.rev (arg :: acc)
+    | token -> error st (Fmt.str "expected , or ) in argument list, got %a" Lexer.pp_token token)
+  in
+  go []
+
+and parse_list st =
+  if Lexer.peek st.lexer = Lexer.RBRACKET then begin
+    ignore (Lexer.next st.lexer);
+    Term.nil
+  end
+  else
+    let rec go acc =
+      let element, _ = parse st 999 in
+      match Lexer.next st.lexer with
+      | Lexer.COMMA -> go (element :: acc)
+      | Lexer.RBRACKET -> List.fold_left (fun tl h -> Term.cons h tl) Term.nil (element :: acc)
+      | Lexer.BAR ->
+          let tail, _ = parse st 999 in
+          expect st Lexer.RBRACKET "]";
+          List.fold_left (fun tl h -> Term.cons h tl) tail (element :: acc)
+      | token -> error st (Fmt.str "expected , | or ] in list, got %a" Lexer.pp_token token)
+    in
+    go []
+
+and infix_loop st maxp (left, leftp) =
+  match Lexer.peek st.lexer with
+  | Lexer.COMMA when maxp >= 1000 ->
+      ignore (Lexer.next st.lexer);
+      let right, _ = parse st 1000 in
+      infix_loop st maxp (Term.Struct (",", [| left; right |]), 1000)
+  | Lexer.BAR when maxp >= 1100 ->
+      ignore (Lexer.next st.lexer);
+      let right, _ = parse st 1100 in
+      infix_loop st maxp (Term.Struct (";", [| left; right |]), 1100)
+  | Lexer.ATOM a -> (
+      match Ops.infix st.ops a with
+      | Some (p, fixity) when p <= maxp ->
+          let larg_max = match fixity with Ops.YFX -> p | _ -> p - 1 in
+          let rarg_max = match fixity with Ops.XFY -> p | _ -> p - 1 in
+          if leftp <= larg_max then begin
+            ignore (Lexer.next st.lexer);
+            let right, _ = parse st rarg_max in
+            infix_loop st maxp (Term.Struct (a, [| left; right |]), p)
+          end
+          else postfix_try st maxp (left, leftp) a
+      | _ -> postfix_try st maxp (left, leftp) a)
+  | _ -> (left, leftp)
+
+and postfix_try st maxp (left, leftp) a =
+  match Ops.postfix st.ops a with
+  | Some (p, fixity) when p <= maxp ->
+      let larg_max = match fixity with Ops.YF -> p | _ -> p - 1 in
+      if leftp <= larg_max then begin
+        ignore (Lexer.next st.lexer);
+        infix_loop st maxp (Term.Struct (a, [| left |]), p)
+      end
+      else (left, leftp)
+  | _ -> (left, leftp)
+
+and expect st token what =
+  let got = Lexer.next st.lexer in
+  if got <> token then error st (Fmt.str "expected %s, got %a" what Lexer.pp_token got)
+
+let fresh_state ?(ops = Ops.create ()) lexer =
+  { lexer; ops; variables = Hashtbl.create 8; names = [] }
+
+let read_term ?ops lexer =
+  let st = fresh_state ?ops lexer in
+  match Lexer.peek lexer with
+  | Lexer.EOF -> None
+  | _ ->
+      let t, _ = parse st 1200 in
+      expect st Lexer.END "end of clause '.'";
+      Some (t, List.rev st.names)
+
+let term_of_string_with_vars ?ops s =
+  let lexer = Lexer.of_string s in
+  let st = fresh_state ?ops lexer in
+  let t, _ = parse st 1200 in
+  (match Lexer.peek lexer with
+  | Lexer.EOF -> ()
+  | Lexer.END -> ignore (Lexer.next lexer)
+  | token -> error st (Fmt.str "trailing input: %a" Lexer.pp_token token));
+  (t, List.rev st.names)
+
+let term_of_string ?ops s = fst (term_of_string_with_vars ?ops s)
+
+let program_of_string ?ops s =
+  let lexer = Lexer.of_string s in
+  let rec go acc =
+    match read_term ?ops lexer with
+    | None -> List.rev acc
+    | Some (t, _) -> go (t :: acc)
+  in
+  go []

@@ -1,0 +1,29 @@
+(** Operator-precedence parser for Prolog syntax extended with HiLog
+    application chains (paper §4.1).
+
+    A HiLog application with a non-atomic functor, such as [X(a,Y)] or
+    [p(g(a))(f(X))], is parsed directly into its first-order encoding
+    [apply(X,a,Y)] / [apply(p(g(a)),f(X))]. Applications with an atomic
+    functor are left as ordinary structures; the per-module [hilog]
+    declarations are applied later by {!Xsb_hilog.Encode}. *)
+
+open Xsb_term
+
+exception Error of string * int
+(** Syntax error with message and byte position. *)
+
+type binding = string * Term.t
+(** Name/variable pairs for the named variables of a read. *)
+
+val read_term : ?ops:Ops.t -> Lexer.t -> (Term.t * binding list) option
+(** Read the next clause-terminated term ([Term .]). [None] at end of
+    input. Fresh variables are allocated per term; variables with the
+    same name within one term are shared. *)
+
+val term_of_string : ?ops:Ops.t -> string -> Term.t
+(** Parse exactly one term (the terminating [.] is optional). *)
+
+val term_of_string_with_vars : ?ops:Ops.t -> string -> Term.t * binding list
+
+val program_of_string : ?ops:Ops.t -> string -> Term.t list
+(** All clause terms of a source text. *)

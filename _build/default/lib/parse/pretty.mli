@@ -1,0 +1,12 @@
+(** Operator-aware term printing, the inverse of {!Parser} for display
+    purposes (REPL answers, clause listings). *)
+
+open Xsb_term
+
+val pp : ?ops:Ops.t -> ?hilog:bool -> ?max_depth:int -> unit -> Term.t Fmt.t
+(** [pp ~ops ~hilog () ppf t] prints [t] using the operator table. When
+    [hilog] is true (the default), [apply(F,A1,..,An)] structures are
+    decoded back to HiLog application syntax [F(A1,..,An)]. [max_depth]
+    truncates deep terms with [...] (0 = unlimited, the default). *)
+
+val to_string : ?ops:Ops.t -> ?hilog:bool -> Term.t -> string

@@ -1,0 +1,1 @@
+lib/rel/join.ml: Hashtbl List Naive_interp Page_store Plan Term Xsb_bottomup Xsb_db Xsb_parse Xsb_slg Xsb_term Xsb_wam

@@ -1,0 +1,1 @@
+lib/rel/naive_interp.ml: Array Hashtbl List String Term Xsb_index Xsb_term

@@ -1,0 +1,1 @@
+lib/rel/naive_interp.mli: Term Xsb_term

@@ -1,0 +1,1 @@
+lib/rel/page_store.mli:

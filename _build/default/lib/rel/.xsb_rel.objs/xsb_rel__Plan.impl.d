@@ -1,0 +1,1 @@
+lib/rel/plan.ml: Array Page_store

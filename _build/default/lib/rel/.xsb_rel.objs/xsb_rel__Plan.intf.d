@@ -1,0 +1,1 @@
+lib/rel/plan.mli: Page_store

@@ -1,0 +1,116 @@
+open Xsb_term
+
+(* r(i, i mod m) for i in 0..n-1; s(j, j+1) for j in 0..n-1. Join on
+   r.2 = s.1: every r tuple matches exactly one s tuple, and the s index
+   on column 1 is probed n times with n/4 distinct keys resolving to one
+   tuple each plus repeated keys. *)
+let relations ~n =
+  let m = max 1 (n / 4) in
+  let r = List.init n (fun i -> (i, i mod m)) in
+  let s = List.init n (fun j -> (j, j + 1)) in
+  (r, s)
+
+let native_join ~n =
+  let r, s = relations ~n in
+  let index = Hashtbl.create (2 * n) in
+  List.iter (fun (b, c) -> Hashtbl.add index b (b, c)) s;
+  let count = ref 0 in
+  List.iter (fun (_, b) -> List.iter (fun _ -> incr count) (Hashtbl.find_all index b)) r;
+  !count
+
+let fact2 name (a, b) = Term.Struct (name, [| Term.Int a; Term.Int b |])
+
+let clause_terms ~n =
+  let r, s = relations ~n in
+  List.map (fact2 "r") r @ List.map (fact2 "s") s
+
+let join_goal () = Xsb_parse.Parser.term_of_string "r(A,B), s(B,C)"
+
+let wam_join ~n =
+  let db = Xsb_db.Database.create () in
+  List.iter (fun c -> ignore (Xsb_db.Database.add_clause db c)) (clause_terms ~n);
+  let program = Xsb_wam.Emulator.of_database db in
+  let m = Xsb_wam.Emulator.create program in
+  Xsb_wam.Emulator.count_solutions m (join_goal ())
+
+let slg_join ~n =
+  let db = Xsb_db.Database.create () in
+  List.iter (fun c -> ignore (Xsb_db.Database.add_clause db c)) (clause_terms ~n);
+  let engine = Xsb_slg.Engine.create db in
+  List.length (Xsb_slg.Engine.query engine (join_goal ()))
+
+let interp_join ~n =
+  let interp = Naive_interp.create (clause_terms ~n) in
+  Naive_interp.count interp (join_goal ())
+
+let bottomup_join ~n =
+  let q_rule = Xsb_parse.Parser.term_of_string "q(A,C) :- r(A,B), s(B,C)" in
+  let program = Xsb_bottomup.Program.of_clauses (q_rule :: clause_terms ~n) in
+  let st = Xsb_bottomup.Eval.run program in
+  (* the join cardinality, not the distinct-q cardinality: count
+     derivations by re-joining over the materialized relations would be
+     unfair; report the materialized size (duplicates eliminated by the
+     set-at-a-time engine, as a real bottom-up system would) *)
+  Xsb_bottomup.Eval.relation_size st ("q", 2)
+
+let paged_join ~n =
+  let r, s = relations ~n in
+  let store = Page_store.create () in
+  let rt = Page_store.create_table store "r" in
+  let st = Page_store.create_table store "s" in
+  List.iter (fun (a, b) -> Page_store.insert store rt [| a; b |]) r;
+  List.iter (fun (b, c) -> Page_store.insert store st [| b; c |]) s;
+  Page_store.create_index store st 0;
+  let plan =
+    Plan.Nested_loop (Plan.Seq_scan (rt, None), Plan.Index_probe (st, 0, Plan.Col (0, 1)))
+  in
+  Plan.count store plan
+
+(* setup/measure separation for the Table-3 harness *)
+
+let prepare_native ~n =
+  let r, s = relations ~n in
+  let index = Hashtbl.create (2 * n) in
+  List.iter (fun (b, c) -> Hashtbl.add index b (b, c)) s;
+  fun () ->
+    let count = ref 0 in
+    List.iter (fun (_, b) -> List.iter (fun _ -> incr count) (Hashtbl.find_all index b)) r;
+    !count
+
+let prepare_wam ~n =
+  let db = Xsb_db.Database.create () in
+  List.iter (fun c -> ignore (Xsb_db.Database.add_clause db c)) (clause_terms ~n);
+  let program = Xsb_wam.Emulator.of_database db in
+  let m = Xsb_wam.Emulator.create program in
+  fun () -> Xsb_wam.Emulator.count_solutions m (join_goal ())
+
+let prepare_slg ~n =
+  let db = Xsb_db.Database.create () in
+  List.iter (fun c -> ignore (Xsb_db.Database.add_clause db c)) (clause_terms ~n);
+  let engine = Xsb_slg.Engine.create db in
+  fun () -> List.length (Xsb_slg.Engine.query engine (join_goal ()))
+
+let prepare_interp ~n =
+  let interp = Naive_interp.create (clause_terms ~n) in
+  fun () -> Naive_interp.count interp (join_goal ())
+
+let prepare_bottomup ~n =
+  let q_rule = Xsb_parse.Parser.term_of_string "q(A,C) :- r(A,B), s(B,C)" in
+  let program = Xsb_bottomup.Program.of_clauses (q_rule :: clause_terms ~n) in
+  fun () ->
+    let st = Xsb_bottomup.Eval.run program in
+    Xsb_bottomup.Eval.relation_size st ("q", 2)
+
+let prepare_paged ~n =
+  let r, s = relations ~n in
+  let store = Page_store.create () in
+  let rt = Page_store.create_table store "r" in
+  let st = Page_store.create_table store "s" in
+  List.iter (fun (a, b) -> Page_store.insert store rt [| a; b |]) r;
+  List.iter (fun (b, c) -> Page_store.insert store st [| b; c |]) s;
+  Page_store.create_index store st 0;
+  (* the access plan a classical RDBMS would pick: scan r, index-probe s
+     on its first column, interpreted tuple-at-a-time by the Volcano
+     executor *)
+  let plan = Plan.Nested_loop (Plan.Seq_scan (rt, None), Plan.Index_probe (st, 0, Plan.Col (0, 1))) in
+  fun () -> Plan.count store plan

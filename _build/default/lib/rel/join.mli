@@ -1,0 +1,42 @@
+(** The Table-3 experiment: the same indexed join of two in-memory
+    relations executed by five engines representing the five systems of
+    the paper's comparison (see DESIGN.md §3 for the substitution
+    argument):
+
+    - {!native_join} — "Quintus": compiled to native code (OCaml
+      closures play the role of hand-written assembler);
+    - {!wam_join} — "XSB": compiled to WAM byte-code, emulated;
+    - {!interp_join} — "LDL": tuple-at-a-time interpretive resolution;
+    - {!bottomup_join} — "CORAL": set-at-a-time semi-naive
+      materialization;
+    - {!paged_join} — "Sybase": page-buffered storage with latches,
+      locks and log stamps.
+
+    Every engine evaluates q(A,C) :- r(A,B), s(B,C) over relations of
+    [n] tuples with an index on s's first column, and returns the join
+    cardinality (identical across engines, asserted by the tests). *)
+
+val relations : n:int -> (int * int) list * (int * int) list
+(** [r] and [s]: r = (i, i mod m), s = (j, j+1) with m = n/4, giving a
+    join of size ~4n that exercises the index. *)
+
+val native_join : n:int -> int
+
+(** [prepare_*] variants separate the build/compile/load phase from the
+    join proper; the returned thunk performs only the join, which is
+    what Table 3 times. *)
+
+val prepare_native : n:int -> (unit -> int)
+val prepare_wam : n:int -> (unit -> int)
+val prepare_slg : n:int -> (unit -> int)
+val prepare_interp : n:int -> (unit -> int)
+val prepare_bottomup : n:int -> (unit -> int)
+val prepare_paged : n:int -> (unit -> int)
+val wam_join : n:int -> int
+val slg_join : n:int -> int
+(** The SLG engine running the same SLD query (not in Table 3; included
+    to situate the interpreter between WAM and LDL-sim). *)
+
+val interp_join : n:int -> int
+val bottomup_join : n:int -> int
+val paged_join : n:int -> int

@@ -1,0 +1,149 @@
+open Xsb_term
+
+(* Substitutions are immutable association lists from variable ids to
+   terms, looked up on every dereference: the hallmark of an
+   interpretive engine. *)
+type subst = (int * Term.t) list
+
+let empty_subst : subst = []
+
+let rec walk subst t =
+  match t with
+  | Term.Var v -> (
+      match v.Term.binding with
+      | Some t' -> walk subst t'
+      | None -> (
+          match List.assq_opt v.Term.vid subst with
+          | Some t' -> walk subst t'
+          | None -> t))
+  | t -> t
+
+let rec unify subst a b =
+  let a = walk subst a and b = walk subst b in
+  match (a, b) with
+  | Term.Var v, Term.Var w when v == w -> Some subst
+  | Term.Var v, t | t, Term.Var v -> Some ((v.Term.vid, t) :: subst)
+  | Term.Atom x, Term.Atom y -> if String.equal x y then Some subst else None
+  | Term.Int x, Term.Int y -> if x = y then Some subst else None
+  | Term.Float x, Term.Float y -> if x = y then Some subst else None
+  | Term.Struct (f, xs), Term.Struct (g, ys) ->
+      if String.equal f g && Array.length xs = Array.length ys then begin
+        let rec go subst i =
+          if i >= Array.length xs then Some subst
+          else match unify subst xs.(i) ys.(i) with Some s -> go s (i + 1) | None -> None
+        in
+        go subst 0
+      end
+      else None
+  | _ -> None
+
+let rec apply subst t =
+  match walk subst t with
+  | Term.Struct (f, args) -> Term.Struct (f, Array.map (apply subst) args)
+  | t -> t
+
+type clause = { head : Term.t; body : Term.t list }
+
+type t = {
+  clauses : (string * int, clause list) Hashtbl.t;
+  index1 : (string * int, (Xsb_index.Symbol.t, clause list ref) Hashtbl.t) Hashtbl.t;
+}
+
+let key_of t =
+  match Term.deref t with
+  | Term.Atom name -> (name, 0)
+  | Term.Struct (name, args) -> (name, Array.length args)
+  | _ -> invalid_arg "Naive_interp: bad atom"
+
+let rec body_of t =
+  match Term.deref t with
+  | Term.Atom "true" -> []
+  | Term.Struct (",", [| l; r |]) -> body_of l @ body_of r
+  | g -> [ g ]
+
+let create clause_terms =
+  let t = { clauses = Hashtbl.create 32; index1 = Hashtbl.create 32 } in
+  List.iter
+    (fun c ->
+      let head, body =
+        match Term.deref c with
+        | Term.Struct (":-", [| h; b |]) -> (h, body_of b)
+        | fact -> (fact, [])
+      in
+      let key = key_of head in
+      let clause = { head; body } in
+      Hashtbl.replace t.clauses key
+        (match Hashtbl.find_opt t.clauses key with
+        | Some l -> l @ [ clause ]
+        | None -> [ clause ]);
+      (* first-argument index for facts *)
+      if body = [] then begin
+        let index =
+          match Hashtbl.find_opt t.index1 key with
+          | Some i -> i
+          | None ->
+              let i = Hashtbl.create 64 in
+              Hashtbl.add t.index1 key i;
+              i
+        in
+        match Term.deref head with
+        | Term.Struct (_, args) when Array.length args > 0 -> (
+            match Xsb_index.Symbol.of_term args.(0) with
+            | Some sym -> (
+                match Hashtbl.find_opt index sym with
+                | Some cell -> cell := !cell @ [ clause ]
+                | None -> Hashtbl.add index sym (ref [ clause ]))
+            | None -> ())
+        | _ -> ()
+      end)
+    clause_terms;
+  t
+
+let candidates t subst goal =
+  let key = key_of goal in
+  let first_arg =
+    match walk subst goal with
+    | Term.Struct (_, args) when Array.length args > 0 ->
+        Xsb_index.Symbol.of_term (apply subst args.(0))
+    | _ -> None
+  in
+  match (first_arg, Hashtbl.find_opt t.index1 key) with
+  | Some sym, Some index -> (
+      (* indexed access works only when every clause of the predicate is
+         a fact (else fall through to the full list) *)
+      match Hashtbl.find_opt t.clauses key with
+      | Some all when List.for_all (fun c -> c.body = []) all -> (
+          match Hashtbl.find_opt index sym with Some cell -> !cell | None -> [])
+      | Some all -> all
+      | None -> [])
+  | _ -> ( match Hashtbl.find_opt t.clauses key with Some all -> all | None -> [])
+
+let rec solve t subst goals emit =
+  match goals with
+  | [] -> emit subst
+  | goal :: rest ->
+      List.iter
+        (fun clause ->
+          (* interpretive renaming: copy the clause term *)
+          let renamed =
+            Term.copy (Term.Struct ("$c", Array.of_list (clause.head :: clause.body)))
+          in
+          match renamed with
+          | Term.Struct ("$c", parts) -> (
+              let head = parts.(0) in
+              let body = Array.to_list (Array.sub parts 1 (Array.length parts - 1)) in
+              match unify subst (apply subst goal) head with
+              | Some subst' -> solve t subst' (body @ rest) emit
+              | None -> ())
+          | _ -> assert false)
+        (candidates t subst goal)
+
+let count t goal =
+  let n = ref 0 in
+  solve t empty_subst (body_of goal) (fun _ -> incr n);
+  !n
+
+let solutions t goal =
+  let acc = ref [] in
+  solve t empty_subst (body_of goal) (fun subst -> acc := apply subst goal :: !acc);
+  List.rev !acc

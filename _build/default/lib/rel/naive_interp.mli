@@ -1,0 +1,23 @@
+(** A deliberately interpretive tuple-at-a-time resolution engine — the
+    "LDL-sim" comparator of Table 3.
+
+    The paper explains LDL's position between XSB and CORAL by its more
+    interpretive execution: it pipelines tuple-at-a-time like XSB but
+    does not compile rules to a low-level abstract machine. This engine
+    resolves against the clause AST directly, with association-list
+    substitutions instead of destructive binding and no clause
+    compilation; only first-argument indexing of facts is kept (an
+    indexed join is what Table 3 measures). *)
+
+open Xsb_term
+
+type t
+
+val create : Term.t list -> t
+(** From clause terms. *)
+
+val count : t -> Term.t -> int
+(** Number of solutions of a conjunctive goal. *)
+
+val solutions : t -> Term.t -> Term.t list
+(** Goal instances. *)

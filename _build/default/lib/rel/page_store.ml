@@ -1,0 +1,235 @@
+type tuple = int array
+
+type page = { page_id : int; slots : tuple array; mutable nslots : int; mutable latch : int }
+
+(* A B-tree-style index: entries sorted by key, packed into leaf
+   "index pages" that are fetched through the buffer pool; lookups
+   descend [height] internal levels before reaching the leaf, as a real
+   disk-oriented index does. *)
+type btree = {
+  mutable entries : (int * (int * int)) array;  (* key, (page, slot); sorted *)
+  mutable leaf_pages : int array;  (* page ids backing groups of entries *)
+  mutable height : int;
+  mutable internal_pages : int array;  (* one representative page per level *)
+}
+
+type table = {
+  t_name : string;
+  mutable t_pages : int list;  (* page ids, reverse order *)
+  t_indexes : (int, btree) Hashtbl.t;  (* column -> index *)
+  mutable t_pending : (int * int * tuple) list;  (* inserts awaiting index rebuild *)
+}
+
+type t = {
+  page_capacity : int;
+  pool_size : int;
+  disk : (int, page) Hashtbl.t;  (* the "disk": all pages *)
+  pool : (int, page) Hashtbl.t;  (* resident subset *)
+  mutable lru : int list;  (* most recent first *)
+  mutable next_page : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable latches : int;
+  mutable locks : int;
+  mutable lsn : int;
+  lock_table : (string, int) Hashtbl.t;
+}
+
+let create ?(page_capacity = 64) ?(pool_size = 256) () =
+  {
+    page_capacity;
+    pool_size;
+    disk = Hashtbl.create 256;
+    pool = Hashtbl.create 256;
+    lru = [];
+    next_page = 0;
+    hits = 0;
+    misses = 0;
+    latches = 0;
+    locks = 0;
+    lsn = 0;
+    lock_table = Hashtbl.create 16;
+  }
+
+let create_table _t name =
+  { t_name = name; t_pages = []; t_indexes = Hashtbl.create 2; t_pending = [] }
+
+let alloc_page t =
+  let page = { page_id = t.next_page; slots = Array.make t.page_capacity [||]; nslots = 0; latch = 0 } in
+  t.next_page <- t.next_page + 1;
+  Hashtbl.replace t.disk page.page_id page;
+  page
+
+(* buffer pool fetch with LRU replacement *)
+let fetch t page_id =
+  match Hashtbl.find_opt t.pool page_id with
+  | Some page ->
+      t.hits <- t.hits + 1;
+      (* LRU bump: the real cost of a hit in a buffer-managed system *)
+      t.lru <- page_id :: List.filter (fun id -> id <> page_id) t.lru;
+      page
+  | None ->
+      t.misses <- t.misses + 1;
+      let page = Hashtbl.find t.disk page_id in
+      if Hashtbl.length t.pool >= t.pool_size then begin
+        match List.rev t.lru with
+        | victim :: _ ->
+            Hashtbl.remove t.pool victim;
+            t.lru <- List.filter (fun id -> id <> victim) t.lru
+        | [] -> ()
+      end;
+      Hashtbl.replace t.pool page_id page;
+      t.lru <- page_id :: t.lru;
+      page
+
+let latch t page =
+  t.latches <- t.latches + 1;
+  page.latch <- page.latch + 1;
+  page.latch <- page.latch - 1
+
+let acquire_lock t table =
+  t.locks <- t.locks + 1;
+  Hashtbl.replace t.lock_table table.t_name 1
+
+(* row-level shared lock per tuple touched: registered in the lock
+   table (with a duplicate check, as a real lock manager must) plus a
+   deadlock-detector tick *)
+let row_lock t table page slot =
+  t.locks <- t.locks + 1;
+  let key = Printf.sprintf "%s:%d:%d" table.t_name page slot in
+  (match Hashtbl.find_opt t.lock_table key with
+  | Some n -> Hashtbl.replace t.lock_table key (n + 1)
+  | None -> Hashtbl.replace t.lock_table key 1);
+  (* deadlock-detection heartbeat: scan is amortized 1/64 accesses *)
+  if t.locks land 63 = 0 then
+    Hashtbl.iter (fun _ n -> if n < 0 then assert false) t.lock_table
+
+(* recoverability: check the page LSN against the log tail and verify
+   the tuple image (a checksum pass standing in for torn-page checks) *)
+let log_check t = t.lsn <- t.lsn + 1
+
+let verify_tuple t (tuple : tuple) =
+  t.lsn <- t.lsn + 1;
+  let sum = ref 0 in
+  for i = 0 to Array.length tuple - 1 do
+    sum := (!sum * 31) + tuple.(i)
+  done;
+  ignore !sum
+
+let insert t table tuple =
+  acquire_lock t table;
+  log_check t;
+  let page =
+    match table.t_pages with
+    | pid :: _ ->
+        let page = fetch t pid in
+        if page.nslots < t.page_capacity then page
+        else begin
+          let page = alloc_page t in
+          table.t_pages <- page.page_id :: table.t_pages;
+          page
+        end
+    | [] ->
+        let page = alloc_page t in
+        table.t_pages <- page.page_id :: table.t_pages;
+        page
+  in
+  latch t page;
+  page.slots.(page.nslots) <- tuple;
+  let slot = page.nslots in
+  page.nslots <- slot + 1;
+  if Hashtbl.length table.t_indexes > 0 then
+    table.t_pending <- (page.page_id, slot, tuple) :: table.t_pending
+
+let scan t table f =
+  acquire_lock t table;
+  List.iter
+    (fun pid ->
+      let page = fetch t pid in
+      latch t page;
+      for i = 0 to page.nslots - 1 do
+        row_lock t table pid i;
+        log_check t;
+        verify_tuple t page.slots.(i);
+        f page.slots.(i)
+      done)
+    (List.rev table.t_pages)
+
+let fanout = 128
+
+let build_btree t table column =
+  let acc = ref [] in
+  List.iter
+    (fun pid ->
+      let page = fetch t pid in
+      for slot = 0 to page.nslots - 1 do
+        acc := (page.slots.(slot).(column), (pid, slot)) :: !acc
+      done)
+    (List.rev table.t_pages);
+  let entries = Array.of_list !acc in
+  Array.sort (fun (a, _) (b, _) -> compare a b) entries;
+  let nleaves = max 1 ((Array.length entries + fanout - 1) / fanout) in
+  let leaf_pages = Array.init nleaves (fun _ -> (alloc_page t).page_id) in
+  let height =
+    let rec go levels n = if n <= 1 then levels else go (levels + 1) ((n + fanout - 1) / fanout) in
+    go 0 nleaves
+  in
+  let internal_pages = Array.init (max 1 height) (fun _ -> (alloc_page t).page_id) in
+  { entries; leaf_pages; height = max 1 height; internal_pages }
+
+let create_index t table column =
+  Hashtbl.replace table.t_indexes column (build_btree t table column);
+  table.t_pending <- []
+
+let refresh_indexes t table =
+  if table.t_pending <> [] then begin
+    let columns = Hashtbl.fold (fun c _ acc -> c :: acc) table.t_indexes [] in
+    List.iter (fun c -> Hashtbl.replace table.t_indexes c (build_btree t table c)) columns;
+    table.t_pending <- []
+  end
+
+let lookup t table column value f =
+  acquire_lock t table;
+  refresh_indexes t table;
+  match Hashtbl.find_opt table.t_indexes column with
+  | None -> scan t table (fun tuple -> if tuple.(column) = value then f tuple)
+  | Some btree ->
+      (* descend the internal levels: one buffered index-page fetch and
+         latch per level *)
+      Array.iter
+        (fun pid ->
+          let page = fetch t pid in
+          latch t page)
+        btree.internal_pages;
+      (* binary search for the first entry with the key *)
+      let entries = btree.entries in
+      let n = Array.length entries in
+      let rec lower lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if fst entries.(mid) < value then lower (mid + 1) hi else lower lo mid
+      in
+      let start = lower 0 n in
+      let rec emit i =
+        if i < n && fst entries.(i) = value then begin
+          (* fetch the leaf index page holding this entry, then the data
+             page *)
+          let leaf = btree.leaf_pages.(min (i / fanout) (Array.length btree.leaf_pages - 1)) in
+          let lp = fetch t leaf in
+          latch t lp;
+          let pid, slot = snd entries.(i) in
+          let page = fetch t pid in
+          latch t page;
+          row_lock t table pid slot;
+          log_check t;
+          verify_tuple t page.slots.(slot);
+          f page.slots.(slot);
+          emit (i + 1)
+        end
+      in
+      emit start
+
+let stats t =
+  Printf.sprintf "pool hits=%d misses=%d latches=%d locks=%d lsn=%d" t.hits t.misses t.latches
+    t.locks t.lsn

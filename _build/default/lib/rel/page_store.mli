@@ -1,0 +1,37 @@
+(** A miniature page-oriented storage engine with a buffer pool, latches
+    and a lock manager — the "Sybase-sim" comparator of Table 3.
+
+    The paper attributes Sybase's position in the join comparison to its
+    fundamentally different paradigm: page-buffered storage plus
+    provisions for concurrency and recoverability, none of which the
+    memory-resident systems pay for. This engine reproduces that cost
+    profile: every tuple access goes through a buffer-pool lookup with an
+    LRU bump, takes a shared page latch, acquires a (table-level, shared)
+    lock once per statement, and stamps a log sequence number check. The
+    data itself is in RAM, as in the paper ("in the Sybase system
+    buffer"). *)
+
+type tuple = int array
+
+type t
+
+val create : ?page_capacity:int -> ?pool_size:int -> unit -> t
+
+type table
+
+val create_table : t -> string -> table
+
+val insert : t -> table -> tuple -> unit
+
+val scan : t -> table -> (tuple -> unit) -> unit
+(** Full scan through the buffer pool. *)
+
+val create_index : t -> table -> int -> unit
+(** Hash index on the given column. *)
+
+val lookup : t -> table -> int -> int -> (tuple -> unit) -> unit
+(** [lookup t table column value f]: index probe; every matching tuple
+    is fetched through the buffer pool. *)
+
+val stats : t -> string
+(** Buffer-pool hits/misses, latches and locks taken. *)

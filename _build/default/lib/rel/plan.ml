@@ -1,0 +1,65 @@
+type datum = Int of int | Null
+
+type expr =
+  | Col of int * int
+  | Const of datum
+  | Eq of expr * expr
+  | And of expr * expr
+
+type plan =
+  | Seq_scan of Page_store.table * expr option
+  | Index_probe of Page_store.table * int * expr
+  | Nested_loop of plan * plan
+
+(* boxed, interpreted expression evaluation over the bindings of the
+   enclosing operators *)
+let rec eval_expr (env : datum array array) = function
+  | Col (input, column) -> (
+      match env.(input).(column) with Int _ as d -> d | Null -> Null)
+  | Const d -> d
+  | Eq (a, b) -> (
+      match (eval_expr env a, eval_expr env b) with
+      | Int x, Int y -> if x = y then Int 1 else Int 0
+      | _ -> Null)
+  | And (a, b) -> (
+      match (eval_expr env a, eval_expr env b) with
+      | Int 1, Int 1 -> Int 1
+      | Null, _ | _, Null -> Null
+      | _ -> Int 0)
+
+let box (tuple : Page_store.tuple) = Array.map (fun v -> Int v) tuple
+
+let execute store plan emit =
+  (* env.(i) holds the current tuple of the i-th plan input, outermost
+     first; expressions address them positionally *)
+  let rec run plan (env : datum array array) depth emit =
+    match plan with
+    | Seq_scan (table, filter) ->
+        Page_store.scan store table (fun tuple ->
+            let boxed = box tuple in
+            env.(depth) <- boxed;
+            let keep =
+              match filter with
+              | None -> true
+              | Some e -> eval_expr env e = Int 1
+            in
+            if keep then emit boxed)
+    | Index_probe (table, column, key_expr) -> (
+        match eval_expr env key_expr with
+        | Int key ->
+            Page_store.lookup store table column key (fun tuple ->
+                let boxed = box tuple in
+                env.(depth) <- boxed;
+                emit boxed)
+        | Null -> ())
+    | Nested_loop (outer, inner) ->
+        run outer env depth (fun outer_tuple ->
+            run inner env (depth + 1) (fun inner_tuple ->
+                emit (Array.append outer_tuple inner_tuple)))
+  in
+  run plan (Array.make 8 [||]) 0 emit
+
+let count store plan =
+  let n = ref 0 in
+  execute store plan (fun _ -> incr n);
+  !n

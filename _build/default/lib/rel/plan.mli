@@ -1,0 +1,23 @@
+(** A miniature Volcano-style query executor over {!Page_store}: access
+    plans are operator trees interpreted tuple-at-a-time with boxed
+    values — the way a classical RDBMS evaluates a join, and the last
+    piece of the "Sybase-sim" cost profile (buffer pool + latches +
+    locks + log checks + plan interpretation). *)
+
+type datum = Int of int | Null
+
+type expr =
+  | Col of int * int  (** (input index, column) *)
+  | Const of datum
+  | Eq of expr * expr
+  | And of expr * expr
+
+type plan =
+  | Seq_scan of Page_store.table * expr option  (** optional filter *)
+  | Index_probe of Page_store.table * int * expr  (** column, key expression *)
+  | Nested_loop of plan * plan  (** inner may refer to outer columns *)
+
+val execute : Page_store.t -> plan -> (datum array -> unit) -> unit
+(** Run the plan, emitting joined tuples. *)
+
+val count : Page_store.t -> plan -> int

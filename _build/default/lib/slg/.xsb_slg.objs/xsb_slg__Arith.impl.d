@@ -1,0 +1,1 @@
+lib/slg/arith.ml: Array Float Fmt Int Stdlib Term Xsb_term

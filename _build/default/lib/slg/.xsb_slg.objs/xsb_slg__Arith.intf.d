@@ -1,0 +1,1 @@
+lib/slg/arith.mli: Term Xsb_term

@@ -1,0 +1,1 @@
+lib/slg/builtins.ml: Arith Array Buffer Char Database Fmt Format Hashtbl List Option Pred String Term Trail Unify Xsb_db Xsb_parse Xsb_term

@@ -1,0 +1,1 @@
+lib/slg/builtins.mli: Database Format Term Trail Xsb_db Xsb_term

@@ -1,0 +1,1 @@
+lib/slg/engine.ml: Array Canon Database Hashtbl List Loader Machine Printf Term Vec Xsb_db Xsb_parse Xsb_term

@@ -1,0 +1,1 @@
+lib/slg/engine.mli: Canon Database Machine Term Xsb_db Xsb_term

@@ -1,0 +1,1 @@
+lib/slg/machine.ml: Arith Array Builtins Canon Database Fmt Format Hashtbl Int List Loader Pred Set Stack Stdlib Table_all Term Trail Unify Vec Xsb_db Xsb_term

@@ -1,0 +1,1 @@
+lib/slg/machine.mli: Canon Database Format Hashtbl Stack Term Trail Vec Xsb_db Xsb_term

@@ -1,0 +1,131 @@
+open Xsb_term
+
+exception Arith_error of string
+
+type number = I of int | F of float
+
+let fail fmt = Fmt.kstr (fun s -> raise (Arith_error s)) fmt
+
+let to_float = function I i -> float_of_int i | F f -> f
+
+let arith2 name fi ff a b =
+  match (a, b) with
+  | I x, I y -> ( match fi with Some f -> I (f x y) | None -> F (ff (float_of_int x) (float_of_int y)))
+  | a, b -> (
+      match name with
+      | "//" | "mod" | "rem" | ">>" | "<<" | "/\\" | "\\/" | "xor" | "div" ->
+          fail "%s requires integer arguments" name
+      | _ -> F (ff (to_float a) (to_float b)))
+
+let rec eval t =
+  match Term.deref t with
+  | Term.Int i -> I i
+  | Term.Float f -> F f
+  | Term.Var _ -> fail "unbound variable in arithmetic expression"
+  | Term.Atom "pi" -> F (4.0 *. atan 1.0)
+  | Term.Atom "e" -> F (exp 1.0)
+  | Term.Atom "inf" -> F infinity
+  | Term.Atom "max_integer" -> I max_int
+  | Term.Atom "min_integer" -> I min_int
+  | Term.Atom name -> fail "unknown arithmetic constant %s" name
+  | Term.Struct (name, [| x |]) -> (
+      let a = eval x in
+      match (name, a) with
+      | "-", I i -> I (-i)
+      | "-", F f -> F (-.f)
+      | "+", a -> a
+      | "abs", I i -> I (abs i)
+      | "abs", F f -> F (abs_float f)
+      | "sign", I i -> I (Stdlib.compare i 0)
+      | "sign", F f -> F (float_of_int (Stdlib.compare f 0.0))
+      | "float", a -> F (to_float a)
+      | "integer", F f -> I (int_of_float f)
+      | "integer", I i -> I i
+      | "truncate", a -> I (int_of_float (to_float a))
+      | "round", a -> I (int_of_float (Float.round (to_float a)))
+      | "floor", a -> I (int_of_float (floor (to_float a)))
+      | "ceiling", a -> I (int_of_float (ceil (to_float a)))
+      | "float_integer_part", a -> F (Float.trunc (to_float a))
+      | "float_fractional_part", a -> F (Float.rem (to_float a) 1.0)
+      | "sqrt", a -> F (sqrt (to_float a))
+      | "sin", a -> F (sin (to_float a))
+      | "cos", a -> F (cos (to_float a))
+      | "tan", a -> F (tan (to_float a))
+      | "atan", a -> F (atan (to_float a))
+      | "asin", a -> F (asin (to_float a))
+      | "acos", a -> F (acos (to_float a))
+      | "exp", a -> F (exp (to_float a))
+      | "log", a -> F (log (to_float a))
+      | "\\", I i -> I (lnot i)
+      | "msb", I i when i > 0 ->
+          let rec msb n acc = if n = 0 then acc else msb (n lsr 1) (acc + 1) in
+          I (msb i (-1))
+      | _ -> fail "unknown arithmetic function %s/1" name)
+  | Term.Struct (name, [| x; y |]) -> (
+      let a = eval x and b = eval y in
+      match name with
+      | "+" -> arith2 name (Some ( + )) ( +. ) a b
+      | "-" -> arith2 name (Some ( - )) ( -. ) a b
+      | "*" -> arith2 name (Some ( * )) ( *. ) a b
+      | "/" -> (
+          match (a, b) with
+          | _, I 0 -> fail "zero divisor"
+          | I x, I y when x mod y = 0 -> I (x / y)
+          | a, b ->
+              if to_float b = 0.0 then fail "zero divisor" else F (to_float a /. to_float b))
+      | "//" -> (
+          match (a, b) with
+          | I _, I 0 -> fail "zero divisor"
+          | I x, I y ->
+              (* truncating division *)
+              I (if (x < 0) <> (y < 0) && x mod y <> 0 then (x / y) else x / y)
+          | _ -> fail "// requires integers")
+      | "div" -> (
+          match (a, b) with
+          | I _, I 0 -> fail "zero divisor"
+          | I x, I y ->
+              let q = x / y and r = x mod y in
+              I (if r <> 0 && (r < 0) <> (y < 0) then q - 1 else q)
+          | _ -> fail "div requires integers")
+      | "mod" -> (
+          match (a, b) with
+          | I _, I 0 -> fail "zero divisor"
+          | I x, I y ->
+              let r = x mod y in
+              I (if r <> 0 && (r < 0) <> (y < 0) then r + y else r)
+          | _ -> fail "mod requires integers")
+      | "rem" -> (
+          match (a, b) with
+          | I _, I 0 -> fail "zero divisor"
+          | I x, I y -> I (x mod y)
+          | _ -> fail "rem requires integers")
+      | "min" -> if compare_numbers a b <= 0 then a else b
+      | "max" -> if compare_numbers a b >= 0 then a else b
+      | "**" -> F (Float.pow (to_float a) (to_float b))
+      | "^" -> (
+          match (a, b) with
+          | I x, I y when y >= 0 ->
+              let rec pow acc b e = if e = 0 then acc else pow (acc * b) b (e - 1) in
+              I (pow 1 x y)
+          | _ -> F (Float.pow (to_float a) (to_float b)))
+      | ">>" -> ( match (a, b) with I x, I y -> I (x asr y) | _ -> fail ">> requires integers")
+      | "<<" -> ( match (a, b) with I x, I y -> I (x lsl y) | _ -> fail "<< requires integers")
+      | "/\\" -> ( match (a, b) with I x, I y -> I (x land y) | _ -> fail "/\\ requires integers")
+      | "\\/" -> ( match (a, b) with I x, I y -> I (x lor y) | _ -> fail "\\/ requires integers")
+      | "xor" -> ( match (a, b) with I x, I y -> I (x lxor y) | _ -> fail "xor requires integers")
+      | "atan" | "atan2" -> F (atan2 (to_float a) (to_float b))
+      | "gcd" -> (
+          match (a, b) with
+          | I x, I y ->
+              let rec gcd a b = if b = 0 then abs a else gcd b (a mod b) in
+              I (gcd x y)
+          | _ -> fail "gcd requires integers")
+      | _ -> fail "unknown arithmetic function %s/2" name)
+  | Term.Struct (name, args) -> fail "unknown arithmetic function %s/%d" name (Array.length args)
+
+and compare_numbers a b =
+  match (a, b) with
+  | I x, I y -> Int.compare x y
+  | _ -> Float.compare (to_float a) (to_float b)
+
+let to_term = function I i -> Term.Int i | F f -> Term.Float f

@@ -1,0 +1,15 @@
+(** Arithmetic evaluation for [is/2] and the comparison builtins. *)
+
+open Xsb_term
+
+exception Arith_error of string
+
+type number = I of int | F of float
+
+val eval : Term.t -> number
+(** Evaluate a ground arithmetic expression. Raises {!Arith_error} on
+    unbound variables or unknown functors. *)
+
+val compare_numbers : number -> number -> int
+
+val to_term : number -> Term.t

@@ -1,0 +1,21 @@
+(** Standard builtins that do not interact with tabling: unification,
+    term inspection and construction, arithmetic, atom/codes conversion,
+    output, and clause-base updates (assert/retract, §4.2's dynamic code
+    interface). Control constructs and the tabling builtins live in
+    {!Machine}. *)
+
+open Xsb_term
+open Xsb_db
+
+exception Builtin_error of string
+
+type ctx = { trail : Trail.t; db : Database.t; out : Format.formatter }
+
+type t = ctx -> Term.t array -> (unit -> unit) -> unit
+(** A builtin receives its (dereferenced-on-demand) arguments and a
+    success continuation; nondeterministic builtins invoke it once per
+    solution, undoing bindings in between. *)
+
+val lookup : string -> int -> t option
+
+val run : t -> Trail.t -> Database.t -> Format.formatter -> Term.t array -> (unit -> unit) -> unit

@@ -1,0 +1,125 @@
+open Xsb_term
+open Xsb_db
+
+type t = { database : Database.t; env : Machine.env; mutable query_counter : int }
+
+let create ?mode database = { database; env = Machine.create_env ?mode database; query_counter = 0 }
+
+let db t = t.database
+let env t = t.env
+
+type solution = {
+  bindings : (string * Term.t) list;
+  conditional : bool;
+  delays : Machine.delay list;
+}
+
+let var_name fallback v =
+  match v.Term.vname with Some n -> n | None -> Printf.sprintf "_%s%d" fallback v.Term.vid
+
+(* Run [goal] to completion (or first answer) against a fresh, private
+   query table, then read the answers back out of table space. *)
+let run_query ?(first = false) t goal =
+  let goal = Database.encode t.database goal in
+  let vars = Term.vars goal in
+  let names = List.map (var_name "G") vars in
+  t.query_counter <- t.query_counter + 1;
+  let functor_name = Printf.sprintf "$query%d" t.query_counter in
+  let template = Term.struct_ functor_name (Array.of_list (List.map (fun v -> Term.Var v) vars)) in
+  let ev = Machine.new_eval t.env None in
+  let qsub = Machine.create_table ev (Canon.of_term template) (functor_name, List.length vars) in
+  Machine.push_task ev
+    (Machine.Run
+       {
+         r_owner = qsub;
+         r_snapshot = Machine.susp_term goal [] template;
+         r_delays = [];
+         r_skip_first = false;
+         r_extra_delay = None;
+       });
+  let stop = if first then Some (fun () -> Machine.has_any_answer qsub) else None in
+  let trail_mark = Xsb_term.Trail.mark t.env.Machine.trail in
+  let finish () =
+    (* never leave in-progress tables behind: they would block later
+       queries; the private query table is always dropped. A stopped
+       evaluation may have been interrupted mid-derivation, so restore
+       the trail too. *)
+    Xsb_term.Trail.undo_to t.env.Machine.trail trail_mark;
+    Machine.abandon_eval ev;
+    Machine.delete_table t.env qsub
+  in
+  (try Machine.run_eval ?stop ev
+   with e ->
+     finish ();
+     raise e);
+  let solutions =
+    Vec.fold_left
+      (fun acc (a : Machine.answer) ->
+        let instance = Canon.to_term a.Machine.a_template in
+        let args =
+          match Term.deref instance with
+          | Term.Struct (_, args) -> Array.to_list args
+          | _ -> []
+        in
+        {
+          bindings = List.combine names args;
+          conditional = a.Machine.a_delays <> [];
+          delays = a.Machine.a_delays;
+        }
+        :: acc)
+      [] qsub.Machine.s_answers
+    |> List.rev
+  in
+  finish ();
+  solutions
+
+let query t goal = run_query t goal
+
+let query_first t goal = match run_query ~first:true t goal with s :: _ -> Some s | [] -> None
+
+let parse t text = Xsb_parse.Parser.term_of_string ~ops:(Database.ops t.database) text
+
+let query_string t text = query t (parse t text)
+let query_first_string t text = query_first t (parse t text)
+let succeeds t text = query_first_string t text <> None
+let count_solutions t text = List.length (query_string t text)
+
+let run_deferred t goals = List.iter (fun g -> ignore (query t g)) goals
+
+let consult_string t source =
+  let result = Loader.consult_string t.database source in
+  run_deferred t result.Loader.deferred_goals
+
+let consult_file t path =
+  let result = Loader.consult_file t.database path in
+  run_deferred t result.Loader.deferred_goals
+
+let set_tabling t flag = t.env.Machine.tabling_enabled <- flag
+let set_max_steps t n = t.env.Machine.max_steps <- n
+
+let set_trace t tracer = t.env.Machine.tracer <- tracer
+
+let set_count_calls t flag =
+  let stats = t.env.Machine.stats in
+  stats.Machine.st_count_calls <- flag;
+  if flag then Hashtbl.reset stats.Machine.call_counts
+
+let call_count t name arity =
+  match Hashtbl.find_opt t.env.Machine.stats.Machine.call_counts (name, arity) with
+  | Some r -> !r
+  | None -> 0
+
+let stats t = t.env.Machine.stats
+
+let reset_tables t = Canon.Tbl.reset t.env.Machine.tables
+
+let tables t =
+  Canon.Tbl.fold
+    (fun key (sub : Machine.subgoal) acc ->
+      let answers =
+        Vec.fold_left (fun acc (a : Machine.answer) -> a.Machine.a_template :: acc) []
+          sub.Machine.s_answers
+        |> List.rev
+      in
+      (key, sub.Machine.s_state = Machine.Complete, answers) :: acc)
+    t.env.Machine.tables []

@@ -1,0 +1,70 @@
+(** The public query interface to the SLG engine.
+
+    An engine wraps a {!Xsb_db.Database.t} with a table store and runs
+    queries under SLG resolution (paper §3): finite and non-redundant on
+    datalog, polynomial for (modularly) stratified programs, with
+    well-founded delaying available via [~mode:Well_founded]. *)
+
+open Xsb_term
+open Xsb_db
+
+type t
+
+val create : ?mode:Machine.mode -> Database.t -> t
+val db : t -> Database.t
+val env : t -> Machine.env
+
+(** {1 Loading} *)
+
+val consult_string : t -> string -> unit
+(** Load a program text (clauses and directives); deferred [:- Goal]
+    directives are executed. *)
+
+val consult_file : t -> string -> unit
+
+(** {1 Queries} *)
+
+type solution = {
+  bindings : (string * Term.t) list;  (** named query variables, in order *)
+  conditional : bool;  (** true when the answer carries delayed literals *)
+  delays : Machine.delay list;
+}
+
+val query : t -> Term.t -> solution list
+(** All solutions of a goal term, to completion. Variable names are taken
+    from the terms' source names where available. *)
+
+val query_string : t -> string -> solution list
+(** Parse (with the database's operators) and run. *)
+
+val query_first : t -> Term.t -> solution option
+(** Stop the evaluation at the first answer (existential query). *)
+
+val query_first_string : t -> string -> solution option
+
+val succeeds : t -> string -> bool
+val count_solutions : t -> string -> int
+
+(** {1 Control} *)
+
+val set_tabling : t -> bool -> unit
+(** Disable to execute everything by SLDNF, ignoring table declarations
+    (used for the paper's SLDNF comparison rows). *)
+
+val set_max_steps : t -> int -> unit
+(** Raise {!Machine.Step_limit} after this many resolution steps
+    (0 = unlimited); demonstrates SLD non-termination finitely. *)
+
+val set_trace : t -> (string -> Term.t -> unit) option -> unit
+(** Observation hook fired on "call", "table" (new subgoal), and
+    "answer" events; pass [None] to disable. *)
+
+val set_count_calls : t -> bool -> unit
+val call_count : t -> string -> int -> int
+(** Number of calls made to a predicate since counting was enabled. *)
+
+val stats : t -> Machine.stats
+val reset_tables : t -> unit
+
+val tables : t -> (Canon.t * bool * Canon.t list) list
+(** [(subgoal key, complete?, answer templates)] for every table. *)

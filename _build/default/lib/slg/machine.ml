@@ -1,0 +1,946 @@
+(* The SLG engine: SLD resolution extended with variant-based tabling,
+   as described in section 3 of the paper.
+
+   Derivations are run by a depth-first interpreter whose continuation is
+   an explicit list of goal terms. When a derivation selects a tabled
+   call, it either consumes a completed table's answers inline, or it is
+   reified into a *consumer*: a canonicalized snapshot of the call and
+   the remaining resolvent ("copying to table space"; this plays the
+   role of the SLG-WAM's stack freezing — see DESIGN.md §3). New answers
+   resume consumers from their snapshot. An evaluation's scheduler
+   drives generator and resumption tasks to fixpoint; completion is
+   computed in batch at each fixpoint, excluding subgoals that can still
+   receive answers through derivations suspended on negative literals.
+   Negative literals over fresh subgoals are evaluated in *nested*
+   evaluations, which is also what implements existential negation's
+   early termination and table reclamation (e_tnot/tcut, §4.4). *)
+
+open Xsb_term
+open Xsb_db
+
+exception Engine_error of string
+exception Floundered of Term.t
+exception Non_stratified of Canon.t list
+exception Step_limit
+
+let error fmt = Fmt.kstr (fun s -> raise (Engine_error s)) fmt
+
+type mode = Stratified | Well_founded
+
+(* Delayed literals attached to conditional answers (section 3.1): a
+   delayed ground negation, or a positive literal that was resolved
+   against a conditional answer of some table. *)
+type delay = Dneg of Canon.t | Dpos of Canon.t * Canon.t
+
+type answer = { a_template : Canon.t; mutable a_delays : delay list }
+
+type sstate = Incomplete | Complete
+
+type subgoal = {
+  skey : Canon.t;
+  s_id : int;
+  s_pred : string * int;
+  mutable s_state : sstate;
+  mutable s_owner_eval : int;
+  s_answers : answer Vec.t;
+  s_index : (Canon.t * delay list, answer) Hashtbl.t;
+      (* SLG keeps distinct answer *clauses*: the same template may be
+         supported by several delay lists (§3.1) *)
+  s_uncond : unit Canon.Tbl.t;  (* templates with an unconditional answer *)
+  mutable s_consumers : consumer list;  (* reverse registration order *)
+}
+
+and consumer = {
+  c_table : subgoal;
+  c_owner : subgoal;
+  c_snapshot : Canon.t;  (* $susp(Call, GoalsList, Template) *)
+  c_delays : delay list;
+  mutable c_consumed : int;
+}
+
+type waiter_kind = Wneg | Wgoal
+
+type waiter = {
+  w_table : subgoal;
+  w_owner : subgoal;
+  w_kind : waiter_kind;
+  w_snapshot : Canon.t;  (* $susp(BlockedGoal, GoalsList, Template) *)
+  w_delays : delay list;
+}
+
+type task =
+  | Drain of consumer
+  | Generate of subgoal
+  | Run of run
+
+and run = {
+  r_owner : subgoal;
+  r_snapshot : Canon.t;  (* $susp(First, GoalsList, Template) *)
+  r_delays : delay list;
+  r_skip_first : bool;  (* WFS resume: delay the blocked literal instead *)
+  r_extra_delay : delay option;
+}
+
+type stats = {
+  mutable st_subgoals : int;
+  mutable st_answers : int;
+  mutable st_dup_answers : int;
+  mutable st_suspensions : int;
+  mutable st_resumptions : int;
+  mutable st_resolutions : int;
+  mutable st_neg_suspensions : int;
+  mutable st_nested_evals : int;
+  mutable st_completions : int;
+  mutable st_steps : int;
+  call_counts : (string * int, int ref) Hashtbl.t;
+  mutable st_count_calls : bool;
+}
+
+let fresh_stats () =
+  {
+    st_subgoals = 0;
+    st_answers = 0;
+    st_dup_answers = 0;
+    st_suspensions = 0;
+    st_resumptions = 0;
+    st_resolutions = 0;
+    st_neg_suspensions = 0;
+    st_nested_evals = 0;
+    st_completions = 0;
+    st_steps = 0;
+    call_counts = Hashtbl.create 16;
+    st_count_calls = false;
+  }
+
+type env = {
+  db : Database.t;
+  trail : Trail.t;
+  tables : subgoal Canon.Tbl.t;
+  mode : mode;
+  mutable tabling_enabled : bool;
+  mutable next_eval : int;
+  mutable next_subgoal : int;
+  mutable next_barrier : int;
+  mutable max_steps : int;  (* 0 = unlimited *)
+  stats : stats;
+  mutable out : Format.formatter;
+  collectors : (Term.t * Term.t list ref) Stack.t;
+  mutable captured_incomplete : subgoal option;
+  mutable stop : (unit -> bool) option;
+  mutable tracer : (string -> Term.t -> unit) option;
+      (* observation hook: "call", "table", "answer", "complete" events *)
+}
+
+type eval = {
+  e_id : int;
+  e_parent : eval option;
+  e_env : env;
+  mutable e_tasks : task list;  (* LIFO *)
+  mutable e_waiters : waiter list;
+  mutable e_created : subgoal list;
+}
+
+exception Cut_signal of int
+exception Found
+exception Touched_outer of subgoal
+exception Stop_eval
+
+(* a thrown Prolog term, copied to table space so it survives
+   backtracking (throw/1, catch/3) *)
+exception Prolog_ball of Canon.t
+
+let create_env ?(mode = Stratified) db =
+  {
+    db;
+    trail = Trail.create ();
+    tables = Canon.Tbl.create 256;
+    mode;
+    tabling_enabled = true;
+    next_eval = 0;
+    next_subgoal = 0;
+    next_barrier = 0;
+    max_steps = 0;
+    stats = fresh_stats ();
+    out = Format.std_formatter;
+    collectors = Stack.create ();
+    captured_incomplete = None;
+    stop = None;
+    tracer = None;
+  }
+
+let new_eval env parent =
+  env.next_eval <- env.next_eval + 1;
+  (match parent with
+  | Some _ -> env.stats.st_nested_evals <- env.stats.st_nested_evals + 1
+  | None -> ());
+  { e_id = env.next_eval; e_parent = parent; e_env = env; e_tasks = []; e_waiters = []; e_created = [] }
+
+let rec is_ancestor_or_self ev id = ev.e_id = id || (match ev.e_parent with Some p -> is_ancestor_or_self p id | None -> false)
+
+let fresh_barrier env =
+  env.next_barrier <- env.next_barrier + 1;
+  env.next_barrier
+
+let step env =
+  env.stats.st_steps <- env.stats.st_steps + 1;
+  if env.max_steps > 0 && env.stats.st_steps > env.max_steps then raise Step_limit;
+  (* existential early termination can interrupt a running derivation *)
+  if env.stats.st_steps land 15 = 0 then
+    match env.stop with Some stop when stop () -> raise Stop_eval | _ -> ()
+
+let push_task ev task = ev.e_tasks <- task :: ev.e_tasks
+
+let trace env event term =
+  match env.tracer with Some f -> f event term | None -> ()
+
+let count_call env key =
+  if env.stats.st_count_calls then
+    match Hashtbl.find_opt env.stats.call_counts key with
+    | Some r -> incr r
+    | None -> Hashtbl.add env.stats.call_counts key (ref 1)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: a suspended derivation copied to table space. *)
+
+let susp_term first goals template =
+  Canon.of_term (Term.Struct ("$susp", [| first; Term.list_ goals; template |]))
+
+let open_susp snapshot =
+  match Term.deref (Canon.to_term snapshot) with
+  | Term.Struct ("$susp", [| first; goals; template |]) -> (
+      match Term.to_list goals with
+      | Some goals -> (first, goals, template)
+      | None -> error "corrupt suspension snapshot")
+  | _ -> error "corrupt suspension snapshot"
+
+(* ------------------------------------------------------------------ *)
+(* Tables *)
+
+let find_table env key = Canon.Tbl.find_opt env.tables key
+
+let create_table ev key pred_key =
+  let env = ev.e_env in
+  env.next_subgoal <- env.next_subgoal + 1;
+  env.stats.st_subgoals <- env.stats.st_subgoals + 1;
+  let sub =
+    {
+      skey = key;
+      s_id = env.next_subgoal;
+      s_pred = pred_key;
+      s_state = Incomplete;
+      s_owner_eval = ev.e_id;
+      s_answers = Vec.create ();
+      s_index = Hashtbl.create 16;
+      s_uncond = Canon.Tbl.create 8;
+      s_consumers = [];
+    }
+  in
+  Canon.Tbl.replace env.tables key sub;
+  ev.e_created <- sub :: ev.e_created;
+  sub
+
+let delete_table env sub = Canon.Tbl.remove env.tables sub.skey
+
+let has_unconditional sub = Canon.Tbl.length sub.s_uncond > 0
+
+let template_unconditional sub template = Canon.Tbl.mem sub.s_uncond template
+
+let has_any_answer sub = Vec.length sub.s_answers > 0
+
+(* ------------------------------------------------------------------ *)
+(* Goal classification *)
+
+let pred_key_of goal =
+  match Term.deref goal with
+  | Term.Atom name -> (name, 0)
+  | Term.Struct (name, args) -> (name, Array.length args)
+  | Term.Int _ | Term.Float _ -> error "number used as a goal"
+  | Term.Var _ -> error "unbound variable used as a goal"
+
+let args_of goal =
+  match Term.deref goal with
+  | Term.Struct (_, args) -> args
+  | _ -> [||]
+
+let is_tabled env goal =
+  env.tabling_enabled
+  &&
+  let name, arity = pred_key_of goal in
+  match Database.find env.db name arity with Some p -> Pred.tabled p | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* The interpreter.
+
+   [solve ev ~det ~owner ~template ~delays ~barrier goals] explores all
+   derivations of [goals]; solutions reaching the empty resolvent emit
+   an answer for [owner]. Alternatives are explored depth-first with
+   trail-based undo. [det] marks deterministic contexts (conditions of
+   if-then-else, \+, findall sub-derivations) where suspension is not
+   possible: there, incomplete own-eval tables are consumed by snapshot
+   ("capture" semantics, as XSB's findall on incomplete tables) and
+   fresh tabled calls are completed in nested evaluations. *)
+
+let rec solve ev ~det ~owner ~template ~delays ~barrier goals =
+  let env = ev.e_env in
+  step env;
+  match goals with
+  | [] -> emit_answer ev owner template delays
+  | goal :: rest -> (
+      match Term.deref goal with
+      | Term.Var _ -> error "unbound variable used as a goal"
+      | Term.Int _ | Term.Float _ -> error "number used as a goal"
+      | Term.Atom name -> solve_atom ev ~det ~owner ~template ~delays ~barrier name goal rest
+      | Term.Struct (name, args) ->
+          solve_struct ev ~det ~owner ~template ~delays ~barrier name args goal rest)
+
+and continue ev ~det ~owner ~template ~delays ~barrier rest =
+  solve ev ~det ~owner ~template ~delays ~barrier rest
+
+and solve_atom ev ~det ~owner ~template ~delays ~barrier name goal rest =
+  match name with
+  | "true" -> continue ev ~det ~owner ~template ~delays ~barrier rest
+  | "fail" | "false" -> ()
+  | "!" ->
+      continue ev ~det ~owner ~template ~delays ~barrier rest;
+      raise (Cut_signal barrier)
+  | "tcut" ->
+      (* tcut/0 (paper §4.4): behaves as a cut; the freeing of tables cut
+         over is performed by the nested-evaluation machinery of e_tnot,
+         which abandons (frees) tables with no outside users. Used
+         standalone it is the paper's "simple noop" case plus the cut. *)
+      continue ev ~det ~owner ~template ~delays ~barrier rest;
+      raise (Cut_signal barrier)
+  | "nl" ->
+      Format.pp_print_newline ev.e_env.out ();
+      continue ev ~det ~owner ~template ~delays ~barrier rest
+  | "listing" -> continue ev ~det ~owner ~template ~delays ~barrier rest
+  | "statistics" ->
+      let st = ev.e_env.stats in
+      Fmt.pf ev.e_env.out
+        "subgoals: %d@.answers: %d (dups %d)@.suspensions: %d@.resumptions: %d@.resolutions:          %d@.negative suspensions: %d@.nested evaluations: %d@.completions: %d@.steps: %d@."
+        st.st_subgoals st.st_answers st.st_dup_answers st.st_suspensions st.st_resumptions
+        st.st_resolutions st.st_neg_suspensions st.st_nested_evals st.st_completions st.st_steps;
+      continue ev ~det ~owner ~template ~delays ~barrier rest
+  | "halt" -> error "halt/0 is not available inside the library engine"
+  | "abolish_all_tables" ->
+      Canon.Tbl.reset ev.e_env.tables;
+      continue ev ~det ~owner ~template ~delays ~barrier rest
+  | "$found$" -> raise Found
+  | "$collect$" ->
+      let tmpl, acc = Stack.top ev.e_env.collectors in
+      acc := Term.copy tmpl :: !acc;
+      ()
+  | "table_all" ->
+      let scope = List.map (fun p -> (Pred.name p, Pred.arity p)) (Database.preds ev.e_env.db) in
+      Table_all.apply ev.e_env.db ~scope;
+      continue ev ~det ~owner ~template ~delays ~barrier rest
+  | _ -> solve_call ev ~det ~owner ~template ~delays ~barrier goal rest
+
+and solve_struct ev ~det ~owner ~template ~delays ~barrier name args goal rest =
+  let env = ev.e_env in
+  let next rest = continue ev ~det ~owner ~template ~delays ~barrier rest in
+  match (name, args) with
+  | ",", [| a; b |] -> next (a :: b :: rest)
+  | ";", [| l; r |] -> (
+      match Term.deref l with
+      | Term.Struct ("->", [| cond; then_ |]) ->
+          solve_ite ev ~det ~owner ~template ~delays ~barrier cond then_ r rest
+      | _ ->
+          let m = Trail.mark env.trail in
+          next (l :: rest);
+          Trail.undo_to env.trail m;
+          next (r :: rest);
+          Trail.undo_to env.trail m)
+  | "->", [| cond; then_ |] ->
+      solve_ite ev ~det ~owner ~template ~delays ~barrier cond then_ (Term.Atom "fail") rest
+  | "$endscope", [| b |] -> (
+      match Term.deref b with
+      | Term.Int b -> continue ev ~det ~owner ~template ~delays ~barrier:b rest
+      | _ -> error "corrupt cut scope marker")
+  | ("\\+" | "not"), [| g |] ->
+      solve_ite ev ~det ~owner ~template ~delays ~barrier g (Term.Atom "fail") (Term.Atom "true")
+        rest
+  | "tnot", [| g |] -> solve_tnot ev ~det ~owner ~template ~delays ~barrier ~existential:false g rest
+  | "e_tnot", [| g |] ->
+      solve_tnot ev ~det ~owner ~template ~delays ~barrier ~existential:true g rest
+  | "throw", [| ball |] -> raise (Prolog_ball (Canon.of_term (Term.deref ball)))
+  | "catch", [| g; catcher; recovery |] ->
+      (* the catch window extends over [g]'s derivations; balls thrown by
+         derivations resumed from table space after suspension escape to
+         the top (see the manual's tabling restrictions) *)
+      let m = Trail.mark env.trail in
+      let b = fresh_barrier env in
+      (try
+         with_cut_catch env b (fun () ->
+             continue ev ~det ~owner ~template ~delays ~barrier:b
+               (Term.deref g :: Term.Struct ("$endscope", [| Term.Int barrier |]) :: rest))
+       with Prolog_ball ball ->
+         Trail.undo_to env.trail m;
+         let ball_term = Canon.to_term ball in
+         let m2 = Trail.mark env.trail in
+         if Unify.unify env.trail catcher ball_term then begin
+           continue ev ~det ~owner ~template ~delays ~barrier (recovery :: rest);
+           Trail.undo_to env.trail m2
+         end
+         else begin
+           Trail.undo_to env.trail m2;
+           raise (Prolog_ball ball)
+         end)
+  | "call", [| g |] ->
+      let b = fresh_barrier env in
+      with_cut_catch env b (fun () ->
+          continue ev ~det ~owner ~template ~delays ~barrier:b
+            (Term.deref g :: Term.Struct ("$endscope", [| Term.Int barrier |]) :: rest))
+  | "call", _ when Array.length args >= 2 ->
+      let g = build_call args in
+      next (g :: rest)
+  | "findall", [| tmpl; g; out |] ->
+      solve_findall ev ~det ~owner ~template ~delays ~barrier ~tabled_wait:false tmpl g out rest
+  | "tfindall", [| tmpl; g; out |] ->
+      solve_findall ev ~det ~owner ~template ~delays ~barrier ~tabled_wait:true tmpl g out rest
+  | "bagof", [| tmpl; g; out |] ->
+      let g = strip_carets g in
+      solve_findall ev ~det ~owner ~template ~delays ~barrier ~tabled_wait:false ~require:true tmpl
+        g out rest
+  | "setof", [| tmpl; g; out |] ->
+      let g = strip_carets g in
+      solve_findall ev ~det ~owner ~template ~delays ~barrier ~tabled_wait:false ~require:true
+        ~sort:true tmpl g out rest
+  | ("table" | "dynamic" | "hilog" | "index" | "op"), _ -> (
+      match Loader.process_directive env.db goal with
+      | `Handled -> next rest
+      | `Table_all | `Deferred _ -> error "unsupported runtime directive")
+  | _ -> (
+      match Builtins.lookup name (Array.length args) with
+      | Some b -> (
+          try
+            Builtins.run b env.trail env.db env.out args (fun () ->
+                continue ev ~det ~owner ~template ~delays ~barrier rest)
+          with
+          | Arith.Arith_error msg ->
+              raise
+                (Prolog_ball
+                   (Canon.of_term
+                      (Term.app "error" [ Term.app "evaluation_error" [ Term.Atom msg ]; Term.Atom name ])))
+          | Builtins.Builtin_error msg ->
+              raise
+                (Prolog_ball
+                   (Canon.of_term
+                      (Term.app "error" [ Term.Atom msg; Term.Atom name ]))))
+      | None -> solve_call ev ~det ~owner ~template ~delays ~barrier goal rest)
+
+and build_call args =
+  let g = Term.deref args.(0) in
+  let extra = Array.sub args 1 (Array.length args - 1) in
+  match g with
+  | Term.Atom name -> Term.struct_ name extra
+  | Term.Struct (name, gargs) -> Term.Struct (name, Array.append gargs extra)
+  | Term.Var _ -> error "unbound variable in call/N"
+  | Term.Int _ | Term.Float _ -> error "number used as a goal in call/N"
+
+and strip_carets g =
+  match Term.deref g with Term.Struct ("^", [| _; g |]) -> strip_carets g | g -> g
+
+and with_cut_catch env b f =
+  let m = Trail.mark env.trail in
+  try f ()
+  with Cut_signal b' when b' = b ->
+    Trail.undo_to env.trail m
+
+(* if-then-else: find the first solution of [cond] (keeping its
+   bindings), commit to it and run [then_]; otherwise run [else_]. The
+   condition runs in a deterministic context. *)
+and solve_ite ev ~det ~owner ~template ~delays ~barrier cond then_ else_ rest =
+  let env = ev.e_env in
+  let m = Trail.mark env.trail in
+  let b = fresh_barrier env in
+  let succeeded =
+    try
+      solve ev ~det:true ~owner ~template ~delays ~barrier:b [ cond; Term.Atom "$found$" ];
+      false
+    with
+    | Found -> true
+    | Cut_signal b' when b' = b ->
+        Trail.undo_to env.trail m;
+        false
+  in
+  if succeeded then begin
+    continue ev ~det ~owner ~template ~delays ~barrier (then_ :: rest);
+    Trail.undo_to env.trail m
+  end
+  else begin
+    Trail.undo_to env.trail m;
+    continue ev ~det ~owner ~template ~delays ~barrier (else_ :: rest)
+  end
+
+(* findall and its relatives: collect every solution of [g] in a
+   deterministic sub-derivation. *)
+and solve_findall ev ~det ~owner ~template ~delays ~barrier ~tabled_wait ?(require = false)
+    ?(sort = false) tmpl g out rest =
+  let env = ev.e_env in
+  let acc = ref [] in
+  Stack.push (tmpl, acc) env.collectors;
+  let saved_capture = env.captured_incomplete in
+  env.captured_incomplete <- None;
+  let m = Trail.mark env.trail in
+  let b = fresh_barrier env in
+  let finish () = ignore (Stack.pop env.collectors) in
+  (try solve ev ~det:true ~owner ~template ~delays ~barrier:b [ g; Term.Atom "$collect$" ]
+   with e ->
+     finish ();
+     env.captured_incomplete <- saved_capture;
+     Trail.undo_to env.trail m;
+     raise e);
+  finish ();
+  Trail.undo_to env.trail m;
+  let captured = env.captured_incomplete in
+  env.captured_incomplete <- saved_capture;
+  match captured with
+  | Some sub when tabled_wait ->
+      (* tfindall/3 (paper §4.7): suspend until the table has been
+         completed, then re-execute. *)
+      suspend_waiter ev ~kind:Wgoal ~owner ~template ~delays sub
+        (Term.Struct ("tfindall", [| tmpl; g; out |]))
+        rest
+  | _ ->
+      let solutions = List.rev !acc in
+      let solutions =
+        if sort then List.sort_uniq Term.compare solutions else solutions
+      in
+      if require && solutions = [] then ()
+      else begin
+        let m = Trail.mark env.trail in
+        if Unify.unify env.trail out (Term.list_ solutions) then
+          continue ev ~det ~owner ~template ~delays ~barrier rest;
+        Trail.undo_to env.trail m
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Predicate calls *)
+
+and solve_call ev ~det ~owner ~template ~delays ~barrier goal rest =
+  let env = ev.e_env in
+  let key = pred_key_of goal in
+  count_call env key;
+  trace env "call" goal;
+  match Database.find env.db (fst key) (snd key) with
+  | None -> ()  (* unknown predicate: fails, as an empty relation *)
+  | Some pred ->
+      if Pred.tabled pred && env.tabling_enabled then
+        solve_tabled ev ~det ~owner ~template ~delays ~barrier goal rest
+      else solve_untabled ev ~det ~owner ~template ~delays ~barrier pred goal rest
+
+and solve_untabled ev ~det ~owner ~template ~delays ~barrier pred goal rest =
+  let env = ev.e_env in
+  let b = fresh_barrier env in
+  let endscope = Term.Struct ("$endscope", [| Term.Int barrier |]) in
+  let candidates = Pred.lookup pred (args_of goal) in
+  with_cut_catch env b (fun () ->
+      List.iter
+        (fun clause ->
+          let m = Trail.mark env.trail in
+          env.stats.st_resolutions <- env.stats.st_resolutions + 1;
+          let head, body = Term.copy2 clause.Pred.head clause.Pred.body in
+          if Unify.unify env.trail goal head then
+            solve ev ~det ~owner ~template ~delays ~barrier:b (body :: endscope :: rest);
+          Trail.undo_to env.trail m)
+        candidates)
+
+(* Consume the answers of a table inline, as ordinary alternatives. Used
+   for completed tables and for "capture" semantics on incomplete ones. *)
+and consume_inline ev ~det ~owner ~template ~delays ~barrier sub goal rest =
+  let env = ev.e_env in
+  let n = Vec.length sub.s_answers in
+  let rec loop i =
+    if i < n then begin
+      let a = Vec.get sub.s_answers i in
+      let m = Trail.mark env.trail in
+      let instance = Canon.to_term a.a_template in
+      let delays' =
+        if a.a_delays = [] then delays else Dpos (sub.skey, a.a_template) :: delays
+      in
+      if Unify.unify env.trail goal instance then
+        continue ev ~det ~owner ~template ~delays:delays' ~barrier rest;
+      Trail.undo_to env.trail m;
+      loop (i + 1)
+    end
+  in
+  loop 0
+
+and solve_tabled ev ~det ~owner ~template ~delays ~barrier goal rest =
+  let env = ev.e_env in
+  let key = Canon.of_term goal in
+  match find_table env key with
+  | Some sub when sub.s_state = Complete ->
+      consume_inline ev ~det ~owner ~template ~delays ~barrier sub goal rest
+  | Some sub ->
+      if sub.s_owner_eval = ev.e_id then
+        if det then begin
+          (* deterministic context: capture currently-available answers *)
+          env.captured_incomplete <- Some sub;
+          consume_inline ev ~det ~owner ~template ~delays ~barrier sub goal rest
+        end
+        else begin
+          env.stats.st_suspensions <- env.stats.st_suspensions + 1;
+          let consumer =
+            {
+              c_table = sub;
+              c_owner = owner;
+              c_snapshot = susp_term goal rest template;
+              c_delays = delays;
+              c_consumed = 0;
+            }
+          in
+          sub.s_consumers <- consumer :: sub.s_consumers;
+          push_task ev (Drain consumer)
+        end
+      else raise (Touched_outer sub)
+  | None ->
+      if det then begin
+        (* complete the subgoal in a nested evaluation, then consume *)
+        let sub = nested_completion ev goal key in
+        consume_inline ev ~det ~owner ~template ~delays ~barrier sub goal rest
+      end
+      else begin
+        let sub = create_table ev key (pred_key_of goal) in
+        trace env "table" goal;
+        push_task ev (Generate sub);
+        env.stats.st_suspensions <- env.stats.st_suspensions + 1;
+        let consumer =
+          {
+            c_table = sub;
+            c_owner = owner;
+            c_snapshot = susp_term goal rest template;
+            c_delays = delays;
+            c_consumed = 0;
+          }
+        in
+        sub.s_consumers <- consumer :: sub.s_consumers;
+        push_task ev (Drain consumer)
+      end
+
+(* Run a nested evaluation that fully completes the subgoal for [goal].
+   Raises [Touched_outer] (after cleaning up) if the nested evaluation
+   depends on an in-progress table of an outer evaluation. *)
+and nested_completion ?stop_on_first ev goal key =
+  let env = ev.e_env in
+  let nested = new_eval env (Some ev) in
+  let sub = create_table nested key (pred_key_of goal) in
+  push_task nested (Generate sub);
+  let stop =
+    match stop_on_first with
+    | Some () -> Some (fun () -> has_any_answer sub)
+    | None -> None
+  in
+  (try run_eval ?stop nested
+   with e ->
+     abandon_eval nested;
+     raise e);
+  if sub.s_state = Incomplete then begin
+    (* stopped early: free the tables created for this existential check
+       (the paper's tcut: they have no users outside) *)
+    abandon_eval nested;
+    sub.s_state <- Complete;
+    (* the subgoal itself is detached from the table store but its
+       answers remain readable by our caller *)
+    sub
+  end
+  else sub
+
+and abandon_eval nested =
+  let env = nested.e_env in
+  List.iter (fun sub -> if sub.s_state = Incomplete then delete_table env sub) nested.e_created;
+  nested.e_tasks <- [];
+  nested.e_waiters <- []
+
+(* ------------------------------------------------------------------ *)
+(* Negation: tnot/1 and e_tnot/1 (paper §4.4) *)
+
+and solve_tnot ev ~det ~owner ~template ~delays ~barrier ~existential g rest =
+  let env = ev.e_env in
+  let g = Term.deref g in
+  if not (Term.is_ground g) then raise (Floundered g);
+  if not (is_tabled env g) then begin
+    (* negation on a non-tabled predicate falls back to negation as
+       failure, as in XSB *)
+    solve_ite ev ~det ~owner ~template ~delays ~barrier g (Term.Atom "fail") (Term.Atom "true")
+      rest
+  end
+  else
+    let key = Canon.of_term g in
+    let decide sub =
+      if has_unconditional sub then ()
+      else if has_any_answer sub then begin
+        (* only conditional answers: the negation is undefined unless
+           delays simplify; delay it *)
+        match env.mode with
+        | Well_founded ->
+            continue ev ~det ~owner ~template ~delays:(Dneg key :: delays) ~barrier rest
+        | Stratified -> raise (Non_stratified [ key ])
+      end
+      else continue ev ~det ~owner ~template ~delays ~barrier rest
+    in
+    match find_table env key with
+    | Some sub when sub.s_state = Complete -> decide sub
+    | Some sub when template_unconditional sub key ->
+        (* the positive subgoal already has an unconditional answer: the
+           negation fails now, completion not needed *)
+        ()
+    | Some sub ->
+        if det then raise (Touched_outer sub)
+        else if sub.s_owner_eval = ev.e_id then
+          suspend_waiter ev ~kind:Wneg ~owner ~template ~delays sub
+            (Term.Struct ((if existential then "e_tnot" else "tnot"), [| g |]))
+            rest
+        else raise (Touched_outer sub)
+    | None -> (
+        (* optimistic nested evaluation; on failure to complete locally,
+           evaluate the subgoal as part of this evaluation and wait *)
+        match
+          if existential then nested_completion ~stop_on_first:() ev g key
+          else nested_completion ev g key
+        with
+        | sub -> decide sub
+        | exception Touched_outer _ ->
+            if det then
+              error "negation over an in-progress table inside a deterministic context"
+            else begin
+              let sub =
+                match find_table env key with
+                | Some sub -> sub
+                | None ->
+                    let sub = create_table ev key (pred_key_of g) in
+                    push_task ev (Generate sub);
+                    sub
+              in
+              suspend_waiter ev ~kind:Wneg ~owner ~template ~delays sub
+                (Term.Struct ((if existential then "e_tnot" else "tnot"), [| g |]))
+                rest
+            end)
+
+and suspend_waiter ev ~kind ~owner ~template ~delays sub blocked rest =
+  let env = ev.e_env in
+  env.stats.st_neg_suspensions <- env.stats.st_neg_suspensions + 1;
+  let waiter =
+    {
+      w_table = sub;
+      w_owner = owner;
+      w_kind = kind;
+      w_snapshot = susp_term blocked rest template;
+      w_delays = delays;
+    }
+  in
+  ev.e_waiters <- waiter :: ev.e_waiters
+
+(* ------------------------------------------------------------------ *)
+(* Answers *)
+
+and emit_answer ev owner template delays =
+  let env = ev.e_env in
+  let key = Canon.of_term template in
+  (* delay lists are sets: normalize so duplicate answer clauses are
+     detected and lists stay bounded through cycles *)
+  let delays = List.sort_uniq Stdlib.compare delays in
+  let duplicate =
+    if delays = [] then Canon.Tbl.mem owner.s_uncond key
+    else
+      (* an unconditional answer absorbs conditional ones for the same
+         template (SLG simplification) *)
+      Canon.Tbl.mem owner.s_uncond key || Hashtbl.mem owner.s_index (key, delays)
+  in
+  if duplicate then env.stats.st_dup_answers <- env.stats.st_dup_answers + 1
+  else begin
+    env.stats.st_answers <- env.stats.st_answers + 1;
+    trace env "answer" template;
+    if delays = [] then Canon.Tbl.replace owner.s_uncond key ();
+    let answer = { a_template = key; a_delays = delays } in
+    Hashtbl.replace owner.s_index (key, delays) answer;
+    Vec.push owner.s_answers answer;
+    schedule_drains ev owner;
+    (* existential evaluations stop precisely at the answer that
+       satisfies them (e_tnot's early termination, §4.4) *)
+    match env.stop with Some stop when stop () -> raise Stop_eval | _ -> ()
+  end
+
+and schedule_drains ev owner =
+  List.iter (fun c -> push_task ev (Drain c)) owner.s_consumers
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler *)
+
+and run_task ev task =
+  let env = ev.e_env in
+  match task with
+  | Generate sub ->
+      let pattern = Canon.to_term sub.skey in
+      let name, arity = sub.s_pred in
+      let pred =
+        match Database.find env.db name arity with
+        | Some p -> p
+        | None -> error "tabled predicate %s/%d disappeared" name arity
+      in
+      let b = fresh_barrier env in
+      let candidates = Pred.lookup pred (args_of pattern) in
+      with_cut_catch env b (fun () ->
+          List.iter
+            (fun clause ->
+              let m = Trail.mark env.trail in
+              env.stats.st_resolutions <- env.stats.st_resolutions + 1;
+              let head, body = Term.copy2 clause.Pred.head clause.Pred.body in
+              if Unify.unify env.trail pattern head then
+                solve ev ~det:false ~owner:sub ~template:pattern ~delays:[] ~barrier:b [ body ];
+              Trail.undo_to env.trail m)
+            candidates)
+  | Drain consumer ->
+      if consumer.c_table.s_state = Complete && consumer.c_consumed >= Vec.length consumer.c_table.s_answers
+      then ()
+      else begin
+        let answers = consumer.c_table.s_answers in
+        while consumer.c_consumed < Vec.length answers do
+          let i = consumer.c_consumed in
+          consumer.c_consumed <- i + 1;
+          resume_consumer ev consumer (Vec.get answers i)
+        done
+      end
+  | Run r ->
+      env.stats.st_resumptions <- env.stats.st_resumptions + 1;
+      let m = Trail.mark env.trail in
+      let first, goals, template = open_susp r.r_snapshot in
+      let goals = if r.r_skip_first then goals else first :: goals in
+      let delays = match r.r_extra_delay with Some d -> d :: r.r_delays | None -> r.r_delays in
+      let b = fresh_barrier env in
+      (try solve ev ~det:false ~owner:r.r_owner ~template ~delays ~barrier:b goals with
+      | Cut_signal b' when b' = b -> ()
+      | Cut_signal _ -> error "cut outside its scope (cut over a table suspension?)");
+      Trail.undo_to env.trail m
+
+and resume_consumer ev consumer answer =
+  let env = ev.e_env in
+  env.stats.st_resumptions <- env.stats.st_resumptions + 1;
+  let m = Trail.mark env.trail in
+  let call, goals, template = open_susp consumer.c_snapshot in
+  let instance = Canon.to_term answer.a_template in
+  let delays =
+    if answer.a_delays = [] then consumer.c_delays
+    else Dpos (consumer.c_table.skey, answer.a_template) :: consumer.c_delays
+  in
+  let b = fresh_barrier env in
+  if Unify.unify env.trail call instance then begin
+    try solve ev ~det:false ~owner:consumer.c_owner ~template ~delays ~barrier:b goals with
+    | Cut_signal b' when b' = b -> ()
+    | Cut_signal _ -> error "cut outside its scope (cut over a table suspension?)"
+  end;
+  Trail.undo_to env.trail m
+
+(* Run an evaluation to fixpoint. [stop] is polled between tasks
+   (existential early termination). *)
+and run_eval ?stop ev =
+  let env = ev.e_env in
+  let saved_stop = env.stop in
+  env.stop <- stop;
+  let finally () = env.stop <- saved_stop in
+  let stopped () = match stop with Some f -> f () | None -> false in
+  let rec loop () =
+    if stopped () then ()
+    else
+      match ev.e_tasks with
+      | task :: rest ->
+          ev.e_tasks <- rest;
+          run_task ev task;
+          loop ()
+      | [] -> completion_phase ()
+  and completion_phase () =
+    (* Positive fixpoint reached: no derivation can produce new answers
+       except through derivations suspended on negations. Complete every
+       incomplete subgoal that cannot be fed (transitively) by a waiter's
+       resumption, then resume waiters whose tables completed. *)
+    let incomplete = List.filter (fun s -> s.s_state = Incomplete) ev.e_created in
+    if ev.e_waiters = [] then begin
+      List.iter
+        (fun s ->
+          s.s_state <- Complete;
+          ev.e_env.stats.st_completions <- ev.e_env.stats.st_completions + 1)
+        incomplete
+    end
+    else begin
+      let module Iset = Set.Make (Int) in
+      (* flow edges: answers of [s] can reach consumers' owners *)
+      let reachable = Hashtbl.create 16 in
+      let seeds = List.map (fun w -> w.w_owner) ev.e_waiters in
+      let rec visit s =
+        if not (Hashtbl.mem reachable s.s_id) then begin
+          Hashtbl.replace reachable s.s_id ();
+          if s.s_state = Incomplete then
+            List.iter (fun c -> visit c.c_owner) s.s_consumers
+        end
+      in
+      List.iter visit seeds;
+      let completable = List.filter (fun s -> not (Hashtbl.mem reachable s.s_id)) incomplete in
+      List.iter
+        (fun s ->
+          s.s_state <- Complete;
+          ev.e_env.stats.st_completions <- ev.e_env.stats.st_completions + 1)
+        completable;
+      let resumable, blocked =
+        List.partition (fun w -> w.w_table.s_state = Complete) ev.e_waiters
+      in
+      (* negative waiters whose (ground) subgoal already has an
+         unconditional answer fail outright; dropping them is progress *)
+      let failed, blocked =
+        List.partition
+          (fun w -> w.w_kind = Wneg && template_unconditional w.w_table w.w_table.skey)
+          blocked
+      in
+      ev.e_waiters <- blocked;
+      if resumable <> [] || failed <> [] then begin
+        List.iter
+          (fun w ->
+            push_task ev
+              (Run
+                 {
+                   r_owner = w.w_owner;
+                   r_snapshot = w.w_snapshot;
+                   r_delays = w.w_delays;
+                   r_skip_first = false;
+                   r_extra_delay = None;
+                 }))
+          resumable;
+        loop ()
+      end
+      else begin
+        (* every waiter waits on a table inside the negative loop *)
+        match ev.e_env.mode with
+        | Stratified ->
+            raise (Non_stratified (List.map (fun w -> w.w_table.skey) ev.e_waiters))
+        | Well_founded ->
+            let waiters = ev.e_waiters in
+            ev.e_waiters <- [];
+            List.iter
+              (fun w ->
+                match w.w_kind with
+                | Wneg ->
+                    push_task ev
+                      (Run
+                         {
+                           r_owner = w.w_owner;
+                           r_snapshot = w.w_snapshot;
+                           r_delays = w.w_delays;
+                           r_skip_first = true;
+                           r_extra_delay = Some (Dneg w.w_table.skey);
+                         })
+                | Wgoal ->
+                    error "tfindall over a non-stratified loop")
+              waiters;
+            loop ()
+      end
+    end
+  in
+  (try loop () with
+  | Stop_eval -> finally ()
+  | e ->
+      finally ();
+      raise e);
+  finally ()
+
+let _ = is_ancestor_or_self
+let _ = error

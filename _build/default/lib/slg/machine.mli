@@ -1,0 +1,131 @@
+(** The SLG evaluation machine (paper §3): tabled resolution with
+    consumer suspension/resumption, batch completion, SLG negation,
+    existential negation, and (in well-founded mode) delaying.
+
+    This is the low-level interface; use {!Engine} for queries. *)
+
+open Xsb_term
+open Xsb_db
+
+exception Engine_error of string
+exception Floundered of Term.t
+exception Non_stratified of Canon.t list
+exception Step_limit
+exception Prolog_ball of Canon.t
+(** An uncaught [throw/1] ball. *)
+
+type mode = Stratified | Well_founded
+
+(** Delayed literals of conditional answers. *)
+type delay =
+  | Dneg of Canon.t  (** delayed ground negation [tnot G] *)
+  | Dpos of Canon.t * Canon.t  (** (subgoal, answer) used conditionally *)
+
+type answer = { a_template : Canon.t; mutable a_delays : delay list }
+
+type sstate = Incomplete | Complete
+
+type subgoal = {
+  skey : Canon.t;
+  s_id : int;
+  s_pred : string * int;
+  mutable s_state : sstate;
+  mutable s_owner_eval : int;
+  s_answers : answer Vec.t;
+  s_index : (Canon.t * delay list, answer) Hashtbl.t;
+  s_uncond : unit Canon.Tbl.t;
+  mutable s_consumers : consumer list;
+}
+
+and consumer = {
+  c_table : subgoal;
+  c_owner : subgoal;
+  c_snapshot : Canon.t;
+  c_delays : delay list;
+  mutable c_consumed : int;
+}
+
+type waiter_kind = Wneg | Wgoal
+
+type waiter = {
+  w_table : subgoal;
+  w_owner : subgoal;
+  w_kind : waiter_kind;
+  w_snapshot : Canon.t;
+  w_delays : delay list;
+}
+
+type task = Drain of consumer | Generate of subgoal | Run of run
+
+and run = {
+  r_owner : subgoal;
+  r_snapshot : Canon.t;
+  r_delays : delay list;
+  r_skip_first : bool;
+  r_extra_delay : delay option;
+}
+
+type stats = {
+  mutable st_subgoals : int;
+  mutable st_answers : int;
+  mutable st_dup_answers : int;
+  mutable st_suspensions : int;
+  mutable st_resumptions : int;
+  mutable st_resolutions : int;
+  mutable st_neg_suspensions : int;
+  mutable st_nested_evals : int;
+  mutable st_completions : int;
+  mutable st_steps : int;
+  call_counts : (string * int, int ref) Hashtbl.t;
+  mutable st_count_calls : bool;
+}
+
+type env = {
+  db : Database.t;
+  trail : Trail.t;
+  tables : subgoal Canon.Tbl.t;
+  mode : mode;
+  mutable tabling_enabled : bool;
+  mutable next_eval : int;
+  mutable next_subgoal : int;
+  mutable next_barrier : int;
+  mutable max_steps : int;
+  stats : stats;
+  mutable out : Format.formatter;
+  collectors : (Term.t * Term.t list ref) Stack.t;
+  mutable captured_incomplete : subgoal option;
+  mutable stop : (unit -> bool) option;
+  mutable tracer : (string -> Term.t -> unit) option;
+}
+
+type eval = {
+  e_id : int;
+  e_parent : eval option;
+  e_env : env;
+  mutable e_tasks : task list;
+  mutable e_waiters : waiter list;
+  mutable e_created : subgoal list;
+}
+
+val create_env : ?mode:mode -> Database.t -> env
+val new_eval : env -> eval option -> eval
+
+val create_table : eval -> Canon.t -> string * int -> subgoal
+val delete_table : env -> subgoal -> unit
+val find_table : env -> Canon.t -> subgoal option
+val has_unconditional : subgoal -> bool
+val has_any_answer : subgoal -> bool
+
+val susp_term : Term.t -> Term.t list -> Term.t -> Canon.t
+(** [susp_term first rest template] packages a derivation state for a
+    [Run] task or a snapshot. *)
+
+val push_task : eval -> task -> unit
+
+val run_eval : ?stop:(unit -> bool) -> eval -> unit
+(** Run the evaluation's scheduler to fixpoint (or until [stop]). May
+    raise {!Non_stratified} (in [Stratified] mode), {!Floundered},
+    {!Engine_error}, {!Step_limit}. *)
+
+val abandon_eval : eval -> unit
+(** Delete the evaluation's incomplete tables and drop its tasks. *)

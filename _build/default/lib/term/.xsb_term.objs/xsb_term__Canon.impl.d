@@ -1,0 +1,1 @@
+lib/term/canon.ml: Array Fmt Hashtbl Stdlib Term

@@ -1,0 +1,1 @@
+lib/term/canon.mli: Fmt Hashtbl Term

@@ -1,0 +1,1 @@
+lib/term/term.ml: Array Buffer Float Fmt Hashtbl Int List String Trail

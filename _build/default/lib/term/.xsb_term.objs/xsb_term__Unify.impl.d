@@ -1,0 +1,1 @@
+lib/term/unify.ml: Array Float Hashtbl Int String Term Trail

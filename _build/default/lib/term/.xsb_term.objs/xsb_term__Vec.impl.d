@@ -1,0 +1,1 @@
+lib/term/vec.ml: Array List

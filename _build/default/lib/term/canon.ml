@@ -1,0 +1,71 @@
+type t =
+  | CVar of int
+  | CAtom of string
+  | CInt of int
+  | CFloat of float
+  | CStruct of string * t array
+
+let of_term term =
+  let numbering = Hashtbl.create 8 in
+  let rec go term =
+    match Term.deref term with
+    | Term.Atom a -> CAtom a
+    | Term.Int i -> CInt i
+    | Term.Float x -> CFloat x
+    | Term.Var v -> (
+        match Hashtbl.find_opt numbering v.Term.vid with
+        | Some n -> CVar n
+        | None ->
+            let n = Hashtbl.length numbering in
+            Hashtbl.add numbering v.Term.vid n;
+            CVar n)
+    | Term.Struct (f, args) -> CStruct (f, Array.map go args)
+  in
+  go term
+
+let to_term c =
+  let fresh = Hashtbl.create 8 in
+  let rec go = function
+    | CAtom a -> Term.Atom a
+    | CInt i -> Term.Int i
+    | CFloat x -> Term.Float x
+    | CVar n -> (
+        match Hashtbl.find_opt fresh n with
+        | Some v -> v
+        | None ->
+            let v = Term.fresh_var () in
+            Hashtbl.add fresh n v;
+            v)
+    | CStruct (f, args) -> Term.Struct (f, Array.map go args)
+  in
+  go c
+
+let rec max_var acc = function
+  | CVar n -> max acc (n + 1)
+  | CAtom _ | CInt _ | CFloat _ -> acc
+  | CStruct (_, args) -> Array.fold_left max_var acc args
+
+let nvars c = max_var 0 c
+
+let rec is_ground = function
+  | CVar _ -> false
+  | CAtom _ | CInt _ | CFloat _ -> true
+  | CStruct (_, args) -> Array.for_all is_ground args
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (c : t) = Hashtbl.hash c
+
+let rec pp ppf = function
+  | CVar n -> Fmt.pf ppf "_%d" n
+  | CAtom a -> Fmt.string ppf a
+  | CInt i -> Fmt.int ppf i
+  | CFloat x -> Fmt.float ppf x
+  | CStruct (f, args) -> Fmt.pf ppf "%s(%a)" f Fmt.(array ~sep:(any ",") pp) args
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,28 @@
+(** Canonical, immutable representation of a term with variables numbered
+    by first occurrence. Two terms are variants iff their canonical forms
+    are equal, which makes [Canon.t] the right key type for subgoal tables
+    and for answer duplicate checks ("copying into table space"). *)
+
+type t =
+  | CVar of int  (** 0-based, in order of first occurrence *)
+  | CAtom of string
+  | CInt of int
+  | CFloat of float
+  | CStruct of string * t array
+
+val of_term : Term.t -> t
+(** Snapshot of the dereferenced term. *)
+
+val to_term : t -> Term.t
+(** Rebuild with fresh variables (consistent within one call). *)
+
+val nvars : t -> int
+(** Number of distinct variables. *)
+
+val is_ground : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : t Fmt.t
+
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,28 @@
+type t = { mutable actions : (unit -> unit) array; mutable len : int }
+
+let nop () = ()
+
+let create () = { actions = Array.make 64 nop; len = 0 }
+
+type mark = int
+
+let mark t = t.len
+
+let height t = t.len
+
+let grow t =
+  let actions = Array.make (2 * Array.length t.actions) nop in
+  Array.blit t.actions 0 actions 0 t.len;
+  t.actions <- actions
+
+let push t f =
+  if t.len = Array.length t.actions then grow t;
+  t.actions.(t.len) <- f;
+  t.len <- t.len + 1
+
+let undo_to t m =
+  for i = t.len - 1 downto m do
+    t.actions.(i) ();
+    t.actions.(i) <- nop
+  done;
+  t.len <- m

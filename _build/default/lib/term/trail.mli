@@ -1,0 +1,20 @@
+(** Binding trail: undo log for destructive updates (variable bindings,
+    and any other engine state that must be restored on backtracking). *)
+
+type t
+
+val create : unit -> t
+
+type mark = int
+
+val mark : t -> mark
+(** Current height of the trail. *)
+
+val push : t -> (unit -> unit) -> unit
+(** Record an undo action. Use {!Term.bind} for variable bindings. *)
+
+val undo_to : t -> mark -> unit
+(** Run (in reverse order) and discard every undo action recorded after
+    [mark]. *)
+
+val height : t -> int

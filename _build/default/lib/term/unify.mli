@@ -1,0 +1,16 @@
+(** Unification and related relations on terms. *)
+
+val unify : ?occurs_check:bool -> Trail.t -> Term.t -> Term.t -> bool
+(** [unify trail t u] attempts to unify [t] and [u], binding variables
+    destructively (recorded on [trail]). On failure all bindings made by
+    this call are undone. [occurs_check] defaults to [false], as in the
+    WAM. *)
+
+val variant : Term.t -> Term.t -> bool
+(** True when the two terms are equal up to a renaming of variables. Does
+    not bind anything. *)
+
+val instance_of : Trail.t -> instance:Term.t -> general:Term.t -> bool
+(** One-sided matching: true when [instance] is an instance of [general].
+    Bindings (only of [general]'s variables) are undone before
+    returning. *)

@@ -1,0 +1,1 @@
+lib/wam/compile.ml: Array Fmt Hashtbl Instr List Option Queue Term Xsb_term

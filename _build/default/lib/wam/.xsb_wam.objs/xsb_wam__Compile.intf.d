@@ -1,0 +1,1 @@
+lib/wam/compile.mli: Instr Term Xsb_term

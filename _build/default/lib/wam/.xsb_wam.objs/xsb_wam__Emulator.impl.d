@@ -1,0 +1,1 @@
+lib/wam/emulator.ml: Array Canon Compile Fmt Format Fun Hashtbl Instr List Marshal Option Printf String Term Trail Unify Vec Xsb_db Xsb_slg Xsb_term

@@ -1,0 +1,1 @@
+lib/wam/emulator.mli: Format Instr Term Xsb_db Xsb_term

@@ -1,0 +1,1 @@
+lib/wam/instr.mli: Fmt

@@ -1,0 +1,1 @@
+lib/wam/wam_image.ml: Emulator Fun List String

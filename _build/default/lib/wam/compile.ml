@@ -1,0 +1,427 @@
+open Xsb_term
+
+exception Not_compilable of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Not_compilable s)) fmt
+
+let builtin_goals =
+  [
+    ("=", 2);
+    ("is", 2);
+    ("<", 2);
+    (">", 2);
+    ("=<", 2);
+    (">=", 2);
+    ("=:=", 2);
+    ("=\\=", 2);
+    ("==", 2);
+    ("\\==", 2);
+    ("write", 1);
+    ("nl", 0);
+  ]
+
+let flatten_body body =
+  let rec go acc t =
+    match Term.deref t with
+    | Term.Atom "true" -> acc
+    | Term.Struct (",", [| l; r |]) -> go (go acc l) r
+    | g -> g :: acc
+  in
+  List.rev (go [] body)
+
+let unsupported_goal g =
+  match Term.deref g with
+  | Term.Struct ((";" | "->"), _) -> true
+  | Term.Struct (("\\+" | "not" | "tnot" | "e_tnot" | "call" | "findall" | "bagof" | "setof"), _)
+    ->
+      true
+  | Term.Var _ -> true
+  | _ -> false
+
+(* Variable numbering: rules put every variable in the environment. *)
+type varmap = { assign : (int, Instr.reg) Hashtbl.t; mutable seen : int list; mutable ny : int }
+
+let reg_of vm ~fact v =
+  match Hashtbl.find_opt vm.assign v.Term.vid with
+  | Some r -> r
+  | None ->
+      let r =
+        if fact then Instr.X (200 + Hashtbl.length vm.assign)
+        else begin
+          vm.ny <- vm.ny + 1;
+          Instr.Y vm.ny
+        end
+      in
+      Hashtbl.add vm.assign v.Term.vid r;
+      r
+
+let first_occurrence vm v =
+  if List.mem v.Term.vid vm.seen then false
+  else begin
+    vm.seen <- v.Term.vid :: vm.seen;
+    true
+  end
+
+(* ---- head compilation ---- *)
+
+(* Nested structures found while scanning a level are unified into fresh
+   temporary registers and expanded afterwards (breadth-first), as in
+   the classical flattened head form. *)
+let compile_head vm ~fact args =
+  let code = ref [] in
+  let emit i = code := i :: !code in
+  let tmp_counter = ref 100 in
+  let fresh_tmp () =
+    incr tmp_counter;
+    Instr.X !tmp_counter
+  in
+  let queue = Queue.create () in
+  let unify_arg sub =
+    match Term.deref sub with
+    | Term.Var v ->
+        let r = reg_of vm ~fact v in
+        if first_occurrence vm v then emit (Instr.Unify_variable r) else emit (Instr.Unify_value r)
+    | Term.Atom "[]" -> emit Instr.Unify_nil
+    | Term.Atom c -> emit (Instr.Unify_constant c)
+    | Term.Int i -> emit (Instr.Unify_integer i)
+    | Term.Float f -> emit (Instr.Unify_float f)
+    | Term.Struct _ as nested ->
+        let t = fresh_tmp () in
+        emit (Instr.Unify_variable t);
+        Queue.add (t, nested) queue
+  in
+  let expand reg term =
+    match Term.deref term with
+    | Term.Struct (".", [| h; tl |]) ->
+        (match reg with
+        | Instr.X i -> emit (Instr.Get_list i)
+        | Instr.Y _ -> assert false);
+        unify_arg h;
+        unify_arg tl
+    | Term.Struct (f, sub) ->
+        (match reg with
+        | Instr.X i -> emit (Instr.Get_structure (f, Array.length sub, i))
+        | Instr.Y _ -> assert false);
+        Array.iter unify_arg sub
+    | _ -> assert false
+  in
+  Array.iteri
+    (fun i arg ->
+      let ai = i + 1 in
+      match Term.deref arg with
+      | Term.Var v ->
+          let r = reg_of vm ~fact v in
+          if first_occurrence vm v then emit (Instr.Get_variable (r, ai))
+          else emit (Instr.Get_value (r, ai))
+      | Term.Atom "[]" -> emit (Instr.Get_nil ai)
+      | Term.Atom c -> emit (Instr.Get_constant (c, ai))
+      | Term.Int n -> emit (Instr.Get_integer (n, ai))
+      | Term.Float f -> emit (Instr.Get_float (f, ai))
+      | Term.Struct (".", [| h; tl |]) ->
+          emit (Instr.Get_list ai);
+          unify_arg h;
+          unify_arg tl
+      | Term.Struct (f, sub) ->
+          emit (Instr.Get_structure (f, Array.length sub, ai));
+          Array.iter unify_arg sub)
+    args;
+  (* expand queued nested structures *)
+  while not (Queue.is_empty queue) do
+    let reg, term = Queue.pop queue in
+    expand reg term
+  done;
+  List.rev !code
+
+(* ---- body argument compilation ---- *)
+
+(* Build nested structures bottom-up into temporaries, then the top
+   level directly into the argument register. *)
+let compile_puts vm ~fact args =
+  let code = ref [] in
+  let emit i = code := i :: !code in
+  let tmp_counter = ref (Array.length args + 100) in
+  let fresh_tmp () =
+    incr tmp_counter;
+    !tmp_counter
+  in
+  (* returns an operand usable in Set_ position *)
+  let rec build_into_tmp term =
+    match Term.deref term with
+    | Term.Struct (".", [| h; tl |]) ->
+        let hop = prepare h and tlop = prepare tl in
+        let t = fresh_tmp () in
+        emit (Instr.Put_list t);
+        set_operand hop;
+        set_operand tlop;
+        Instr.X t
+    | Term.Struct (f, sub) ->
+        let ops = Array.map prepare sub in
+        let t = fresh_tmp () in
+        emit (Instr.Put_structure (f, Array.length sub, t));
+        Array.iter set_operand ops;
+        Instr.X t
+    | _ -> assert false
+
+  and prepare sub =
+    match Term.deref sub with
+    | Term.Var v ->
+        let r = reg_of vm ~fact v in
+        if first_occurrence vm v then `NewVar r else `Reg r
+    | Term.Atom "[]" -> `Nil
+    | Term.Atom c -> `Con c
+    | Term.Int i -> `Int i
+    | Term.Float f -> `Float f
+    | Term.Struct _ as nested -> `Reg (build_into_tmp nested)
+
+  and set_operand = function
+    | `NewVar r -> emit (Instr.Set_variable r)
+    | `Reg r -> emit (Instr.Set_value r)
+    | `Nil -> emit (Instr.Set_constant "[]")
+    | `Con c -> emit (Instr.Set_constant c)
+    | `Int i -> emit (Instr.Set_integer i)
+    | `Float f -> emit (Instr.Set_float f)
+  in
+  Array.iteri
+    (fun i arg ->
+      let ai = i + 1 in
+      match Term.deref arg with
+      | Term.Var v ->
+          let r = reg_of vm ~fact v in
+          if first_occurrence vm v then emit (Instr.Put_variable (r, ai))
+          else emit (Instr.Put_value (r, ai))
+      | Term.Atom "[]" -> emit (Instr.Put_nil ai)
+      | Term.Atom c -> emit (Instr.Put_constant (c, ai))
+      | Term.Int n -> emit (Instr.Put_integer (n, ai))
+      | Term.Float f -> emit (Instr.Put_float (f, ai))
+      | Term.Struct (".", [| h; tl |]) ->
+          let hop = prepare h and tlop = prepare tl in
+          emit (Instr.Put_list ai);
+          set_operand hop;
+          set_operand tlop
+      | Term.Struct (f, sub) ->
+          let ops = Array.map prepare sub in
+          emit (Instr.Put_structure (f, Array.length sub, ai));
+          Array.iter set_operand ops)
+    args;
+  List.rev !code
+
+let args_of t =
+  match Term.deref t with Term.Struct (_, args) -> args | _ -> [||]
+
+let goal_key g =
+  match Term.deref g with
+  | Term.Atom name -> (name, 0)
+  | Term.Struct (name, args) -> (name, Array.length args)
+  | t -> fail "bad goal %a" Term.pp t
+
+let clause ~head ~body =
+  let goals = flatten_body body in
+  List.iter (fun g -> if unsupported_goal g then fail "unsupported goal %a" Term.pp g) goals;
+  let fact = goals = [] || List.for_all (fun g -> goal_key g = ("!", 0)) goals in
+  let vm = { assign = Hashtbl.create 8; seen = []; ny = 0 } in
+  let head_code = compile_head vm ~fact (args_of head) in
+  if fact then
+    (* facts (and fact-with-neck-cut) need no environment *)
+    head_code @ List.concat_map (fun _ -> [ Instr.Neck_cut ]) goals @ [ Instr.Proceed ]
+  else begin
+    let uses_deep_cut =
+      match goals with
+      | _first :: rest -> List.exists (fun g -> goal_key g = ("!", 0)) rest
+      | [] -> false
+    in
+    let cut_slot =
+      if uses_deep_cut then begin
+        vm.ny <- vm.ny + 1;
+        Some (Instr.Y vm.ny)
+      end
+      else None
+    in
+    let body_code = ref [] in
+    let emit is = body_code := is :: !body_code in
+    let n = List.length goals in
+    List.iteri
+      (fun i g ->
+        let last = i = n - 1 in
+        let key = goal_key g in
+        match key with
+        | "!", 0 ->
+            if i = 0 then emit [ Instr.Neck_cut ]
+            else emit [ Instr.Cut (Option.get cut_slot) ];
+            if last then emit [ Instr.Deallocate; Instr.Proceed ]
+        | name, arity when List.mem key builtin_goals ->
+            emit (compile_puts vm ~fact:false (args_of g));
+            emit [ Instr.Builtin (name, arity) ];
+            if last then emit [ Instr.Deallocate; Instr.Proceed ]
+        | name, arity ->
+            emit (compile_puts vm ~fact:false (args_of g));
+            if last then emit [ Instr.Deallocate; Instr.Execute (name, arity) ]
+            else emit [ Instr.Call (name, arity) ])
+      goals;
+    let body_code = List.concat (List.rev !body_code) in
+    (Instr.Allocate vm.ny
+    :: (match cut_slot with Some r -> [ Instr.Get_level r ] | None -> []))
+    @ head_code @ body_code
+  end
+
+(* ---- predicate-level indexing and assembly ---- *)
+
+let first_arg_kind head =
+  let args = args_of head in
+  if Array.length args = 0 then `None
+  else
+    match Term.deref args.(0) with
+    | Term.Var _ -> `Var
+    | Term.Atom "[]" -> `Con (Instr.KCon "[]")
+    | Term.Atom c -> `Con (Instr.KCon c)
+    | Term.Int i -> `Con (Instr.KInt i)
+    | Term.Float f -> `Con (Instr.KFloat f)
+    | Term.Struct (".", [| _; _ |]) -> `Lis
+    | Term.Struct (f, sub) -> `Str (f, Array.length sub)
+
+let assemble blocks =
+  (* blocks: (label, instr list) list in layout order; labels become
+     addresses *)
+  let addr = Hashtbl.create 16 in
+  let pos = ref 0 in
+  List.iter
+    (fun (label, instrs) ->
+      Hashtbl.replace addr label !pos;
+      pos := !pos + List.length instrs)
+    blocks;
+  let resolve l =
+    match Hashtbl.find_opt addr l with
+    | Some a -> a
+    | None -> Fmt.failwith "unresolved label L%d" l
+  in
+  let out = Array.make (max 1 !pos) Instr.Fail_instr in
+  let i = ref 0 in
+  List.iter
+    (fun (_, instrs) ->
+      List.iter
+        (fun instr ->
+          let instr =
+            match instr with
+            | Instr.Try_me_else l -> Instr.Try_me_else (resolve l)
+            | Instr.Retry_me_else l -> Instr.Retry_me_else (resolve l)
+            | Instr.Try l -> Instr.Try (resolve l)
+            | Instr.Retry l -> Instr.Retry (resolve l)
+            | Instr.Trust l -> Instr.Trust (resolve l)
+            | Instr.Jump l -> Instr.Jump (resolve l)
+            | Instr.Switch_on_term (v, c, li, st) ->
+                Instr.Switch_on_term (resolve v, resolve c, resolve li, resolve st)
+            | Instr.Switch_on_constant (table, d) ->
+                Instr.Switch_on_constant (List.map (fun (k, l) -> (k, resolve l)) table, resolve d)
+            | Instr.Switch_on_structure (table, d) ->
+                Instr.Switch_on_structure (List.map (fun (k, l) -> (k, resolve l)) table, resolve d)
+            | i -> i
+          in
+          out.(!i) <- instr;
+          incr i)
+        instrs)
+    blocks;
+  out
+
+let predicate clauses =
+  if clauses = [] then [| Instr.Fail_instr |]
+  else begin
+    let compiled = List.map (fun (head, body) -> (head, clause ~head ~body)) clauses in
+    match compiled with
+    | [ (_, code) ] -> assemble [ (0, code) ]
+    | _ ->
+        let next_label = ref 0 in
+        let fresh_label () =
+          incr next_label;
+          !next_label
+        in
+        let blocks = ref [] in
+        let add_block instrs =
+          let l = fresh_label () in
+          blocks := (l, instrs) :: !blocks;
+          l
+        in
+        let clause_labels = List.map (fun (h, code) -> (h, add_block code)) compiled in
+        let fail_label = add_block [ Instr.Fail_instr ] in
+        (* a try/retry/trust chain over a subset of the clauses *)
+        let chain_instrs = function
+          | [] -> [ Instr.Fail_instr ]
+          | [ l ] -> [ Instr.Jump l ]
+          | first :: rest ->
+              let rec tail = function
+                | [ last ] -> [ Instr.Trust last ]
+                | l :: rest -> Instr.Retry l :: tail rest
+                | [] -> []
+              in
+              Instr.Try first :: tail rest
+        in
+        let chain labels =
+          match labels with
+          | [] -> fail_label
+          | [ l ] -> l
+          | ls -> add_block (chain_instrs ls)
+        in
+        let kinds = List.map (fun (h, l) -> (first_arg_kind h, l)) clause_labels in
+        let all_labels = List.map snd clause_labels in
+        (* group clauses by first-argument kind in one pass, keeping the
+           original clause order; variable-headed clauses belong to every
+           bucket *)
+        let con_groups : (Instr.ckey, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+        let str_groups : (string * int, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+        let var_clauses = ref [] and lis_clauses = ref [] in
+        List.iteri
+          (fun pos (kind, l) ->
+            match kind with
+            | `Var ->
+                var_clauses := (pos, l) :: !var_clauses;
+                lis_clauses := (pos, l) :: !lis_clauses
+            | `Lis -> lis_clauses := (pos, l) :: !lis_clauses
+            | `Con c -> (
+                match Hashtbl.find_opt con_groups c with
+                | Some cell -> cell := (pos, l) :: !cell
+                | None -> Hashtbl.add con_groups c (ref [ (pos, l) ]))
+            | `Str st -> (
+                match Hashtbl.find_opt str_groups st with
+                | Some cell -> cell := (pos, l) :: !cell
+                | None -> Hashtbl.add str_groups st (ref [ (pos, l) ]))
+            | `None -> ())
+          kinds;
+        let ordered own =
+          List.map snd
+            (List.sort compare (List.rev_append !var_clauses own))
+        in
+        let entry =
+          if List.exists (fun (k, _) -> k = `None) kinds then
+            (* arity 0: no first-argument indexing possible *)
+            (0, chain_instrs all_labels)
+          else begin
+            let var_label = chain all_labels in
+            let var_chain () = chain (ordered []) in
+            let con_label =
+              if Hashtbl.length con_groups = 0 then var_chain ()
+              else
+                add_block
+                  [
+                    Instr.Switch_on_constant
+                      ( Hashtbl.fold
+                          (fun c cell acc -> (c, chain (ordered !cell)) :: acc)
+                          con_groups [],
+                        var_chain () );
+                  ]
+            in
+            let lis_label = chain (List.map snd (List.sort compare (List.rev !lis_clauses))) in
+            let str_label =
+              if Hashtbl.length str_groups = 0 then var_chain ()
+              else
+                add_block
+                  [
+                    Instr.Switch_on_structure
+                      ( Hashtbl.fold
+                          (fun st cell acc -> (st, chain (ordered !cell)) :: acc)
+                          str_groups [],
+                        var_chain () );
+                  ]
+            in
+            (0, [ Instr.Switch_on_term (var_label, con_label, lis_label, str_label) ])
+          end
+        in
+        assemble (entry :: List.rev !blocks)
+  end

@@ -1,0 +1,26 @@
+(** The clause compiler: translates clauses to WAM code with
+    first-argument indexing (switch_on_term plus hashed constant and
+    structure switches, paper §4.5's default static indexing).
+
+    A simplification relative to a register-optimizing WAM compiler: in
+    rules, every variable is treated as permanent (allocated in the
+    environment). This keeps argument-register shuffling trivially
+    correct at a small constant cost; facts use temporary registers
+    only. *)
+
+open Xsb_term
+
+exception Not_compilable of string
+(** Raised for clauses the WAM subset does not cover: tabled predicates
+    (evaluated by the SLG interpreter), disjunction/if-then-else,
+    negation, findall, and meta-calls. *)
+
+val clause : head:Term.t -> body:Term.t -> Instr.t list
+(** Compile one clause to unassembled code (no Label pseudo-instrs). *)
+
+val predicate : (Term.t * Term.t) list -> Instr.t array
+(** Compile and assemble a whole predicate (list of head/body pairs)
+    with first-argument indexing across the clauses. *)
+
+val builtin_goals : (string * int) list
+(** Goal shapes compiled to [Builtin] escapes. *)

@@ -1,0 +1,875 @@
+open Xsb_term
+module Arith = Xsb_slg.Arith
+
+exception Wam_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Wam_error s)) fmt
+
+type cell =
+  | Ref of int
+  | Str of int
+  | Lis of int
+  | Con of string
+  | IntC of int
+  | FloatC of float
+  | Fun of string * int
+
+(* Per-predicate code plus hashed switch tables (the "hash-based
+   indexing" of §4.5: switch_on_constant/structure lookups are O(1)). *)
+type proc = {
+  p_code : Instr.t array;
+  p_ctab : (int, (Instr.ckey, int) Hashtbl.t) Hashtbl.t;
+  p_stab : (int, (string * int, int) Hashtbl.t) Hashtbl.t;
+}
+
+(* Linear tabling at the WAM level (see DESIGN.md §3): a tabled call is
+   answered from compiled *answer clauses*; generators re-run their
+   (renamed) clause code against the current answer snapshots until a
+   global fixpoint, then every active table is completed. This trades
+   the SLG-WAM's suspension machinery for recomputation, keeping the
+   byte-code engine simple while remaining terminating and complete on
+   datalog. *)
+type table_entry = {
+  te_pattern : Term.t;  (* generalized call *)
+  te_order : Canon.t Vec.t;
+  te_set : unit Canon.Tbl.t;
+  mutable te_complete : bool;
+  mutable te_proc : proc option;  (* compiled answer clauses (cache) *)
+}
+
+and program = {
+  preds : (string * int, proc) Hashtbl.t;
+  tabled : (string * int, unit) Hashtbl.t;
+  tables : table_entry Canon.Tbl.t;
+  mutable active : table_entry list;  (* in-progress entries *)
+  mutable changed : bool;
+  mutable depth : int;  (* generator nesting *)
+}
+
+let empty_program () =
+  {
+    preds = Hashtbl.create 64;
+    tabled = Hashtbl.create 8;
+    tables = Canon.Tbl.create 64;
+    active = [];
+    changed = false;
+    depth = 0;
+  }
+
+let make_proc code =
+  let ctab = Hashtbl.create 4 and stab = Hashtbl.create 4 in
+  Array.iteri
+    (fun pc instr ->
+      match instr with
+      | Instr.Switch_on_constant (table, _) ->
+          let h = Hashtbl.create (2 * List.length table) in
+          List.iter (fun (k, l) -> Hashtbl.replace h k l) table;
+          Hashtbl.replace ctab pc h
+      | Instr.Switch_on_structure (table, _) ->
+          let h = Hashtbl.create (2 * List.length table) in
+          List.iter (fun (k, l) -> Hashtbl.replace h k l) table;
+          Hashtbl.replace stab pc h
+      | _ -> ())
+    code;
+  { p_code = code; p_ctab = ctab; p_stab = stab }
+
+let install program name arity code = Hashtbl.replace program.preds (name, arity) (make_proc code)
+
+let declare_tabled program name arity = Hashtbl.replace program.tabled (name, arity) ()
+
+let exported_code program =
+  Hashtbl.fold (fun key proc acc -> (key, proc.p_code) :: acc) program.preds []
+
+let tabled_preds program = Hashtbl.fold (fun key () acc -> key :: acc) program.tabled []
+
+(* whole-program images: procs (code plus prebuilt switch tables) are
+   pure data, so they marshal directly; loading is a single unmarshal
+   with no compilation, clause insertion or index building *)
+type image_payload = (string * int, proc) Hashtbl.t * (string * int) list
+
+let write_image program oc =
+  Marshal.to_channel oc ((program.preds, tabled_preds program) : image_payload) []
+
+let read_image ic =
+  let (preds, tabled) : image_payload = Marshal.from_channel ic in
+  let program = empty_program () in
+  Hashtbl.iter (fun key proc -> Hashtbl.replace program.preds key proc) preds;
+  List.iter (fun key -> Hashtbl.replace program.tabled key ()) tabled;
+  program
+
+let disassemble_pred program name arity ppf =
+  match Hashtbl.find_opt program.preds (name, arity) with
+  | None -> Fmt.pf ppf "%% %s/%d: undefined@." name arity
+  | Some proc ->
+      Fmt.pf ppf "%% %s/%d%s@." name arity
+        (if Hashtbl.mem program.tabled (name, arity) then "  (tabled)" else "");
+      Array.iteri (fun i instr -> Fmt.pf ppf "  %4d  %a@." i Instr.pp instr) proc.p_code
+
+let disassemble program ppf =
+  let keys = Hashtbl.fold (fun key _ acc -> key :: acc) program.preds [] in
+  List.iter
+    (fun (name, arity) -> disassemble_pred program name arity ppf)
+    (List.sort compare keys)
+
+let head_key head =
+  match Term.deref head with
+  | Term.Atom name -> (name, 0)
+  | Term.Struct (name, args) -> (name, Array.length args)
+  | t -> error "bad clause head %a" Term.pp t
+
+let compile_clauses program clauses =
+  let by_pred = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (head, body) ->
+      let key = head_key head in
+      (match Hashtbl.find_opt by_pred key with
+      | Some cell -> cell := (head, body) :: !cell
+      | None ->
+          Hashtbl.add by_pred key (ref [ (head, body) ]);
+          order := key :: !order))
+    clauses;
+  List.iter
+    (fun key ->
+      let cell = Hashtbl.find by_pred key in
+      let code = Compile.predicate (List.rev !cell) in
+      install program (fst key) (snd key) code)
+    (List.rev !order)
+
+let generator_name name = name ^ "$gen"
+
+let rename_head name head =
+  match Term.deref head with
+  | Term.Atom _ -> Term.Atom (generator_name name)
+  | Term.Struct (_, args) -> Term.Struct (generator_name name, args)
+  | t -> error "bad clause head %a" Term.pp t
+
+let of_database db =
+  let program = empty_program () in
+  List.iter
+    (fun pred ->
+      let name = Xsb_db.Pred.name pred and arity = Xsb_db.Pred.arity pred in
+      let clauses =
+        List.map (fun c -> (c.Xsb_db.Pred.head, c.Xsb_db.Pred.body)) (Xsb_db.Pred.clauses pred)
+      in
+      if Xsb_db.Pred.tabled pred then begin
+        (* generator code under p$gen; calls to p go through the table *)
+        let clauses = List.map (fun (h, b) -> (rename_head name h, b)) clauses in
+        match Compile.predicate clauses with
+        | code ->
+            install program (generator_name name) arity code;
+            Hashtbl.replace program.tabled (name, arity) ()
+        | exception Compile.Not_compilable _ -> ()
+      end
+      else
+        match Compile.predicate clauses with
+        | code -> install program name arity code
+        | exception Compile.Not_compilable _ -> ())
+    (Xsb_db.Database.preds db);
+  program
+
+(* ------------------------------------------------------------------ *)
+
+type cont = { c_proc : proc; c_pc : int }
+
+type frame = {
+  f_prev : frame option;
+  f_cp : cont;
+  f_perms : cell array;
+  mutable f_clevel : choice option;
+}
+
+and choice = {
+  ch_prev : choice option;
+  ch_args : cell array;
+  ch_e : frame option;
+  ch_cp : cont;
+  mutable ch_next : cont;
+  ch_tr : int;
+  ch_h : int;
+  ch_b0 : choice option;
+}
+
+type machine = {
+  program : program;
+  mutable heap : cell array;
+  mutable h : int;
+  x : cell array;
+  mutable e : frame option;
+  mutable b : choice option;
+  mutable b0 : choice option;
+  mutable cp : cont;
+  mutable proc : proc;
+  mutable pc : int;
+  mutable s : int;
+  mutable write_mode : bool;
+  mutable trail : int array;
+  mutable tr : int;
+  mutable hb : int;
+  mutable num_args : int;
+  mutable steps : int;
+  mutable on_sol : (machine -> unit) option;
+}
+
+exception Backtrack
+exception Finished
+exception Halted
+
+let halt_proc = make_proc [| Instr.Fail_instr |]
+
+let create program =
+  {
+    program;
+    heap = Array.make 4096 (Con "$free");
+    h = 0;
+    x = Array.make 1024 (Con "$free");
+    e = None;
+    b = None;
+    b0 = None;
+    cp = { c_proc = halt_proc; c_pc = 0 };
+    proc = halt_proc;
+    pc = 0;
+    s = 0;
+    write_mode = false;
+    trail = Array.make 4096 0;
+    tr = 0;
+    hb = 0;
+    num_args = 0;
+    steps = 0;
+    on_sol = None;
+  }
+
+let instructions_executed m = m.steps
+
+let grow_heap m needed =
+  if m.h + needed > Array.length m.heap then begin
+    let heap = Array.make (max (2 * Array.length m.heap) (m.h + needed + 1024)) (Con "$free") in
+    Array.blit m.heap 0 heap 0 m.h;
+    m.heap <- heap
+  end
+
+let push_heap m cell =
+  grow_heap m 1;
+  m.heap.(m.h) <- cell;
+  m.h <- m.h + 1
+
+let trail_push m addr =
+  if m.tr = Array.length m.trail then begin
+    let trail = Array.make (2 * Array.length m.trail) 0 in
+    Array.blit m.trail 0 trail 0 m.tr;
+    m.trail <- trail
+  end;
+  m.trail.(m.tr) <- addr;
+  m.tr <- m.tr + 1
+
+let rec deref m cell =
+  match cell with
+  | Ref a -> ( match m.heap.(a) with Ref a' when a' = a -> cell | c -> deref m c)
+  | c -> c
+
+let bind m addr cell =
+  m.heap.(addr) <- cell;
+  if addr < m.hb then trail_push m addr
+
+(* full unification over heap cells *)
+let rec unify m u v =
+  let u = deref m u and v = deref m v in
+  match (u, v) with
+  | Ref a, Ref b when a = b -> true
+  | Ref a, other | other, Ref a ->
+      (match (u, v) with
+      | Ref a', Ref b' ->
+          (* bind the younger to the older to keep the trail small *)
+          if a' < b' then bind m b' (Ref a') else bind m a' (Ref b')
+      | _ -> bind m a other);
+      true
+  | Con a, Con b -> String.equal a b
+  | IntC a, IntC b -> a = b
+  | FloatC a, FloatC b -> a = b
+  | Lis a, Lis b -> unify m m.heap.(a) m.heap.(b) && unify m m.heap.(a + 1) m.heap.(b + 1)
+  | Str a, Str b -> (
+      match (m.heap.(a), m.heap.(b)) with
+      | Fun (f, n), Fun (g, k) ->
+          String.equal f g && n = k
+          &&
+          let rec go i = i > n || (unify m m.heap.(a + i) m.heap.(b + i) && go (i + 1)) in
+          go 1
+      | _ -> false)
+  | _ -> false
+
+let undo_trail m mark =
+  while m.tr > mark do
+    m.tr <- m.tr - 1;
+    let a = m.trail.(m.tr) in
+    m.heap.(a) <- Ref a
+  done
+
+let backtrack m =
+  match m.b with
+  | None -> raise Finished
+  | Some ch ->
+      Array.blit ch.ch_args 0 m.x 0 (Array.length ch.ch_args);
+      m.e <- ch.ch_e;
+      m.cp <- ch.ch_cp;
+      undo_trail m ch.ch_tr;
+      m.h <- ch.ch_h;
+      m.hb <- ch.ch_h;
+      m.b0 <- ch.ch_b0;
+      m.proc <- ch.ch_next.c_proc;
+      m.pc <- ch.ch_next.c_pc
+
+let frame_of m = match m.e with Some f -> f | None -> error "no environment"
+
+let reg_get m = function
+  | Instr.X i -> m.x.(i)
+  | Instr.Y i -> (frame_of m).f_perms.(i - 1)
+
+let reg_set m r cell =
+  match r with
+  | Instr.X i -> m.x.(i) <- cell
+  | Instr.Y i -> (frame_of m).f_perms.(i - 1) <- cell
+
+let new_heap_var m =
+  let a = m.h in
+  push_heap m (Ref a);
+  Ref a
+
+(* decode a heap cell into a term; [vars] may be shared across cells so
+   that variable identity is preserved when decoding several arguments *)
+let decode ?vars m cell =
+  let vars = match vars with Some v -> v | None -> Hashtbl.create 8 in
+  let rec go cell =
+    match deref m cell with
+    | Ref a -> (
+        match Hashtbl.find_opt vars a with
+        | Some v -> v
+        | None ->
+            let v = Term.fresh_var () in
+            Hashtbl.add vars a v;
+            v)
+    | Con c -> Term.Atom c
+    | IntC i -> Term.Int i
+    | FloatC f -> Term.Float f
+    | Lis a -> Term.cons (go m.heap.(a)) (go m.heap.(a + 1))
+    | Str a -> (
+        match m.heap.(a) with
+        | Fun (f, n) -> Term.Struct (f, Array.init n (fun i -> go m.heap.(a + i + 1)))
+        | _ -> error "corrupt heap")
+    | Fun _ -> error "corrupt heap"
+  in
+  go cell
+
+(* arithmetic over cells *)
+let rec eval_cell m cell =
+  match deref m cell with
+  | IntC i -> Arith.I i
+  | FloatC f -> Arith.F f
+  | Con c -> Arith.eval (Term.Atom c)
+  | Str a -> (
+      match m.heap.(a) with
+      | Fun (f, n) ->
+          let args = Array.init n (fun i -> m.heap.(a + i + 1)) in
+          eval_compound m f args
+      | _ -> error "corrupt heap")
+  | Ref _ -> raise (Arith.Arith_error "unbound variable in arithmetic")
+  | Lis _ -> raise (Arith.Arith_error "list in arithmetic")
+  | Fun _ -> error "corrupt heap"
+
+and eval_compound m f args =
+  (* reuse the term-level evaluator by converting the (small) expression *)
+  let rec to_term cell =
+    match deref m cell with
+    | IntC i -> Term.Int i
+    | FloatC x -> Term.Float x
+    | Con c -> Term.Atom c
+    | Str a -> (
+        match m.heap.(a) with
+        | Fun (g, n) -> Term.Struct (g, Array.init n (fun i -> to_term m.heap.(a + i + 1)))
+        | _ -> error "corrupt heap")
+    | Ref _ -> raise (Arith.Arith_error "unbound variable in arithmetic")
+    | _ -> raise (Arith.Arith_error "bad arithmetic expression")
+  in
+  Arith.eval (Term.Struct (f, Array.map to_term args))
+
+(* structural comparison for ==/2 *)
+let rec cells_equal m u v =
+  let u = deref m u and v = deref m v in
+  match (u, v) with
+  | Ref a, Ref b -> a = b
+  | Con a, Con b -> String.equal a b
+  | IntC a, IntC b -> a = b
+  | FloatC a, FloatC b -> a = b
+  | Lis a, Lis b -> cells_equal m m.heap.(a) m.heap.(b) && cells_equal m m.heap.(a + 1) m.heap.(b + 1)
+  | Str a, Str b -> (
+      match (m.heap.(a), m.heap.(b)) with
+      | Fun (f, n), Fun (g, k) ->
+          String.equal f g && n = k
+          &&
+          let rec go i = i > n || (cells_equal m m.heap.(a + i) m.heap.(b + i) && go (i + 1)) in
+          go 1
+      | _ -> false)
+  | _ -> false
+
+let run_builtin m name arity =
+  match (name, arity) with
+  | "$solution$", 0 -> (
+      match m.on_sol with
+      | Some hook ->
+          hook m;
+          raise Backtrack
+      | None -> error "no solution hook installed")
+  | "=", 2 -> if not (unify m m.x.(1) m.x.(2)) then raise Backtrack
+  | "==", 2 -> if not (cells_equal m m.x.(1) m.x.(2)) then raise Backtrack
+  | "\\==", 2 -> if cells_equal m m.x.(1) m.x.(2) then raise Backtrack
+  | "is", 2 ->
+      let v = eval_cell m m.x.(2) in
+      let cell = match v with Arith.I i -> IntC i | Arith.F f -> FloatC f in
+      if not (unify m m.x.(1) cell) then raise Backtrack
+  | ("<" | ">" | "=<" | ">=" | "=:=" | "=\\="), 2 ->
+      let a = eval_cell m m.x.(1) and b = eval_cell m m.x.(2) in
+      let c = Arith.compare_numbers a b in
+      let ok =
+        match name with
+        | "<" -> c < 0
+        | ">" -> c > 0
+        | "=<" -> c <= 0
+        | ">=" -> c >= 0
+        | "=:=" -> c = 0
+        | "=\\=" -> c <> 0
+        | _ -> assert false
+      in
+      if not ok then raise Backtrack
+  | "write", 1 ->
+      Format.printf "%a" Term.pp (decode m m.x.(1))
+  | "nl", 0 -> Format.print_newline ()
+  | _ -> error "unknown WAM builtin %s/%d" name arity
+
+let lookup_proc m key = Hashtbl.find_opt m.program.preds key
+
+(* forward reference to [run], needed by the tabling wrapper to evaluate
+   generators in a nested machine *)
+let run_ref : (machine -> Term.t -> on_solution:(Term.t list -> bool) -> int) ref =
+  ref (fun _ _ ~on_solution:_ -> 0)
+
+(* ---- linear tabling ---- *)
+
+let generation_pass m entry =
+  let program = m.program in
+  program.depth <- program.depth + 1;
+  Fun.protect
+    ~finally:(fun () -> program.depth <- program.depth - 1)
+    (fun () ->
+      let pattern = entry.te_pattern in
+      let goal =
+        match Term.deref pattern with
+        | Term.Atom name -> Term.Atom (generator_name name)
+        | Term.Struct (name, args) -> Term.Struct (generator_name name, args)
+        | t -> error "bad table pattern %a" Term.pp t
+      in
+      let vars = Term.vars pattern in
+      let nested = create program in
+      let trail = Trail.create () in
+      ignore
+        (!run_ref nested goal ~on_solution:(fun values ->
+             let mark = Trail.mark trail in
+             List.iter2
+               (fun v value -> ignore (Unify.unify trail (Term.Var v) value))
+               vars values;
+             let instance = Canon.of_term pattern in
+             Trail.undo_to trail mark;
+             if not (Canon.Tbl.mem entry.te_set instance) then begin
+               Canon.Tbl.add entry.te_set instance ();
+               Vec.push entry.te_order instance;
+               entry.te_proc <- None;
+               program.changed <- true
+             end;
+             true)))
+
+let answers_proc entry =
+  match entry.te_proc with
+  | Some proc -> proc
+  | None ->
+      let facts =
+        List.map (fun c -> (Term.deref (Canon.to_term c), Term.Atom "true")) (Vec.to_list entry.te_order)
+      in
+      let proc = make_proc (Compile.predicate facts) in
+      entry.te_proc <- Some proc;
+      proc
+
+(* resolve a tabled call: run generators to fixpoint if needed and
+   return the compiled answer clauses to resolve against *)
+let table_proc m p n =
+  let program = m.program in
+  let vars = Hashtbl.create 8 in
+  let call = Term.struct_ p (Array.init n (fun i -> decode ~vars m m.x.(i + 1))) in
+  let key = Canon.of_term call in
+  let entry =
+    match Canon.Tbl.find_opt program.tables key with
+    | Some entry -> entry
+    | None ->
+        let entry =
+          {
+            te_pattern = Canon.to_term key;
+            te_order = Vec.create ();
+            te_set = Canon.Tbl.create 16;
+            te_complete = false;
+            te_proc = None;
+          }
+        in
+        Canon.Tbl.replace program.tables key entry;
+        program.active <- entry :: program.active;
+        generation_pass m entry;
+        if program.depth = 0 then begin
+          (* outermost generator: iterate every active table to the
+             global fixpoint, then complete them all *)
+          let continue_ = ref true in
+          while !continue_ do
+            program.changed <- false;
+            List.iter (fun e -> generation_pass m e) program.active;
+            continue_ := program.changed
+          done;
+          List.iter (fun e -> e.te_complete <- true) program.active;
+          program.active <- []
+        end;
+        entry
+  in
+  answers_proc entry
+
+(* the emulator loop *)
+let exec m =
+  let continue_at pc = m.pc <- pc in
+  try
+    while true do
+      let instr = m.proc.p_code.(m.pc) in
+      m.steps <- m.steps + 1;
+      let pc = m.pc in
+      m.pc <- pc + 1;
+      try
+        match instr with
+        | Instr.Label _ -> ()
+        | Instr.Get_variable (r, a) -> reg_set m r m.x.(a)
+        | Instr.Get_value (r, a) -> if not (unify m (reg_get m r) m.x.(a)) then raise Backtrack
+        | Instr.Get_constant (c, a) -> (
+            match deref m m.x.(a) with
+            | Ref addr -> bind m addr (Con c)
+            | Con c' when String.equal c c' -> ()
+            | _ -> raise Backtrack)
+        | Instr.Get_integer (i, a) -> (
+            match deref m m.x.(a) with
+            | Ref addr -> bind m addr (IntC i)
+            | IntC i' when i = i' -> ()
+            | _ -> raise Backtrack)
+        | Instr.Get_float (f, a) -> (
+            match deref m m.x.(a) with
+            | Ref addr -> bind m addr (FloatC f)
+            | FloatC f' when f = f' -> ()
+            | _ -> raise Backtrack)
+        | Instr.Get_nil a -> (
+            match deref m m.x.(a) with
+            | Ref addr -> bind m addr (Con "[]")
+            | Con "[]" -> ()
+            | _ -> raise Backtrack)
+        | Instr.Get_structure (f, n, a) -> (
+            match deref m m.x.(a) with
+            | Ref addr ->
+                grow_heap m (n + 1);
+                let str = m.h in
+                push_heap m (Fun (f, n));
+                bind m addr (Str str);
+                m.write_mode <- true
+            | Str saddr -> (
+                match m.heap.(saddr) with
+                | Fun (f', n') when String.equal f f' && n = n' ->
+                    m.s <- saddr + 1;
+                    m.write_mode <- false
+                | _ -> raise Backtrack)
+            | _ -> raise Backtrack)
+        | Instr.Get_list a -> (
+            match deref m m.x.(a) with
+            | Ref addr ->
+                (* the two following unify instructions push head and
+                   tail at H and H+1 *)
+                bind m addr (Lis m.h);
+                m.write_mode <- true
+            | Lis laddr ->
+                m.s <- laddr;
+                m.write_mode <- false
+            | _ -> raise Backtrack)
+        | Instr.Unify_variable r ->
+            if m.write_mode then begin
+              let v = new_heap_var m in
+              reg_set m r v
+            end
+            else begin
+              reg_set m r m.heap.(m.s);
+              m.s <- m.s + 1
+            end
+        | Instr.Unify_value r ->
+            if m.write_mode then push_heap m (reg_get m r)
+            else begin
+              let ok = unify m (reg_get m r) m.heap.(m.s) in
+              m.s <- m.s + 1;
+              if not ok then raise Backtrack
+            end
+        | Instr.Unify_constant c ->
+            if m.write_mode then push_heap m (Con c)
+            else begin
+              let ok = unify m (Con c) m.heap.(m.s) in
+              m.s <- m.s + 1;
+              if not ok then raise Backtrack
+            end
+        | Instr.Unify_integer i ->
+            if m.write_mode then push_heap m (IntC i)
+            else begin
+              let ok = unify m (IntC i) m.heap.(m.s) in
+              m.s <- m.s + 1;
+              if not ok then raise Backtrack
+            end
+        | Instr.Unify_float f ->
+            if m.write_mode then push_heap m (FloatC f)
+            else begin
+              let ok = unify m (FloatC f) m.heap.(m.s) in
+              m.s <- m.s + 1;
+              if not ok then raise Backtrack
+            end
+        | Instr.Unify_nil ->
+            if m.write_mode then push_heap m (Con "[]")
+            else begin
+              let ok = unify m (Con "[]") m.heap.(m.s) in
+              m.s <- m.s + 1;
+              if not ok then raise Backtrack
+            end
+        | Instr.Unify_void n ->
+            if m.write_mode then
+              for _ = 1 to n do
+                ignore (new_heap_var m)
+              done
+            else m.s <- m.s + n
+        | Instr.Put_variable (r, a) ->
+            let v = new_heap_var m in
+            reg_set m r v;
+            m.x.(a) <- v
+        | Instr.Put_value (r, a) -> m.x.(a) <- reg_get m r
+        | Instr.Put_constant (c, a) -> m.x.(a) <- Con c
+        | Instr.Put_integer (i, a) -> m.x.(a) <- IntC i
+        | Instr.Put_float (f, a) -> m.x.(a) <- FloatC f
+        | Instr.Put_nil a -> m.x.(a) <- Con "[]"
+        | Instr.Put_structure (f, n, a) ->
+            grow_heap m (n + 1);
+            push_heap m (Fun (f, n));
+            m.x.(a) <- Str (m.h - 1);
+            m.write_mode <- true
+        | Instr.Put_list a ->
+            m.x.(a) <- Lis m.h;
+            m.write_mode <- true
+        | Instr.Set_variable r -> reg_set m r (new_heap_var m)
+        | Instr.Set_value r -> push_heap m (reg_get m r)
+        | Instr.Set_constant c -> push_heap m (Con c)
+        | Instr.Set_integer i -> push_heap m (IntC i)
+        | Instr.Set_float f -> push_heap m (FloatC f)
+        | Instr.Set_void n ->
+            for _ = 1 to n do
+              ignore (new_heap_var m)
+            done
+        | Instr.Allocate n ->
+            m.e <-
+              Some
+                {
+                  f_prev = m.e;
+                  f_cp = m.cp;
+                  f_perms = Array.make n (Con "$unset");
+                  f_clevel = None;
+                }
+        | Instr.Deallocate ->
+            let f = frame_of m in
+            m.cp <- f.f_cp;
+            m.e <- f.f_prev
+        | Instr.Call (p, n) when Hashtbl.mem m.program.tabled (p, n) ->
+            let proc = table_proc m p n in
+            m.cp <- { c_proc = m.proc; c_pc = m.pc };
+            m.b0 <- m.b;
+            m.num_args <- n;
+            m.proc <- proc;
+            m.pc <- 0
+        | Instr.Execute (p, n) when Hashtbl.mem m.program.tabled (p, n) ->
+            let proc = table_proc m p n in
+            m.b0 <- m.b;
+            m.num_args <- n;
+            m.proc <- proc;
+            m.pc <- 0
+        | Instr.Call (p, n) -> (
+            match lookup_proc m (p, n) with
+            | Some proc ->
+                m.cp <- { c_proc = m.proc; c_pc = m.pc };
+                m.b0 <- m.b;
+                m.num_args <- n;
+                m.proc <- proc;
+                m.pc <- 0
+            | None -> raise Backtrack)
+        | Instr.Execute (p, n) -> (
+            match lookup_proc m (p, n) with
+            | Some proc ->
+                m.b0 <- m.b;
+                m.num_args <- n;
+                m.proc <- proc;
+                m.pc <- 0
+            | None -> raise Backtrack)
+        | Instr.Proceed ->
+            m.proc <- m.cp.c_proc;
+            m.pc <- m.cp.c_pc
+        | Instr.Builtin (name, arity) -> run_builtin m name arity
+        | Instr.Fail_instr -> raise Backtrack
+        | Instr.Try_me_else _ | Instr.Try _ ->
+            let args = Array.sub m.x 0 (m.num_args + 1) in
+            let next =
+              match instr with
+              | Instr.Try_me_else l' -> { c_proc = m.proc; c_pc = l' }
+              | _ -> { c_proc = m.proc; c_pc = m.pc }
+            in
+            m.b <-
+              Some
+                {
+                  ch_prev = m.b;
+                  ch_args = args;
+                  ch_e = m.e;
+                  ch_cp = m.cp;
+                  ch_next = next;
+                  ch_tr = m.tr;
+                  ch_h = m.h;
+                  ch_b0 = m.b0;
+                };
+            m.hb <- m.h;
+            (match instr with Instr.Try l' -> continue_at l' | _ -> ())
+        | Instr.Retry_me_else l -> (
+            match m.b with
+            | Some ch -> ch.ch_next <- { c_proc = m.proc; c_pc = l }
+            | None -> error "retry without choice point")
+        | Instr.Retry l -> (
+            match m.b with
+            | Some ch ->
+                ch.ch_next <- { c_proc = m.proc; c_pc = m.pc };
+                continue_at l
+            | None -> error "retry without choice point")
+        | Instr.Trust_me -> (
+            match m.b with
+            | Some ch ->
+                m.b <- ch.ch_prev;
+                m.hb <- (match m.b with Some b -> b.ch_h | None -> 0)
+            | None -> error "trust without choice point")
+        | Instr.Trust l -> (
+            match m.b with
+            | Some ch ->
+                m.b <- ch.ch_prev;
+                m.hb <- (match m.b with Some b -> b.ch_h | None -> 0);
+                continue_at l
+            | None -> error "trust without choice point")
+        | Instr.Jump l -> continue_at l
+        | Instr.Switch_on_term (v, c, li, st) -> (
+            match deref m m.x.(1) with
+            | Ref _ -> continue_at v
+            | Con _ | IntC _ | FloatC _ -> continue_at c
+            | Lis _ -> continue_at li
+            | Str _ -> continue_at st
+            | Fun _ -> error "corrupt heap")
+        | Instr.Switch_on_constant (_, default) -> (
+            let table = Hashtbl.find m.proc.p_ctab pc in
+            let key =
+              match deref m m.x.(1) with
+              | Con c -> Some (Instr.KCon c)
+              | IntC i -> Some (Instr.KInt i)
+              | FloatC f -> Some (Instr.KFloat f)
+              | _ -> None
+            in
+            match Option.bind key (Hashtbl.find_opt table) with
+            | Some l -> continue_at l
+            | None -> continue_at default)
+        | Instr.Switch_on_structure (_, default) -> (
+            let table = Hashtbl.find m.proc.p_stab pc in
+            let key =
+              match deref m m.x.(1) with
+              | Str a -> ( match m.heap.(a) with Fun (f, n) -> Some (f, n) | _ -> None)
+              | _ -> None
+            in
+            match Option.bind key (Hashtbl.find_opt table) with
+            | Some l -> continue_at l
+            | None -> continue_at default)
+        | Instr.Neck_cut ->
+            m.b <- m.b0;
+            m.hb <- (match m.b with Some b -> b.ch_h | None -> 0)
+        | Instr.Get_level _ -> (frame_of m).f_clevel <- m.b0
+        | Instr.Cut _ ->
+            m.b <- (frame_of m).f_clevel;
+            m.hb <- (match m.b with Some b -> b.ch_h | None -> 0)
+      with Backtrack -> backtrack m
+    done;
+    assert false
+  with
+  | Finished -> ()
+  | Halted -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Queries *)
+
+let query_counter = ref 0
+
+let run m goal ~on_solution =
+  incr query_counter;
+  let vars = Term.vars goal in
+  let k = List.length vars in
+  let qname = Printf.sprintf "$q%d" !query_counter in
+  let head = Term.struct_ qname (Array.of_list (List.map (fun v -> Term.Var v) vars)) in
+  let head = if k = 0 then Term.Atom qname else head in
+  (match Compile.predicate [ (head, goal) ] with
+  | code -> install m.program qname k code
+  | exception Compile.Not_compilable msg -> error "query not compilable: %s" msg);
+  (* reset the machine *)
+  m.h <- 0;
+  m.tr <- 0;
+  m.hb <- 0;
+  m.e <- None;
+  m.b <- None;
+  m.b0 <- None;
+  m.s <- 0;
+  let entry =
+    Array.append
+      (Array.init k (fun i -> Instr.Put_variable (Instr.X (k + 2 + i), i + 1)))
+      [| Instr.Call (qname, k); Instr.Builtin ("$solution$", 0); Instr.Fail_instr |]
+  in
+  let entry_proc = make_proc entry in
+  m.proc <- entry_proc;
+  m.pc <- 0;
+  m.cp <- { c_proc = entry_proc; c_pc = Array.length entry - 2 };
+  (* the query variables occupy the first k heap cells *)
+  let count = ref 0 in
+  let hook machine =
+    incr count;
+    let values = List.init k (fun i -> decode machine (Ref i)) in
+    if not (on_solution values) then raise Halted
+  in
+  m.on_sol <- Some hook;
+  Fun.protect
+    ~finally:(fun () ->
+      m.on_sol <- None;
+      Hashtbl.remove m.program.preds (qname, k))
+    (fun () -> exec m);
+  !count
+
+let () = run_ref := run
+
+let solutions m goal =
+  let acc = ref [] in
+  ignore
+    (run m goal ~on_solution:(fun values ->
+         acc := values :: !acc;
+         true));
+  List.rev !acc
+
+let first_solution m goal =
+  let result = ref None in
+  ignore
+    (run m goal ~on_solution:(fun values ->
+         result := Some values;
+         false));
+  !result
+
+let count_solutions m goal = run m goal ~on_solution:(fun _ -> true)

@@ -1,0 +1,54 @@
+(** The WAM emulator: tagged-cell heap, argument registers, environment
+    and choice-point stacks, trail with heap reclamation on backtracking.
+    Executes code produced by {!Compile}. *)
+
+open Xsb_term
+
+exception Wam_error of string
+
+type program
+
+val empty_program : unit -> program
+
+val install : program -> string -> int -> Instr.t array -> unit
+(** Define (or replace) a predicate's code. *)
+
+val declare_tabled : program -> string -> int -> unit
+(** Route calls to the predicate through the table (its generator code
+    must be installed under the ["$gen"]-suffixed name). *)
+
+val exported_code : program -> ((string * int) * Instr.t array) list
+val tabled_preds : program -> (string * int) list
+
+val write_image : program -> out_channel -> unit
+(** Marshal the compiled program (code and switch tables). *)
+
+val read_image : in_channel -> program
+
+val disassemble : program -> Format.formatter -> unit
+(** Print every predicate's code as a WAM listing. *)
+
+val disassemble_pred : program -> string -> int -> Format.formatter -> unit
+
+val compile_clauses : program -> (Term.t * Term.t) list -> unit
+(** Compile and install a batch of clauses grouped by predicate. *)
+
+val of_database : Xsb_db.Database.t -> program
+(** Compile every WAM-compilable predicate of a database; predicates
+    that are not compilable (tabled, control constructs) are skipped —
+    calling them fails. *)
+
+type machine
+
+val create : program -> machine
+
+val run : machine -> Term.t -> on_solution:(Term.t list -> bool) -> int
+(** [run m goal ~on_solution] executes the goal; [on_solution] receives
+    the instantiated query variables (in first-occurrence order) for
+    each solution and returns [true] to continue searching. Returns the
+    number of solutions delivered. *)
+
+val solutions : machine -> Term.t -> Term.t list list
+val first_solution : machine -> Term.t -> Term.t list option
+val count_solutions : machine -> Term.t -> int
+val instructions_executed : machine -> int

@@ -1,0 +1,125 @@
+type reg = X of int | Y of int
+
+type label = int
+
+(** Keys of [Switch_on_constant] tables: atomic first arguments. *)
+type ckey = KCon of string | KInt of int | KFloat of float
+
+type t =
+  | Get_variable of reg * int
+  | Get_value of reg * int
+  | Get_constant of string * int
+  | Get_integer of int * int
+  | Get_float of float * int
+  | Get_nil of int
+  | Get_structure of string * int * int
+  | Get_list of int
+  | Unify_variable of reg
+  | Unify_value of reg
+  | Unify_constant of string
+  | Unify_integer of int
+  | Unify_float of float
+  | Unify_nil
+  | Unify_void of int
+  | Put_variable of reg * int
+  | Put_value of reg * int
+  | Put_constant of string * int
+  | Put_integer of int * int
+  | Put_float of float * int
+  | Put_nil of int
+  | Put_structure of string * int * int
+  | Put_list of int
+  | Set_variable of reg
+  | Set_value of reg
+  | Set_constant of string
+  | Set_integer of int
+  | Set_float of float
+  | Set_void of int
+  | Allocate of int
+  | Deallocate
+  | Call of string * int
+  | Execute of string * int
+  | Proceed
+  | Builtin of string * int
+  | Fail_instr
+  | Try_me_else of label
+  | Retry_me_else of label
+  | Trust_me
+  | Try of label
+  | Retry of label
+  | Trust of label
+  | Switch_on_term of label * label * label * label
+  | Switch_on_constant of (ckey * label) list * label
+  | Switch_on_structure of ((string * int) * label) list * label
+  | Jump of label
+  | Neck_cut
+  | Get_level of reg
+  | Cut of reg
+  | Label of label
+
+let pp_reg ppf = function
+  | X i -> Fmt.pf ppf "X%d" i
+  | Y i -> Fmt.pf ppf "Y%d" i
+
+let pp ppf = function
+  | Get_variable (r, a) -> Fmt.pf ppf "get_variable %a, A%d" pp_reg r a
+  | Get_value (r, a) -> Fmt.pf ppf "get_value %a, A%d" pp_reg r a
+  | Get_constant (c, a) -> Fmt.pf ppf "get_constant %s, A%d" c a
+  | Get_integer (i, a) -> Fmt.pf ppf "get_integer %d, A%d" i a
+  | Get_float (f, a) -> Fmt.pf ppf "get_float %g, A%d" f a
+  | Get_nil a -> Fmt.pf ppf "get_nil A%d" a
+  | Get_structure (f, n, a) -> Fmt.pf ppf "get_structure %s/%d, A%d" f n a
+  | Get_list a -> Fmt.pf ppf "get_list A%d" a
+  | Unify_variable r -> Fmt.pf ppf "unify_variable %a" pp_reg r
+  | Unify_value r -> Fmt.pf ppf "unify_value %a" pp_reg r
+  | Unify_constant c -> Fmt.pf ppf "unify_constant %s" c
+  | Unify_integer i -> Fmt.pf ppf "unify_integer %d" i
+  | Unify_float f -> Fmt.pf ppf "unify_float %g" f
+  | Unify_nil -> Fmt.string ppf "unify_nil"
+  | Unify_void n -> Fmt.pf ppf "unify_void %d" n
+  | Put_variable (r, a) -> Fmt.pf ppf "put_variable %a, A%d" pp_reg r a
+  | Put_value (r, a) -> Fmt.pf ppf "put_value %a, A%d" pp_reg r a
+  | Put_constant (c, a) -> Fmt.pf ppf "put_constant %s, A%d" c a
+  | Put_integer (i, a) -> Fmt.pf ppf "put_integer %d, A%d" i a
+  | Put_float (f, a) -> Fmt.pf ppf "put_float %g, A%d" f a
+  | Put_nil a -> Fmt.pf ppf "put_nil A%d" a
+  | Put_structure (f, n, a) -> Fmt.pf ppf "put_structure %s/%d, A%d" f n a
+  | Put_list a -> Fmt.pf ppf "put_list A%d" a
+  | Set_variable r -> Fmt.pf ppf "set_variable %a" pp_reg r
+  | Set_value r -> Fmt.pf ppf "set_value %a" pp_reg r
+  | Set_constant c -> Fmt.pf ppf "set_constant %s" c
+  | Set_integer i -> Fmt.pf ppf "set_integer %d" i
+  | Set_float f -> Fmt.pf ppf "set_float %g" f
+  | Set_void n -> Fmt.pf ppf "set_void %d" n
+  | Allocate n -> Fmt.pf ppf "allocate %d" n
+  | Deallocate -> Fmt.string ppf "deallocate"
+  | Call (p, n) -> Fmt.pf ppf "call %s/%d" p n
+  | Execute (p, n) -> Fmt.pf ppf "execute %s/%d" p n
+  | Proceed -> Fmt.string ppf "proceed"
+  | Builtin (p, n) -> Fmt.pf ppf "builtin %s/%d" p n
+  | Fail_instr -> Fmt.string ppf "fail"
+  | Try_me_else l -> Fmt.pf ppf "try_me_else L%d" l
+  | Retry_me_else l -> Fmt.pf ppf "retry_me_else L%d" l
+  | Trust_me -> Fmt.string ppf "trust_me"
+  | Try l -> Fmt.pf ppf "try L%d" l
+  | Retry l -> Fmt.pf ppf "retry L%d" l
+  | Trust l -> Fmt.pf ppf "trust L%d" l
+  | Switch_on_term (v, c, l, s) -> Fmt.pf ppf "switch_on_term L%d, L%d, L%d, L%d" v c l s
+  | Switch_on_constant (table, d) ->
+      let pp_key ppf = function
+        | KCon c -> Fmt.string ppf c
+        | KInt i -> Fmt.int ppf i
+        | KFloat f -> Fmt.float ppf f
+      in
+      Fmt.pf ppf "switch_on_constant {%a} else L%d"
+        Fmt.(list ~sep:(any "; ") (pair ~sep:(any ":L") pp_key int))
+        table d
+  | Switch_on_structure (table, d) ->
+      Fmt.pf ppf "switch_on_structure {%a} else L%d"
+        Fmt.(list ~sep:(any "; ") (pair ~sep:(any ":L") (pair ~sep:(any "/") string int) int))
+        table d
+  | Jump l -> Fmt.pf ppf "jump L%d" l
+  | Neck_cut -> Fmt.string ppf "neck_cut"
+  | Get_level r -> Fmt.pf ppf "get_level %a" pp_reg r
+  | Cut r -> Fmt.pf ppf "cut %a" pp_reg r
+  | Label l -> Fmt.pf ppf "L%d:" l

@@ -1,0 +1,73 @@
+(** The WAM instruction set (paper reference [24]), with the hash-based
+    clause indexing instructions of §4.5. Labels are indices
+    into a predicate's code array. *)
+
+type reg =
+  | X of int  (** temporary register (argument registers are X1..Xn) *)
+  | Y of int  (** permanent variable slot in the current environment *)
+
+type label = int
+
+(** Keys of [Switch_on_constant] tables: atomic first arguments. *)
+type ckey = KCon of string | KInt of int | KFloat of float
+
+type t =
+  (* head unification *)
+  | Get_variable of reg * int
+  | Get_value of reg * int
+  | Get_constant of string * int
+  | Get_integer of int * int
+  | Get_float of float * int
+  | Get_nil of int
+  | Get_structure of string * int * int  (** f, n, Ai *)
+  | Get_list of int
+  (* read/write mode sub-term unification *)
+  | Unify_variable of reg
+  | Unify_value of reg
+  | Unify_constant of string
+  | Unify_integer of int
+  | Unify_float of float
+  | Unify_nil
+  | Unify_void of int
+  (* body argument construction *)
+  | Put_variable of reg * int
+  | Put_value of reg * int
+  | Put_constant of string * int
+  | Put_integer of int * int
+  | Put_float of float * int
+  | Put_nil of int
+  | Put_structure of string * int * int
+  | Put_list of int
+  | Set_variable of reg
+  | Set_value of reg
+  | Set_constant of string
+  | Set_integer of int
+  | Set_float of float
+  | Set_void of int
+  (* control *)
+  | Allocate of int
+  | Deallocate
+  | Call of string * int
+  | Execute of string * int
+  | Proceed
+  | Builtin of string * int  (** escape to an OCaml builtin over A1..An *)
+  | Fail_instr
+  (* choice *)
+  | Try_me_else of label
+  | Retry_me_else of label
+  | Trust_me
+  | Try of label
+  | Retry of label
+  | Trust of label
+  (* indexing *)
+  | Switch_on_term of label * label * label * label  (** var, const, list, struct *)
+  | Switch_on_constant of (ckey * label) list * label  (** hashed; default fails *)
+  | Switch_on_structure of ((string * int) * label) list * label
+  (* cut *)
+  | Jump of label
+  | Neck_cut
+  | Get_level of reg
+  | Cut of reg
+  | Label of label  (** pseudo-instruction used during assembly *)
+
+val pp : t Fmt.t

@@ -1,0 +1,29 @@
+exception Bad_image of string
+
+let magic = "XSBWAM01"
+
+let save program path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      Emulator.write_image program oc)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let header = really_input_string ic (String.length magic) in
+      if header <> magic then raise (Bad_image "bad magic header");
+      Emulator.read_image ic)
+
+let load_into program path =
+  let loaded = load path in
+  let preds = Emulator.exported_code loaded in
+  List.iter (fun ((name, arity), code) -> Emulator.install program name arity code) preds;
+  List.iter
+    (fun (name, arity) -> Emulator.declare_tabled program name arity)
+    (Emulator.tabled_preds loaded);
+  List.length preds

@@ -1,0 +1,19 @@
+(** WAM object files: the paper's byte-code object files (§4.2, §4.6).
+    "Since object files contain precompiled code, loading an object file
+    is about 12x faster than loading through the formatted read and
+    assert" — the code arrives compiled, with its indexing switch tables,
+    so loading involves no parsing, no clause insertion and no index
+    maintenance. *)
+
+exception Bad_image of string
+
+val save : Emulator.program -> string -> unit
+(** Write every predicate's compiled code. Table declarations are
+    included; table contents are not. *)
+
+val load : string -> Emulator.program
+(** Read an image into a fresh, immediately executable program. *)
+
+val load_into : Emulator.program -> string -> int
+(** Merge an image into an existing program (replacing same-name
+    predicates); returns the number of predicates loaded. *)

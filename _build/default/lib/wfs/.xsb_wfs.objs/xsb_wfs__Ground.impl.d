@@ -1,0 +1,1 @@
+lib/wfs/ground.ml: Array Canon List Vec Xsb_term

@@ -1,0 +1,1 @@
+lib/wfs/ground.mli: Canon Xsb_term

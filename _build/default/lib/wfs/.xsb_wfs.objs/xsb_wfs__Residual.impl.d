@@ -1,0 +1,1 @@
+lib/wfs/residual.ml: Canon Engine Ground Hashtbl List Machine String Term Vec Xsb_db Xsb_parse Xsb_slg Xsb_term

@@ -1,0 +1,1 @@
+lib/wfs/residual.mli: Canon Engine Ground Machine Term Xsb_slg Xsb_term

@@ -1,0 +1,120 @@
+open Xsb_term
+
+type truth = True | False | Undefined
+
+type rule = { head : int; pos : int list; neg : int list }
+
+type t = {
+  intern : int Canon.Tbl.t;
+  names : Canon.t Vec.t;
+  mutable rules : rule list;
+  mutable model : (bool array * bool array) option;  (* (true set, possible set) *)
+}
+
+let create () = { intern = Canon.Tbl.create 64; names = Vec.create (); rules = []; model = None }
+
+let atom_id t c =
+  match Canon.Tbl.find_opt t.intern c with
+  | Some i -> i
+  | None ->
+      let i = Vec.length t.names in
+      Canon.Tbl.add t.intern c i;
+      Vec.push t.names c;
+      i
+
+let add_rule t head ~pos ~neg =
+  t.model <- None;
+  t.rules <-
+    { head = atom_id t head; pos = List.map (atom_id t) pos; neg = List.map (atom_id t) neg }
+    :: t.rules
+
+let add_fact t head = add_rule t head ~pos:[] ~neg:[]
+
+let atoms t = Vec.to_list t.names
+
+let natoms t = Vec.length t.names
+
+(* Least model of the GL reduct of the program w.r.t. [assume]: rules
+   with a negative literal whose atom is in [assume] are deleted; the
+   remaining negative literals are dropped. Computed by a simple
+   saturation loop. *)
+let gamma t (assume : bool array) : bool array =
+  let value = Array.make (natoms t) false in
+  let usable = List.filter (fun r -> List.for_all (fun a -> not assume.(a)) r.neg) t.rules in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun r ->
+        if (not value.(r.head)) && List.for_all (fun a -> value.(a)) r.pos then begin
+          value.(r.head) <- true;
+          changed := true
+        end)
+      usable
+  done;
+  value
+
+(* Alternating fixpoint: T_{i+1} = Gamma(U_i), U_{i+1} = Gamma(T_{i+1});
+   T grows, U shrinks; at the fixpoint T is the well-founded true set
+   and U the set of possibly-true (true or undefined) atoms. *)
+let compute t =
+  match t.model with
+  | Some m -> m
+  | None ->
+      let n = natoms t in
+      let truths = ref (Array.make n false) in
+      let possible = ref (gamma t (Array.make n false)) in
+      let continue_ = ref true in
+      while !continue_ do
+        let truths' = gamma t !possible in
+        let possible' = gamma t truths' in
+        if truths' = !truths && possible' = !possible then continue_ := false;
+        truths := truths';
+        possible := possible'
+      done;
+      let m = (!truths, !possible) in
+      t.model <- Some m;
+      m
+
+let wfs t atom =
+  let truths, possible = compute t in
+  match Canon.Tbl.find_opt t.intern atom with
+  | None -> False
+  | Some i -> if truths.(i) then True else if possible.(i) then Undefined else False
+
+let wfs_partition t =
+  let truths, possible = compute t in
+  let ts = ref [] and us = ref [] and fs = ref [] in
+  Vec.iteri
+    (fun i c ->
+      if truths.(i) then ts := c :: !ts
+      else if possible.(i) then us := c :: !us
+      else fs := c :: !fs)
+    t.names;
+  (List.rev !ts, List.rev !us, List.rev !fs)
+
+(* Stable models: branch over the well-founded undefined atoms and keep
+   the assignments M with Gamma(M) = M. *)
+let stable_models ?(max_unknowns = 20) t =
+  let truths, possible = compute t in
+  let n = natoms t in
+  let unknowns = ref [] in
+  for i = n - 1 downto 0 do
+    if possible.(i) && not truths.(i) then unknowns := i :: !unknowns
+  done;
+  let unknowns = Array.of_list !unknowns in
+  let k = Array.length unknowns in
+  if k > max_unknowns then None
+  else begin
+    let models = ref [] in
+    for mask = 0 to (1 lsl k) - 1 do
+      let candidate = Array.copy truths in
+      Array.iteri (fun j a -> if mask land (1 lsl j) <> 0 then candidate.(a) <- true) unknowns;
+      if gamma t candidate = candidate then begin
+        let model = ref [] in
+        Vec.iteri (fun i c -> if candidate.(i) then model := c :: !model) t.names;
+        models := List.rev !model :: !models
+      end
+    done;
+    Some (List.rev !models)
+  end

@@ -1,0 +1,36 @@
+(** Ground normal logic programs: the well-founded semantics by the
+    alternating fixpoint of van Gelder (paper reference [21]), and
+    (two-valued) stable model enumeration (references [5], [11]).
+
+    This is the substrate of the non-stratified story: SLG produces a
+    residual program of conditional answers ({!Residual}), whose
+    well-founded model assigns the final truth values; by [11] the
+    three-valued stable and well-founded semantics coincide. *)
+
+open Xsb_term
+
+type t
+
+type truth = True | False | Undefined
+
+val create : unit -> t
+
+val add_rule : t -> Canon.t -> pos:Canon.t list -> neg:Canon.t list -> unit
+(** Atoms are arbitrary canonical terms, interned internally. *)
+
+val add_fact : t -> Canon.t -> unit
+
+val atoms : t -> Canon.t list
+(** Every atom mentioned anywhere in the program. *)
+
+val wfs : t -> Canon.t -> truth
+(** Truth value in the well-founded model (computed once, memoized). *)
+
+val wfs_partition : t -> Canon.t list * Canon.t list * Canon.t list
+(** [(true, undefined, false)] atom sets of the well-founded model. *)
+
+val stable_models : ?max_unknowns:int -> t -> Canon.t list list option
+(** All two-valued stable models, as true-atom sets, each a superset of
+    the well-founded true set. [None] when the number of well-founded
+    undefined atoms exceeds [max_unknowns] (default 20): the enumeration
+    branches over them. *)

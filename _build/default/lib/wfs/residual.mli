@@ -1,0 +1,37 @@
+(** The bridge from SLG's conditional answers to the well-founded model.
+
+    In well-founded mode the engine delays negative literals involved in
+    loops through negation; the conditional answers then "constitute a
+    transformed program" (paper §3.1 and reference [5]) — the *residual
+    program* — whose well-founded model gives the final truth values.
+    This module builds that ground program from the engine's table space
+    and answers queries three-valuedly, playing the role of XSB's
+    meta-interpreter for non-stratified programs. *)
+
+open Xsb_term
+open Xsb_slg
+
+val of_tables : Engine.t -> Ground.t
+(** The residual program of every table currently in table space:
+    unconditional answers are facts; conditional answers become rules
+    over their delayed literals. *)
+
+val delay_truth : Ground.t -> Machine.delay list -> Ground.truth
+(** Three-valued truth of a delay-list conjunction in the residual's
+    well-founded model. *)
+
+type solution = {
+  bindings : (string * Term.t) list;
+  truth : Ground.truth;  (** [True] or [Undefined]; false answers are dropped *)
+}
+
+val query : Engine.t -> Term.t -> solution list
+(** Evaluate a goal under the well-founded semantics: the engine must
+    have been created with [~mode:Machine.Well_founded]. Answers whose
+    delays are false in the well-founded model are removed. *)
+
+val query_string : Engine.t -> string -> solution list
+
+val stable_models : ?max_unknowns:int -> Engine.t -> Canon.t list list option
+(** Two-valued stable models of the residual program of the current
+    table space (reference [5]). *)

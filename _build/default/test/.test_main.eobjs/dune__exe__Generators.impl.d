@@ -1,0 +1,1 @@
+test/generators.ml: Hashtbl List Option Printf QCheck2 String Term Xsb

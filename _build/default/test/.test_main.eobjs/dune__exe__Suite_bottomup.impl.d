@@ -1,0 +1,1 @@
+test/suite_bottomup.ml: Alcotest Bottomup Datalog Generators List Magic Option Parser Printf QCheck2 QCheck_alcotest Test Xsb

@@ -1,0 +1,1 @@
+test/suite_db.ml: Alcotest Database Fast_load Filename List Loader Obj_file Option Out_channel Parser Pred Sys Table_all Term Unify Xsb

@@ -1,0 +1,1 @@
+test/suite_hilog.ml: Alcotest Array Database Engine Hilog Hilog_specialize List Parser Pred Session Term Unify Xsb

@@ -1,0 +1,1 @@
+test/suite_index.ml: Alcotest Answer_store Arg_hash Canon Disc_tree First_string Generators List Option Parser QCheck2 QCheck_alcotest Term Test Trail Unify Xsb

@@ -1,0 +1,1 @@
+test/suite_parse.ml: Alcotest Fmt Generators Lexer List Ops Parser Pretty QCheck2 QCheck_alcotest String Term Test Unify Xsb

@@ -1,0 +1,1 @@
+test/suite_rel.ml: Alcotest Array Join List Naive_interp Page_store Parser Plan String Term Xsb

@@ -1,0 +1,1 @@
+test/suite_slg.ml: Alcotest Bottomup Buffer Datalog Engine Format Generators List Machine Parser Prelude Printf QCheck2 QCheck_alcotest Session String Term Test Xsb

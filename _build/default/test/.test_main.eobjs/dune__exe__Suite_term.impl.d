@@ -1,0 +1,1 @@
+test/suite_term.ml: Alcotest Canon Generators List Option Parser Printf QCheck2 QCheck_alcotest Term Test Trail Unify Vec Xsb

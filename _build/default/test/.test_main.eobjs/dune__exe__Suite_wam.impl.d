@@ -1,0 +1,1 @@
+test/suite_wam.ml: Alcotest Database Engine Filename Generators List Loader Out_channel Parser QCheck2 QCheck_alcotest Session Sys Term Test Unify Wam Wam_image Xsb

@@ -1,0 +1,1 @@
+test/suite_wfs.ml: Alcotest Canon Fmt Ground List Machine Parser Residual Session Xsb

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Suite_bottomup Suite_db Suite_hilog Suite_index Suite_integration Suite_parse Suite_rel Suite_slg Suite_term Suite_wam Suite_wfs

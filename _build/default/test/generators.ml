@@ -1,0 +1,89 @@
+(* Random generators shared by the property-based tests. *)
+
+open Xsb
+
+let atom_names = [ "a"; "b"; "c"; "f"; "g"; "point"; "pair" ]
+
+let term_gen =
+  let open QCheck2.Gen in
+  sized (fun size ->
+      fix
+        (fun self (size, vars) ->
+          if size <= 0 then
+            oneof
+              [
+                map (fun i -> Term.Int i) (int_range (-5) 5);
+                map (fun n -> Term.Atom n) (oneofl atom_names);
+                map (fun i -> List.nth vars (i mod List.length vars)) (int_range 0 7);
+              ]
+          else
+            frequency
+              [
+                (2, map (fun n -> Term.Atom n) (oneofl atom_names));
+                (1, map (fun i -> List.nth vars (i mod List.length vars)) (int_range 0 7));
+                ( 3,
+                  let* name = oneofl [ "f"; "g"; "h" ] in
+                  let* arity = int_range 1 3 in
+                  let* args = list_repeat arity (self (size / 2, vars)) in
+                  return (Term.app name args) );
+              ])
+        (min size 8, List.init 3 (fun _ -> Term.fresh_var ())))
+
+let term_print t = Term.to_string t
+
+let arbitrary_term = QCheck2.Gen.map (fun t -> t) term_gen
+
+(* a random edge relation over nodes 1..n *)
+let edges_gen ~n ~m =
+  QCheck2.Gen.(list_repeat m (pair (int_range 1 n) (int_range 1 n)))
+
+let edge_facts edges =
+  String.concat "\n"
+    (List.map (fun (a, b) -> Printf.sprintf "edge(%d,%d)." a b) edges)
+
+(* ground-truth reachability by plain BFS *)
+let reachable edges start =
+  let adj = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace adj a (b :: (Option.value (Hashtbl.find_opt adj a) ~default:[])))
+    edges;
+  let seen = Hashtbl.create 16 in
+  let rec go frontier =
+    match frontier with
+    | [] -> ()
+    | x :: rest ->
+        let next =
+          List.filter
+            (fun y ->
+              if Hashtbl.mem seen y then false
+              else begin
+                Hashtbl.add seen y ();
+                true
+              end)
+            (Option.value (Hashtbl.find_opt adj x) ~default:[])
+        in
+        go (next @ rest)
+  in
+  go [ start ];
+  List.sort_uniq compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+
+(* ground-truth win/1 by backward induction on an acyclic graph *)
+let win_values moves nodes =
+  let adj = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace adj a (b :: (Option.value (Hashtbl.find_opt adj a) ~default:[])))
+    moves;
+  let memo = Hashtbl.create 16 in
+  let rec win x =
+    match Hashtbl.find_opt memo x with
+    | Some v -> v
+    | None ->
+        let v =
+          List.exists (fun y -> not (win y)) (Option.value (Hashtbl.find_opt adj x) ~default:[])
+        in
+        Hashtbl.add memo x v;
+        v
+  in
+  List.map (fun x -> (x, win x)) nodes

@@ -1,0 +1,179 @@
+open Xsb
+
+let t = Alcotest.test_case
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fresh () = Database.create ()
+
+let load db text = Loader.consult_string db text
+
+let heads pred = List.map (fun c -> Term.to_string c.Pred.head) (Pred.clauses pred)
+
+let cases =
+  [
+    t "loader separates facts and rules" `Quick (fun () ->
+        let db = fresh () in
+        let r = load db "p(1). p(2). q(X) :- p(X)." in
+        check_int "clauses" 3 r.Loader.clauses_loaded;
+        check_int "p facts" 2 (Pred.clause_count (Option.get (Database.find db "p" 1)));
+        check_int "q rules" 1 (Pred.clause_count (Option.get (Database.find db "q" 1))));
+    t "table directive" `Quick (fun () ->
+        let db = fresh () in
+        ignore (load db ":- table path/2.\npath(X,Y) :- edge(X,Y).");
+        check_bool "tabled" true (Pred.tabled (Option.get (Database.find db "path" 2))));
+    t "table directive with list" `Quick (fun () ->
+        let db = fresh () in
+        ignore (load db ":- table [p/1, q/2].");
+        check_bool "p" true (Pred.tabled (Option.get (Database.find db "p" 1)));
+        check_bool "q" true (Pred.tabled (Option.get (Database.find db "q" 2))));
+    t "dynamic directive" `Quick (fun () ->
+        let db = fresh () in
+        ignore (load db ":- dynamic emp/2.");
+        check_bool "dynamic" true (Pred.kind (Option.get (Database.find db "emp" 2)) = Pred.Dynamic));
+    t "index directive shapes retrieval" `Quick (fun () ->
+        let db = fresh () in
+        ignore (load db ":- index(p/3, [2]).\np(a,k1,1). p(b,k2,2). p(c,k1,3).");
+        let pred = Option.get (Database.find db "p" 3) in
+        let args s =
+          match Term.deref (Parser.term_of_string s) with
+          | Term.Struct (_, args) -> args
+          | _ -> [||]
+        in
+        check_int "second-arg index" 2 (List.length (Pred.lookup pred (args "p(X,k1,Y)")));
+        (* all clauses with unbound index field *)
+        check_int "fallback" 3 (List.length (Pred.lookup pred (args "p(X,Y,Z)"))));
+    t "first-string index directive" `Quick (fun () ->
+        let db = fresh () in
+        ignore (load db ":- index(p/2, str).\np(g(a),1). p(g(b),2). p(h(c),3).");
+        let pred = Option.get (Database.find db "p" 2) in
+        check_bool "spec" true (Pred.index_spec pred = Pred.First_string_index);
+        let args s =
+          match Term.deref (Parser.term_of_string s) with
+          | Term.Struct (_, args) -> args
+          | _ -> [||]
+        in
+        check_int "trie discriminates below functor" 1
+          (List.length (Pred.lookup pred (args "p(g(a),X)"))));
+    t "op directive affects later clauses" `Quick (fun () ->
+        let db = fresh () in
+        ignore (load db ":- op(700, xfx, likes).\nfact(john likes mary).");
+        let pred = Option.get (Database.find db "fact" 1) in
+        check_int "one clause" 1 (Pred.clause_count pred));
+    t "hilog directive encodes clauses" `Quick (fun () ->
+        let db = fresh () in
+        ignore (load db ":- hilog h.\nh(1). h(2).");
+        check_bool "apply/2 exists" true (Database.find db "apply" 2 <> None);
+        check_bool "no h/1" true (Database.find db "h" 1 = None));
+    t "module directive recorded" `Quick (fun () ->
+        let db = fresh () in
+        ignore (load db ":- module(lists, [append/3, member/2]).");
+        let m = Option.get (Database.module_info db "lists") in
+        check_int "exports" 2 (List.length m.Database.exports);
+        check_bool "current" true (Database.current_module db = "lists"));
+    t "deferred goals returned in order" `Quick (fun () ->
+        let db = fresh () in
+        let r = load db ":- write(hello).\np(1).\n:- write(world)." in
+        check_int "two goals" 2 (List.length r.Loader.deferred_goals));
+    t "clause order: assertz after asserta" `Quick (fun () ->
+        let db = fresh () in
+        let pred = Database.declare db "p" 1 in
+        ignore (Pred.assertz pred ~head:(Parser.term_of_string "p(1)") ~body:(Term.Atom "true"));
+        ignore (Pred.assertz pred ~head:(Parser.term_of_string "p(2)") ~body:(Term.Atom "true"));
+        ignore (Pred.asserta pred ~head:(Parser.term_of_string "p(0)") ~body:(Term.Atom "true"));
+        Alcotest.(check (list string)) "order" [ "p(0)"; "p(1)"; "p(2)" ] (heads pred));
+    t "remove clause" `Quick (fun () ->
+        let db = fresh () in
+        ignore (load db "p(1). p(2). p(3).");
+        let pred = Option.get (Database.find db "p" 1) in
+        let second = List.nth (Pred.clauses pred) 1 in
+        Pred.remove pred second;
+        Alcotest.(check (list string)) "removed middle" [ "p(1)"; "p(3)" ] (heads pred));
+    t "remove_all" `Quick (fun () ->
+        let db = fresh () in
+        ignore (load db "p(1). p(2).");
+        let pred = Option.get (Database.find db "p" 1) in
+        Pred.remove_all pred;
+        check_int "empty" 0 (Pred.clause_count pred));
+    t "fast_load basic facts" `Quick (fun () ->
+        let db = fresh () in
+        let n = Fast_load.string_ db "e(1,2). e(2,3).\ne(3,4)." in
+        check_int "loaded" 3 n;
+        check_int "stored" 3 (Pred.clause_count (Option.get (Database.find db "e" 2))));
+    t "fast_load nested terms, quoted atoms, lists, floats" `Quick (fun () ->
+        let db = fresh () in
+        let n =
+          Fast_load.string_ db
+            "emp(1, 'John Smith', date(1990, 5), [a,b], -3, 2.5).\n% comment\nemp(2, bob, null, [], 0, 1.0)."
+        in
+        check_int "loaded" 2 n;
+        let pred = Option.get (Database.find db "emp" 6) in
+        check_int "stored" 2 (Pred.clause_count pred));
+    t "fast_load rejects junk" `Quick (fun () ->
+        let db = fresh () in
+        match Fast_load.string_ db "e(1,2) e(3,4)." with
+        | exception Fast_load.Syntax _ -> ()
+        | _ -> Alcotest.fail "expected syntax error");
+    t "fast_load agrees with the general reader" `Quick (fun () ->
+        let text = "f(a, g(1), [x,y]). f(b, h('q q'), []). f(-1, 2.5, [1,[2]])." in
+        let db1 = fresh () and db2 = fresh () in
+        ignore (Fast_load.string_ db1 text);
+        ignore (load db2 text);
+        let c1 = Pred.clauses (Option.get (Database.find db1 "f" 3)) in
+        let c2 = Pred.clauses (Option.get (Database.find db2 "f" 3)) in
+        List.iter2
+          (fun a b -> check_bool "same clause" true (Unify.variant a.Pred.head b.Pred.head))
+          c1 c2);
+    t "obj_file round trip" `Quick (fun () ->
+        let db = fresh () in
+        ignore (load db ":- table p/1.\np(X) :- q(X).\nq(1). q(2).");
+        let path = Filename.temp_file "xsbobj" ".xwam" in
+        Obj_file.save_all db path;
+        let db2 = fresh () in
+        let n = Obj_file.load db2 path in
+        Sys.remove path;
+        check_int "clauses restored" 3 n;
+        check_bool "tabling restored" true (Pred.tabled (Option.get (Database.find db2 "p" 1)));
+        check_int "q facts" 2 (Pred.clause_count (Option.get (Database.find db2 "q" 1))));
+    t "obj_file rejects garbage" `Quick (fun () ->
+        let path = Filename.temp_file "xsbobj" ".bad" in
+        Out_channel.with_open_bin path (fun oc -> output_string oc "NOTANOBJ");
+        let db = fresh () in
+        (match Obj_file.load db path with
+        | exception Obj_file.Bad_object_file _ -> ()
+        | exception End_of_file -> ()
+        | _ -> Alcotest.fail "expected rejection");
+        Sys.remove path);
+    t "table_all tables exactly the cyclic SCCs" `Quick (fun () ->
+        let db = fresh () in
+        ignore
+          (load db
+             ":- table_all.\n\
+              path(X,Y) :- edge(X,Y).\n\
+              path(X,Y) :- path(X,Z), edge(Z,Y).\n\
+              top(X) :- path(1,X).\n\
+              even(X) :- odd(Y), X is Y + 1.\n\
+              odd(X) :- even(Y), X is Y + 1.\n\
+              edge(1,2).");
+        check_bool "path tabled (self loop)" true
+          (Pred.tabled (Option.get (Database.find db "path" 2)));
+        check_bool "top not tabled" false (Pred.tabled (Option.get (Database.find db "top" 1)));
+        check_bool "even tabled (mutual)" true
+          (Pred.tabled (Option.get (Database.find db "even" 1)));
+        check_bool "odd tabled (mutual)" true
+          (Pred.tabled (Option.get (Database.find db "odd" 1)));
+        check_bool "edge not tabled" false (Pred.tabled (Option.get (Database.find db "edge" 2))));
+    t "body_calls sees through control constructs" `Quick (fun () ->
+        let body = Parser.term_of_string "(a, \\+ b ; c -> tnot(d)), findall(X, e(X), L)" in
+        let calls = Table_all.body_calls body in
+        List.iter
+          (fun name -> check_bool name true (List.mem (name, 0) calls || List.mem (name, 1) calls))
+          [ "a"; "b"; "c"; "d"; "e" ]);
+    t "abolish" `Quick (fun () ->
+        let db = fresh () in
+        ignore (load db "p(1).");
+        Database.remove_pred db "p" 1;
+        check_bool "gone" true (Database.find db "p" 1 = None));
+  ]
+
+let suite = cases

@@ -1,0 +1,86 @@
+open Xsb
+
+let t = Alcotest.test_case
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse = Parser.term_of_string
+
+let cases =
+  [
+    t "encode declared symbols" `Quick (fun () ->
+        let is_hilog n = n = "h" in
+        let encoded = Hilog.encode_term ~is_hilog (parse "h(a, g(h(b)))") in
+        check_bool "wrapped" true
+          (Unify.variant encoded (parse "apply(h, a, g(apply(h, b)))")));
+    t "encode leaves non-functor occurrences alone" `Quick (fun () ->
+        let is_hilog n = n = "h" in
+        let encoded = Hilog.encode_term ~is_hilog (parse "p(h, h(a))") in
+        check_bool "atom h untouched" true (Unify.variant encoded (parse "p(h, apply(h,a))")));
+    t "decode inverts encode" `Quick (fun () ->
+        let is_hilog n = n = "h" in
+        let original = parse "f(h(a), h(b, h(c)))" in
+        let there = Hilog.encode_term ~is_hilog original in
+        let back = Hilog.decode_term ~is_hilog there in
+        check_bool "roundtrip" true (Unify.variant original back));
+    t "hilog_functor view" `Quick (fun () ->
+        match Hilog.hilog_functor (parse "apply(p(a), x, y)") with
+        | Some (f, args) ->
+            check_bool "functor" true (Unify.variant f (parse "p(a)"));
+            check_int "args" 2 (Array.length args)
+        | None -> Alcotest.fail "expected a view");
+    t "specialize rewrites heads and known calls (§4.7 example)" `Quick (fun () ->
+        let clauses =
+          Parser.program_of_string
+            "apply(path(G), X, Y) :- apply(G, X, Y).\n\
+             apply(path(G), X, Y) :- apply(path(G), X, Z), apply(G, Z, Y)."
+        in
+        let out = Hilog_specialize.specialize clauses in
+        (* 2 rewritten + 1 bridge *)
+        check_int "three clauses" 3 (List.length out);
+        let name = Hilog_specialize.specialized_name "path" 1 2 in
+        let mentions_specialized =
+          List.exists
+            (fun c ->
+              match Term.deref c with
+              | Term.Struct (":-", [| h; _ |]) -> fst (Database.head_key h) = name
+              | h -> fst (Database.head_key h) = name)
+            out
+        in
+        check_bool "specialized predicate defined" true mentions_specialized);
+    t "specialize preserves semantics" `Quick (fun () ->
+        let source =
+          ":- hilog edge.\n\
+           path(G)(X, Y) :- G(X, Y).\n\
+           path(G)(X, Y) :- path(G)(X, Z), G(Z, Y).\n\
+           edge(1,2). edge(2,3). edge(3,4).\n\
+           :- table apply/3."
+        in
+        (* run once plainly *)
+        let plain = Session.create () in
+        Session.consult plain source;
+        let plain_answers = Session.count plain "path(edge)(1, X)" in
+        (* run once with the specializer applied to the program clauses *)
+        let db = Database.create () in
+        let eng = Engine.create db in
+        let clauses =
+          List.map (Database.encode db)
+            (Parser.program_of_string
+               "path(G)(X, Y) :- G(X, Y).\npath(G)(X, Y) :- path(G)(X, Z), G(Z, Y).")
+        in
+        Database.declare_hilog db "edge";
+        let specialized = Hilog_specialize.specialize clauses in
+        List.iter (fun c -> ignore (Database.add_clause db c)) specialized;
+        Engine.consult_string eng ":- hilog edge.\nedge(1,2). edge(2,3). edge(3,4).";
+        Pred.set_tabled (Database.declare db "apply" 3) true;
+        Pred.set_tabled (Database.declare db (Hilog_specialize.specialized_name "path" 1 2) 3)
+          true;
+        let spec_answers = List.length (Engine.query_string eng "path(edge)(1, X)") in
+        check_int "same answers" plain_answers spec_answers;
+        check_int "three" 3 spec_answers);
+    t "specialize without applicable shapes is identity" `Quick (fun () ->
+        let clauses = Parser.program_of_string "p(a). q(X) :- p(X)." in
+        check_int "unchanged" 2 (List.length (Hilog_specialize.specialize clauses)));
+  ]
+
+let suite = cases

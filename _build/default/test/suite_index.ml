@@ -1,0 +1,235 @@
+open Xsb
+
+let t = Alcotest.test_case
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_ints = Alcotest.(check (list int))
+
+let args_of s =
+  match Term.deref (Parser.term_of_string s) with
+  | Term.Struct (_, args) -> args
+  | _ -> [||]
+
+let cases =
+  [
+    t "arg_hash single field" `Quick (fun () ->
+        let idx = Arg_hash.create [ 1 ] in
+        Arg_hash.insert idx 0 (args_of "p(a,1)");
+        Arg_hash.insert idx 1 (args_of "p(b,2)");
+        Arg_hash.insert idx 2 (args_of "p(a,3)");
+        check_ints "a bucket" [ 0; 2 ] (Option.get (Arg_hash.lookup idx (args_of "p(a,X)")));
+        check_ints "b bucket" [ 1 ] (Option.get (Arg_hash.lookup idx (args_of "p(b,X)")));
+        check_ints "missing" [] (Option.get (Arg_hash.lookup idx (args_of "p(c,X)")));
+        check_bool "unbound arg unusable" true (Arg_hash.lookup idx (args_of "p(X,1)") = None));
+    t "arg_hash multi-field combo" `Quick (fun () ->
+        let idx = Arg_hash.create [ 1; 3 ] in
+        Arg_hash.insert idx 0 (args_of "p(a,x,1)");
+        Arg_hash.insert idx 1 (args_of "p(a,y,2)");
+        Arg_hash.insert idx 2 (args_of "p(a,z,1)");
+        check_ints "combo" [ 0; 2 ] (Option.get (Arg_hash.lookup idx (args_of "p(a,W,1)")));
+        check_bool "partial unusable" true (Arg_hash.lookup idx (args_of "p(a,W,Z)") = None));
+    t "arg_hash catch-all for variable heads" `Quick (fun () ->
+        let idx = Arg_hash.create [ 1 ] in
+        Arg_hash.insert idx 0 (args_of "p(a)");
+        Arg_hash.insert idx 1 [| Term.fresh_var () |];
+        Arg_hash.insert idx 2 (args_of "p(b)");
+        check_ints "a + catchall" [ 0; 1 ] (Option.get (Arg_hash.lookup idx (args_of "p(a)")));
+        check_ints "c only catchall" [ 1 ] (Option.get (Arg_hash.lookup idx (args_of "p(c)"))));
+    t "arg_hash outer symbol only" `Quick (fun () ->
+        (* hash indexing discriminates the outer functor only (§4.5) *)
+        let idx = Arg_hash.create [ 1 ] in
+        Arg_hash.insert idx 0 (args_of "p(f(a))");
+        Arg_hash.insert idx 1 (args_of "p(f(b))");
+        check_ints "same outer symbol" [ 0; 1 ]
+          (Option.get (Arg_hash.lookup idx (args_of "p(f(a))"))));
+    t "arg_hash remove" `Quick (fun () ->
+        let idx = Arg_hash.create [ 1 ] in
+        Arg_hash.insert idx 0 (args_of "p(a)");
+        Arg_hash.insert idx 1 (args_of "p(a)");
+        Arg_hash.remove idx 0 (args_of "p(a)");
+        check_ints "removed" [ 1 ] (Option.get (Arg_hash.lookup idx (args_of "p(a)"))));
+    t "arg_hash order preserved with asserta ids" `Quick (fun () ->
+        let idx = Arg_hash.create [ 1 ] in
+        Arg_hash.insert idx 0 (args_of "p(a)");
+        Arg_hash.insert idx (-1) (args_of "p(a)");
+        Arg_hash.insert idx 1 (args_of "p(a)");
+        check_ints "sorted" [ -1; 0; 1 ] (Option.get (Arg_hash.lookup idx (args_of "p(a)"))));
+    t "first_string: Example 4.2 strings" `Quick (fun () ->
+        (* p(g(a),f(X)) => g/1 a f/1 ; p(g(X),Y) => g/1 *)
+        check_int "p(g(a),f(X))" 3
+          (List.length (First_string.string_of_head (args_of "p(g(a),f(X))")));
+        check_int "p(g(a),f(a))" 4
+          (List.length (First_string.string_of_head (args_of "p(g(a),f(a))")));
+        check_int "p(g(X),Y)" 1 (List.length (First_string.string_of_head (args_of "p(g(X),Y)"))));
+    t "first_string: Example 4.2 trie retrieval" `Quick (fun () ->
+        let trie = First_string.create () in
+        (* the four clauses of Example 4.2, in order *)
+        First_string.insert trie 0 (args_of "p(g(a),f(X))");
+        First_string.insert trie 1 (args_of "p(g(a),f(a))");
+        First_string.insert trie 2 (args_of "p(g(b),f(1))");
+        First_string.insert trie 3 (args_of "p(g(X),Y)");
+        (* fully bound call: clauses 0 (prefix), 1 (exact), 3 (general) *)
+        check_ints "p(g(a),f(a))" [ 0; 1; 3 ] (First_string.lookup trie (args_of "p(g(a),f(a))"));
+        check_ints "p(g(b),f(1))" [ 2; 3 ] (First_string.lookup trie (args_of "p(g(b),f(1))"));
+        (* call with variable second arg: subtree under g,a *)
+        check_ints "p(g(a),Y)" [ 0; 1; 3 ] (First_string.lookup trie (args_of "p(g(a),Y)"));
+        (* open call: everything *)
+        check_ints "p(X,Y)" [ 0; 1; 2; 3 ] (First_string.lookup trie (args_of "p(X,Y)"));
+        (* no match beyond the general clause *)
+        check_ints "p(g(c),f(a))" [ 3 ] (First_string.lookup trie (args_of "p(g(c),f(a))")));
+    t "first_string discriminates below the first variable" `Quick (fun () ->
+        let trie = First_string.create () in
+        First_string.insert trie 0 (args_of "p(g(a),f(X))");
+        First_string.insert trie 1 (args_of "p(g(a),f(a))");
+        (* clause 1 ends in a deeper symbol 'a' that cannot match f(b),
+           and the trie prunes it; clause 0 (string ends at its variable)
+           remains a candidate *)
+        check_ints "prunes deeper mismatch" [ 0 ]
+          (First_string.lookup trie (args_of "p(g(a),f(b))")));
+    t "answer store insertion order and dups" `Quick (fun () ->
+        let store = Answer_store.create () in
+        let c s = Canon.of_term (Parser.term_of_string s) in
+        check_bool "new" true (Answer_store.insert store (c "p(1)"));
+        check_bool "new" true (Answer_store.insert store (c "p(2)"));
+        check_bool "dup" false (Answer_store.insert store (c "p(1)"));
+        check_bool "variant dup" false
+          (Answer_store.insert store (Canon.of_term (Parser.term_of_string "p(1)")));
+        check_int "size" 2 (Answer_store.size store);
+        check_bool "order" true (Canon.equal (Answer_store.get store 0) (c "p(1)")));
+    t "answer store variant semantics with variables" `Quick (fun () ->
+        let store = Answer_store.create () in
+        let c s = Canon.of_term (Parser.term_of_string s) in
+        check_bool "p(X,Y) new" true (Answer_store.insert store (c "p(X,Y)"));
+        check_bool "p(A,B) variant dup" false (Answer_store.insert store (c "p(A,B)"));
+        check_bool "p(A,A) distinct" true (Answer_store.insert store (c "p(A,A)")));
+    t "trie answer store agrees with hash store" `Quick (fun () ->
+        let hash = Answer_store.Hash.create () in
+        let trie = Answer_store.Trie.create () in
+        let inputs =
+          [ "p(1,2)"; "p(X,Y)"; "p(X,X)"; "p(1,2)"; "p(f(X),[1,2])"; "p(f(Y),[1,2])"; "p(a,b)" ]
+        in
+        List.iter
+          (fun s ->
+            let c = Canon.of_term (Parser.term_of_string s) in
+            check_bool ("agree on " ^ s) (Answer_store.Hash.insert hash c)
+              (Answer_store.Trie.insert trie c))
+          inputs;
+        check_int "same size" (Answer_store.Hash.size hash) (Answer_store.Trie.size trie);
+        List.iteri
+          (fun i c -> check_bool "same order" true (Canon.equal c (Answer_store.Trie.get trie i)))
+          (Answer_store.Hash.to_list hash));
+  ]
+
+let props =
+  let open QCheck2 in
+  [
+    Test.make ~name:"hash and trie answer stores are observationally equal" ~count:100
+      (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 40) Generators.term_gen)
+      (fun terms ->
+        let hash = Answer_store.Hash.create () in
+        let trie = Answer_store.Trie.create () in
+        List.for_all
+          (fun t ->
+            let c = Canon.of_term (Term.copy t) in
+            Answer_store.Hash.insert hash c = Answer_store.Trie.insert trie c)
+          terms
+        && Answer_store.Hash.to_list hash = Answer_store.Trie.to_list trie);
+    Test.make ~name:"first_string lookup is a superset of unifiable clauses" ~count:100
+      (QCheck2.Gen.pair
+         (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 20) Generators.term_gen)
+         Generators.term_gen)
+      (fun (heads, call) ->
+        let heads = List.map (fun h -> Term.app "p" [ Term.copy h ]) heads in
+        let call = Term.app "p" [ Term.copy call ] in
+        let trie = First_string.create () in
+        List.iteri
+          (fun i h ->
+            First_string.insert trie i
+              (match h with Term.Struct (_, args) -> args | _ -> [||]))
+          heads;
+        let candidates =
+          First_string.lookup trie (match call with Term.Struct (_, args) -> args | _ -> [||])
+        in
+        let trail = Trail.create () in
+        List.for_all
+          (fun (i, h) ->
+            let m = Trail.mark trail in
+            let unifies = Unify.unify trail (Term.copy call) (Term.copy h) in
+            Trail.undo_to trail m;
+            (not unifies) || List.mem i candidates)
+          (List.mapi (fun i h -> (i, h)) heads));
+  ]
+
+let suite = cases @ List.map (QCheck_alcotest.to_alcotest ~long:false) props
+
+let disc_cases =
+  let open Xsb in
+  [
+    t "disc tree: discriminates across clause variables" `Quick (fun () ->
+        (* first_string stops at the variable; the discrimination tree
+           keeps discriminating on f(1) vs f(2) *)
+        let tree = Disc_tree.create () in
+        Disc_tree.insert tree 0 (args_of "p(g(X), f(1))");
+        Disc_tree.insert tree 1 (args_of "p(g(X), f(2))");
+        check_ints "only the f(1) clause" [ 0 ] (Disc_tree.lookup tree (args_of "p(g(a), f(1))"));
+        check_ints "only the f(2) clause" [ 1 ] (Disc_tree.lookup tree (args_of "p(g(b), f(2))"));
+        (* same clauses through first_string: no discrimination *)
+        let fs = First_string.create () in
+        First_string.insert fs 0 (args_of "p(g(X), f(1))");
+        First_string.insert fs 1 (args_of "p(g(X), f(2))");
+        check_ints "first_string returns both" [ 0; 1 ]
+          (First_string.lookup fs (args_of "p(g(a), f(1))")));
+    t "disc tree: call variables skip stored subterms" `Quick (fun () ->
+        let tree = Disc_tree.create () in
+        Disc_tree.insert tree 0 (args_of "p(g(a), 1)");
+        Disc_tree.insert tree 1 (args_of "p(h(b,c), 2)");
+        Disc_tree.insert tree 2 (args_of "p(k, 3)");
+        check_ints "open first arg" [ 0; 1; 2 ] (Disc_tree.lookup tree (args_of "p(X, Y)"));
+        check_ints "open first, bound second" [ 1 ] (Disc_tree.lookup tree (args_of "p(X, 2)")));
+    t "disc tree: wildcard in clause matches whole call subterm" `Quick (fun () ->
+        let tree = Disc_tree.create () in
+        Disc_tree.insert tree 0 (args_of "p(X, tail)");
+        Disc_tree.insert tree 1 (args_of "p(f(f(f(a))), tail)");
+        check_ints "deep call matches both" [ 0; 1 ]
+          (Disc_tree.lookup tree (args_of "p(f(f(f(a))), tail)"));
+        check_ints "other deep call matches wildcard only" [ 0 ]
+          (Disc_tree.lookup tree (args_of "p(f(f(f(b))), tail)")));
+    t "disc tree via the index directive" `Quick (fun () ->
+        let db = Xsb.Database.create () in
+        ignore
+          (Xsb.Loader.consult_string db
+             ":- index(p/2, disc).\np(g(X), f(1)). p(g(X), f(2)). p(h, f(1)).");
+        let pred = Option.get (Xsb.Database.find db "p" 2) in
+        check_int "discriminated" 2 (List.length (Xsb.Pred.lookup pred (args_of "p(W, f(1))"))));
+  ]
+
+let disc_props =
+  let open QCheck2 in
+  [
+    Test.make ~name:"disc tree lookup is a superset of unifiable clauses" ~count:150
+      (QCheck2.Gen.pair
+         (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 20) Generators.term_gen)
+         Generators.term_gen)
+      (fun (heads, call) ->
+        let open Xsb in
+        let heads = List.map (fun h -> Term.app "p" [ Term.copy h ]) heads in
+        let call = Term.app "p" [ Term.copy call ] in
+        let tree = Disc_tree.create () in
+        List.iteri
+          (fun i h ->
+            Disc_tree.insert tree i (match h with Term.Struct (_, args) -> args | _ -> [||]))
+          heads;
+        let candidates =
+          Disc_tree.lookup tree (match call with Term.Struct (_, args) -> args | _ -> [||])
+        in
+        let trail = Trail.create () in
+        List.for_all
+          (fun (i, h) ->
+            let m = Trail.mark trail in
+            let unifies = Unify.unify trail (Term.copy call) (Term.copy h) in
+            Trail.undo_to trail m;
+            (not unifies) || List.mem i candidates)
+          (List.mapi (fun i h -> (i, h)) heads));
+  ]
+
+let suite = suite @ disc_cases @ List.map (QCheck_alcotest.to_alcotest ~long:false) disc_props

@@ -1,0 +1,611 @@
+open Xsb
+
+let t = Alcotest.test_case
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let session text =
+  let s = Session.create () in
+  Session.consult s text;
+  s
+
+let count text query = Session.count (session text) query
+let succeeds text query = Session.succeeds (session text) query
+
+let tc_program edges =
+  ":- table path/2.\npath(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).\n"
+  ^ Generators.edge_facts edges
+
+let cycle n = List.init n (fun i -> (i + 1, if i + 1 = n then 1 else i + 2))
+let chain n = List.init (n - 1) (fun i -> (i + 1, i + 2))
+
+let cases =
+  [
+    t "SLD facts and rules" `Quick (fun () ->
+        check_int "all" 3 (count "p(1). p(2). p(3)." "p(X)");
+        check_int "filtered" 1 (count "p(1). p(2). q(X) :- p(X), X > 1." "q(X)"));
+    t "left recursion terminates on cycles (the headline claim)" `Quick (fun () ->
+        check_int "cycle answers" 8 (count (tc_program (cycle 8)) "path(1,X)"));
+    t "right recursion tabled" `Quick (fun () ->
+        let program =
+          ":- table path/2.\npath(X,Y) :- edge(X,Y).\npath(X,Y) :- edge(X,Z), path(Z,Y).\n"
+          ^ Generators.edge_facts (cycle 6)
+        in
+        check_int "cycle answers" 6 (count program "path(1,X)"));
+    t "double recursion tabled" `Quick (fun () ->
+        let program =
+          ":- table path/2.\npath(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), path(Z,Y).\n"
+          ^ Generators.edge_facts (chain 10)
+        in
+        check_int "chain pairs" 9 (count program "path(1,X)"));
+    t "untabled left recursion hits the step limit" `Quick (fun () ->
+        let s = Session.create () in
+        Session.consult s
+          ("path(X,Y) :- path(X,Z), edge(Z,Y).\npath(X,Y) :- edge(X,Y).\n"
+          ^ Generators.edge_facts (chain 4));
+        Engine.set_max_steps (Session.engine s) 50_000;
+        match Session.query s "path(1,X)" with
+        | exception Machine.Step_limit -> ()
+        | _ -> Alcotest.fail "expected Step_limit");
+    t "variant tabling reuses tables" `Quick (fun () ->
+        let s = session (tc_program (chain 5)) in
+        ignore (Session.query s "path(1,X)");
+        let before = (Engine.stats (Session.engine s)).Machine.st_subgoals in
+        ignore (Session.query s "path(1,Y)");
+        let after = (Engine.stats (Session.engine s)).Machine.st_subgoals in
+        (* the second query only creates its private query table *)
+        check_int "one new subgoal" (before + 1) after);
+    t "tabling avoids exponential recomputation" `Quick (fun () ->
+        (* fib without tabling is exponential; tabled it is linear *)
+        let s =
+          session
+            ":- table fib/2.\n\
+             fib(0, 0). fib(1, 1).\n\
+             fib(N, F) :- N > 1, N1 is N - 1, N2 is N - 2, fib(N1, F1), fib(N2, F2), F is F1 + F2."
+        in
+        check_bool "fib 20" true (Session.succeeds s "fib(20, 6765)");
+        let stats = Engine.stats (Session.engine s) in
+        check_bool "few subgoals" true (stats.Machine.st_subgoals < 50));
+    t "win on a chain (negation)" `Quick (fun () ->
+        let s =
+          session
+            ":- table win/1.\nwin(X) :- move(X,Y), tnot(win(Y)).\nmove(1,2). move(2,3). move(3,4)."
+        in
+        List.iter
+          (fun (n, expected) ->
+            check_bool (Printf.sprintf "win(%d)" n) expected
+              (Session.succeeds s (Printf.sprintf "win(%d)" n)))
+          [ (1, true); (2, false); (3, true); (4, false) ]);
+    t "win matches backward induction on random dags" `Quick (fun () ->
+        (* layered random dag: edges only go to higher layers => acyclic *)
+        let moves =
+          List.concat_map
+            (fun i -> List.filter_map (fun j -> if (i * 7) + j mod 3 <> 1 then Some (i, i + j) else None)
+                (List.init 3 (fun k -> k + 1)))
+            (List.init 12 (fun i -> i + 1))
+          |> List.filter (fun (_, b) -> b <= 15)
+        in
+        let expected = Generators.win_values moves (List.init 15 (fun i -> i + 1)) in
+        let s =
+          session
+            (":- table win/1.\nwin(X) :- move(X,Y), tnot(win(Y)).\n"
+            ^ String.concat "\n" (List.map (fun (a, b) -> Printf.sprintf "move(%d,%d)." a b) moves))
+        in
+        List.iter
+          (fun (n, v) ->
+            check_bool (Printf.sprintf "win(%d)" n) v (Session.succeeds s (Printf.sprintf "win(%d)" n)))
+          expected);
+    t "e_tnot agrees with tnot on acyclic games" `Quick (fun () ->
+        let moves = chain 8 in
+        let mk neg =
+          session
+            (Printf.sprintf ":- table win/1.\nwin(X) :- move(X,Y), %s(win(Y)).\n" neg
+            ^ String.concat "\n" (List.map (fun (a, b) -> Printf.sprintf "move(%d,%d)." a b) moves))
+        in
+        let s1 = mk "tnot" and s2 = mk "e_tnot" in
+        List.iter
+          (fun n ->
+            let q = Printf.sprintf "win(%d)" n in
+            check_bool q (Session.succeeds s1 q) (Session.succeeds s2 q))
+          (List.init 8 (fun i -> i + 1)));
+    t "stratified negation across predicates" `Quick (fun () ->
+        let s =
+          session
+            ":- table reach/1, unreach/1.\n\
+             reach(1).\n\
+             reach(Y) :- reach(X), edge(X,Y).\n\
+             unreach(X) :- node(X), tnot(reach(X)).\n\
+             edge(1,2). edge(2,3). edge(5,6).\n\
+             node(1). node(2). node(3). node(4). node(5). node(6)."
+        in
+        check_int "unreachable" 3 (Session.count s "unreach(X)"));
+    t "tnot flounders on non-ground calls" `Quick (fun () ->
+        let s = session ":- table p/1.\np(1)." in
+        match Session.query s "tnot(p(X))" with
+        | exception Machine.Floundered _ -> ()
+        | _ -> Alcotest.fail "expected floundering error");
+    t "non-stratified raises in stratified mode" `Quick (fun () ->
+        let s = session ":- table p/0, q/0.\np :- tnot(q).\nq :- tnot(p)." in
+        match Session.query s "p" with
+        | exception Machine.Non_stratified _ -> ()
+        | _ -> Alcotest.fail "expected Non_stratified");
+    t "cut commits to first clause" `Quick (fun () ->
+        check_int "one answer" 1
+          (count "tn(null, unknown) :- !.\ntn(X, X)." "tn(null, R)");
+        check_int "fallthrough" 1 (count "tn(null, unknown) :- !.\ntn(X, X)." "tn(a, R)"));
+    t "cut prunes within the clause body" `Quick (fun () ->
+        check_int "first solution only" 1
+          (count "p(1). p(2). p(3).\nfirst(X) :- p(X), !." "first(X)"));
+    t "negation as failure" `Quick (fun () ->
+        check_bool "fails" false (succeeds "p(1)." "\\+ p(1)");
+        check_bool "succeeds" true (succeeds "p(1)." "\\+ p(2)"));
+    t "if-then-else" `Quick (fun () ->
+        let s = session "max(X,Y,Z) :- (X >= Y -> Z = X ; Z = Y)." in
+        check_bool "then" true (Session.succeeds s "max(7,3,7)");
+        check_bool "else" true (Session.succeeds s "max(3,7,7)");
+        check_int "deterministic" 1 (Session.count s "max(3,7,Z)"));
+    t "if-then-else condition commits to first solution" `Quick (fun () ->
+        check_int "single" 1 (count "p(1). p(2)." "(p(X) -> true ; fail)"));
+    t "disjunction" `Quick (fun () ->
+        check_int "both branches" 2 (count "p(1)." "(p(X) ; X = 9)"));
+    t "findall" `Quick (fun () ->
+        let s = session "p(3). p(1). p(2)." in
+        check_bool "collects in order" true (Session.succeeds s "findall(X, p(X), [3,1,2])");
+        check_bool "empty list on failure" true (Session.succeeds s "findall(X, fail, [])"));
+    t "findall over tabled goal" `Quick (fun () ->
+        let s = session (tc_program (chain 5)) in
+        check_bool "all paths" true
+          (Session.succeeds s "findall(Y, path(1,Y), L), length(L, 4)"));
+    t "tfindall waits for completion" `Quick (fun () ->
+        let s = session (tc_program (cycle 4)) in
+        check_bool "complete answers" true
+          (Session.succeeds s "tfindall(Y, path(1,Y), L), length(L, 4)"));
+    t "bagof fails on empty, setof sorts" `Quick (fun () ->
+        let s = session "p(3). p(1). p(3)." in
+        check_bool "bagof nonempty" true (Session.succeeds s "bagof(X, p(X), [3,1,3])");
+        check_bool "bagof empty fails" false (Session.succeeds s "bagof(X, q(X), _)");
+        check_bool "setof sorted unique" true (Session.succeeds s "setof(X, p(X), [1,3])"));
+    t "arithmetic builtins" `Quick (fun () ->
+        let s = session "" in
+        List.iter
+          (fun q -> check_bool q true (Session.succeeds s q))
+          [
+            "X is 2 + 3 * 4, X =:= 14";
+            "X is 7 // 2, X =:= 3";
+            "X is 7 mod 2, X =:= 1";
+            "X is -7 mod 2, X =:= 1";
+            "X is min(3, 5), X =:= 3";
+            "X is 2 ** 10, X =:= 1024.0";
+            "X is 2 ^ 10, X =:= 1024";
+            "X is abs(-5), X =:= 5";
+            "1.5 < 2";
+            "X is 6 / 3, X == 2";
+            "X is 7 / 2, X =:= 3.5";
+          ]);
+    t "type-test builtins" `Quick (fun () ->
+        let s = session "" in
+        List.iter
+          (fun q -> check_bool q true (Session.succeeds s q))
+          [
+            "var(_)";
+            "nonvar(a)";
+            "atom(foo)";
+            "number(1)";
+            "number(1.5)";
+            "integer(3)";
+            "float(3.5)";
+            "compound(f(x))";
+            "atomic('a b')";
+            "is_list([1,2])";
+            "ground(f(a,b))";
+            "\\+ ground(f(a,X))";
+          ]);
+    t "term construction builtins" `Quick (fun () ->
+        let s = session "" in
+        List.iter
+          (fun q -> check_bool q true (Session.succeeds s q))
+          [
+            "functor(f(a,b), f, 2)";
+            "functor(T, point, 2), T = point(_, _)";
+            "arg(2, f(a,b,c), b)";
+            "f(a,b) =.. [f,a,b]";
+            "T =.. [g,1], T == g(1)";
+            "copy_term(f(X,X,Y), C), C = f(1,Z,2), Z == 1";
+            "atom_codes(abc, [97,98,99])";
+            "atom_length(hello, 5)";
+            "atom_concat(foo, bar, foobar)";
+            "atom_concat(X, Y, ab), X == '', Y == ab";
+            "between(1, 5, 3)";
+            "findall(X, between(1,4,X), [1,2,3,4])";
+            "succ(3, 4)";
+            "succ(X, 4), X =:= 3";
+            "length([a,b,c], 3)";
+            "length(L, 2), L = [_,_]";
+            "compare(<, 1, 2)";
+            "X = f(Y), X \\== f(Z)";
+          ]);
+    t "assert and retract at runtime" `Quick (fun () ->
+        let s = session ":- dynamic fact/1." in
+        check_bool "assert" true (Session.succeeds s "assert(fact(1)), assert(fact(2)), fact(2)");
+        check_int "both" 2 (Session.count s "fact(X)");
+        check_bool "retract" true (Session.succeeds s "retract(fact(1))");
+        check_int "one left" 1 (Session.count s "fact(X)");
+        check_bool "retractall" true (Session.succeeds s "retractall(fact(_))");
+        check_int "none" 0 (Session.count s "fact(X)"));
+    t "assert to a static predicate throws a catchable error" `Quick (fun () ->
+        let s = session "p(1)." in
+        (match Session.query s "assert(p(2))" with
+        | exception Machine.Prolog_ball _ -> ()
+        | _ -> Alcotest.fail "expected error ball");
+        check_bool "catchable" true (Session.succeeds s "catch(assert(p(2)), error(_, _), true)"));
+    t "call/1 and call/N" `Quick (fun () ->
+        let s = session "add(X, Y, Z) :- Z is X + Y.\np(1). p(2)." in
+        check_bool "call/1" true (Session.succeeds s "call(p(1))");
+        check_int "call/3 partial" 1 (Session.count s "call(add(1), 2, Z), Z =:= 3");
+        check_int "meta over all" 2 (Session.count s "G = p(X), call(G)"));
+    t "query_first stops early" `Quick (fun () ->
+        let s = session "nat(0).\nnat(X) :- nat(Y), X is Y + 1." in
+        Engine.set_max_steps (Session.engine s) 1_000_000;
+        match Session.query_first s "nat(X)" with
+        | Some _ -> ()
+        | None -> Alcotest.fail "expected a solution");
+    t "hilog call through apply" `Quick (fun () ->
+        let s =
+          session
+            ":- hilog sq.\nsq(X, Y) :- Y is X * X.\nmaplike(F, X, Y) :- F(X, Y)."
+        in
+        check_bool "generic apply" true (Session.succeeds s "maplike(sq, 5, 25)"));
+    t "deep recursion: long chains do not overflow" `Quick (fun () ->
+        let s = session (tc_program (chain 2000)) in
+        check_int "all reachable" 1999 (Session.count s "path(1,X)"));
+    t "same_generation" `Quick (fun () ->
+        let s =
+          session
+            ":- table sg/2.\n\
+             sg(X,Y) :- sib(X,Y).\n\
+             sg(X,Y) :- par(X,XP), sg(XP,YP), par(Y,YP).\n\
+             sib(X,Y) :- par(X,P), par(Y,P).\n\
+             par(2,1). par(3,1). par(4,2). par(5,2). par(6,3). par(7,3)."
+        in
+        (* sg(4,Y): siblings {4,5}, cousins {6,7} *)
+        check_int "generation of 4" 4 (Session.count s "sg(4, Y)"));
+    t "mutually recursive tabled predicates" `Quick (fun () ->
+        let s =
+          session
+            ":- table even/1, odd/1.\n\
+             even(0).\n\
+             even(X) :- X > 0, Y is X - 1, odd(Y).\n\
+             odd(X) :- X > 0, Y is X - 1, even(Y)."
+        in
+        check_bool "even 10" true (Session.succeeds s "even(10)");
+        check_bool "odd 10" false (Session.succeeds s "odd(10)"));
+    t "tabled append is quadratic but correct (§5)" `Quick (fun () ->
+        let s =
+          session ":- table app/3.\napp([], L, L).\napp([H|T], L, [H|R]) :- app(T, L, R)."
+        in
+        check_int "splits" 6 (Session.count s "app(X, Y, [1,2,3,4,5])"));
+    t "nested tabling through negation layers" `Quick (fun () ->
+        let s =
+          session
+            ":- table p/1, q/1, r/1.\n\
+             p(X) :- d(X), tnot(q(X)).\n\
+             q(X) :- e(X), tnot(r(X)).\n\
+             r(X) :- f(X).\n\
+             d(1). d(2). d(3). e(1). e(2). f(2)."
+        in
+        (* r = {2}; q = {1}; p = d minus q = {2,3} *)
+        check_int "p" 2 (Session.count s "p(X)");
+        check_bool "p(2)" true (Session.succeeds s "p(2)");
+        check_bool "p(1)" false (Session.succeeds s "p(1)"));
+    t "abolish_all_tables clears table space" `Quick (fun () ->
+        let s = session (tc_program (chain 4)) in
+        ignore (Session.query s "path(1,X)");
+        check_bool "tables exist" true (Engine.tables (Session.engine s) <> []);
+        ignore (Session.query s "abolish_all_tables");
+        (* only the transient query tables may remain, and they are
+           deleted with the query *)
+        check_int "cleared" 0 (List.length (Engine.tables (Session.engine s))));
+    t "write goes to the engine formatter" `Quick (fun () ->
+        let s = session "" in
+        let buffer = Buffer.create 16 in
+        (Engine.env (Session.engine s)).Machine.out <- Format.formatter_of_buffer buffer;
+        ignore (Session.query s "write(f(1,[a])), nl");
+        Format.pp_print_flush (Engine.env (Session.engine s)).Machine.out ();
+        check_bool "printed" true (String.length (Buffer.contents buffer) > 0));
+  ]
+
+(* ---- properties: SLG answers = bottom-up model on random graphs ---- *)
+
+let props =
+  let open QCheck2 in
+  [
+    Test.make ~name:"SLG transitive closure = BFS reachability" ~count:60
+      (Generators.edges_gen ~n:12 ~m:20) (fun edges ->
+        let s = session (tc_program edges) in
+        let slg =
+          List.sort_uniq compare
+            (List.map
+               (fun (sol : Engine.solution) ->
+                 match List.assoc "X" sol.Engine.bindings with
+                 | Term.Int i -> i
+                 | _ -> -1)
+               (Session.query s "path(1,X)"))
+        in
+        let bfs = Generators.reachable edges 1 in
+        slg = bfs);
+    Test.make ~name:"SLG = semi-naive bottom-up on random datalog" ~count:60
+      (Generators.edges_gen ~n:10 ~m:18) (fun edges ->
+        let text = tc_program edges in
+        let s = session text in
+        let slg = Session.count s "path(X,Y)" in
+        let clauses =
+          Parser.program_of_string
+            ("path(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).\n"
+            ^ Generators.edge_facts edges)
+        in
+        let st = Bottomup.run (Datalog.of_clauses clauses) in
+        slg = Bottomup.relation_size st ("path", 2));
+  ]
+
+let suite = cases @ List.map (QCheck_alcotest.to_alcotest ~long:false) props
+
+let exception_cases =
+  [
+    t "throw and catch" `Quick (fun () ->
+        let s = session "risky(X) :- X > 0, throw(oops(X)).\nrisky(_)." in
+        check_bool "caught" true
+          (Session.succeeds s "catch(risky(5), oops(N), N =:= 5)");
+        check_bool "uncaught rethrows" true
+          (match Session.query s "catch(risky(5), nope, true)" with
+          | exception Machine.Prolog_ball _ -> true
+          | _ -> false);
+        check_bool "no throw passes through" true (Session.succeeds s "catch(risky(0), _, fail)"));
+    t "arithmetic errors become catchable balls" `Quick (fun () ->
+        let s = session "" in
+        check_bool "evaluation error" true
+          (Session.succeeds s "catch(X is foo + 1, error(evaluation_error(_), _), true)");
+        check_bool "zero divisor" true
+          (Session.succeeds s "catch(X is 1 / 0, error(_, _), true)"));
+    t "catch restores bindings before recovery" `Quick (fun () ->
+        let s = session "boom(X) :- X = bound, throw(ball)." in
+        check_bool "X free in recovery" true
+          (Session.succeeds s "catch(boom(X), ball, var(X))"));
+    t "DCG rules translate and run" `Quick (fun () ->
+        let s = Session.create () in
+        Prelude.load s;
+        Session.consult s
+          "greeting --> [hello], name.\n\
+           name --> [world].\n\
+           name --> [prolog].\n\
+           digits([D|T]) --> digit(D), digits(T).\n\
+           digits([D]) --> digit(D).\n\
+           digit(D) --> [D], { D >= 48, D =< 57 }.";
+        check_bool "phrase greeting" true (Session.succeeds s "phrase(greeting, [hello, world])");
+        check_bool "alternative" true (Session.succeeds s "phrase(greeting, [hello, prolog])");
+        check_bool "rejects" false (Session.succeeds s "phrase(greeting, [goodbye, world])");
+        check_bool "digits" true (Session.succeeds s "phrase(digits([49,50,51]), [49,50,51])");
+        check_int "generates both names" 2 (Session.count s "phrase(greeting, [hello, X])"));
+  ]
+
+let suite = suite @ exception_cases
+
+let extra_cases =
+  [
+    t "setof groups and sorts ground solutions" `Quick (fun () ->
+        let s = session "age(tom, 5). age(ann, 3). age(tom, 5)." in
+        check_bool "sorted pairs" true
+          (Session.succeeds s "setof(N-A, age(N, A), [ann-3, tom-5])"));
+    t "findall nested inside findall" `Quick (fun () ->
+        let s = session "p(1). p(2).\nq(a). q(b)." in
+        check_bool "nested" true
+          (Session.succeeds s
+             "findall(X-L, (p(X), findall(Y, q(Y), L)), [1-[a,b], 2-[a,b]])"));
+    t "catch inside findall" `Quick (fun () ->
+        let s = session "maybe(1).\nmaybe(2) :- throw(stop).\nmaybe(3)." in
+        check_bool "ball escapes findall" true
+          (Session.succeeds s "catch(findall(X, maybe(X), _), stop, true)"));
+    t "if-then-else with tabled condition" `Quick (fun () ->
+        let s =
+          session
+            ":- table reach/1.\nreach(1).\nreach(Y) :- reach(X), e(X,Y).\ne(1,2). e(2,3)."
+        in
+        check_bool "tabled cond true" true (Session.succeeds s "(reach(3) -> true ; fail)");
+        check_bool "tabled cond false" true (Session.succeeds s "(reach(9) -> fail ; true)"));
+    t "negation over tabled call inside \\+" `Quick (fun () ->
+        let s =
+          session ":- table reach/1.\nreach(1).\nreach(Y) :- reach(X), e(X,Y).\ne(1,2)."
+        in
+        check_bool "doubly negated" true (Session.succeeds s "\\+ \\+ reach(2)");
+        check_bool "negated miss" true (Session.succeeds s "\\+ reach(7)"));
+    t "e_tnot reclaims abandoned tables" `Quick (fun () ->
+        let s =
+          session
+            (":- table win/1.\nwin(X) :- move(X,Y), e_tnot(win(Y)).\n"
+            ^ String.concat "\n"
+                (List.map (fun i -> Printf.sprintf "move(%d,%d)." i (i + 1)) (List.init 15 (fun i -> i + 1))))
+        in
+        ignore (Session.succeeds s "win(1)");
+        (* abandoned incomplete tables were deleted from table space *)
+        let live = List.length (Engine.tables (Session.engine s)) in
+        check_bool "some tables deleted" true (live < 16));
+    t "copy_term preserves sharing but not identity" `Quick (fun () ->
+        let s = session "" in
+        check_bool "shared copy" true
+          (Session.succeeds s "copy_term(f(X, X), f(A, B)), A == B");
+        check_bool "independent" true
+          (Session.succeeds s "T = f(X), copy_term(T, f(1)), var(X)"));
+    t "retract binds the removed clause" `Quick (fun () ->
+        let s = session ":- dynamic p/1." in
+        ignore (Session.query s "assert(p(1)), assert(p(2))");
+        check_bool "binds" true (Session.succeeds s "retract(p(X)), X =:= 1");
+        check_int "one left" 1 (Session.count s "p(_)"));
+    t "tabled predicates with compound answers" `Quick (fun () ->
+        let s =
+          session
+            ":- table parts/2.\n\
+             parts(base, [leg, seat]).\n\
+             parts(chair, L) :- parts(base, B), append_local(B, [back], L).\n\
+             append_local([], L, L).\n\
+             append_local([H|T], L, [H|R]) :- append_local(T, L, R)."
+        in
+        check_bool "structured answer" true
+          (Session.succeeds s "parts(chair, [leg, seat, back])"));
+    t "runtime table declaration via directive goal" `Quick (fun () ->
+        let s = session "p(1). p(2)." in
+        ignore (Session.query s "table(q/1)");
+        Session.consult s "q(X) :- p(X).";
+        check_int "works" 2 (Session.count s "q(X)"));
+    t "runtime op declaration" `Quick (fun () ->
+        let s = session "" in
+        ignore (Session.query s "op(700, xfx, approx)");
+        Session.consult s "check(1 approx 2).";
+        check_int "parsed with new op" 1 (Session.count s "check(X approx Y)"));
+    t "deeply nested conjunction and disjunction" `Quick (fun () ->
+        check_int "combination" 4
+          (count "p(1). p(2).\nq(a). q(b)." "(p(X), (q(Y) ; q(Y))), (true ; fail)"));
+    t "between generates and checks" `Quick (fun () ->
+        let s = session "" in
+        check_int "generate" 10 (Session.count s "between(1, 10, X)");
+        check_bool "check inside" true (Session.succeeds s "between(1, 10, 5)");
+        check_bool "check outside" false (Session.succeeds s "between(1, 10, 50)"));
+    t "tabling with arithmetic guards (mc91)" `Quick (fun () ->
+        let s =
+          session
+            ":- table mc/2.\n\
+             mc(N, M) :- N > 100, M is N - 10.\n\
+             mc(N, M) :- N =< 100, N1 is N + 11, mc(N1, M1), mc(M1, M)."
+        in
+        check_bool "mc91(99) = 91" true (Session.succeeds s "mc(99, 91)");
+        check_bool "mc91(1) = 91" true (Session.succeeds s "mc(1, 91)"));
+  ]
+
+let suite = suite @ extra_cases
+
+let builtin_extra_cases =
+  [
+    t "sort, msort, keysort builtins" `Quick (fun () ->
+        let s = session "" in
+        check_bool "sort dedups" true (Session.succeeds s "sort([3,1,2,1], [1,2,3])");
+        check_bool "msort keeps dups" true (Session.succeeds s "msort([3,1,2,1], [1,1,2,3])");
+        check_bool "keysort stable" true
+          (Session.succeeds s "keysort([b-1, a-2, b-0], [a-2, b-1, b-0])"));
+    t "listing prints clauses" `Quick (fun () ->
+        let s = session "p(1).\np(X) :- q(X), r(X)." in
+        let buffer = Buffer.create 64 in
+        (Engine.env (Session.engine s)).Machine.out <- Format.formatter_of_buffer buffer;
+        ignore (Session.query s "listing(p/1)");
+        Format.pp_print_flush (Engine.env (Session.engine s)).Machine.out ();
+        let text = Buffer.contents buffer in
+        let contains hay needle =
+          let nl = String.length needle and hl = String.length hay in
+          let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+          go 0
+        in
+        check_bool "has fact" true (contains text "p(1).");
+        check_bool "has rule" true (contains text ":-"));
+    t "statistics prints counters" `Quick (fun () ->
+        let s = session "p(1)." in
+        let buffer = Buffer.create 64 in
+        (Engine.env (Session.engine s)).Machine.out <- Format.formatter_of_buffer buffer;
+        ignore (Session.query s "p(X), statistics");
+        Format.pp_print_flush (Engine.env (Session.engine s)).Machine.out ();
+        check_bool "nonempty" true (String.length (Buffer.contents buffer) > 20));
+  ]
+
+let suite = suite @ builtin_extra_cases
+
+let edge_cases =
+  [
+    t "cut across a table suspension is rejected" `Quick (fun () ->
+        let s =
+          session
+            ":- table t/1.\nt(1). t(2).\nbad(X) :- t(X), !, X > 0."
+        in
+        match Session.query s "bad(X)" with
+        | exception Machine.Engine_error _ -> ()
+        | _solutions ->
+            (* acceptable alternative: the implementation may treat the
+               cut locally; it must not crash or loop *)
+            ());
+    t "tfindall inside a recursive tabled clause suspends until completion" `Quick (fun () ->
+        let s =
+          session
+            ":- table reach/1, summary/1.\n\
+             reach(1).\n\
+             reach(Y) :- reach(X), e(X,Y).\n\
+             e(1,2). e(2,3).\n\
+             summary(L) :- tfindall(X, reach(X), L)."
+        in
+        check_bool "complete summary" true
+          (Session.succeeds s "summary(L), length(L, 3)"));
+    t "floundering inside nested negation reports the goal" `Quick (fun () ->
+        let s = session ":- table p/1.\np(1)." in
+        (match Session.query s "tnot(p(_))" with
+        | exception Machine.Floundered g ->
+            check_bool "goal carried" true (Term.functor_of g = Some ("p", 1))
+        | _ -> Alcotest.fail "expected floundering"));
+    t "query variables capture all answer bindings" `Quick (fun () ->
+        let s = session "pair(1, a). pair(2, b)." in
+        let solutions = Session.query s "pair(X, Y)" in
+        check_int "two" 2 (List.length solutions);
+        List.iter
+          (fun (sol : Engine.solution) ->
+            check_int "two bindings" 2 (List.length sol.Engine.bindings);
+            check_bool "named X" true (List.mem_assoc "X" sol.Engine.bindings);
+            check_bool "named Y" true (List.mem_assoc "Y" sol.Engine.bindings))
+          solutions);
+    t "engine survives exceptions and stays usable" `Quick (fun () ->
+        let s = session ":- table p/1.\np(1).\nboom :- throw(ball)." in
+        (match Session.query s "boom" with
+        | exception Machine.Prolog_ball _ -> ()
+        | _ -> Alcotest.fail "expected ball");
+        (* table space must be consistent afterwards *)
+        check_int "still works" 1 (Session.count s "p(X)");
+        check_int "and again" 1 (Session.count s "p(X)"));
+    t "step limit leaves the engine reusable" `Quick (fun () ->
+        let s = session "loop :- loop." in
+        Engine.set_max_steps (Session.engine s) 1000;
+        (match Session.query s "loop" with
+        | exception Machine.Step_limit -> ()
+        | _ -> Alcotest.fail "expected limit");
+        Engine.set_max_steps (Session.engine s) 0;
+        check_bool "usable after limit" true (Session.succeeds s "true"));
+    t "findall captures a snapshot of an in-progress table" `Quick (fun () ->
+        (* findall on an incomplete table must not crash; it captures the
+           currently available answers (§4.7's caveat) *)
+        let s =
+          session
+            ":- table reach/1.\n\
+             reach(1).\n\
+             reach(Y) :- reach(X), e(X,Y), findall(Z, reach(Z), _).\n\
+             e(1,2). e(2,3)."
+        in
+        check_int "all reachable" 3 (Session.count s "reach(X)"));
+  ]
+
+let suite = suite @ edge_cases
+
+let trace_cases =
+  [
+    t "trace hook observes call, table and answer events" `Quick (fun () ->
+        let s =
+          session
+            ":- table path/2.\npath(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).\n\
+             edge(1,2). edge(2,3)."
+        in
+        let events = ref [] in
+        Engine.set_trace (Session.engine s) (Some (fun e t -> events := (e, Term.to_string t) :: !events));
+        ignore (Session.query s "path(1,X)");
+        Engine.set_trace (Session.engine s) None;
+        let count_kind k = List.length (List.filter (fun (e, _) -> e = k) !events) in
+        check_bool "calls observed" true (count_kind "call" > 0);
+        check_bool "tables observed" true (count_kind "table" >= 1);
+        (* two path answers plus two query answers *)
+        check_bool "answers observed" true (count_kind "answer" >= 4);
+        (* disabling stops events *)
+        let before = List.length !events in
+        ignore (Session.query s "edge(1,X)");
+        check_int "no more events" before (List.length !events));
+  ]
+
+let suite = suite @ trace_cases

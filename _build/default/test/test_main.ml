@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "xsb-repro"
+    [
+      ("term", Suite_term.suite);
+      ("parse", Suite_parse.suite);
+      ("index", Suite_index.suite);
+      ("db", Suite_db.suite);
+      ("hilog", Suite_hilog.suite);
+      ("slg", Suite_slg.suite);
+      ("bottomup", Suite_bottomup.suite);
+      ("wfs", Suite_wfs.suite);
+      ("wam", Suite_wam.suite);
+      ("rel", Suite_rel.suite);
+      ("integration", Suite_integration.suite);
+    ]
