@@ -37,3 +37,5 @@ let show t text =
 
 let wfs_query t text = Xsb_wfs.Residual.query_string t.eng text
 
+let stats t = Engine.stats t.eng
+

@@ -29,3 +29,6 @@ val show : t -> string -> unit
 val wfs_query : t -> string -> Xsb_wfs.Residual.solution list
 (** Three-valued query (sessions created with
     [~mode:Machine.Well_founded]). *)
+
+val stats : t -> Machine.stats
+(** The engine's evaluation counters (live record). *)

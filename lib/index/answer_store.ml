@@ -1,5 +1,35 @@
 open Xsb_term
 
+(* Pre-order token string of a canonical term. Variables are tokens too
+   (they are canonically numbered), so each answer has exactly one
+   terminal node in a trie built over these strings. *)
+type tok = TVar of int | TAtom of string | TInt of int | TFloat of float | TStruct of string * int
+
+module Tok_tbl = Hashtbl.Make (struct
+  type t = tok
+
+  let equal (a : t) (b : t) = a = b
+  let hash (t : t) = Hashtbl.hash t
+end)
+
+let tokens answer =
+  let acc = ref [] in
+  let rec go = function
+    | Canon.CVar n -> acc := TVar n :: !acc
+    | Canon.CAtom a -> acc := TAtom a :: !acc
+    | Canon.CInt i -> acc := TInt i :: !acc
+    | Canon.CFloat x -> acc := TFloat x :: !acc
+    | Canon.CStruct (f, args) ->
+        acc := TStruct (f, Array.length args) :: !acc;
+        Array.iter go args
+  in
+  go answer;
+  List.rev !acc
+
+(* arity of the subterm a token opens: how many further subterms must be
+   consumed before this one is complete *)
+let opens = function TVar _ | TAtom _ | TInt _ | TFloat _ -> 0 | TStruct (_, n) -> n
+
 module type S = sig
   type t
 
@@ -35,18 +65,9 @@ end
 
 module Trie : S = struct
   (* Discrimination trie over the pre-order token string of the canonical
-     answer. Unlike first-string indexing, variables are tokens too (they
-     are canonically numbered), so each answer has exactly one terminal
-     node; storage and index are one structure. *)
-  type tok = TVar of int | TAtom of string | TInt of int | TFloat of float | TStruct of string * int
-
-  module Tok_tbl = Hashtbl.Make (struct
-    type t = tok
-
-    let equal (a : t) (b : t) = a = b
-    let hash (t : t) = Hashtbl.hash t
-  end)
-
+     answer. Unlike first-string indexing, variables are tokens too, so
+     each answer has exactly one terminal node; storage and index are one
+     structure. *)
   type node = { mutable terminal : bool; children : node Tok_tbl.t }
 
   type t = { root : node; order : Canon.t Vec.t }
@@ -54,20 +75,6 @@ module Trie : S = struct
   let fresh_node () = { terminal = false; children = Tok_tbl.create 4 }
 
   let create ?size_hint:_ () = { root = fresh_node (); order = Vec.create () }
-
-  let tokens answer =
-    let acc = ref [] in
-    let rec go = function
-      | Canon.CVar n -> acc := TVar n :: !acc
-      | Canon.CAtom a -> acc := TAtom a :: !acc
-      | Canon.CInt i -> acc := TInt i :: !acc
-      | Canon.CFloat x -> acc := TFloat x :: !acc
-      | Canon.CStruct (f, args) ->
-          acc := TStruct (f, Array.length args) :: !acc;
-          Array.iter go args
-    in
-    go answer;
-    List.rev !acc
 
   let mem t answer =
     let rec go node = function
@@ -106,6 +113,100 @@ module Trie : S = struct
   let get t i = Vec.get t.order i
   let iter f t = Vec.iter f t.order
   let to_list t = Vec.to_list t.order
+end
+
+module Index = struct
+  (* The trie variant extended for the SLG machine's answer tables: each
+     terminal keeps a payload per answer *clause* (the same template can
+     be stored several times, e.g. under different delay lists), and the
+     trie supports retrieval by the bound-argument skeleton of a call:
+     [lookup] walks only the branches whose token prefix can unify with
+     the skeleton, so a bound call retrieves candidates without scanning
+     the whole table (paper §4.5). *)
+  type 'a node = { mutable entries : (int * 'a) list; children : 'a node Tok_tbl.t }
+      (* entries in reverse insertion order *)
+
+  type 'a t = { root : 'a node; order : 'a Vec.t }
+
+  let fresh_node () = { entries = []; children = Tok_tbl.create 4 }
+
+  let create ?size_hint:_ () = { root = fresh_node (); order = Vec.create () }
+
+  let size t = Vec.length t.order
+  let get t i = Vec.get t.order i
+  let iter f t = Vec.iter f t.order
+  let fold_left f acc t = Vec.fold_left f acc t.order
+
+  let add t key payload =
+    let rec go node = function
+      | [] -> node
+      | tok :: rest ->
+          let child =
+            match Tok_tbl.find_opt node.children tok with
+            | Some child -> child
+            | None ->
+                let child = fresh_node () in
+                Tok_tbl.add node.children tok child;
+                child
+          in
+          go child rest
+    in
+    let node = go t.root (tokens key) in
+    let pos = Vec.length t.order in
+    node.entries <- (pos, payload) :: node.entries;
+    Vec.push t.order payload;
+    pos
+
+  let find t key =
+    let rec go node = function
+      | [] -> List.rev_map snd node.entries
+      | tok :: rest -> (
+          match Tok_tbl.find_opt node.children tok with
+          | Some child -> go child rest
+          | None -> [])
+    in
+    go t.root (tokens key)
+
+  (* all nodes reachable from [node] by consuming exactly [k] whole
+     stored subterms (used when the skeleton has a variable) *)
+  let rec skip node k acc =
+    if k = 0 then node :: acc
+    else Tok_tbl.fold (fun tok child acc -> skip child (k - 1 + opens tok) acc) node.children acc
+
+  let lookup t skeleton =
+    let acc = ref [] in
+    let rec go node agenda =
+      match agenda with
+      | [] -> acc := List.rev_append node.entries !acc
+      | q :: rest -> (
+          match q with
+          | Canon.CVar _ ->
+              (* skeleton variable: matches one whole stored subterm
+                 along every branch (including stored variables) *)
+              List.iter (fun n -> go n rest) (skip node 1 [])
+          | _ ->
+              (* a stored variable absorbs the whole skeleton subterm *)
+              Tok_tbl.iter
+                (fun tok child -> match tok with TVar _ -> go child rest | _ -> ())
+                node.children;
+              let descend tok sub =
+                match Tok_tbl.find_opt node.children tok with
+                | Some child -> go child (sub @ rest)
+                | None -> ()
+              in
+              (match q with
+              | Canon.CVar _ -> assert false
+              | Canon.CAtom a -> descend (TAtom a) []
+              | Canon.CInt i -> descend (TInt i) []
+              | Canon.CFloat x -> descend (TFloat x) []
+              | Canon.CStruct (f, args) ->
+                  descend (TStruct (f, Array.length args)) (Array.to_list args)))
+    in
+    go t.root [ skeleton ];
+    List.sort_uniq (fun (i, _) (j, _) -> Int.compare i j) !acc
+
+  let iter_matching ?(from = 0) t skeleton f =
+    List.iter (fun (i, x) -> if i >= from then f i x) (lookup t skeleton)
 end
 
 include Hash

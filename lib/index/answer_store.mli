@@ -39,5 +39,51 @@ end
 module Hash : S
 module Trie : S
 
+(** The trie variant extended for the SLG machine's answer tables: the
+    index and the storage of the answer clauses are one structure, and the
+    trie is searchable by the bound-argument skeleton of a call, so a
+    bound call retrieves only the candidate answers whose token prefix can
+    unify instead of scanning the whole table (paper §4.5). Entries carry
+    an arbitrary payload ['a] (the machine stores its answer records); the
+    same key may be added several times — the machine keeps one entry per
+    (template, delay list) answer clause. *)
+module Index : sig
+  type 'a t
+
+  val create : ?size_hint:int -> unit -> 'a t
+
+  val size : 'a t -> int
+  (** Number of entries (answer clauses, not distinct templates). *)
+
+  val get : 'a t -> int -> 'a
+  (** Entry by insertion position, [0 .. size-1]; consumers resume
+      incrementally from the position they have already consumed. *)
+
+  val iter : ('a -> unit) -> 'a t -> unit
+  (** In insertion order. *)
+
+  val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+
+  val add : 'a t -> Canon.t -> 'a -> int
+  (** Append an entry under [key]; returns its insertion position.
+      Duplicate-answer detection is the caller's business, via {!find}. *)
+
+  val find : 'a t -> Canon.t -> 'a list
+  (** Entries stored under exactly this key (variant lookup), in
+      insertion order. *)
+
+  val lookup : 'a t -> Canon.t -> (int * 'a) list
+  (** Candidate entries for a call skeleton, sorted by insertion
+      position: every stored key that could unify with the skeleton is
+      returned (skeleton variables match any stored subterm; stored
+      variables match any skeleton subterm). A superset of the truly
+      unifying answers — non-linear variable constraints are not
+      checked — so callers still unify, but only against candidates. *)
+
+  val iter_matching : ?from:int -> 'a t -> Canon.t -> (int -> 'a -> unit) -> unit
+  (** [iter_matching ~from t skel f] applies [f pos entry] to candidates
+      with insertion position [>= from], in insertion order. *)
+end
+
 include S
 (** The default implementation (currently [Hash], as in XSB 1.3). *)

@@ -53,7 +53,7 @@ let run_query ?(first = false) t goal =
      finish ();
      raise e);
   let solutions =
-    Vec.fold_left
+    Machine.fold_answers
       (fun acc (a : Machine.answer) ->
         let instance = Canon.to_term a.Machine.a_template in
         let args =
@@ -67,7 +67,7 @@ let run_query ?(first = false) t goal =
           delays = a.Machine.a_delays;
         }
         :: acc)
-      [] qsub.Machine.s_answers
+      [] qsub
     |> List.rev
   in
   finish ();
@@ -111,14 +111,15 @@ let call_count t name arity =
 
 let stats t = t.env.Machine.stats
 
-let reset_tables t = Canon.Tbl.reset t.env.Machine.tables
+let reset_tables t = Machine.abolish_tables t.env
 
 let tables t =
   Canon.Tbl.fold
     (fun key (sub : Machine.subgoal) acc ->
       let answers =
-        Vec.fold_left (fun acc (a : Machine.answer) -> a.Machine.a_template :: acc) []
-          sub.Machine.s_answers
+        Machine.fold_answers
+          (fun acc (a : Machine.answer) -> a.Machine.a_template :: acc)
+          [] sub
         |> List.rev
       in
       (key, sub.Machine.s_state = Machine.Complete, answers) :: acc)

@@ -64,7 +64,10 @@ val call_count : t -> string -> int -> int
 (** Number of calls made to a predicate since counting was enabled. *)
 
 val stats : t -> Machine.stats
+
 val reset_tables : t -> unit
+(** Abolish the completed tables (see {!Machine.abolish_tables};
+    incomplete tables of an in-progress evaluation are retained). *)
 
 val tables : t -> (Canon.t * bool * Canon.t list) list
 (** [(subgoal key, complete?, answer templates)] for every table. *)

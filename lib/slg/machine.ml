@@ -17,6 +17,7 @@
 
 open Xsb_term
 open Xsb_db
+module Answer_index = Xsb_index.Answer_store.Index
 
 exception Engine_error of string
 exception Floundered of Term.t
@@ -32,6 +33,18 @@ type mode = Stratified | Well_founded
    against a conditional answer of some table. *)
 type delay = Dneg of Canon.t | Dpos of Canon.t * Canon.t
 
+(* explicit order: delay-list normalization and answer-clause dedup must
+   not depend on the physical representation of canonical terms *)
+let compare_delay d1 d2 =
+  match (d1, d2) with
+  | Dneg a, Dneg b -> Canon.compare a b
+  | Dneg _, Dpos _ -> -1
+  | Dpos _, Dneg _ -> 1
+  | Dpos (s1, t1), Dpos (s2, t2) -> (
+      match Canon.compare s1 s2 with 0 -> Canon.compare t1 t2 | c -> c)
+
+let compare_delays = List.compare compare_delay
+
 type answer = { a_template : Canon.t; mutable a_delays : delay list }
 
 type sstate = Incomplete | Complete
@@ -42,10 +55,11 @@ type subgoal = {
   s_pred : string * int;
   mutable s_state : sstate;
   mutable s_owner_eval : int;
-  s_answers : answer Vec.t;
-  s_index : (Canon.t * delay list, answer) Hashtbl.t;
-      (* SLG keeps distinct answer *clauses*: the same template may be
-         supported by several delay lists (§3.1) *)
+  s_store : answer Answer_index.t;
+      (* trie-indexed answer clauses (paper §4.5): SLG keeps distinct
+         answer *clauses* — the same template may be supported by several
+         delay lists (§3.1) — in insertion order, retrievable by the
+         bound-argument skeleton of a consuming call *)
   s_uncond : unit Canon.Tbl.t;  (* templates with an unconditional answer *)
   mutable s_consumers : consumer list;  (* reverse registration order *)
 }
@@ -56,6 +70,7 @@ and consumer = {
   c_snapshot : Canon.t;  (* $susp(Call, GoalsList, Template) *)
   c_delays : delay list;
   mutable c_consumed : int;
+  mutable c_scheduled : bool;  (* a Drain task is already queued *)
 }
 
 type waiter_kind = Wneg | Wgoal
@@ -91,6 +106,11 @@ type stats = {
   mutable st_neg_suspensions : int;
   mutable st_nested_evals : int;
   mutable st_completions : int;
+  mutable st_answer_probes : int;  (* indexed answer retrievals *)
+  mutable st_answer_candidates : int;  (* candidates those probes returned *)
+  mutable st_answer_full_size : int;  (* table sizes a full scan would have visited *)
+  mutable st_subsumed_calls : int;  (* bound calls served from a completed subsuming table *)
+  mutable st_drains_scheduled : int;  (* Drain tasks queued (after dedup) *)
   mutable st_steps : int;
   call_counts : (string * int, int ref) Hashtbl.t;
   mutable st_count_calls : bool;
@@ -107,10 +127,26 @@ let fresh_stats () =
     st_neg_suspensions = 0;
     st_nested_evals = 0;
     st_completions = 0;
+    st_answer_probes = 0;
+    st_answer_candidates = 0;
+    st_answer_full_size = 0;
+    st_subsumed_calls = 0;
+    st_drains_scheduled = 0;
     st_steps = 0;
     call_counts = Hashtbl.create 16;
     st_count_calls = false;
   }
+
+let pp_stats ppf st =
+  Fmt.pf ppf
+    "subgoals: %d@.answers: %d (dups %d)@.suspensions: %d@.resumptions: %d@.resolutions: \
+     %d@.negative suspensions: %d@.nested evaluations: %d@.completions: %d@.answer index probes: \
+     %d@.answer index candidates: %d (of %d stored)@.subsumed calls: %d@.drains scheduled: \
+     %d@.steps: %d@."
+    st.st_subgoals st.st_answers st.st_dup_answers st.st_suspensions st.st_resumptions
+    st.st_resolutions st.st_neg_suspensions st.st_nested_evals st.st_completions
+    st.st_answer_probes st.st_answer_candidates st.st_answer_full_size st.st_subsumed_calls
+    st.st_drains_scheduled st.st_steps
 
 type env = {
   db : Database.t;
@@ -135,7 +171,9 @@ type eval = {
   e_id : int;
   e_parent : eval option;
   e_env : env;
-  mutable e_tasks : task list;  (* LIFO *)
+  e_tasks : task Queue.t;
+      (* FIFO: generators run before the drains they caused, and the
+         queue stays O(live consumers) thanks to [c_scheduled] dedup *)
   mutable e_waiters : waiter list;
   mutable e_created : subgoal list;
 }
@@ -173,7 +211,14 @@ let new_eval env parent =
   (match parent with
   | Some _ -> env.stats.st_nested_evals <- env.stats.st_nested_evals + 1
   | None -> ());
-  { e_id = env.next_eval; e_parent = parent; e_env = env; e_tasks = []; e_waiters = []; e_created = [] }
+  {
+    e_id = env.next_eval;
+    e_parent = parent;
+    e_env = env;
+    e_tasks = Queue.create ();
+    e_waiters = [];
+    e_created = [];
+  }
 
 let rec is_ancestor_or_self ev id = ev.e_id = id || (match ev.e_parent with Some p -> is_ancestor_or_self p id | None -> false)
 
@@ -188,7 +233,17 @@ let step env =
   if env.stats.st_steps land 15 = 0 then
     match env.stop with Some stop when stop () -> raise Stop_eval | _ -> ()
 
-let push_task ev task = ev.e_tasks <- task :: ev.e_tasks
+let push_task ev task = Queue.add task ev.e_tasks
+
+(* Drain tasks are deduplicated: a consumer with a drain already queued
+   gets no second one, so the task queue stays O(live consumers) instead
+   of O(answers x consumers) on cyclic programs. *)
+let schedule_drain ev consumer =
+  if not consumer.c_scheduled then begin
+    consumer.c_scheduled <- true;
+    ev.e_env.stats.st_drains_scheduled <- ev.e_env.stats.st_drains_scheduled + 1;
+    push_task ev (Drain consumer)
+  end
 
 let trace env event term =
   match env.tracer with Some f -> f event term | None -> ()
@@ -229,8 +284,7 @@ let create_table ev key pred_key =
       s_pred = pred_key;
       s_state = Incomplete;
       s_owner_eval = ev.e_id;
-      s_answers = Vec.create ();
-      s_index = Hashtbl.create 16;
+      s_store = Answer_index.create ~size_hint:16 ();
       s_uncond = Canon.Tbl.create 8;
       s_consumers = [];
     }
@@ -245,7 +299,24 @@ let has_unconditional sub = Canon.Tbl.length sub.s_uncond > 0
 
 let template_unconditional sub template = Canon.Tbl.mem sub.s_uncond template
 
-let has_any_answer sub = Vec.length sub.s_answers > 0
+let answer_count sub = Answer_index.size sub.s_store
+let has_any_answer sub = answer_count sub > 0
+let iter_answers f sub = Answer_index.iter f sub.s_store
+let fold_answers f acc sub = Answer_index.fold_left f acc sub.s_store
+
+(* Abolish the completed tables. Incomplete tables belong to an
+   in-progress evaluation: detaching them would leave [e_created],
+   registered consumers and waiters pointing at subgoals the completion
+   phase still marks Complete (and let a concurrent variant call build a
+   second table for the same subgoal), so they are retained — the safe
+   library rendering of XSB's "abolishing a table in use" error. *)
+let abolish_tables env =
+  let doomed =
+    Canon.Tbl.fold
+      (fun key sub acc -> if sub.s_state = Complete then key :: acc else acc)
+      env.tables []
+  in
+  List.iter (Canon.Tbl.remove env.tables) doomed
 
 (* ------------------------------------------------------------------ *)
 (* Goal classification *)
@@ -261,6 +332,27 @@ let args_of goal =
   match Term.deref goal with
   | Term.Struct (_, args) -> args
   | _ -> [||]
+
+(* The fully-open variant of a call: pred(V0,...,Vn-1). When a bound call
+   has no variant table but the open call's table is already complete,
+   the answers of the bound call are exactly the matching subset of the
+   open table — retrieved through the answer index instead of
+   re-evaluating the program (subsumptive consumption of completed
+   tables; cf. Cruz & Rocha on instance retrieval for subsumptive
+   tabling). *)
+let open_key_of goal =
+  match Term.deref goal with
+  | Term.Struct (f, args) when Array.length args > 0 ->
+      Some (Canon.CStruct (f, Array.init (Array.length args) (fun i -> Canon.CVar i)))
+  | _ -> None
+
+let subsuming_completed env goal key =
+  match open_key_of goal with
+  | Some okey when not (Canon.equal okey key) -> (
+      match find_table env okey with
+      | Some sub when sub.s_state = Complete -> Some sub
+      | _ -> None)
+  | _ -> None
 
 let is_tabled env goal =
   env.tabling_enabled
@@ -315,15 +407,11 @@ and solve_atom ev ~det ~owner ~template ~delays ~barrier name goal rest =
       continue ev ~det ~owner ~template ~delays ~barrier rest
   | "listing" -> continue ev ~det ~owner ~template ~delays ~barrier rest
   | "statistics" ->
-      let st = ev.e_env.stats in
-      Fmt.pf ev.e_env.out
-        "subgoals: %d@.answers: %d (dups %d)@.suspensions: %d@.resumptions: %d@.resolutions:          %d@.negative suspensions: %d@.nested evaluations: %d@.completions: %d@.steps: %d@."
-        st.st_subgoals st.st_answers st.st_dup_answers st.st_suspensions st.st_resumptions
-        st.st_resolutions st.st_neg_suspensions st.st_nested_evals st.st_completions st.st_steps;
+      pp_stats ev.e_env.out ev.e_env.stats;
       continue ev ~det ~owner ~template ~delays ~barrier rest
   | "halt" -> error "halt/0 is not available inside the library engine"
   | "abolish_all_tables" ->
-      Canon.Tbl.reset ev.e_env.tables;
+      abolish_tables ev.e_env;
       continue ev ~det ~owner ~template ~delays ~barrier rest
   | "$found$" -> raise Found
   | "$collect$" ->
@@ -547,77 +635,92 @@ and solve_untabled ev ~det ~owner ~template ~delays ~barrier pred goal rest =
         candidates)
 
 (* Consume the answers of a table inline, as ordinary alternatives. Used
-   for completed tables and for "capture" semantics on incomplete ones. *)
-and consume_inline ev ~det ~owner ~template ~delays ~barrier sub goal rest =
+   for completed tables and for "capture" semantics on incomplete ones.
+   [skel] is the canonical skeleton of [goal]: a variant call (the common
+   case under variant tabling) takes every answer in insertion order; a
+   call bound tighter than the table key probes the answer index and
+   unifies only against the candidates. *)
+and consume_inline ev ~det ~owner ~template ~delays ~barrier ~skel sub goal rest =
   let env = ev.e_env in
-  let n = Vec.length sub.s_answers in
-  let rec loop i =
-    if i < n then begin
-      let a = Vec.get sub.s_answers i in
-      let m = Trail.mark env.trail in
-      let instance = Canon.to_term a.a_template in
-      let delays' =
-        if a.a_delays = [] then delays else Dpos (sub.skey, a.a_template) :: delays
-      in
-      if Unify.unify env.trail goal instance then
-        continue ev ~det ~owner ~template ~delays:delays' ~barrier rest;
-      Trail.undo_to env.trail m;
-      loop (i + 1)
-    end
+  let each a =
+    let m = Trail.mark env.trail in
+    let instance = Canon.to_term a.a_template in
+    let delays' =
+      if a.a_delays = [] then delays else Dpos (sub.skey, a.a_template) :: delays
+    in
+    if Unify.unify env.trail goal instance then
+      continue ev ~det ~owner ~template ~delays:delays' ~barrier rest;
+    Trail.undo_to env.trail m
   in
-  loop 0
+  let n = answer_count sub in
+  env.stats.st_answer_probes <- env.stats.st_answer_probes + 1;
+  env.stats.st_answer_full_size <- env.stats.st_answer_full_size + n;
+  if Canon.equal skel sub.skey then begin
+    env.stats.st_answer_candidates <- env.stats.st_answer_candidates + n;
+    let rec loop i =
+      if i < n then begin
+        each (Answer_index.get sub.s_store i);
+        loop (i + 1)
+      end
+    in
+    loop 0
+  end
+  else begin
+    let candidates = Answer_index.lookup sub.s_store skel in
+    env.stats.st_answer_candidates <- env.stats.st_answer_candidates + List.length candidates;
+    List.iter (fun (_, a) -> each a) candidates
+  end
+
+and register_consumer ev sub ~owner ~template ~delays goal rest =
+  let env = ev.e_env in
+  env.stats.st_suspensions <- env.stats.st_suspensions + 1;
+  let consumer =
+    {
+      c_table = sub;
+      c_owner = owner;
+      c_snapshot = susp_term goal rest template;
+      c_delays = delays;
+      c_consumed = 0;
+      c_scheduled = false;
+    }
+  in
+  sub.s_consumers <- consumer :: sub.s_consumers;
+  schedule_drain ev consumer
 
 and solve_tabled ev ~det ~owner ~template ~delays ~barrier goal rest =
   let env = ev.e_env in
   let key = Canon.of_term goal in
   match find_table env key with
   | Some sub when sub.s_state = Complete ->
-      consume_inline ev ~det ~owner ~template ~delays ~barrier sub goal rest
+      consume_inline ev ~det ~owner ~template ~delays ~barrier ~skel:key sub goal rest
   | Some sub ->
       if sub.s_owner_eval = ev.e_id then
         if det then begin
           (* deterministic context: capture currently-available answers *)
           env.captured_incomplete <- Some sub;
-          consume_inline ev ~det ~owner ~template ~delays ~barrier sub goal rest
+          consume_inline ev ~det ~owner ~template ~delays ~barrier ~skel:key sub goal rest
         end
-        else begin
-          env.stats.st_suspensions <- env.stats.st_suspensions + 1;
-          let consumer =
-            {
-              c_table = sub;
-              c_owner = owner;
-              c_snapshot = susp_term goal rest template;
-              c_delays = delays;
-              c_consumed = 0;
-            }
-          in
-          sub.s_consumers <- consumer :: sub.s_consumers;
-          push_task ev (Drain consumer)
-        end
+        else register_consumer ev sub ~owner ~template ~delays goal rest
       else raise (Touched_outer sub)
-  | None ->
-      if det then begin
-        (* complete the subgoal in a nested evaluation, then consume *)
-        let sub = nested_completion ev goal key in
-        consume_inline ev ~det ~owner ~template ~delays ~barrier sub goal rest
-      end
-      else begin
-        let sub = create_table ev key (pred_key_of goal) in
-        trace env "table" goal;
-        push_task ev (Generate sub);
-        env.stats.st_suspensions <- env.stats.st_suspensions + 1;
-        let consumer =
-          {
-            c_table = sub;
-            c_owner = owner;
-            c_snapshot = susp_term goal rest template;
-            c_delays = delays;
-            c_consumed = 0;
-          }
-        in
-        sub.s_consumers <- consumer :: sub.s_consumers;
-        push_task ev (Drain consumer)
-      end
+  | None -> (
+      match subsuming_completed env goal key with
+      | Some sub ->
+          (* bound call over a completed more-general table: answer-index
+             retrieval instead of re-evaluating the program *)
+          env.stats.st_subsumed_calls <- env.stats.st_subsumed_calls + 1;
+          consume_inline ev ~det ~owner ~template ~delays ~barrier ~skel:key sub goal rest
+      | None ->
+          if det then begin
+            (* complete the subgoal in a nested evaluation, then consume *)
+            let sub = nested_completion ev goal key in
+            consume_inline ev ~det ~owner ~template ~delays ~barrier ~skel:key sub goal rest
+          end
+          else begin
+            let sub = create_table ev key (pred_key_of goal) in
+            trace env "table" goal;
+            push_task ev (Generate sub);
+            register_consumer ev sub ~owner ~template ~delays goal rest
+          end)
 
 (* Run a nested evaluation that fully completes the subgoal for [goal].
    Raises [Touched_outer] (after cleaning up) if the nested evaluation
@@ -650,7 +753,7 @@ and nested_completion ?stop_on_first ev goal key =
 and abandon_eval nested =
   let env = nested.e_env in
   List.iter (fun sub -> if sub.s_state = Incomplete then delete_table env sub) nested.e_created;
-  nested.e_tasks <- [];
+  Queue.clear nested.e_tasks;
   nested.e_waiters <- []
 
 (* ------------------------------------------------------------------ *)
@@ -740,13 +843,16 @@ and emit_answer ev owner template delays =
   let key = Canon.of_term template in
   (* delay lists are sets: normalize so duplicate answer clauses are
      detected and lists stay bounded through cycles *)
-  let delays = List.sort_uniq Stdlib.compare delays in
+  let delays = List.sort_uniq compare_delay delays in
   let duplicate =
     if delays = [] then Canon.Tbl.mem owner.s_uncond key
     else
       (* an unconditional answer absorbs conditional ones for the same
          template (SLG simplification) *)
-      Canon.Tbl.mem owner.s_uncond key || Hashtbl.mem owner.s_index (key, delays)
+      Canon.Tbl.mem owner.s_uncond key
+      || List.exists
+           (fun a -> compare_delays a.a_delays delays = 0)
+           (Answer_index.find owner.s_store key)
   in
   if duplicate then env.stats.st_dup_answers <- env.stats.st_dup_answers + 1
   else begin
@@ -754,8 +860,7 @@ and emit_answer ev owner template delays =
     trace env "answer" template;
     if delays = [] then Canon.Tbl.replace owner.s_uncond key ();
     let answer = { a_template = key; a_delays = delays } in
-    Hashtbl.replace owner.s_index (key, delays) answer;
-    Vec.push owner.s_answers answer;
+    ignore (Answer_index.add owner.s_store key answer : int);
     schedule_drains ev owner;
     (* existential evaluations stop precisely at the answer that
        satisfies them (e_tnot's early termination, §4.4) *)
@@ -763,7 +868,7 @@ and emit_answer ev owner template delays =
   end
 
 and schedule_drains ev owner =
-  List.iter (fun c -> push_task ev (Drain c)) owner.s_consumers
+  List.iter (fun c -> schedule_drain ev c) owner.s_consumers
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler *)
@@ -792,16 +897,15 @@ and run_task ev task =
               Trail.undo_to env.trail m)
             candidates)
   | Drain consumer ->
-      if consumer.c_table.s_state = Complete && consumer.c_consumed >= Vec.length consumer.c_table.s_answers
-      then ()
-      else begin
-        let answers = consumer.c_table.s_answers in
-        while consumer.c_consumed < Vec.length answers do
-          let i = consumer.c_consumed in
-          consumer.c_consumed <- i + 1;
-          resume_consumer ev consumer (Vec.get answers i)
-        done
-      end
+      let store = consumer.c_table.s_store in
+      (* the loop re-reads the size, so answers emitted mid-drain are
+         consumed here rather than scheduling a redundant self-drain *)
+      while consumer.c_consumed < Answer_index.size store do
+        let i = consumer.c_consumed in
+        consumer.c_consumed <- i + 1;
+        resume_consumer ev consumer (Answer_index.get store i)
+      done;
+      consumer.c_scheduled <- false
   | Run r ->
       env.stats.st_resumptions <- env.stats.st_resumptions + 1;
       let m = Trail.mark env.trail in
@@ -843,12 +947,11 @@ and run_eval ?stop ev =
   let rec loop () =
     if stopped () then ()
     else
-      match ev.e_tasks with
-      | task :: rest ->
-          ev.e_tasks <- rest;
+      match Queue.take_opt ev.e_tasks with
+      | Some task ->
           run_task ev task;
           loop ()
-      | [] -> completion_phase ()
+      | None -> completion_phase ()
   and completion_phase () =
     (* Positive fixpoint reached: no derivation can produce new answers
        except through derivations suspended on negations. Complete every

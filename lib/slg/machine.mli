@@ -21,6 +21,13 @@ type delay =
   | Dneg of Canon.t  (** delayed ground negation [tnot G] *)
   | Dpos of Canon.t * Canon.t  (** (subgoal, answer) used conditionally *)
 
+val compare_delay : delay -> delay -> int
+(** Explicit structural order (via {!Canon.compare}), so delay-list
+    normalization and answer-clause dedup do not depend on the physical
+    representation of canonical terms. *)
+
+val compare_delays : delay list -> delay list -> int
+
 type answer = { a_template : Canon.t; mutable a_delays : delay list }
 
 type sstate = Incomplete | Complete
@@ -31,8 +38,8 @@ type subgoal = {
   s_pred : string * int;
   mutable s_state : sstate;
   mutable s_owner_eval : int;
-  s_answers : answer Vec.t;
-  s_index : (Canon.t * delay list, answer) Hashtbl.t;
+  s_store : answer Xsb_index.Answer_store.Index.t;
+      (** trie-indexed answer clauses, in insertion order (paper §4.5) *)
   s_uncond : unit Canon.Tbl.t;
   mutable s_consumers : consumer list;
 }
@@ -43,6 +50,7 @@ and consumer = {
   c_snapshot : Canon.t;
   c_delays : delay list;
   mutable c_consumed : int;
+  mutable c_scheduled : bool;  (** a [Drain] task is already queued *)
 }
 
 type waiter_kind = Wneg | Wgoal
@@ -75,10 +83,22 @@ type stats = {
   mutable st_neg_suspensions : int;
   mutable st_nested_evals : int;
   mutable st_completions : int;
+  mutable st_answer_probes : int;  (** indexed answer retrievals *)
+  mutable st_answer_candidates : int;  (** candidates those probes returned *)
+  mutable st_answer_full_size : int;
+      (** table sizes a full scan would have visited *)
+  mutable st_subsumed_calls : int;
+      (** bound calls served from a completed subsuming table *)
+  mutable st_drains_scheduled : int;  (** Drain tasks queued (after dedup) *)
   mutable st_steps : int;
   call_counts : (string * int, int ref) Hashtbl.t;
   mutable st_count_calls : bool;
 }
+
+val fresh_stats : unit -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+(** The [statistics/0] report, one counter per line. *)
 
 type env = {
   db : Database.t;
@@ -102,7 +122,9 @@ type eval = {
   e_id : int;
   e_parent : eval option;
   e_env : env;
-  mutable e_tasks : task list;
+  e_tasks : task Queue.t;
+      (** FIFO: generators run before the drains they caused; [Drain]
+          tasks are deduplicated via [c_scheduled] *)
   mutable e_waiters : waiter list;
   mutable e_created : subgoal list;
 }
@@ -115,6 +137,17 @@ val delete_table : env -> subgoal -> unit
 val find_table : env -> Canon.t -> subgoal option
 val has_unconditional : subgoal -> bool
 val has_any_answer : subgoal -> bool
+
+val answer_count : subgoal -> int
+val iter_answers : (answer -> unit) -> subgoal -> unit
+(** In insertion order. *)
+
+val fold_answers : ('a -> answer -> 'a) -> 'a -> subgoal -> 'a
+
+val abolish_tables : env -> unit
+(** Abolish the completed tables. Incomplete tables belong to an
+    in-progress evaluation and are retained — abolishing them would
+    leave that evaluation's bookkeeping pointing at detached subgoals. *)
 
 val susp_term : Term.t -> Term.t list -> Term.t -> Canon.t
 (** [susp_term first rest template] packages a derivation state for a

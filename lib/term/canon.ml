@@ -53,7 +53,36 @@ let rec is_ground = function
   | CStruct (_, args) -> Array.for_all is_ground args
 
 let equal (a : t) (b : t) = a = b
-let compare (a : t) (b : t) = Stdlib.compare a b
+
+(* structural, so orderings built on it (delay-list normalization, answer
+   dedup) survive a change of physical representation such as interning *)
+let rec compare (a : t) (b : t) =
+  match (a, b) with
+  | CVar m, CVar n -> Int.compare m n
+  | CVar _, _ -> -1
+  | _, CVar _ -> 1
+  | CAtom x, CAtom y -> String.compare x y
+  | CAtom _, _ -> -1
+  | _, CAtom _ -> 1
+  | CInt i, CInt j -> Int.compare i j
+  | CInt _, _ -> -1
+  | _, CInt _ -> 1
+  | CFloat x, CFloat y -> Float.compare x y
+  | CFloat _, _ -> -1
+  | _, CFloat _ -> 1
+  | CStruct (f, xs), CStruct (g, ys) -> (
+      match String.compare f g with
+      | 0 -> (
+          match Int.compare (Array.length xs) (Array.length ys) with
+          | 0 ->
+              let rec args i =
+                if i = Array.length xs then 0
+                else match compare xs.(i) ys.(i) with 0 -> args (i + 1) | c -> c
+              in
+              args 0
+          | c -> c)
+      | c -> c)
+
 let hash (c : t) = Hashtbl.hash c
 
 let rec pp ppf = function

@@ -6,7 +6,7 @@ let of_tables engine =
   let ground = Ground.create () in
   Canon.Tbl.iter
     (fun _ (sub : Machine.subgoal) ->
-      Vec.iter
+      Machine.iter_answers
         (fun (a : Machine.answer) ->
           if a.Machine.a_delays = [] then Ground.add_fact ground a.Machine.a_template
           else
@@ -21,7 +21,7 @@ let of_tables engine =
                 a.Machine.a_delays
             in
             Ground.add_rule ground a.Machine.a_template ~pos ~neg)
-        sub.Machine.s_answers)
+        sub)
     env.Machine.tables;
   ground
 

@@ -233,3 +233,83 @@ let disc_props =
   ]
 
 let suite = suite @ disc_cases @ List.map (QCheck_alcotest.to_alcotest ~long:false) disc_props
+
+(* the payload-carrying trie index behind the SLG machine's answer tables *)
+let answer_index_cases =
+  let c s = Canon.of_term (Parser.term_of_string s) in
+  [
+    t "answer index: add/find/get keep insertion order" `Quick (fun () ->
+        let idx = Answer_index.create () in
+        check_int "pos 0" 0 (Answer_index.add idx (c "p(1,2)") "a");
+        check_int "pos 1" 1 (Answer_index.add idx (c "p(1,3)") "b");
+        check_int "pos 2" 2 (Answer_index.add idx (c "p(1,2)") "c");
+        check_int "size counts entries" 3 (Answer_index.size idx);
+        Alcotest.(check string) "get by position" "b" (Answer_index.get idx 1);
+        Alcotest.(check (list string))
+          "find is exact-key, insertion order" [ "a"; "c" ]
+          (Answer_index.find idx (c "p(1,2)"));
+        Alcotest.(check (list string)) "find misses" [] (Answer_index.find idx (c "p(2,2)")));
+    t "answer index: find is variant lookup, not unification" `Quick (fun () ->
+        let idx = Answer_index.create () in
+        ignore (Answer_index.add idx (c "p(X,Y)") 0);
+        check_int "variant found" 1 (List.length (Answer_index.find idx (c "p(A,B)")));
+        check_int "instance not a variant" 0 (List.length (Answer_index.find idx (c "p(1,2)"))));
+    t "answer index: bound skeleton prunes candidates" `Quick (fun () ->
+        let idx = Answer_index.create () in
+        List.iteri
+          (fun i s -> ignore (Answer_index.add idx (c s) i))
+          [ "p(1,2)"; "p(1,3)"; "p(2,2)"; "p(X,4)"; "p(f(1),5)" ];
+        let positions skel = List.map fst (Answer_index.lookup idx (c skel)) in
+        check_ints "first arg 1 (plus stored var)" [ 0; 1; 3 ] (positions "p(1,W)");
+        check_ints "first arg f(1)" [ 3; 4 ] (positions "p(f(1),W)");
+        check_ints "open call sees all" [ 0; 1; 2; 3; 4 ] (positions "p(V,W)");
+        check_ints "both args bound" [ 0 ] (positions "p(1,2)");
+        check_ints "second arg bound" [ 0; 2 ] (positions "p(V,2)"));
+    t "answer index: skeleton variable skips whole stored subterms" `Quick (fun () ->
+        let idx = Answer_index.create () in
+        List.iteri
+          (fun i s -> ignore (Answer_index.add idx (c s) i))
+          [ "p(f(g(1),2),a)"; "p(h,a)"; "p(h,b)" ];
+        let positions skel = List.map fst (Answer_index.lookup idx (c skel)) in
+        check_ints "skip deep structure" [ 0; 1 ] (positions "p(X,a)");
+        check_ints "bound deep structure" [ 0 ] (positions "p(f(g(1),2),X)"));
+    t "answer index: iter_matching honors ~from" `Quick (fun () ->
+        let idx = Answer_index.create () in
+        List.iteri
+          (fun i s -> ignore (Answer_index.add idx (c s) i))
+          [ "p(1,2)"; "p(2,2)"; "p(1,3)" ];
+        let seen = ref [] in
+        Answer_index.iter_matching ~from:1 idx (c "p(1,W)") (fun pos _ ->
+            seen := pos :: !seen);
+        check_ints "only positions >= from" [ 2 ] (List.rev !seen));
+  ]
+
+let answer_index_props =
+  let open QCheck2 in
+  [
+    (* the acceptance property for the tentpole: filtering a full scan by
+       unification and filtering the index candidates by unification give
+       the same answers, i.e. the candidate set is a superset of the
+       unifying entries (and trivially a subset of the store) *)
+    Test.make ~name:"answer index lookup is a superset of unifiable entries" ~count:200
+      (QCheck2.Gen.pair
+         (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 25) Generators.term_gen)
+         Generators.term_gen)
+      (fun (stored, skel) ->
+        let keys = List.map (fun t -> Canon.of_term (Term.app "p" [ Term.copy t ])) stored in
+        let skel = Canon.of_term (Term.app "p" [ Term.copy skel ]) in
+        let idx = Answer_index.create () in
+        List.iteri (fun i k -> ignore (Answer_index.add idx k i)) keys;
+        let candidates = List.map fst (Answer_index.lookup idx skel) in
+        let trail = Trail.create () in
+        List.for_all
+          (fun (i, k) ->
+            let m = Trail.mark trail in
+            let unifies = Unify.unify trail (Canon.to_term skel) (Canon.to_term k) in
+            Trail.undo_to trail m;
+            (not unifies) || List.mem i candidates)
+          (List.mapi (fun i k -> (i, k)) keys));
+  ]
+
+let suite =
+  suite @ answer_index_cases @ List.map (QCheck_alcotest.to_alcotest ~long:false) answer_index_props

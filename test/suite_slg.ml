@@ -609,3 +609,97 @@ let trace_cases =
   ]
 
 let suite = suite @ trace_cases
+
+let scheduler_and_stats_cases =
+  [
+    t "drain scheduling is deduplicated on cyclic programs" `Quick (fun () ->
+        (* without the c_scheduled flag the queue grows O(answers x
+           consumers); with it, drains-scheduled stays O(live consumers) *)
+        let s = session (tc_program (cycle 8)) in
+        ignore (Session.query s "path(1,X)");
+        let st = Session.stats s in
+        check_bool "some drains ran" true (st.Machine.st_drains_scheduled > 0);
+        check_bool
+          (Printf.sprintf "drains (%d) <= answers (%d) + consumers (%d)"
+             st.Machine.st_drains_scheduled st.Machine.st_answers st.Machine.st_suspensions)
+          true
+          (st.Machine.st_drains_scheduled <= st.Machine.st_answers + st.Machine.st_suspensions));
+    t "bound call consumes a completed table through the answer index" `Quick (fun () ->
+        let s = session (tc_program (cycle 6)) in
+        ignore (Session.query s "path(X,Y)");
+        let st = Session.stats s in
+        let c0 = st.Machine.st_answer_candidates
+        and f0 = st.Machine.st_answer_full_size
+        and s0 = st.Machine.st_subsumed_calls in
+        check_int "bound answers" 6 (Session.count s "path(1,X)");
+        let dc = st.Machine.st_answer_candidates - c0
+        and df = st.Machine.st_answer_full_size - f0 in
+        check_bool "served by subsumption" true (st.Machine.st_subsumed_calls - s0 >= 1);
+        check_bool
+          (Printf.sprintf "candidates (%d) < full table size (%d)" dc df)
+          true (dc < df);
+        check_int "exactly the matching answers" 6 dc);
+    t "pp_stats golden output" `Quick (fun () ->
+        let st = Machine.fresh_stats () in
+        st.Machine.st_subgoals <- 3;
+        st.Machine.st_answers <- 14;
+        st.Machine.st_dup_answers <- 2;
+        st.Machine.st_resolutions <- 25;
+        st.Machine.st_answer_probes <- 4;
+        st.Machine.st_answer_candidates <- 9;
+        st.Machine.st_answer_full_size <- 36;
+        st.Machine.st_steps <- 120;
+        let buffer = Buffer.create 256 in
+        let ppf = Format.formatter_of_buffer buffer in
+        Machine.pp_stats ppf st;
+        Format.pp_print_flush ppf ();
+        Alcotest.(check string) "golden"
+          "subgoals: 3\n\
+           answers: 14 (dups 2)\n\
+           suspensions: 0\n\
+           resumptions: 0\n\
+           resolutions: 25\n\
+           negative suspensions: 0\n\
+           nested evaluations: 0\n\
+           completions: 0\n\
+           answer index probes: 4\n\
+           answer index candidates: 9 (of 36 stored)\n\
+           subsumed calls: 0\n\
+           drains scheduled: 0\n\
+           steps: 120\n"
+          (Buffer.contents buffer));
+    t "statistics/0 output has no run-on whitespace" `Quick (fun () ->
+        let s = session "p(1)." in
+        let buffer = Buffer.create 256 in
+        (Engine.env (Session.engine s)).Machine.out <- Format.formatter_of_buffer buffer;
+        ignore (Session.query s "p(X), statistics");
+        Format.pp_print_flush (Engine.env (Session.engine s)).Machine.out ();
+        let text = Buffer.contents buffer in
+        let contains hay needle =
+          let nl = String.length needle and hl = String.length hay in
+          let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+          go 0
+        in
+        check_bool "has resolutions line" true (contains text "resolutions: ");
+        check_bool "no double spaces" false (contains text "  "));
+    t "abolish_all_tables mid-evaluation keeps in-use tables" `Quick (fun () ->
+        (* abolishing from inside a derivation must not detach the tables
+           the running evaluation still owns *)
+        let s =
+          session
+            (tc_program (chain 3) ^ "\nboom :- path(1,_), abolish_all_tables.")
+        in
+        (* zero-variable query: both path answers dedup to one template *)
+        check_int "boom once" 1 (Session.count s "boom");
+        check_bool "tables consistent afterwards" true
+          (List.for_all (fun (_, complete, _) -> complete) (Engine.tables (Session.engine s)));
+        check_int "path still answers" 2 (Session.count s "path(1,X)"));
+    t "reset_tables between queries frees completed tables" `Quick (fun () ->
+        let s = session (tc_program (chain 4)) in
+        check_int "first run" 3 (Session.count s "path(1,X)");
+        Engine.reset_tables (Session.engine s);
+        check_int "no tables left" 0 (List.length (Engine.tables (Session.engine s)));
+        check_int "recomputes" 3 (Session.count s "path(1,X)"));
+  ]
+
+let suite = suite @ scheduler_and_stats_cases
