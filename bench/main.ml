@@ -421,6 +421,72 @@ let answer_index () =
   row " candidates stay near the matching-answer count, far below full size)\n"
 
 (* ------------------------------------------------------------------ *)
+(* E14 — local vs batched scheduling across tc / sg / win workloads *)
+
+let scheduling () =
+  header "Scheduling strategies: local (SCC-at-a-time) vs batched (eager drain)";
+  let tc = Workloads.left_path_tabled in
+  let win = ":- table win/1.\nwin(X) :- move(X,Y), tnot(win(Y)).\n" in
+  let cases =
+    if !quick then
+      [
+        ("tc chain 128", tc ^ Workloads.chain_edges 128, "path(1,X)");
+        ("tc cycle 128", tc ^ Workloads.cycle_edges 128, "path(1,X)");
+        ("tc grid 8x8", tc ^ Workloads.grid_edges 8, "path(1,X)");
+        ("sg tree h=5", Workloads.sg_program 31, "sg(32,Y)");
+        ("win chain 128", win ^ Workloads.chain_moves 128, "win(1)");
+        ("win tree h=7", win ^ Workloads.binary_tree_moves 7, "win(1)");
+      ]
+    else
+      [
+        ("tc chain 512", tc ^ Workloads.chain_edges 512, "path(1,X)");
+        ("tc cycle 512", tc ^ Workloads.cycle_edges 512, "path(1,X)");
+        ("tc grid 16x16", tc ^ Workloads.grid_edges 16, "path(1,X)");
+        ("sg tree h=6", Workloads.sg_program 63, "sg(64,Y)");
+        ("win chain 256", win ^ Workloads.chain_moves 256, "win(1)");
+        ("win tree h=9", win ^ Workloads.binary_tree_moves 9, "win(1)");
+      ]
+  in
+  let time_with strategy text query =
+    let s = Xsb.Session.create ~scheduling:strategy () in
+    Xsb.Session.consult s text;
+    time_query s query
+  in
+  let scc_stats text query =
+    let s = Xsb.Session.create ~scheduling:Xsb.Machine.Local () in
+    Xsb.Session.consult s text;
+    ignore (Xsb.Session.count s query);
+    Xsb.Session.stats s
+  in
+  row "%-18s %12s %12s %12s %8s %8s\n" "workload" "batched(ms)" "local(ms)" "local/batch" "sccs"
+    "max-scc";
+  let results =
+    List.map
+      (fun (name, text, query) ->
+        let batched = time_with Xsb.Machine.Batched text query in
+        let local = time_with Xsb.Machine.Local text query in
+        let st = scc_stats text query in
+        row "%-18s %12.3f %12.3f %12.2f %8d %8d\n" name (ms batched) (ms local)
+          (local /. batched) st.Xsb.Machine.st_sccs_completed st.Xsb.Machine.st_max_scc_size;
+        (name, batched, local, st))
+      cases
+  in
+  let oc = open_out "BENCH_scheduling.json" in
+  output_string oc "{ \"experiment\": \"scheduling\", \"unit\": \"ms\", \"results\": [\n";
+  List.iteri
+    (fun i (name, batched, local, (st : Xsb.Machine.stats)) ->
+      Printf.fprintf oc
+        "  { \"workload\": %S, \"batched_ms\": %.4f, \"local_ms\": %.4f, \"local_over_batched\": \
+         %.4f, \"sccs_completed\": %d, \"early_completions\": %d, \"max_scc_size\": %d }%s\n"
+        name (ms batched) (ms local) (local /. batched) st.Xsb.Machine.st_sccs_completed
+        st.Xsb.Machine.st_early_completions st.Xsb.Machine.st_max_scc_size
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  output_string oc "] }\n";
+  close_out oc;
+  row "wrote BENCH_scheduling.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per table/figure *)
 
 let bechamel_tests () =
@@ -489,6 +555,7 @@ let experiments =
     ("load", load_speeds);
     ("hilog", hilog_overhead);
     ("answer_index", answer_index);
+    ("scheduling", scheduling);
     ("bechamel", bechamel);
   ]
 

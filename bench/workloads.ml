@@ -52,6 +52,24 @@ let tree_edges height =
           Buffer.add_string buf (Printf.sprintf "edge(%d,%d).\n" i ((2 * i) + 1))
       done)
 
+(* n x n grid, nodes numbered row-major from 1: edges right and down *)
+let grid_edges n =
+  buffer_program (fun buf ->
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let id = (i * n) + j + 1 in
+          if j < n - 1 then Buffer.add_string buf (Printf.sprintf "edge(%d,%d).\n" id (id + 1));
+          if i < n - 1 then Buffer.add_string buf (Printf.sprintf "edge(%d,%d).\n" id (id + n))
+        done
+      done)
+
+(* move/2 facts along a chain 1 -> 2 -> ... -> n *)
+let chain_moves n =
+  buffer_program (fun buf ->
+      for i = 1 to n - 1 do
+        Buffer.add_string buf (Printf.sprintf "move(%d,%d).\n" i (i + 1))
+      done)
+
 let left_path_tabled = ":- table path/2.\npath(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).\n"
 let right_path_tabled = ":- table path/2.\npath(X,Y) :- edge(X,Y).\npath(X,Y) :- edge(X,Z), path(Z,Y).\n"
 let double_path_tabled = ":- table path/2.\npath(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), path(Z,Y).\n"

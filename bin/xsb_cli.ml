@@ -60,11 +60,13 @@ let print_stats session =
   let stats = Xsb.Engine.stats (Xsb.Session.engine session) in
   Fmt.pr
     "subgoals=%d answers=%d (dups %d) suspensions=%d resumptions=%d resolutions=%d neg-susp=%d \
-     nested-evals=%d completions=%d steps=%d@."
+     nested-evals=%d completions=%d sccs-completed=%d early-completions=%d max-scc=%d steps=%d@."
     stats.Xsb.Machine.st_subgoals stats.Xsb.Machine.st_answers stats.Xsb.Machine.st_dup_answers
     stats.Xsb.Machine.st_suspensions stats.Xsb.Machine.st_resumptions
     stats.Xsb.Machine.st_resolutions stats.Xsb.Machine.st_neg_suspensions
-    stats.Xsb.Machine.st_nested_evals stats.Xsb.Machine.st_completions stats.Xsb.Machine.st_steps
+    stats.Xsb.Machine.st_nested_evals stats.Xsb.Machine.st_completions
+    stats.Xsb.Machine.st_sccs_completed stats.Xsb.Machine.st_early_completions
+    stats.Xsb.Machine.st_max_scc_size stats.Xsb.Machine.st_steps
 
 let repl session engine_kind wfs =
   Fmt.pr "XSB-repro (OCaml). Type goals ending with '.', or 'halt.' to quit.@.";
@@ -92,9 +94,9 @@ let repl session engine_kind wfs =
   in
   loop ()
 
-let main files goals wfs engine_name interactive stats compile do_trace =
+let main files goals wfs engine_name scheduling interactive stats compile do_trace =
   let mode = if wfs then Some Xsb.Machine.Well_founded else None in
-  let session = Xsb.Session.create ?mode () in
+  let session = Xsb.Session.create ?mode ?scheduling () in
   if do_trace then
     Xsb.Engine.set_trace (Xsb.Session.engine session)
       (Some (fun event term -> Fmt.epr "[%s] %a@." event (Xsb.Pretty.pp ()) term));
@@ -134,6 +136,16 @@ let wfs =
 let engine_name =
   Arg.(value & opt string "slg" & info [ "engine" ] ~docv:"ENGINE" ~doc:"slg | wam | bottomup")
 
+let scheduling =
+  Arg.(
+    value
+    & opt (some (enum [ ("local", Xsb.Machine.Local); ("batched", Xsb.Machine.Batched) ])) None
+    & info [ "scheduling" ] ~docv:"STRATEGY"
+        ~doc:
+          "Answer scheduling strategy for the SLG engine: local (complete an SCC before \
+           returning answers outward) or batched (eagerly drain answers to consumers). \
+           Defaults to \\$XSB_SCHEDULING or batched.")
+
 let interactive = Arg.(value & flag & info [ "i"; "interactive" ] ~doc:"Enter the REPL.")
 let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics.")
 
@@ -148,6 +160,7 @@ let cmd =
   Cmd.v
     (Cmd.info "xsb" ~doc)
     Term.(
-      const main $ files $ goals $ wfs $ engine_name $ interactive $ stats $ compile $ do_trace)
+      const main $ files $ goals $ wfs $ engine_name $ scheduling $ interactive $ stats
+      $ compile $ do_trace)
 
 let () = exit (Cmd.eval' cmd)

@@ -52,6 +52,20 @@ let () =
     (Xsb.Engine.call_count (Xsb.Session.engine sldnf) "win" 1)
     ((1 lsl height) - 1);
 
+  (* --- local scheduling: inner SCCs complete before the global
+     fixpoint, so tnot fails early against already-closed tables --- *)
+  let local = Xsb.Session.create ~scheduling:Xsb.Machine.Local () in
+  Xsb.Session.consult local ":- table win/1.\nwin(X) :- move(X,Y), tnot(win(Y)).";
+  Xsb.Session.consult local (complete_binary_tree height);
+  Fmt.pr "Local scheduling:    win(1): %b@." (Xsb.Session.succeeds local "win(1)");
+  let stats = Xsb.Engine.stats (Xsb.Session.engine local) in
+  Fmt.pr
+    "  (%d SCCs completed incrementally, %d subgoals closed before the global fixpoint, max SCC \
+     size %d)@."
+    stats.Xsb.Machine.st_sccs_completed stats.Xsb.Machine.st_early_completions
+    stats.Xsb.Machine.st_max_scc_size;
+  assert (stats.Xsb.Machine.st_early_completions > 0);
+
   (* --- a cyclic game needs the well-founded semantics --- *)
   let wfs = Xsb.Session.create ~mode:Xsb.Machine.Well_founded () in
   Xsb.Session.consult wfs

@@ -2,9 +2,9 @@ open Xsb_slg
 
 type t = { database : Xsb_db.Database.t; eng : Engine.t }
 
-let create ?mode () =
+let create ?mode ?scheduling () =
   let database = Xsb_db.Database.create () in
-  { database; eng = Engine.create ?mode database }
+  { database; eng = Engine.create ?mode ?scheduling database }
 
 let db t = t.database
 let engine t = t.eng

@@ -5,7 +5,7 @@ open Xsb_slg
 
 type t
 
-val create : ?mode:Machine.mode -> unit -> t
+val create : ?mode:Machine.mode -> ?scheduling:Machine.scheduling -> unit -> t
 
 val db : t -> Xsb_db.Database.t
 val engine : t -> Engine.t

@@ -3,7 +3,8 @@ open Xsb_db
 
 type t = { database : Database.t; env : Machine.env; mutable query_counter : int }
 
-let create ?mode database = { database; env = Machine.create_env ?mode database; query_counter = 0 }
+let create ?mode ?scheduling database =
+  { database; env = Machine.create_env ?mode ?scheduling database; query_counter = 0 }
 
 let db t = t.database
 let env t = t.env
@@ -95,6 +96,9 @@ let consult_file t path =
   run_deferred t result.Loader.deferred_goals
 
 let set_tabling t flag = t.env.Machine.tabling_enabled <- flag
+
+let scheduling t = t.env.Machine.scheduling
+let set_scheduling t strategy = t.env.Machine.scheduling <- strategy
 let set_max_steps t n = t.env.Machine.max_steps <- n
 
 let set_trace t tracer = t.env.Machine.tracer <- tracer

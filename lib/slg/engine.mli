@@ -10,7 +10,7 @@ open Xsb_db
 
 type t
 
-val create : ?mode:Machine.mode -> Database.t -> t
+val create : ?mode:Machine.mode -> ?scheduling:Machine.scheduling -> Database.t -> t
 val db : t -> Database.t
 val env : t -> Machine.env
 
@@ -51,13 +51,20 @@ val set_tabling : t -> bool -> unit
 (** Disable to execute everything by SLDNF, ignoring table declarations
     (used for the paper's SLDNF comparison rows). *)
 
+val scheduling : t -> Machine.scheduling
+
+val set_scheduling : t -> Machine.scheduling -> unit
+(** Switch the answer-scheduling strategy ({!Machine.scheduling}) for
+    subsequent queries; tables already completed are unaffected. *)
+
 val set_max_steps : t -> int -> unit
 (** Raise {!Machine.Step_limit} after this many resolution steps
     (0 = unlimited); demonstrates SLD non-termination finitely. *)
 
 val set_trace : t -> (string -> Term.t -> unit) option -> unit
-(** Observation hook fired on "call", "table" (new subgoal), and
-    "answer" events; pass [None] to disable. *)
+(** Observation hook fired on "call", "table" (new subgoal), "answer",
+    and "complete" (table closed, once per SCC member at completion
+    time) events; pass [None] to disable. *)
 
 val set_count_calls : t -> bool -> unit
 val call_count : t -> string -> int -> int

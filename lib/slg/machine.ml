@@ -28,6 +28,29 @@ let error fmt = Fmt.kstr (fun s -> raise (Engine_error s)) fmt
 
 type mode = Stratified | Well_founded
 
+(* Scheduling strategies (Areias & Rocha): [Batched] eagerly drains every
+   new answer to all registered consumers; [Local] keeps answers inside
+   the producer's strongly-connected component of subgoals until the SCC
+   completes, and only then returns them outward. Both compute the same
+   answer sets; they differ in answer-arrival order and in how much
+   suspension state stays live. *)
+type scheduling = Local | Batched
+
+let scheduling_of_string s =
+  match String.lowercase_ascii s with
+  | "local" -> Some Local
+  | "batched" -> Some Batched
+  | _ -> None
+
+let scheduling_to_string = function Local -> "local" | Batched -> "batched"
+
+(* the CI matrix sets XSB_SCHEDULING to run every suite under both
+   strategies; unset, the historical eager behaviour is the default *)
+let default_scheduling () =
+  match Sys.getenv_opt "XSB_SCHEDULING" with
+  | Some s -> ( match scheduling_of_string s with Some x -> x | None -> Batched)
+  | None -> Batched
+
 (* Delayed literals attached to conditional answers (section 3.1): a
    delayed ground negation, or a positive literal that was resolved
    against a conditional answer of some table. *)
@@ -62,6 +85,13 @@ type subgoal = {
          bound-argument skeleton of a consuming call *)
   s_uncond : unit Canon.Tbl.t;  (* templates with an unconditional answer *)
   mutable s_consumers : consumer list;  (* reverse registration order *)
+  mutable s_deps : subgoal list;
+      (* subgoal dependency graph, out-edges: tables this subgoal's
+         suspended derivations consume from (positive) or wait on
+         (negative); the SCCs of this graph are the units of incremental
+         completion *)
+  mutable s_tasks : int;  (* queued scheduler tasks that feed this subgoal *)
+  mutable s_scc : int;  (* SCC id from the last Tarjan pass (see refresh_sccs) *)
 }
 
 and consumer = {
@@ -111,6 +141,9 @@ type stats = {
   mutable st_answer_full_size : int;  (* table sizes a full scan would have visited *)
   mutable st_subsumed_calls : int;  (* bound calls served from a completed subsuming table *)
   mutable st_drains_scheduled : int;  (* Drain tasks queued (after dedup) *)
+  mutable st_sccs_completed : int;  (* SCCs closed by incremental completion *)
+  mutable st_early_completions : int;  (* subgoals completed before the global fixpoint *)
+  mutable st_max_scc_size : int;  (* largest SCC closed incrementally *)
   mutable st_steps : int;
   call_counts : (string * int, int ref) Hashtbl.t;
   mutable st_count_calls : bool;
@@ -132,6 +165,9 @@ let fresh_stats () =
     st_answer_full_size = 0;
     st_subsumed_calls = 0;
     st_drains_scheduled = 0;
+    st_sccs_completed = 0;
+    st_early_completions = 0;
+    st_max_scc_size = 0;
     st_steps = 0;
     call_counts = Hashtbl.create 16;
     st_count_calls = false;
@@ -142,17 +178,19 @@ let pp_stats ppf st =
     "subgoals: %d@.answers: %d (dups %d)@.suspensions: %d@.resumptions: %d@.resolutions: \
      %d@.negative suspensions: %d@.nested evaluations: %d@.completions: %d@.answer index probes: \
      %d@.answer index candidates: %d (of %d stored)@.subsumed calls: %d@.drains scheduled: \
-     %d@.steps: %d@."
+     %d@.sccs completed: %d@.early completions: %d@.max scc size: %d@.steps: %d@."
     st.st_subgoals st.st_answers st.st_dup_answers st.st_suspensions st.st_resumptions
     st.st_resolutions st.st_neg_suspensions st.st_nested_evals st.st_completions
     st.st_answer_probes st.st_answer_candidates st.st_answer_full_size st.st_subsumed_calls
-    st.st_drains_scheduled st.st_steps
+    st.st_drains_scheduled st.st_sccs_completed st.st_early_completions st.st_max_scc_size
+    st.st_steps
 
 type env = {
   db : Database.t;
   trail : Trail.t;
   tables : subgoal Canon.Tbl.t;
   mode : mode;
+  mutable scheduling : scheduling;
   mutable tabling_enabled : bool;
   mutable next_eval : int;
   mutable next_subgoal : int;
@@ -176,6 +214,8 @@ type eval = {
          queue stays O(live consumers) thanks to [c_scheduled] dedup *)
   mutable e_waiters : waiter list;
   mutable e_created : subgoal list;
+  mutable e_scc_dirty : bool;
+      (* the dependency graph changed since the last Tarjan pass *)
 }
 
 exception Cut_signal of int
@@ -187,12 +227,16 @@ exception Stop_eval
    backtracking (throw/1, catch/3) *)
 exception Prolog_ball of Canon.t
 
-let create_env ?(mode = Stratified) db =
+let create_env ?(mode = Stratified) ?scheduling db =
+  let scheduling =
+    match scheduling with Some s -> s | None -> default_scheduling ()
+  in
   {
     db;
     trail = Trail.create ();
     tables = Canon.Tbl.create 256;
     mode;
+    scheduling;
     tabling_enabled = true;
     next_eval = 0;
     next_subgoal = 0;
@@ -218,6 +262,7 @@ let new_eval env parent =
     e_tasks = Queue.create ();
     e_waiters = [];
     e_created = [];
+    e_scc_dirty = false;
   }
 
 let rec is_ancestor_or_self ev id = ev.e_id = id || (match ev.e_parent with Some p -> is_ancestor_or_self p id | None -> false)
@@ -233,7 +278,19 @@ let step env =
   if env.stats.st_steps land 15 = 0 then
     match env.stop with Some stop when stop () -> raise Stop_eval | _ -> ()
 
-let push_task ev task = Queue.add task ev.e_tasks
+(* The subgoal a task can produce answers for: within one evaluation, a
+   table only ever gains answers through tasks it owns, so a zero
+   [s_tasks] count means the subgoal is quiescent — the local condition
+   incremental completion builds on. *)
+let task_owner = function
+  | Generate sub -> sub
+  | Drain c -> c.c_owner
+  | Run r -> r.r_owner
+
+let push_task ev task =
+  let owner = task_owner task in
+  owner.s_tasks <- owner.s_tasks + 1;
+  Queue.add task ev.e_tasks
 
 (* Drain tasks are deduplicated: a consumer with a drain already queued
    gets no second one, so the task queue stays O(live consumers) instead
@@ -287,10 +344,14 @@ let create_table ev key pred_key =
       s_store = Answer_index.create ~size_hint:16 ();
       s_uncond = Canon.Tbl.create 8;
       s_consumers = [];
+      s_deps = [];
+      s_tasks = 0;
+      s_scc = 0;
     }
   in
   Canon.Tbl.replace env.tables key sub;
   ev.e_created <- sub :: ev.e_created;
+  ev.e_scc_dirty <- true;
   sub
 
 let delete_table env sub = Canon.Tbl.remove env.tables sub.skey
@@ -317,6 +378,172 @@ let abolish_tables env =
       env.tables []
   in
   List.iter (Canon.Tbl.remove env.tables) doomed
+
+(* ------------------------------------------------------------------ *)
+(* The subgoal dependency graph and incremental SCC completion.
+
+   Edges are recorded when a derivation suspends: a consumer of table T
+   owned by subgoal S adds S -> T (positive), a negative waiter likewise
+   (negative). A strongly-connected component of incomplete subgoals can
+   be completed as soon as (a) no member has a queued task, (b) every
+   table a member depends on outside the SCC is already complete, (c) no
+   derivation suspended on a negative literal can still feed a member,
+   and (d) no member-owned consumer has undelivered answers. This is the
+   library rendering of the SLG-WAM's completion instruction: tables
+   close as their SCC is exhausted instead of at the global fixpoint, so
+   completed-table reuse (inline consumption, subsumption, early tnot
+   failure) fires mid-evaluation. *)
+
+let add_dep ev owner table =
+  if not (List.memq table owner.s_deps) then begin
+    owner.s_deps <- table :: owner.s_deps;
+    ev.e_scc_dirty <- true
+  end
+
+(* Iterative Tarjan over this evaluation's incomplete subgoals; assigns
+   [s_scc] ids. Lazy: only re-run when the graph changed. *)
+let refresh_sccs ev =
+  if ev.e_scc_dirty then begin
+    ev.e_scc_dirty <- false;
+    let nodes = List.filter (fun s -> s.s_state = Incomplete) ev.e_created in
+    let idx = Hashtbl.create 64 and low = Hashtbl.create 64 in
+    let onstack = Hashtbl.create 64 in
+    let stack = Stack.create () in
+    let counter = ref 0 and next_scc = ref 0 in
+    let succs s = List.filter (fun d -> d.s_state = Incomplete) s.s_deps in
+    let strongconnect v0 =
+      let frames = Stack.create () in
+      let open_node v =
+        Hashtbl.replace idx v.s_id !counter;
+        Hashtbl.replace low v.s_id !counter;
+        incr counter;
+        Stack.push v stack;
+        Hashtbl.replace onstack v.s_id ();
+        Stack.push (v, ref (succs v)) frames
+      in
+      open_node v0;
+      while not (Stack.is_empty frames) do
+        let v, rest = Stack.top frames in
+        match !rest with
+        | w :: tl ->
+            rest := tl;
+            if not (Hashtbl.mem idx w.s_id) then open_node w
+            else if Hashtbl.mem onstack w.s_id then
+              Hashtbl.replace low v.s_id
+                (min (Hashtbl.find low v.s_id) (Hashtbl.find idx w.s_id))
+        | [] ->
+            ignore (Stack.pop frames);
+            if Hashtbl.find low v.s_id = Hashtbl.find idx v.s_id then begin
+              incr next_scc;
+              let rec pop () =
+                let w = Stack.pop stack in
+                Hashtbl.remove onstack w.s_id;
+                w.s_scc <- !next_scc;
+                if w != v then pop ()
+              in
+              pop ()
+            end;
+            (match Stack.top_opt frames with
+            | Some (p, _) ->
+                Hashtbl.replace low p.s_id
+                  (min (Hashtbl.find low p.s_id) (Hashtbl.find low v.s_id))
+            | None -> ())
+      done
+    in
+    List.iter (fun v -> if not (Hashtbl.mem idx v.s_id) then strongconnect v) nodes
+  end
+
+let mark_complete env sub =
+  sub.s_state <- Complete;
+  env.stats.st_completions <- env.stats.st_completions + 1;
+  trace env "complete" (Canon.to_term sub.skey)
+
+let run_of_waiter w =
+  Run
+    {
+      r_owner = w.w_owner;
+      r_snapshot = w.w_snapshot;
+      r_delays = w.w_delays;
+      r_skip_first = false;
+      r_extra_delay = None;
+    }
+
+(* Try to complete the SCC of [sub]. Called whenever a subgoal's queued
+   task count drops to zero, and cascaded from completions it enables. *)
+let rec try_complete ev sub =
+  if sub.s_state = Incomplete && sub.s_tasks = 0 then begin
+    refresh_sccs ev;
+    let scc = sub.s_scc in
+    let members =
+      List.filter (fun s -> s.s_state = Incomplete && s.s_scc = scc) ev.e_created
+    in
+    let in_scc s = s.s_state = Incomplete && s.s_scc = scc in
+    let blocked =
+      List.exists (fun m -> m.s_tasks > 0) members
+      || List.exists
+           (fun m ->
+             List.exists (fun d -> d.s_state = Incomplete && d.s_scc <> scc) m.s_deps)
+           members
+      || List.exists (fun w -> in_scc w.w_owner) ev.e_waiters
+      || List.exists
+           (fun m ->
+             List.exists
+               (fun c -> in_scc c.c_owner && c.c_consumed < answer_count m)
+               m.s_consumers)
+           members
+    in
+    if not blocked then complete_scc ev members
+  end
+
+and complete_scc ev members =
+  let env = ev.e_env in
+  let n = List.length members in
+  env.stats.st_sccs_completed <- env.stats.st_sccs_completed + 1;
+  env.stats.st_early_completions <- env.stats.st_early_completions + n;
+  if n > env.stats.st_max_scc_size then env.stats.st_max_scc_size <- n;
+  List.iter (mark_complete env) members;
+  ev.e_scc_dirty <- true;
+  (* deliver answers deferred by local scheduling to cross-SCC consumers,
+     and wake their owners so completion cascades outward *)
+  List.iter
+    (fun m -> List.iter (fun c -> schedule_drain ev c) m.s_consumers)
+    members;
+  ignore (resolve_waiters ev : bool)
+
+(* Waiters blocked on now-complete tables resume; negative waiters whose
+   (ground) subgoal has acquired an unconditional answer fail outright.
+   Returns whether any waiter was resolved. *)
+and resolve_waiters ev =
+  let resumable, blocked =
+    List.partition (fun w -> w.w_table.s_state = Complete) ev.e_waiters
+  in
+  let failed, blocked =
+    List.partition
+      (fun w -> w.w_kind = Wneg && template_unconditional w.w_table w.w_table.skey)
+      blocked
+  in
+  ev.e_waiters <- blocked;
+  List.iter (fun w -> push_task ev (run_of_waiter w)) resumable;
+  (* a dropped waiter no longer pins its owner's SCC open *)
+  List.iter (fun w -> try_complete ev w.w_owner) failed;
+  resumable <> [] || failed <> []
+
+(* Local scheduling can defer drains across SCC boundaries; before a
+   fixpoint judgement every undelivered answer must be scheduled. *)
+let flush_deferred_drains ev =
+  let any = ref false in
+  List.iter
+    (fun s ->
+      if s.s_state = Incomplete then
+        List.iter
+          (fun c ->
+            if (not c.c_scheduled) && c.c_consumed < answer_count s then begin
+              any := true;
+              schedule_drain ev c
+            end)
+          s.s_consumers)
+    ev.e_created;
+  !any
 
 (* ------------------------------------------------------------------ *)
 (* Goal classification *)
@@ -685,7 +912,14 @@ and register_consumer ev sub ~owner ~template ~delays goal rest =
     }
   in
   sub.s_consumers <- consumer :: sub.s_consumers;
-  schedule_drain ev consumer
+  add_dep ev owner sub;
+  match env.scheduling with
+  | Batched -> schedule_drain ev consumer
+  | Local ->
+      (* local scheduling: a consumer outside the producer's SCC gets its
+         answers when the SCC completes, not before *)
+      refresh_sccs ev;
+      if owner.s_scc = sub.s_scc then schedule_drain ev consumer
 
 and solve_tabled ev ~det ~owner ~template ~delays ~barrier goal rest =
   let env = ev.e_env in
@@ -833,6 +1067,7 @@ and suspend_waiter ev ~kind ~owner ~template ~delays sub blocked rest =
       w_delays = delays;
     }
   in
+  add_dep ev owner sub;
   ev.e_waiters <- waiter :: ev.e_waiters
 
 (* ------------------------------------------------------------------ *)
@@ -868,7 +1103,17 @@ and emit_answer ev owner template delays =
   end
 
 and schedule_drains ev owner =
-  List.iter (fun c -> schedule_drain ev c) owner.s_consumers
+  match ev.e_env.scheduling with
+  | Batched -> List.iter (fun c -> schedule_drain ev c) owner.s_consumers
+  | Local ->
+      (* keep the new answer inside the producer's SCC; cross-SCC
+         consumers are drained by complete_scc (or the fixpoint flush) *)
+      refresh_sccs ev;
+      List.iter
+        (fun c ->
+          if c.c_owner.s_state = Complete || c.c_owner.s_scc = owner.s_scc then
+            schedule_drain ev c)
+        owner.s_consumers
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler *)
@@ -949,7 +1194,11 @@ and run_eval ?stop ev =
     else
       match Queue.take_opt ev.e_tasks with
       | Some task ->
+          let owner = task_owner task in
+          owner.s_tasks <- owner.s_tasks - 1;
           run_task ev task;
+          (* quiescent subgoal: its SCC may now be exhausted *)
+          try_complete ev owner;
           loop ()
       | None -> completion_phase ()
   and completion_phase () =
@@ -957,14 +1206,11 @@ and run_eval ?stop ev =
        except through derivations suspended on negations. Complete every
        incomplete subgoal that cannot be fed (transitively) by a waiter's
        resumption, then resume waiters whose tables completed. *)
+    if flush_deferred_drains ev then loop ()
+    else begin
     let incomplete = List.filter (fun s -> s.s_state = Incomplete) ev.e_created in
-    if ev.e_waiters = [] then begin
-      List.iter
-        (fun s ->
-          s.s_state <- Complete;
-          ev.e_env.stats.st_completions <- ev.e_env.stats.st_completions + 1)
-        incomplete
-    end
+    if ev.e_waiters = [] then
+      List.iter (mark_complete ev.e_env) incomplete
     else begin
       let module Iset = Set.Make (Int) in
       (* flow edges: answers of [s] can reach consumers' owners *)
@@ -979,37 +1225,9 @@ and run_eval ?stop ev =
       in
       List.iter visit seeds;
       let completable = List.filter (fun s -> not (Hashtbl.mem reachable s.s_id)) incomplete in
-      List.iter
-        (fun s ->
-          s.s_state <- Complete;
-          ev.e_env.stats.st_completions <- ev.e_env.stats.st_completions + 1)
-        completable;
-      let resumable, blocked =
-        List.partition (fun w -> w.w_table.s_state = Complete) ev.e_waiters
-      in
-      (* negative waiters whose (ground) subgoal already has an
-         unconditional answer fail outright; dropping them is progress *)
-      let failed, blocked =
-        List.partition
-          (fun w -> w.w_kind = Wneg && template_unconditional w.w_table w.w_table.skey)
-          blocked
-      in
-      ev.e_waiters <- blocked;
-      if resumable <> [] || failed <> [] then begin
-        List.iter
-          (fun w ->
-            push_task ev
-              (Run
-                 {
-                   r_owner = w.w_owner;
-                   r_snapshot = w.w_snapshot;
-                   r_delays = w.w_delays;
-                   r_skip_first = false;
-                   r_extra_delay = None;
-                 }))
-          resumable;
-        loop ()
-      end
+      List.iter (mark_complete ev.e_env) completable;
+      if completable <> [] then ev.e_scc_dirty <- true;
+      if resolve_waiters ev then loop ()
       else begin
         (* every waiter waits on a table inside the negative loop *)
         match ev.e_env.mode with
@@ -1036,6 +1254,7 @@ and run_eval ?stop ev =
               waiters;
             loop ()
       end
+    end
     end
   in
   (try loop () with

@@ -16,6 +16,25 @@ exception Prolog_ball of Canon.t
 
 type mode = Stratified | Well_founded
 
+(** Scheduling strategies for tabled evaluation (cf. Areias & Rocha, "On
+    Combining Linear-Based Strategies for Tabled Evaluation of Logic
+    Programs"). [Batched] eagerly drains every new answer to all
+    registered consumers; [Local] keeps answers inside the producer's
+    strongly-connected component of subgoals until the SCC completes and
+    only then returns them outward. Both strategies compute the same
+    answer sets; they differ in answer-arrival order and in how long
+    suspension state stays live. *)
+type scheduling = Local | Batched
+
+val scheduling_of_string : string -> scheduling option
+(** ["local"] / ["batched"] (case-insensitive). *)
+
+val scheduling_to_string : scheduling -> string
+
+val default_scheduling : unit -> scheduling
+(** [Batched] unless the [XSB_SCHEDULING] environment variable names a
+    strategy (the CI matrix runs the suites under both). *)
+
 (** Delayed literals of conditional answers. *)
 type delay =
   | Dneg of Canon.t  (** delayed ground negation [tnot G] *)
@@ -42,6 +61,11 @@ type subgoal = {
       (** trie-indexed answer clauses, in insertion order (paper §4.5) *)
   s_uncond : unit Canon.Tbl.t;
   mutable s_consumers : consumer list;
+  mutable s_deps : subgoal list;
+      (** dependency-graph out-edges: tables this subgoal's suspended
+          derivations consume from or negatively wait on *)
+  mutable s_tasks : int;  (** queued scheduler tasks feeding this subgoal *)
+  mutable s_scc : int;  (** SCC id from the last incremental Tarjan pass *)
 }
 
 and consumer = {
@@ -90,6 +114,11 @@ type stats = {
   mutable st_subsumed_calls : int;
       (** bound calls served from a completed subsuming table *)
   mutable st_drains_scheduled : int;  (** Drain tasks queued (after dedup) *)
+  mutable st_sccs_completed : int;
+      (** SCCs closed by incremental completion, before the global fixpoint *)
+  mutable st_early_completions : int;
+      (** subgoals completed incrementally (members of those SCCs) *)
+  mutable st_max_scc_size : int;  (** largest SCC closed incrementally *)
   mutable st_steps : int;
   call_counts : (string * int, int ref) Hashtbl.t;
   mutable st_count_calls : bool;
@@ -105,6 +134,7 @@ type env = {
   trail : Trail.t;
   tables : subgoal Canon.Tbl.t;
   mode : mode;
+  mutable scheduling : scheduling;
   mutable tabling_enabled : bool;
   mutable next_eval : int;
   mutable next_subgoal : int;
@@ -127,9 +157,11 @@ type eval = {
           tasks are deduplicated via [c_scheduled] *)
   mutable e_waiters : waiter list;
   mutable e_created : subgoal list;
+  mutable e_scc_dirty : bool;
+      (** the dependency graph changed since the last Tarjan pass *)
 }
 
-val create_env : ?mode:mode -> Database.t -> env
+val create_env : ?mode:mode -> ?scheduling:scheduling -> Database.t -> env
 val new_eval : env -> eval option -> eval
 
 val create_table : eval -> Canon.t -> string * int -> subgoal

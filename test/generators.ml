@@ -68,6 +68,103 @@ let reachable edges start =
   go [ start ];
   List.sort_uniq compare (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
 
+(* ---- random range-restricted datalog programs (differential suite) ----
+
+   Rules chain their variables, p(V0,Vn) :- b1(V0,V1), ..., bn(V(n-1),Vn),
+   so every generated rule is range-restricted by construction; body
+   predicates are drawn from both the EDB and the IDB, which yields left-,
+   right- and double-recursive rules as well as mutual recursion. *)
+
+type datalog_rule = { dr_head : string; dr_body : string list }
+type datalog_program = { dp_facts : (string * int * int) list; dp_rules : datalog_rule list }
+
+let datalog_edb = [ "e1"; "e2" ]
+let datalog_idb = [ "p"; "q"; "r" ]
+
+let datalog_program_gen =
+  let open QCheck2.Gen in
+  let fact =
+    let* pred = oneofl datalog_edb in
+    let* a = int_range 1 5 in
+    let* b = int_range 1 5 in
+    return (pred, a, b)
+  in
+  let rule =
+    let* head = oneofl datalog_idb in
+    let* len = int_range 1 3 in
+    let* body = list_repeat len (oneofl (datalog_edb @ datalog_idb)) in
+    return { dr_head = head; dr_body = body }
+  in
+  let* facts = list_size (int_range 3 10) fact in
+  let* rules = list_size (int_range 2 6) rule in
+  return { dp_facts = facts; dp_rules = rules }
+
+let datalog_rule_text r =
+  let v i = Printf.sprintf "V%d" i in
+  let lits = List.mapi (fun i pred -> Printf.sprintf "%s(%s,%s)" pred (v i) (v (i + 1))) r.dr_body in
+  Printf.sprintf "%s(%s,%s) :- %s." r.dr_head (v 0)
+    (v (List.length r.dr_body))
+    (String.concat ", " lits)
+
+let datalog_text dp =
+  String.concat "\n"
+    (List.map (fun (p, a, b) -> Printf.sprintf "%s(%d,%d)." p a b) dp.dp_facts
+    @ List.map datalog_rule_text dp.dp_rules)
+
+(* ---- random stratified ground programs with negation ----
+
+   Atom (s, c) denotes p<s>(c). A rule whose head lives in stratum s only
+   negates atoms of strictly lower strata, so the program is stratified by
+   construction and its well-founded model is total. *)
+
+type ground_rule = {
+  gr_head : int * int;  (* (stratum, constant) *)
+  gr_pos : (int * int) list;  (* strata <= head stratum *)
+  gr_neg : (int * int) list;  (* strata < head stratum *)
+}
+
+let stratified_strata = 3
+let stratified_constants = 5
+
+let stratified_gen =
+  let open QCheck2.Gen in
+  let atom_in lo hi =
+    let* s = int_range lo hi in
+    let* c = int_range 0 (stratified_constants - 1) in
+    return (s, c)
+  in
+  let rule s =
+    let* c = int_range 0 (stratified_constants - 1) in
+    let* pos = list_size (int_range 0 2) (atom_in 0 s) in
+    let* neg = if s = 0 then return [] else list_size (int_range 0 2) (atom_in 0 (s - 1)) in
+    return { gr_head = (s, c); gr_pos = pos; gr_neg = neg }
+  in
+  let* per_stratum =
+    flatten_l (List.init stratified_strata (fun s -> list_size (int_range 1 5) (rule s)))
+  in
+  return (List.concat per_stratum)
+
+let ground_atom_text (s, c) = Printf.sprintf "p%d(%d)" s c
+let ground_atom_canon (s, c) = Canon.of_term (Term.app (Printf.sprintf "p%d" s) [ Term.Int c ])
+
+let stratified_text rules =
+  String.concat "\n"
+    (List.map
+       (fun r ->
+         let lits =
+           List.map ground_atom_text r.gr_pos
+           @ List.map (fun a -> "tnot(" ^ ground_atom_text a ^ ")") r.gr_neg
+         in
+         match lits with
+         | [] -> ground_atom_text r.gr_head ^ "."
+         | _ -> Printf.sprintf "%s :- %s." (ground_atom_text r.gr_head) (String.concat ", " lits))
+       rules)
+
+let stratified_universe =
+  List.concat
+    (List.init stratified_strata (fun s ->
+         List.init stratified_constants (fun c -> (s, c))))
+
 (* ground-truth win/1 by backward induction on an acyclic graph *)
 let win_values moves nodes =
   let adj = Hashtbl.create 16 in

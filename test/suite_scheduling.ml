@@ -1,0 +1,144 @@
+(* Completion-order regressions for the incremental SCC-based completion
+   (ISSUE PR 2): under Local scheduling, inner SCCs must be completed
+   before outer ones — long before the global fixpoint — and the tracer
+   must emit one "complete" event per subgoal at the moment its SCC is
+   closed. *)
+
+open Xsb
+
+let pred_of_event s = match String.index_opt s '(' with Some i -> String.sub s 0 i | None -> s
+
+(* run [goal] and collect the "complete"-event stream for [preds],
+   together with the final stats *)
+let run_traced ?(scheduling = Machine.Local) ~preds program goal =
+  let s = Session.create ~scheduling () in
+  let events = ref [] in
+  Engine.set_trace (Session.engine s)
+    (Some
+       (fun ev term ->
+         if ev = "complete" && List.mem (pred_of_event (Term.to_string term)) preds then
+           events := Term.to_string term :: !events));
+  Session.consult s program;
+  let solutions = Session.query s goal in
+  (List.rev !events, Session.stats s, solutions)
+
+let position events prefix =
+  let rec go i = function
+    | [] -> Alcotest.failf "no \"complete\" event matching %s in [%s]" prefix (String.concat "; " events)
+    | e :: rest ->
+        if String.length e >= String.length prefix && String.sub e 0 (String.length prefix) = prefix
+        then i
+        else go (i + 1) rest
+  in
+  go 0 events
+
+let win_chain =
+  ":- table win/1.\n\
+   win(X) :- move(X,Y), tnot(win(Y)).\n\
+   move(1,2). move(2,3). move(3,4). move(4,5)."
+
+(* satellite: golden test of the exact "complete" event stream — the win
+   chain closes its positions innermost-first, one SCC per position *)
+let test_win_event_stream () =
+  let events, stats, solutions = run_traced ~preds:[ "win" ] win_chain "win(1)" in
+  Alcotest.(check (list string))
+    "completion order, innermost first"
+    [ "win(5)"; "win(4)"; "win(3)"; "win(2)"; "win(1)" ]
+    events;
+  (* positions 1..5 with 4 moves: the first player loses *)
+  Alcotest.(check bool) "win(1) fails" true (solutions = []);
+  (* 5 win/1 positions + the $query table, each a singleton SCC *)
+  Alcotest.(check int) "one SCC per position" 6 stats.Machine.st_sccs_completed;
+  Alcotest.(check int) "all closed before the fixpoint" 6 stats.Machine.st_early_completions;
+  Alcotest.(check int) "max SCC size" 1 stats.Machine.st_max_scc_size
+
+(* the same stream must also be emitted under Batched — incremental
+   completion is strategy-independent, only answer draining differs *)
+let test_win_event_stream_batched () =
+  let events, stats, _ =
+    run_traced ~scheduling:Machine.Batched ~preds:[ "win" ] win_chain "win(1)"
+  in
+  Alcotest.(check (list string))
+    "completion order, innermost first"
+    [ "win(5)"; "win(4)"; "win(3)"; "win(2)"; "win(1)" ]
+    events;
+  Alcotest.(check bool) "completions counted" true (stats.Machine.st_completions >= 5)
+
+let chain_edges = "edge(1,2). edge(2,3). edge(3,4). edge(4,5)."
+
+let test_right_recursive_order () =
+  let program =
+    ":- table path/2.\n\
+     path(X,Y) :- edge(X,Y).\n\
+     path(X,Y) :- edge(X,Z), path(Z,Y).\n" ^ chain_edges
+  in
+  let events, stats, solutions = run_traced ~preds:[ "path" ] program "path(1,Y)" in
+  Alcotest.(check int) "all reachable" 4 (List.length solutions);
+  (* path(5,_) is the innermost SCC, path(1,_) the outermost *)
+  Alcotest.(check bool) "path(5) before path(4)" true (position events "path(5" < position events "path(4");
+  Alcotest.(check bool) "path(4) before path(3)" true (position events "path(4" < position events "path(3");
+  Alcotest.(check bool) "path(2) before path(1)" true (position events "path(2" < position events "path(1");
+  (* 5 path/2 subgoals + the $query table, each a singleton SCC *)
+  Alcotest.(check int) "six singleton SCCs" 6 stats.Machine.st_sccs_completed;
+  Alcotest.(check bool) "closed before the fixpoint" true (stats.Machine.st_early_completions >= 5)
+
+let test_left_recursive_order () =
+  let program =
+    ":- table path/2.\n\
+     path(X,Y) :- path(X,Z), edge(Z,Y).\n\
+     path(X,Y) :- edge(X,Y).\n" ^ chain_edges
+  in
+  let events, stats, solutions = run_traced ~preds:[ "path" ] program "path(1,Y)" in
+  (* left recursion only ever calls the variant path(1,_): one self-loop SCC *)
+  Alcotest.(check int) "all reachable" 4 (List.length solutions);
+  Alcotest.(check (list string)) "single table" [ List.hd events ] events;
+  (* the self-loop SCC of path(1,_) plus the $query table *)
+  Alcotest.(check int) "one SCC" 2 stats.Machine.st_sccs_completed;
+  Alcotest.(check bool) "closed before the fixpoint" true (stats.Machine.st_early_completions >= 1)
+
+let test_double_recursive_order () =
+  let program =
+    ":- table path/2.\n\
+     path(X,Y) :- edge(X,Y).\n\
+     path(X,Y) :- path(X,Z), path(Z,Y).\n" ^ chain_edges
+  in
+  let events, stats, solutions = run_traced ~preds:[ "path" ] program "path(1,Y)" in
+  Alcotest.(check int) "all reachable" 4 (List.length solutions);
+  (* inner suffix tables close before the outer query table *)
+  Alcotest.(check bool) "path(5) before path(1)" true (position events "path(5" < position events "path(1");
+  Alcotest.(check bool) "path(4) before path(1)" true (position events "path(4" < position events "path(1");
+  Alcotest.(check bool) "path(3) before path(1)" true (position events "path(3" < position events "path(1");
+  Alcotest.(check bool) "closed before the fixpoint" true (stats.Machine.st_early_completions >= 1)
+
+(* mutual recursion over a cyclic graph: the subgoals p(1) and q(2) call
+   each other, so they must fall into one SCC of size 2 and be completed
+   together *)
+let test_mutual_scc () =
+  let program =
+    ":- table p/1, q/1.\n\
+     p(X) :- edge(X,Y), q(Y).\n\
+     q(X) :- edge(X,Y), p(Y).\n\
+     q(2).\n\
+     edge(1,2). edge(2,1)."
+  in
+  let events, stats, solutions = run_traced ~preds:[ "p"; "q" ] program "p(1)" in
+  Alcotest.(check bool) "p(1) holds" true (solutions <> []);
+  Alcotest.(check bool) "p and q share an SCC" true (stats.Machine.st_max_scc_size >= 2);
+  (* every table gets exactly one complete event ($query1 is filtered) *)
+  Alcotest.(check int) "one complete event per table" (stats.Machine.st_completions - 1)
+    (List.length events)
+
+let suite =
+  [
+    Alcotest.test_case "win chain: golden complete-event stream (local)" `Quick
+      test_win_event_stream;
+    Alcotest.test_case "win chain: golden complete-event stream (batched)" `Quick
+      test_win_event_stream_batched;
+    Alcotest.test_case "right-recursive tc completes inner SCCs first" `Quick
+      test_right_recursive_order;
+    Alcotest.test_case "left-recursive tc is a single self-loop SCC" `Quick
+      test_left_recursive_order;
+    Alcotest.test_case "double-recursive tc completes inner SCCs first" `Quick
+      test_double_recursive_order;
+    Alcotest.test_case "mutual recursion forms one SCC" `Quick test_mutual_scc;
+  ]

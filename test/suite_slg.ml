@@ -666,6 +666,9 @@ let scheduler_and_stats_cases =
            answer index candidates: 9 (of 36 stored)\n\
            subsumed calls: 0\n\
            drains scheduled: 0\n\
+           sccs completed: 0\n\
+           early completions: 0\n\
+           max scc size: 0\n\
            steps: 120\n"
           (Buffer.contents buffer));
     t "statistics/0 output has no run-on whitespace" `Quick (fun () ->

@@ -12,4 +12,6 @@ let () =
       ("wam", Suite_wam.suite);
       ("rel", Suite_rel.suite);
       ("integration", Suite_integration.suite);
+      ("differential", Suite_differential.suite);
+      ("scheduling", Suite_scheduling.suite);
     ]
