@@ -484,7 +484,32 @@ let scheduling () =
     results;
   output_string oc "] }\n";
   close_out oc;
-  row "wrote BENCH_scheduling.json\n"
+  row "wrote BENCH_scheduling.json\n";
+  (* per-run --profile snapshots next to the timing JSON: a separate
+     profiled run per workload per strategy (profiling is off during the
+     timed runs above, so it cannot distort them) *)
+  let profile_run strategy text query =
+    let s = Xsb.Session.create ~scheduling:strategy () in
+    Xsb.Session.set_profiling s true;
+    Xsb.Session.consult s text;
+    ignore (Xsb.Session.count s query);
+    Xsb.Obs.Metrics.report_to_json (Xsb.Session.metrics s)
+  in
+  let oc = open_out "BENCH_scheduling_profile.json" in
+  output_string oc "{ \"experiment\": \"scheduling-profile\", \"runs\": [\n";
+  List.iteri
+    (fun i (name, text, query) ->
+      List.iteri
+        (fun j (strategy_name, strategy) ->
+          Printf.fprintf oc "  { \"workload\": %S, \"scheduling\": %S, \"profile\": %s }%s\n" name
+            strategy_name
+            (Xsb.Json.to_string (profile_run strategy text query))
+            (if i = List.length cases - 1 && j = 1 then "" else ","))
+        [ ("batched", Xsb.Machine.Batched); ("local", Xsb.Machine.Local) ])
+    cases;
+  output_string oc "] }\n";
+  close_out oc;
+  row "wrote BENCH_scheduling_profile.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per table/figure *)

@@ -94,18 +94,47 @@ let repl session engine_kind wfs =
   in
   loop ()
 
-let main files goals wfs engine_name scheduling interactive stats compile do_trace =
+let main files goals wfs engine_name scheduling interactive stats compile trace trace_out
+    profile =
   let mode = if wfs then Some Xsb.Machine.Well_founded else None in
   let session = Xsb.Session.create ?mode ?scheduling () in
-  if do_trace then
-    Xsb.Engine.set_trace (Xsb.Session.engine session)
-      (Some (fun event term -> Fmt.epr "[%s] %a@." event (Xsb.Pretty.pp ()) term));
+  (* --trace[=pretty|jsonl] (or the XSB_TRACE env default), optionally
+     redirected with --trace-out FILE *)
+  let trace_cleanup = ref (fun () -> ()) in
+  (match trace with
+  | None -> ()
+  | Some spec ->
+      let out =
+        match trace_out with
+        | None -> stderr
+        | Some path ->
+            let oc = open_out path in
+            trace_cleanup := (fun () -> close_out oc);
+            oc
+      in
+      (match Xsb.Session.sink_of_spec ~out spec with
+      | Some (Xsb.Obs.Sink.Pretty ppf as sink) ->
+          let prev = !trace_cleanup in
+          trace_cleanup := (fun () -> Format.pp_print_flush ppf (); prev ());
+          Xsb.Session.add_sink session sink
+      | Some sink -> Xsb.Session.add_sink session sink
+      | None ->
+          Fmt.epr "xsb: unknown trace sink %S (use pretty, jsonl or null)@." spec;
+          !trace_cleanup ();
+          exit 2));
+  if profile then Xsb.Session.set_profiling session true;
   let engine_kind =
     match engine_name with
     | "slg" -> `Slg
     | "wam" -> `Wam
     | "bottomup" -> `Bottomup
     | other -> Fmt.failwith "unknown engine %S (use slg, wam or bottomup)" other
+  in
+  let finish code =
+    if profile then Fmt.pr "%a" (fun ppf () -> Xsb.Session.pp_profile ppf session) ();
+    if stats then print_stats session;
+    !trace_cleanup ();
+    code
   in
   try
     List.iter (fun f -> Xsb.Session.consult_file session f) files;
@@ -115,13 +144,12 @@ let main files goals wfs engine_name scheduling interactive stats compile do_tra
       Format.print_flush ()
     end;
     List.iter (fun g -> run_goal session engine_kind wfs g) goals;
-    if stats then print_stats session;
-    if interactive || (goals = [] && (not stats) && not compile) then
+    if interactive || (goals = [] && (not stats) && (not profile) && not compile) then
       repl session engine_kind wfs;
-    0
+    finish 0
   with e ->
     Fmt.epr "error: %s@." (Printexc.to_string e);
-    1
+    finish 1
 
 open Cmdliner
 
@@ -152,8 +180,35 @@ let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics."
 let compile =
   Arg.(value & flag & info [ "compile" ] ~doc:"Print the WAM byte-code listing of the program.")
 
-let do_trace =
-  Arg.(value & flag & info [ "trace" ] ~doc:"Trace call/table/answer events to stderr.")
+let trace =
+  let env =
+    Cmd.Env.info "XSB_TRACE"
+      ~doc:"Default trace sink when --trace is not given (pretty, jsonl or null)."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "pretty") (some string) None
+    & info [ "trace" ] ~env ~docv:"SINK"
+        ~doc:
+          "Emit typed engine events (new subgoal, answer, suspend/resume, negation \
+           wait, SCC completion, drain, abolish). \\$(docv) is pretty (the default), \
+           jsonl (one JSON object per line) or null; see --trace-out for the \
+           destination.")
+
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write the trace to \\$(docv) instead of stderr.")
+
+let profile =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Profile per predicate (calls, answers, duplicate ratio, suspensions, task \
+           wall time, peak table size) and print the report, hottest predicate first.")
 
 let cmd =
   let doc = "an in-memory deductive database engine (XSB reproduction)" in
@@ -161,6 +216,6 @@ let cmd =
     (Cmd.info "xsb" ~doc)
     Term.(
       const main $ files $ goals $ wfs $ engine_name $ scheduling $ interactive $ stats
-      $ compile $ do_trace)
+      $ compile $ trace $ trace_out $ profile)
 
 let () = exit (Cmd.eval' cmd)

@@ -39,3 +39,22 @@ let wfs_query t text = Xsb_wfs.Residual.query_string t.eng text
 
 let stats t = Engine.stats t.eng
 
+(* --- observability (ISSUE PR 3) --- *)
+
+let recorder t = Engine.recorder t.eng
+let add_sink t sink = Engine.add_sink t.eng sink
+let clear_sinks t = Engine.clear_sinks t.eng
+let metrics t = Engine.metrics t.eng
+let set_profiling t flag = Engine.set_profiling t.eng flag
+let pp_profile ?internal ppf t = Engine.pp_profile ?internal ppf t.eng
+let pp_table_dump ppf t = Engine.pp_table_dump ppf t.eng
+
+(* the sink named by --trace / XSB_TRACE; [out] is the --trace-out
+   destination shared by both formats *)
+let sink_of_spec ~out spec =
+  match String.lowercase_ascii spec with
+  | "pretty" -> Some (Xsb_obs.Obs.Sink.Pretty (Format.formatter_of_out_channel out))
+  | "jsonl" | "json" -> Some (Xsb_obs.Obs.Sink.Jsonl out)
+  | "null" -> Some Xsb_obs.Obs.Sink.Null
+  | _ -> None
+

@@ -31,4 +31,30 @@ val wfs_query : t -> string -> Xsb_wfs.Residual.solution list
     [~mode:Machine.Well_founded]). *)
 
 val stats : t -> Machine.stats
-(** The engine's evaluation counters (live record). *)
+(** The engine's evaluation counters (live record; reset by an engine
+    reset / [abolish_all_tables]). *)
+
+(** {1 Observability} *)
+
+val recorder : t -> Xsb_obs.Obs.Recorder.t
+
+val add_sink : t -> Xsb_obs.Obs.Sink.t -> unit
+(** Attach a trace sink (pretty / JSONL / ring buffer / custom); the
+    engine then emits typed {!Xsb_obs.Obs.Event.t}s for new subgoals,
+    answers, suspensions/resumptions, negation waits, SCC completions,
+    drains and abolishes. *)
+
+val clear_sinks : t -> unit
+
+val metrics : t -> Xsb_obs.Obs.Metrics.t
+
+val set_profiling : t -> bool -> unit
+(** Enable per-predicate profiling (the [--profile] report). *)
+
+val pp_profile : ?internal:bool -> Format.formatter -> t -> unit
+val pp_table_dump : Format.formatter -> t -> unit
+
+val sink_of_spec : out:out_channel -> string -> Xsb_obs.Obs.Sink.t option
+(** Build the sink named by a [--trace]/[XSB_TRACE] spec — ["pretty"],
+    ["jsonl"] (or ["json"]), ["null"] — writing to [out]. [None] for an
+    unknown spec. *)

@@ -1,0 +1,31 @@
+(** A minimal JSON codec — just enough for the JSONL trace sink and for
+    tests/CI to parse the emitted lines back (yojson is deliberately not
+    a dependency). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering with string escaping. *)
+
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace input is an error. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field of an [Obj], or [None]. *)
+
+val as_int : t -> int option
+val as_string : t -> string option
+
+val as_float : t -> float option
+(** Also accepts [Int]. *)

@@ -1,0 +1,312 @@
+(* The observability layer of the SLG engine (ISSUE PR 3).
+
+   Three pieces, all engine-agnostic (this library depends only on the
+   stdlib and Unix):
+
+   - {!Event}: a typed trace-event record. The engine emits one per
+     interesting transition (new subgoal, answer, suspension, SCC
+     completion, ...), each carrying the subgoal id, the canonical call
+     rendered as text, the evaluation-nesting depth, the engine's
+     resolution-step counter, and a per-recorder monotonic sequence
+     number.
+
+   - {!Sink} / {!Recorder}: pluggable event consumers. A recorder with
+     no sinks is inert — the engine guards every emission on
+     {!Recorder.active}, so tracing costs one boolean read when
+     disabled. Sinks: pretty printing (human debugging), JSONL (one
+     object per line, machine-readable, parsed back by {!Json}), an
+     in-memory ring buffer (tests), and a custom callback.
+
+   - {!Metrics}: a per-predicate profiling registry (calls, answers,
+     duplicate ratio, suspensions, resolutions, inclusive wall time
+     sampled around scheduler tasks, peak answer-table size), rendered
+     as a sortable report ([--profile]) or as JSON (bench snapshots). *)
+
+(* ------------------------------------------------------------------ *)
+
+module Event = struct
+  type kind =
+    | New_subgoal  (** a table was created for a fresh tabled subgoal *)
+    | Call  (** a predicate call was selected (tabled or not) *)
+    | Answer  (** a new answer entered table space *)
+    | Dup_answer  (** a derived answer was already present (dedup hit) *)
+    | Suspend  (** a derivation suspended as a consumer of a table *)
+    | Resume  (** a suspended derivation was resumed with an answer *)
+    | Negation_wait  (** a derivation blocked on an incomplete negative literal *)
+    | Scc_complete of int  (** an SCC of [n] subgoals closed incrementally *)
+    | Complete  (** one subgoal was marked complete *)
+    | Drain  (** queued answers of a table are being delivered to a consumer *)
+    | Abolish of int  (** [n] completed tables were abolished *)
+
+  type t = {
+    seq : int;  (** per-recorder sequence number, strictly monotonic *)
+    step : int;  (** engine resolution-step counter at emission *)
+    subgoal : int;  (** subgoal id, 0 when the event has no table *)
+    pred : string;  (** ["name/arity"], [""] when unknown *)
+    call : string;  (** the canonical call / answer, rendered *)
+    depth : int;  (** evaluation nesting depth (0 = top-level) *)
+    kind : kind;
+  }
+
+  let kind_name = function
+    | New_subgoal -> "new_subgoal"
+    | Call -> "call"
+    | Answer -> "answer"
+    | Dup_answer -> "dup_answer"
+    | Suspend -> "suspend"
+    | Resume -> "resume"
+    | Negation_wait -> "negation_wait"
+    | Scc_complete _ -> "scc_complete"
+    | Complete -> "complete"
+    | Drain -> "drain"
+    | Abolish _ -> "abolish"
+
+  let pp ppf e =
+    let extra =
+      match e.kind with
+      | Scc_complete n -> Printf.sprintf " (scc size %d)" n
+      | Abolish n -> Printf.sprintf " (%d tables)" n
+      | _ -> ""
+    in
+    Format.fprintf ppf "[%6d @%d sg%d d%d] %-13s %-10s %s%s" e.seq e.step e.subgoal
+      e.depth (kind_name e.kind) e.pred e.call extra
+
+  let to_json e =
+    let base =
+      [
+        ("seq", Json.Int e.seq);
+        ("step", Json.Int e.step);
+        ("event", Json.String (kind_name e.kind));
+        ("subgoal", Json.Int e.subgoal);
+        ("pred", Json.String e.pred);
+        ("call", Json.String e.call);
+        ("depth", Json.Int e.depth);
+      ]
+    in
+    let extra =
+      match e.kind with
+      | Scc_complete n -> [ ("scc_size", Json.Int n) ]
+      | Abolish n -> [ ("tables", Json.Int n) ]
+      | _ -> []
+    in
+    Json.Obj (base @ extra)
+
+  let of_json j =
+    let ( let* ) = Option.bind in
+    let* seq = Option.bind (Json.member "seq" j) Json.as_int in
+    let* step = Option.bind (Json.member "step" j) Json.as_int in
+    let* name = Option.bind (Json.member "event" j) Json.as_string in
+    let* subgoal = Option.bind (Json.member "subgoal" j) Json.as_int in
+    let* pred = Option.bind (Json.member "pred" j) Json.as_string in
+    let* call = Option.bind (Json.member "call" j) Json.as_string in
+    let* depth = Option.bind (Json.member "depth" j) Json.as_int in
+    let int_field k = Option.bind (Json.member k j) Json.as_int in
+    let* kind =
+      match name with
+      | "new_subgoal" -> Some New_subgoal
+      | "call" -> Some Call
+      | "answer" -> Some Answer
+      | "dup_answer" -> Some Dup_answer
+      | "suspend" -> Some Suspend
+      | "resume" -> Some Resume
+      | "negation_wait" -> Some Negation_wait
+      | "scc_complete" -> Option.map (fun n -> Scc_complete n) (int_field "scc_size")
+      | "complete" -> Some Complete
+      | "drain" -> Some Drain
+      | "abolish" -> Option.map (fun n -> Abolish n) (int_field "tables")
+      | _ -> None
+    in
+    Some { seq; step; subgoal; pred; call; depth; kind }
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Ring = struct
+  (* fixed-capacity event buffer that overwrites its oldest entry: the
+     test sink, and a crash-dump buffer ("what were the last N events") *)
+  type t = {
+    capacity : int;
+    mutable length : int;
+    mutable next : int;  (* index of the slot the next event goes into *)
+    slots : Event.t option array;
+  }
+
+  let create capacity =
+    if capacity <= 0 then invalid_arg "Obs.Ring.create: capacity must be positive";
+    { capacity; length = 0; next = 0; slots = Array.make capacity None }
+
+  let add t e =
+    t.slots.(t.next) <- Some e;
+    t.next <- (t.next + 1) mod t.capacity;
+    if t.length < t.capacity then t.length <- t.length + 1
+
+  let length t = t.length
+  let capacity t = t.capacity
+
+  let clear t =
+    Array.fill t.slots 0 t.capacity None;
+    t.length <- 0;
+    t.next <- 0
+
+  (* oldest first *)
+  let to_list t =
+    let start = (t.next - t.length + t.capacity) mod t.capacity in
+    List.init t.length (fun i ->
+        match t.slots.((start + i) mod t.capacity) with
+        | Some e -> e
+        | None -> assert false)
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Sink = struct
+  type t =
+    | Null  (** accepts and drops events (overhead measurements) *)
+    | Pretty of Format.formatter
+    | Jsonl of out_channel  (** one JSON object per line, flushed per event *)
+    | Ring of Ring.t
+    | Custom of (Event.t -> unit)
+
+  let emit sink e =
+    match sink with
+    | Null -> ()
+    | Pretty ppf -> Format.fprintf ppf "%a@." Event.pp e
+    | Jsonl oc ->
+        output_string oc (Json.to_string (Event.to_json e));
+        output_char oc '\n';
+        flush oc
+    | Ring r -> Ring.add r e
+    | Custom f -> f e
+end
+
+module Recorder = struct
+  type t = { mutable sinks : Sink.t list; mutable seq : int }
+
+  let create () = { sinks = []; seq = 0 }
+
+  (* the engine's fast-path guard: no sinks, no event construction *)
+  let active t = t.sinks <> []
+
+  let attach t sink = t.sinks <- t.sinks @ [ sink ]
+  let clear t = t.sinks <- []
+
+  let emit t ~step ~subgoal ~pred ~call ~depth kind =
+    t.seq <- t.seq + 1;
+    let e = { Event.seq = t.seq; step; subgoal; pred; call; depth; kind } in
+    List.iter (fun sink -> Sink.emit sink e) t.sinks
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  (* Wall-clock source for task timing. Monotonic-clock libraries (Mtime,
+     bechamel's clock stubs) are not baked into the container, so the
+     default is [Unix.gettimeofday]; swap in a monotonic source here if
+     one is linked. *)
+  let clock : (unit -> float) ref = ref Unix.gettimeofday
+
+  type cell = {
+    mutable m_calls : int;  (* times the predicate was selected as a goal *)
+    mutable m_subgoals : int;  (* distinct tabled subgoals (tables created) *)
+    mutable m_answers : int;  (* new answers entering its tables *)
+    mutable m_dup_answers : int;  (* derived answers already present *)
+    mutable m_suspensions : int;  (* consumers registered on its tables *)
+    mutable m_resolutions : int;  (* program-clause resolutions *)
+    mutable m_time : float;  (* inclusive seconds inside scheduler tasks *)
+    mutable m_peak_table : int;  (* largest answer table observed *)
+  }
+
+  let fresh_cell () =
+    {
+      m_calls = 0;
+      m_subgoals = 0;
+      m_answers = 0;
+      m_dup_answers = 0;
+      m_suspensions = 0;
+      m_resolutions = 0;
+      m_time = 0.0;
+      m_peak_table = 0;
+    }
+
+  type t = {
+    cells : (string * int, cell) Hashtbl.t;
+    mutable enabled : bool;
+  }
+
+  let create () = { cells = Hashtbl.create 32; enabled = false }
+  let enabled t = t.enabled
+  let set_enabled t flag = t.enabled <- flag
+  let reset t = Hashtbl.reset t.cells
+
+  let cell t key =
+    match Hashtbl.find_opt t.cells key with
+    | Some c -> c
+    | None ->
+        let c = fresh_cell () in
+        Hashtbl.add t.cells key c;
+        c
+
+  let find t key = Hashtbl.find_opt t.cells key
+  let calls t name arity = match find t (name, arity) with Some c -> c.m_calls | None -> 0
+
+  let note_table_size c n = if n > c.m_peak_table then c.m_peak_table <- n
+
+  let dup_ratio c =
+    let total = c.m_answers + c.m_dup_answers in
+    if total = 0 then 0.0 else float_of_int c.m_dup_answers /. float_of_int total
+
+  (* internal predicates ($queryN tables, compiler-generated helpers) are
+     hidden from reports unless asked for *)
+  let internal_pred (name, _) = String.length name > 0 && name.[0] = '$'
+
+  type row = { row_pred : string * int; row_cell : cell }
+
+  (* sorted hottest-first: wall time, then answers, then calls *)
+  let rows ?(internal = false) t =
+    Hashtbl.fold
+      (fun key c acc ->
+        if internal || not (internal_pred key) then { row_pred = key; row_cell = c } :: acc
+        else acc)
+      t.cells []
+    |> List.sort (fun a b ->
+           match compare b.row_cell.m_time a.row_cell.m_time with
+           | 0 -> (
+               match compare b.row_cell.m_answers a.row_cell.m_answers with
+               | 0 -> (
+                   match compare b.row_cell.m_calls a.row_cell.m_calls with
+                   | 0 -> compare a.row_pred b.row_pred
+                   | c -> c)
+               | c -> c)
+           | c -> c)
+
+  let pp_report ?internal ppf t =
+    let rows = rows ?internal t in
+    Format.fprintf ppf "%-20s %8s %8s %8s %6s %6s %8s %6s %10s@." "predicate" "calls"
+      "subgoals" "answers" "dups" "dup%" "susp" "peak" "time(ms)";
+    List.iter
+      (fun { row_pred = name, arity; row_cell = c } ->
+        Format.fprintf ppf "%-20s %8d %8d %8d %6d %5.1f%% %8d %6d %10.3f@."
+          (Printf.sprintf "%s/%d" name arity)
+          c.m_calls c.m_subgoals c.m_answers c.m_dup_answers
+          (100.0 *. dup_ratio c)
+          c.m_suspensions c.m_peak_table (1000.0 *. c.m_time))
+      rows;
+    if rows = [] then Format.fprintf ppf "(no samples — was profiling enabled?)@."
+
+  let row_to_json { row_pred = name, arity; row_cell = c } =
+    Json.Obj
+      [
+        ("pred", Json.String (Printf.sprintf "%s/%d" name arity));
+        ("calls", Json.Int c.m_calls);
+        ("subgoals", Json.Int c.m_subgoals);
+        ("answers", Json.Int c.m_answers);
+        ("dup_answers", Json.Int c.m_dup_answers);
+        ("dup_ratio", Json.Float (dup_ratio c));
+        ("suspensions", Json.Int c.m_suspensions);
+        ("resolutions", Json.Int c.m_resolutions);
+        ("peak_table", Json.Int c.m_peak_table);
+        ("time_ms", Json.Float (1000.0 *. c.m_time));
+      ]
+
+  let report_to_json ?internal t = Json.List (List.map row_to_json (rows ?internal t))
+end

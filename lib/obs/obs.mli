@@ -1,0 +1,156 @@
+(** Observability for the SLG engine: a typed trace-event stream with
+    pluggable sinks, and a per-predicate profiling registry.
+
+    The engine owns one {!Recorder.t} (events) and one {!Metrics.t}
+    (profiling counters) per environment; both are inert until a sink is
+    attached / profiling is enabled, so the disabled-path cost is a
+    single boolean read per emission site. *)
+
+(** {1 Events} *)
+
+module Event : sig
+  type kind =
+    | New_subgoal  (** a table was created for a fresh tabled subgoal *)
+    | Call  (** a predicate call was selected (tabled or not) *)
+    | Answer  (** a new answer entered table space *)
+    | Dup_answer  (** a derived answer was already present (dedup hit) *)
+    | Suspend  (** a derivation suspended as a consumer of a table *)
+    | Resume  (** a suspended derivation was resumed with an answer *)
+    | Negation_wait
+        (** a derivation blocked on an incomplete negative literal (or a
+            [tfindall/3] wait) *)
+    | Scc_complete of int  (** an SCC of [n] subgoals closed incrementally *)
+    | Complete  (** one subgoal was marked complete *)
+    | Drain  (** queued answers are being delivered to a consumer *)
+    | Abolish of int  (** [n] completed tables were abolished *)
+
+  type t = {
+    seq : int;  (** per-recorder sequence number, strictly monotonic *)
+    step : int;  (** engine resolution-step counter at emission *)
+    subgoal : int;  (** subgoal id, 0 when the event has no table *)
+    pred : string;  (** ["name/arity"], [""] when unknown *)
+    call : string;  (** the canonical call / answer, rendered as text *)
+    depth : int;  (** evaluation nesting depth (0 = top-level) *)
+    kind : kind;
+  }
+
+  val kind_name : kind -> string
+  val pp : Format.formatter -> t -> unit
+
+  val to_json : t -> Json.t
+  val of_json : Json.t -> t option
+end
+
+(** {1 The ring buffer} *)
+
+module Ring : sig
+  type t
+
+  val create : int -> t
+  (** Fixed capacity (positive); the buffer overwrites its oldest entry
+      once full. *)
+
+  val add : t -> Event.t -> unit
+  val length : t -> int
+  val capacity : t -> int
+  val clear : t -> unit
+
+  val to_list : t -> Event.t list
+  (** Oldest first. *)
+end
+
+(** {1 Sinks and the recorder} *)
+
+module Sink : sig
+  type t =
+    | Null  (** accepts and drops events (overhead measurements) *)
+    | Pretty of Format.formatter
+    | Jsonl of out_channel  (** one JSON object per line, flushed per event *)
+    | Ring of Ring.t
+    | Custom of (Event.t -> unit)
+
+  val emit : t -> Event.t -> unit
+end
+
+module Recorder : sig
+  type t
+
+  val create : unit -> t
+
+  val active : t -> bool
+  (** [false] iff no sink is attached — the engine's fast-path guard;
+      emission sites must not even construct events when inactive. *)
+
+  val attach : t -> Sink.t -> unit
+  (** Sinks stack: every attached sink receives every event. *)
+
+  val clear : t -> unit
+
+  val emit :
+    t ->
+    step:int ->
+    subgoal:int ->
+    pred:string ->
+    call:string ->
+    depth:int ->
+    Event.kind ->
+    unit
+  (** Assigns the next sequence number and fans the event out to every
+      attached sink. *)
+end
+
+(** {1 Per-predicate metrics} *)
+
+module Metrics : sig
+  val clock : (unit -> float) ref
+  (** Wall-clock source for task timing, seconds. Defaults to
+      [Unix.gettimeofday]; replace with a monotonic source if one is
+      linked. *)
+
+  type cell = {
+    mutable m_calls : int;
+    mutable m_subgoals : int;
+    mutable m_answers : int;
+    mutable m_dup_answers : int;
+    mutable m_suspensions : int;
+    mutable m_resolutions : int;
+    mutable m_time : float;  (** inclusive seconds inside scheduler tasks *)
+    mutable m_peak_table : int;
+  }
+
+  type t
+
+  val create : unit -> t
+
+  val enabled : t -> bool
+  (** The engine's fast-path guard for all metric updates. *)
+
+  val set_enabled : t -> bool -> unit
+  val reset : t -> unit
+
+  val cell : t -> string * int -> cell
+  (** Find-or-create the counters of a predicate. *)
+
+  val find : t -> string * int -> cell option
+
+  val calls : t -> string -> int -> int
+  (** [m_calls] of a predicate, 0 when never sampled. *)
+
+  val note_table_size : cell -> int -> unit
+  (** Raise [m_peak_table] to [n] if larger. *)
+
+  val dup_ratio : cell -> float
+  (** Duplicate answers as a fraction of all derived answers. *)
+
+  type row = { row_pred : string * int; row_cell : cell }
+
+  val rows : ?internal:bool -> t -> row list
+  (** Sorted hottest-first (time, then answers, then calls). Predicates
+      whose name starts with ['$'] (private query tables) are dropped
+      unless [~internal:true]. *)
+
+  val pp_report : ?internal:bool -> Format.formatter -> t -> unit
+  (** The [--profile] table. *)
+
+  val report_to_json : ?internal:bool -> t -> Json.t
+end

@@ -101,17 +101,23 @@ let scheduling t = t.env.Machine.scheduling
 let set_scheduling t strategy = t.env.Machine.scheduling <- strategy
 let set_max_steps t n = t.env.Machine.max_steps <- n
 
-let set_trace t tracer = t.env.Machine.tracer <- tracer
+let recorder t = t.env.Machine.obs
+let metrics t = t.env.Machine.metrics
 
-let set_count_calls t flag =
-  let stats = t.env.Machine.stats in
-  stats.Machine.st_count_calls <- flag;
-  if flag then Hashtbl.reset stats.Machine.call_counts
+let add_sink t sink = Xsb_obs.Obs.Recorder.attach t.env.Machine.obs sink
+let clear_sinks t = Xsb_obs.Obs.Recorder.clear t.env.Machine.obs
 
-let call_count t name arity =
-  match Hashtbl.find_opt t.env.Machine.stats.Machine.call_counts (name, arity) with
-  | Some r -> !r
-  | None -> 0
+let set_profiling t flag =
+  let m = t.env.Machine.metrics in
+  if flag && not (Xsb_obs.Obs.Metrics.enabled m) then Xsb_obs.Obs.Metrics.reset m;
+  Xsb_obs.Obs.Metrics.set_enabled m flag
+
+(* call counting is the profiling registry's m_calls column *)
+let set_count_calls = set_profiling
+let call_count t name arity = Xsb_obs.Obs.Metrics.calls t.env.Machine.metrics name arity
+
+let pp_profile ?internal ppf t = Xsb_obs.Obs.Metrics.pp_report ?internal ppf (metrics t)
+let pp_table_dump ppf t = Machine.pp_table_dump ppf t.env
 
 let stats t = t.env.Machine.stats
 

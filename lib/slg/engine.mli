@@ -61,20 +61,47 @@ val set_max_steps : t -> int -> unit
 (** Raise {!Machine.Step_limit} after this many resolution steps
     (0 = unlimited); demonstrates SLD non-termination finitely. *)
 
-val set_trace : t -> (string -> Term.t -> unit) option -> unit
-(** Observation hook fired on "call", "table" (new subgoal), "answer",
-    and "complete" (table closed, once per SCC member at completion
-    time) events; pass [None] to disable. *)
+(** {1 Observability} *)
+
+val recorder : t -> Xsb_obs.Obs.Recorder.t
+(** The engine's trace-event recorder (see {!Xsb_obs.Obs}). Inert until
+    a sink is attached. *)
+
+val add_sink : t -> Xsb_obs.Obs.Sink.t -> unit
+(** Attach a sink; every subsequent engine event (new subgoal, answer,
+    suspend/resume, negation wait, SCC completion, drain, abolish) is
+    delivered to it. Sinks stack. *)
+
+val clear_sinks : t -> unit
+(** Detach every sink; tracing returns to zero cost. *)
+
+val metrics : t -> Xsb_obs.Obs.Metrics.t
+
+val set_profiling : t -> bool -> unit
+(** Enable the per-predicate profiling registry (calls, answers,
+    duplicate ratio, suspensions, resolutions, task wall time, peak
+    answer-table size). Enabling from a disabled state resets the
+    registry. *)
 
 val set_count_calls : t -> bool -> unit
+(** Alias of {!set_profiling}, kept for the paper's call-count
+    experiments. *)
+
 val call_count : t -> string -> int -> int
-(** Number of calls made to a predicate since counting was enabled. *)
+(** Number of calls made to a predicate since profiling was enabled. *)
+
+val pp_profile : ?internal:bool -> Format.formatter -> t -> unit
+(** The sortable [--profile] report, hottest predicate first. *)
+
+val pp_table_dump : Format.formatter -> t -> unit
+(** The [table_dump/0] report of live table space. *)
 
 val stats : t -> Machine.stats
 
 val reset_tables : t -> unit
 (** Abolish the completed tables (see {!Machine.abolish_tables};
-    incomplete tables of an in-progress evaluation are retained). *)
+    incomplete tables of an in-progress evaluation are retained) and
+    reset the evaluation counters. *)
 
 val tables : t -> (Canon.t * bool * Canon.t list) list
 (** [(subgoal key, complete?, answer templates)] for every table. *)

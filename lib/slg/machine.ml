@@ -18,6 +18,7 @@
 open Xsb_term
 open Xsb_db
 module Answer_index = Xsb_index.Answer_store.Index
+module Obs = Xsb_obs.Obs
 
 exception Engine_error of string
 exception Floundered of Term.t
@@ -145,8 +146,6 @@ type stats = {
   mutable st_early_completions : int;  (* subgoals completed before the global fixpoint *)
   mutable st_max_scc_size : int;  (* largest SCC closed incrementally *)
   mutable st_steps : int;
-  call_counts : (string * int, int ref) Hashtbl.t;
-  mutable st_count_calls : bool;
 }
 
 let fresh_stats () =
@@ -169,9 +168,31 @@ let fresh_stats () =
     st_early_completions = 0;
     st_max_scc_size = 0;
     st_steps = 0;
-    call_counts = Hashtbl.create 16;
-    st_count_calls = false;
   }
+
+(* Zero the counters in place (the record is shared by live references —
+   [Engine.stats] hands it out once). Called by [abolish_tables], so an
+   engine reset between runs cannot leak [st_max_scc_size] and friends
+   into the next session's measurements. *)
+let reset_stats st =
+  st.st_subgoals <- 0;
+  st.st_answers <- 0;
+  st.st_dup_answers <- 0;
+  st.st_suspensions <- 0;
+  st.st_resumptions <- 0;
+  st.st_resolutions <- 0;
+  st.st_neg_suspensions <- 0;
+  st.st_nested_evals <- 0;
+  st.st_completions <- 0;
+  st.st_answer_probes <- 0;
+  st.st_answer_candidates <- 0;
+  st.st_answer_full_size <- 0;
+  st.st_subsumed_calls <- 0;
+  st.st_drains_scheduled <- 0;
+  st.st_sccs_completed <- 0;
+  st.st_early_completions <- 0;
+  st.st_max_scc_size <- 0;
+  st.st_steps <- 0
 
 let pp_stats ppf st =
   Fmt.pf ppf
@@ -201,13 +222,16 @@ type env = {
   collectors : (Term.t * Term.t list ref) Stack.t;
   mutable captured_incomplete : subgoal option;
   mutable stop : (unit -> bool) option;
-  mutable tracer : (string -> Term.t -> unit) option;
-      (* observation hook: "call", "table", "answer", "complete" events *)
+  obs : Obs.Recorder.t;
+      (* typed trace-event stream; inert until a sink is attached *)
+  metrics : Obs.Metrics.t;
+      (* per-predicate profiling registry; inert until enabled *)
 }
 
 type eval = {
   e_id : int;
   e_parent : eval option;
+  e_depth : int;  (* nesting depth: 0 for top-level evaluations *)
   e_env : env;
   e_tasks : task Queue.t;
       (* FIFO: generators run before the drains they caused, and the
@@ -247,7 +271,8 @@ let create_env ?(mode = Stratified) ?scheduling db =
     collectors = Stack.create ();
     captured_incomplete = None;
     stop = None;
-    tracer = None;
+    obs = Obs.Recorder.create ();
+    metrics = Obs.Metrics.create ();
   }
 
 let new_eval env parent =
@@ -258,6 +283,7 @@ let new_eval env parent =
   {
     e_id = env.next_eval;
     e_parent = parent;
+    e_depth = (match parent with Some p -> p.e_depth + 1 | None -> 0);
     e_env = env;
     e_tasks = Queue.create ();
     e_waiters = [];
@@ -302,14 +328,32 @@ let schedule_drain ev consumer =
     push_task ev (Drain consumer)
   end
 
-let trace env event term =
-  match env.tracer with Some f -> f event term | None -> ()
+(* ------------------------------------------------------------------ *)
+(* Observability: event emission and per-predicate metrics.
 
-let count_call env key =
-  if env.stats.st_count_calls then
-    match Hashtbl.find_opt env.stats.call_counts key with
-    | Some r -> incr r
-    | None -> Hashtbl.add env.stats.call_counts key (ref 1)
+   Every emission site is guarded on [Obs.Recorder.active] /
+   [Obs.Metrics.enabled] — one boolean read — so the hot path pays
+   nothing while tracing and profiling are off. Term rendering (the
+   [call] field) happens only on the active path. *)
+
+let pred_str (name, arity) = name ^ "/" ^ string_of_int arity
+
+let obs_on env = Obs.Recorder.active env.obs
+
+(* an event about a table: carries the subgoal id and its predicate *)
+let emit_sub env ~depth sub kind call =
+  Obs.Recorder.emit env.obs ~step:env.stats.st_steps ~subgoal:sub.s_id
+    ~pred:(pred_str sub.s_pred) ~call ~depth kind
+
+(* an event about a plain goal (no table attached) *)
+let emit_goal env ~depth pred kind call =
+  Obs.Recorder.emit env.obs ~step:env.stats.st_steps ~subgoal:0 ~pred:(pred_str pred)
+    ~call ~depth kind
+
+let key_str key = Term.to_string (Canon.to_term key)
+
+let metrics_on env = Obs.Metrics.enabled env.metrics
+let mcell env key = Obs.Metrics.cell env.metrics key
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots: a suspended derivation copied to table space. *)
@@ -352,6 +396,12 @@ let create_table ev key pred_key =
   Canon.Tbl.replace env.tables key sub;
   ev.e_created <- sub :: ev.e_created;
   ev.e_scc_dirty <- true;
+  if metrics_on env then begin
+    let c = mcell env pred_key in
+    c.Obs.Metrics.m_subgoals <- c.Obs.Metrics.m_subgoals + 1
+  end;
+  if obs_on env then
+    emit_sub env ~depth:ev.e_depth sub Obs.Event.New_subgoal (key_str key);
   sub
 
 let delete_table env sub = Canon.Tbl.remove env.tables sub.skey
@@ -377,7 +427,13 @@ let abolish_tables env =
       (fun key sub acc -> if sub.s_state = Complete then key :: acc else acc)
       env.tables []
   in
-  List.iter (Canon.Tbl.remove env.tables) doomed
+  List.iter (Canon.Tbl.remove env.tables) doomed;
+  if obs_on env then
+    Obs.Recorder.emit env.obs ~step:env.stats.st_steps ~subgoal:0 ~pred:"" ~call:""
+      ~depth:0 (Obs.Event.Abolish (List.length doomed));
+  (* an engine reset starts the counters over: measurements of the next
+     run must not inherit st_max_scc_size and friends (ISSUE PR 3) *)
+  reset_stats env.stats
 
 (* ------------------------------------------------------------------ *)
 (* The subgoal dependency graph and incremental SCC completion.
@@ -453,10 +509,11 @@ let refresh_sccs ev =
     List.iter (fun v -> if not (Hashtbl.mem idx v.s_id) then strongconnect v) nodes
   end
 
-let mark_complete env sub =
+let mark_complete ev sub =
+  let env = ev.e_env in
   sub.s_state <- Complete;
   env.stats.st_completions <- env.stats.st_completions + 1;
-  trace env "complete" (Canon.to_term sub.skey)
+  if obs_on env then emit_sub env ~depth:ev.e_depth sub Obs.Event.Complete (key_str sub.skey)
 
 let run_of_waiter w =
   Run
@@ -501,7 +558,12 @@ and complete_scc ev members =
   env.stats.st_sccs_completed <- env.stats.st_sccs_completed + 1;
   env.stats.st_early_completions <- env.stats.st_early_completions + n;
   if n > env.stats.st_max_scc_size then env.stats.st_max_scc_size <- n;
-  List.iter (mark_complete env) members;
+  (if obs_on env then
+     match members with
+     | first :: _ ->
+         emit_sub env ~depth:ev.e_depth first (Obs.Event.Scc_complete n) (key_str first.skey)
+     | [] -> ());
+  List.iter (mark_complete ev) members;
   ev.e_scc_dirty <- true;
   (* deliver answers deferred by local scheduling to cross-SCC consumers,
      and wake their owners so completion cascades outward *)
@@ -588,6 +650,60 @@ let is_tabled env goal =
   match Database.find env.db name arity with Some p -> Pred.tabled p | None -> false
 
 (* ------------------------------------------------------------------ *)
+(* Table-space introspection (ISSUE PR 3): the builtins statistics/1,
+   table_dump/0, get_calls/1 and get_returns/2 reify the engine's
+   internal state as terms queryable from the object language, the
+   library rendering of XSB's statistics/1 and table-inspection
+   predicates. *)
+
+(* the statistics record as a [name = value] list *)
+let stats_term env =
+  let st = env.stats in
+  let pair name v = Term.app "=" [ Term.Atom name; Term.Int v ] in
+  Term.list_
+    [
+      pair "subgoals" st.st_subgoals;
+      pair "answers" st.st_answers;
+      pair "dup_answers" st.st_dup_answers;
+      pair "suspensions" st.st_suspensions;
+      pair "resumptions" st.st_resumptions;
+      pair "resolutions" st.st_resolutions;
+      pair "neg_suspensions" st.st_neg_suspensions;
+      pair "nested_evals" st.st_nested_evals;
+      pair "completions" st.st_completions;
+      pair "sccs_completed" st.st_sccs_completed;
+      pair "early_completions" st.st_early_completions;
+      pair "max_scc_size" st.st_max_scc_size;
+      pair "steps" st.st_steps;
+      pair "tables" (Canon.Tbl.length env.tables);
+    ]
+
+let sorted_tables env =
+  Canon.Tbl.fold (fun _ sub acc -> sub :: acc) env.tables []
+  |> List.sort (fun a b -> compare a.s_id b.s_id)
+
+(* private $queryN tables are engine bookkeeping, not program state *)
+let user_tables env =
+  List.filter (fun sub -> (fst sub.s_pred).[0] <> '$') (sorted_tables env)
+
+let pp_table_dump ppf env =
+  let tables = user_tables env in
+  Fmt.pf ppf "table space: %d table%s@." (List.length tables)
+    (if List.length tables = 1 then "" else "s");
+  List.iter
+    (fun sub ->
+      Fmt.pf ppf "%s  [%s, %d answer%s]@." (key_str sub.skey)
+        (match sub.s_state with Complete -> "complete" | Incomplete -> "incomplete")
+        (answer_count sub)
+        (if answer_count sub = 1 then "" else "s");
+      iter_answers
+        (fun a ->
+          Fmt.pf ppf "  %s%s@." (key_str a.a_template)
+            (if a.a_delays = [] then "" else " (conditional)"))
+        sub)
+    tables
+
+(* ------------------------------------------------------------------ *)
 (* The interpreter.
 
    [solve ev ~det ~owner ~template ~delays ~barrier goals] explores all
@@ -635,6 +751,12 @@ and solve_atom ev ~det ~owner ~template ~delays ~barrier name goal rest =
   | "listing" -> continue ev ~det ~owner ~template ~delays ~barrier rest
   | "statistics" ->
       pp_stats ev.e_env.out ev.e_env.stats;
+      continue ev ~det ~owner ~template ~delays ~barrier rest
+  | "table_dump" ->
+      pp_table_dump ev.e_env.out ev.e_env;
+      continue ev ~det ~owner ~template ~delays ~barrier rest
+  | "profile" ->
+      Obs.Metrics.pp_report ev.e_env.out ev.e_env.metrics;
       continue ev ~det ~owner ~template ~delays ~barrier rest
   | "halt" -> error "halt/0 is not available inside the library engine"
   | "abolish_all_tables" ->
@@ -725,6 +847,38 @@ and solve_struct ev ~det ~owner ~template ~delays ~barrier name args goal rest =
       match Loader.process_directive env.db goal with
       | `Handled -> next rest
       | `Table_all | `Deferred _ -> error "unsupported runtime directive")
+  | "statistics", [| arg |] ->
+      (* statistics(S): S unifies with the counters as a [name = value]
+         list (statistics/1-style introspection) *)
+      let m = Trail.mark env.trail in
+      if Unify.unify env.trail arg (stats_term env) then next rest;
+      Trail.undo_to env.trail m
+  | "get_calls", [| c |] ->
+      (* get_calls(Call): enumerate the tabled subgoals present in table
+         space, most recently created last *)
+      List.iter
+        (fun sub ->
+          let m = Trail.mark env.trail in
+          if Unify.unify env.trail c (Canon.to_term sub.skey) then next rest;
+          Trail.undo_to env.trail m)
+        (user_tables env)
+  | "get_returns", [| c; r |] ->
+      (* get_returns(Call, Answer): for each table whose subgoal unifies
+         with Call, enumerate its answers into Answer *)
+      List.iter
+        (fun sub ->
+          (* snapshot: the continuation may grow the table mid-iteration *)
+          let answers = List.rev (fold_answers (fun acc a -> a :: acc) [] sub) in
+          let m = Trail.mark env.trail in
+          if Unify.unify env.trail c (Canon.to_term sub.skey) then
+            List.iter
+              (fun (a : answer) ->
+                let m2 = Trail.mark env.trail in
+                if Unify.unify env.trail r (Canon.to_term a.a_template) then next rest;
+                Trail.undo_to env.trail m2)
+              answers;
+          Trail.undo_to env.trail m)
+        (user_tables env)
   | _ -> (
       match Builtins.lookup name (Array.length args) with
       | Some b -> (
@@ -836,8 +990,12 @@ and solve_findall ev ~det ~owner ~template ~delays ~barrier ~tabled_wait ?(requi
 and solve_call ev ~det ~owner ~template ~delays ~barrier goal rest =
   let env = ev.e_env in
   let key = pred_key_of goal in
-  count_call env key;
-  trace env "call" goal;
+  if metrics_on env then begin
+    let c = mcell env key in
+    c.Obs.Metrics.m_calls <- c.Obs.Metrics.m_calls + 1
+  end;
+  if obs_on env then
+    emit_goal env ~depth:ev.e_depth key Obs.Event.Call (Term.to_string goal);
   match Database.find env.db (fst key) (snd key) with
   | None -> ()  (* unknown predicate: fails, as an empty relation *)
   | Some pred ->
@@ -850,11 +1008,15 @@ and solve_untabled ev ~det ~owner ~template ~delays ~barrier pred goal rest =
   let b = fresh_barrier env in
   let endscope = Term.Struct ("$endscope", [| Term.Int barrier |]) in
   let candidates = Pred.lookup pred (args_of goal) in
+  let cell = if metrics_on env then Some (mcell env (pred_key_of goal)) else None in
   with_cut_catch env b (fun () ->
       List.iter
         (fun clause ->
           let m = Trail.mark env.trail in
           env.stats.st_resolutions <- env.stats.st_resolutions + 1;
+          (match cell with
+          | Some c -> c.Obs.Metrics.m_resolutions <- c.Obs.Metrics.m_resolutions + 1
+          | None -> ());
           let head, body = Term.copy2 clause.Pred.head clause.Pred.body in
           if Unify.unify env.trail goal head then
             solve ev ~det ~owner ~template ~delays ~barrier:b (body :: endscope :: rest);
@@ -901,6 +1063,12 @@ and consume_inline ev ~det ~owner ~template ~delays ~barrier ~skel sub goal rest
 and register_consumer ev sub ~owner ~template ~delays goal rest =
   let env = ev.e_env in
   env.stats.st_suspensions <- env.stats.st_suspensions + 1;
+  if metrics_on env then begin
+    let c = mcell env sub.s_pred in
+    c.Obs.Metrics.m_suspensions <- c.Obs.Metrics.m_suspensions + 1
+  end;
+  if obs_on env then
+    emit_sub env ~depth:ev.e_depth sub Obs.Event.Suspend (Term.to_string goal);
   let consumer =
     {
       c_table = sub;
@@ -951,7 +1119,6 @@ and solve_tabled ev ~det ~owner ~template ~delays ~barrier goal rest =
           end
           else begin
             let sub = create_table ev key (pred_key_of goal) in
-            trace env "table" goal;
             push_task ev (Generate sub);
             register_consumer ev sub ~owner ~template ~delays goal rest
           end)
@@ -1058,6 +1225,8 @@ and solve_tnot ev ~det ~owner ~template ~delays ~barrier ~existential g rest =
 and suspend_waiter ev ~kind ~owner ~template ~delays sub blocked rest =
   let env = ev.e_env in
   env.stats.st_neg_suspensions <- env.stats.st_neg_suspensions + 1;
+  if obs_on env then
+    emit_sub env ~depth:ev.e_depth sub Obs.Event.Negation_wait (Term.to_string blocked);
   let waiter =
     {
       w_table = sub;
@@ -1089,13 +1258,26 @@ and emit_answer ev owner template delays =
            (fun a -> compare_delays a.a_delays delays = 0)
            (Answer_index.find owner.s_store key)
   in
-  if duplicate then env.stats.st_dup_answers <- env.stats.st_dup_answers + 1
+  if duplicate then begin
+    env.stats.st_dup_answers <- env.stats.st_dup_answers + 1;
+    if metrics_on env then begin
+      let c = mcell env owner.s_pred in
+      c.Obs.Metrics.m_dup_answers <- c.Obs.Metrics.m_dup_answers + 1
+    end;
+    if obs_on env then
+      emit_sub env ~depth:ev.e_depth owner Obs.Event.Dup_answer (key_str key)
+  end
   else begin
     env.stats.st_answers <- env.stats.st_answers + 1;
-    trace env "answer" template;
     if delays = [] then Canon.Tbl.replace owner.s_uncond key ();
     let answer = { a_template = key; a_delays = delays } in
     ignore (Answer_index.add owner.s_store key answer : int);
+    if metrics_on env then begin
+      let c = mcell env owner.s_pred in
+      c.Obs.Metrics.m_answers <- c.Obs.Metrics.m_answers + 1;
+      Obs.Metrics.note_table_size c (answer_count owner)
+    end;
+    if obs_on env then emit_sub env ~depth:ev.e_depth owner Obs.Event.Answer (key_str key);
     schedule_drains ev owner;
     (* existential evaluations stop precisely at the answer that
        satisfies them (e_tnot's early termination, §4.4) *)
@@ -1131,11 +1313,15 @@ and run_task ev task =
       in
       let b = fresh_barrier env in
       let candidates = Pred.lookup pred (args_of pattern) in
+      let cell = if metrics_on env then Some (mcell env sub.s_pred) else None in
       with_cut_catch env b (fun () ->
           List.iter
             (fun clause ->
               let m = Trail.mark env.trail in
               env.stats.st_resolutions <- env.stats.st_resolutions + 1;
+              (match cell with
+              | Some c -> c.Obs.Metrics.m_resolutions <- c.Obs.Metrics.m_resolutions + 1
+              | None -> ());
               let head, body = Term.copy2 clause.Pred.head clause.Pred.body in
               if Unify.unify env.trail pattern head then
                 solve ev ~det:false ~owner:sub ~template:pattern ~delays:[] ~barrier:b [ body ];
@@ -1143,6 +1329,9 @@ and run_task ev task =
             candidates)
   | Drain consumer ->
       let store = consumer.c_table.s_store in
+      if obs_on env then
+        emit_sub env ~depth:ev.e_depth consumer.c_table Obs.Event.Drain
+          (key_str consumer.c_table.skey);
       (* the loop re-reads the size, so answers emitted mid-drain are
          consumed here rather than scheduling a redundant self-drain *)
       while consumer.c_consumed < Answer_index.size store do
@@ -1155,6 +1344,8 @@ and run_task ev task =
       env.stats.st_resumptions <- env.stats.st_resumptions + 1;
       let m = Trail.mark env.trail in
       let first, goals, template = open_susp r.r_snapshot in
+      if obs_on env then
+        emit_sub env ~depth:ev.e_depth r.r_owner Obs.Event.Resume (Term.to_string first);
       let goals = if r.r_skip_first then goals else first :: goals in
       let delays = match r.r_extra_delay with Some d -> d :: r.r_delays | None -> r.r_delays in
       let b = fresh_barrier env in
@@ -1166,6 +1357,9 @@ and run_task ev task =
 and resume_consumer ev consumer answer =
   let env = ev.e_env in
   env.stats.st_resumptions <- env.stats.st_resumptions + 1;
+  if obs_on env then
+    emit_sub env ~depth:ev.e_depth consumer.c_table Obs.Event.Resume
+      (key_str answer.a_template);
   let m = Trail.mark env.trail in
   let call, goals, template = open_susp consumer.c_snapshot in
   let instance = Canon.to_term answer.a_template in
@@ -1196,7 +1390,18 @@ and run_eval ?stop ev =
       | Some task ->
           let owner = task_owner task in
           owner.s_tasks <- owner.s_tasks - 1;
-          run_task ev task;
+          (if metrics_on env then begin
+             (* inclusive wall time: nested evaluations run inside a task
+                also bill their own predicates *)
+             let cell = mcell env owner.s_pred in
+             let t0 = !Obs.Metrics.clock () in
+             Fun.protect
+               ~finally:(fun () ->
+                 cell.Obs.Metrics.m_time <-
+                   cell.Obs.Metrics.m_time +. (!Obs.Metrics.clock () -. t0))
+               (fun () -> run_task ev task)
+           end
+           else run_task ev task);
           (* quiescent subgoal: its SCC may now be exhausted *)
           try_complete ev owner;
           loop ()
@@ -1210,7 +1415,7 @@ and run_eval ?stop ev =
     else begin
     let incomplete = List.filter (fun s -> s.s_state = Incomplete) ev.e_created in
     if ev.e_waiters = [] then
-      List.iter (mark_complete ev.e_env) incomplete
+      List.iter (mark_complete ev) incomplete
     else begin
       let module Iset = Set.Make (Int) in
       (* flow edges: answers of [s] can reach consumers' owners *)
@@ -1225,7 +1430,7 @@ and run_eval ?stop ev =
       in
       List.iter visit seeds;
       let completable = List.filter (fun s -> not (Hashtbl.mem reachable s.s_id)) incomplete in
-      List.iter (mark_complete ev.e_env) completable;
+      List.iter (mark_complete ev) completable;
       if completable <> [] then ev.e_scc_dirty <- true;
       if resolve_waiters ev then loop ()
       else begin

@@ -120,11 +120,14 @@ type stats = {
       (** subgoals completed incrementally (members of those SCCs) *)
   mutable st_max_scc_size : int;  (** largest SCC closed incrementally *)
   mutable st_steps : int;
-  call_counts : (string * int, int ref) Hashtbl.t;
-  mutable st_count_calls : bool;
 }
 
 val fresh_stats : unit -> stats
+
+val reset_stats : stats -> unit
+(** Zero every counter in place (the record is shared by live
+    references). Called by {!abolish_tables} so an engine reset cannot
+    leak counters into the next run's measurements. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 (** The [statistics/0] report, one counter per line. *)
@@ -145,12 +148,16 @@ type env = {
   collectors : (Term.t * Term.t list ref) Stack.t;
   mutable captured_incomplete : subgoal option;
   mutable stop : (unit -> bool) option;
-  mutable tracer : (string -> Term.t -> unit) option;
+  obs : Xsb_obs.Obs.Recorder.t;
+      (** typed trace-event stream; inert until a sink is attached *)
+  metrics : Xsb_obs.Obs.Metrics.t;
+      (** per-predicate profiling registry; inert until enabled *)
 }
 
 type eval = {
   e_id : int;
   e_parent : eval option;
+  e_depth : int;  (** nesting depth: 0 for top-level evaluations *)
   e_env : env;
   e_tasks : task Queue.t;
       (** FIFO: generators run before the drains they caused; [Drain]
@@ -177,9 +184,14 @@ val iter_answers : (answer -> unit) -> subgoal -> unit
 val fold_answers : ('a -> answer -> 'a) -> 'a -> subgoal -> 'a
 
 val abolish_tables : env -> unit
-(** Abolish the completed tables. Incomplete tables belong to an
-    in-progress evaluation and are retained — abolishing them would
-    leave that evaluation's bookkeeping pointing at detached subgoals. *)
+(** Abolish the completed tables and {!reset_stats} the counters.
+    Incomplete tables belong to an in-progress evaluation and are
+    retained — abolishing them would leave that evaluation's
+    bookkeeping pointing at detached subgoals. *)
+
+val pp_table_dump : Format.formatter -> env -> unit
+(** The [table_dump/0] report: every (non-private) table with its
+    completion state and answers. *)
 
 val susp_term : Term.t -> Term.t list -> Term.t -> Canon.t
 (** [susp_term first rest template] packages a derivation state for a

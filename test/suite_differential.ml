@@ -16,9 +16,16 @@ let runs = 200
 
 let table_directive = ":- table p/2, q/2, r/2.\n"
 
-(* answers as a sorted list of argument-string tuples *)
-let slg_answer_set ~scheduling text goal =
+(* answers as a sorted list of argument-string tuples; [~traced] runs
+   the same query with every sink attached and profiling on, which must
+   be purely observational (ISSUE PR 3) *)
+let slg_answer_set ?(traced = false) ~scheduling text goal =
   let s = Session.create ~scheduling () in
+  if traced then begin
+    Session.add_sink s Obs.Sink.Null;
+    Session.add_sink s (Obs.Sink.Ring (Obs.Ring.create 256));
+    Session.set_profiling s true
+  end;
   Session.consult s (table_directive ^ text);
   List.sort_uniq compare
     (List.map
@@ -70,6 +77,27 @@ let datalog_differential =
           && check_goal text (h ^ "(2,X)") ~keep:[ 1 ])
         heads)
 
+(* --- tracing and profiling are purely observational --- *)
+
+let tracing_differential =
+  QCheck2.Test.make ~count:(runs / 4) ~name:"tracing does not change answer sets"
+    ~print:Generators.datalog_text Generators.datalog_program_gen (fun dp ->
+      let text = Generators.datalog_text dp in
+      let heads =
+        List.sort_uniq compare (List.map (fun r -> r.Generators.dr_head) dp.Generators.dp_rules)
+      in
+      List.for_all
+        (fun h ->
+          let goal = h ^ "(X,Y)" in
+          List.for_all
+            (fun scheduling ->
+              let plain = slg_answer_set ~scheduling text goal in
+              let traced = slg_answer_set ~traced:true ~scheduling text goal in
+              plain = traced
+              || QCheck2.Test.fail_reportf "tracing changed the answers of %s:@.%s" goal text)
+            [ Machine.Local; Machine.Batched ])
+        heads)
+
 (* --- stratified negation: SLG tnot vs the well-founded model --- *)
 
 let stratified_differential ~scheduling name =
@@ -104,6 +132,7 @@ let stratified_differential ~scheduling name =
 let suite =
   [
     QCheck_alcotest.to_alcotest datalog_differential;
+    QCheck_alcotest.to_alcotest tracing_differential;
     QCheck_alcotest.to_alcotest (stratified_differential ~scheduling:Machine.Local "stratified tnot = WFS (local)");
     QCheck_alcotest.to_alcotest
       (stratified_differential ~scheduling:Machine.Batched "stratified tnot = WFS (batched)");

@@ -1,26 +1,29 @@
 (* Completion-order regressions for the incremental SCC-based completion
    (ISSUE PR 2): under Local scheduling, inner SCCs must be completed
-   before outer ones — long before the global fixpoint — and the tracer
-   must emit one "complete" event per subgoal at the moment its SCC is
-   closed. *)
+   before outer ones — long before the global fixpoint — and the event
+   stream must carry one [Complete] event per subgoal at the moment its
+   SCC is closed (recorded here through the ring-buffer sink). *)
 
 open Xsb
 
 let pred_of_event s = match String.index_opt s '(' with Some i -> String.sub s 0 i | None -> s
 
-(* run [goal] and collect the "complete"-event stream for [preds],
+(* run [goal] and collect the [Complete]-event stream for [preds],
    together with the final stats *)
 let run_traced ?(scheduling = Machine.Local) ~preds program goal =
   let s = Session.create ~scheduling () in
-  let events = ref [] in
-  Engine.set_trace (Session.engine s)
-    (Some
-       (fun ev term ->
-         if ev = "complete" && List.mem (pred_of_event (Term.to_string term)) preds then
-           events := Term.to_string term :: !events));
+  let ring = Obs.Ring.create 4096 in
+  Session.add_sink s (Obs.Sink.Ring ring);
   Session.consult s program;
   let solutions = Session.query s goal in
-  (List.rev !events, Session.stats s, solutions)
+  let events =
+    List.filter_map
+      (fun (e : Obs.Event.t) ->
+        if e.kind = Obs.Event.Complete && List.mem (pred_of_event e.call) preds then Some e.call
+        else None)
+      (Obs.Ring.to_list ring)
+  in
+  (events, Session.stats s, solutions)
 
 let position events prefix =
   let rec go i = function

@@ -587,25 +587,28 @@ let suite = suite @ edge_cases
 
 let trace_cases =
   [
-    t "trace hook observes call, table and answer events" `Quick (fun () ->
+    t "trace sink observes call, subgoal and answer events" `Quick (fun () ->
         let s =
           session
             ":- table path/2.\npath(X,Y) :- edge(X,Y).\npath(X,Y) :- path(X,Z), edge(Z,Y).\n\
              edge(1,2). edge(2,3)."
         in
-        let events = ref [] in
-        Engine.set_trace (Session.engine s) (Some (fun e t -> events := (e, Term.to_string t) :: !events));
+        let ring = Obs.Ring.create 4096 in
+        Session.add_sink s (Obs.Sink.Ring ring);
         ignore (Session.query s "path(1,X)");
-        Engine.set_trace (Session.engine s) None;
-        let count_kind k = List.length (List.filter (fun (e, _) -> e = k) !events) in
-        check_bool "calls observed" true (count_kind "call" > 0);
-        check_bool "tables observed" true (count_kind "table" >= 1);
+        Session.clear_sinks s;
+        let count_kind k =
+          List.length
+            (List.filter (fun (e : Obs.Event.t) -> e.kind = k) (Obs.Ring.to_list ring))
+        in
+        check_bool "calls observed" true (count_kind Obs.Event.Call > 0);
+        check_bool "subgoals observed" true (count_kind Obs.Event.New_subgoal >= 1);
         (* two path answers plus two query answers *)
-        check_bool "answers observed" true (count_kind "answer" >= 4);
-        (* disabling stops events *)
-        let before = List.length !events in
+        check_bool "answers observed" true (count_kind Obs.Event.Answer >= 4);
+        (* detaching stops events *)
+        let before = Obs.Ring.length ring in
         ignore (Session.query s "edge(1,X)");
-        check_int "no more events" before (List.length !events));
+        check_int "no more events" before (Obs.Ring.length ring));
   ]
 
 let suite = suite @ trace_cases

@@ -14,4 +14,5 @@ let () =
       ("integration", Suite_integration.suite);
       ("differential", Suite_differential.suite);
       ("scheduling", Suite_scheduling.suite);
+      ("obs", Suite_obs.suite);
     ]
