@@ -1,8 +1,43 @@
 (* The command-line front end: consult files, run goals, or enter a
    read-eval-print loop — the usual way XSB is invoked (paper §4.2). *)
 
-let run_goal session engine_kind wfs text =
+(* a goal exceeded --max-steps / --timeout; reported as a clean timeout
+   error with exit code 2, never as an escaping exception *)
+exception Goal_timeout of { answers : int; reason : string }
+
+(* bounds from --max-steps / --timeout: SLG goals run through
+   Engine.run_bounded (the server shares this code path) *)
+type bounds = { b_max_steps : int option; b_timeout : float option }
+
+let bounded bounds = bounds.b_max_steps <> None || bounds.b_timeout <> None
+
+let run_goal_bounded session bounds text =
+  let engine = Xsb.Session.engine session in
+  let stop =
+    match bounds.b_timeout with
+    | None -> None
+    | Some secs ->
+        let deadline = Unix.gettimeofday () +. secs in
+        Some (fun () -> Unix.gettimeofday () >= deadline)
+  in
+  match Xsb.Engine.run_bounded_string ?max_steps:bounds.b_max_steps ?stop engine text with
+  | `Answers [] -> Fmt.pr "no@."
+  | `Answers solutions ->
+      List.iter (fun s -> Fmt.pr "%a@." (Xsb.Session.pp_solution session) s) solutions;
+      Fmt.pr "yes (%d solution%s)@." (List.length solutions)
+        (if List.length solutions = 1 then "" else "s")
+  | `Truncated solutions | `Timeout solutions ->
+      List.iter (fun s -> Fmt.pr "%a@." (Xsb.Session.pp_solution session) s) solutions;
+      let reason =
+        match (stop, bounds.b_max_steps) with
+        | Some hit, _ when hit () -> "wall-clock timeout"
+        | _ -> "step budget exhausted"
+      in
+      raise (Goal_timeout { answers = List.length solutions; reason })
+
+let run_goal session engine_kind wfs bounds text =
   match engine_kind with
+  | `Slg when (not wfs) && bounded bounds -> run_goal_bounded session bounds text
   | `Slg ->
       if wfs then begin
         match Xsb.Session.wfs_query session text with
@@ -68,7 +103,7 @@ let print_stats session =
     stats.Xsb.Machine.st_sccs_completed stats.Xsb.Machine.st_early_completions
     stats.Xsb.Machine.st_max_scc_size stats.Xsb.Machine.st_steps
 
-let repl session engine_kind wfs =
+let repl session engine_kind wfs bounds =
   Fmt.pr "XSB-repro (OCaml). Type goals ending with '.', or 'halt.' to quit.@.";
   let rec loop () =
     Fmt.pr "?- @?";
@@ -87,16 +122,21 @@ let repl session engine_kind wfs =
           (try
              if String.length text > 2 && String.sub text 0 2 = ":-" then
                Xsb.Session.consult session (text ^ ".")
-             else run_goal session engine_kind wfs text
-           with e -> Fmt.pr "error: %s@." (Printexc.to_string e));
+             else run_goal session engine_kind wfs bounds text
+           with
+          | Goal_timeout { answers; reason } ->
+              Fmt.pr "timeout: %s (%d answer%s so far)@." reason answers
+                (if answers = 1 then "" else "s")
+          | e -> Fmt.pr "error: %s@." (Printexc.to_string e));
           loop ()
         end
   in
   loop ()
 
 let main files goals wfs engine_name scheduling interactive stats compile trace trace_out
-    profile =
+    profile max_steps timeout =
   let mode = if wfs then Some Xsb.Machine.Well_founded else None in
+  let bounds = { b_max_steps = max_steps; b_timeout = timeout } in
   let session = Xsb.Session.create ?mode ?scheduling () in
   (* --trace[=pretty|jsonl] (or the XSB_TRACE env default), optionally
      redirected with --trace-out FILE *)
@@ -136,20 +176,37 @@ let main files goals wfs engine_name scheduling interactive stats compile trace 
     !trace_cleanup ();
     code
   in
+  (* engine-wide bound while consulting, so a runaway :- directive also
+     times out cleanly; per-goal budgets take over below *)
+  (match max_steps with
+  | Some n -> Xsb.Engine.set_max_steps (Xsb.Session.engine session) n
+  | None -> ());
   try
     List.iter (fun f -> Xsb.Session.consult_file session f) files;
+    if max_steps <> None && engine_kind = `Slg && not wfs then
+      Xsb.Engine.set_max_steps (Xsb.Session.engine session) 0;
     if compile then begin
       let program = Xsb.Wam.of_database (Xsb.Session.db session) in
       Xsb.Wam.disassemble program Format.std_formatter;
       Format.print_flush ()
     end;
-    List.iter (fun g -> run_goal session engine_kind wfs g) goals;
+    List.iter (fun g -> run_goal session engine_kind wfs bounds g) goals;
     if interactive || (goals = [] && (not stats) && (not profile) && not compile) then
-      repl session engine_kind wfs;
+      repl session engine_kind wfs bounds;
     finish 0
-  with e ->
-    Fmt.epr "error: %s@." (Printexc.to_string e);
-    finish 1
+  with
+  | Goal_timeout { answers; reason } ->
+      Fmt.epr "timeout: %s (%d answer%s so far)@." reason answers
+        (if answers = 1 then "" else "s");
+      finish 2
+  | Xsb.Machine.Step_limit ->
+      (* an engine-wide bound hit outside the bounded-goal path (e.g. a
+         deferred :- directive): still a clean timeout, not a crash *)
+      Fmt.epr "timeout: step budget exhausted@.";
+      finish 2
+  | e ->
+      Fmt.epr "error: %s@." (Printexc.to_string e);
+      finish 1
 
 open Cmdliner
 
@@ -210,12 +267,30 @@ let profile =
           "Profile per predicate (calls, answers, duplicate ratio, suspensions, task \
            wall time, peak table size) and print the report, hottest predicate first.")
 
+let max_steps =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-steps" ] ~docv:"N"
+        ~doc:
+          "Resolution-step budget per goal (and for :- directives while consulting); a goal \
+           exceeding it is reported as a timeout with exit code 2.")
+
+let timeout =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock deadline per goal; a goal exceeding it is reported as a timeout with \
+           exit code 2.")
+
 let cmd =
   let doc = "an in-memory deductive database engine (XSB reproduction)" in
   Cmd.v
     (Cmd.info "xsb" ~doc)
     Term.(
       const main $ files $ goals $ wfs $ engine_name $ scheduling $ interactive $ stats
-      $ compile $ trace $ trace_out $ profile)
+      $ compile $ trace $ trace_out $ profile $ max_steps $ timeout)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,120 @@
+(* The command-line client: one connection, a sequence of operations in
+   command-line order (consults first, then asserts, then goals), with
+   exit codes scripts can branch on: 0 ok, 1 error, 2 timeout,
+   3 overloaded. *)
+
+let exit_error = 1
+let exit_timeout = 2
+let exit_overloaded = 3
+
+let code_exit = function
+  | Xsb_server.Protocol.Timeout -> exit_timeout
+  | Xsb_server.Protocol.Overloaded -> exit_overloaded
+  | _ -> exit_error
+
+let main host port consults fast_loads goals asserts limit timeout_ms max_steps stats abolish
+    ping =
+  let open Xsb_server in
+  match Client.connect ~host port with
+  | exception Unix.Unix_error (err, _, _) ->
+      Fmt.epr "xsb_client: cannot connect to %s:%d: %s@." host port (Unix.error_message err);
+      exit_error
+  | client ->
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let worst = ref 0 in
+          let note code = worst := max !worst code in
+          let simple what = function
+            | Ok payload -> if payload <> "" then Fmt.pr "%s@." payload
+            | Error { Client.code; message } ->
+                Fmt.epr "%s: %s: %s@." what (Protocol.err_code_name code) message;
+                note (code_exit code)
+          in
+          if ping then simple "ping" (Client.ping client);
+          List.iter
+            (fun path ->
+              let text = In_channel.with_open_bin path In_channel.input_all in
+              simple ("consult " ^ path) (Client.consult client text))
+            consults;
+          List.iter
+            (fun path ->
+              let text = In_channel.with_open_bin path In_channel.input_all in
+              simple ("fast-load " ^ path) (Client.consult ~fmt:Protocol.Fast client text))
+            fast_loads;
+          List.iter (fun clause -> simple ("assert " ^ clause) (Client.assert_ client clause)) asserts;
+          List.iter
+            (fun goal ->
+              match Client.query ?limit ?timeout_ms ?max_steps client goal with
+              | Client.Rows { rows; truncated } ->
+                  List.iter (fun row -> Fmt.pr "%s@." row) rows;
+                  Fmt.pr "%s (%d solution%s%s)@."
+                    (if rows = [] then "no" else "yes")
+                    (List.length rows)
+                    (if List.length rows = 1 then "" else "s")
+                    (if truncated then ", truncated" else "")
+              | Client.Query_timeout rows ->
+                  List.iter (fun row -> Fmt.pr "%s@." row) rows;
+                  Fmt.epr "timeout after %d answer%s@." (List.length rows)
+                    (if List.length rows = 1 then "" else "s");
+                  note exit_timeout
+              | Client.Query_error { code; message } ->
+                  Fmt.epr "query %s: %s: %s@." goal (Protocol.err_code_name code) message;
+                  note (code_exit code))
+            goals;
+          if abolish then simple "abolish" (Client.abolish client);
+          if stats then simple "statistics" (Client.statistics client);
+          !worst)
+
+open Cmdliner
+
+let host =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+
+let port = Arg.(value & opt int 4994 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+
+let consults =
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"Program files to consult remotely.")
+
+let fast_loads =
+  Arg.(
+    value & opt_all file []
+    & info [ "fast-load" ] ~docv:"FILE" ~doc:"Fact files for the formatted-read bulk loader.")
+
+let goals =
+  Arg.(value & opt_all string [] & info [ "e"; "eval" ] ~docv:"GOAL" ~doc:"Goal to evaluate.")
+
+let asserts =
+  Arg.(value & opt_all string [] & info [ "assert" ] ~docv:"CLAUSE" ~doc:"Clause to assert.")
+
+let limit =
+  Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc:"Stop after N answers.")
+
+let timeout_ms =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Per-query wall-clock deadline.")
+
+let max_steps =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-steps" ] ~docv:"N" ~doc:"Per-query resolution-step budget.")
+
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print the session's engine statistics.")
+
+let abolish =
+  Arg.(value & flag & info [ "abolish" ] ~doc:"Abolish the session's tables after the goals.")
+
+let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Ping the server first.")
+
+let cmd =
+  let doc = "client for the XSB-repro query server" in
+  Cmd.v
+    (Cmd.info "xsb_client" ~doc)
+    Term.(
+      const main $ host $ port $ consults $ fast_loads $ goals $ asserts $ limit $ timeout_ms
+      $ max_steps $ stats $ abolish $ ping)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,123 @@
+(* The query-service daemon: bind, serve, and drain cleanly on
+   SIGINT/SIGTERM. Prints "listening on <port>" once ready so scripts
+   (and the CI smoke job) can start it on port 0 and scrape the port. *)
+
+let stop_requested = Atomic.make false
+
+let main host port workers queue timeout_ms max_steps max_answers preload scheduling access_log
+    profile =
+  let log_channel =
+    match access_log with
+    | None -> None
+    | Some "-" -> Some stdout
+    | Some path -> Some (open_out path)
+  in
+  let cfg =
+    {
+      Xsb_server.Server.default_config with
+      host;
+      port;
+      workers;
+      queue_capacity = queue;
+      default_timeout_ms = timeout_ms;
+      default_max_steps = max_steps;
+      max_answers;
+      preload;
+      scheduling;
+      access_log = log_channel;
+      profile;
+    }
+  in
+  match Xsb_server.Server.start cfg with
+  | exception Unix.Unix_error (err, _, _) ->
+      Fmt.epr "xsb_serverd: cannot bind %s:%d: %s@." host port (Unix.error_message err);
+      2
+  | server ->
+      let request_stop _ = Atomic.set stop_requested true in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+      Fmt.pr "listening on %d@." (Xsb_server.Server.port server);
+      while not (Atomic.get stop_requested) do
+        Thread.delay 0.05
+      done;
+      Fmt.pr "draining...@.";
+      Xsb_server.Server.stop server;
+      if profile then Fmt.pr "%a" (fun ppf () -> Xsb_server.Server.pp_profile ppf server) ();
+      Fmt.pr "served %d requests@." (Xsb_server.Server.requests_served server);
+      (match log_channel with
+      | Some oc when oc != stdout -> close_out oc
+      | _ -> ());
+      0
+
+open Cmdliner
+
+let host =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+
+let port =
+  Arg.(
+    value & opt int 4994
+    & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port; 0 picks an ephemeral one.")
+
+let workers =
+  Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc:"Worker threads in the pool.")
+
+let queue =
+  Arg.(
+    value & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Bounded request-queue capacity; a request arriving when the queue is full is \
+           answered OVERLOADED instead of being buffered.")
+
+let timeout_ms =
+  Arg.(
+    value & opt int 5000
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:"Default per-request wall-clock deadline (0 = none); requests past it get TIMEOUT.")
+
+let max_steps =
+  Arg.(
+    value & opt int 10_000_000
+    & info [ "max-steps" ] ~docv:"N"
+        ~doc:"Default per-request resolution-step budget (0 = none).")
+
+let max_answers =
+  Arg.(
+    value & opt int 0
+    & info [ "max-answers" ] ~docv:"N" ~doc:"Hard per-query row cap (0 = none).")
+
+let preload =
+  Arg.(
+    value & pos_all file []
+    & info [] ~docv:"FILE" ~doc:"Program files consulted into every fresh connection session.")
+
+let scheduling =
+  Arg.(
+    value
+    & opt (some (enum [ ("local", Xsb.Machine.Local); ("batched", Xsb.Machine.Batched) ])) None
+    & info [ "scheduling" ] ~docv:"STRATEGY" ~doc:"SLG answer scheduling: local or batched.")
+
+let access_log =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "access-log" ] ~docv:"FILE"
+        ~doc:"Write one JSON object per request to \\$(docv) ('-' for stdout).")
+
+let profile =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:"Aggregate per-predicate request counts, answers, steps and wall time; print the \
+              report at shutdown.")
+
+let cmd =
+  let doc = "the XSB-repro deductive-database query server" in
+  Cmd.v
+    (Cmd.info "xsb_serverd" ~doc)
+    Term.(
+      const main $ host $ port $ workers $ queue $ timeout_ms $ max_steps $ max_answers $ preload
+      $ scheduling $ access_log $ profile)
+
+let () = exit (Cmd.eval' cmd)

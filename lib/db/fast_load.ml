@@ -165,12 +165,20 @@ let string_ db src =
   let rec go () =
     skip_layout cur;
     if not (at_end cur) then begin
+      let start = cur.pos in
       let fact = scan_term cur in
       skip_layout cur;
       if at_end cur || peek cur <> '.' then fail cur "expected '.' after fact"
       else begin
         cur.pos <- cur.pos + 1;
-        ignore (Database.add_clause db fact);
+        (* an ill-formed head (a bare number, a list) is a data error of
+           this row, not a [Failure] for the caller *)
+        (match fact with
+        | Term.Struct (".", _) | Term.Atom "[]" ->
+            raise (Syntax ("a list cannot be a fact", start))
+        | _ -> ());
+        (try ignore (Database.add_clause db fact)
+         with Failure msg -> raise (Syntax (msg, start)));
         incr count;
         go ()
       end

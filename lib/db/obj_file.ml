@@ -2,7 +2,11 @@ open Xsb_term
 
 exception Bad_object_file of string
 
-let magic = "XSBOBJ01"
+(* version 02 adds a payload length and digest after the magic, so a
+   truncated or bit-flipped image is detected before [Marshal] ever
+   sees it (unmarshalling attacker-controlled bytes can crash the
+   runtime; a digest-checked payload can only be one we wrote) *)
+let magic = "XSBOBJ02"
 
 (* The on-disk image: everything is canonical (immutable, no variable
    cells), so marshalling is stable. *)
@@ -40,43 +44,77 @@ let save db keys path =
       (fun (name, arity) -> Option.map image_of_pred (Database.find db name arity))
       keys
   in
+  let payload = Marshal.to_string (images : image) [] in
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
       output_string oc magic;
-      Marshal.to_channel oc (images : image) [])
+      output_binary_int oc (String.length payload);
+      output_string oc (Digest.string payload);
+      output_string oc payload)
 
 let save_all db path =
   let keys = List.map (fun p -> (Pred.name p, Pred.arity p)) (Database.preds db) in
   save db keys path
+
+(* 256 MiB: far above any real image, far below an allocation that a
+   corrupt length field could use to take the process down *)
+let max_payload = 256 * 1024 * 1024
+
+let load_string db image_bytes =
+  let fail msg = raise (Bad_object_file msg) in
+  let total = String.length image_bytes in
+  let magic_len = String.length magic in
+  if total < magic_len then fail "truncated header";
+  if String.sub image_bytes 0 magic_len <> magic then fail "bad magic header";
+  if total < magic_len + 4 + 16 then fail "truncated header";
+  let len =
+    let b i = Char.code image_bytes.[magic_len + i] in
+    (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+  in
+  if len < 0 || len > max_payload then fail "implausible payload length";
+  if total < magic_len + 4 + 16 + len then fail "truncated payload";
+  let digest = String.sub image_bytes (magic_len + 4) 16 in
+  let payload = String.sub image_bytes (magic_len + 4 + 16) len in
+  if not (Digest.equal (Digest.string payload) digest) then fail "payload digest mismatch";
+  let images : image =
+    (* digest-checked, so this can only be bytes [save] produced; the
+       handler still turns an unmarshalling failure into a typed error *)
+    try Marshal.from_string payload 0
+    with Failure msg -> fail ("corrupt image: " ^ msg)
+  in
+  let count = ref 0 in
+  List.iter
+    (fun img ->
+      Database.remove_pred db img.p_name img.p_arity;
+      let kind = if img.p_dynamic then Pred.Dynamic else Pred.Static in
+      let pred = Database.declare db ~kind img.p_name img.p_arity in
+      Pred.set_tabled pred img.p_tabled;
+      (match img.p_index with
+      | `Fields combos -> Pred.set_index pred (Pred.Fields combos)
+      | `First_string -> Pred.set_index pred Pred.First_string_index
+      | `Disc_tree -> Pred.set_index pred Pred.Disc_tree_index);
+      List.iter
+        (fun canon ->
+          match Term.deref (Canon.to_term canon) with
+          | Term.Struct (":-", [| head; body |]) ->
+              ignore (Pred.assertz pred ~head ~body);
+              incr count
+          | _ -> raise (Bad_object_file "corrupt clause"))
+        img.p_clauses)
+    images;
+  !count
 
 let load db path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      let header = really_input_string ic (String.length magic) in
-      if header <> magic then raise (Bad_object_file "bad magic header");
-      let images : image = Marshal.from_channel ic in
-      let count = ref 0 in
-      List.iter
-        (fun img ->
-          Database.remove_pred db img.p_name img.p_arity;
-          let kind = if img.p_dynamic then Pred.Dynamic else Pred.Static in
-          let pred = Database.declare db ~kind img.p_name img.p_arity in
-          Pred.set_tabled pred img.p_tabled;
-          (match img.p_index with
-          | `Fields combos -> Pred.set_index pred (Pred.Fields combos)
-          | `First_string -> Pred.set_index pred Pred.First_string_index
-          | `Disc_tree -> Pred.set_index pred Pred.Disc_tree_index);
-          List.iter
-            (fun canon ->
-              match Term.deref (Canon.to_term canon) with
-              | Term.Struct (":-", [| head; body |]) ->
-                  ignore (Pred.assertz pred ~head ~body);
-                  incr count
-              | _ -> raise (Bad_object_file "corrupt clause"))
-            img.p_clauses)
-        images;
-      !count)
+      let len = in_channel_length ic in
+      if len > max_payload + 1024 then raise (Bad_object_file "implausible file size");
+      let image_bytes =
+        try really_input_string ic len
+        with End_of_file -> raise (Bad_object_file "truncated file")
+      in
+      load_string db image_bytes)

@@ -16,4 +16,11 @@ val save_all : Database.t -> string -> unit
 
 val load : Database.t -> string -> int
 (** Load an object file into the database; returns the clause count.
-    Existing predicates with the same name/arity are replaced. *)
+    Existing predicates with the same name/arity are replaced. Raises
+    {!Bad_object_file} — never [Failure] or [End_of_file] — on
+    truncated or corrupt images: the payload carries its length and
+    digest, both checked before unmarshalling. *)
+
+val load_string : Database.t -> string -> int
+(** {!load} from in-memory image bytes (the server's [CONSULT fmt=obj]
+    path). Same typed-error guarantees. *)

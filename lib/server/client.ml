@@ -1,0 +1,47 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ?(host = "127.0.0.1") port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+type reply_error = { code : Protocol.err_code; message : string }
+
+(* ops with a single-frame reply *)
+let simple t req =
+  Protocol.write_request t.oc req;
+  match Protocol.read_reply t.ic with
+  | Protocol.Ok_ payload -> Ok payload
+  | Protocol.Err (code, message) -> Error { code; message }
+  | Protocol.Answer _ | Protocol.Done _ ->
+      raise (Protocol.Bad_frame "unexpected answer frame outside a query")
+
+let ping t = simple t (Protocol.request Protocol.Ping "")
+let consult ?fmt t text = simple t (Protocol.request ?fmt Protocol.Consult text)
+let assert_ t clause = simple t (Protocol.request Protocol.Assert clause)
+let statistics t = simple t (Protocol.request Protocol.Statistics "")
+let abolish t = simple t (Protocol.request Protocol.Abolish "")
+
+type query_outcome =
+  | Rows of { rows : string list; truncated : bool }
+  | Query_timeout of string list
+  | Query_error of reply_error
+
+let query ?limit ?timeout_ms ?max_steps t goal =
+  Protocol.write_request t.oc (Protocol.request ?limit ?timeout_ms ?max_steps Protocol.Query goal);
+  let rec collect acc =
+    match Protocol.read_reply t.ic with
+    | Protocol.Answer row -> collect (row :: acc)
+    | Protocol.Done { more; _ } -> Rows { rows = List.rev acc; truncated = more }
+    | Protocol.Err (Protocol.Timeout, _) -> Query_timeout (List.rev acc)
+    | Protocol.Err (code, message) -> Query_error { code; message }
+    | Protocol.Ok_ _ -> raise (Protocol.Bad_frame "unexpected OK frame inside a query")
+  in
+  collect []

@@ -1,0 +1,41 @@
+(** A blocking client for the query service — the library behind
+    [bin/xsb_client.ml], the server tests and [bench server]. One
+    {!t} is one TCP connection, i.e. one private server-side session. *)
+
+type t
+
+val connect : ?host:string -> int -> t
+(** [connect ?host port]. Raises [Unix.Unix_error] on refusal. *)
+
+val close : t -> unit
+
+type reply_error = { code : Protocol.err_code; message : string }
+
+val ping : t -> (string, reply_error) result
+(** ["pong"] on success. *)
+
+val consult : ?fmt:Protocol.consult_fmt -> t -> string -> (string, reply_error) result
+(** Load program text (or, with [~fmt], bulk facts / an object-file
+    image) into the connection's session. *)
+
+val assert_ : t -> string -> (string, reply_error) result
+(** Assert one clause, e.g. ["edge(1,2)"] or ["p(X) :- q(X)"]. *)
+
+val statistics : t -> (string, reply_error) result
+(** The engine's [statistics/0] report for this session. *)
+
+val abolish : t -> (string, reply_error) result
+(** Abolish the session's completed tables. *)
+
+type query_outcome =
+  | Rows of { rows : string list; truncated : bool }
+      (** rendered solutions, in answer-arrival order; [truncated] when
+          the row limit stopped the evaluation *)
+  | Query_timeout of string list
+      (** deadline or step budget exceeded; carries the rows streamed
+          before the [TIMEOUT] terminator *)
+  | Query_error of reply_error
+
+val query : ?limit:int -> ?timeout_ms:int -> ?max_steps:int -> t -> string -> query_outcome
+(** Run a goal, e.g. ["path(1,X)"]. Raises {!Protocol.Bad_frame} /
+    [End_of_file] only on a broken connection. *)

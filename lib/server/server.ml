@@ -1,0 +1,616 @@
+(* The concurrent query service. One acceptor thread; one handler
+   thread per connection (frames in, replies out, one request at a time
+   per connection so its private session is never shared); a fixed pool
+   of workers pulling from a bounded queue. See server.mli and
+   DESIGN.md §8 for the architecture. *)
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_capacity : int;
+  default_timeout_ms : int;
+  max_timeout_ms : int;
+  default_max_steps : int;
+  max_steps_cap : int;
+  max_answers : int;
+  preload : string list;
+  scheduling : Xsb.Machine.scheduling option;
+  access_log : out_channel option;
+  profile : bool;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    workers = 4;
+    queue_capacity = 64;
+    default_timeout_ms = 5_000;
+    max_timeout_ms = 0;
+    default_max_steps = 10_000_000;
+    max_steps_cap = 0;
+    max_answers = 0;
+    preload = [];
+    scheduling = None;
+    access_log = None;
+    profile = false;
+  }
+
+(* --- the bounded request queue ---
+
+   Backpressure lives here: [push] refuses instead of growing past
+   [cap], and once [stop]ped refuses everything, so workers can drain
+   to empty and exit knowing no job will ever be added behind them. *)
+module Bqueue = struct
+  type 'a t = {
+    q : 'a Queue.t;
+    cap : int;
+    m : Mutex.t;
+    nonempty : Condition.t;
+    mutable stopping : bool;
+  }
+
+  type push_result = Pushed | Full | Stopping
+
+  let create cap = { q = Queue.create (); cap; m = Mutex.create (); nonempty = Condition.create (); stopping = false }
+
+  let push t x =
+    Mutex.lock t.m;
+    let r =
+      if t.stopping then Stopping
+      else if Queue.length t.q >= t.cap then Full
+      else begin
+        Queue.add x t.q;
+        Condition.signal t.nonempty;
+        Pushed
+      end
+    in
+    Mutex.unlock t.m;
+    r
+
+  (* blocks; [None] once stopped and drained *)
+  let pop t =
+    Mutex.lock t.m;
+    let rec wait () =
+      match Queue.take_opt t.q with
+      | Some x -> Some x
+      | None ->
+          if t.stopping then None
+          else begin
+            Condition.wait t.nonempty t.m;
+            wait ()
+          end
+    in
+    let r = wait () in
+    Mutex.unlock t.m;
+    r
+
+  let stop t =
+    Mutex.lock t.m;
+    t.stopping <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.m
+end
+
+(* --- connections and jobs --- *)
+
+type conn = {
+  c_id : int;
+  c_fd : Unix.file_descr;
+  c_ic : in_channel;
+  c_oc : out_channel;
+  c_session : Xsb.Session.t;
+  (* one-slot completion latch: a connection has at most one request in
+     flight, the handler waits on it before reading the next frame *)
+  c_m : Mutex.t;
+  c_done : Condition.t;
+  mutable c_job_done : bool;
+}
+
+type job = {
+  j_id : int;
+  j_conn : conn;
+  j_req : Protocol.request;
+  j_received : float;
+  j_deadline : float option;  (* absolute, seconds *)
+}
+
+(* per-key (predicate or op) server-side aggregation for --profile *)
+type agg_cell = {
+  mutable g_requests : int;
+  mutable g_answers : int;
+  mutable g_steps : int;
+  mutable g_wall : float;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  stop_rd : Unix.file_descr;  (* self-pipe waking the acceptor's select *)
+  stop_wr : Unix.file_descr;
+  queue : job Bqueue.t;
+  preload_texts : string list;
+  conns : (int, conn * Thread.t) Hashtbl.t;
+  conns_m : Mutex.t;
+  stopped : bool Atomic.t;
+  req_counter : int Atomic.t;
+  conn_counter : int Atomic.t;
+  served : int Atomic.t;
+  log_m : Mutex.t;
+  agg : (string, agg_cell) Hashtbl.t;
+  agg_m : Mutex.t;
+  mutable worker_threads : Thread.t list;
+  mutable acceptor_thread : Thread.t option;
+}
+
+let port t = t.bound_port
+let requests_served t = Atomic.get t.served
+let now () = Unix.gettimeofday ()
+
+(* --- the access log (JSONL through lib/obs's codec) --- *)
+
+let log_request t ~id ~conn_id ~op ~pred ~answers ~steps ~wall ~outcome =
+  Atomic.incr t.served;
+  (match t.cfg.access_log with
+  | None -> ()
+  | Some oc ->
+      let record =
+        Xsb.Json.Obj
+          [
+            (* microseconds since the epoch: the codec renders floats
+               with %.6g, far too coarse for a timestamp *)
+            ("ts_us", Xsb.Json.Int (int_of_float (now () *. 1e6)));
+            ("id", Xsb.Json.Int id);
+            ("conn", Xsb.Json.Int conn_id);
+            ("op", Xsb.Json.String op);
+            ("pred", Xsb.Json.String pred);
+            ("answers", Xsb.Json.Int answers);
+            ("steps", Xsb.Json.Int steps);
+            ("wall_us", Xsb.Json.Int (int_of_float (wall *. 1e6)));
+            ("outcome", Xsb.Json.String outcome);
+          ]
+      in
+      Mutex.lock t.log_m;
+      output_string oc (Xsb.Json.to_string record);
+      output_char oc '\n';
+      flush oc;
+      Mutex.unlock t.log_m);
+  if t.cfg.profile then begin
+    let key = if pred = "" then "op:" ^ op else pred in
+    Mutex.lock t.agg_m;
+    let cell =
+      match Hashtbl.find_opt t.agg key with
+      | Some c -> c
+      | None ->
+          let c = { g_requests = 0; g_answers = 0; g_steps = 0; g_wall = 0.0 } in
+          Hashtbl.add t.agg key c;
+          c
+    in
+    cell.g_requests <- cell.g_requests + 1;
+    cell.g_answers <- cell.g_answers + answers;
+    cell.g_steps <- cell.g_steps + steps;
+    cell.g_wall <- cell.g_wall +. wall;
+    Mutex.unlock t.agg_m
+  end
+
+let agg_rows t =
+  Mutex.lock t.agg_m;
+  let rows = Hashtbl.fold (fun k c acc -> (k, c) :: acc) t.agg [] in
+  Mutex.unlock t.agg_m;
+  List.sort
+    (fun (_, a) (_, b) ->
+      match compare b.g_wall a.g_wall with 0 -> compare b.g_requests a.g_requests | c -> c)
+    rows
+
+let pp_profile ppf t =
+  let rows = agg_rows t in
+  Format.fprintf ppf "%-32s %10s %10s %12s %12s@." "predicate/op" "requests" "answers" "steps"
+    "wall-ms";
+  List.iter
+    (fun (key, c) ->
+      Format.fprintf ppf "%-32s %10d %10d %12d %12.3f@." key c.g_requests c.g_answers c.g_steps
+        (1000.0 *. c.g_wall))
+    rows
+
+let profile_json t =
+  Xsb.Json.List
+    (List.map
+       (fun (key, c) ->
+         Xsb.Json.Obj
+           [
+             ("key", Xsb.Json.String key);
+             ("requests", Xsb.Json.Int c.g_requests);
+             ("answers", Xsb.Json.Int c.g_answers);
+             ("steps", Xsb.Json.Int c.g_steps);
+             ("wall_ms", Xsb.Json.Float (1000.0 *. c.g_wall));
+           ])
+       (agg_rows t))
+
+(* --- request execution (worker side) --- *)
+
+let clamp cap n = if cap > 0 then min cap n else n
+
+let pred_of_goal goal =
+  match Xsb.Term.deref goal with
+  | Xsb.Term.Struct (f, args) -> Printf.sprintf "%s/%d" f (Array.length args)
+  | Xsb.Term.Atom a -> a ^ "/0"
+  | _ -> ""
+
+let engine_steps conn = (Xsb.Session.stats conn.c_session).Xsb.Machine.st_steps
+
+(* write a reply, tolerating a peer that vanished mid-stream: the
+   request still completes (and is logged); the handler sees EOF on its
+   next read and closes the connection *)
+let try_write conn reply =
+  try
+    Protocol.write_reply conn.c_oc reply;
+    true
+  with Sys_error _ | Unix.Unix_error _ -> false
+
+let execute t (job : job) =
+  let conn = job.j_conn in
+  let req = job.j_req in
+  let t0 = now () in
+  let steps0 = engine_steps conn in
+  let eng = Xsb.Session.engine conn.c_session in
+  let parse_goal text = Xsb.Parser.term_of_string ~ops:(Xsb.Database.ops (Xsb.Session.db conn.c_session)) text in
+  (* (outcome, pred, answers) for the access log *)
+  let finishing =
+    match req.Protocol.op with
+    | Protocol.Ping ->
+        ignore (try_write conn (Protocol.Ok_ "pong"));
+        ("ok", "", 0)
+    | Protocol.Statistics ->
+        let text = Fmt.str "%a" Xsb.Machine.pp_stats (Xsb.Engine.stats eng) in
+        ignore (try_write conn (Protocol.Ok_ text));
+        ("ok", "", 0)
+    | Protocol.Abolish ->
+        Xsb.Engine.reset_tables eng;
+        ignore (try_write conn (Protocol.Ok_ "abolished"));
+        ("ok", "", 0)
+    | Protocol.Consult -> (
+        let loaded verb n =
+          ignore (try_write conn (Protocol.Ok_ (Printf.sprintf "%s %d" verb n)));
+          ("ok", "", n)
+        in
+        let parse_failed msg =
+          ignore (try_write conn (Protocol.Err (Protocol.Parse_error, msg)));
+          ("parse_error", "", 0)
+        in
+        try
+          match req.Protocol.fmt with
+          | Protocol.Text ->
+              loaded "consulted" (Xsb.Engine.consult_string_count eng req.Protocol.payload)
+          | Protocol.Fast ->
+              loaded "loaded" (Xsb.Fast_load.string_ (Xsb.Session.db conn.c_session) req.Protocol.payload)
+          | Protocol.Obj ->
+              loaded "loaded" (Xsb.Obj_file.load_string (Xsb.Session.db conn.c_session) req.Protocol.payload)
+        with
+        | Xsb.Parser.Error (msg, pos) -> parse_failed (Printf.sprintf "syntax error at %d: %s" pos msg)
+        | Xsb.Lexer.Error (msg, pos) -> parse_failed (Printf.sprintf "lexical error at %d: %s" pos msg)
+        | Xsb.Loader.Load_error msg -> parse_failed msg
+        | Xsb.Fast_load.Syntax (msg, pos) -> parse_failed (Printf.sprintf "fast-load error at %d: %s" pos msg)
+        | Xsb.Obj_file.Bad_object_file msg -> parse_failed ("bad object file: " ^ msg)
+        | Failure msg -> parse_failed msg)
+    | Protocol.Assert -> (
+        try
+          let clause = parse_goal req.Protocol.payload in
+          ignore (Xsb.Database.add_clause (Xsb.Session.db conn.c_session) clause);
+          ignore (try_write conn (Protocol.Ok_ "asserted"));
+          let head, _ = Xsb.Database.clause_parts clause in
+          ("ok", pred_of_goal head, 0)
+        with
+        | Xsb.Parser.Error (msg, pos) | Xsb.Lexer.Error (msg, pos) ->
+            ignore
+              (try_write conn
+                 (Protocol.Err (Protocol.Parse_error, Printf.sprintf "syntax error at %d: %s" pos msg)));
+            ("parse_error", "", 0)
+        | Failure msg ->
+            ignore (try_write conn (Protocol.Err (Protocol.Parse_error, msg)));
+            ("parse_error", "", 0))
+    | Protocol.Query -> (
+        match parse_goal req.Protocol.payload with
+        | exception (Xsb.Parser.Error (msg, pos) | Xsb.Lexer.Error (msg, pos)) ->
+            ignore
+              (try_write conn
+                 (Protocol.Err (Protocol.Parse_error, Printf.sprintf "syntax error at %d: %s" pos msg)));
+            ("parse_error", "", 0)
+        | goal -> (
+            let pred = pred_of_goal goal in
+            let deadline_passed () =
+              match job.j_deadline with Some d -> now () >= d | None -> false
+            in
+            if deadline_passed () then begin
+              (* spent its whole deadline waiting in the queue *)
+              ignore (try_write conn (Protocol.Err (Protocol.Timeout, "deadline exceeded in queue")));
+              ("timeout", pred, 0)
+            end
+            else begin
+              let budget =
+                match req.Protocol.max_steps with
+                | Some n when n > 0 -> clamp t.cfg.max_steps_cap n
+                | _ -> t.cfg.default_max_steps
+              in
+              let limit =
+                match req.Protocol.limit with
+                | Some n when n > 0 -> clamp t.cfg.max_answers n
+                | _ -> t.cfg.max_answers
+              in
+              let stream_answers solutions =
+                List.fold_left
+                  (fun n s ->
+                    let text = Fmt.str "%a" (Xsb.Session.pp_solution conn.c_session) s in
+                    if try_write conn (Protocol.Answer text) then n + 1 else n)
+                  0 solutions
+              in
+              match
+                Xsb.Engine.run_bounded
+                  ?max_steps:(if budget > 0 then Some budget else None)
+                  ?stop:(if job.j_deadline = None then None else Some deadline_passed)
+                  ?limit:(if limit > 0 then Some limit else None)
+                  eng goal
+              with
+              | `Answers solutions ->
+                  let n = stream_answers solutions in
+                  ignore (try_write conn (Protocol.Done { count = n; more = false }));
+                  ("ok", pred, n)
+              | `Truncated solutions ->
+                  (* the stop poll can overshoot by a few answers; hold
+                     the stream to the requested row count *)
+                  let solutions =
+                    if limit > 0 then List.filteri (fun i _ -> i < limit) solutions else solutions
+                  in
+                  let n = stream_answers solutions in
+                  ignore (try_write conn (Protocol.Done { count = n; more = true }));
+                  ("truncated", pred, n)
+              | `Timeout solutions ->
+                  let n = stream_answers solutions in
+                  let reason = if deadline_passed () then "deadline exceeded" else "step budget exhausted" in
+                  ignore (try_write conn (Protocol.Err (Protocol.Timeout, reason)));
+                  ("timeout", pred, n)
+              | exception Xsb.Machine.Step_limit ->
+                  (* an engine-wide set_max_steps bound, not ours *)
+                  ignore (try_write conn (Protocol.Err (Protocol.Timeout, "engine step limit")));
+                  ("timeout", pred, 0)
+              | exception e ->
+                  ignore (try_write conn (Protocol.Err (Protocol.Exec_error, Printexc.to_string e)));
+                  ("exec_error", pred, 0)
+            end))
+  in
+  let outcome, pred, answers = finishing in
+  log_request t ~id:job.j_id ~conn_id:conn.c_id
+    ~op:(Protocol.op_name req.Protocol.op)
+    ~pred ~answers
+    ~steps:(engine_steps conn - steps0)
+    ~wall:(now () -. t0) ~outcome
+
+(* catch-all so one poisoned request can never kill a worker *)
+let execute_safe t job =
+  (try execute t job
+   with e ->
+     ignore
+       (try_write job.j_conn
+          (Protocol.Err (Protocol.Exec_error, "internal error: " ^ Printexc.to_string e)));
+     log_request t ~id:job.j_id ~conn_id:job.j_conn.c_id
+       ~op:(Protocol.op_name job.j_req.Protocol.op)
+       ~pred:"" ~answers:0 ~steps:0
+       ~wall:(now () -. job.j_received)
+       ~outcome:"exec_error");
+  let conn = job.j_conn in
+  Mutex.lock conn.c_m;
+  conn.c_job_done <- true;
+  Condition.signal conn.c_done;
+  Mutex.unlock conn.c_m
+
+let worker_loop t =
+  let rec loop () =
+    match Bqueue.pop t.queue with
+    | Some job ->
+        execute_safe t job;
+        loop ()
+    | None -> ()
+  in
+  loop ()
+
+(* --- the per-connection handler --- *)
+
+let close_conn t conn =
+  (* the per-connection table space dies with the session; abolish it
+     explicitly so a reused engine can never leak answers across
+     connections *)
+  (try Xsb.Engine.reset_tables (Xsb.Session.engine conn.c_session) with _ -> ());
+  (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.conns_m;
+  Hashtbl.remove t.conns conn.c_id;
+  Mutex.unlock t.conns_m
+
+let refuse t conn req code msg outcome =
+  ignore (try_write conn (Protocol.Err (code, msg)));
+  log_request t
+    ~id:(Atomic.fetch_and_add t.req_counter 1 + 1)
+    ~conn_id:conn.c_id
+    ~op:(Protocol.op_name req.Protocol.op)
+    ~pred:"" ~answers:0 ~steps:0 ~wall:0.0 ~outcome
+
+let handler_loop t conn =
+  let rec loop () =
+    match Protocol.read_request conn.c_ic with
+    | exception End_of_file -> ()
+    | exception Protocol.Bad_frame msg ->
+        (* framing is broken: reply if possible, then drop the link *)
+        ignore (try_write conn (Protocol.Err (Protocol.Bad_request, msg)));
+        log_request t
+          ~id:(Atomic.fetch_and_add t.req_counter 1 + 1)
+          ~conn_id:conn.c_id ~op:"?" ~pred:"" ~answers:0 ~steps:0 ~wall:0.0 ~outcome:"bad_request"
+    | exception (Sys_error _ | Unix.Unix_error _) -> ()
+    | req ->
+        let received = now () in
+        let timeout_ms =
+          match req.Protocol.timeout_ms with
+          | Some n when n > 0 -> clamp t.cfg.max_timeout_ms n
+          | _ -> t.cfg.default_timeout_ms
+        in
+        let deadline =
+          if timeout_ms > 0 then Some (received +. (float_of_int timeout_ms /. 1000.0)) else None
+        in
+        let job =
+          {
+            j_id = Atomic.fetch_and_add t.req_counter 1 + 1;
+            j_conn = conn;
+            j_req = req;
+            j_received = received;
+            j_deadline = deadline;
+          }
+        in
+        conn.c_job_done <- false;
+        (match Bqueue.push t.queue job with
+        | Bqueue.Pushed ->
+            Mutex.lock conn.c_m;
+            while not conn.c_job_done do
+              Condition.wait conn.c_done conn.c_m
+            done;
+            Mutex.unlock conn.c_m
+        | Bqueue.Full -> refuse t conn req Protocol.Overloaded "request queue is full" "overloaded"
+        | Bqueue.Stopping ->
+            refuse t conn req Protocol.Shutting_down "server is draining" "shutting_down");
+        loop ()
+  in
+  loop ();
+  close_conn t conn
+
+(* --- accepting --- *)
+
+let make_conn t fd =
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let session = Xsb.Session.create ?scheduling:t.cfg.scheduling () in
+  List.iter (fun text -> Xsb.Session.consult session text) t.preload_texts;
+  {
+    c_id = Atomic.fetch_and_add t.conn_counter 1 + 1;
+    c_fd = fd;
+    c_ic = Unix.in_channel_of_descr fd;
+    c_oc = Unix.out_channel_of_descr fd;
+    c_session = session;
+    c_m = Mutex.create ();
+    c_done = Condition.create ();
+    c_job_done = true;
+  }
+
+let acceptor_loop t =
+  let rec loop () =
+    if Atomic.get t.stopped then ()
+    else
+      match Unix.select [ t.listen_fd; t.stop_rd ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | ready, _, _ ->
+          if List.mem t.stop_rd ready || Atomic.get t.stopped then ()
+          else if List.mem t.listen_fd ready then begin
+            (match Unix.accept ~cloexec:true t.listen_fd with
+            | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EAGAIN | Unix.EINTR), _, _) ->
+                ()
+            | fd, _ -> (
+                match make_conn t fd with
+                | exception _ -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+                | conn ->
+                    (* register before spawning: [stop] joins the
+                       acceptor first, so the registry is complete when
+                       it snapshots the handlers to drain *)
+                    Mutex.lock t.conns_m;
+                    let th = Thread.create (fun () -> handler_loop t conn) () in
+                    Hashtbl.replace t.conns conn.c_id (conn, th);
+                    Mutex.unlock t.conns_m));
+            loop ()
+          end
+          else loop ()
+  in
+  loop ()
+
+(* --- lifecycle --- *)
+
+let read_preloads paths =
+  List.map
+    (fun path ->
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic)))
+    paths
+
+let start cfg =
+  if cfg.workers < 1 then invalid_arg "Server.start: workers < 1";
+  if cfg.queue_capacity < 1 then invalid_arg "Server.start: queue_capacity < 1";
+  (* a peer that disappears mid-write must surface as EPIPE, not kill
+     the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let preload_texts = read_preloads cfg.preload in
+  (* parse errors in preloads should fail [start], not every connection *)
+  List.iter
+    (fun text ->
+      let probe = Xsb.Session.create ?scheduling:cfg.scheduling () in
+      Xsb.Session.consult probe text)
+    preload_texts;
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  (try Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port))
+   with e ->
+     Unix.close listen_fd;
+     raise e);
+  Unix.listen listen_fd 64;
+  let bound_port =
+    match Unix.getsockname listen_fd with Unix.ADDR_INET (_, p) -> p | _ -> cfg.port
+  in
+  let stop_rd, stop_wr = Unix.pipe ~cloexec:true () in
+  let t =
+    {
+      cfg;
+      listen_fd;
+      bound_port;
+      stop_rd;
+      stop_wr;
+      queue = Bqueue.create cfg.queue_capacity;
+      preload_texts;
+      conns = Hashtbl.create 16;
+      conns_m = Mutex.create ();
+      stopped = Atomic.make false;
+      req_counter = Atomic.make 0;
+      conn_counter = Atomic.make 0;
+      served = Atomic.make 0;
+      log_m = Mutex.create ();
+      agg = Hashtbl.create 16;
+      agg_m = Mutex.create ();
+      worker_threads = [];
+      acceptor_thread = None;
+    }
+  in
+  t.worker_threads <- List.init cfg.workers (fun _ -> Thread.create (fun () -> worker_loop t) ());
+  t.acceptor_thread <- Some (Thread.create (fun () -> acceptor_loop t) ());
+  t
+
+let stop t =
+  if not (Atomic.exchange t.stopped true) then begin
+    (* 1. no new submissions: handlers now answer SHUTTING_DOWN *)
+    Bqueue.stop t.queue;
+    (* 2. no new connections *)
+    (try ignore (Unix.write t.stop_wr (Bytes.of_string "x") 0 1) with Unix.Unix_error _ -> ());
+    (match t.acceptor_thread with Some th -> Thread.join th | None -> ());
+    (* 3. drain: workers exit only once the queue is empty, so every
+       request accepted before (1) completes — zero dropped in flight *)
+    List.iter Thread.join t.worker_threads;
+    (* 4. wake handlers blocked reading the next frame, and join them *)
+    let handlers =
+      Mutex.lock t.conns_m;
+      let hs = Hashtbl.fold (fun _ (conn, th) acc -> (conn, th) :: acc) t.conns [] in
+      Mutex.unlock t.conns_m;
+      hs
+    in
+    List.iter
+      (fun (conn, _) ->
+        try Unix.shutdown conn.c_fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      handlers;
+    List.iter (fun (_, th) -> Thread.join th) handlers;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.close t.stop_rd with Unix.Unix_error _ -> ());
+    (try Unix.close t.stop_wr with Unix.Unix_error _ -> ());
+    match t.cfg.access_log with Some oc -> ( try flush oc with Sys_error _ -> ()) | None -> ()
+  end

@@ -1,0 +1,62 @@
+(** The concurrent query service: a TCP server speaking {!Protocol}
+    with a fixed worker pool, a bounded request queue (backpressure),
+    per-request deadlines, per-connection {!Xsb.Session} isolation, and
+    a JSONL access log.
+
+    Architecture (DESIGN.md §8): one acceptor thread; one handler
+    thread per connection that reads frames and waits for each
+    submitted request to finish (so a connection's requests execute in
+    order against its private session); [workers] worker threads
+    pulling requests from a queue of at most [queue_capacity] entries —
+    a submit against a full queue is answered [OVERLOADED] immediately,
+    never buffered without bound. Deadlines are enforced twice: a
+    wall-clock check polled inside the engine and a resolution-step
+    budget ({!Xsb.Engine.run_bounded}), so a runaway derivation returns
+    [TIMEOUT] instead of wedging its worker. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  workers : int;
+  queue_capacity : int;  (** queued (not yet executing) request cap *)
+  default_timeout_ms : int;  (** per-request wall deadline; 0 = none *)
+  max_timeout_ms : int;  (** clamp on client-supplied deadlines; 0 = no clamp *)
+  default_max_steps : int;  (** per-request step budget; 0 = none *)
+  max_steps_cap : int;  (** clamp on client-supplied budgets; 0 = no clamp *)
+  max_answers : int;  (** hard per-query row cap; 0 = none *)
+  preload : string list;  (** program files consulted into every fresh session *)
+  scheduling : Xsb.Machine.scheduling option;
+  access_log : out_channel option;
+      (** one JSON object per request: ts, id, conn, op, pred, answers,
+          steps, wall_us, outcome *)
+  profile : bool;  (** aggregate per-predicate server-side (see {!pp_profile}) *)
+}
+
+val default_config : config
+(** Loopback, port 0, 4 workers, queue 64, 5 s / 10 M step budgets,
+    no preload, no log, no profile. *)
+
+type t
+
+val start : config -> t
+(** Bind, listen and spawn the pool. Raises [Unix.Unix_error] if the
+    address is unavailable, [Sys_error]/[Xsb.Loader.Load_error] if a
+    preload file is unreadable or malformed. *)
+
+val port : t -> int
+(** The bound port (useful with [config.port = 0]). *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, refuse new submissions with
+    [SHUTTING_DOWN], drain every queued and executing request, then
+    close every connection and join every thread. Idempotent; blocks
+    until the drain completes. *)
+
+val requests_served : t -> int
+(** Total requests executed or refused so far. *)
+
+val pp_profile : Format.formatter -> t -> unit
+(** The [--profile] aggregate: per predicate (queries) and per op,
+    request count, answers, steps and wall time, hottest first. *)
+
+val profile_json : t -> Xsb.Json.t

@@ -18,9 +18,17 @@ type solution = {
 let var_name fallback v =
   match v.Term.vname with Some n -> n | None -> Printf.sprintf "_%s%d" fallback v.Term.vid
 
-(* Run [goal] to completion (or first answer) against a fresh, private
-   query table, then read the answers back out of table space. *)
-let run_query ?(first = false) t goal =
+(* Run [goal] to completion (or first answer / answer limit / external
+   stop / step budget) against a fresh, private query table, then read
+   the answers back out of table space.
+
+   Returns the solutions found together with how the evaluation ended:
+   [`Complete] (fixpoint reached), [`Limit] (the answer limit was hit),
+   or [`Interrupted] (the [stop] callback fired, or the step budget ran
+   out mid-derivation). In every case the private query table is
+   dropped and the trail restored, so table space stays consistent for
+   the next query on the same engine. *)
+let run_query_bounded ?limit ?stop ?max_steps t goal =
   let goal = Database.encode t.database goal in
   let vars = Term.vars goal in
   let names = List.map (var_name "G") vars in
@@ -38,21 +46,41 @@ let run_query ?(first = false) t goal =
          r_skip_first = false;
          r_extra_delay = None;
        });
-  let stop = if first then Some (fun () -> Machine.has_any_answer qsub) else None in
+  let limit_hit () = match limit with Some n -> Machine.answer_count qsub >= n | None -> false in
+  let stop_hit () = match stop with Some f -> f () | None -> false in
+  let stop_fn =
+    match (limit, stop) with
+    | None, None -> None
+    | _ -> Some (fun () -> limit_hit () || stop_hit ())
+  in
+  (* a per-query step budget, relative to the engine's running step
+     counter; an engine-wide [set_max_steps] bound still applies *)
+  let saved_max = t.env.Machine.max_steps in
+  (match max_steps with
+  | Some budget when budget > 0 ->
+      let absolute = t.env.Machine.stats.Machine.st_steps + budget in
+      t.env.Machine.max_steps <-
+        (if saved_max > 0 then min saved_max absolute else absolute)
+  | _ -> ());
   let trail_mark = Xsb_term.Trail.mark t.env.Machine.trail in
   let finish () =
     (* never leave in-progress tables behind: they would block later
        queries; the private query table is always dropped. A stopped
        evaluation may have been interrupted mid-derivation, so restore
        the trail too. *)
+    t.env.Machine.max_steps <- saved_max;
     Xsb_term.Trail.undo_to t.env.Machine.trail trail_mark;
     Machine.abandon_eval ev;
     Machine.delete_table t.env qsub
   in
-  (try Machine.run_eval ?stop ev
-   with e ->
-     finish ();
-     raise e);
+  let ending =
+    match Machine.run_eval ?stop:stop_fn ev with
+    | () -> if limit_hit () then `Limit else if stop_hit () then `Interrupted else `Complete
+    | exception Machine.Step_limit when max_steps <> None -> `Interrupted
+    | exception e ->
+        finish ();
+        raise e
+  in
   let solutions =
     Machine.fold_answers
       (fun acc (a : Machine.answer) ->
@@ -72,13 +100,29 @@ let run_query ?(first = false) t goal =
     |> List.rev
   in
   finish ();
-  solutions
+  (solutions, ending)
+
+let run_query ?(first = false) t goal =
+  fst (run_query_bounded ?limit:(if first then Some 1 else None) t goal)
 
 let query t goal = run_query t goal
 
 let query_first t goal = match run_query ~first:true t goal with s :: _ -> Some s | [] -> None
 
+type bounded =
+  [ `Answers of solution list | `Truncated of solution list | `Timeout of solution list ]
+
+let run_bounded ?max_steps ?stop ?limit t goal : bounded =
+  let solutions, ending = run_query_bounded ?limit ?stop ?max_steps t goal in
+  match ending with
+  | `Complete -> `Answers solutions
+  | `Limit -> `Truncated solutions
+  | `Interrupted -> `Timeout solutions
+
 let parse t text = Xsb_parse.Parser.term_of_string ~ops:(Database.ops t.database) text
+
+let run_bounded_string ?max_steps ?stop ?limit t text =
+  run_bounded ?max_steps ?stop ?limit t (parse t text)
 
 let query_string t text = query t (parse t text)
 let query_first_string t text = query_first t (parse t text)
@@ -87,9 +131,12 @@ let count_solutions t text = List.length (query_string t text)
 
 let run_deferred t goals = List.iter (fun g -> ignore (query t g)) goals
 
-let consult_string t source =
+let consult_string_count t source =
   let result = Loader.consult_string t.database source in
-  run_deferred t result.Loader.deferred_goals
+  run_deferred t result.Loader.deferred_goals;
+  result.Loader.clauses_loaded
+
+let consult_string t source = ignore (consult_string_count t source)
 
 let consult_file t path =
   let result = Loader.consult_file t.database path in

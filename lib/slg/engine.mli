@@ -20,6 +20,9 @@ val consult_string : t -> string -> unit
 (** Load a program text (clauses and directives); deferred [:- Goal]
     directives are executed. *)
 
+val consult_string_count : t -> string -> int
+(** Like {!consult_string}, returning the number of clauses loaded. *)
+
 val consult_file : t -> string -> unit
 
 (** {1 Queries} *)
@@ -41,6 +44,35 @@ val query_first : t -> Term.t -> solution option
 (** Stop the evaluation at the first answer (existential query). *)
 
 val query_first_string : t -> string -> solution option
+
+(** {1 Bounded queries}
+
+    One code path, shared by the CLI's [--timeout]/[--max-steps] flags
+    and the query server's per-request deadlines, that turns
+    interruption into a typed result instead of an escaping
+    {!Machine.Step_limit}. *)
+
+type bounded =
+  [ `Answers of solution list  (** evaluation reached its fixpoint *)
+  | `Truncated of solution list  (** stopped at the [limit]-th answer *)
+  | `Timeout of solution list
+    (** the [stop] callback fired, or the per-query [max_steps] budget
+        ran out; carries the answers derived before interruption *) ]
+
+val run_bounded :
+  ?max_steps:int -> ?stop:(unit -> bool) -> ?limit:int -> t -> Term.t -> bounded
+(** [run_bounded ?max_steps ?stop ?limit t goal] runs [goal] like
+    {!query} but bounded: [max_steps] is a step budget for this query
+    alone (relative to the engine's running counter; an engine-wide
+    {!set_max_steps} bound still applies and still raises), [stop] is
+    polled during evaluation (wall-clock deadlines, cancellation), and
+    [limit] stops the evaluation once that many answers exist (row
+    limits). Whatever the ending, the private query table is dropped
+    and the trail restored, so table space stays consistent for the
+    next query on the same engine. *)
+
+val run_bounded_string :
+  ?max_steps:int -> ?stop:(unit -> bool) -> ?limit:int -> t -> string -> bounded
 
 val succeeds : t -> string -> bool
 val count_solutions : t -> string -> int

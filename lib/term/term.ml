@@ -7,11 +7,11 @@ type t =
 
 and var = { vid : int; mutable binding : t option; vname : string option }
 
-let counter = ref 0
+(* atomic: the only process-global mutable state in the engine, and the
+   query server allocates variables from concurrent worker threads *)
+let counter = Atomic.make 0
 
-let var ?name () =
-  incr counter;
-  { vid = !counter; binding = None; vname = name }
+let var ?name () = { vid = Atomic.fetch_and_add counter 1 + 1; binding = None; vname = name }
 
 let fresh_var ?name () = Var (var ?name ())
 let atom name = Atom name

@@ -1,0 +1,496 @@
+(* The query service (ISSUE PR 4): wire protocol round-trips, the
+   in-process server end to end — concurrency with per-session
+   isolation, deadlines, backpressure, graceful shutdown — and the
+   bounded-query engine API the server is built on. *)
+
+open Xsb_server
+
+let t = Alcotest.test_case
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let tc_program =
+  ":- table path/2.\n\
+   path(X,Y) :- edge(X,Y).\n\
+   path(X,Y) :- path(X,Z), edge(Z,Y).\n\
+   edge(1,2). edge(2,3). edge(3,4). edge(4,5). edge(5,1).\n"
+
+(* an SLD loop: never terminates, never answers — the canonical
+   runaway derivation for deadline tests *)
+let loop_program = "loop(X) :- loop(X).\n"
+
+(* --- protocol framing --- *)
+
+let roundtrip_request req =
+  let path = Filename.temp_file "proto" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc -> Protocol.write_request oc req);
+      In_channel.with_open_bin path Protocol.read_request)
+
+let roundtrip_reply reply =
+  let path = Filename.temp_file "proto" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc -> Protocol.write_reply oc reply);
+      In_channel.with_open_bin path Protocol.read_reply)
+
+let read_request_of_string s =
+  let path = Filename.temp_file "proto" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc -> output_string oc s);
+      In_channel.with_open_bin path Protocol.read_request)
+
+let protocol_cases =
+  [
+    t "request round-trip with every field" `Quick (fun () ->
+        let req =
+          Protocol.request ~fmt:Protocol.Fast ~limit:7 ~timeout_ms:250 ~max_steps:9000
+            Protocol.Consult "p(1).\np(2).\n"
+        in
+        let got = roundtrip_request req in
+        check_bool "op" true (got.Protocol.op = Protocol.Consult);
+        check_bool "fmt" true (got.Protocol.fmt = Protocol.Fast);
+        check_string "payload" req.Protocol.payload got.Protocol.payload;
+        check_bool "limit" true (got.Protocol.limit = Some 7);
+        check_bool "timeout" true (got.Protocol.timeout_ms = Some 250);
+        check_bool "steps" true (got.Protocol.max_steps = Some 9000));
+    t "payload bytes are opaque (binary-safe framing)" `Quick (fun () ->
+        let payload = "\x00\x01\xff\nANSWER 3\nnot a frame\r\n" in
+        let got = roundtrip_request (Protocol.request Protocol.Query payload) in
+        check_string "binary payload" payload got.Protocol.payload);
+    t "reply round-trips" `Quick (fun () ->
+        (match roundtrip_reply (Protocol.Ok_ "pong") with
+        | Protocol.Ok_ s -> check_string "ok" "pong" s
+        | _ -> Alcotest.fail "expected OK");
+        (match roundtrip_reply (Protocol.Done { count = 3; more = true }) with
+        | Protocol.Done { count; more } ->
+            check_int "count" 3 count;
+            check_bool "more" true more
+        | _ -> Alcotest.fail "expected DONE");
+        match roundtrip_reply (Protocol.Err (Protocol.Overloaded, "queue full")) with
+        | Protocol.Err (Protocol.Overloaded, msg) -> check_string "msg" "queue full" msg
+        | _ -> Alcotest.fail "expected ERR OVERLOADED");
+    t "malformed frames raise Bad_frame, not Failure" `Quick (fun () ->
+        let bad s =
+          match read_request_of_string s with
+          | exception Protocol.Bad_frame _ -> ()
+          | exception End_of_file -> ()
+          | _ -> Alcotest.failf "accepted malformed frame %S" s
+        in
+        bad "HTTP/1.1 GET /\n";
+        bad "XSB1 QUERY notalen\n";
+        bad "XSB1 QUERY -3\n";
+        bad "XSB1 FROBNICATE 0\n";
+        bad "XSB1 QUERY 0 limit=x\n";
+        bad "XSB1 QUERY 999999999999\n";
+        bad "XSB1 QUERY 10\nshort";
+        (* truncated payload *)
+        bad (String.make 8192 'A'));
+    (* unbounded header *)
+  ]
+
+(* --- the bounded-query engine API (satellite: typed interruption) --- *)
+
+let bounded_cases =
+  [
+    t "run_bounded: step budget returns `Timeout, not an exception" `Quick (fun () ->
+        let s = Xsb.Session.create () in
+        Xsb.Session.consult s loop_program;
+        match Xsb.Engine.run_bounded_string ~max_steps:5_000 (Xsb.Session.engine s) "loop(1)" with
+        | `Timeout [] -> ()
+        | `Timeout _ -> Alcotest.fail "loop/1 cannot have answers"
+        | `Answers _ | `Truncated _ -> Alcotest.fail "expected `Timeout");
+    t "run_bounded: wall-clock stop returns `Timeout" `Quick (fun () ->
+        let s = Xsb.Session.create () in
+        Xsb.Session.consult s loop_program;
+        let deadline = Unix.gettimeofday () +. 0.1 in
+        let stop () = Unix.gettimeofday () >= deadline in
+        match Xsb.Engine.run_bounded_string ~stop (Xsb.Session.engine s) "loop(1)" with
+        | `Timeout _ -> ()
+        | `Answers _ | `Truncated _ -> Alcotest.fail "expected `Timeout");
+    t "run_bounded: limit returns `Truncated with partial rows" `Quick (fun () ->
+        let s = Xsb.Session.create () in
+        Xsb.Session.consult s tc_program;
+        match Xsb.Engine.run_bounded_string ~limit:2 (Xsb.Session.engine s) "path(1,X)" with
+        | `Truncated rows -> check_bool "at least 2" true (List.length rows >= 2)
+        | `Answers rows ->
+            (* scheduling may have completed the table before the poll *)
+            check_int "all answers" 5 (List.length rows)
+        | `Timeout _ -> Alcotest.fail "expected `Truncated");
+    t "regression: Step_limit mid-derivation leaves table space consistent" `Quick (fun () ->
+        (* a 60-edge chain: the transitive closure needs far more than
+           the budget below, so the interrupt lands mid-derivation *)
+        let n = 60 in
+        let chain = Buffer.create 1024 in
+        Buffer.add_string chain ":- table path/2.\n";
+        Buffer.add_string chain "path(X,Y) :- edge(X,Y).\n";
+        Buffer.add_string chain "path(X,Y) :- path(X,Z), edge(Z,Y).\n";
+        for i = 1 to n do
+          Buffer.add_string chain (Printf.sprintf "edge(%d,%d).\n" i (i + 1))
+        done;
+        let s = Xsb.Session.create () in
+        Xsb.Session.consult s (Buffer.contents chain);
+        let engine = Xsb.Session.engine s in
+        (* interrupt a tabled evaluation mid-flight... *)
+        (match Xsb.Engine.run_bounded_string ~max_steps:50 engine "path(1,X)" with
+        | `Timeout _ -> ()
+        | `Answers _ | `Truncated _ -> Alcotest.fail "budget of 50 should interrupt");
+        (* ...the next queries on the same session still work, with
+           complete answer sets *)
+        check_int "tc after interrupt" n (Xsb.Session.count s "path(1,X)");
+        check_int "again (completed table)" n (Xsb.Session.count s "path(1,X)");
+        (* and an engine-wide Step_limit (the pre-existing escaping
+           exception) also leaves a usable engine behind *)
+        Xsb.Engine.reset_tables engine;
+        Xsb.Engine.set_max_steps engine ((Xsb.Session.stats s).Xsb.Machine.st_steps + 50);
+        (match Xsb.Session.count s "path(1,X)" with
+        | exception Xsb.Machine.Step_limit -> ()
+        | _ -> Alcotest.fail "expected Step_limit with a 50-step engine-wide bound");
+        Xsb.Engine.set_max_steps engine 0;
+        check_int "recovers" n (Xsb.Session.count s "path(1,X)"));
+  ]
+
+(* --- negative inputs on the CONSULT load paths (satellite) --- *)
+
+let save_tc_image () =
+  let db = Xsb.Database.create () in
+  ignore (Xsb.Loader.consult_string db "edge(1,2). edge(2,3). p(f(g(1)),[a,b]).");
+  let path = Filename.temp_file "objfile" ".xwam" in
+  Xsb.Obj_file.save_all db path;
+  let bytes = In_channel.with_open_bin path In_channel.input_all in
+  Sys.remove path;
+  bytes
+
+let expect_bad_object what bytes =
+  let db = Xsb.Database.create () in
+  match Xsb.Obj_file.load_string db bytes with
+  | exception Xsb.Obj_file.Bad_object_file _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: expected Bad_object_file, got %s" what (Printexc.to_string e)
+  | _ -> Alcotest.failf "%s: corrupt image loaded" what
+
+let negative_cases =
+  [
+    t "object files round-trip through load_string" `Quick (fun () ->
+        let bytes = save_tc_image () in
+        let db = Xsb.Database.create () in
+        check_int "clauses" 3 (Xsb.Obj_file.load_string db bytes);
+        check_bool "edge present" true (Xsb.Database.find db "edge" 2 <> None));
+    t "truncated object images raise Bad_object_file" `Quick (fun () ->
+        let bytes = save_tc_image () in
+        List.iter
+          (fun keep ->
+            if keep < String.length bytes then
+              expect_bad_object
+                (Printf.sprintf "truncated to %d bytes" keep)
+                (String.sub bytes 0 keep))
+          [ 0; 4; 8; 11; 20; String.length bytes / 2; String.length bytes - 1 ]);
+    t "bit-flipped object images raise Bad_object_file" `Quick (fun () ->
+        let bytes = save_tc_image () in
+        List.iter
+          (fun pos ->
+            let b = Bytes.of_string bytes in
+            Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x41));
+            expect_bad_object (Printf.sprintf "flip at %d" pos) (Bytes.to_string b))
+          [ 0; 9; 30; String.length bytes - 1 ];
+        expect_bad_object "pure garbage" (String.make 200 'Z'));
+    t "obj_file.load on a truncated file raises Bad_object_file" `Quick (fun () ->
+        let bytes = save_tc_image () in
+        let path = Filename.temp_file "objfile" ".xwam" in
+        Out_channel.with_open_bin path (fun oc ->
+            output_string oc (String.sub bytes 0 (String.length bytes - 6)));
+        let db = Xsb.Database.create () in
+        (match Xsb.Obj_file.load db path with
+        | exception Xsb.Obj_file.Bad_object_file _ -> ()
+        | exception e -> Alcotest.failf "expected Bad_object_file, got %s" (Printexc.to_string e)
+        | _ -> Alcotest.fail "truncated file loaded");
+        Sys.remove path);
+    t "malformed fast-load rows raise Syntax, never Failure" `Quick (fun () ->
+        let bad text =
+          let db = Xsb.Database.create () in
+          match Xsb.Fast_load.string_ db text with
+          | exception Xsb.Fast_load.Syntax _ -> ()
+          | exception e ->
+              Alcotest.failf "%S: expected Syntax, got %s" text (Printexc.to_string e)
+          | _ -> Alcotest.failf "%S: loaded" text
+        in
+        bad "p(1";
+        bad "p(1) q(2).";
+        bad "p(1).\nq(";
+        bad "'unterminated";
+        bad "p([1,2).";
+        bad "42.";
+        (* ill-formed head: a number *)
+        bad "[a,b].";
+        (* ill-formed head: a list *)
+        bad "p(1,).");
+  ]
+
+(* --- the server end to end --- *)
+
+let with_server ?(cfg = Server.default_config) f =
+  let server = Server.start { cfg with port = 0 } in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
+
+let ok = function
+  | Ok payload -> payload
+  | Error { Client.code; message } ->
+      Alcotest.failf "unexpected error %s: %s" (Protocol.err_code_name code) message
+
+let with_client server f =
+  let c = Client.connect (Server.port server) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let rows_of = function
+  | Client.Rows { rows; _ } -> rows
+  | Client.Query_timeout _ -> Alcotest.fail "unexpected timeout"
+  | Client.Query_error { code; message } ->
+      Alcotest.failf "unexpected query error %s: %s" (Protocol.err_code_name code) message
+
+let server_cases =
+  [
+    t "ping, consult, query, statistics, abolish" `Quick (fun () ->
+        with_server (fun server ->
+            with_client server (fun c ->
+                check_string "pong" "pong" (ok (Client.ping c));
+                ignore (ok (Client.consult c tc_program));
+                let rows = rows_of (Client.query c "path(1,X)") in
+                check_int "answers" 5 (List.length rows);
+                check_bool "first row" true (List.mem "X = 2" rows);
+                let stats = ok (Client.statistics c) in
+                check_bool "stats mention subgoals" true
+                  (String.length stats > 0
+                  && String.sub stats 0 (min 9 (String.length stats)) = "subgoals:");
+                ignore (ok (Client.abolish c));
+                check_int "after abolish" 5 (List.length (rows_of (Client.query c "path(1,X)"))))));
+    t "row limit truncates the stream" `Quick (fun () ->
+        with_server (fun server ->
+            with_client server (fun c ->
+                ignore (ok (Client.consult c tc_program));
+                match Client.query ~limit:2 c "path(1,X)" with
+                | Client.Rows { rows; truncated } ->
+                    check_int "rows" 2 (List.length rows);
+                    check_bool "truncated" true truncated
+                | _ -> Alcotest.fail "expected truncated rows")));
+    t "parse errors are typed, connection survives" `Quick (fun () ->
+        with_server (fun server ->
+            with_client server (fun c ->
+                (match Client.query c "path(1," with
+                | Client.Query_error { code = Protocol.Parse_error; _ } -> ()
+                | _ -> Alcotest.fail "expected PARSE");
+                (match Client.consult c "p(1" with
+                | Error { code = Protocol.Parse_error; _ } -> ()
+                | _ -> Alcotest.fail "expected PARSE on consult");
+                check_string "still alive" "pong" (ok (Client.ping c)))));
+    t "corrupt CONSULT payloads (fast/obj) are typed errors" `Quick (fun () ->
+        with_server (fun server ->
+            with_client server (fun c ->
+                (match Client.consult ~fmt:Protocol.Fast c "edge(1,2). 42." with
+                | Error { code = Protocol.Parse_error; _ } -> ()
+                | _ -> Alcotest.fail "expected PARSE on bad fast rows");
+                let image = save_tc_image () in
+                let corrupt = String.sub image 0 (String.length image - 3) in
+                (match Client.consult ~fmt:Protocol.Obj c corrupt with
+                | Error { code = Protocol.Parse_error; _ } -> ()
+                | _ -> Alcotest.fail "expected PARSE on truncated image");
+                (* the valid image still loads on the same connection *)
+                (match Client.consult ~fmt:Protocol.Obj c image with
+                | Ok _ -> ()
+                | Error _ -> Alcotest.fail "valid image refused");
+                check_int "edge facts served" 2
+                  (List.length (rows_of (Client.query c "edge(X,Y)"))))));
+    t "a runaway derivation returns TIMEOUT (step budget)" `Quick (fun () ->
+        with_server (fun server ->
+            with_client server (fun c ->
+                ignore (ok (Client.consult c loop_program));
+                match Client.query ~max_steps:20_000 ~timeout_ms:60_000 c "loop(1)" with
+                | Client.Query_timeout [] -> ()
+                | Client.Query_timeout _ -> Alcotest.fail "loop/1 cannot answer"
+                | _ -> Alcotest.fail "expected TIMEOUT")));
+    t "a runaway derivation returns TIMEOUT (wall deadline)" `Quick (fun () ->
+        let cfg = { Server.default_config with default_max_steps = 0 } in
+        with_server ~cfg (fun server ->
+            with_client server (fun c ->
+                ignore (ok (Client.consult c loop_program));
+                let t0 = Unix.gettimeofday () in
+                (match Client.query ~timeout_ms:200 c "loop(1)" with
+                | Client.Query_timeout _ -> ()
+                | _ -> Alcotest.fail "expected TIMEOUT");
+                let elapsed = Unix.gettimeofday () -. t0 in
+                check_bool "returned promptly" true (elapsed < 5.0);
+                (* the worker is free again: the same connection answers *)
+                check_string "alive" "pong" (ok (Client.ping c)))));
+  ]
+
+(* 8 concurrent clients with interleaved ASSERT / QUERY / ABOLISH; each
+   session must behave exactly like a single-client run *)
+let isolation_case =
+  t "concurrency: 8 clients, per-session isolation" `Slow (fun () ->
+      (* single-client expected answers for client [i] *)
+      let expected i =
+        let s = Xsb.Session.create () in
+        Xsb.Session.consult s tc_program;
+        Xsb.Session.consult s (Printf.sprintf "edge(5,%d).\n" (100 + i));
+        List.length (Xsb.Session.query s "path(1,X)")
+      in
+      let cfg = { Server.default_config with workers = 4; queue_capacity = 64 } in
+      with_server ~cfg (fun server ->
+          let n = 8 in
+          let failures = Array.make n "" in
+          let run i () =
+            try
+              with_client server (fun c ->
+                  ignore (ok (Client.consult c tc_program));
+                  (* private fact: only this session may ever see it *)
+                  ignore (ok (Client.assert_ c (Printf.sprintf "edge(5,%d)" (100 + i))));
+                  for _round = 1 to 3 do
+                    let rows = rows_of (Client.query c "path(1,X)") in
+                    let want = expected i in
+                    if List.length rows <> want then
+                      failwith
+                        (Printf.sprintf "round answers: got %d, want %d" (List.length rows) want);
+                    (* the private node is visible, other clients' are not *)
+                    if not (List.mem (Printf.sprintf "X = %d" (100 + i)) rows) then
+                      failwith "own fact missing";
+                    List.iter
+                      (fun j ->
+                        if j <> i && List.mem (Printf.sprintf "X = %d" (100 + j)) rows then
+                          failwith (Printf.sprintf "saw client %d's fact" j))
+                      (List.init n Fun.id);
+                    ignore (ok (Client.abolish c))
+                  done)
+            with e -> failures.(i) <- Printexc.to_string e
+          in
+          let threads = List.init n (fun i -> Thread.create (run i) ()) in
+          List.iter Thread.join threads;
+          Array.iteri
+            (fun i msg -> if msg <> "" then Alcotest.failf "client %d: %s" i msg)
+            failures))
+
+let backpressure_case =
+  t "backpressure: full queue answers OVERLOADED" `Slow (fun () ->
+      let cfg =
+        {
+          Server.default_config with
+          workers = 1;
+          queue_capacity = 1;
+          default_max_steps = 0 (* wall deadlines only, for controlled durations *);
+        }
+      in
+      with_server ~cfg (fun server ->
+          let slow_query timeout_ms () =
+            with_client server (fun c ->
+                ignore (ok (Client.consult c loop_program));
+                ignore (Client.query ~timeout_ms c "loop(1)"))
+          in
+          with_client server (fun c ->
+              (* consult while the server is idle: once the worker and the
+                 queue slot are both held, every submission is refused *)
+              ignore (ok (Client.consult c "p(1).\n"));
+              (* occupy the single worker... *)
+              let t1 = Thread.create (slow_query 1_000) () in
+              Thread.delay 0.25;
+              (* ...fill the one queue slot... *)
+              let t2 = Thread.create (slow_query 300) () in
+              Thread.delay 0.25;
+              (* ...and the next submission must be refused immediately *)
+              let t0 = Unix.gettimeofday () in
+              (match Client.query c "p(X)" with
+              | Client.Query_error { code = Protocol.Overloaded; _ } ->
+                  check_bool "refused promptly" true (Unix.gettimeofday () -. t0 < 0.5)
+              | Client.Rows _ -> Alcotest.fail "expected OVERLOADED, got rows"
+              | Client.Query_timeout _ -> Alcotest.fail "expected OVERLOADED, got timeout"
+              | Client.Query_error { code; _ } ->
+                  Alcotest.failf "expected OVERLOADED, got %s" (Protocol.err_code_name code));
+              Thread.join t1;
+              Thread.join t2)))
+
+let shutdown_case =
+  t "graceful shutdown drains in-flight requests" `Slow (fun () ->
+      let log_path = Filename.temp_file "access" ".jsonl" in
+      let log_oc = open_out log_path in
+      let cfg =
+        {
+          Server.default_config with
+          workers = 2;
+          queue_capacity = 16;
+          default_max_steps = 0;
+          access_log = Some log_oc;
+        }
+      in
+      let server = Server.start { cfg with port = 0 } in
+      let n = 4 in
+      let outcomes = Array.make n `Pending in
+      let run i () =
+        try
+          with_client server (fun c ->
+              ignore (ok (Client.consult c loop_program));
+              match Client.query ~timeout_ms:400 c "loop(1)" with
+              | Client.Query_timeout _ -> outcomes.(i) <- `Timeout
+              | Client.Rows _ -> outcomes.(i) <- `Rows
+              | Client.Query_error { code; _ } -> outcomes.(i) <- `Err code)
+        with e -> outcomes.(i) <- `Crash (Printexc.to_string e)
+      in
+      let threads = List.init n (fun i -> Thread.create (run i) ()) in
+      (* let the slow queries get in flight, then stop: every accepted
+         request must still complete with its full typed reply *)
+      Thread.delay 0.2;
+      Server.stop server;
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i outcome ->
+          match outcome with
+          | `Timeout -> ()
+          | `Err (Protocol.Shutting_down | Protocol.Overloaded) ->
+              (* refused before execution — a typed reply, not a drop *)
+              ()
+          | `Pending -> Alcotest.failf "client %d never completed" i
+          | `Crash msg -> Alcotest.failf "client %d: connection broken: %s" i msg
+          | `Rows -> Alcotest.failf "client %d: loop/1 answered?!" i
+          | `Err code ->
+              Alcotest.failf "client %d: unexpected %s" i (Protocol.err_code_name code))
+        outcomes;
+      (* the server refuses new connections once stopped *)
+      (match Client.connect (Server.port server) with
+      | exception Unix.Unix_error _ -> ()
+      | c ->
+          (* the TCP stack may still complete the handshake; the session
+             must at least be unusable *)
+          (match Client.ping c with
+          | exception _ -> ()
+          | Ok _ -> Alcotest.fail "stopped server answered a ping"
+          | Error _ -> ());
+          Client.close c);
+      close_out log_oc;
+      (* the access log is well-formed JSONL covering the drained work *)
+      let lines = In_channel.with_open_bin log_path In_channel.input_lines in
+      Sys.remove log_path;
+      check_bool "log nonempty" true (List.length lines >= n);
+      let timeouts = ref 0 in
+      List.iter
+        (fun line ->
+          match Xsb.Json.of_string line with
+          | Error msg -> Alcotest.failf "bad JSONL line %S: %s" line msg
+          | Ok json ->
+              List.iter
+                (fun field ->
+                  if Xsb.Json.member field json = None then
+                    Alcotest.failf "record missing %s: %s" field line)
+                [ "ts_us"; "id"; "conn"; "op"; "pred"; "answers"; "steps"; "wall_us"; "outcome" ];
+              if
+                Xsb.Json.member "outcome" json
+                |> Option.map (fun o -> Xsb.Json.as_string o = Some "timeout")
+                |> Option.value ~default:false
+              then incr timeouts)
+        lines;
+      check_bool "drained timeouts logged" true (!timeouts >= 1))
+
+let suite =
+  protocol_cases @ bounded_cases @ negative_cases @ server_cases
+  @ [ isolation_case; backpressure_case; shutdown_case ]

@@ -15,4 +15,5 @@ let () =
       ("differential", Suite_differential.suite);
       ("scheduling", Suite_scheduling.suite);
       ("obs", Suite_obs.suite);
+      ("server", Suite_server.suite);
     ]
