@@ -137,6 +137,23 @@ let main files goals wfs engine_name scheduling interactive stats compile trace 
     profile max_steps timeout =
   let mode = if wfs then Some Xsb.Machine.Well_founded else None in
   let bounds = { b_max_steps = max_steps; b_timeout = timeout } in
+  let engine_kind =
+    match engine_name with
+    | "slg" -> `Slg
+    | "wam" -> `Wam
+    | "bottomup" -> `Bottomup
+    | other ->
+        Fmt.epr "xsb: unknown engine %S (use slg, wam or bottomup)@." other;
+        exit 2
+  in
+  (* only the SLG non-WFS path runs goals through Engine.run_bounded,
+     where the wall-clock deadline is polled; anywhere else --timeout
+     would be silently ignored, so refuse the combination instead *)
+  if timeout <> None && (wfs || engine_kind <> `Slg) then begin
+    Fmt.epr "xsb: --timeout only applies to the default SLG engine without --wfs%s@."
+      (if wfs then " (use --max-steps to bound a --wfs evaluation)" else "");
+    exit 2
+  end;
   let session = Xsb.Session.create ?mode ?scheduling () in
   (* --trace[=pretty|jsonl] (or the XSB_TRACE env default), optionally
      redirected with --trace-out FILE *)
@@ -163,13 +180,6 @@ let main files goals wfs engine_name scheduling interactive stats compile trace 
           !trace_cleanup ();
           exit 2));
   if profile then Xsb.Session.set_profiling session true;
-  let engine_kind =
-    match engine_name with
-    | "slg" -> `Slg
-    | "wam" -> `Wam
-    | "bottomup" -> `Bottomup
-    | other -> Fmt.failwith "unknown engine %S (use slg, wam or bottomup)" other
-  in
   let finish code =
     if profile then Fmt.pr "%a" (fun ppf () -> Xsb.Session.pp_profile ppf session) ();
     if stats then print_stats session;
@@ -283,7 +293,8 @@ let timeout =
     & info [ "timeout" ] ~docv:"SECS"
         ~doc:
           "Wall-clock deadline per goal; a goal exceeding it is reported as a timeout with \
-           exit code 2.")
+           exit code 2. Only the default SLG engine without --wfs can enforce it; other \
+           combinations are rejected.")
 
 let cmd =
   let doc = "an in-memory deductive database engine (XSB reproduction)" in

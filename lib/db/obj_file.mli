@@ -18,9 +18,11 @@ val load : Database.t -> string -> int
 (** Load an object file into the database; returns the clause count.
     Existing predicates with the same name/arity are replaced. Raises
     {!Bad_object_file} — never [Failure] or [End_of_file] — on
-    truncated or corrupt images: the payload carries its length and
-    digest, both checked before unmarshalling. *)
+    truncated or corrupt images. Decoding uses an explicit validated
+    codec, not [Marshal], so arbitrary (even adversarial) bytes are
+    safe to feed in: the worst outcome is the typed error. *)
 
 val load_string : Database.t -> string -> int
 (** {!load} from in-memory image bytes (the server's [CONSULT fmt=obj]
-    path). Same typed-error guarantees. *)
+    path, where the bytes are untrusted network input). Same safety and
+    typed-error guarantees. *)

@@ -54,14 +54,22 @@ let run_query_bounded ?limit ?stop ?max_steps t goal =
     | _ -> Some (fun () -> limit_hit () || stop_hit ())
   in
   (* a per-query step budget, relative to the engine's running step
-     counter; an engine-wide [set_max_steps] bound still applies *)
+     counter. Install it only when it is the binding bound: if a tighter
+     engine-wide [set_max_steps] bound is already in place (or no usable
+     budget was given), a [Step_limit] overrun is the engine-wide
+     bound's and must keep raising, not be reported as `Interrupted. *)
   let saved_max = t.env.Machine.max_steps in
-  (match max_steps with
-  | Some budget when budget > 0 ->
-      let absolute = t.env.Machine.stats.Machine.st_steps + budget in
-      t.env.Machine.max_steps <-
-        (if saved_max > 0 then min saved_max absolute else absolute)
-  | _ -> ());
+  let budget_binding =
+    match max_steps with
+    | Some budget when budget > 0 ->
+        let absolute = t.env.Machine.stats.Machine.st_steps + budget in
+        if saved_max > 0 && saved_max <= absolute then false
+        else begin
+          t.env.Machine.max_steps <- absolute;
+          true
+        end
+    | _ -> false
+  in
   let trail_mark = Xsb_term.Trail.mark t.env.Machine.trail in
   let finish () =
     (* never leave in-progress tables behind: they would block later
@@ -76,7 +84,7 @@ let run_query_bounded ?limit ?stop ?max_steps t goal =
   let ending =
     match Machine.run_eval ?stop:stop_fn ev with
     | () -> if limit_hit () then `Limit else if stop_hit () then `Interrupted else `Complete
-    | exception Machine.Step_limit when max_steps <> None -> `Interrupted
+    | exception Machine.Step_limit when budget_binding -> `Interrupted
     | exception e ->
         finish ();
         raise e

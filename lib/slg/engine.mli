@@ -63,8 +63,11 @@ val run_bounded :
   ?max_steps:int -> ?stop:(unit -> bool) -> ?limit:int -> t -> Term.t -> bounded
 (** [run_bounded ?max_steps ?stop ?limit t goal] runs [goal] like
     {!query} but bounded: [max_steps] is a step budget for this query
-    alone (relative to the engine's running counter; an engine-wide
-    {!set_max_steps} bound still applies and still raises), [stop] is
+    alone, relative to the engine's running counter (a non-positive
+    budget is ignored; an engine-wide {!set_max_steps} bound still
+    applies, and when it is the tighter of the two its overrun still
+    raises {!Machine.Step_limit} rather than returning [`Timeout]),
+    [stop] is
     polled during evaluation (wall-clock deadlines, cancellation), and
     [limit] stops the evaluation once that many answers exist (row
     limits). Whatever the ending, the private query table is dropped

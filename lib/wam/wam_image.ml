@@ -1,5 +1,13 @@
 exception Bad_image of string
 
+(* WAM images are loaded with [Marshal], which is NOT safe on untrusted
+   bytes (a crafted image can crash the runtime or build type-confused
+   values). That is acceptable here only because images come from
+   trusted local files named on the command line — loading one is
+   equivalent to running a local program. They must never be accepted
+   from the network; the query server's CONSULT path deliberately has
+   no fmt for them (its fmt=obj images use Obj_file's validated
+   explicit codec instead). *)
 let magic = "XSBWAM01"
 
 let save program path =

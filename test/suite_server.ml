@@ -106,6 +106,31 @@ let bounded_cases =
         | `Timeout [] -> ()
         | `Timeout _ -> Alcotest.fail "loop/1 cannot have answers"
         | `Answers _ | `Truncated _ -> Alcotest.fail "expected `Timeout");
+    t "run_bounded: a tighter engine-wide bound still raises Step_limit" `Quick (fun () ->
+        let s = Xsb.Session.create () in
+        Xsb.Session.consult s loop_program;
+        let engine = Xsb.Session.engine s in
+        let arm budget =
+          Xsb.Engine.set_max_steps engine ((Xsb.Session.stats s).Xsb.Machine.st_steps + budget)
+        in
+        (* the engine-wide bound is the binding one: its overrun must
+           keep raising, not be misreported as this query's `Timeout *)
+        arm 100;
+        (match Xsb.Engine.run_bounded_string ~max_steps:10_000_000 engine "loop(1)" with
+        | exception Xsb.Machine.Step_limit -> ()
+        | _ -> Alcotest.fail "expected Step_limit from the engine-wide bound");
+        (* a non-positive per-query budget installs nothing at all *)
+        arm 100;
+        (match Xsb.Engine.run_bounded_string ~max_steps:0 engine "loop(1)" with
+        | exception Xsb.Machine.Step_limit -> ()
+        | _ -> Alcotest.fail "expected Step_limit with a non-positive per-query budget");
+        (* with the engine-wide bound looser, the per-query budget binds
+           and interruption is the typed result again *)
+        arm 10_000_000;
+        (match Xsb.Engine.run_bounded_string ~max_steps:5_000 engine "loop(1)" with
+        | `Timeout _ -> ()
+        | _ -> Alcotest.fail "expected `Timeout from the per-query budget");
+        Xsb.Engine.set_max_steps engine 0);
     t "run_bounded: wall-clock stop returns `Timeout" `Quick (fun () ->
         let s = Xsb.Session.create () in
         Xsb.Session.consult s loop_program;
@@ -200,6 +225,51 @@ let negative_cases =
             expect_bad_object (Printf.sprintf "flip at %d" pos) (Bytes.to_string b))
           [ 0; 9; 30; String.length bytes - 1 ];
         expect_bad_object "pure garbage" (String.make 200 'Z'));
+    t "forged digests do not get malicious payloads past the decoder" `Quick (fun () ->
+        (* regression: the header digest is computed from the payload
+           itself, so any client can forge a "valid" image over CONSULT
+           fmt=obj — it proves integrity, not origin. The decoder must
+           reject adversarial payloads on its own, with a typed error. *)
+        let forged payload =
+          let b = Buffer.create (String.length payload + 28) in
+          Buffer.add_string b "XSBOBJ03";
+          List.iter
+            (fun shift -> Buffer.add_char b (Char.chr ((String.length payload lsr shift) land 0xff)))
+            [ 24; 16; 8; 0 ];
+          Buffer.add_string b (Digest.string payload);
+          Buffer.add_string b payload;
+          Buffer.contents b
+        in
+        expect_bad_object "garbage payload" (forged (String.make 64 '\xee'));
+        expect_bad_object "empty payload" (forged "");
+        expect_bad_object "huge image count" (forged "\x7f\xff\xff\xff");
+        expect_bad_object "huge string length" (forged "\x00\x00\x00\x01\xff\xff\xff\xff");
+        (* a valid payload with extra bytes smuggled after the image *)
+        let image = save_tc_image () in
+        let payload = String.sub image 28 (String.length image - 28) in
+        expect_bad_object "trailing bytes" (forged (payload ^ "\x00"));
+        (* 200k-deep f(f(...f(_)...)): must neither blow the stack nor
+           load; the clause-shape check rejects it as a typed error *)
+        let b = Buffer.create (1 lsl 21) in
+        let u32 n =
+          List.iter (fun s -> Buffer.add_char b (Char.chr ((n lsr s) land 0xff))) [ 24; 16; 8; 0 ]
+        in
+        let str s =
+          u32 (String.length s);
+          Buffer.add_string b s
+        in
+        u32 1 (* one image *);
+        str "p";
+        u32 1 (* arity *);
+        Buffer.add_string b "\x00\x00\x01" (* static, untabled, First_string index *);
+        u32 1 (* one clause *);
+        for _ = 1 to 200_000 do
+          Buffer.add_char b '\x04';
+          str "f";
+          u32 1
+        done;
+        Buffer.add_string b "\x00\x00\x00\x00\x00" (* CVar 0 leaf *);
+        expect_bad_object "200k-deep nesting" (forged (Buffer.contents b)));
     t "obj_file.load on a truncated file raises Bad_object_file" `Quick (fun () ->
         let bytes = save_tc_image () in
         let path = Filename.temp_file "objfile" ".xwam" in
