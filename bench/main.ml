@@ -604,6 +604,110 @@ let server_bench () =
   row "wrote BENCH_server.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* Journal: ASSERT throughput per sync policy; recovery time vs size *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let journal_dir_counter = ref 0
+
+let with_journal_dir f =
+  incr journal_dir_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xsb_bench_journal_%d_%d" (Unix.getpid ()) !journal_dir_counter)
+  in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let journal_fill db pred n =
+  for k = 1 to n do
+    ignore
+      (Xsb.Database.insert_clause db pred
+         ~head:(Xsb.Term.Struct ("edge", [| Xsb.Term.Int k; Xsb.Term.Int (k + 1) |]))
+         ~body:(Xsb.Term.Atom "true"))
+  done
+
+let journal_bench () =
+  header "Journal: ASSERT throughput per sync policy; recovery time vs journal size";
+  let bulk = if !quick then 5_000 else 20_000 in
+  let policies =
+    [
+      ("never", Xsb.Journal.Never, bulk);
+      ("interval=64", Xsb.Journal.Interval 64, bulk);
+      ("always", Xsb.Journal.Always, if !quick then 100 else 500);
+    ]
+  in
+  row "%-14s %10s %12s %14s %10s\n" "sync" "records" "wall_s" "records/s" "fsyncs";
+  let throughput =
+    List.map
+      (fun (name, policy, n) ->
+        with_journal_dir (fun dir ->
+            let db = Xsb.Database.create () in
+            let pred = Xsb.Database.set_dynamic db "edge" 2 in
+            let j = Xsb.Journal.open_ { Xsb.Journal.dir; sync = policy; compact_bytes = 0 } db in
+            Xsb.Journal.attach j;
+            let t0 = Unix.gettimeofday () in
+            journal_fill db pred n;
+            Xsb.Journal.sync j;
+            let wall = Unix.gettimeofday () -. t0 in
+            let fsyncs = (Xsb.Journal.stats j).Xsb.Journal.fsyncs in
+            Xsb.Journal.close j;
+            let rps = float_of_int n /. wall in
+            row "%-14s %10d %12.4f %14.0f %10d\n" name n wall rps fsyncs;
+            (name, n, wall, rps, fsyncs)))
+      policies
+  in
+  let sizes = if !quick then [ 1_000; 5_000 ] else [ 1_000; 10_000; 50_000 ] in
+  row "%-14s %12s %14s\n" "records" "recovery_s" "records/s";
+  let recovery =
+    List.map
+      (fun n ->
+        with_journal_dir (fun dir ->
+            let db = Xsb.Database.create () in
+            let pred = Xsb.Database.set_dynamic db "edge" 2 in
+            let cfg = { Xsb.Journal.dir; sync = Xsb.Journal.Never; compact_bytes = 0 } in
+            let j = Xsb.Journal.open_ cfg db in
+            Xsb.Journal.attach j;
+            journal_fill db pred n;
+            Xsb.Journal.close j;
+            let db2 = Xsb.Database.create () in
+            let t0 = Unix.gettimeofday () in
+            let j2 = Xsb.Journal.open_ cfg db2 in
+            let wall = Unix.gettimeofday () -. t0 in
+            let recovered = (Xsb.Journal.stats j2).Xsb.Journal.recovered_records in
+            Xsb.Journal.close j2;
+            row "%-14d %12.4f %14.0f\n" recovered wall (float_of_int recovered /. wall);
+            (recovered, wall)))
+      sizes
+  in
+  let oc = open_out "BENCH_journal.json" in
+  output_string oc "{ \"experiment\": \"journal\", \"throughput\": [\n";
+  List.iteri
+    (fun i (name, n, wall, rps, fsyncs) ->
+      Printf.fprintf oc
+        "  { \"sync\": %S, \"records\": %d, \"wall_s\": %.4f, \"records_per_s\": %.1f, \
+         \"fsyncs\": %d }%s\n"
+        name n wall rps fsyncs
+        (if i = List.length throughput - 1 then "" else ","))
+    throughput;
+  output_string oc "], \"recovery\": [\n";
+  List.iteri
+    (fun i (n, wall) ->
+      Printf.fprintf oc "  { \"records\": %d, \"recovery_s\": %.4f }%s\n" n wall
+        (if i = List.length recovery - 1 then "" else ","))
+    recovery;
+  output_string oc "] }\n";
+  close_out oc;
+  row "wrote BENCH_journal.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per table/figure *)
 
 let bechamel_tests () =
@@ -674,6 +778,7 @@ let experiments =
     ("answer_index", answer_index);
     ("scheduling", scheduling);
     ("server", server_bench);
+    ("journal", journal_bench);
     ("bechamel", bechamel);
   ]
 

@@ -134,7 +134,7 @@ let repl session engine_kind wfs bounds =
   loop ()
 
 let main files goals wfs engine_name scheduling interactive stats compile trace trace_out
-    profile max_steps timeout =
+    profile max_steps timeout data_dir sync_policy =
   let mode = if wfs then Some Xsb.Machine.Well_founded else None in
   let bounds = { b_max_steps = max_steps; b_timeout = timeout } in
   let engine_kind =
@@ -180,7 +180,9 @@ let main files goals wfs engine_name scheduling interactive stats compile trace 
           !trace_cleanup ();
           exit 2));
   if profile then Xsb.Session.set_profiling session true;
+  let journal = ref None in
   let finish code =
+    (match !journal with Some j -> ( try Xsb.Journal.close j with _ -> ()) | None -> ());
     if profile then Fmt.pr "%a" (fun ppf () -> Xsb.Session.pp_profile ppf session) ();
     if stats then print_stats session;
     !trace_cleanup ();
@@ -193,6 +195,18 @@ let main files goals wfs engine_name scheduling interactive stats compile trace 
   | None -> ());
   try
     List.iter (fun f -> Xsb.Session.consult_file session f) files;
+    (* the durable store opens AFTER the consults: files are program
+       text, not journaled state, and recovery replays on top of them *)
+    (match data_dir with
+    | None -> ()
+    | Some dir ->
+        let j =
+          Xsb.Journal.open_
+            { (Xsb.Journal.default_config ~dir) with Xsb.Journal.sync = sync_policy }
+            (Xsb.Session.db session)
+        in
+        Xsb.Journal.attach j;
+        journal := Some j);
     if max_steps <> None && engine_kind = `Slg && not wfs then
       Xsb.Engine.set_max_steps (Xsb.Session.engine session) 0;
     if compile then begin
@@ -214,6 +228,10 @@ let main files goals wfs engine_name scheduling interactive stats compile trace 
          deferred :- directive): still a clean timeout, not a crash *)
       Fmt.epr "timeout: step budget exhausted@.";
       finish 2
+  | Xsb.Journal.Recovery_error { file; offset; records_ok; message } ->
+      Fmt.epr "error: %s is corrupt at offset %d (%d records recoverable): %s@." file offset
+        records_ok message;
+      finish 1
   | e ->
       Fmt.epr "error: %s@." (Printexc.to_string e);
       finish 1
@@ -296,12 +314,36 @@ let timeout =
            exit code 2. Only the default SLG engine without --wfs can enforce it; other \
            combinations are rejected.")
 
+let data_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "data-dir" ] ~docv:"DIR"
+        ~doc:
+          "Durable session: recover the dynamic database journaled under \\$(docv) (on top of \
+           the consulted files), then journal every further mutation there.")
+
+let sync_policy =
+  let sync_conv =
+    let parse s =
+      match Xsb.Journal.sync_policy_of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "bad sync policy %S (never|interval[=N]|always)" s))
+    in
+    Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Xsb.Journal.sync_policy_to_string p))
+  in
+  Arg.(
+    value
+    & opt sync_conv Xsb.Journal.Always
+    & info [ "sync" ] ~docv:"POLICY"
+        ~doc:"Journal fsync policy: never, interval[=N] (every N records), or always.")
+
 let cmd =
   let doc = "an in-memory deductive database engine (XSB reproduction)" in
   Cmd.v
     (Cmd.info "xsb" ~doc)
     Term.(
       const main $ files $ goals $ wfs $ engine_name $ scheduling $ interactive $ stats
-      $ compile $ trace $ trace_out $ profile $ max_steps $ timeout)
+      $ compile $ trace $ trace_out $ profile $ max_steps $ timeout $ data_dir $ sync_policy)
 
 let () = exit (Cmd.eval' cmd)

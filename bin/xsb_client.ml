@@ -13,13 +13,17 @@ let code_exit = function
   | _ -> exit_error
 
 let main host port consults fast_loads goals asserts limit timeout_ms max_steps stats abolish
-    ping =
+    ping sync retries backoff_ms =
   let open Xsb_server in
-  match Client.connect ~host port with
+  let retry = Client.retry ~retries ~backoff_ms:(float_of_int backoff_ms) () in
+  match Client.connect_with_retry ~retry ~host port with
   | exception Unix.Unix_error (err, _, _) ->
       Fmt.epr "xsb_client: cannot connect to %s:%d: %s@." host port (Unix.error_message err);
       exit_error
-  | client ->
+  | Error reason ->
+      Fmt.epr "xsb_client: cannot connect to %s:%d: %s@." host port reason;
+      exit_error
+  | Ok client ->
       Fun.protect
         ~finally:(fun () -> Client.close client)
         (fun () ->
@@ -31,7 +35,7 @@ let main host port consults fast_loads goals asserts limit timeout_ms max_steps 
                 Fmt.epr "%s: %s: %s@." what (Protocol.err_code_name code) message;
                 note (code_exit code)
           in
-          if ping then simple "ping" (Client.ping client);
+          if ping then simple "ping" (Client.ping_retry ~retry client);
           List.iter
             (fun path ->
               let text = In_channel.with_open_bin path In_channel.input_all in
@@ -45,7 +49,7 @@ let main host port consults fast_loads goals asserts limit timeout_ms max_steps 
           List.iter (fun clause -> simple ("assert " ^ clause) (Client.assert_ client clause)) asserts;
           List.iter
             (fun goal ->
-              match Client.query ?limit ?timeout_ms ?max_steps client goal with
+              match Client.query_retry ~retry ?limit ?timeout_ms ?max_steps client goal with
               | Client.Rows { rows; truncated } ->
                   List.iter (fun row -> Fmt.pr "%s@." row) rows;
                   Fmt.pr "%s (%d solution%s%s)@."
@@ -63,7 +67,8 @@ let main host port consults fast_loads goals asserts limit timeout_ms max_steps 
                   note (code_exit code))
             goals;
           if abolish then simple "abolish" (Client.abolish client);
-          if stats then simple "statistics" (Client.statistics client);
+          if sync then simple "sync" (Client.sync client);
+          if stats then simple "statistics" (Client.statistics_retry ~retry client);
           !worst)
 
 open Cmdliner
@@ -109,12 +114,30 @@ let abolish =
 
 let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Ping the server first.")
 
+let sync =
+  Arg.(
+    value & flag
+    & info [ "sync" ] ~doc:"Ask a durable server to fsync its journal after the goals.")
+
+let retries =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry the connect (ECONNREFUSED) and idempotent requests (OVERLOADED) up to \\$(docv) \
+           times with exponential backoff and jitter.")
+
+let backoff_ms =
+  Arg.(
+    value & opt int 100
+    & info [ "backoff-ms" ] ~docv:"MS" ~doc:"Base backoff before the first retry.")
+
 let cmd =
   let doc = "client for the XSB-repro query server" in
   Cmd.v
     (Cmd.info "xsb_client" ~doc)
     Term.(
       const main $ host $ port $ consults $ fast_loads $ goals $ asserts $ limit $ timeout_ms
-      $ max_steps $ stats $ abolish $ ping)
+      $ max_steps $ stats $ abolish $ ping $ sync $ retries $ backoff_ms)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,7 +5,7 @@
 let stop_requested = Atomic.make false
 
 let main host port workers queue timeout_ms max_steps max_answers preload scheduling access_log
-    profile =
+    profile data_dir sync compact_bytes =
   let log_channel =
     match access_log with
     | None -> None
@@ -26,13 +26,31 @@ let main host port workers queue timeout_ms max_steps max_answers preload schedu
       scheduling;
       access_log = log_channel;
       profile;
+      data_dir;
+      sync;
+      compact_bytes;
     }
   in
   match Xsb_server.Server.start cfg with
   | exception Unix.Unix_error (err, _, _) ->
       Fmt.epr "xsb_serverd: cannot bind %s:%d: %s@." host port (Unix.error_message err);
       2
+  | exception Xsb.Journal.Recovery_error { file; offset; records_ok; message } ->
+      Fmt.epr
+        "xsb_serverd: %s is corrupt at offset %d (%d records recoverable): %s@.(salvage the \
+         valid prefix by moving the data directory aside, or repair it offline)@."
+        file offset records_ok message;
+      2
+  | exception Xsb.Journal.Io_error { site; message } ->
+      Fmt.epr "xsb_serverd: cannot open journal (%s): %s@." site message;
+      2
   | server ->
+      (match Xsb_server.Server.journal server with
+      | Some j ->
+          Fmt.pr "recovered %d records in %.1f ms (generation %Ld)@."
+            (Xsb.Journal.stats j).Xsb.Journal.recovered_records
+            (Xsb.Journal.stats j).Xsb.Journal.recovery_ms (Xsb.Journal.generation j)
+      | None -> ());
       let request_stop _ = Atomic.set stop_requested true in
       Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
       Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
@@ -112,12 +130,43 @@ let profile =
         ~doc:"Aggregate per-predicate request counts, answers, steps and wall time; print the \
               report at shutdown.")
 
+let sync_conv =
+  let parse s =
+    match Xsb.Journal.sync_policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "bad sync policy %S (never|interval[=N]|always)" s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Xsb.Journal.sync_policy_to_string p))
+
+let data_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "data-dir" ] ~docv:"DIR"
+        ~doc:
+          "Durable mode: journal every mutation under \\$(docv) and recover the database from \
+           it on startup. All connections then share one persistent session.")
+
+let sync =
+  Arg.(
+    value
+    & opt sync_conv Xsb.Journal.Always
+    & info [ "sync" ] ~docv:"POLICY"
+        ~doc:"Journal fsync policy: never, interval[=N] (every N records), or always.")
+
+let compact_bytes =
+  Arg.(
+    value
+    & opt int (8 * 1024 * 1024)
+    & info [ "compact-bytes" ] ~docv:"BYTES"
+        ~doc:"Snapshot + truncate the journal when it grows past \\$(docv) (0 disables).")
+
 let cmd =
   let doc = "the XSB-repro deductive-database query server" in
   Cmd.v
     (Cmd.info "xsb_serverd" ~doc)
     Term.(
       const main $ host $ port $ workers $ queue $ timeout_ms $ max_steps $ max_answers $ preload
-      $ scheduling $ access_log $ profile)
+      $ scheduling $ access_log $ profile $ data_dir $ sync $ compact_bytes)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,111 @@
+open Xsb_term
+
+exception Decode_error of string
+
+let put_u8 b n = Buffer.add_char b (Char.chr (n land 0xff))
+let put_u32 b n = Buffer.add_int32_be b (Int32.of_int n)
+let put_i64 b v = Buffer.add_int64_be b v
+
+let put_string b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_bool b v = put_u8 b (if v then 1 else 0)
+
+let rec put_canon b = function
+  | Canon.CVar n ->
+      put_u8 b 0;
+      put_u32 b n
+  | Canon.CAtom a ->
+      put_u8 b 1;
+      put_string b a
+  | Canon.CInt i ->
+      put_u8 b 2;
+      put_i64 b (Int64.of_int i)
+  | Canon.CFloat x ->
+      put_u8 b 3;
+      put_i64 b (Int64.bits_of_float x)
+  | Canon.CStruct (f, args) ->
+      put_u8 b 4;
+      put_string b f;
+      put_u32 b (Array.length args);
+      Array.iter (put_canon b) args
+
+type cursor = { buf : string; mutable pos : int }
+
+let cursor ?(pos = 0) buf = { buf; pos }
+
+let decode_error msg = raise (Decode_error msg)
+
+let need c n = if c.pos + n > String.length c.buf then decode_error "truncated image data"
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code c.buf.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c =
+  need c 4;
+  let v = Int32.to_int (String.get_int32_be c.buf c.pos) land 0xffffffff in
+  c.pos <- c.pos + 4;
+  v
+
+let get_i64 c =
+  need c 8;
+  let v = String.get_int64_be c.buf c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let get_int c =
+  let v = get_i64 c in
+  if Int64.of_int (Int64.to_int v) <> v then decode_error "integer out of range";
+  Int64.to_int v
+
+let get_string c =
+  let n = get_u32 c in
+  need c n;
+  let s = String.sub c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_bool c =
+  match get_u8 c with 0 -> false | 1 -> true | _ -> decode_error "bad boolean"
+
+(* a forged count cannot make us allocate past the payload: every
+   encoded element is at least one byte *)
+let get_count c =
+  let n = get_u32 c in
+  if n > String.length c.buf - c.pos then decode_error "implausible element count";
+  n
+
+(* iterative (explicit work list, mutual tail calls), so a forged
+   deeply-nested term cannot blow the OCaml stack *)
+let get_canon c =
+  let rec build pending leaf =
+    match pending with
+    | [] -> leaf
+    | (f, args, idx) :: rest ->
+        args.(idx) <- leaf;
+        if idx + 1 = Array.length args then build rest (Canon.CStruct (f, args))
+        else fill ((f, args, idx + 1) :: rest)
+  and fill pending =
+    match get_u8 c with
+    | 0 -> build pending (Canon.CVar (get_u32 c))
+    | 1 -> build pending (Canon.CAtom (get_string c))
+    | 2 -> build pending (Canon.CInt (get_int c))
+    | 3 -> build pending (Canon.CFloat (Int64.float_of_bits (get_i64 c)))
+    | 4 ->
+        let f = get_string c in
+        let n = get_count c in
+        if n = 0 then build pending (Canon.CStruct (f, [||]))
+        else fill ((f, Array.make n (Canon.CVar 0), 0) :: pending)
+    | _ -> decode_error "bad term tag"
+  in
+  fill []
+
+(* an explicit loop: [List.init]'s evaluation order is unspecified,
+   which matters with a stateful cursor *)
+let get_list c get =
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (get c :: acc) in
+  go (get_count c) []

@@ -1,0 +1,55 @@
+(** The validated binary codec shared by the object-file format and the
+    write-ahead journal.
+
+    Multi-byte integers are big-endian; strings are length-prefixed;
+    every variant carries a tag byte. Decoding is a total function from
+    bytes to [value-or-Decode_error]: every tag, length and count is
+    checked, and no [Marshal] or [Obj] is involved, so untrusted bytes
+    can at worst produce a typed error. *)
+
+open Xsb_term
+
+exception Decode_error of string
+
+(** {1 Encoding} *)
+
+val put_u8 : Buffer.t -> int -> unit
+val put_u32 : Buffer.t -> int -> unit
+val put_i64 : Buffer.t -> int64 -> unit
+val put_string : Buffer.t -> string -> unit
+val put_bool : Buffer.t -> bool -> unit
+val put_canon : Buffer.t -> Canon.t -> unit
+
+(** {1 Decoding} *)
+
+type cursor = { buf : string; mutable pos : int }
+
+val cursor : ?pos:int -> string -> cursor
+
+val decode_error : string -> 'a
+(** Raise {!Decode_error}. *)
+
+val need : cursor -> int -> unit
+(** Fail unless [n] more bytes are available. *)
+
+val get_u8 : cursor -> int
+val get_u32 : cursor -> int
+
+val get_i64 : cursor -> int64
+
+val get_int : cursor -> int
+(** An [i64] that must fit in an OCaml [int]. *)
+
+val get_string : cursor -> string
+val get_bool : cursor -> bool
+
+val get_count : cursor -> int
+(** A [u32] element count, rejected when it exceeds the remaining
+    bytes (every encoded element is at least one byte), so a forged
+    count cannot drive a huge allocation. *)
+
+val get_canon : cursor -> Canon.t
+(** Iterative (explicit work list), so a forged deeply-nested term
+    cannot blow the OCaml stack. *)
+
+val get_list : cursor -> (cursor -> 'a) -> 'a list

@@ -3,12 +3,29 @@ open Xsb_parse
 
 type module_info = { module_name : string; exports : (string * int) list }
 
+type mutation =
+  | Added_clause of { pred : Pred.t; clause : Pred.clause; front : bool }
+  | Retracted_clause of { pred : Pred.t; clause : Pred.clause }
+  | Removed_pred of { name : string; arity : int }
+  | Tabled_pred of { name : string; arity : int }
+  | Dynamic_pred of { name : string; arity : int }
+  | Indexed_pred of {
+      name : string;
+      arity : int;
+      spec : Pred.index_spec;
+      size_hint : int option;
+    }
+  | Hilog_symbol of string
+  | Module_decl of module_info
+  | Op_decl of { priority : int; fixity : Ops.fixity; op_name : string }
+
 type t = {
   preds : (string * int, Pred.t) Hashtbl.t;
   ops : Ops.t;
   hilog : (string, unit) Hashtbl.t;
   module_table : (string, module_info) Hashtbl.t;
   mutable current : string;
+  mutable hooks : (mutation -> unit) list;
 }
 
 let create () =
@@ -18,7 +35,17 @@ let create () =
     hilog = Hashtbl.create 16;
     module_table = Hashtbl.create 8;
     current = "usermod";
+    hooks = [];
   }
+
+(* Subscribers run after the mutation is applied, in subscription
+   order. A subscriber that raises (the journal's disk-failure path)
+   aborts the remaining subscribers and propagates to the mutator — the
+   in-memory change has already happened, so callers that must stay
+   consistent with stable storage (the durable server) treat that
+   exception as "stop accepting writes". *)
+let on_mutation t f = t.hooks <- t.hooks @ [ f ]
+let notify t m = List.iter (fun f -> f m) t.hooks
 
 let ops t = t.ops
 let find t name arity = Hashtbl.find_opt t.preds (name, arity)
@@ -32,10 +59,33 @@ let declare t ?kind name arity =
       p
 
 let preds t = Hashtbl.fold (fun _ p acc -> p :: acc) t.preds []
-let remove_pred t name arity = Hashtbl.remove t.preds (name, arity)
 
-let declare_hilog t name = Hashtbl.replace t.hilog name ()
+let remove_pred t name arity =
+  let existed = Hashtbl.mem t.preds (name, arity) in
+  Hashtbl.remove t.preds (name, arity);
+  (* a HiLog declaration must not outlive the last predicate with that
+     name: re-declaring p/N after abolishing it would otherwise still
+     encode p(..) calls as apply(p, ..) against an empty database *)
+  let name_in_use =
+    Hashtbl.fold (fun (n, _) _ acc -> acc || String.equal n name) t.preds false
+  in
+  let hilog_dropped =
+    if Hashtbl.mem t.hilog name && not name_in_use then begin
+      Hashtbl.remove t.hilog name;
+      true
+    end
+    else false
+  in
+  if existed || hilog_dropped then notify t (Removed_pred { name; arity })
+
+let declare_hilog t name =
+  if not (Hashtbl.mem t.hilog name) then begin
+    Hashtbl.replace t.hilog name ();
+    notify t (Hilog_symbol name)
+  end
+
 let is_hilog t name = Hashtbl.mem t.hilog name
+let hilog_symbols t = Hashtbl.fold (fun name () acc -> name :: acc) t.hilog []
 
 let encode t term = Xsb_hilog.Encode.encode_term ~is_hilog:(is_hilog t) term
 
@@ -50,16 +100,55 @@ let head_key head =
   | Term.Struct (name, args) -> (name, Array.length args)
   | t -> Fmt.failwith "ill-formed clause head: %a" Term.pp t
 
+let insert_clause t ?(front = false) pred ~head ~body =
+  let stored = if front then Pred.asserta pred ~head ~body else Pred.assertz pred ~head ~body in
+  notify t (Added_clause { pred; clause = stored; front });
+  stored
+
 let add_clause t ?(front = false) clause =
   let clause = encode t clause in
   let head, body = clause_parts clause in
   let name, arity = head_key head in
   let pred = declare t name arity in
-  let stored = if front then Pred.asserta pred ~head ~body else Pred.assertz pred ~head ~body in
+  let stored = insert_clause t ~front pred ~head ~body in
   (pred, stored)
 
+let retract_clause t pred clause =
+  let before = Pred.clause_count pred in
+  Pred.remove pred clause;
+  if Pred.clause_count pred < before then notify t (Retracted_clause { pred; clause })
+
+let set_tabled t name arity =
+  let pred = declare t name arity in
+  if not (Pred.tabled pred) then begin
+    Pred.set_tabled pred true;
+    notify t (Tabled_pred { name; arity })
+  end
+
+let set_dynamic t name arity =
+  match find t name arity with
+  | Some pred when Pred.kind pred = Pred.Dynamic -> pred
+  | Some pred ->
+      Pred.set_kind pred Pred.Dynamic;
+      notify t (Dynamic_pred { name; arity });
+      pred
+  | None ->
+      let pred = declare t ~kind:Pred.Dynamic name arity in
+      notify t (Dynamic_pred { name; arity });
+      pred
+
+let set_index t ?size_hint name arity spec =
+  let pred = declare t name arity in
+  Pred.set_index pred ?size_hint spec;
+  notify t (Indexed_pred { name; arity; spec; size_hint })
+
+let add_op t priority fixity op_name =
+  Ops.add t.ops priority fixity op_name;
+  notify t (Op_decl { priority; fixity; op_name })
+
 let declare_module t name exports =
-  Hashtbl.replace t.module_table name { module_name = name; exports }
+  Hashtbl.replace t.module_table name { module_name = name; exports };
+  notify t (Module_decl { module_name = name; exports })
 
 let current_module t = t.current
 let set_current_module t name = t.current <- name

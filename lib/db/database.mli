@@ -1,10 +1,40 @@
 (** The in-memory deductive database: predicate registry, operator table,
-    HiLog symbol declarations, and the light-weight module registry. *)
+    HiLog symbol declarations, and the light-weight module registry.
+
+    Every state change goes through a wrapper here that fires the
+    {!mutation} hook, so subscribers (the write-ahead journal, the SLG
+    engine's stale-table invalidation) observe a complete mutation
+    stream. *)
 
 open Xsb_term
 open Xsb_parse
 
 type t
+
+type module_info = { module_name : string; exports : (string * int) list }
+
+(** {1 Mutation hook} *)
+
+type mutation =
+  | Added_clause of { pred : Pred.t; clause : Pred.clause; front : bool }
+  | Retracted_clause of { pred : Pred.t; clause : Pred.clause }
+  | Removed_pred of { name : string; arity : int }
+  | Tabled_pred of { name : string; arity : int }
+  | Dynamic_pred of { name : string; arity : int }
+  | Indexed_pred of {
+      name : string;
+      arity : int;
+      spec : Pred.index_spec;
+      size_hint : int option;
+    }
+  | Hilog_symbol of string
+  | Module_decl of module_info
+  | Op_decl of { priority : int; fixity : Ops.fixity; op_name : string }
+
+val on_mutation : t -> (mutation -> unit) -> unit
+(** Subscribe. Subscribers run after the mutation is applied, in
+    subscription order; an exception from a subscriber propagates to
+    the mutator (the journal's disk-failure path relies on this). *)
 
 val create : unit -> t
 val ops : t -> Ops.t
@@ -19,12 +49,31 @@ val declare : t -> ?kind:Pred.kind -> string -> int -> Pred.t
 val preds : t -> Pred.t list
 
 val remove_pred : t -> string -> int -> unit
-(** [abolish]: drop the predicate entirely. *)
+(** [abolish]: drop the predicate entirely. Also drops the HiLog
+    declaration for [name] when no predicate of that name remains, so
+    re-declaring the predicate behaves like a fresh one. Fires
+    [Removed_pred] (subscribing engines drop that predicate's completed
+    tables). *)
+
+val set_tabled : t -> string -> int -> unit
+(** Declare (if needed) and mark tabled; fires [Tabled_pred] once. *)
+
+val set_dynamic : t -> string -> int -> Pred.t
+(** Declare (if needed) and mark dynamic; fires [Dynamic_pred] when the
+    kind actually changes. *)
+
+val set_index : t -> ?size_hint:int -> string -> int -> Pred.index_spec -> unit
+
+val add_op : t -> int -> Ops.fixity -> string -> unit
+(** [op/3]: declare an operator in the database's table. *)
 
 (** {1 HiLog symbols} *)
 
 val declare_hilog : t -> string -> unit
 val is_hilog : t -> string -> bool
+
+val hilog_symbols : t -> string list
+(** Every declared HiLog symbol, in no particular order. *)
 
 val encode : t -> Term.t -> Term.t
 (** HiLog-encode a term under the database's declarations. *)
@@ -35,6 +84,16 @@ val add_clause : t -> ?front:bool -> Term.t -> Pred.t * Pred.clause
 (** Add a clause term ([H :- B] or a fact). The term is HiLog-encoded
     first. Raises [Failure] on ill-formed heads. *)
 
+val insert_clause : t -> ?front:bool -> Pred.t -> head:Term.t -> body:Term.t -> Pred.clause
+(** Insert an already-encoded, already-split clause into [pred]. The
+    hook-firing version of [Pred.assertz]/[asserta] — every clause
+    insertion (loader, builtins, bulk loaders, replay) goes through
+    here. *)
+
+val retract_clause : t -> Pred.t -> Pred.clause -> unit
+(** Retract one clause by identity; fires [Retracted_clause] only if
+    the clause was live. *)
+
 val clause_parts : Term.t -> (Term.t * Term.t)
 (** Split a clause term into head and body ([true] for facts). *)
 
@@ -43,8 +102,6 @@ val head_key : Term.t -> string * int
     [Failure] for variables or numbers. *)
 
 (** {1 Modules (term-based, §4.2)} *)
-
-type module_info = { module_name : string; exports : (string * int) list }
 
 val declare_module : t -> string -> (string * int) list -> unit
 val current_module : t -> string

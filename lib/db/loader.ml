@@ -54,15 +54,14 @@ let process_directive db directive =
       List.iter
         (fun pi ->
           let name, arity = pred_indicator pi in
-          Pred.set_tabled (Database.declare db name arity) true)
+          Database.set_tabled db name arity)
         (items_of spec);
       `Handled
   | Term.Struct ("dynamic", [| spec |]) ->
       List.iter
         (fun pi ->
           let name, arity = pred_indicator pi in
-          let pred = Database.declare db ~kind:Pred.Dynamic name arity in
-          Pred.set_kind pred Pred.Dynamic)
+          ignore (Database.set_dynamic db name arity))
         (items_of spec);
       `Handled
   | Term.Struct ("hilog", [| spec |]) ->
@@ -75,7 +74,7 @@ let process_directive db directive =
       `Handled
   | Term.Struct ("index", [| pi; spec |]) ->
       let name, arity = pred_indicator pi in
-      Pred.set_index (Database.declare db name arity) (index_spec_of spec);
+      Database.set_index db name arity (index_spec_of spec);
       `Handled
   | Term.Struct ("index", [| pi; spec; size |]) ->
       let name, arity = pred_indicator pi in
@@ -84,7 +83,7 @@ let process_directive db directive =
         | Term.Int n when n > 0 -> Some n
         | t -> fail "bad index hash size: %a" Term.pp t
       in
-      Pred.set_index (Database.declare db name arity) ?size_hint (index_spec_of spec);
+      Database.set_index db ?size_hint name arity (index_spec_of spec);
       `Handled
   | Term.Struct ("op", [| p; f; names |]) -> (
       match (Term.deref p, Term.deref f) with
@@ -94,7 +93,7 @@ let process_directive db directive =
               List.iter
                 (fun name ->
                   match Term.deref name with
-                  | Term.Atom name -> Ops.add (Database.ops db) priority fixity name
+                  | Term.Atom name -> Database.add_op db priority fixity name
                   | t -> fail "bad operator name: %a" Term.pp t)
                 (items_of names);
               `Handled

@@ -2,14 +2,15 @@ open Xsb_term
 
 exception Bad_object_file of string
 
-(* version 03 replaces [Marshal] with an explicit binary codec. The
-   digest in the header detects accidental corruption, but it is
-   computed from the payload itself, so it proves integrity, not
-   origin: anyone can forge a "valid" image (the server accepts them
-   over CONSULT fmt=obj). Unmarshalling such bytes could crash the
-   runtime or build type-confused values; the explicit decoder instead
-   validates every tag, length and count, so untrusted image bytes can
-   at worst produce a typed [Bad_object_file]. *)
+(* version 03 replaces [Marshal] with an explicit binary codec (now
+   shared with the write-ahead journal, see [Codec]). The digest in the
+   header detects accidental corruption, but it is computed from the
+   payload itself, so it proves integrity, not origin: anyone can forge
+   a "valid" image (the server accepts them over CONSULT fmt=obj).
+   Unmarshalling such bytes could crash the runtime or build
+   type-confused values; the explicit decoder instead validates every
+   tag, length and count, so untrusted image bytes can at worst produce
+   a typed [Bad_object_file]. *)
 let magic = "XSBOBJ03"
 
 (* The on-disk image: everything is canonical (immutable, no variable
@@ -42,159 +43,46 @@ let image_of_pred pred =
         (Pred.clauses pred);
   }
 
-(* --- the payload codec ---
-
-   Multi-byte integers are big-endian; strings are length-prefixed;
-   every variant carries a tag byte. Nothing here is clever — the point
-   is that decoding is a total function from bytes to
-   [image-or-Bad_object_file], with no [Marshal] and no [Obj]. *)
-
-let put_u8 b n = Buffer.add_char b (Char.chr (n land 0xff))
-let put_u32 b n = Buffer.add_int32_be b (Int32.of_int n)
-let put_i64 b v = Buffer.add_int64_be b v
-
-let put_string b s =
-  put_u32 b (String.length s);
-  Buffer.add_string b s
-
-let put_bool b v = put_u8 b (if v then 1 else 0)
-
-let rec put_canon b = function
-  | Canon.CVar n ->
-      put_u8 b 0;
-      put_u32 b n
-  | Canon.CAtom a ->
-      put_u8 b 1;
-      put_string b a
-  | Canon.CInt i ->
-      put_u8 b 2;
-      put_i64 b (Int64.of_int i)
-  | Canon.CFloat x ->
-      put_u8 b 3;
-      put_i64 b (Int64.bits_of_float x)
-  | Canon.CStruct (f, args) ->
-      put_u8 b 4;
-      put_string b f;
-      put_u32 b (Array.length args);
-      Array.iter (put_canon b) args
-
 let put_images b images =
-  put_u32 b (List.length images);
+  Codec.put_u32 b (List.length images);
   List.iter
     (fun img ->
-      put_string b img.p_name;
-      put_u32 b img.p_arity;
-      put_bool b img.p_dynamic;
-      put_bool b img.p_tabled;
+      Codec.put_string b img.p_name;
+      Codec.put_u32 b img.p_arity;
+      Codec.put_bool b img.p_dynamic;
+      Codec.put_bool b img.p_tabled;
       (match img.p_index with
       | `Fields combos ->
-          put_u8 b 0;
-          put_u32 b (List.length combos);
+          Codec.put_u8 b 0;
+          Codec.put_u32 b (List.length combos);
           List.iter
             (fun combo ->
-              put_u32 b (List.length combo);
-              List.iter (put_u32 b) combo)
+              Codec.put_u32 b (List.length combo);
+              List.iter (Codec.put_u32 b) combo)
             combos
-      | `First_string -> put_u8 b 1
-      | `Disc_tree -> put_u8 b 2);
-      put_u32 b (List.length img.p_clauses);
-      List.iter (put_canon b) img.p_clauses)
+      | `First_string -> Codec.put_u8 b 1
+      | `Disc_tree -> Codec.put_u8 b 2);
+      Codec.put_u32 b (List.length img.p_clauses);
+      List.iter (Codec.put_canon b) img.p_clauses)
     images
 
-type cursor = { buf : string; mutable pos : int }
-
-let decode_error msg = raise (Bad_object_file msg)
-
-let need c n = if c.pos + n > String.length c.buf then decode_error "truncated image data"
-
-let get_u8 c =
-  need c 1;
-  let v = Char.code c.buf.[c.pos] in
-  c.pos <- c.pos + 1;
-  v
-
-let get_u32 c =
-  need c 4;
-  let v = Int32.to_int (String.get_int32_be c.buf c.pos) land 0xffffffff in
-  c.pos <- c.pos + 4;
-  v
-
-let get_i64 c =
-  need c 8;
-  let v = String.get_int64_be c.buf c.pos in
-  c.pos <- c.pos + 8;
-  v
-
-let get_int c =
-  let v = get_i64 c in
-  if Int64.of_int (Int64.to_int v) <> v then decode_error "integer out of range";
-  Int64.to_int v
-
-let get_string c =
-  let n = get_u32 c in
-  need c n;
-  let s = String.sub c.buf c.pos n in
-  c.pos <- c.pos + n;
-  s
-
-let get_bool c =
-  match get_u8 c with 0 -> false | 1 -> true | _ -> decode_error "bad boolean"
-
-(* a forged count cannot make us allocate past the payload: every
-   encoded element is at least one byte *)
-let get_count c =
-  let n = get_u32 c in
-  if n > String.length c.buf - c.pos then decode_error "implausible element count";
-  n
-
-(* iterative (explicit work list, mutual tail calls), so a forged
-   deeply-nested term cannot blow the OCaml stack *)
-let get_canon c =
-  let rec build pending leaf =
-    match pending with
-    | [] -> leaf
-    | (f, args, idx) :: rest ->
-        args.(idx) <- leaf;
-        if idx + 1 = Array.length args then build rest (Canon.CStruct (f, args))
-        else fill ((f, args, idx + 1) :: rest)
-  and fill pending =
-    match get_u8 c with
-    | 0 -> build pending (Canon.CVar (get_u32 c))
-    | 1 -> build pending (Canon.CAtom (get_string c))
-    | 2 -> build pending (Canon.CInt (get_int c))
-    | 3 -> build pending (Canon.CFloat (Int64.float_of_bits (get_i64 c)))
-    | 4 ->
-        let f = get_string c in
-        let n = get_count c in
-        if n = 0 then build pending (Canon.CStruct (f, [||]))
-        else fill ((f, Array.make n (Canon.CVar 0), 0) :: pending)
-    | _ -> decode_error "bad term tag"
-  in
-  fill []
-
-(* an explicit loop: [List.init]'s evaluation order is unspecified,
-   which matters with a stateful cursor *)
-let get_list c get =
-  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (get c :: acc) in
-  go (get_count c) []
-
 let get_images c : image =
-  get_list c (fun c ->
-      let p_name = get_string c in
-      let p_arity = get_u32 c in
-      let p_dynamic = get_bool c in
-      let p_tabled = get_bool c in
+  Codec.get_list c (fun c ->
+      let p_name = Codec.get_string c in
+      let p_arity = Codec.get_u32 c in
+      let p_dynamic = Codec.get_bool c in
+      let p_tabled = Codec.get_bool c in
       let p_index =
-        match get_u8 c with
-        | 0 -> `Fields (get_list c (fun c -> get_list c get_u32))
+        match Codec.get_u8 c with
+        | 0 -> `Fields (Codec.get_list c (fun c -> Codec.get_list c Codec.get_u32))
         | 1 -> `First_string
         | 2 -> `Disc_tree
-        | _ -> decode_error "bad index tag"
+        | _ -> Codec.decode_error "bad index tag"
       in
-      let p_clauses = get_list c get_canon in
+      let p_clauses = Codec.get_list c Codec.get_canon in
       { p_name; p_arity; p_dynamic; p_tabled; p_index; p_clauses })
 
-let save db keys path =
+let image_bytes db keys =
   let images =
     List.filter_map
       (fun (name, arity) -> Option.map image_of_pred (Database.find db name arity))
@@ -205,14 +93,21 @@ let save db keys path =
     put_images b images;
     Buffer.contents b
   in
+  let b = Buffer.create (String.length payload + 32) in
+  Buffer.add_string b magic;
+  Buffer.add_int32_be b (Int32.of_int (String.length payload));
+  Buffer.add_string b (Digest.string payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let to_string db =
+  let keys = List.map (fun p -> (Pred.name p, Pred.arity p)) (Database.preds db) in
+  image_bytes db keys
+
+let save db keys path =
+  let bytes = image_bytes db keys in
   let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc magic;
-      output_binary_int oc (String.length payload);
-      output_string oc (Digest.string payload);
-      output_string oc payload)
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc bytes)
 
 let save_all db path =
   let keys = List.map (fun p -> (Pred.name p, Pred.arity p)) (Database.preds db) in
@@ -242,10 +137,12 @@ let load_string db image_bytes =
     (* the digest above only proves the payload matches its own
        checksum — it can be forged, so the decoder must (and does)
        validate the structure itself *)
-    let c = { buf = payload; pos = 0 } in
-    let images = get_images c in
-    if c.pos <> String.length payload then fail "trailing bytes after image";
-    images
+    try
+      let c = Codec.cursor payload in
+      let images = get_images c in
+      if c.Codec.pos <> String.length payload then fail "trailing bytes after image";
+      images
+    with Codec.Decode_error msg -> fail msg
   in
   let count = ref 0 in
   List.iter
@@ -253,16 +150,16 @@ let load_string db image_bytes =
       Database.remove_pred db img.p_name img.p_arity;
       let kind = if img.p_dynamic then Pred.Dynamic else Pred.Static in
       let pred = Database.declare db ~kind img.p_name img.p_arity in
-      Pred.set_tabled pred img.p_tabled;
+      if img.p_tabled then Database.set_tabled db img.p_name img.p_arity;
       (match img.p_index with
-      | `Fields combos -> Pred.set_index pred (Pred.Fields combos)
-      | `First_string -> Pred.set_index pred Pred.First_string_index
-      | `Disc_tree -> Pred.set_index pred Pred.Disc_tree_index);
+      | `Fields combos -> Database.set_index db img.p_name img.p_arity (Pred.Fields combos)
+      | `First_string -> Database.set_index db img.p_name img.p_arity Pred.First_string_index
+      | `Disc_tree -> Database.set_index db img.p_name img.p_arity Pred.Disc_tree_index);
       List.iter
         (fun canon ->
           match Term.deref (Canon.to_term canon) with
           | Term.Struct (":-", [| head; body |]) ->
-              ignore (Pred.assertz pred ~head ~body);
+              ignore (Database.insert_clause db pred ~head ~body);
               incr count
           | _ -> raise (Bad_object_file "corrupt clause"))
         img.p_clauses)

@@ -14,6 +14,10 @@ val save : Database.t -> (string * int) list -> string -> unit
 
 val save_all : Database.t -> string -> unit
 
+val to_string : Database.t -> string
+(** The whole database as in-memory image bytes (same format as
+    {!save_all} writes). Used by the journal's snapshot compaction. *)
+
 val load : Database.t -> string -> int
 (** Load an object file into the database; returns the clause count.
     Existing predicates with the same name/arity are replaced. Raises

@@ -67,6 +67,6 @@ let apply db ~scope =
   List.iter
     (fun (name, arity) ->
       match Database.find db name arity with
-      | Some pred -> Pred.set_tabled pred true
+      | Some _ -> Database.set_tabled db name arity
       | None -> ())
     (cyclic_preds db ~scope)

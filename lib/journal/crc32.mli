@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3, the zlib polynomial), table-driven. Used to
+    frame journal records so a torn or bit-rotted record is detected
+    before its payload is ever decoded. *)
+
+val string : ?crc:int32 -> string -> int32
+(** [string s] is the CRC of [s]; pass [~crc] to continue a running
+    checksum. *)
+
+val to_int : int32 -> int
+(** The checksum as a non-negative [int] (for u32 framing). *)

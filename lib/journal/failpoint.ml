@@ -1,0 +1,46 @@
+type action = Fail | Crash | Short_write of int
+
+exception Injected_crash of string
+
+type armed = { mutable remaining : int; action : action }
+
+let armed_sites : (string, armed) Hashtbl.t = Hashtbl.create 8
+let hit_counts : (string, int) Hashtbl.t = Hashtbl.create 16
+let m = Mutex.create ()
+
+let locked f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let arm ?(after = 0) site action =
+  locked (fun () -> Hashtbl.replace armed_sites site { remaining = after; action })
+
+let disarm site = locked (fun () -> Hashtbl.remove armed_sites site)
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset armed_sites;
+      Hashtbl.reset hit_counts)
+
+let hits site = locked (fun () -> Option.value ~default:0 (Hashtbl.find_opt hit_counts site))
+
+let all_hits () =
+  locked (fun () -> Hashtbl.fold (fun site n acc -> (site, n) :: acc) hit_counts [])
+  |> List.sort compare
+
+let check site =
+  locked (fun () ->
+      Hashtbl.replace hit_counts site
+        (1 + Option.value ~default:0 (Hashtbl.find_opt hit_counts site));
+      match Hashtbl.find_opt armed_sites site with
+      | None -> None
+      | Some a ->
+          if a.remaining > 0 then begin
+            a.remaining <- a.remaining - 1;
+            None
+          end
+          else begin
+            (* one-shot: the recovery after a simulated crash must run clean *)
+            Hashtbl.remove armed_sites site;
+            Some a.action
+          end)

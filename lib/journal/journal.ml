@@ -1,0 +1,738 @@
+open Xsb_term
+open Xsb_db
+
+(* ---------- sync policies ---------- *)
+
+type sync_policy = Never | Interval of int | Always
+
+let sync_policy_of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let interval n =
+    match int_of_string_opt n with Some n when n > 0 -> Some (Interval n) | _ -> None
+  in
+  match s with
+  | "never" -> Some Never
+  | "always" -> Some Always
+  | "interval" -> Some (Interval 64)
+  | _ -> (
+      match String.index_opt s '=' with
+      | Some i when String.sub s 0 i = "interval" ->
+          interval (String.sub s (i + 1) (String.length s - i - 1))
+      | _ -> interval s)
+
+let sync_policy_to_string = function
+  | Never -> "never"
+  | Always -> "always"
+  | Interval n -> Printf.sprintf "interval=%d" n
+
+(* ---------- mutation records ---------- *)
+
+type mutation =
+  | Add_clause of {
+      name : string;
+      arity : int;
+      front : bool;
+      dynamic : bool;
+      clause : Canon.t;
+    }
+  | Retract_clause of { name : string; arity : int; clause : Canon.t }
+  | Remove_pred of { name : string; arity : int }
+  | Set_tabled of { name : string; arity : int }
+  | Set_dynamic of { name : string; arity : int }
+  | Set_index of {
+      name : string;
+      arity : int;
+      spec : Pred.index_spec;
+      size_hint : int option;
+    }
+  | Declare_hilog of string
+  | Declare_module of { module_name : string; exports : (string * int) list }
+  | Declare_op of { priority : int; fixity : string; op_name : string }
+  | Load_image of string
+
+exception Corrupt_record of string
+
+let clause_canon (c : Pred.clause) =
+  Canon.of_term (Term.Struct (":-", [| c.Pred.head; c.Pred.body |]))
+
+let of_db_mutation : Database.mutation -> mutation = function
+  | Database.Added_clause { pred; clause; front } ->
+      Add_clause
+        {
+          name = Pred.name pred;
+          arity = Pred.arity pred;
+          front;
+          dynamic = Pred.kind pred = Pred.Dynamic;
+          clause = clause_canon clause;
+        }
+  | Database.Retracted_clause { pred; clause } ->
+      Retract_clause
+        { name = Pred.name pred; arity = Pred.arity pred; clause = clause_canon clause }
+  | Database.Removed_pred { name; arity } -> Remove_pred { name; arity }
+  | Database.Tabled_pred { name; arity } -> Set_tabled { name; arity }
+  | Database.Dynamic_pred { name; arity } -> Set_dynamic { name; arity }
+  | Database.Indexed_pred { name; arity; spec; size_hint } ->
+      Set_index { name; arity; spec; size_hint }
+  | Database.Hilog_symbol name -> Declare_hilog name
+  | Database.Module_decl { Database.module_name; exports } ->
+      Declare_module { module_name; exports }
+  | Database.Op_decl { priority; fixity; op_name } ->
+      Declare_op { priority; fixity = Xsb_parse.Ops.fixity_to_string fixity; op_name }
+
+(* Replay. The records carry post-encoding clauses, so nothing here
+   re-runs HiLog encoding: the database ends up byte-identical to the
+   one that produced the stream. Retractions and removals of
+   already-gone targets are no-ops, keeping replay deterministic. *)
+let apply_mutation db = function
+  | Add_clause { name; arity; front; dynamic; clause } -> (
+      let kind = if dynamic then Pred.Dynamic else Pred.Static in
+      let pred = Database.declare db ~kind name arity in
+      if dynamic && Pred.kind pred <> Pred.Dynamic then Pred.set_kind pred Pred.Dynamic;
+      match Term.deref (Canon.to_term clause) with
+      | Term.Struct (":-", [| head; body |]) ->
+          ignore (Database.insert_clause db ~front pred ~head ~body)
+      | _ -> raise (Corrupt_record "clause record is not a ':-'/2 term"))
+  | Retract_clause { name; arity; clause } -> (
+      match Database.find db name arity with
+      | None -> ()
+      | Some pred ->
+          let rec go = function
+            | [] -> ()
+            | c :: rest ->
+                if Canon.equal (clause_canon c) clause then Database.retract_clause db pred c
+                else go rest
+          in
+          go (Pred.clauses pred))
+  | Remove_pred { name; arity } -> Database.remove_pred db name arity
+  | Set_tabled { name; arity } -> Database.set_tabled db name arity
+  | Set_dynamic { name; arity } -> ignore (Database.set_dynamic db name arity)
+  | Set_index { name; arity; spec; size_hint } ->
+      Database.set_index db ?size_hint name arity spec
+  | Declare_hilog name -> Database.declare_hilog db name
+  | Declare_module { module_name; exports } -> Database.declare_module db module_name exports
+  | Declare_op { priority; fixity; op_name } -> (
+      match Xsb_parse.Ops.fixity_of_string fixity with
+      | Some f -> Database.add_op db priority f op_name
+      | None -> raise (Corrupt_record ("bad operator fixity " ^ fixity)))
+  | Load_image image -> ignore (Obj_file.load_string db image)
+
+(* ---------- the record codec ---------- *)
+
+let put_index_spec b spec size_hint =
+  (match spec with
+  | Pred.Fields combos ->
+      Codec.put_u8 b 0;
+      Codec.put_u32 b (List.length combos);
+      List.iter
+        (fun combo ->
+          Codec.put_u32 b (List.length combo);
+          List.iter (Codec.put_u32 b) combo)
+        combos
+  | Pred.First_string_index -> Codec.put_u8 b 1
+  | Pred.Disc_tree_index -> Codec.put_u8 b 2);
+  match size_hint with
+  | None -> Codec.put_bool b false
+  | Some n ->
+      Codec.put_bool b true;
+      Codec.put_u32 b n
+
+let get_index_spec c =
+  let spec =
+    match Codec.get_u8 c with
+    | 0 -> Pred.Fields (Codec.get_list c (fun c -> Codec.get_list c Codec.get_u32))
+    | 1 -> Pred.First_string_index
+    | 2 -> Pred.Disc_tree_index
+    | _ -> Codec.decode_error "bad index tag"
+  in
+  let size_hint = if Codec.get_bool c then Some (Codec.get_u32 c) else None in
+  (spec, size_hint)
+
+let encode_mutation m =
+  let b = Buffer.create 64 in
+  (match m with
+  | Add_clause { name; arity; front; dynamic; clause } ->
+      Codec.put_u8 b 0;
+      Codec.put_string b name;
+      Codec.put_u32 b arity;
+      Codec.put_bool b front;
+      Codec.put_bool b dynamic;
+      Codec.put_canon b clause
+  | Retract_clause { name; arity; clause } ->
+      Codec.put_u8 b 1;
+      Codec.put_string b name;
+      Codec.put_u32 b arity;
+      Codec.put_canon b clause
+  | Remove_pred { name; arity } ->
+      Codec.put_u8 b 2;
+      Codec.put_string b name;
+      Codec.put_u32 b arity
+  | Set_tabled { name; arity } ->
+      Codec.put_u8 b 3;
+      Codec.put_string b name;
+      Codec.put_u32 b arity
+  | Set_dynamic { name; arity } ->
+      Codec.put_u8 b 4;
+      Codec.put_string b name;
+      Codec.put_u32 b arity
+  | Set_index { name; arity; spec; size_hint } ->
+      Codec.put_u8 b 5;
+      Codec.put_string b name;
+      Codec.put_u32 b arity;
+      put_index_spec b spec size_hint
+  | Declare_hilog name ->
+      Codec.put_u8 b 6;
+      Codec.put_string b name
+  | Declare_module { module_name; exports } ->
+      Codec.put_u8 b 7;
+      Codec.put_string b module_name;
+      Codec.put_u32 b (List.length exports);
+      List.iter
+        (fun (n, a) ->
+          Codec.put_string b n;
+          Codec.put_u32 b a)
+        exports
+  | Declare_op { priority; fixity; op_name } ->
+      Codec.put_u8 b 8;
+      Codec.put_u32 b priority;
+      Codec.put_string b fixity;
+      Codec.put_string b op_name
+  | Load_image image ->
+      Codec.put_u8 b 9;
+      Codec.put_string b image);
+  Buffer.contents b
+
+let decode_mutation payload =
+  try
+    let c = Codec.cursor payload in
+    let name_arity () =
+      let name = Codec.get_string c in
+      let arity = Codec.get_u32 c in
+      (name, arity)
+    in
+    let m =
+      match Codec.get_u8 c with
+      | 0 ->
+          let name, arity = name_arity () in
+          let front = Codec.get_bool c in
+          let dynamic = Codec.get_bool c in
+          let clause = Codec.get_canon c in
+          Add_clause { name; arity; front; dynamic; clause }
+      | 1 ->
+          let name, arity = name_arity () in
+          let clause = Codec.get_canon c in
+          Retract_clause { name; arity; clause }
+      | 2 ->
+          let name, arity = name_arity () in
+          Remove_pred { name; arity }
+      | 3 ->
+          let name, arity = name_arity () in
+          Set_tabled { name; arity }
+      | 4 ->
+          let name, arity = name_arity () in
+          Set_dynamic { name; arity }
+      | 5 ->
+          let name, arity = name_arity () in
+          let spec, size_hint = get_index_spec c in
+          Set_index { name; arity; spec; size_hint }
+      | 6 -> Declare_hilog (Codec.get_string c)
+      | 7 ->
+          let module_name = Codec.get_string c in
+          let exports =
+            Codec.get_list c (fun c ->
+                let n = Codec.get_string c in
+                let a = Codec.get_u32 c in
+                (n, a))
+          in
+          Declare_module { module_name; exports }
+      | 8 ->
+          let priority = Codec.get_u32 c in
+          let fixity = Codec.get_string c in
+          let op_name = Codec.get_string c in
+          Declare_op { priority; fixity; op_name }
+      | 9 -> Load_image (Codec.get_string c)
+      | _ -> Codec.decode_error "bad record tag"
+    in
+    if c.Codec.pos <> String.length payload then
+      Codec.decode_error "trailing bytes after record";
+    m
+  with Codec.Decode_error msg -> raise (Corrupt_record msg)
+
+(* ---------- framing ---------- *)
+
+(* must fit any snapshot image record: Obj_file.max_payload + headroom *)
+let max_record = (256 * 1024 * 1024) + 4096
+
+let frame payload =
+  let b = Buffer.create (String.length payload + 8) in
+  Codec.put_u32 b (String.length payload);
+  Codec.put_u32 b (Crc32.to_int (Crc32.string payload));
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let frame_record m = frame (encode_mutation m)
+
+type read_result =
+  | Record of mutation * int
+  | End_clean
+  | End_torn
+  | Corrupt of string
+
+let get_be32 buf pos = Int32.to_int (String.get_int32_be buf pos) land 0xffffffff
+
+let read_framed buf pos =
+  let len = String.length buf in
+  if pos = len then End_clean
+  else if len - pos < 8 then End_torn
+  else
+    let rlen = get_be32 buf pos in
+    let crc = get_be32 buf (pos + 4) in
+    if rlen > max_record then
+      if pos + 8 + rlen > len then End_torn else Corrupt "implausible record length"
+    else if pos + 8 + rlen > len then End_torn
+    else
+      let payload = String.sub buf (pos + 8) rlen in
+      if Crc32.to_int (Crc32.string payload) <> crc then
+        (* a bad checksum on the very last record is a torn write; one
+           with valid data after it cannot be *)
+        if pos + 8 + rlen = len then End_torn else Corrupt "record checksum mismatch"
+      else
+        match decode_mutation payload with
+        | m -> Record (m, pos + 8 + rlen)
+        | exception Corrupt_record msg -> Corrupt msg
+
+(* records, end-of-valid-prefix offset, how scanning ended *)
+let scan buf start =
+  let rec go acc pos =
+    match read_framed buf pos with
+    | Record (m, next) -> go (m :: acc) next
+    | End_clean -> (List.rev acc, pos, `Clean)
+    | End_torn -> (List.rev acc, pos, `Torn)
+    | Corrupt msg -> (List.rev acc, pos, `Corrupt msg)
+  in
+  go [] start
+
+(* ---------- file headers ---------- *)
+
+let journal_magic = "XSBJNL01"
+let snapshot_magic = "XSBSNP01"
+let header_len = 16
+
+let header magic gen =
+  let b = Buffer.create header_len in
+  Buffer.add_string b magic;
+  Buffer.add_int64_be b gen;
+  Buffer.contents b
+
+(* ---------- the journal ---------- *)
+
+type config = { dir : string; sync : sync_policy; compact_bytes : int }
+
+let default_config ~dir = { dir; sync = Always; compact_bytes = 8 * 1024 * 1024 }
+
+type stats = {
+  mutable records_appended : int;
+  mutable bytes_appended : int;
+  mutable fsyncs : int;
+  mutable compactions : int;
+  mutable recovered_records : int;
+  mutable torn_bytes_dropped : int;
+  mutable recovery_ms : float;
+}
+
+let fresh_stats () =
+  {
+    records_appended = 0;
+    bytes_appended = 0;
+    fsyncs = 0;
+    compactions = 0;
+    recovered_records = 0;
+    torn_bytes_dropped = 0;
+    recovery_ms = 0.0;
+  }
+
+type t = {
+  cfg : config;
+  db : Database.t;
+  mutable fd : Unix.file_descr;
+  mutable written : int;
+  mutable synced : int;
+  mutable pending : int;  (* records appended since the last fsync *)
+  mutable generation : int64;
+  mutable failed_site : string option;
+  mutable closed : bool;
+  mutable attached : bool;
+  (* operator declarations cannot be enumerated back out of [Ops.t],
+     so every one that enters the stream is carried into snapshots *)
+  mutable op_decls : mutation list;  (* reversed *)
+  stats : stats;
+}
+
+exception Io_error of { site : string; message : string }
+
+exception Recovery_error of {
+  file : string;
+  offset : int;
+  records_ok : int;
+  message : string;
+}
+
+let io_error site message = raise (Io_error { site; message })
+
+let guard_usable j =
+  if j.closed then io_error "journal" "journal is closed";
+  match j.failed_site with
+  | Some site -> io_error site "journal write path failed earlier; reopen to recover"
+  | None -> ()
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off = if off < len then go (off + Unix.write_substring fd s off (len - off)) in
+  go 0
+
+(* every I/O primitive passes its named failpoint first; a Unix error
+   or an injected [Fail] poisons the journal (typed [Io_error], the
+   server's read-only trigger), an injected crash raises
+   [Failpoint.Injected_crash] after mimicking the partial effect *)
+
+let write_site j site fd bytes =
+  (match Failpoint.check site with
+  | Some Failpoint.Fail ->
+      j.failed_site <- Some site;
+      io_error site "injected I/O failure"
+  | Some (Failpoint.Short_write n) ->
+      j.failed_site <- Some site;
+      let n = min (max n 0) (String.length bytes) in
+      (try write_all fd (String.sub bytes 0 n) with Unix.Unix_error _ -> ());
+      raise (Failpoint.Injected_crash site)
+  | Some Failpoint.Crash ->
+      j.failed_site <- Some site;
+      raise (Failpoint.Injected_crash site)
+  | None -> ());
+  try write_all fd bytes
+  with Unix.Unix_error (e, _, _) ->
+    j.failed_site <- Some site;
+    io_error site (Unix.error_message e)
+
+let fsync_site j site fd =
+  (match Failpoint.check site with
+  | Some Failpoint.Fail ->
+      j.failed_site <- Some site;
+      io_error site "injected fsync failure"
+  | Some (Failpoint.Crash | Failpoint.Short_write _) ->
+      j.failed_site <- Some site;
+      raise (Failpoint.Injected_crash site)
+  | None -> ());
+  try Unix.fsync fd
+  with Unix.Unix_error (e, _, _) ->
+    j.failed_site <- Some site;
+    io_error site (Unix.error_message e)
+
+let rename_site j site src dst =
+  (match Failpoint.check site with
+  | Some Failpoint.Fail ->
+      j.failed_site <- Some site;
+      io_error site "injected rename failure"
+  | Some (Failpoint.Crash | Failpoint.Short_write _) ->
+      j.failed_site <- Some site;
+      raise (Failpoint.Injected_crash site)
+  | None -> ());
+  try Unix.rename src dst
+  with Unix.Unix_error (e, _, _) ->
+    j.failed_site <- Some site;
+    io_error site (Unix.error_message e)
+
+(* directory fsync: makes a rename durable. Some filesystems refuse
+   fsync on directories; that is not a data-loss signal. *)
+let fsync_dir_raw dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let fsync_dir_site j site dir =
+  (match Failpoint.check site with
+  | Some Failpoint.Fail ->
+      j.failed_site <- Some site;
+      io_error site "injected directory fsync failure"
+  | Some (Failpoint.Crash | Failpoint.Short_write _) ->
+      j.failed_site <- Some site;
+      raise (Failpoint.Injected_crash site)
+  | None -> ());
+  fsync_dir_raw dir
+
+(* ---------- recovery ---------- *)
+
+let read_file path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  end
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let journal_path cfg = Filename.concat cfg.dir "journal.log"
+let snapshot_path cfg = Filename.concat cfg.dir "snapshot.bin"
+
+(* a fresh journal containing only its header, published atomically
+   (tmp + rename) so a crash can never leave a torn header behind.
+   The returned fd stays valid across the rename and is positioned at
+   the end of the header. *)
+let create_journal_file jpath gen =
+  let tmp = jpath ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  (try
+     write_all fd (header journal_magic gen);
+     Unix.fsync fd;
+     Unix.rename tmp jpath
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     io_error "journal.open" (Unix.error_message e));
+  fsync_dir_raw (Filename.dirname jpath);
+  fd
+
+let open_ ?(tolerate_corruption = false) cfg db =
+  let t0 = Unix.gettimeofday () in
+  mkdir_p cfg.dir;
+  let jpath = journal_path cfg and spath = snapshot_path cfg in
+  let stats = fresh_stats () in
+  let op_decls = ref [] in
+  let recovery_error file offset records_ok message =
+    raise (Recovery_error { file; offset; records_ok; message })
+  in
+  let apply_all file records =
+    List.iteri
+      (fun i m ->
+        (match m with Declare_op _ -> op_decls := m :: !op_decls | _ -> ());
+        try apply_mutation db m with
+        | Corrupt_record msg | Obj_file.Bad_object_file msg ->
+            recovery_error file (-1) i ("record failed to apply: " ^ msg))
+      records;
+    stats.recovered_records <- stats.recovered_records + List.length records
+  in
+  (* 1. the snapshot. It is published atomically, so unlike the journal
+     it has no legitimate torn tail: anything short of clean is
+     corruption (recoverable as a prefix only under
+     [~tolerate_corruption]). *)
+  let snap_gen =
+    match read_file spath with
+    | None -> 0L
+    | Some buf ->
+        if String.length buf < header_len || String.sub buf 0 8 <> snapshot_magic then
+          recovery_error spath 0 0 "bad snapshot header";
+        let gen = String.get_int64_be buf 8 in
+        let records, end_pos, status = scan buf header_len in
+        (match status with
+        | `Clean -> ()
+        | (`Torn | `Corrupt _) when tolerate_corruption -> ()
+        | `Torn -> recovery_error spath end_pos (List.length records) "truncated snapshot"
+        | `Corrupt msg -> recovery_error spath end_pos (List.length records) msg);
+        apply_all spath records;
+        gen
+  in
+  (* 2. the journal tail *)
+  let generation, fd, written =
+    match read_file jpath with
+    | None ->
+        let g = Int64.add snap_gen 1L in
+        (g, create_journal_file jpath g, header_len)
+    | Some buf when String.length buf < header_len ->
+        (* crashed while the very first header was being written: no
+           record can ever have followed it *)
+        let g = Int64.add snap_gen 1L in
+        (g, create_journal_file jpath g, header_len)
+    | Some buf ->
+        if String.sub buf 0 8 <> journal_magic then
+          recovery_error jpath 0 0 "bad journal magic";
+        let g = String.get_int64_be buf 8 in
+        if Int64.compare g snap_gen <= 0 then begin
+          (* stale: the crash hit compaction after the snapshot rename
+             but before the journal rotation — every record here is
+             already inside the snapshot, so replaying would double
+             them. Rotate to the next generation. *)
+          let g' = Int64.add snap_gen 1L in
+          (g', create_journal_file jpath g', header_len)
+        end
+        else if Int64.compare g (Int64.add snap_gen 1L) > 0 then
+          recovery_error jpath 8 0
+            (Printf.sprintf "journal generation %Ld skips snapshot generation %Ld" g snap_gen)
+        else begin
+          let records, end_pos, status = scan buf header_len in
+          (match status with
+          | `Clean -> ()
+          | `Torn -> stats.torn_bytes_dropped <- String.length buf - end_pos
+          | `Corrupt _ when tolerate_corruption ->
+              stats.torn_bytes_dropped <- String.length buf - end_pos
+          | `Corrupt msg -> recovery_error jpath end_pos (List.length records) msg);
+          apply_all jpath records;
+          (* drop the torn tail so the next append starts at the end of
+             the valid prefix *)
+          let fd =
+            try Unix.openfile jpath [ Unix.O_WRONLY ] 0o644
+            with Unix.Unix_error (e, _, _) -> io_error "journal.open" (Unix.error_message e)
+          in
+          (try
+             if end_pos < String.length buf then Unix.ftruncate fd end_pos;
+             ignore (Unix.lseek fd end_pos Unix.SEEK_SET);
+             Unix.fsync fd
+           with Unix.Unix_error (e, _, _) ->
+             (try Unix.close fd with Unix.Unix_error _ -> ());
+             io_error "journal.open" (Unix.error_message e));
+          (g, fd, end_pos)
+        end
+  in
+  stats.recovery_ms <- 1000.0 *. (Unix.gettimeofday () -. t0);
+  {
+    cfg;
+    db;
+    fd;
+    written;
+    synced = written;
+    pending = 0;
+    generation;
+    failed_site = None;
+    closed = false;
+    attached = false;
+    op_decls = !op_decls;
+    stats;
+  }
+
+(* ---------- appending ---------- *)
+
+let do_sync j =
+  fsync_site j "journal.append.sync" j.fd;
+  j.synced <- j.written;
+  j.pending <- 0;
+  j.stats.fsyncs <- j.stats.fsyncs + 1
+
+(* everything reachable from the database right now, as one snapshot
+   record stream: declarations the object-file image cannot carry, then
+   the image itself *)
+let snapshot_records j =
+  List.map (fun s -> Declare_hilog s) (Database.hilog_symbols j.db)
+  @ List.map
+      (fun (m : Database.module_info) ->
+        Declare_module { module_name = m.Database.module_name; exports = m.Database.exports })
+      (Database.modules j.db)
+  @ List.rev j.op_decls
+  @ [ Load_image (Obj_file.to_string j.db) ]
+
+let compact j =
+  guard_usable j;
+  let jpath = journal_path j.cfg and spath = snapshot_path j.cfg in
+  (* 1. write the snapshot aside *)
+  let stmp = spath ^ ".tmp" in
+  let b = Buffer.create 65536 in
+  Buffer.add_string b (header snapshot_magic j.generation);
+  List.iter (fun m -> Buffer.add_string b (frame (encode_mutation m))) (snapshot_records j);
+  let sfd =
+    try Unix.openfile stmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    with Unix.Unix_error (e, _, _) ->
+      j.failed_site <- Some "snapshot.write";
+      io_error "snapshot.write" (Unix.error_message e)
+  in
+  (try
+     write_site j "snapshot.write" sfd (Buffer.contents b);
+     fsync_site j "snapshot.sync" sfd
+   with e ->
+     (try Unix.close sfd with Unix.Unix_error _ -> ());
+     raise e);
+  (try Unix.close sfd with Unix.Unix_error _ -> ());
+  (* 2. publish it atomically: after this rename, recovery prefers the
+     snapshot and ignores the (now stale-generation) journal *)
+  rename_site j "snapshot.rename" stmp spath;
+  fsync_dir_site j "dir.sync" j.cfg.dir;
+  (* 3. rotate the journal to the next generation *)
+  let next = Int64.add j.generation 1L in
+  let jtmp = jpath ^ ".tmp" in
+  let nfd =
+    try Unix.openfile jtmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    with Unix.Unix_error (e, _, _) ->
+      j.failed_site <- Some "journal.rotate.write";
+      io_error "journal.rotate.write" (Unix.error_message e)
+  in
+  (try
+     write_site j "journal.rotate.write" nfd (header journal_magic next);
+     fsync_site j "journal.rotate.sync" nfd
+   with e ->
+     (try Unix.close nfd with Unix.Unix_error _ -> ());
+     raise e);
+  rename_site j "journal.rotate.rename" jtmp jpath;
+  fsync_dir_site j "dir.sync" j.cfg.dir;
+  (try Unix.close j.fd with Unix.Unix_error _ -> ());
+  j.fd <- nfd;
+  j.generation <- next;
+  j.written <- header_len;
+  j.synced <- header_len;
+  j.pending <- 0;
+  j.stats.compactions <- j.stats.compactions + 1
+
+let append j m =
+  guard_usable j;
+  (match m with Declare_op _ -> j.op_decls <- m :: j.op_decls | _ -> ());
+  let bytes = frame (encode_mutation m) in
+  write_site j "journal.append.write" j.fd bytes;
+  j.written <- j.written + String.length bytes;
+  j.pending <- j.pending + 1;
+  j.stats.records_appended <- j.stats.records_appended + 1;
+  j.stats.bytes_appended <- j.stats.bytes_appended + String.length bytes;
+  (match j.cfg.sync with
+  | Always -> do_sync j
+  | Interval n -> if j.pending >= n then do_sync j
+  | Never -> ());
+  if j.cfg.compact_bytes > 0 && j.written >= j.cfg.compact_bytes then compact j
+
+let sync j =
+  guard_usable j;
+  if j.written > j.synced || j.pending > 0 then do_sync j
+
+let close j =
+  if not j.closed then begin
+    if j.failed_site = None && j.written > j.synced then (try do_sync j with _ -> ());
+    j.closed <- true;
+    try Unix.close j.fd with Unix.Unix_error _ -> ()
+  end
+
+let attach j =
+  if not j.attached then begin
+    j.attached <- true;
+    (* closed journals go quiet (a detached CLI session keeps working);
+       failed ones keep raising so the caller can degrade explicitly *)
+    Database.on_mutation j.db (fun m -> if not j.closed then append j (of_db_mutation m))
+  end
+
+let written_bytes j = j.written
+let durable_bytes j = j.synced
+let generation j = j.generation
+let failed j = j.failed_site
+let stats j = j.stats
+
+let stats_json j =
+  Xsb_obs.Json.Obj
+    [
+      ("generation", Xsb_obs.Json.Int (Int64.to_int j.generation));
+      ("sync", Xsb_obs.Json.String (sync_policy_to_string j.cfg.sync));
+      ("records_appended", Xsb_obs.Json.Int j.stats.records_appended);
+      ("bytes_appended", Xsb_obs.Json.Int j.stats.bytes_appended);
+      ("fsyncs", Xsb_obs.Json.Int j.stats.fsyncs);
+      ("compactions", Xsb_obs.Json.Int j.stats.compactions);
+      ("recovered_records", Xsb_obs.Json.Int j.stats.recovered_records);
+      ("torn_bytes_dropped", Xsb_obs.Json.Int j.stats.torn_bytes_dropped);
+      ("recovery_ms", Xsb_obs.Json.Float j.stats.recovery_ms);
+      ("written_bytes", Xsb_obs.Json.Int j.written);
+      ("durable_bytes", Xsb_obs.Json.Int j.synced);
+    ]
+
+let pp_stats ppf j =
+  Format.fprintf ppf
+    "journal: generation %Ld, %d records / %d bytes appended, %d fsyncs, %d compactions, %d \
+     recovered, recovery %.1f ms, durable %d/%d bytes@."
+    j.generation j.stats.records_appended j.stats.bytes_appended j.stats.fsyncs
+    j.stats.compactions j.stats.recovered_records j.stats.recovery_ms j.synced j.written

@@ -1,0 +1,191 @@
+(** Crash-safe persistence for the dynamic database: a write-ahead
+    journal of {!Xsb_db.Database} mutations plus snapshot/replay
+    recovery.
+
+    On-disk layout (inside one data directory):
+
+    - [journal.log] — header (magic ["XSBJNL01"] + i64 generation),
+      then CRC32-framed, length-prefixed mutation records:
+      [u32 length | u32 crc32(payload) | payload]. Payloads use the
+      same validated codec as object files ([Xsb_db.Codec]) — no
+      [Marshal] anywhere on the recovery path.
+    - [snapshot.bin] — header (magic ["XSBSNP01"] + i64 covered
+      generation), then the same record framing: declaration records
+      followed by one whole-database object-file image.
+
+    Recovery replays [snapshot + journal tail]. A torn or corrupt
+    {e final} journal record is a clean EOF (the file is truncated back
+    to the valid prefix); corruption {e before} the tail raises a typed
+    {!Recovery_error} whose valid prefix can still be recovered with
+    [~tolerate_corruption:true]. Compaction writes a fresh snapshot via
+    write-temp + rename + fsync-dir, then atomically rotates the
+    journal; generation numbers make a crash at any point in that
+    sequence safe (a journal whose generation the snapshot already
+    covers is ignored, never replayed twice).
+
+    Durability contract, by {!sync_policy}: after [append] returns
+    under [Always], the record is fsynced — a crash (even [kill -9])
+    loses nothing acknowledged. Under [Interval n]/[Never], a crash may
+    lose un-fsynced acknowledged records, but recovery always yields a
+    {e prefix} of the acknowledged stream, never a reordering or a
+    phantom. *)
+
+open Xsb_db
+
+type sync_policy =
+  | Never  (** leave syncing to the OS page cache *)
+  | Interval of int  (** fsync every [n] records (and on {!sync}/{!close}) *)
+  | Always  (** fsync before every append acknowledges *)
+
+val sync_policy_of_string : string -> sync_policy option
+(** ["never"], ["always"], ["interval"] (= every 64 records),
+    ["interval=N"], or a bare record count [N]. *)
+
+val sync_policy_to_string : sync_policy -> string
+
+(** {1 Mutation records} *)
+
+type mutation =
+  | Add_clause of {
+      name : string;
+      arity : int;
+      front : bool;
+      dynamic : bool;
+      clause : Xsb_term.Canon.t;  (** [':-'(Head, Body)], HiLog-encoded *)
+    }
+  | Retract_clause of { name : string; arity : int; clause : Xsb_term.Canon.t }
+  | Remove_pred of { name : string; arity : int }
+  | Set_tabled of { name : string; arity : int }
+  | Set_dynamic of { name : string; arity : int }
+  | Set_index of {
+      name : string;
+      arity : int;
+      spec : Pred.index_spec;
+      size_hint : int option;
+    }
+  | Declare_hilog of string
+  | Declare_module of { module_name : string; exports : (string * int) list }
+  | Declare_op of { priority : int; fixity : string; op_name : string }
+  | Load_image of string
+      (** a whole-database object-file image (snapshot records only) *)
+
+val of_db_mutation : Database.mutation -> mutation
+(** The journal-record rendering of a database mutation. *)
+
+val apply_mutation : Database.t -> mutation -> unit
+(** Replay one record into a database (recovery path). Applying a
+    [Retract_clause]/[Remove_pred] whose target is already gone is a
+    no-op, so replay is deterministic. Raises {!Corrupt_record} for a
+    structurally impossible record (e.g. a clause that is not
+    [':-'/2]). *)
+
+(** {1 The record codec} (exposed for the property tests) *)
+
+exception Corrupt_record of string
+
+val encode_mutation : mutation -> string
+(** Payload bytes (unframed). *)
+
+val decode_mutation : string -> mutation
+(** Raises {!Corrupt_record} on anything [encode_mutation] cannot have
+    produced; never [Marshal]s, never reads out of bounds. *)
+
+val frame_record : mutation -> string
+(** [u32 length | u32 crc | payload] — what [append] writes. *)
+
+type read_result =
+  | Record of mutation * int  (** the decoded record and the next offset *)
+  | End_clean  (** exactly at end of input *)
+  | End_torn  (** an incomplete frame, or a bad CRC on the final record *)
+  | Corrupt of string
+      (** a bad CRC (or an undecodable CRC-valid payload) with more
+          data after it — not explicable as a torn tail *)
+
+val read_framed : string -> int -> read_result
+(** Read one framed record at the given offset. *)
+
+(** {1 The journal} *)
+
+type config = {
+  dir : string;  (** the data directory; created if missing *)
+  sync : sync_policy;
+  compact_bytes : int;
+      (** auto-compact when the journal exceeds this many bytes;
+          [0] disables auto-compaction ({!compact} still works) *)
+}
+
+val default_config : dir:string -> config
+(** [sync = Always], [compact_bytes = 8 MiB]. *)
+
+type t
+
+exception Io_error of { site : string; message : string }
+(** The disk write path failed (or a failpoint injected a failure) at
+    the named site. The journal is poisoned: every later [append]
+    re-raises, so a caller can degrade to read-only service. *)
+
+exception Recovery_error of {
+  file : string;
+  offset : int;
+  records_ok : int;
+  message : string;
+}
+(** Corruption before the journal tail (or anywhere in a snapshot).
+    [records_ok] records up to [offset] are valid and recoverable with
+    [~tolerate_corruption:true]. *)
+
+val open_ : ?tolerate_corruption:bool -> config -> Database.t -> t
+(** Open the data directory, recovering [snapshot + journal tail] into
+    the database (which should already hold any non-durable program,
+    e.g. server preloads — recovery replays on top). Creates the
+    directory and an empty journal on first use. Does {e not} attach
+    the mutation hook — call {!attach} after a successful open, so
+    recovery itself is never re-journaled. *)
+
+val attach : t -> unit
+(** Subscribe to the database's mutation hook: from now on every
+    mutation is appended (and fsynced per the policy) before the
+    mutator's call returns. Idempotent. *)
+
+val append : t -> mutation -> unit
+(** Explicit append (normally the hook calls this). Raises {!Io_error}
+    on write failure; the record is durable on return iff the policy
+    says so. *)
+
+val sync : t -> unit
+(** fsync the journal now (the server's [SYNC] op). *)
+
+val compact : t -> unit
+(** Write a new snapshot covering everything, then atomically start a
+    fresh journal generation. Crash-safe at every intermediate point. *)
+
+val close : t -> unit
+(** Final sync (unless poisoned) and close. Further appends raise;
+    the attached hook goes quiet instead of raising. *)
+
+val written_bytes : t -> int
+(** Journal file size, including records not yet fsynced. *)
+
+val durable_bytes : t -> int
+(** Journal bytes known to have reached stable storage. *)
+
+val generation : t -> int64
+
+val failed : t -> string option
+(** The poisoned-journal reason, if the write path has failed. *)
+
+(** {1 Metrics} *)
+
+type stats = {
+  mutable records_appended : int;
+  mutable bytes_appended : int;
+  mutable fsyncs : int;
+  mutable compactions : int;
+  mutable recovered_records : int;  (** snapshot + journal records replayed *)
+  mutable torn_bytes_dropped : int;  (** truncated-away torn tail bytes *)
+  mutable recovery_ms : float;
+}
+
+val stats : t -> stats
+val stats_json : t -> Xsb_obs.Json.t
+val pp_stats : Format.formatter -> t -> unit

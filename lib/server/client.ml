@@ -27,7 +27,74 @@ let ping t = simple t (Protocol.request Protocol.Ping "")
 let consult ?fmt t text = simple t (Protocol.request ?fmt Protocol.Consult text)
 let assert_ t clause = simple t (Protocol.request Protocol.Assert clause)
 let statistics t = simple t (Protocol.request Protocol.Statistics "")
-let abolish t = simple t (Protocol.request Protocol.Abolish "")
+let abolish ?(pred = "") t = simple t (Protocol.request Protocol.Abolish pred)
+let sync t = simple t (Protocol.request Protocol.Sync "")
+
+(* --- bounded retry with exponential backoff and full jitter --- *)
+
+type retry = {
+  retries : int;
+  backoff_ms : float;
+  max_backoff_ms : float;
+  rand : float -> float;
+  sleep : float -> unit;
+}
+
+let default_retry =
+  {
+    retries = 3;
+    backoff_ms = 100.0;
+    max_backoff_ms = 5_000.0;
+    rand = Random.float;
+    sleep = Unix.sleepf;
+  }
+
+let retry ?(retries = default_retry.retries) ?(backoff_ms = default_retry.backoff_ms)
+    ?(max_backoff_ms = default_retry.max_backoff_ms) ?(rand = default_retry.rand)
+    ?(sleep = default_retry.sleep) () =
+  { retries; backoff_ms; max_backoff_ms; rand; sleep }
+
+let with_retry r f =
+  let rec go attempt =
+    match f () with
+    | `Ok v -> Ok v
+    | `Retry e ->
+        if attempt >= r.retries then Error e
+        else begin
+          (* full jitter: uniform in [0, min(max, base * 2^attempt)] *)
+          let cap = Float.min r.max_backoff_ms (r.backoff_ms *. (2.0 ** float_of_int attempt)) in
+          let delay_ms = if cap > 0.0 then r.rand cap else 0.0 in
+          if delay_ms > 0.0 then r.sleep (delay_ms /. 1000.0);
+          go (attempt + 1)
+        end
+  in
+  go 0
+
+(* only requests that are safe to re-send after an ambiguous failure:
+   re-running a mutation could apply it twice *)
+let idempotent = function
+  | Protocol.Ping | Protocol.Query | Protocol.Statistics -> true
+  | Protocol.Consult | Protocol.Assert | Protocol.Abolish | Protocol.Sync -> false
+
+let connect_with_retry ?(retry = default_retry) ?host port =
+  with_retry retry (fun () ->
+      match connect ?host port with
+      | t -> `Ok t
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+          `Retry (Printf.sprintf "connection refused on port %d" port))
+
+let retry_overloaded retry run =
+  match
+    with_retry retry (fun () ->
+        match run () with
+        | Error ({ code = Protocol.Overloaded; _ } as e) -> `Retry e
+        | r -> `Ok r)
+  with
+  | Ok r -> r
+  | Error e -> Error e
+
+let ping_retry ?(retry = default_retry) t = retry_overloaded retry (fun () -> ping t)
+let statistics_retry ?(retry = default_retry) t = retry_overloaded retry (fun () -> statistics t)
 
 type query_outcome =
   | Rows of { rows : string list; truncated : bool }
@@ -45,3 +112,13 @@ let query ?limit ?timeout_ms ?max_steps t goal =
     | Protocol.Ok_ _ -> raise (Protocol.Bad_frame "unexpected OK frame inside a query")
   in
   collect []
+
+let query_retry ?(retry = default_retry) ?limit ?timeout_ms ?max_steps t goal =
+  match
+    with_retry retry (fun () ->
+        match query ?limit ?timeout_ms ?max_steps t goal with
+        | Query_error ({ code = Protocol.Overloaded; _ } as e) -> `Retry e
+        | outcome -> `Ok outcome)
+  with
+  | Ok outcome -> outcome
+  | Error e -> Query_error e

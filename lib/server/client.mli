@@ -24,8 +24,14 @@ val assert_ : t -> string -> (string, reply_error) result
 val statistics : t -> (string, reply_error) result
 (** The engine's [statistics/0] report for this session. *)
 
-val abolish : t -> (string, reply_error) result
-(** Abolish the session's completed tables. *)
+val abolish : ?pred:string -> t -> (string, reply_error) result
+(** With no [?pred]: abolish the session's completed tables. With
+    [~pred:"name/arity"]: remove that predicate (clauses, table/index
+    registrations) from the database. *)
+
+val sync : t -> (string, reply_error) result
+(** Ask a durable server ([--data-dir]) to fsync its journal now;
+    [BAD_REQUEST] from an in-memory server. *)
 
 type query_outcome =
   | Rows of { rows : string list; truncated : bool }
@@ -39,3 +45,54 @@ type query_outcome =
 val query : ?limit:int -> ?timeout_ms:int -> ?max_steps:int -> t -> string -> query_outcome
 (** Run a goal, e.g. ["path(1,X)"]. Raises {!Protocol.Bad_frame} /
     [End_of_file] only on a broken connection. *)
+
+(** {1 Bounded retry}
+
+    Exponential backoff with full jitter: before attempt [k+1] the
+    client sleeps a uniform-random duration in
+    [\[0, min (max_backoff_ms, backoff_ms * 2{^k})\]] milliseconds.
+    Only {e idempotent} requests ([PING], [QUERY], [STATISTICS]) and
+    the initial connect are ever retried — re-sending a mutation after
+    an ambiguous failure could apply it twice. *)
+
+type retry = {
+  retries : int;  (** additional attempts after the first *)
+  backoff_ms : float;
+  max_backoff_ms : float;
+  rand : float -> float;  (** jitter source; [Random.float] in production *)
+  sleep : float -> unit;  (** seconds; injectable for deterministic tests *)
+}
+
+val default_retry : retry
+(** 3 retries, 100 ms base, 5 s cap, real randomness and sleeping. *)
+
+val retry :
+  ?retries:int ->
+  ?backoff_ms:float ->
+  ?max_backoff_ms:float ->
+  ?rand:(float -> float) ->
+  ?sleep:(float -> unit) ->
+  unit ->
+  retry
+(** {!default_retry} with overrides. *)
+
+val with_retry : retry -> (unit -> [ `Ok of 'a | `Retry of 'e ]) -> ('a, 'e) result
+(** Run an attempt thunk until it returns [`Ok], backing off after each
+    [`Retry]; [Error] carries the last retryable failure once the
+    budget is spent. *)
+
+val idempotent : Protocol.op -> bool
+(** Whether an op is safe to re-send ([PING]/[QUERY]/[STATISTICS]). *)
+
+val connect_with_retry : ?retry:retry -> ?host:string -> int -> (t, string) result
+(** {!connect}, retrying [ECONNREFUSED] (a server still coming up). *)
+
+val ping_retry : ?retry:retry -> t -> (string, reply_error) result
+(** {!ping}, retrying [OVERLOADED] refusals. *)
+
+val statistics_retry : ?retry:retry -> t -> (string, reply_error) result
+
+val query_retry :
+  ?retry:retry -> ?limit:int -> ?timeout_ms:int -> ?max_steps:int -> t -> string -> query_outcome
+(** {!query}, retrying [OVERLOADED] refusals (the queue was full; the
+    query never started executing, so re-sending is safe). *)

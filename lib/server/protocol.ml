@@ -6,7 +6,7 @@ let max_payload = 16 * 1024 * 1024
 let max_header = 4096
 
 type consult_fmt = Text | Fast | Obj
-type op = Ping | Consult | Assert | Query | Statistics | Abolish
+type op = Ping | Consult | Assert | Query | Statistics | Abolish | Sync
 
 type request = {
   op : op;
@@ -20,7 +20,14 @@ type request = {
 let request ?(fmt = Text) ?limit ?timeout_ms ?max_steps op payload =
   { op; fmt; payload; limit; timeout_ms; max_steps }
 
-type err_code = Bad_request | Parse_error | Exec_error | Timeout | Overloaded | Shutting_down
+type err_code =
+  | Bad_request
+  | Parse_error
+  | Exec_error
+  | Timeout
+  | Overloaded
+  | Shutting_down
+  | Readonly
 
 let err_code_name = function
   | Bad_request -> "BAD_REQUEST"
@@ -29,6 +36,7 @@ let err_code_name = function
   | Timeout -> "TIMEOUT"
   | Overloaded -> "OVERLOADED"
   | Shutting_down -> "SHUTTING_DOWN"
+  | Readonly -> "READONLY"
 
 let err_code_of_name = function
   | "BAD_REQUEST" -> Some Bad_request
@@ -37,6 +45,7 @@ let err_code_of_name = function
   | "TIMEOUT" -> Some Timeout
   | "OVERLOADED" -> Some Overloaded
   | "SHUTTING_DOWN" -> Some Shutting_down
+  | "READONLY" -> Some Readonly
   | _ -> None
 
 type reply =
@@ -52,6 +61,7 @@ let op_name = function
   | Query -> "QUERY"
   | Statistics -> "STATISTICS"
   | Abolish -> "ABOLISH"
+  | Sync -> "SYNC"
 
 let op_of_name = function
   | "PING" -> Some Ping
@@ -60,6 +70,7 @@ let op_of_name = function
   | "QUERY" -> Some Query
   | "STATISTICS" -> Some Statistics
   | "ABOLISH" -> Some Abolish
+  | "SYNC" -> Some Sync
   | _ -> None
 
 let fmt_name = function Text -> "text" | Fast -> "fast" | Obj -> "obj"

@@ -9,9 +9,9 @@
     inside data.
 
     Requests: [XSB1 <OP> <len>[ <key>=<val>]...\n<payload>] with ops
-    [PING], [CONSULT], [ASSERT], [QUERY], [STATISTICS], [ABOLISH] and
-    optional keys [fmt] (consult format), [limit], [timeout_ms],
-    [max_steps].
+    [PING], [CONSULT], [ASSERT], [QUERY], [STATISTICS], [ABOLISH],
+    [SYNC] and optional keys [fmt] (consult format), [limit],
+    [timeout_ms], [max_steps].
 
     Replies: [OK <len>\n<payload>], a stream of [ANSWER <len>\n<payload>]
     frames closed by [DONE <count> <more01>\n], or a typed
@@ -30,7 +30,14 @@ type consult_fmt =
   | Fast  (** ground facts through the formatted-read bulk loader *)
   | Obj  (** a binary object-file image (paper §4.6) *)
 
-type op = Ping | Consult | Assert | Query | Statistics | Abolish
+type op =
+  | Ping
+  | Consult
+  | Assert
+  | Query
+  | Statistics
+  | Abolish  (** empty payload: reset tables; ["name/arity"]: remove a predicate *)
+  | Sync  (** fsync the durable journal now (needs [--data-dir]) *)
 
 type request = {
   op : op;
@@ -57,6 +64,9 @@ type err_code =
   | Timeout  (** deadline or step budget exceeded (after partial answers) *)
   | Overloaded  (** the request queue is full — retry later *)
   | Shutting_down  (** the server is draining and accepts no new work *)
+  | Readonly
+      (** the durable journal's write path failed; the server now
+          refuses mutations and serves reads only *)
 
 val err_code_name : err_code -> string
 val err_code_of_name : string -> err_code option

@@ -18,6 +18,9 @@ type config = {
   scheduling : Xsb.Machine.scheduling option;
   access_log : out_channel option;
   profile : bool;
+  data_dir : string option;
+  sync : Xsb.Journal.sync_policy;
+  compact_bytes : int;
 }
 
 let default_config =
@@ -35,6 +38,9 @@ let default_config =
     scheduling = None;
     access_log = None;
     profile = false;
+    data_dir = None;
+    sync = Xsb.Journal.Always;
+    compact_bytes = 8 * 1024 * 1024;
   }
 
 (* --- the bounded request queue ---
@@ -116,6 +122,17 @@ type job = {
   j_deadline : float option;  (* absolute, seconds *)
 }
 
+(* with --data-dir every connection shares ONE durable session backed
+   by the journal; [sh_m] serializes request execution against it
+   (without a data dir each connection keeps its private session and
+   requests run concurrently, as before) *)
+type shared = {
+  sh_session : Xsb.Session.t;
+  sh_journal : Xsb.Journal.t;
+  sh_m : Mutex.t;
+  mutable sh_read_only : string option;  (* why mutations are refused *)
+}
+
 (* per-key (predicate or op) server-side aggregation for --profile *)
 type agg_cell = {
   mutable g_requests : int;
@@ -126,6 +143,7 @@ type agg_cell = {
 
 type t = {
   cfg : config;
+  shared : shared option;
   listen_fd : Unix.file_descr;
   bound_port : int;
   stop_rd : Unix.file_descr;  (* self-pipe waking the acceptor's select *)
@@ -147,6 +165,8 @@ type t = {
 
 let port t = t.bound_port
 let requests_served t = Atomic.get t.served
+let journal t = Option.map (fun sh -> sh.sh_journal) t.shared
+let read_only t = match t.shared with Some sh -> sh.sh_read_only | None -> None
 let now () = Unix.gettimeofday ()
 
 (* --- the access log (JSONL through lib/obs's codec) --- *)
@@ -240,6 +260,17 @@ let pred_of_goal goal =
 
 let engine_steps conn = (Xsb.Session.stats conn.c_session).Xsb.Machine.st_steps
 
+(* "name/arity" for the targeted ABOLISH form *)
+let pred_indicator s =
+  let s = String.trim s in
+  match String.rindex_opt s '/' with
+  | None | Some 0 -> None
+  | Some i -> (
+      let name = String.sub s 0 i in
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some arity when arity >= 0 -> Some (name, arity)
+      | _ -> None)
+
 (* write a reply, tolerating a peer that vanished mid-stream: the
    request still completes (and is logged); the handler sees EOF on its
    next read and closes the connection *)
@@ -257,15 +288,49 @@ let execute t (job : job) =
   let eng = Xsb.Session.engine conn.c_session in
   let parse_goal text = Xsb.Parser.term_of_string ~ops:(Xsb.Database.ops (Xsb.Session.db conn.c_session)) text in
   (* (outcome, pred, answers) for the access log *)
-  let finishing =
+  let dispatch () =
     match req.Protocol.op with
     | Protocol.Ping ->
         ignore (try_write conn (Protocol.Ok_ "pong"));
         ("ok", "", 0)
     | Protocol.Statistics ->
         let text = Fmt.str "%a" Xsb.Machine.pp_stats (Xsb.Engine.stats eng) in
+        let text =
+          match t.shared with
+          | Some sh -> text ^ Fmt.str "%a" Xsb.Journal.pp_stats sh.sh_journal
+          | None -> text
+        in
         ignore (try_write conn (Protocol.Ok_ text));
         ("ok", "", 0)
+    | Protocol.Sync -> (
+        match t.shared with
+        | None ->
+            ignore
+              (try_write conn
+                 (Protocol.Err
+                    (Protocol.Bad_request, "server has no journal (start with --data-dir)")));
+            ("bad_request", "", 0)
+        | Some sh ->
+            Xsb.Journal.sync sh.sh_journal;
+            ignore
+              (try_write conn
+                 (Protocol.Ok_
+                    (Printf.sprintf "synced %d" (Xsb.Journal.durable_bytes sh.sh_journal))));
+            ("ok", "", 0))
+    | Protocol.Abolish when req.Protocol.payload <> "" -> (
+        match pred_indicator req.Protocol.payload with
+        | None ->
+            ignore
+              (try_write conn
+                 (Protocol.Err
+                    ( Protocol.Bad_request,
+                      Printf.sprintf "bad predicate indicator %S (expected name/arity)"
+                        req.Protocol.payload )));
+            ("bad_request", "", 0)
+        | Some (name, arity) ->
+            Xsb.Database.remove_pred (Xsb.Session.db conn.c_session) name arity;
+            ignore (try_write conn (Protocol.Ok_ "removed"));
+            ("ok", Printf.sprintf "%s/%d" name arity, 0))
     | Protocol.Abolish ->
         Xsb.Engine.reset_tables eng;
         ignore (try_write conn (Protocol.Ok_ "abolished"));
@@ -374,10 +439,41 @@ let execute t (job : job) =
                   (* an engine-wide set_max_steps bound, not ours *)
                   ignore (try_write conn (Protocol.Err (Protocol.Timeout, "engine step limit")));
                   ("timeout", pred, 0)
+              | exception (Xsb.Journal.Io_error _ as e) ->
+                  (* an assert/1 inside the query hit the dead journal;
+                     let the read-only degradation below handle it *)
+                  raise e
               | exception e ->
                   ignore (try_write conn (Protocol.Err (Protocol.Exec_error, Printexc.to_string e)));
                   ("exec_error", pred, 0)
             end))
+  in
+  let mutating =
+    match req.Protocol.op with
+    | Protocol.Assert | Protocol.Consult | Protocol.Sync -> true
+    | Protocol.Abolish -> req.Protocol.payload <> ""
+    | Protocol.Ping | Protocol.Query | Protocol.Statistics -> false
+  in
+  let refuse_readonly reason =
+    ignore (try_write conn (Protocol.Err (Protocol.Readonly, "server is read-only: " ^ reason)));
+    ("readonly", "", 0)
+  in
+  let finishing =
+    match t.shared with
+    | None -> dispatch ()
+    | Some sh -> (
+        match sh.sh_read_only with
+        | Some reason when mutating -> refuse_readonly reason
+        | _ -> (
+            (* one durable session for every connection: serialize *)
+            Mutex.lock sh.sh_m;
+            match Fun.protect ~finally:(fun () -> Mutex.unlock sh.sh_m) dispatch with
+            | finishing -> finishing
+            | exception Xsb.Journal.Io_error { site; message } ->
+                (* the disk write path is gone; keep serving reads *)
+                let reason = Printf.sprintf "journal write failed at %s: %s" site message in
+                sh.sh_read_only <- Some reason;
+                refuse_readonly reason))
   in
   let outcome, pred, answers = finishing in
   log_request t ~id:job.j_id ~conn_id:conn.c_id
@@ -419,8 +515,10 @@ let worker_loop t =
 let close_conn t conn =
   (* the per-connection table space dies with the session; abolish it
      explicitly so a reused engine can never leak answers across
-     connections *)
-  (try Xsb.Engine.reset_tables (Xsb.Session.engine conn.c_session) with _ -> ());
+     connections. The shared durable session outlives its connections:
+     leave its tables alone. *)
+  (if t.shared = None then
+     try Xsb.Engine.reset_tables (Xsb.Session.engine conn.c_session) with _ -> ());
   (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
   Mutex.lock t.conns_m;
   Hashtbl.remove t.conns conn.c_id;
@@ -484,8 +582,14 @@ let handler_loop t conn =
 
 let make_conn t fd =
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-  let session = Xsb.Session.create ?scheduling:t.cfg.scheduling () in
-  List.iter (fun text -> Xsb.Session.consult session text) t.preload_texts;
+  let session =
+    match t.shared with
+    | Some sh -> sh.sh_session
+    | None ->
+        let session = Xsb.Session.create ?scheduling:t.cfg.scheduling () in
+        List.iter (fun text -> Xsb.Session.consult session text) t.preload_texts;
+        session
+  in
   {
     c_id = Atomic.fetch_and_add t.conn_counter 1 + 1;
     c_fd = fd;
@@ -550,11 +654,38 @@ let start cfg =
       let probe = Xsb.Session.create ?scheduling:cfg.scheduling () in
       Xsb.Session.consult probe text)
     preload_texts;
-  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let shared =
+    match cfg.data_dir with
+    | None -> None
+    | Some dir ->
+        (* preloads go in BEFORE the journal opens: they are program
+           text, not journaled state, and recovery replays on top *)
+        let session = Xsb.Session.create ?scheduling:cfg.scheduling () in
+        List.iter (fun text -> Xsb.Session.consult session text) preload_texts;
+        let journal =
+          Xsb.Journal.open_
+            { Xsb.Journal.dir; sync = cfg.sync; compact_bytes = cfg.compact_bytes }
+            (Xsb.Session.db session)
+        in
+        Xsb.Journal.attach journal;
+        Some { sh_session = session; sh_journal = journal; sh_m = Mutex.create (); sh_read_only = None }
+  in
+  let close_shared () =
+    match shared with
+    | Some sh -> ( try Xsb.Journal.close sh.sh_journal with _ -> ())
+    | None -> ()
+  in
+  let listen_fd =
+    try Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0
+    with e ->
+      close_shared ();
+      raise e
+  in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
   (try Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port))
    with e ->
      Unix.close listen_fd;
+     close_shared ();
      raise e);
   Unix.listen listen_fd 64;
   let bound_port =
@@ -564,6 +695,7 @@ let start cfg =
   let t =
     {
       cfg;
+      shared;
       listen_fd;
       bound_port;
       stop_rd;
@@ -612,5 +744,9 @@ let stop t =
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (try Unix.close t.stop_rd with Unix.Unix_error _ -> ());
     (try Unix.close t.stop_wr with Unix.Unix_error _ -> ());
+    (* every in-flight mutation has been drained; final sync and close *)
+    (match t.shared with
+    | Some sh -> ( try Xsb.Journal.close sh.sh_journal with _ -> ())
+    | None -> ());
     match t.cfg.access_log with Some oc -> ( try flush oc with Sys_error _ -> ()) | None -> ()
   end

@@ -30,6 +30,13 @@ type config = {
       (** one JSON object per request: ts, id, conn, op, pred, answers,
           steps, wall_us, outcome *)
   profile : bool;  (** aggregate per-predicate server-side (see {!pp_profile}) *)
+  data_dir : string option;
+      (** durable mode: every connection shares ONE session whose
+          mutations are journaled here and recovered on restart.
+          Requests are serialized against it. [None] (the default)
+          keeps the per-connection in-memory sessions. *)
+  sync : Xsb.Journal.sync_policy;  (** journal fsync policy (durable mode) *)
+  compact_bytes : int;  (** journal auto-compaction threshold; 0 disables *)
 }
 
 val default_config : config
@@ -54,6 +61,13 @@ val stop : t -> unit
 
 val requests_served : t -> int
 (** Total requests executed or refused so far. *)
+
+val journal : t -> Xsb.Journal.t option
+(** The durable journal, when running with [data_dir]. *)
+
+val read_only : t -> string option
+(** Why the server is refusing mutations (a journal write failed), or
+    [None] while writes are healthy. *)
 
 val pp_profile : Format.formatter -> t -> unit
 (** The [--profile] aggregate: per predicate (queries) and per op,

@@ -225,11 +225,10 @@ let assert_clause ctx ~front args sk =
   | Some pred when Pred.kind pred = Pred.Static && Pred.clause_count pred > 0 ->
       error "assert/1: predicate %s/%d is static" name arity
   | _ -> ());
-  let pred = Database.declare ctx.db ~kind:Pred.Dynamic name arity in
-  Pred.set_kind pred Pred.Dynamic;
+  let pred = Database.set_dynamic ctx.db name arity in
   let head, body = split_clause (Term.copy args.(0)) in
   let head = Database.encode ctx.db head and body = Database.encode ctx.db body in
-  ignore (if front then Pred.asserta pred ~head ~body else Pred.assertz pred ~head ~body);
+  ignore (Database.insert_clause ctx.db ~front pred ~head ~body);
   sk ()
 
 let retract ctx args sk =
@@ -248,7 +247,7 @@ let retract ctx args sk =
             let m = Trail.mark ctx.trail in
             let h, b = Term.copy2 clause.Pred.head clause.Pred.body in
             if Unify.unify ctx.trail head h && Unify.unify ctx.trail body b then begin
-              Pred.remove pred clause;
+              Database.retract_clause ctx.db pred clause;
               sk ();
               Trail.undo_to ctx.trail m;
               go rest
@@ -270,7 +269,7 @@ let retractall ctx args sk =
         (fun clause ->
           let m = Trail.mark ctx.trail in
           let h = Term.copy clause.Pred.head in
-          if Unify.unify ctx.trail head h then Pred.remove pred clause;
+          if Unify.unify ctx.trail head h then Database.retract_clause ctx.db pred clause;
           Trail.undo_to ctx.trail m)
         (Pred.clauses pred));
   sk ()

@@ -4,7 +4,15 @@ open Xsb_db
 type t = { database : Database.t; env : Machine.env; mutable query_counter : int }
 
 let create ?mode ?scheduling database =
-  { database; env = Machine.create_env ?mode ?scheduling database; query_counter = 0 }
+  let t = { database; env = Machine.create_env ?mode ?scheduling database; query_counter = 0 } in
+  (* abolishing a predicate must also abolish its memoized answers:
+     without this, a completed table for p/N keeps answering from
+     clauses that no longer exist after remove_pred + re-declare *)
+  Database.on_mutation database (function
+    | Database.Removed_pred { name; arity } ->
+        ignore (Machine.remove_tables_for t.env (name, arity))
+    | _ -> ());
+  t
 
 let db t = t.database
 let env t = t.env

@@ -406,6 +406,22 @@ let create_table ev key pred_key =
 
 let delete_table env sub = Canon.Tbl.remove env.tables sub.skey
 
+(* Drop every completed table whose subgoal predicate is [pred_key].
+   Used when the predicate itself is abolished: its tables memoize
+   answers derived from clauses that no longer exist, so a later call
+   must re-evaluate against the (possibly re-declared) predicate.
+   Incomplete tables are retained for the same reason as in
+   [abolish_tables] below. *)
+let remove_tables_for env pred_key =
+  let doomed =
+    Canon.Tbl.fold
+      (fun key sub acc ->
+        if sub.s_pred = pred_key && sub.s_state = Complete then key :: acc else acc)
+      env.tables []
+  in
+  List.iter (Canon.Tbl.remove env.tables) doomed;
+  List.length doomed
+
 let has_unconditional sub = Canon.Tbl.length sub.s_uncond > 0
 
 let template_unconditional sub template = Canon.Tbl.mem sub.s_uncond template

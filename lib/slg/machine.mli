@@ -173,6 +173,12 @@ val new_eval : env -> eval option -> eval
 
 val create_table : eval -> Canon.t -> string * int -> subgoal
 val delete_table : env -> subgoal -> unit
+
+val remove_tables_for : env -> string * int -> int
+(** Drop every {e completed} table for the given predicate; returns how
+    many were dropped. Called when the predicate is abolished, so stale
+    memoized answers cannot survive a re-declaration. *)
+
 val find_table : env -> Canon.t -> subgoal option
 val has_unconditional : subgoal -> bool
 val has_any_answer : subgoal -> bool

@@ -16,4 +16,5 @@ let () =
       ("scheduling", Suite_scheduling.suite);
       ("obs", Suite_obs.suite);
       ("server", Suite_server.suite);
+      ("journal", Suite_journal.suite);
     ]
