@@ -8,6 +8,7 @@ type mutation =
   | Retracted_clause of { pred : Pred.t; clause : Pred.clause }
   | Removed_pred of { name : string; arity : int }
   | Tabled_pred of { name : string; arity : int }
+  | Table_mode_pred of { name : string; arity : int; mode : Pred.table_mode }
   | Dynamic_pred of { name : string; arity : int }
   | Indexed_pred of {
       name : string;
@@ -123,6 +124,14 @@ let set_tabled t name arity =
   if not (Pred.tabled pred) then begin
     Pred.set_tabled pred true;
     notify t (Tabled_pred { name; arity })
+  end
+
+let set_table_mode t name arity mode =
+  set_tabled t name arity;
+  let pred = declare t name arity in
+  if Pred.table_mode pred <> mode then begin
+    Pred.set_table_mode pred mode;
+    notify t (Table_mode_pred { name; arity; mode })
   end
 
 let set_dynamic t name arity =

@@ -20,6 +20,7 @@ type mutation =
   | Retracted_clause of { pred : Pred.t; clause : Pred.clause }
   | Removed_pred of { name : string; arity : int }
   | Tabled_pred of { name : string; arity : int }
+  | Table_mode_pred of { name : string; arity : int; mode : Pred.table_mode }
   | Dynamic_pred of { name : string; arity : int }
   | Indexed_pred of {
       name : string;
@@ -57,6 +58,10 @@ val remove_pred : t -> string -> int -> unit
 
 val set_tabled : t -> string -> int -> unit
 (** Declare (if needed) and mark tabled; fires [Tabled_pred] once. *)
+
+val set_table_mode : t -> string -> int -> Pred.table_mode -> unit
+(** Declare (if needed), mark tabled, and set the tabling mode; fires
+    [Tabled_pred] and then [Table_mode_pred] when either changes. *)
 
 val set_dynamic : t -> string -> int -> Pred.t
 (** Declare (if needed) and mark dynamic; fires [Dynamic_pred] when the

@@ -47,14 +47,34 @@ let index_spec_of term =
       | Some combos -> Pred.Fields (List.map combo_of combos)
       | None -> fail "bad index specification: %a" Term.pp t)
 
+(* A tabling mode annotation: [:- table p/2 as incremental] or
+   [:- table p/3 as subsumptive(min)]. *)
+let table_mode_of term =
+  match Term.deref term with
+  | Term.Atom ("incremental" | "opaque") -> Pred.Incremental
+  | Term.Atom "variant" -> Pred.Variant
+  | Term.Struct ("subsumptive", [| op |]) -> (
+      match Term.deref op with
+      | Term.Atom name -> (
+          match Xsb_index.Answer_store.Subsumption.op_of_string name with
+          | Some op -> Pred.Subsumptive op
+          | None -> fail "unknown subsumption operation: %s" name)
+      | t -> fail "bad subsumption operation: %a" Term.pp t)
+  | t -> fail "bad tabling mode: %a" Term.pp t
+
 let process_directive db directive =
   match Term.deref directive with
   | Term.Atom "table_all" -> `Table_all
   | Term.Struct ("table", [| spec |]) ->
       List.iter
-        (fun pi ->
-          let name, arity = pred_indicator pi in
-          Database.set_tabled db name arity)
+        (fun item ->
+          match Term.deref item with
+          | Term.Struct ("as", [| pi; mode |]) ->
+              let name, arity = pred_indicator pi in
+              Database.set_table_mode db name arity (table_mode_of mode)
+          | pi ->
+              let name, arity = pred_indicator pi in
+              Database.set_tabled db name arity)
         (items_of spec);
       `Handled
   | Term.Struct ("dynamic", [| spec |]) ->

@@ -3,6 +3,25 @@ open Xsb_index
 
 type kind = Static | Dynamic
 
+(* How a tabled predicate's tables behave across database mutations and
+   duplicate-key answers:
+   - [Variant]: plain variant tabling (the default).
+   - [Incremental]: completed tables record what they read; a mutation
+     of a read predicate invalidates (or, for pure additions to definite
+     programs, repairs) only the dependent tables.
+   - [Subsumptive op]: answers sharing key columns (all but the last
+     argument) fold into one answer under the lattice operation. *)
+type table_mode =
+  | Variant
+  | Incremental
+  | Subsumptive of Answer_store.Subsumption.op
+
+let table_mode_to_string = function
+  | Variant -> "variant"
+  | Incremental -> "incremental"
+  | Subsumptive op ->
+      Printf.sprintf "subsumptive(%s)" (Answer_store.Subsumption.op_to_string op)
+
 type clause = { id : int; head : Term.t; body : Term.t }
 
 type index_spec = Fields of int list list | First_string_index | Disc_tree_index
@@ -12,6 +31,7 @@ type t = {
   arity : int;
   mutable kind : kind;
   mutable tabled : bool;
+  mutable table_mode : table_mode;
   store : clause option Vec.t;
   mutable nlive : int;
   mutable spec : index_spec;
@@ -29,6 +49,7 @@ let create ?(kind = Static) name arity =
     arity;
     kind;
     tabled = false;
+    table_mode = Variant;
     store = Vec.create ();
     nlive = 0;
     spec = Fields [ [ 1 ] ];
@@ -46,6 +67,8 @@ let kind t = t.kind
 let set_kind t kind = t.kind <- kind
 let tabled t = t.tabled
 let set_tabled t flag = t.tabled <- flag
+let table_mode t = t.table_mode
+let set_table_mode t mode = t.table_mode <- mode
 let index_spec t = t.spec
 let clause_count t = t.nlive
 

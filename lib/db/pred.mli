@@ -9,7 +9,21 @@
 open Xsb_term
 (* for Arg_hash, First_string *)
 
+open Xsb_index
+
 type kind = Static | Dynamic
+
+type table_mode =
+  | Variant  (** plain variant tabling (the default) *)
+  | Incremental
+      (** completed tables record the dynamic predicates and tables they
+          read; a mutation invalidates — or, for pure additions to
+          definite programs, repairs — only the dependent tables *)
+  | Subsumptive of Answer_store.Subsumption.op
+      (** answers sharing key columns (all arguments but the last) fold
+          into a single answer under the lattice operation *)
+
+val table_mode_to_string : table_mode -> string
 
 type clause = {
   id : int;  (** position key: clauses are returned in increasing id order *)
@@ -35,6 +49,8 @@ val kind : t -> kind
 val set_kind : t -> kind -> unit
 val tabled : t -> bool
 val set_tabled : t -> bool -> unit
+val table_mode : t -> table_mode
+val set_table_mode : t -> table_mode -> unit
 
 val set_index : t -> ?size_hint:int -> index_spec -> unit
 (** Declare the indexing for this predicate; existing clauses are

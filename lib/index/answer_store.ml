@@ -209,4 +209,89 @@ module Index = struct
     List.iter (fun (i, x) -> if i >= from then f i x) (lookup t skeleton)
 end
 
+(* ------------------------------------------------------------------ *)
+
+module Subsumption = struct
+  (* Answer subsumption (lattice tabling): a table declared
+     [:- table p/N as subsumptive(Op)] keeps one answer per combination
+     of its first N-1 ("key") arguments; the last argument is the value
+     column, folded under [Op] when another answer with the same key
+     arrives. [split]/[rebuild] factor a canonical answer template into
+     its key part and value column; [fold] is the lattice operation. The
+     SLG machine owns the per-table bookkeeping (which answer holds each
+     key, consumer rewinds when a value improves); the column algebra
+     lives here with the rest of the answer-store machinery. *)
+
+  type op = Min | Max | Sum | Count | First
+
+  let op_of_string = function
+    | "min" -> Some Min
+    | "max" -> Some Max
+    | "sum" -> Some Sum
+    | "count" -> Some Count
+    | "first" -> Some First
+    | _ -> None
+
+  let op_to_string = function
+    | Min -> "min"
+    | Max -> "max"
+    | Sum -> "sum"
+    | Count -> "count"
+    | First -> "first"
+
+  exception Not_numeric of Canon.t
+
+  (* the key of an answer: its functor and all arguments but the last,
+     wrapped so arity-1 answers (empty key) still make a hashable term *)
+  let split template =
+    match template with
+    | Canon.CStruct (_, args) when Array.length args >= 1 ->
+        let n = Array.length args in
+        Some (Canon.CStruct ("$subsume_key", Array.sub args 0 (n - 1)), args.(n - 1))
+    | _ -> None
+
+  let rebuild functor_name key value =
+    match key with
+    | Canon.CStruct ("$subsume_key", prefix) ->
+        Canon.CStruct (functor_name, Array.append prefix [| value |])
+    | _ -> invalid_arg "Subsumption.rebuild: not a key"
+
+  (* numeric comparison when both sides are numbers, standard order of
+     canonical terms otherwise (so min/max also work over atoms) *)
+  let compare_values a b =
+    match (a, b) with
+    | Canon.CInt x, Canon.CInt y -> Int.compare x y
+    | Canon.CFloat x, Canon.CFloat y -> Float.compare x y
+    | Canon.CInt x, Canon.CFloat y -> Float.compare (float_of_int x) y
+    | Canon.CFloat x, Canon.CInt y -> Float.compare x (float_of_int y)
+    | _ -> Canon.compare a b
+
+  let add_values a b =
+    match (a, b) with
+    | Canon.CInt x, Canon.CInt y -> Canon.CInt (x + y)
+    | Canon.CFloat x, Canon.CFloat y -> Canon.CFloat (x +. y)
+    | Canon.CInt x, Canon.CFloat y -> Canon.CFloat (float_of_int x +. y)
+    | Canon.CFloat x, Canon.CInt y -> Canon.CFloat (x +. float_of_int y)
+    | (Canon.CInt _ | Canon.CFloat _), other | other, _ -> raise (Not_numeric other)
+
+  (* the value column of the very first answer for a key *)
+  let initial op value =
+    match op with
+    | Min | Max | First -> value
+    | Count -> Canon.CInt 1
+    | Sum -> add_values (Canon.CInt 0) value
+
+  (* fold an incoming value into the current one; [None] means the
+     stored answer already subsumes the new one (no change) *)
+  let fold op ~current value =
+    match op with
+    | First -> None
+    | Min -> if compare_values value current < 0 then Some value else None
+    | Max -> if compare_values value current > 0 then Some value else None
+    | Count -> Some (add_values current (Canon.CInt 1))
+    | Sum ->
+        let sum = add_values current value in
+        if Canon.equal sum current then None else Some sum
+end
+
 include Hash

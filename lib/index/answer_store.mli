@@ -85,5 +85,44 @@ module Index : sig
       with insertion position [>= from], in insertion order. *)
 end
 
+(** Answer subsumption (lattice tabling): the column algebra for tables
+    declared [:- table p/N as subsumptive(Op)]. Such a table keeps one
+    answer per combination of its first N-1 ("key") arguments; the last
+    argument is the value column, folded under [Op] when another answer
+    with the same key arrives. The SLG machine owns the per-table
+    bookkeeping (which answer holds each key, rewinding consumers when a
+    value improves); the key/value factoring and the lattice operations
+    live here. *)
+module Subsumption : sig
+  type op = Min | Max | Sum | Count | First
+
+  val op_of_string : string -> op option
+  val op_to_string : op -> string
+
+  exception Not_numeric of Canon.t
+  (** Raised by [Sum] (and [Count] on a corrupted store) when a value
+      column is not a number. *)
+
+  val split : Canon.t -> (Canon.t * Canon.t) option
+  (** Factor an answer template into its key part (a [$subsume_key]
+      struct over all arguments but the last) and its value column.
+      [None] for templates that are not structs of arity >= 1. *)
+
+  val rebuild : string -> Canon.t -> Canon.t -> Canon.t
+  (** [rebuild functor_name key value] reassembles an answer template
+      from a key produced by {!split} and a value column. *)
+
+  val compare_values : Canon.t -> Canon.t -> int
+  (** Numeric comparison when both sides are numbers (ints and floats
+      compare by value), standard order of canonical terms otherwise. *)
+
+  val initial : op -> Canon.t -> Canon.t
+  (** The stored value column for the very first answer of a key. *)
+
+  val fold : op -> current:Canon.t -> Canon.t -> Canon.t option
+  (** Fold an incoming value into the current one; [None] means the
+      stored answer already subsumes the new one (no change). *)
+end
+
 include S
 (** The default implementation (currently [Hash], as in XSB 1.3). *)

@@ -38,6 +38,7 @@ type mutation =
   | Retract_clause of { name : string; arity : int; clause : Canon.t }
   | Remove_pred of { name : string; arity : int }
   | Set_tabled of { name : string; arity : int }
+  | Set_table_mode of { name : string; arity : int; mode : Pred.table_mode }
   | Set_dynamic of { name : string; arity : int }
   | Set_index of {
       name : string;
@@ -70,6 +71,7 @@ let of_db_mutation : Database.mutation -> mutation = function
         { name = Pred.name pred; arity = Pred.arity pred; clause = clause_canon clause }
   | Database.Removed_pred { name; arity } -> Remove_pred { name; arity }
   | Database.Tabled_pred { name; arity } -> Set_tabled { name; arity }
+  | Database.Table_mode_pred { name; arity; mode } -> Set_table_mode { name; arity; mode }
   | Database.Dynamic_pred { name; arity } -> Set_dynamic { name; arity }
   | Database.Indexed_pred { name; arity; spec; size_hint } ->
       Set_index { name; arity; spec; size_hint }
@@ -105,6 +107,7 @@ let apply_mutation db = function
           go (Pred.clauses pred))
   | Remove_pred { name; arity } -> Database.remove_pred db name arity
   | Set_tabled { name; arity } -> Database.set_tabled db name arity
+  | Set_table_mode { name; arity; mode } -> Database.set_table_mode db name arity mode
   | Set_dynamic { name; arity } -> ignore (Database.set_dynamic db name arity)
   | Set_index { name; arity; spec; size_hint } ->
       Database.set_index db ?size_hint name arity spec
@@ -146,6 +149,27 @@ let get_index_spec c =
   in
   let size_hint = if Codec.get_bool c then Some (Codec.get_u32 c) else None in
   (spec, size_hint)
+
+let table_mode_tag = function
+  | Pred.Variant -> 0
+  | Pred.Incremental -> 1
+  | Pred.Subsumptive op -> (
+      match op with
+      | Xsb_index.Answer_store.Subsumption.Min -> 2
+      | Max -> 3
+      | Sum -> 4
+      | Count -> 5
+      | First -> 6)
+
+let table_mode_of_tag = function
+  | 0 -> Pred.Variant
+  | 1 -> Pred.Incremental
+  | 2 -> Pred.Subsumptive Xsb_index.Answer_store.Subsumption.Min
+  | 3 -> Pred.Subsumptive Max
+  | 4 -> Pred.Subsumptive Sum
+  | 5 -> Pred.Subsumptive Count
+  | 6 -> Pred.Subsumptive First
+  | _ -> Codec.decode_error "bad table mode tag"
 
 let encode_mutation m =
   let b = Buffer.create 64 in
@@ -198,7 +222,12 @@ let encode_mutation m =
       Codec.put_string b op_name
   | Load_image image ->
       Codec.put_u8 b 9;
-      Codec.put_string b image);
+      Codec.put_string b image
+  | Set_table_mode { name; arity; mode } ->
+      Codec.put_u8 b 10;
+      Codec.put_string b name;
+      Codec.put_u32 b arity;
+      Codec.put_u8 b (table_mode_tag mode));
   Buffer.contents b
 
 let decode_mutation payload =
@@ -250,6 +279,10 @@ let decode_mutation payload =
           let op_name = Codec.get_string c in
           Declare_op { priority; fixity; op_name }
       | 9 -> Load_image (Codec.get_string c)
+      | 10 ->
+          let name, arity = name_arity () in
+          let mode = table_mode_of_tag (Codec.get_u8 c) in
+          Set_table_mode { name; arity; mode }
       | _ -> Codec.decode_error "bad record tag"
     in
     if c.Codec.pos <> String.length payload then
@@ -623,6 +656,16 @@ let snapshot_records j =
       (Database.modules j.db)
   @ List.rev j.op_decls
   @ [ Load_image (Obj_file.to_string j.db) ]
+  (* tabling modes ride as records after the image: the object-file
+     format carries only the tabled flag, and modes are enumerable from
+     the predicate registry (unlike op declarations) *)
+  @ List.filter_map
+      (fun p ->
+        match Pred.table_mode p with
+        | Pred.Variant -> None
+        | mode ->
+            Some (Set_table_mode { name = Pred.name p; arity = Pred.arity p; mode }))
+      (Database.preds j.db)
 
 let compact j =
   guard_usable j;

@@ -56,6 +56,7 @@ type mutation =
   | Retract_clause of { name : string; arity : int; clause : Xsb_term.Canon.t }
   | Remove_pred of { name : string; arity : int }
   | Set_tabled of { name : string; arity : int }
+  | Set_table_mode of { name : string; arity : int; mode : Pred.table_mode }
   | Set_dynamic of { name : string; arity : int }
   | Set_index of {
       name : string;

@@ -37,6 +37,10 @@ module Event = struct
     | Complete  (** one subgoal was marked complete *)
     | Drain  (** queued answers of a table are being delivered to a consumer *)
     | Abolish of int  (** [n] completed tables were abolished *)
+    | Invalidate of int
+        (** a mutation invalidated [n] dependent incremental tables *)
+    | Repair of int  (** [n] stale incremental tables were re-evaluated in place *)
+    | Fold  (** an answer was folded into an existing subsumptive answer *)
 
   type t = {
     seq : int;  (** per-recorder sequence number, strictly monotonic *)
@@ -60,12 +64,15 @@ module Event = struct
     | Complete -> "complete"
     | Drain -> "drain"
     | Abolish _ -> "abolish"
+    | Invalidate _ -> "invalidate"
+    | Repair _ -> "repair"
+    | Fold -> "fold"
 
   let pp ppf e =
     let extra =
       match e.kind with
       | Scc_complete n -> Printf.sprintf " (scc size %d)" n
-      | Abolish n -> Printf.sprintf " (%d tables)" n
+      | Abolish n | Invalidate n | Repair n -> Printf.sprintf " (%d tables)" n
       | _ -> ""
     in
     Format.fprintf ppf "[%6d @%d sg%d d%d] %-13s %-10s %s%s" e.seq e.step e.subgoal
@@ -86,7 +93,7 @@ module Event = struct
     let extra =
       match e.kind with
       | Scc_complete n -> [ ("scc_size", Json.Int n) ]
-      | Abolish n -> [ ("tables", Json.Int n) ]
+      | Abolish n | Invalidate n | Repair n -> [ ("tables", Json.Int n) ]
       | _ -> []
     in
     Json.Obj (base @ extra)
@@ -114,6 +121,9 @@ module Event = struct
       | "complete" -> Some Complete
       | "drain" -> Some Drain
       | "abolish" -> Option.map (fun n -> Abolish n) (int_field "tables")
+      | "invalidate" -> Option.map (fun n -> Invalidate n) (int_field "tables")
+      | "repair" -> Option.map (fun n -> Repair n) (int_field "tables")
+      | "fold" -> Some Fold
       | _ -> None
     in
     Some { seq; step; subgoal; pred; call; depth; kind }

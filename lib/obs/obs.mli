@@ -23,6 +23,10 @@ module Event : sig
     | Complete  (** one subgoal was marked complete *)
     | Drain  (** queued answers are being delivered to a consumer *)
     | Abolish of int  (** [n] completed tables were abolished *)
+    | Invalidate of int
+        (** a mutation invalidated [n] dependent incremental tables *)
+    | Repair of int  (** [n] stale incremental tables were re-evaluated in place *)
+    | Fold  (** an answer was folded into an existing subsumptive answer *)
 
   type t = {
     seq : int;  (** per-recorder sequence number, strictly monotonic *)

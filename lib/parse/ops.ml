@@ -38,6 +38,8 @@ let standard =
     (900, FY, "tnot");
     (900, FY, "e_tnot");
     (900, FY, "not");
+    (* `as` binds table specs to tabling modes: :- table p/2 as incremental. *)
+    (700, XFX, "as");
     (700, XFX, "=");
     (700, XFX, "\\=");
     (700, XFX, "==");

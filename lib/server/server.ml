@@ -361,8 +361,18 @@ let execute t (job : job) =
         | Failure msg -> parse_failed msg)
     | Protocol.Assert -> (
         try
+          let db = Xsb.Session.db conn.c_session in
           let clause = parse_goal req.Protocol.payload in
-          ignore (Xsb.Database.add_clause (Xsb.Session.db conn.c_session) clause);
+          (* a runtime ASSERT creates a dynamic predicate, like
+             assert/1 — so incremental tables can track it precisely
+             instead of conservatively invalidating on every write *)
+          let head, _ = Xsb.Database.clause_parts clause in
+          (match Xsb.Term.deref head with
+          | Xsb.Term.Atom name -> ignore (Xsb.Database.set_dynamic db name 0)
+          | Xsb.Term.Struct (name, args) ->
+              ignore (Xsb.Database.set_dynamic db name (Array.length args))
+          | _ -> ());
+          ignore (Xsb.Database.add_clause db clause);
           ignore (try_write conn (Protocol.Ok_ "asserted"));
           let head, _ = Xsb.Database.clause_parts clause in
           ("ok", pred_of_goal head, 0)

@@ -11,6 +11,10 @@ let create ?mode ?scheduling database =
   Database.on_mutation database (function
     | Database.Removed_pred { name; arity } ->
         ignore (Machine.remove_tables_for t.env (name, arity))
+    | (Database.Added_clause _ | Database.Retracted_clause _) as m ->
+        (* incremental tabling: drop (or mark for repair) only the
+           completed tables the mutation actually affects *)
+        Machine.note_mutation t.env m
     | _ -> ());
   t
 
@@ -38,6 +42,9 @@ let var_name fallback v =
    the next query on the same engine. *)
 let run_query_bounded ?limit ?stop ?max_steps t goal =
   let goal = Database.encode t.database goal in
+  (* stale incremental tables are repaired before the query reads them;
+     runs under the engine-wide step bound, not this query's budget *)
+  Machine.repair_stale t.env;
   let vars = Term.vars goal in
   let names = List.map (var_name "G") vars in
   t.query_counter <- t.query_counter + 1;

@@ -18,6 +18,7 @@
 open Xsb_term
 open Xsb_db
 module Answer_index = Xsb_index.Answer_store.Index
+module Subsumption = Xsb_index.Answer_store.Subsumption
 module Obs = Xsb_obs.Obs
 
 exception Engine_error of string
@@ -69,7 +70,10 @@ let compare_delay d1 d2 =
 
 let compare_delays = List.compare compare_delay
 
-type answer = { a_template : Canon.t; mutable a_delays : delay list }
+type answer = { mutable a_template : Canon.t; mutable a_delays : delay list }
+(* [a_template] is mutable for answer subsumption only: folding a better
+   value into an existing answer rewrites the stored template in place,
+   so consumers resumed afterwards see the improved value *)
 
 type sstate = Incomplete | Complete
 
@@ -93,6 +97,24 @@ type subgoal = {
          completion *)
   mutable s_tasks : int;  (* queued scheduler tasks that feed this subgoal *)
   mutable s_scc : int;  (* SCC id from the last Tarjan pass (see refresh_sccs) *)
+  s_mode : Pred.table_mode;  (* the predicate's tabling mode at table creation *)
+  mutable s_dyn_reads : (string * int) list;
+      (* dynamic predicates whose clauses this subgoal's derivations
+         resolved against — the leaves of the incremental-tabling
+         dependency graph (static-predicate reads are not tracked; a
+         static mutation invalidates wholesale) *)
+  mutable s_neg_dep : bool;
+      (* some derivation feeding this table went through negation,
+         if-then-else or aggregation: clause additions are then not
+         monotone, so the table can be invalidated but never repaired *)
+  mutable s_stale : bool;
+      (* completed, but a repairable mutation has happened since: must be
+         re-derived in place before the next query reads it *)
+  s_seen_raw : unit Canon.Tbl.t;
+      (* subsumptive only: raw answers already folded, so re-derivations
+         through value cycles terminate *)
+  s_agg : (int * answer) Canon.Tbl.t;
+      (* subsumptive only: key columns -> (position, holder answer) *)
 }
 
 and consumer = {
@@ -145,6 +167,9 @@ type stats = {
   mutable st_sccs_completed : int;  (* SCCs closed by incremental completion *)
   mutable st_early_completions : int;  (* subgoals completed before the global fixpoint *)
   mutable st_max_scc_size : int;  (* largest SCC closed incrementally *)
+  mutable st_invalidations : int;  (* completed tables dropped by a mutation *)
+  mutable st_repairs : int;  (* stale incremental tables re-derived in place *)
+  mutable st_folds : int;  (* answers folded into an existing subsumptive answer *)
   mutable st_steps : int;
 }
 
@@ -167,6 +192,9 @@ let fresh_stats () =
     st_sccs_completed = 0;
     st_early_completions = 0;
     st_max_scc_size = 0;
+    st_invalidations = 0;
+    st_repairs = 0;
+    st_folds = 0;
     st_steps = 0;
   }
 
@@ -192,6 +220,9 @@ let reset_stats st =
   st.st_sccs_completed <- 0;
   st.st_early_completions <- 0;
   st.st_max_scc_size <- 0;
+  st.st_invalidations <- 0;
+  st.st_repairs <- 0;
+  st.st_folds <- 0;
   st.st_steps <- 0
 
 let pp_stats ppf st =
@@ -199,12 +230,13 @@ let pp_stats ppf st =
     "subgoals: %d@.answers: %d (dups %d)@.suspensions: %d@.resumptions: %d@.resolutions: \
      %d@.negative suspensions: %d@.nested evaluations: %d@.completions: %d@.answer index probes: \
      %d@.answer index candidates: %d (of %d stored)@.subsumed calls: %d@.drains scheduled: \
-     %d@.sccs completed: %d@.early completions: %d@.max scc size: %d@.steps: %d@."
+     %d@.sccs completed: %d@.early completions: %d@.max scc size: %d@.invalidations: \
+     %d@.repairs: %d@.folds: %d@.steps: %d@."
     st.st_subgoals st.st_answers st.st_dup_answers st.st_suspensions st.st_resumptions
     st.st_resolutions st.st_neg_suspensions st.st_nested_evals st.st_completions
     st.st_answer_probes st.st_answer_candidates st.st_answer_full_size st.st_subsumed_calls
     st.st_drains_scheduled st.st_sccs_completed st.st_early_completions st.st_max_scc_size
-    st.st_steps
+    st.st_invalidations st.st_repairs st.st_folds st.st_steps
 
 type env = {
   db : Database.t;
@@ -378,6 +410,11 @@ let create_table ev key pred_key =
   let env = ev.e_env in
   env.next_subgoal <- env.next_subgoal + 1;
   env.stats.st_subgoals <- env.stats.st_subgoals + 1;
+  let mode =
+    match Database.find env.db (fst pred_key) (snd pred_key) with
+    | Some p -> Pred.table_mode p
+    | None -> Pred.Variant  (* private $queryN tables *)
+  in
   let sub =
     {
       skey = key;
@@ -391,6 +428,12 @@ let create_table ev key pred_key =
       s_deps = [];
       s_tasks = 0;
       s_scc = 0;
+      s_mode = mode;
+      s_dyn_reads = [];
+      s_neg_dep = false;
+      s_stale = false;
+      s_seen_raw = Canon.Tbl.create 4;
+      s_agg = Canon.Tbl.create 4;
     }
   in
   Canon.Tbl.replace env.tables key sub;
@@ -470,6 +513,36 @@ let add_dep ev owner table =
   if not (List.memq table owner.s_deps) then begin
     owner.s_deps <- table :: owner.s_deps;
     ev.e_scc_dirty <- true
+  end
+
+(* Transitive taint for incremental repair: a table whose derivation
+   consumed from a tainted table cannot be repaired either. Run to
+   fixpoint over a set being completed, since the set may contain cycles
+   and is marked in arbitrary order. *)
+let smear_neg_dep members =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun m ->
+        if (not m.s_neg_dep) && List.exists (fun d -> d.s_neg_dep) m.s_deps then begin
+          m.s_neg_dep <- true;
+          changed := true
+        end)
+      members
+  done
+
+let is_subsumptive sub =
+  match sub.s_mode with Pred.Subsumptive _ -> true | _ -> false
+
+(* Record that [owner]'s derivations resolved against the clauses of a
+   dynamic predicate: the leaf edges of the incremental dependency
+   graph. *)
+let note_dyn_read owner pred =
+  if Pred.kind pred = Pred.Dynamic then begin
+    let key = (Pred.name pred, Pred.arity pred) in
+    if not (List.mem key owner.s_dyn_reads) then
+      owner.s_dyn_reads <- key :: owner.s_dyn_reads
   end
 
 (* Iterative Tarjan over this evaluation's incomplete subgoals; assigns
@@ -579,6 +652,7 @@ and complete_scc ev members =
      | first :: _ ->
          emit_sub env ~depth:ev.e_depth first (Obs.Event.Scc_complete n) (key_str first.skey)
      | [] -> ());
+  smear_neg_dep members;
   List.iter (mark_complete ev) members;
   ev.e_scc_dirty <- true;
   (* deliver answers deferred by local scheduling to cross-SCC consumers,
@@ -690,6 +764,9 @@ let stats_term env =
       pair "sccs_completed" st.st_sccs_completed;
       pair "early_completions" st.st_early_completions;
       pair "max_scc_size" st.st_max_scc_size;
+      pair "invalidations" st.st_invalidations;
+      pair "repairs" st.st_repairs;
+      pair "folds" st.st_folds;
       pair "steps" st.st_steps;
       pair "tables" (Canon.Tbl.length env.tables);
     ]
@@ -937,6 +1014,9 @@ and with_cut_catch env b f =
    condition runs in a deterministic context. *)
 and solve_ite ev ~det ~owner ~template ~delays ~barrier cond then_ else_ rest =
   let env = ev.e_env in
+  (* committing to the first solution (or its absence) is not monotone
+     under clause addition: taint the owner against incremental repair *)
+  owner.s_neg_dep <- true;
   let m = Trail.mark env.trail in
   let b = fresh_barrier env in
   let succeeded =
@@ -963,6 +1043,9 @@ and solve_ite ev ~det ~owner ~template ~delays ~barrier cond then_ else_ rest =
 and solve_findall ev ~det ~owner ~template ~delays ~barrier ~tabled_wait ?(require = false)
     ?(sort = false) tmpl g out rest =
   let env = ev.e_env in
+  (* the collected list shrinks no answer but changes as a term when
+     clauses are added: not repairable *)
+  owner.s_neg_dep <- true;
   let acc = ref [] in
   Stack.push (tmpl, acc) env.collectors;
   let saved_capture = env.captured_incomplete in
@@ -1021,6 +1104,7 @@ and solve_call ev ~det ~owner ~template ~delays ~barrier goal rest =
 
 and solve_untabled ev ~det ~owner ~template ~delays ~barrier pred goal rest =
   let env = ev.e_env in
+  note_dyn_read owner pred;
   let b = fresh_barrier env in
   let endscope = Term.Struct ("$endscope", [| Term.Int barrier |]) in
   let candidates = Pred.lookup pred (args_of goal) in
@@ -1047,11 +1131,19 @@ and solve_untabled ev ~det ~owner ~template ~delays ~barrier pred goal rest =
    unifies only against the candidates. *)
 and consume_inline ev ~det ~owner ~template ~delays ~barrier ~skel sub goal rest =
   let env = ev.e_env in
+  (* consumption is a dependency edge: if [sub] is later invalidated by
+     a mutation, [owner]'s table is transitively affected *)
+  if owner != sub then add_dep ev owner sub;
+  if sub.s_neg_dep then owner.s_neg_dep <- true;
   let each a =
     let m = Trail.mark env.trail in
     let instance = Canon.to_term a.a_template in
     let delays' =
-      if a.a_delays = [] then delays else Dpos (sub.skey, a.a_template) :: delays
+      if a.a_delays = [] then delays
+      else begin
+        owner.s_neg_dep <- true;
+        Dpos (sub.skey, a.a_template) :: delays
+      end
     in
     if Unify.unify env.trail goal instance then
       continue ev ~det ~owner ~template ~delays:delays' ~barrier rest;
@@ -1060,7 +1152,11 @@ and consume_inline ev ~det ~owner ~template ~delays ~barrier ~skel sub goal rest
   let n = answer_count sub in
   env.stats.st_answer_probes <- env.stats.st_answer_probes + 1;
   env.stats.st_answer_full_size <- env.stats.st_answer_full_size + n;
-  if Canon.equal skel sub.skey then begin
+  let subsumptive = match sub.s_mode with Pred.Subsumptive _ -> true | _ -> false in
+  (* subsumptive tables scan in full even for bound calls: in-place
+     folding leaves the answer trie keyed by superseded templates, so
+     the index cannot be trusted — unification filters instead *)
+  if subsumptive || Canon.equal skel sub.skey then begin
     env.stats.st_answer_candidates <- env.stats.st_answer_candidates + n;
     let rec loop i =
       if i < n then begin
@@ -1097,11 +1193,15 @@ and register_consumer ev sub ~owner ~template ~delays goal rest =
   in
   sub.s_consumers <- consumer :: sub.s_consumers;
   add_dep ev owner sub;
+  if sub.s_neg_dep then owner.s_neg_dep <- true;
   match env.scheduling with
-  | Batched -> schedule_drain ev consumer
-  | Local ->
+  | Batched when not (is_subsumptive sub) -> schedule_drain ev consumer
+  | _ ->
       (* local scheduling: a consumer outside the producer's SCC gets its
-         answers when the SCC completes, not before *)
+         answers when the SCC completes, not before. Subsumptive tables
+         use this discipline under every strategy — an eagerly exported
+         answer may later be folded into a better one, and a downstream
+         variant table has no way to retract it *)
       refresh_sccs ev;
       if owner.s_scc = sub.s_scc then schedule_drain ev consumer
 
@@ -1178,13 +1278,25 @@ and abandon_eval nested =
 
 and solve_tnot ev ~det ~owner ~template ~delays ~barrier ~existential g rest =
   let env = ev.e_env in
+  owner.s_neg_dep <- true;
   let g = Term.deref g in
   if not (Term.is_ground g) then raise (Floundered g);
   if not (is_tabled env g) then begin
-    (* negation on a non-tabled predicate falls back to negation as
-       failure, as in XSB *)
-    solve_ite ev ~det ~owner ~template ~delays ~barrier g (Term.Atom "fail") (Term.Atom "true")
-      rest
+    let name, arity = pred_key_of g in
+    match env.mode with
+    | Well_founded when env.tabling_enabled && Database.find env.db name arity <> None ->
+        (* Under WFS, negation-as-failure over an untabled predicate
+           recurses through plain SLD and loops forever on negative
+           cycles (p :- tnot(q). q :- tnot(p).). Auto-table the negated
+           subgoal so the delaying machinery has a table to wait on, and
+           retry as a proper tabled negation. *)
+        Database.set_tabled env.db name arity;
+        solve_tnot ev ~det ~owner ~template ~delays ~barrier ~existential g rest
+    | _ ->
+        (* stratified mode: negation on a non-tabled predicate falls
+           back to negation as failure, as in XSB *)
+        solve_ite ev ~det ~owner ~template ~delays ~barrier g (Term.Atom "fail")
+          (Term.Atom "true") rest
   end
   else
     let key = Canon.of_term g in
@@ -1259,11 +1371,41 @@ and suspend_waiter ev ~kind ~owner ~template ~delays sub blocked rest =
 (* Answers *)
 
 and emit_answer ev owner template delays =
-  let env = ev.e_env in
   let key = Canon.of_term template in
   (* delay lists are sets: normalize so duplicate answer clauses are
      detected and lists stay bounded through cycles *)
   let delays = List.sort_uniq compare_delay delays in
+  match owner.s_mode with
+  | Pred.Subsumptive op when delays = [] -> emit_subsumptive ev owner key op
+  | _ -> emit_plain ev owner key delays
+
+and note_dup_answer ev owner key =
+  let env = ev.e_env in
+  env.stats.st_dup_answers <- env.stats.st_dup_answers + 1;
+  if metrics_on env then begin
+    let c = mcell env owner.s_pred in
+    c.Obs.Metrics.m_dup_answers <- c.Obs.Metrics.m_dup_answers + 1
+  end;
+  if obs_on env then
+    emit_sub env ~depth:ev.e_depth owner Obs.Event.Dup_answer (key_str key)
+
+(* stats, drains and early termination common to every new answer *)
+and note_new_answer ev owner key =
+  let env = ev.e_env in
+  env.stats.st_answers <- env.stats.st_answers + 1;
+  if metrics_on env then begin
+    let c = mcell env owner.s_pred in
+    c.Obs.Metrics.m_answers <- c.Obs.Metrics.m_answers + 1;
+    Obs.Metrics.note_table_size c (answer_count owner)
+  end;
+  if obs_on env then emit_sub env ~depth:ev.e_depth owner Obs.Event.Answer (key_str key);
+  schedule_drains ev owner;
+  (* existential evaluations stop precisely at the answer that
+     satisfies them (e_tnot's early termination, §4.4) *)
+  match env.stop with Some stop when stop () -> raise Stop_eval | _ -> ()
+
+and emit_plain ev owner key delays =
+  if delays <> [] then owner.s_neg_dep <- true;
   let duplicate =
     if delays = [] then Canon.Tbl.mem owner.s_uncond key
     else
@@ -1274,38 +1416,80 @@ and emit_answer ev owner template delays =
            (fun a -> compare_delays a.a_delays delays = 0)
            (Answer_index.find owner.s_store key)
   in
-  if duplicate then begin
-    env.stats.st_dup_answers <- env.stats.st_dup_answers + 1;
-    if metrics_on env then begin
-      let c = mcell env owner.s_pred in
-      c.Obs.Metrics.m_dup_answers <- c.Obs.Metrics.m_dup_answers + 1
-    end;
-    if obs_on env then
-      emit_sub env ~depth:ev.e_depth owner Obs.Event.Dup_answer (key_str key)
-  end
+  if duplicate then note_dup_answer ev owner key
   else begin
-    env.stats.st_answers <- env.stats.st_answers + 1;
     if delays = [] then Canon.Tbl.replace owner.s_uncond key ();
     let answer = { a_template = key; a_delays = delays } in
     ignore (Answer_index.add owner.s_store key answer : int);
-    if metrics_on env then begin
-      let c = mcell env owner.s_pred in
-      c.Obs.Metrics.m_answers <- c.Obs.Metrics.m_answers + 1;
-      Obs.Metrics.note_table_size c (answer_count owner)
-    end;
-    if obs_on env then emit_sub env ~depth:ev.e_depth owner Obs.Event.Answer (key_str key);
-    schedule_drains ev owner;
-    (* existential evaluations stop precisely at the answer that
-       satisfies them (e_tnot's early termination, §4.4) *)
-    match env.stop with Some stop when stop () -> raise Stop_eval | _ -> ()
+    note_new_answer ev owner key
   end
+
+(* Answer subsumption: one stored answer per combination of key columns
+   (all arguments but the last); a new answer with an already-seen key
+   folds its value column into the holder under the lattice operation,
+   mutating the stored template in place and rewinding consumers that
+   had already passed it. Only unconditional answers fold; conditional
+   ones take the plain path. *)
+and emit_subsumptive ev owner key op =
+  let env = ev.e_env in
+  match Subsumption.split key with
+  | None -> emit_plain ev owner key []
+  | Some (k, v) ->
+      if Canon.Tbl.mem owner.s_seen_raw key then note_dup_answer ev owner key
+      else begin
+        Canon.Tbl.add owner.s_seen_raw key ();
+        let functor_name =
+          match key with Canon.CStruct (f, _) -> f | _ -> assert false
+        in
+        let lattice f =
+          try f ()
+          with Subsumption.Not_numeric t ->
+            error "subsumptive(%s) over a non-numeric value column: %s"
+              (Subsumption.op_to_string op) (key_str t)
+        in
+        match Canon.Tbl.find_opt owner.s_agg k with
+        | None ->
+            let v0 = lattice (fun () -> Subsumption.initial op v) in
+            let template = Subsumption.rebuild functor_name k v0 in
+            Canon.Tbl.replace owner.s_uncond template ();
+            let answer = { a_template = template; a_delays = [] } in
+            let pos = Answer_index.add owner.s_store template answer in
+            Canon.Tbl.replace owner.s_agg k (pos, answer);
+            note_new_answer ev owner template
+        | Some (pos, holder) -> (
+            let current =
+              match Subsumption.split holder.a_template with
+              | Some (_, c) -> c
+              | None -> assert false
+            in
+            match lattice (fun () -> Subsumption.fold op ~current v) with
+            | None -> note_dup_answer ev owner key  (* subsumed *)
+            | Some v' ->
+                let template = Subsumption.rebuild functor_name k v' in
+                Canon.Tbl.remove owner.s_uncond holder.a_template;
+                Canon.Tbl.replace owner.s_uncond template ();
+                holder.a_template <- template;
+                env.stats.st_folds <- env.stats.st_folds + 1;
+                if obs_on env then
+                  emit_sub env ~depth:ev.e_depth owner Obs.Event.Fold (key_str template);
+                (* consumers that already passed the holder re-consume it
+                   (and everything after it) with the improved value *)
+                List.iter
+                  (fun c -> if c.c_consumed > pos then c.c_consumed <- pos)
+                  owner.s_consumers;
+                schedule_drains ev owner;
+                (match env.stop with Some stop when stop () -> raise Stop_eval | _ -> ()))
+      end
 
 and schedule_drains ev owner =
   match ev.e_env.scheduling with
-  | Batched -> List.iter (fun c -> schedule_drain ev c) owner.s_consumers
-  | Local ->
+  | Batched when not (is_subsumptive owner) ->
+      List.iter (fun c -> schedule_drain ev c) owner.s_consumers
+  | _ ->
       (* keep the new answer inside the producer's SCC; cross-SCC
-         consumers are drained by complete_scc (or the fixpoint flush) *)
+         consumers are drained by complete_scc (or the fixpoint flush).
+         Subsumptive producers always defer: exported answers must be
+         final, and folds only settle when the SCC does *)
       refresh_sccs ev;
       List.iter
         (fun c ->
@@ -1327,6 +1511,7 @@ and run_task ev task =
         | Some p -> p
         | None -> error "tabled predicate %s/%d disappeared" name arity
       in
+      note_dyn_read sub pred;
       let b = fresh_barrier env in
       let candidates = Pred.lookup pred (args_of pattern) in
       let cell = if metrics_on env then Some (mcell env sub.s_pred) else None in
@@ -1379,9 +1564,13 @@ and resume_consumer ev consumer answer =
   let m = Trail.mark env.trail in
   let call, goals, template = open_susp consumer.c_snapshot in
   let instance = Canon.to_term answer.a_template in
+  if consumer.c_table.s_neg_dep then consumer.c_owner.s_neg_dep <- true;
   let delays =
     if answer.a_delays = [] then consumer.c_delays
-    else Dpos (consumer.c_table.skey, answer.a_template) :: consumer.c_delays
+    else begin
+      consumer.c_owner.s_neg_dep <- true;
+      Dpos (consumer.c_table.skey, answer.a_template) :: consumer.c_delays
+    end
   in
   let b = fresh_barrier env in
   if Unify.unify env.trail call instance then begin
@@ -1430,8 +1619,10 @@ and run_eval ?stop ev =
     if flush_deferred_drains ev then loop ()
     else begin
     let incomplete = List.filter (fun s -> s.s_state = Incomplete) ev.e_created in
-    if ev.e_waiters = [] then
+    if ev.e_waiters = [] then begin
+      smear_neg_dep incomplete;
       List.iter (mark_complete ev) incomplete
+    end
     else begin
       let module Iset = Set.Make (Int) in
       (* flow edges: answers of [s] can reach consumers' owners *)
@@ -1446,6 +1637,7 @@ and run_eval ?stop ev =
       in
       List.iter visit seeds;
       let completable = List.filter (fun s -> not (Hashtbl.mem reachable s.s_id)) incomplete in
+      smear_neg_dep completable;
       List.iter (mark_complete ev) completable;
       if completable <> [] then ev.e_scc_dirty <- true;
       if resolve_waiters ev then loop ()
@@ -1486,4 +1678,120 @@ and run_eval ?stop ev =
   finally ()
 
 let _ = is_ancestor_or_self
+
+(* ------------------------------------------------------------------ *)
+(* Incremental tabling: invalidation and repair (ISSUE 6 tentpole).
+
+   Completed tables record which dynamic predicates their derivations
+   read ([s_dyn_reads], recorded at clause resolution) and which other
+   tables they consumed from ([s_deps], recorded at consumer
+   registration and inline consumption). When the database mutates, the
+   completed tables transitively affected are either dropped
+   (invalidated) or, when the mutation is a pure clause addition and no
+   affected derivation went through negation/aggregation ([s_neg_dep]),
+   marked stale and re-derived in place at the start of the next query —
+   existing answers are kept, generation re-runs against the grown
+   clause set, and the monotonicity of definite programs guarantees the
+   repaired table equals a from-scratch evaluation. *)
+
+let completed_tables env =
+  Canon.Tbl.fold
+    (fun _ sub acc -> if sub.s_state = Complete then sub :: acc else acc)
+    env.tables []
+
+(* Completed tables transitively affected by a mutation of the dynamic
+   predicate [pkey]: direct readers, then the reverse closure over
+   consumption edges. *)
+let affected_tables env pkey =
+  let all = completed_tables env in
+  let affected = Hashtbl.create 16 in
+  let any_direct = ref false in
+  List.iter
+    (fun s ->
+      if List.mem pkey s.s_dyn_reads then begin
+        Hashtbl.replace affected s.s_id ();
+        any_direct := true
+      end)
+    all;
+  let changed = ref !any_direct in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun s ->
+        if
+          (not (Hashtbl.mem affected s.s_id))
+          && List.exists (fun d -> Hashtbl.mem affected d.s_id) s.s_deps
+        then begin
+          Hashtbl.replace affected s.s_id ();
+          changed := true
+        end)
+      all
+  done;
+  List.filter (fun s -> Hashtbl.mem affected s.s_id) all
+
+let note_mutation env (m : Database.mutation) =
+  match m with
+  | Database.Added_clause { pred; _ } | Database.Retracted_clause { pred; _ } ->
+      let addition = match m with Database.Added_clause _ -> true | _ -> false in
+      let affected =
+        if Pred.kind pred = Pred.Dynamic then
+          affected_tables env (Pred.name pred, Pred.arity pred)
+        else
+          (* static-predicate reads are not tracked (the hot resolution
+             path stays clean): consulting clauses into a live engine
+             conservatively invalidates every completed table *)
+          completed_tables env
+      in
+      if affected <> [] then begin
+        let repairable, doomed =
+          List.partition
+            (fun s -> addition && s.s_mode = Pred.Incremental && not s.s_neg_dep)
+            affected
+        in
+        List.iter (fun s -> s.s_stale <- true) repairable;
+        List.iter (fun s -> Canon.Tbl.remove env.tables s.skey) doomed;
+        if doomed <> [] then begin
+          env.stats.st_invalidations <- env.stats.st_invalidations + List.length doomed;
+          if obs_on env then
+            Obs.Recorder.emit env.obs ~step:env.stats.st_steps ~subgoal:0 ~pred:""
+              ~call:"" ~depth:0 (Obs.Event.Invalidate (List.length doomed))
+        end
+      end
+  | _ -> ()
+
+(* Re-derive the stale tables in place. The whole stale set runs in one
+   evaluation so mutually-dependent tables reach their joint fixpoint;
+   each keeps its answer store (additions only ever add answers) and
+   gets a fresh generator against the grown clause set. If the repair
+   evaluation fails for any reason the stale tables are dropped instead:
+   the next call re-evaluates from scratch, which is always sound. *)
+let repair_stale env =
+  let stale =
+    Canon.Tbl.fold
+      (fun _ s acc -> if s.s_stale && s.s_state = Complete then s :: acc else acc)
+      env.tables []
+  in
+  if stale <> [] then begin
+    let ev = new_eval env None in
+    List.iter
+      (fun s ->
+        s.s_stale <- false;
+        s.s_state <- Incomplete;
+        s.s_owner_eval <- ev.e_id;
+        s.s_consumers <- [];
+        s.s_tasks <- 0;
+        ev.e_created <- s :: ev.e_created;
+        push_task ev (Generate s))
+      stale;
+    ev.e_scc_dirty <- true;
+    match run_eval ev with
+    | () ->
+        env.stats.st_repairs <- env.stats.st_repairs + List.length stale;
+        if obs_on env then
+          Obs.Recorder.emit env.obs ~step:env.stats.st_steps ~subgoal:0 ~pred:""
+            ~call:"" ~depth:0 (Obs.Event.Repair (List.length stale))
+    | exception _ ->
+        List.iter (fun s -> Canon.Tbl.remove env.tables s.skey) stale;
+        abandon_eval ev
+  end
 let _ = error

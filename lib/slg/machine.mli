@@ -47,7 +47,10 @@ val compare_delay : delay -> delay -> int
 
 val compare_delays : delay list -> delay list -> int
 
-type answer = { a_template : Canon.t; mutable a_delays : delay list }
+type answer = { mutable a_template : Canon.t; mutable a_delays : delay list }
+(** [a_template] is mutable for answer subsumption only: folding a
+    better value into an existing answer rewrites the stored template in
+    place. *)
 
 type sstate = Incomplete | Complete
 
@@ -66,6 +69,20 @@ type subgoal = {
           derivations consume from or negatively wait on *)
   mutable s_tasks : int;  (** queued scheduler tasks feeding this subgoal *)
   mutable s_scc : int;  (** SCC id from the last incremental Tarjan pass *)
+  s_mode : Pred.table_mode;
+      (** the predicate's tabling mode at table creation *)
+  mutable s_dyn_reads : (string * int) list;
+      (** dynamic predicates whose clauses this subgoal's derivations
+          resolved against (incremental-tabling dependency leaves) *)
+  mutable s_neg_dep : bool;
+      (** a feeding derivation used negation/if-then-else/aggregation:
+          invalidate, never repair *)
+  mutable s_stale : bool;
+      (** completed but awaiting in-place repair (see {!repair_stale}) *)
+  s_seen_raw : unit Canon.Tbl.t;
+      (** subsumptive only: raw answers already folded *)
+  s_agg : (int * answer) Canon.Tbl.t;
+      (** subsumptive only: key columns -> (position, holder answer) *)
 }
 
 and consumer = {
@@ -119,6 +136,12 @@ type stats = {
   mutable st_early_completions : int;
       (** subgoals completed incrementally (members of those SCCs) *)
   mutable st_max_scc_size : int;  (** largest SCC closed incrementally *)
+  mutable st_invalidations : int;
+      (** completed tables dropped by a database mutation *)
+  mutable st_repairs : int;
+      (** stale incremental tables re-derived in place *)
+  mutable st_folds : int;
+      (** answers folded into an existing subsumptive answer *)
   mutable st_steps : int;
 }
 
@@ -212,3 +235,22 @@ val run_eval : ?stop:(unit -> bool) -> eval -> unit
 
 val abandon_eval : eval -> unit
 (** Delete the evaluation's incomplete tables and drop its tasks. *)
+
+(** {1 Incremental tabling} *)
+
+val note_mutation : env -> Database.mutation -> unit
+(** React to a database mutation: completed tables transitively affected
+    by the mutated predicate (via [s_dyn_reads] and [s_deps]) are
+    dropped — except incremental tables affected by a pure clause
+    addition whose derivations were negation-free, which are marked
+    stale for in-place repair instead. A mutation of a {e static}
+    predicate conservatively invalidates every completed table. Wired to
+    {!Database.on_mutation} by {!Engine.create}. *)
+
+val repair_stale : env -> unit
+(** Re-derive every stale incremental table in place, all in one
+    evaluation (so mutually-dependent tables reach their joint
+    fixpoint). Existing answers are kept; generators re-run against the
+    grown clause set. If the repair evaluation fails, the stale tables
+    are dropped and the next call re-evaluates from scratch. Called by
+    the engine at the start of each query. *)

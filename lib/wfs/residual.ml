@@ -53,26 +53,27 @@ let query engine goal =
   let answers = Engine.query engine goal in
   let ground = of_tables engine in
   (* an answer template may be supported by several answer clauses with
-     different delay lists: merge them, taking the strongest truth *)
-  let merged : (string, solution) Hashtbl.t = Hashtbl.create 16 in
+     different delay lists: merge them, taking the strongest truth. Key
+     on the structural binding list, not its printed form — printing is
+     lossy (1 and 1.0 both print as "1"), so distinct solutions could
+     collide *)
+  let merged : solution Canon.Tbl.t = Canon.Tbl.create 16 in
   let order = ref [] in
   List.iter
     (fun (s : Engine.solution) ->
       match delay_truth ground s.Engine.delays with
       | Ground.False -> ()
       | truth -> (
-          let key =
-            String.concat "|" (List.map (fun (_, v) -> Term.to_string v) s.Engine.bindings)
-          in
-          match Hashtbl.find_opt merged key with
+          let key = Canon.of_term (Term.list_ (List.map snd s.Engine.bindings)) in
+          match Canon.Tbl.find_opt merged key with
           | None ->
-              Hashtbl.add merged key { bindings = s.Engine.bindings; truth };
+              Canon.Tbl.add merged key { bindings = s.Engine.bindings; truth };
               order := key :: !order
           | Some existing ->
               if existing.truth = Ground.Undefined && truth = Ground.True then
-                Hashtbl.replace merged key { existing with truth }))
+                Canon.Tbl.replace merged key { existing with truth }))
     answers;
-  List.rev_map (fun key -> Hashtbl.find merged key) !order
+  List.rev_map (fun key -> Canon.Tbl.find merged key) !order
 
 let query_string engine text =
   query engine

@@ -165,6 +165,28 @@ let stratified_universe =
     (List.init stratified_strata (fun s ->
          List.init stratified_constants (fun c -> (s, c))))
 
+(* ---- random non-stratified ground programs ----
+
+   Same atom space as the stratified generator, but negative literals
+   may target any stratum — including the head's own, so negative loops
+   (and hence genuinely three-valued well-founded models) arise
+   routinely. *)
+
+let nonstratified_gen =
+  let open QCheck2.Gen in
+  let atom =
+    let* s = int_range 0 (stratified_strata - 1) in
+    let* c = int_range 0 (stratified_constants - 1) in
+    return (s, c)
+  in
+  let rule =
+    let* head = atom in
+    let* pos = list_size (int_range 0 2) atom in
+    let* neg = list_size (int_range 0 2) atom in
+    return { gr_head = head; gr_pos = pos; gr_neg = neg }
+  in
+  list_size (int_range 2 10) rule
+
 (* ground-truth win/1 by backward induction on an acyclic graph *)
 let win_values moves nodes =
   let adj = Hashtbl.create 16 in

@@ -129,6 +129,111 @@ let stratified_differential ~scheduling name =
               QCheck2.Test.fail_reportf "stratified program has undefined atom %s:@.%s" goal text)
         Generators.stratified_universe)
 
+(* --- non-stratified negation: SLG well-founded vs the alternating
+   fixpoint of lib/wfs/ground.ml --- *)
+
+let truth_name = function
+  | Ground.True -> "true"
+  | Ground.False -> "false"
+  | Ground.Undefined -> "undefined"
+
+let wfs_differential =
+  QCheck2.Test.make ~count:runs ~name:"SLG well-founded = alternating fixpoint"
+    ~print:Generators.stratified_text Generators.nonstratified_gen (fun rules ->
+      let text = ":- table p0/1, p1/1, p2/1.\n" ^ Generators.stratified_text rules in
+      let session = Session.create ~mode:Machine.Well_founded () in
+      Session.consult session text;
+      let ground = Ground.create () in
+      List.iter
+        (fun (r : Generators.ground_rule) ->
+          Ground.add_rule ground
+            (Generators.ground_atom_canon r.Generators.gr_head)
+            ~pos:(List.map Generators.ground_atom_canon r.Generators.gr_pos)
+            ~neg:(List.map Generators.ground_atom_canon r.Generators.gr_neg))
+        rules;
+      List.for_all
+        (fun atom ->
+          let goal = Generators.ground_atom_text atom in
+          let slg =
+            match Session.wfs_query session goal with
+            | [] -> Ground.False
+            | [ { Residual.truth; _ } ] -> truth
+            | _ -> QCheck2.Test.fail_reportf "multiple answers for %s:@.%s" goal text
+          in
+          let expect = Ground.wfs ground (Generators.ground_atom_canon atom) in
+          slg = expect
+          || QCheck2.Test.fail_reportf "SLG says %s, WFS says %s on %s:@.%s" (truth_name slg)
+               (truth_name expect) goal text)
+        Generators.stratified_universe)
+
+(* --- incremental tabling: random assert/retract interleavings must
+   agree with evaluating from scratch (here: BFS ground truth) --- *)
+
+let incremental_program =
+  ":- table reach/2 as incremental.\n\
+   reach(X,Y) :- edge(X,Y).\n\
+   reach(X,Z) :- reach(X,Y), edge(Y,Z)."
+
+let mutation_script_gen =
+  QCheck2.Gen.(
+    pair
+      (Generators.edges_gen ~n:5 ~m:6)
+      (list_size (int_range 1 8) (pair bool (pair (int_range 1 5) (int_range 1 5)))))
+
+let print_mutation_script (init, ops) =
+  Printf.sprintf "init: %s\nops: %s"
+    (String.concat " " (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) init))
+    (String.concat " "
+       (List.map
+          (fun (add, (a, b)) -> Printf.sprintf "%s%d-%d" (if add then "+" else "-") a b)
+          ops))
+
+let rec remove_one x = function
+  | [] -> []
+  | y :: rest -> if x = y then rest else y :: remove_one x rest
+
+let incremental_differential =
+  QCheck2.Test.make ~count:runs ~name:"incremental tabling = from-scratch under mutations"
+    ~print:print_mutation_script mutation_script_gen (fun (init, ops) ->
+      let s = Session.create () in
+      Session.consult s incremental_program;
+      List.iter
+        (fun (a, b) ->
+          ignore (Session.succeeds s (Printf.sprintf "assert(edge(%d,%d))" a b)))
+        init;
+      let current = ref init in
+      let check stage =
+        let got =
+          List.sort_uniq compare
+            (List.map
+               (fun (sol : Engine.solution) ->
+                 match sol.Engine.bindings with
+                 | [ (_, v) ] -> Term.to_string v
+                 | _ -> QCheck2.Test.fail_reportf "bad binding shape"
+               )
+               (Session.query s "reach(1,X)"))
+        in
+        let expect =
+          List.sort_uniq compare (List.map string_of_int (Generators.reachable !current 1))
+        in
+        got = expect
+        || QCheck2.Test.fail_reportf "reach(1,X) diverged %s: got [%s], expected [%s]@.%s" stage
+             (String.concat ";" got) (String.concat ";" expect)
+             (print_mutation_script (init, ops))
+      in
+      check "initially"
+      && List.for_all
+           (fun (add, (a, b)) ->
+             let text = Printf.sprintf "edge(%d,%d)" a b in
+             (if add then begin
+                ignore (Session.succeeds s (Printf.sprintf "assert(%s)" text));
+                current := (a, b) :: !current
+              end
+              else if Session.succeeds s (Printf.sprintf "retract(%s)" text) then
+                current := remove_one (a, b) !current);
+             check (Printf.sprintf "after %s%s" (if add then "+" else "-") text))
+           ops)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest datalog_differential;
@@ -136,4 +241,6 @@ let suite =
     QCheck_alcotest.to_alcotest (stratified_differential ~scheduling:Machine.Local "stratified tnot = WFS (local)");
     QCheck_alcotest.to_alcotest
       (stratified_differential ~scheduling:Machine.Batched "stratified tnot = WFS (batched)");
+    QCheck_alcotest.to_alcotest wfs_differential;
+    QCheck_alcotest.to_alcotest incremental_differential;
   ]

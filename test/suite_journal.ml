@@ -47,9 +47,10 @@ let fingerprint db =
     Fmt.str "%a" Xsb.Canon.pp (clause_canon c.Xsb.Pred.head c.Xsb.Pred.body)
   in
   let pred_line p =
-    Printf.sprintf "%s/%d %s tabled=%b [%s]" (Xsb.Pred.name p) (Xsb.Pred.arity p)
+    Printf.sprintf "%s/%d %s tabled=%b mode=%s [%s]" (Xsb.Pred.name p) (Xsb.Pred.arity p)
       (match Xsb.Pred.kind p with Xsb.Pred.Dynamic -> "dynamic" | Xsb.Pred.Static -> "static")
       (Xsb.Pred.tabled p)
+      (Xsb.Pred.table_mode_to_string (Xsb.Pred.table_mode p))
       (String.concat "; " (List.map clause_str (Xsb.Pred.clauses p)))
   in
   String.concat "\n"
@@ -98,6 +99,11 @@ let sample_mutations =
       };
     J.Remove_pred { name = "p"; arity = 1 };
     J.Set_tabled { name = "path"; arity = 2 };
+    J.Set_table_mode { name = "reach"; arity = 2; mode = Xsb.Pred.Incremental };
+    J.Set_table_mode
+      { name = "sp"; arity = 3; mode = Xsb.Pred.Subsumptive Xsb.Answer_store.Subsumption.Min };
+    J.Set_table_mode
+      { name = "n"; arity = 2; mode = Xsb.Pred.Subsumptive Xsb.Answer_store.Subsumption.Count };
     J.Set_dynamic { name = "q"; arity = 3 };
     J.Set_index
       { name = "edge"; arity = 2; spec = Xsb.Pred.Fields [ [ 1 ]; [ 2; 1 ] ]; size_hint = Some 64 };
@@ -839,6 +845,78 @@ let server_cases =
         F.reset ());
   ]
 
+(* --- incremental tables on the durable server --- *)
+
+(* one counter out of the STATS text, e.g. [stat text "subgoals"] *)
+let stat_of text name =
+  let target = name ^ ": " in
+  let tlen = String.length target in
+  List.fold_left
+    (fun acc line ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          let line = String.trim line in
+          if String.length line > tlen && String.sub line 0 tlen = target then
+            int_of_string_opt (String.sub line tlen (String.length line - tlen))
+          else None)
+    None
+    (String.split_on_char '\n' text)
+
+let stat c name =
+  match stat_of (ok (Client.statistics c)) name with
+  | Some n -> n
+  | None -> Alcotest.failf "no %S line in STATS" name
+
+let reach_src =
+  ":- table reach/2 as incremental.\n\
+   reach(X,Y) :- edge(X,Y).\n\
+   reach(X,Z) :- reach(X,Y), edge(Y,Z)."
+
+let incremental_server_cases =
+  [
+    t "durable server: tables stay warm across unrelated writes" `Quick (fun () ->
+        with_dir (fun dir ->
+            with_server ~cfg:(durable_cfg dir) (fun server ->
+                with_client server (fun c ->
+                    ignore (ok (Client.consult c reach_src));
+                    ignore (ok (Client.assert_ c "edge(1,2)"));
+                    ignore (ok (Client.assert_ c "edge(2,3)"));
+                    check_int "cold query" 2 (List.length (rows_of (Client.query c "reach(1,X)")));
+                    let before = stat c "subgoals" in
+                    (* a journaled write to an unrelated predicate must
+                       not disturb the completed reach tables *)
+                    ignore (ok (Client.assert_ c "noise(1)"));
+                    check_int "warm query" 2 (List.length (rows_of (Client.query c "reach(1,X)")));
+                    check_int "only the private query table was created" (before + 1)
+                      (stat c "subgoals");
+                    check_int "no repair needed" 0 (stat c "repairs");
+                    (* a write the table depends on is repaired in
+                       place, not recomputed *)
+                    ignore (ok (Client.assert_ c "edge(3,4)"));
+                    check_int "repaired answers" 3
+                      (List.length (rows_of (Client.query c "reach(1,X)")));
+                    check_int "one repair" 1 (stat c "repairs")))));
+    t "durable server: table modes survive a restart" `Quick (fun () ->
+        with_dir (fun dir ->
+            with_server ~cfg:(durable_cfg dir) (fun server ->
+                with_client server (fun c ->
+                    ignore
+                      (ok
+                         (Client.consult c
+                            ":- table sp/3 as subsumptive(min).\n\
+                             sp(X,Y,C) :- edge(X,Y,C).\n\
+                             sp(X,Z,C) :- sp(X,Y,C1), edge(Y,Z,C2), C is C1 + C2."));
+                    ignore (ok (Client.assert_ c "edge(a,b,3)"));
+                    ignore (ok (Client.assert_ c "edge(a,b,1)"))));
+            (* compact_bytes = 0 forces snapshot compaction, so recovery
+               replays Load_image + Set_table_mode records *)
+            with_server ~cfg:(durable_cfg dir) (fun server ->
+                with_client server (fun c ->
+                    check_int "still folded to the minimum" 1
+                      (List.length (rows_of (Client.query c "sp(a,Y,C)")))))));
+  ]
+
 let suite =
   codec_cases @ lifecycle_cases @ failpoint_cases @ property_cases @ remove_pred_cases
-  @ retry_cases @ server_cases
+  @ retry_cases @ server_cases @ incremental_server_cases

@@ -672,6 +672,9 @@ let scheduler_and_stats_cases =
            sccs completed: 0\n\
            early completions: 0\n\
            max scc size: 0\n\
+           invalidations: 0\n\
+           repairs: 0\n\
+           folds: 0\n\
            steps: 120\n"
           (Buffer.contents buffer));
     t "statistics/0 output has no run-on whitespace" `Quick (fun () ->

@@ -143,6 +143,42 @@ let cases =
             check_int "two models" 2 (List.length models);
             List.iter (fun m -> check_int "one winner each" 1 (List.length m)) models
         | None -> Alcotest.fail "expected models");
+    (* regression: --wfs looped forever on mutual negation over
+       untabled predicates — solve_tnot fell back to SLD
+       negation-as-failure, which recursed without ever creating a
+       table. Well-founded mode now auto-tables such predicates. The
+       step bound turns any regression into a Step_limit failure
+       instead of a hang. *)
+    t "engine: mutual negation without table directives terminates" `Quick (fun () ->
+        let s = wfs_session "p :- tnot(q).\nq :- tnot(p)." in
+        Engine.set_max_steps (Session.engine s) 200_000;
+        check_truth "p" Ground.Undefined (truth_of s "p");
+        check_truth "q" Ground.Undefined (truth_of s "q"));
+    t "engine: untabled 3-cycle of negations is undefined" `Quick (fun () ->
+        let s = wfs_session "a :- tnot(b).\nb :- tnot(c).\nc :- tnot(a)." in
+        Engine.set_max_steps (Session.engine s) 200_000;
+        check_truth "a" Ground.Undefined (truth_of s "a");
+        check_truth "b" Ground.Undefined (truth_of s "b");
+        check_truth "c" Ground.Undefined (truth_of s "c"));
+    t "engine: mixed stratified and unstratified, untabled" `Quick (fun () ->
+        let s =
+          wfs_session "p :- tnot(q).\nq :- tnot(p).\nr :- tnot(s).\ns.\nk :- tnot(missing)."
+        in
+        Engine.set_max_steps (Session.engine s) 200_000;
+        check_truth "p" Ground.Undefined (truth_of s "p");
+        check_truth "r" Ground.False (truth_of s "r");
+        check_truth "s" Ground.True (truth_of s "s");
+        (* tnot over a predicate with no clauses at all still uses plain
+           negation-as-failure: no table needed for a loop-free goal *)
+        check_truth "k" Ground.True (truth_of s "k"));
+    t "residual: distinct numeric solutions do not collide" `Quick (fun () ->
+        (* regression: answers were merged by their printed form, and
+           the integer 1 and the float 1.0 print identically *)
+        let s = wfs_session ":- table q/1.\nq(1).\nq(1.0)." in
+        let answers = Session.wfs_query s "q(X)" in
+        check_int "two solutions" 2 (List.length answers);
+        check_bool "all true" true
+          (List.for_all (fun a -> a.Residual.truth = Ground.True) answers));
     t "delay_truth conjunctions" `Quick (fun () ->
         let g = Ground.create () in
         Ground.add_fact g (c "t");

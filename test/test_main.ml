@@ -14,6 +14,7 @@ let () =
       ("integration", Suite_integration.suite);
       ("differential", Suite_differential.suite);
       ("scheduling", Suite_scheduling.suite);
+      ("incremental", Suite_incremental.suite);
       ("obs", Suite_obs.suite);
       ("server", Suite_server.suite);
       ("journal", Suite_journal.suite);
