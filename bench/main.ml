@@ -836,6 +836,101 @@ let incremental_bench () =
   row " place on additions; variant tables are dropped and recomputed)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Call subsumption: variant vs subsumptive tabling on tc and sg. Each
+   workload runs three phases per mode — a join whose inner calls are
+   bound instances issued while the general table is still producing
+   (this is where variant tabling opens a generator table per distinct
+   bound call and a subsumed consumer opens none), one open general
+   query, and k specific queries against the completed table. Table
+   counts, specific-phase rps, and in-bench answer-set verification. *)
+
+let subsumption_bench () =
+  header "Call subsumption: table counts and rps, variant vs subsumptive tables";
+  let n = if !quick then 48 else 128 in
+  let tree = if !quick then 31 else 63 in
+  let k = if !quick then 24 else 96 in
+  let answers s goal =
+    List.sort compare
+      (List.map
+         (fun (sol : Xsb.Engine.solution) ->
+           List.map (fun (_, v) -> Xsb.Term.to_string v) sol.Xsb.Engine.bindings)
+         (Xsb.Session.query s goal))
+  in
+  let workloads =
+    [
+      ( Printf.sprintf "tc-cycle-%d" n,
+        Workloads.left_path_plain ^ "join(Z) :- path(A,B), path(B,Z).\n"
+        ^ Workloads.cycle_edges n,
+        "path/2",
+        "path(X,Y)",
+        List.init k (fun i -> Printf.sprintf "path(%d,X)" ((i mod n) + 1)) );
+      ( Printf.sprintf "sg-tree-%d" tree,
+        Workloads.sg_datalog tree ^ "join(Z) :- sg(A,B), sg(B,Z).\n",
+        "sg/2",
+        "sg(X,Y)",
+        List.init k (fun i -> Printf.sprintf "sg(%d,Y)" (i + 2)) );
+    ]
+  in
+  let run_mode mode (_, text, pred, general, specifics) =
+    let directive =
+      match mode with
+      | `Subsumption -> Printf.sprintf ":- table %s as subsumption.\n" pred
+      | `Variant -> Printf.sprintf ":- table %s.\n" pred
+    in
+    let s = Xsb.Session.create ~scheduling:Xsb.Machine.Batched () in
+    Xsb.Session.consult s (directive ^ text);
+    (* phase 1: the join, on empty table space — its bound inner calls
+       arrive while the general table is incomplete *)
+    let join_answers = answers s "join(Z)" in
+    (* phase 2: the open general query (the table is complete by now) *)
+    let general_answers = answers s general in
+    (* phase 3: k specific queries against the completed general table *)
+    let t0 = Unix.gettimeofday () in
+    let specific_answers = List.map (answers s) specifics in
+    let wall = Unix.gettimeofday () -. t0 in
+    let st = Xsb.Session.stats s in
+    ( join_answers :: general_answers :: specific_answers,
+      st.Xsb.Machine.st_subgoals,
+      float_of_int (List.length specifics) /. wall,
+      st.Xsb.Machine.st_subsumption_hits )
+  in
+  row "%-14s %-12s %8s %12s %10s %8s\n" "workload" "mode" "tables" "specific-rps" "sub-hits"
+    "answers";
+  let results =
+    List.map
+      (fun ((name, _, _, _, _) as w) ->
+        let v_answers, v_tables, v_rps, _ = run_mode `Variant w in
+        let s_answers, s_tables, s_rps, s_hits = run_mode `Subsumption w in
+        let equal = v_answers = s_answers in
+        row "%-14s %-12s %8d %12.0f %10d %8s\n" name "variant" v_tables v_rps 0 "";
+        row "%-14s %-12s %8d %12.0f %10d %8s\n" name "subsumption" s_tables s_rps s_hits
+          (if equal then "equal" else "DIFFER");
+        if not equal then row "  !! answer sets differ between modes on %s\n" name;
+        if s_tables >= v_tables then
+          row "  !! subsumption did not reduce table count on %s (%d vs %d)\n" name s_tables
+            v_tables;
+        (name, v_tables, s_tables, v_rps, s_rps, s_hits, equal))
+      workloads
+  in
+  let oc = open_out "BENCH_subsumption.json" in
+  Printf.fprintf oc
+    "{ \"experiment\": \"subsumption\", \"specific_queries\": %d, \"results\": [\n" k;
+  List.iteri
+    (fun i (name, v_tables, s_tables, v_rps, s_rps, s_hits, equal) ->
+      Printf.fprintf oc
+        "  { \"workload\": %S, \"variant_tables\": %d, \"subsumption_tables\": %d, \
+         \"variant_specific_rps\": %.1f, \"subsumption_specific_rps\": %.1f, \
+         \"subsumption_hits\": %d, \"answers_equal\": %b }%s\n"
+        name v_tables s_tables v_rps s_rps s_hits equal
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  output_string oc "] }\n";
+  close_out oc;
+  row "wrote BENCH_subsumption.json\n";
+  row "(a subsumed consumer reuses the general table's answers through the\n";
+  row " time-stamped index; variant tabling opens a table per distinct bound call)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test per table/figure *)
 
 let bechamel_tests () =
@@ -908,6 +1003,7 @@ let experiments =
     ("server", server_bench);
     ("journal", journal_bench);
     ("incremental", incremental_bench);
+    ("subsumption", subsumption_bench);
     ("bechamel", bechamel);
   ]
 

@@ -126,10 +126,23 @@ let set_tabled t name arity =
     notify t (Tabled_pred { name; arity })
   end
 
+exception
+  Table_mode_conflict of {
+    name : string;
+    arity : int;
+    existing : Pred.table_mode;
+    requested : Pred.table_mode;
+  }
+
 let set_table_mode t name arity mode =
   set_tabled t name arity;
   let pred = declare t name arity in
-  if Pred.table_mode pred <> mode then begin
+  let existing = Pred.table_mode pred in
+  if existing <> mode then begin
+    (* a contradictory redeclaration is an error, not last-write-wins:
+       the mode pins the semantics of clauses already loaded under it *)
+    if existing <> Pred.Variant then
+      raise (Table_mode_conflict { name; arity; existing; requested = mode });
     Pred.set_table_mode pred mode;
     notify t (Table_mode_pred { name; arity; mode })
   end

@@ -59,9 +59,24 @@ val remove_pred : t -> string -> int -> unit
 val set_tabled : t -> string -> int -> unit
 (** Declare (if needed) and mark tabled; fires [Tabled_pred] once. *)
 
+exception
+  Table_mode_conflict of {
+    name : string;
+    arity : int;
+    existing : Pred.table_mode;
+    requested : Pred.table_mode;
+  }
+(** Raised by {!set_table_mode} on a contradictory redeclaration:
+    semantics already pinned to one non-default mode cannot silently
+    become another (last-write-wins would change the meaning of already
+    loaded clauses). Re-declaring the {e same} mode stays idempotent, so
+    journal replay and repeated consults are unaffected. *)
+
 val set_table_mode : t -> string -> int -> Pred.table_mode -> unit
 (** Declare (if needed), mark tabled, and set the tabling mode; fires
-    [Tabled_pred] and then [Table_mode_pred] when either changes. *)
+    [Tabled_pred] and then [Table_mode_pred] when either changes. Raises
+    {!Table_mode_conflict} when the predicate already has a different
+    non-default mode. *)
 
 val set_dynamic : t -> string -> int -> Pred.t
 (** Declare (if needed) and mark dynamic; fires [Dynamic_pred] when the

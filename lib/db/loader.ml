@@ -47,12 +47,13 @@ let index_spec_of term =
       | Some combos -> Pred.Fields (List.map combo_of combos)
       | None -> fail "bad index specification: %a" Term.pp t)
 
-(* A tabling mode annotation: [:- table p/2 as incremental] or
-   [:- table p/3 as subsumptive(min)]. *)
+(* A tabling mode annotation: [:- table p/2 as incremental],
+   [:- table p/2 as subsumption], or [:- table p/3 as subsumptive(min)]. *)
 let table_mode_of term =
   match Term.deref term with
   | Term.Atom ("incremental" | "opaque") -> Pred.Incremental
   | Term.Atom "variant" -> Pred.Variant
+  | Term.Atom "subsumption" -> Pred.Subsumption
   | Term.Struct ("subsumptive", [| op |]) -> (
       match Term.deref op with
       | Term.Atom name -> (

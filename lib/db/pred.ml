@@ -10,17 +10,23 @@ type kind = Static | Dynamic
      of a read predicate invalidates (or, for pure additions to definite
      programs, repairs) only the dependent tables.
    - [Subsumptive op]: answers sharing key columns (all but the last
-     argument) fold into one answer under the lattice operation. *)
+     argument) fold into one answer under the lattice operation.
+   - [Subsumption]: call-subsumption tabling — a call whose subgoal is
+     an instance of an existing table's subgoal consumes that table's
+     answers (filtered by unification) instead of creating a new
+     generator. *)
 type table_mode =
   | Variant
   | Incremental
   | Subsumptive of Answer_store.Subsumption.op
+  | Subsumption
 
 let table_mode_to_string = function
   | Variant -> "variant"
   | Incremental -> "incremental"
   | Subsumptive op ->
       Printf.sprintf "subsumptive(%s)" (Answer_store.Subsumption.op_to_string op)
+  | Subsumption -> "subsumption"
 
 type clause = { id : int; head : Term.t; body : Term.t }
 

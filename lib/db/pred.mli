@@ -22,6 +22,11 @@ type table_mode =
   | Subsumptive of Answer_store.Subsumption.op
       (** answers sharing key columns (all arguments but the last) fold
           into a single answer under the lattice operation *)
+  | Subsumption
+      (** call-subsumption tabling: a call whose subgoal is an instance
+          of an existing table's subgoal becomes a {e subsumed consumer}
+          of that table — no new generator — with answers filtered
+          through unification with the more specific call *)
 
 val table_mode_to_string : table_mode -> string
 

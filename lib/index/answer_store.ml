@@ -123,12 +123,19 @@ module Index = struct
      [lookup] walks only the branches whose token prefix can unify with
      the skeleton, so a bound call retrieves candidates without scanning
      the whole table (paper §4.5). *)
-  type 'a node = { mutable entries : (int * 'a) list; children : 'a node Tok_tbl.t }
-      (* entries in reverse insertion order *)
+  type 'a node = {
+    mutable entries : (int * 'a) list;  (* in reverse insertion order *)
+    mutable latest : int;
+        (* time stamp: the largest insertion position anywhere in this
+           subtree, [-1] when empty.  Lets a stamped retrieval skip whole
+           branches that hold nothing newer than the consumer's last
+           poll. *)
+    children : 'a node Tok_tbl.t;
+  }
 
   type 'a t = { root : 'a node; order : 'a Vec.t }
 
-  let fresh_node () = { entries = []; children = Tok_tbl.create 4 }
+  let fresh_node () = { entries = []; latest = -1; children = Tok_tbl.create 4 }
 
   let create ?size_hint:_ () = { root = fresh_node (); order = Vec.create () }
 
@@ -138,7 +145,10 @@ module Index = struct
   let fold_left f acc t = Vec.fold_left f acc t.order
 
   let add t key payload =
-    let rec go node = function
+    let pos = Vec.length t.order in
+    let rec go node toks =
+      node.latest <- pos;
+      match toks with
       | [] -> node
       | tok :: rest ->
           let child =
@@ -152,7 +162,6 @@ module Index = struct
           go child rest
     in
     let node = go t.root (tokens key) in
-    let pos = Vec.length t.order in
     node.entries <- (pos, payload) :: node.entries;
     Vec.push t.order payload;
     pos
@@ -168,45 +177,95 @@ module Index = struct
     go t.root (tokens key)
 
   (* all nodes reachable from [node] by consuming exactly [k] whole
-     stored subterms (used when the skeleton has a variable) *)
-  let rec skip node k acc =
-    if k = 0 then node :: acc
-    else Tok_tbl.fold (fun tok child acc -> skip child (k - 1 + opens tok) acc) node.children acc
+     stored subterms (used when the skeleton has a variable); branches
+     whose time stamp is older than [from] are pruned *)
+  let rec skip ~from node k acc =
+    if k = 0 then if node.latest >= from then node :: acc else acc
+    else
+      Tok_tbl.fold
+        (fun tok child acc ->
+          if child.latest < from then acc else skip ~from child (k - 1 + opens tok) acc)
+        node.children acc
 
-  let lookup t skeleton =
+  let lookup_from ~from t skeleton =
     let acc = ref [] in
     let rec go node agenda =
-      match agenda with
-      | [] -> acc := List.rev_append node.entries !acc
-      | q :: rest -> (
-          match q with
-          | Canon.CVar _ ->
-              (* skeleton variable: matches one whole stored subterm
-                 along every branch (including stored variables) *)
-              List.iter (fun n -> go n rest) (skip node 1 [])
-          | _ ->
-              (* a stored variable absorbs the whole skeleton subterm *)
-              Tok_tbl.iter
-                (fun tok child -> match tok with TVar _ -> go child rest | _ -> ())
-                node.children;
-              let descend tok sub =
-                match Tok_tbl.find_opt node.children tok with
-                | Some child -> go child (sub @ rest)
-                | None -> ()
-              in
-              (match q with
-              | Canon.CVar _ -> assert false
-              | Canon.CAtom a -> descend (TAtom a) []
-              | Canon.CInt i -> descend (TInt i) []
-              | Canon.CFloat x -> descend (TFloat x) []
-              | Canon.CStruct (f, args) ->
-                  descend (TStruct (f, Array.length args)) (Array.to_list args)))
+      if node.latest >= from then
+        match agenda with
+        | [] -> List.iter (fun (i, x) -> if i >= from then acc := (i, x) :: !acc) node.entries
+        | q :: rest -> (
+            match q with
+            | Canon.CVar _ ->
+                (* skeleton variable: matches one whole stored subterm
+                   along every branch (including stored variables) *)
+                List.iter (fun n -> go n rest) (skip ~from node 1 [])
+            | _ ->
+                (* a stored variable absorbs the whole skeleton subterm *)
+                Tok_tbl.iter
+                  (fun tok child -> match tok with TVar _ -> go child rest | _ -> ())
+                  node.children;
+                let descend tok sub =
+                  match Tok_tbl.find_opt node.children tok with
+                  | Some child -> go child (sub @ rest)
+                  | None -> ()
+                in
+                (match q with
+                | Canon.CVar _ -> assert false
+                | Canon.CAtom a -> descend (TAtom a) []
+                | Canon.CInt i -> descend (TInt i) []
+                | Canon.CFloat x -> descend (TFloat x) []
+                | Canon.CStruct (f, args) ->
+                    descend (TStruct (f, Array.length args)) (Array.to_list args)))
     in
     go t.root [ skeleton ];
     List.sort_uniq (fun (i, _) (j, _) -> Int.compare i j) !acc
 
+  let lookup t skeleton = lookup_from ~from:0 t skeleton
+
   let iter_matching ?(from = 0) t skeleton f =
-    List.iter (fun (i, x) -> if i >= from then f i x) (lookup t skeleton)
+    List.iter (fun (i, x) -> f i x) (lookup_from ~from t skeleton)
+
+  (* Call-subsumption retrieval (Cruz & Rocha): the entries whose stored
+     key is at least as general as [probe] — i.e. [probe] is an instance
+     of the key.  The walk is exact, not a candidate superset: stored
+     variables absorb whole probe subterms through a persistent binding
+     environment, so a non-linear stored key like p(X,X) only matches
+     probes whose corresponding subterms are equal. *)
+  let retrieve_subsuming t probe =
+    let acc = ref [] in
+    let rec go node bindings agenda =
+      match agenda with
+      | [] -> acc := List.rev_append node.entries !acc
+      | q :: rest ->
+          (* a stored variable generalizes the whole probe subterm,
+             consistently across repeated occurrences *)
+          Tok_tbl.iter
+            (fun tok child ->
+              match tok with
+              | TVar n -> (
+                  match List.assoc_opt n bindings with
+                  | Some prev -> if Canon.equal prev q then go child bindings rest
+                  | None -> go child ((n, q) :: bindings) rest)
+              | _ -> ())
+            node.children;
+          let descend tok sub =
+            match Tok_tbl.find_opt node.children tok with
+            | Some child -> go child bindings (sub @ rest)
+            | None -> ()
+          in
+          (match q with
+          | Canon.CVar _ ->
+              (* only a stored variable is at least as general as a
+                 probe variable; handled above *)
+              ()
+          | Canon.CAtom a -> descend (TAtom a) []
+          | Canon.CInt i -> descend (TInt i) []
+          | Canon.CFloat x -> descend (TFloat x) []
+          | Canon.CStruct (f, args) ->
+              descend (TStruct (f, Array.length args)) (Array.to_list args))
+    in
+    go t.root [] [ probe ];
+    List.sort_uniq (fun (i, _) (j, _) -> Int.compare i j) !acc
 end
 
 (* ------------------------------------------------------------------ *)

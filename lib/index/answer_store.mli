@@ -82,7 +82,22 @@ module Index : sig
 
   val iter_matching : ?from:int -> 'a t -> Canon.t -> (int -> 'a -> unit) -> unit
   (** [iter_matching ~from t skel f] applies [f pos entry] to candidates
-      with insertion position [>= from], in insertion order. *)
+      with insertion position [>= from], in insertion order. The trie is
+      time-stamped — every node records the newest insertion position in
+      its subtree — so branches holding nothing at or after [from] are
+      skipped entirely: a late-arriving consumer that polls with its
+      last-seen stamp pays for the new answers, not a rescan. *)
+
+  val retrieve_subsuming : 'a t -> Canon.t -> (int * 'a) list
+  (** Call-subsumption retrieval (Cruz & Rocha, "Efficient Instance
+      Retrieval of Subgoals for Subsumptive Tabled Evaluation"): the
+      entries whose stored key {e subsumes} [probe] — the probe is an
+      instance of the key under one-sided unification — sorted by
+      insertion position. Unlike {!lookup} this is exact, not a
+      candidate superset: stored variables are matched through a binding
+      environment, so non-linear keys (e.g. [p(X,X)]) only match probes
+      whose corresponding subterms coincide. Variant keys subsume their
+      own variants, so an exact hit is included. *)
 end
 
 (** Answer subsumption (lattice tabling): the column algebra for tables

@@ -160,6 +160,7 @@ let table_mode_tag = function
       | Sum -> 4
       | Count -> 5
       | First -> 6)
+  | Pred.Subsumption -> 7
 
 let table_mode_of_tag = function
   | 0 -> Pred.Variant
@@ -169,6 +170,7 @@ let table_mode_of_tag = function
   | 4 -> Pred.Subsumptive Sum
   | 5 -> Pred.Subsumptive Count
   | 6 -> Pred.Subsumptive First
+  | 7 -> Pred.Subsumption
   | _ -> Codec.decode_error "bad table mode tag"
 
 let encode_mutation m =

@@ -41,6 +41,9 @@ module Event = struct
         (** a mutation invalidated [n] dependent incremental tables *)
     | Repair of int  (** [n] stale incremental tables were re-evaluated in place *)
     | Fold  (** an answer was folded into an existing subsumptive answer *)
+    | Subsume
+        (** a call was served by a subsuming table (call subsumption):
+            no new generator, answers filtered through unification *)
 
   type t = {
     seq : int;  (** per-recorder sequence number, strictly monotonic *)
@@ -67,6 +70,7 @@ module Event = struct
     | Invalidate _ -> "invalidate"
     | Repair _ -> "repair"
     | Fold -> "fold"
+    | Subsume -> "subsume"
 
   let pp ppf e =
     let extra =
@@ -124,6 +128,7 @@ module Event = struct
       | "invalidate" -> Option.map (fun n -> Invalidate n) (int_field "tables")
       | "repair" -> Option.map (fun n -> Repair n) (int_field "tables")
       | "fold" -> Some Fold
+      | "subsume" -> Some Subsume
       | _ -> None
     in
     Some { seq; step; subgoal; pred; call; depth; kind }

@@ -27,6 +27,9 @@ module Event : sig
         (** a mutation invalidated [n] dependent incremental tables *)
     | Repair of int  (** [n] stale incremental tables were re-evaluated in place *)
     | Fold  (** an answer was folded into an existing subsumptive answer *)
+    | Subsume
+        (** a call was served by a subsuming table (call subsumption):
+            no new generator, answers filtered through unification *)
 
   type t = {
     seq : int;  (** per-recorder sequence number, strictly monotonic *)

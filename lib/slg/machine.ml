@@ -124,6 +124,12 @@ and consumer = {
   c_delays : delay list;
   mutable c_consumed : int;
   mutable c_scheduled : bool;  (* a Drain task is already queued *)
+  c_filter : Canon.t option;
+      (* call subsumption: [Some skel] marks a *subsumed* consumer — its
+         call is a proper instance of the producer's subgoal, so a drain
+         probes the time-stamped answer index with [skel] (from the
+         consumer's last-poll stamp) instead of walking every answer;
+         unification with the snapshot call filters the candidates *)
 }
 
 type waiter_kind = Wneg | Wgoal
@@ -163,6 +169,11 @@ type stats = {
   mutable st_answer_candidates : int;  (* candidates those probes returned *)
   mutable st_answer_full_size : int;  (* table sizes a full scan would have visited *)
   mutable st_subsumed_calls : int;  (* bound calls served from a completed subsuming table *)
+  mutable st_subsumption_hits : int;
+      (* calls that found a live subsuming table through the call index
+         (Subsumption mode) and so created no generator of their own *)
+  mutable st_answers_filtered : int;
+      (* producer answers a subsumed consumer's unification rejected *)
   mutable st_drains_scheduled : int;  (* Drain tasks queued (after dedup) *)
   mutable st_sccs_completed : int;  (* SCCs closed by incremental completion *)
   mutable st_early_completions : int;  (* subgoals completed before the global fixpoint *)
@@ -188,6 +199,8 @@ let fresh_stats () =
     st_answer_candidates = 0;
     st_answer_full_size = 0;
     st_subsumed_calls = 0;
+    st_subsumption_hits = 0;
+    st_answers_filtered = 0;
     st_drains_scheduled = 0;
     st_sccs_completed = 0;
     st_early_completions = 0;
@@ -216,6 +229,8 @@ let reset_stats st =
   st.st_answer_candidates <- 0;
   st.st_answer_full_size <- 0;
   st.st_subsumed_calls <- 0;
+  st.st_subsumption_hits <- 0;
+  st.st_answers_filtered <- 0;
   st.st_drains_scheduled <- 0;
   st.st_sccs_completed <- 0;
   st.st_early_completions <- 0;
@@ -229,12 +244,14 @@ let pp_stats ppf st =
   Fmt.pf ppf
     "subgoals: %d@.answers: %d (dups %d)@.suspensions: %d@.resumptions: %d@.resolutions: \
      %d@.negative suspensions: %d@.nested evaluations: %d@.completions: %d@.answer index probes: \
-     %d@.answer index candidates: %d (of %d stored)@.subsumed calls: %d@.drains scheduled: \
+     %d@.answer index candidates: %d (of %d stored)@.subsumed calls: %d@.subsumption hits: \
+     %d@.answers filtered: %d@.drains scheduled: \
      %d@.sccs completed: %d@.early completions: %d@.max scc size: %d@.invalidations: \
      %d@.repairs: %d@.folds: %d@.steps: %d@."
     st.st_subgoals st.st_answers st.st_dup_answers st.st_suspensions st.st_resumptions
     st.st_resolutions st.st_neg_suspensions st.st_nested_evals st.st_completions
     st.st_answer_probes st.st_answer_candidates st.st_answer_full_size st.st_subsumed_calls
+    st.st_subsumption_hits st.st_answers_filtered
     st.st_drains_scheduled st.st_sccs_completed st.st_early_completions st.st_max_scc_size
     st.st_invalidations st.st_repairs st.st_folds st.st_steps
 
@@ -242,6 +259,13 @@ type env = {
   db : Database.t;
   trail : Trail.t;
   tables : subgoal Canon.Tbl.t;
+  call_index : (string * int, Canon.t Answer_index.t) Hashtbl.t;
+      (* call subsumption: per-predicate discrimination trie over the
+         subgoal keys of Subsumption-mode tables, probed with
+         [retrieve_subsuming] when a fresh call arrives. Entries are
+         never removed (the trie has no deletion); retrieval validates
+         every candidate against [tables], so keys of deleted or
+         invalidated tables are simply dead entries *)
   mode : mode;
   mutable scheduling : scheduling;
   mutable tabling_enabled : bool;
@@ -291,6 +315,7 @@ let create_env ?(mode = Stratified) ?scheduling db =
     db;
     trail = Trail.create ();
     tables = Canon.Tbl.create 256;
+    call_index = Hashtbl.create 16;
     mode;
     scheduling;
     tabling_enabled = true;
@@ -437,6 +462,22 @@ let create_table ev key pred_key =
     }
   in
   Canon.Tbl.replace env.tables key sub;
+  (* call subsumption: make this subgoal retrievable by later, more
+     specific calls. Re-creations after an invalidation find their key
+     already present (the trie has no deletion), so the index stays
+     duplicate-free. *)
+  (match mode with
+  | Pred.Subsumption ->
+      let idx =
+        match Hashtbl.find_opt env.call_index pred_key with
+        | Some idx -> idx
+        | None ->
+            let idx = Answer_index.create () in
+            Hashtbl.add env.call_index pred_key idx;
+            idx
+      in
+      if Answer_index.find idx key = [] then ignore (Answer_index.add idx key key : int)
+  | _ -> ());
   ev.e_created <- sub :: ev.e_created;
   ev.e_scc_dirty <- true;
   if metrics_on env then begin
@@ -487,6 +528,7 @@ let abolish_tables env =
       env.tables []
   in
   List.iter (Canon.Tbl.remove env.tables) doomed;
+  Hashtbl.reset env.call_index;
   if obs_on env then
     Obs.Recorder.emit env.obs ~step:env.stats.st_steps ~subgoal:0 ~pred:"" ~call:""
       ~depth:0 (Obs.Event.Abolish (List.length doomed));
@@ -733,6 +775,32 @@ let subsuming_completed env goal key =
       | _ -> None)
   | _ -> None
 
+(* Call-subsumption retrieval (Subsumption mode): probe the predicate's
+   call index for a live table whose subgoal subsumes [key]. A completed
+   table is preferred (inline consumption, no suspension); otherwise an
+   incomplete table owned by this evaluation serves, with the new call
+   becoming a subsumed consumer. Incomplete tables of *other*
+   evaluations are skipped — subsumption is an optimization, and
+   declining it avoids any cross-evaluation interaction. *)
+let subsuming_live env ev key pred_key =
+  match Hashtbl.find_opt env.call_index pred_key with
+  | None -> None
+  | Some idx ->
+      let live =
+        List.filter_map
+          (fun (_, k) ->
+            match find_table env k with
+            | Some sub
+              when (not sub.s_stale)
+                   && (sub.s_state = Complete || sub.s_owner_eval = ev.e_id) ->
+                Some sub
+            | _ -> None)
+          (Answer_index.retrieve_subsuming idx key)
+      in
+      match List.find_opt (fun sub -> sub.s_state = Complete) live with
+      | Some sub -> Some sub
+      | None -> ( match live with sub :: _ -> Some sub | [] -> None)
+
 let is_tabled env goal =
   env.tabling_enabled
   &&
@@ -761,6 +829,9 @@ let stats_term env =
       pair "neg_suspensions" st.st_neg_suspensions;
       pair "nested_evals" st.st_nested_evals;
       pair "completions" st.st_completions;
+      pair "subsumed_calls" st.st_subsumed_calls;
+      pair "subsumption_hits" st.st_subsumption_hits;
+      pair "answers_filtered" st.st_answers_filtered;
       pair "sccs_completed" st.st_sccs_completed;
       pair "early_completions" st.st_early_completions;
       pair "max_scc_size" st.st_max_scc_size;
@@ -1172,7 +1243,7 @@ and consume_inline ev ~det ~owner ~template ~delays ~barrier ~skel sub goal rest
     List.iter (fun (_, a) -> each a) candidates
   end
 
-and register_consumer ev sub ~owner ~template ~delays goal rest =
+and register_consumer ?filter ev sub ~owner ~template ~delays goal rest =
   let env = ev.e_env in
   env.stats.st_suspensions <- env.stats.st_suspensions + 1;
   if metrics_on env then begin
@@ -1189,6 +1260,7 @@ and register_consumer ev sub ~owner ~template ~delays goal rest =
       c_delays = delays;
       c_consumed = 0;
       c_scheduled = false;
+      c_filter = filter;
     }
   in
   sub.s_consumers <- consumer :: sub.s_consumers;
@@ -1221,23 +1293,53 @@ and solve_tabled ev ~det ~owner ~template ~delays ~barrier goal rest =
         else register_consumer ev sub ~owner ~template ~delays goal rest
       else raise (Touched_outer sub)
   | None -> (
-      match subsuming_completed env goal key with
+      let pred_key = pred_key_of goal in
+      let subsumption_mode =
+        match Database.find env.db (fst pred_key) (snd pred_key) with
+        | Some p -> Pred.table_mode p = Pred.Subsumption
+        | None -> false
+      in
+      match (if subsumption_mode then subsuming_live env ev key pred_key else None) with
       | Some sub ->
-          (* bound call over a completed more-general table: answer-index
-             retrieval instead of re-evaluating the program *)
-          env.stats.st_subsumed_calls <- env.stats.st_subsumed_calls + 1;
-          consume_inline ev ~det ~owner ~template ~delays ~barrier ~skel:key sub goal rest
-      | None ->
-          if det then begin
-            (* complete the subgoal in a nested evaluation, then consume *)
-            let sub = nested_completion ev goal key in
+          (* call subsumption: the new call is an instance of [sub]'s
+             subgoal — consume that table instead of evaluating anew *)
+          env.stats.st_subsumption_hits <- env.stats.st_subsumption_hits + 1;
+          if obs_on env then
+            emit_sub env ~depth:ev.e_depth sub Obs.Event.Subsume (Term.to_string goal);
+          if sub.s_state = Complete then begin
+            env.stats.st_subsumed_calls <- env.stats.st_subsumed_calls + 1;
             consume_inline ev ~det ~owner ~template ~delays ~barrier ~skel:key sub goal rest
           end
-          else begin
-            let sub = create_table ev key (pred_key_of goal) in
-            push_task ev (Generate sub);
-            register_consumer ev sub ~owner ~template ~delays goal rest
-          end)
+          else if det then begin
+            (* deterministic context: capture currently-available answers *)
+            env.captured_incomplete <- Some sub;
+            consume_inline ev ~det ~owner ~template ~delays ~barrier ~skel:key sub goal rest
+          end
+          else
+            (* subsumed consumer: no generator of its own; drains probe
+               the producer's time-stamped answer index with this call's
+               skeleton *)
+            register_consumer ~filter:key ev sub ~owner ~template ~delays goal rest
+      | None -> (
+          match subsuming_completed env goal key with
+          | Some sub ->
+              (* bound call over a completed more-general table:
+                 answer-index retrieval instead of re-evaluating *)
+              env.stats.st_subsumed_calls <- env.stats.st_subsumed_calls + 1;
+              consume_inline ev ~det ~owner ~template ~delays ~barrier ~skel:key sub goal rest
+          | None ->
+              if det then begin
+                (* complete the subgoal in a nested evaluation, then
+                   consume *)
+                let sub = nested_completion ev goal key in
+                consume_inline ev ~det ~owner ~template ~delays ~barrier ~skel:key sub goal
+                  rest
+              end
+              else begin
+                let sub = create_table ev key pred_key in
+                push_task ev (Generate sub);
+                register_consumer ev sub ~owner ~template ~delays goal rest
+              end))
 
 (* Run a nested evaluation that fully completes the subgoal for [goal].
    Raises [Touched_outer] (after cleaning up) if the nested evaluation
@@ -1533,13 +1635,31 @@ and run_task ev task =
       if obs_on env then
         emit_sub env ~depth:ev.e_depth consumer.c_table Obs.Event.Drain
           (key_str consumer.c_table.skey);
-      (* the loop re-reads the size, so answers emitted mid-drain are
+      (* the loops re-read the size, so answers emitted mid-drain are
          consumed here rather than scheduling a redundant self-drain *)
-      while consumer.c_consumed < Answer_index.size store do
-        let i = consumer.c_consumed in
-        consumer.c_consumed <- i + 1;
-        resume_consumer ev consumer (Answer_index.get store i)
-      done;
+      (match consumer.c_filter with
+      | Some skel ->
+          (* subsumed consumer: [c_consumed] is its last-poll stamp.
+             Probe the time-stamped index for candidates newer than the
+             stamp — [iter_matching] snapshots its candidate list before
+             resuming anything, so answers arriving mid-iteration are
+             picked up by the outer loop, each exactly once *)
+          while consumer.c_consumed < Answer_index.size store do
+            let from = consumer.c_consumed in
+            let n = Answer_index.size store in
+            consumer.c_consumed <- n;
+            env.stats.st_answer_probes <- env.stats.st_answer_probes + 1;
+            env.stats.st_answer_full_size <- env.stats.st_answer_full_size + (n - from);
+            Answer_index.iter_matching ~from store skel (fun _ a ->
+                env.stats.st_answer_candidates <- env.stats.st_answer_candidates + 1;
+                resume_consumer ev consumer a)
+          done
+      | None ->
+          while consumer.c_consumed < Answer_index.size store do
+            let i = consumer.c_consumed in
+            consumer.c_consumed <- i + 1;
+            resume_consumer ev consumer (Answer_index.get store i)
+          done);
       consumer.c_scheduled <- false
   | Run r ->
       env.stats.st_resumptions <- env.stats.st_resumptions + 1;
@@ -1573,11 +1693,15 @@ and resume_consumer ev consumer answer =
     end
   in
   let b = fresh_barrier env in
-  if Unify.unify env.trail call instance then begin
-    try solve ev ~det:false ~owner:consumer.c_owner ~template ~delays ~barrier:b goals with
-    | Cut_signal b' when b' = b -> ()
-    | Cut_signal _ -> error "cut outside its scope (cut over a table suspension?)"
-  end;
+  (if Unify.unify env.trail call instance then begin
+     try solve ev ~det:false ~owner:consumer.c_owner ~template ~delays ~barrier:b goals with
+     | Cut_signal b' when b' = b -> ()
+     | Cut_signal _ -> error "cut outside its scope (cut over a table suspension?)"
+   end
+   else if consumer.c_filter <> None then
+     (* a subsumed consumer's filter rejected a producer answer (an
+        index candidate that does not unify with the specific call) *)
+     env.stats.st_answers_filtered <- env.stats.st_answers_filtered + 1);
   Trail.undo_to env.trail m
 
 (* Run an evaluation to fixpoint. [stop] is polled between tasks

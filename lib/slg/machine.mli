@@ -92,6 +92,12 @@ and consumer = {
   c_delays : delay list;
   mutable c_consumed : int;
   mutable c_scheduled : bool;  (** a [Drain] task is already queued *)
+  c_filter : Canon.t option;
+      (** call subsumption: [Some skel] marks a subsumed consumer, whose
+          call is a proper instance of the producer's subgoal; drains
+          probe the producer's time-stamped answer index with [skel]
+          from the consumer's last-poll stamp and filter candidates by
+          unification with the snapshot call *)
 }
 
 type waiter_kind = Wneg | Wgoal
@@ -130,6 +136,11 @@ type stats = {
       (** table sizes a full scan would have visited *)
   mutable st_subsumed_calls : int;
       (** bound calls served from a completed subsuming table *)
+  mutable st_subsumption_hits : int;
+      (** calls that found a live subsuming table through the call index
+          (Subsumption mode) and created no generator of their own *)
+  mutable st_answers_filtered : int;
+      (** producer answers a subsumed consumer's unification rejected *)
   mutable st_drains_scheduled : int;  (** Drain tasks queued (after dedup) *)
   mutable st_sccs_completed : int;
       (** SCCs closed by incremental completion, before the global fixpoint *)
@@ -159,6 +170,11 @@ type env = {
   db : Database.t;
   trail : Trail.t;
   tables : subgoal Canon.Tbl.t;
+  call_index : (string * int, Canon.t Xsb_index.Answer_store.Index.t) Hashtbl.t;
+      (** call subsumption: per-predicate discrimination trie over the
+          subgoal keys of Subsumption-mode tables; probed with
+          [retrieve_subsuming] when a fresh call arrives, candidates
+          validated against [tables] *)
   mode : mode;
   mutable scheduling : scheduling;
   mutable tabling_enabled : bool;

@@ -206,3 +206,37 @@ let win_values moves nodes =
         v
   in
   List.map (fun x -> (x, win x)) nodes
+
+(* ---- call-subsumption shapes ----
+
+   [subsumption_pair_gen] produces (general, specific): [specific] is
+   built from [general] by binding a random subset of its variables to
+   small ground terms, so the specific term is an instance of the
+   general one by construction. The index property suite uses the pair
+   to exercise subsumption retrieval; the differential corpus biases
+   its query sequences the same way, toward repeated calls that share a
+   shape. *)
+
+let ground_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun i -> Term.Int i) (int_range (-5) 5);
+      map (fun n -> Term.Atom n) (oneofl atom_names);
+      (let* name = oneofl [ "f"; "g" ] in
+       let* i = int_range 0 3 in
+       return (Term.app name [ Term.Int i ]));
+    ]
+
+let subsumption_pair_gen =
+  let open QCheck2.Gen in
+  let* general = term_gen in
+  let general = Term.copy general in
+  let vars = Term.vars general in
+  let* picks = list_repeat (List.length vars) (pair bool ground_gen) in
+  let trail = Trail.create () in
+  let m = Trail.mark trail in
+  List.iter2 (fun v (bind_it, g) -> if bind_it then Term.bind trail v g) vars picks;
+  let specific = Term.copy general in
+  Trail.undo_to trail m;
+  return (general, specific)

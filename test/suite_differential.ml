@@ -77,6 +77,67 @@ let datalog_differential =
           && check_goal text (h ^ "(2,X)") ~keep:[ 1 ])
         heads)
 
+(* --- call subsumption: SLG with subsumptive tables vs variant tables
+   vs bottom-up, over query sequences biased toward repeated calls with
+   shared shapes (an open general call, then instances of it, which the
+   subsumptive engine serves from the general table) --- *)
+
+let subsumption_directive = ":- table p/2 as subsumption, q/2 as subsumption, r/2 as subsumption.\n"
+
+let session_answers s goal =
+  List.sort_uniq compare
+    (List.map
+       (fun (sol : Engine.solution) ->
+         List.map (fun (_, v) -> Term.to_string v) sol.Engine.bindings)
+       (Session.query s goal))
+
+let subsumption_differential =
+  QCheck2.Test.make ~count:runs ~name:"call subsumption = variant tabling = bottom-up"
+    ~print:Generators.datalog_text Generators.datalog_program_gen (fun dp ->
+      let text = Generators.datalog_text dp in
+      let heads =
+        List.sort_uniq compare (List.map (fun r -> r.Generators.dr_head) dp.Generators.dp_rules)
+      in
+      List.for_all
+        (fun scheduling ->
+          (* one session per mode, shared across the whole query
+             sequence: the later specific calls hit tables the earlier
+             general calls filled *)
+          let sub = Session.create ~scheduling () in
+          Session.consult sub (subsumption_directive ^ text);
+          let var = Session.create ~scheduling () in
+          Session.consult var (table_directive ^ text);
+          List.for_all
+            (fun h ->
+              List.for_all
+                (fun (goal, keep) ->
+                  let goal = h ^ goal in
+                  let a = session_answers sub goal in
+                  let b = session_answers var goal in
+                  (a = b
+                  || QCheck2.Test.fail_reportf
+                       "subsumption/variant disagree on %s (%s):@.%s" goal
+                       (Machine.scheduling_to_string scheduling)
+                       text)
+                  &&
+                  match keep with
+                  | None -> true (* non-linear goal: magic rewriting not compared *)
+                  | Some keep ->
+                      let bu = bottomup_answer_set text goal ~keep in
+                      a = bu
+                      || QCheck2.Test.fail_reportf
+                           "subsumption/bottom-up disagree on %s (%d vs %d answers):@.%s" goal
+                           (List.length a) (List.length bu) text)
+                [
+                  ("(X,Y)", Some [ 0; 1 ]);
+                  ("(2,X)", Some [ 1 ]);
+                  ("(X,3)", Some [ 0 ]);
+                  ("(2,3)", Some []);
+                  ("(A,A)", None);
+                ])
+            heads)
+        [ Machine.Local; Machine.Batched ])
+
 (* --- tracing and profiling are purely observational --- *)
 
 let tracing_differential =
@@ -100,14 +161,16 @@ let tracing_differential =
 
 (* --- stratified negation: SLG tnot vs the well-founded model --- *)
 
-let stratified_differential ~scheduling name =
+let stratified_differential ?(directive = ":- table p0/1, p1/1, p2/1.\n") ?(warm = [])
+    ~scheduling name =
   QCheck2.Test.make ~count:runs ~name ~print:Generators.stratified_text Generators.stratified_gen
     (fun rules ->
-      let text =
-        ":- table p0/1, p1/1, p2/1.\n" ^ Generators.stratified_text rules
-      in
+      let text = directive ^ Generators.stratified_text rules in
       let session = Session.create ~scheduling () in
       Session.consult session text;
+      (* under subsumption, open warm-up queries complete the general
+         tables so every ground probe below is a subsumed call *)
+      List.iter (fun g -> ignore (Session.query session g)) warm;
       let ground = Ground.create () in
       List.iter
         (fun (r : Generators.ground_rule) ->
@@ -237,10 +300,21 @@ let incremental_differential =
 let suite =
   [
     QCheck_alcotest.to_alcotest datalog_differential;
+    QCheck_alcotest.to_alcotest subsumption_differential;
     QCheck_alcotest.to_alcotest tracing_differential;
     QCheck_alcotest.to_alcotest (stratified_differential ~scheduling:Machine.Local "stratified tnot = WFS (local)");
     QCheck_alcotest.to_alcotest
       (stratified_differential ~scheduling:Machine.Batched "stratified tnot = WFS (batched)");
+    QCheck_alcotest.to_alcotest
+      (stratified_differential
+         ~directive:":- table p0/1 as subsumption, p1/1 as subsumption, p2/1 as subsumption.\n"
+         ~warm:[ "p0(X)"; "p1(X)"; "p2(X)" ] ~scheduling:Machine.Local
+         "stratified tnot = WFS under call subsumption (local)");
+    QCheck_alcotest.to_alcotest
+      (stratified_differential
+         ~directive:":- table p0/1 as subsumption, p1/1 as subsumption, p2/1 as subsumption.\n"
+         ~warm:[ "p0(X)"; "p1(X)"; "p2(X)" ] ~scheduling:Machine.Batched
+         "stratified tnot = WFS under call subsumption (batched)");
     QCheck_alcotest.to_alcotest wfs_differential;
     QCheck_alcotest.to_alcotest incremental_differential;
   ]

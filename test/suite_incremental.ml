@@ -79,6 +79,35 @@ let mode_cases =
         match Session.consult s ":- table p/2 as bogus." with
         | exception _ -> ()
         | () -> Alcotest.fail "expected a load error");
+    t "contradictory table-mode redeclarations are a typed error" `Quick (fun () ->
+        let s = Session.create () in
+        Session.consult s ":- table p/2 as incremental.";
+        (match Session.consult s ":- table p/2 as subsumption." with
+        | exception
+            Database.Table_mode_conflict
+              {
+                name = "p";
+                arity = 2;
+                existing = Pred.Incremental;
+                requested = Pred.Subsumption;
+              } ->
+            ()
+        | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+        | () -> Alcotest.fail "expected Table_mode_conflict");
+        (* the mode survives the rejected redeclaration *)
+        check_bool "mode unchanged" true
+          (match Database.find (Session.db s) "p" 2 with
+          | Some p -> Pred.table_mode p = Pred.Incremental
+          | None -> false);
+        (* a same-mode redeclaration stays idempotent — journal replay
+           re-applies Set_table_mode records and must never raise *)
+        Session.consult s ":- table p/2 as incremental.";
+        (* plain tabling first, then a mode: an upgrade, not a conflict *)
+        Session.consult s ":- table q/2.\n:- table q/2 as subsumption.";
+        check_bool "variant upgrades" true
+          (match Database.find (Session.db s) "q" 2 with
+          | Some q -> Pred.table_mode q = Pred.Subsumption
+          | None -> false));
   ]
 
 let reach_program =

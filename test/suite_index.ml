@@ -313,3 +313,99 @@ let answer_index_props =
 
 let suite =
   suite @ answer_index_cases @ List.map (QCheck_alcotest.to_alcotest ~long:false) answer_index_props
+
+(* ---- call-subsumption retrieval and the time-stamped index ---- *)
+
+let subsumption_cases =
+  let c s = Canon.of_term (Parser.term_of_string s) in
+  [
+    t "retrieve_subsuming: exact on non-linear keys" `Quick (fun () ->
+        let idx = Answer_index.create () in
+        List.iteri
+          (fun i s -> ignore (Answer_index.add idx (c s) i : int))
+          [ "p(X,X)"; "p(X,Y)"; "p(1,Y)" ];
+        let hits probe = List.map fst (Answer_index.retrieve_subsuming idx (c probe)) in
+        check_ints "p(1,1) matched by all three" [ 0; 1; 2 ] (hits "p(1,1)");
+        check_ints "p(1,2) only linear keys" [ 1; 2 ] (hits "p(1,2)");
+        check_ints "p(2,2) not the bound key" [ 0; 1 ] (hits "p(2,2)");
+        check_ints "p(f(A),f(A)) respects shared probe vars" [ 0; 1 ] (hits "p(f(A),f(A))");
+        check_ints "p(A,B) variants and nothing stricter" [ 1 ] (hits "p(A,B)"));
+    t "retrieve_subsuming: probe variable matches stored variables only" `Quick (fun () ->
+        let idx = Answer_index.create () in
+        List.iteri
+          (fun i s -> ignore (Answer_index.add idx (c s) i : int))
+          [ "p(f(X))"; "p(Y)" ];
+        check_ints "open probe" [ 1 ]
+          (List.map fst (Answer_index.retrieve_subsuming idx (c "p(Z)")));
+        check_ints "deep probe hits both" [ 0; 1 ]
+          (List.map fst (Answer_index.retrieve_subsuming idx (c "p(f(1))"))));
+  ]
+
+let subsumption_props =
+  let open QCheck2 in
+  [
+    (* the tentpole "iff" property: an entry comes back from
+       [retrieve_subsuming] exactly when one-sided unification says the
+       stored key generalizes the probe *)
+    Test.make ~name:"retrieve_subsuming hits exactly the subsuming keys" ~count:300
+      (Gen.pair (Gen.list_size (Gen.int_range 1 25) Generators.term_gen) Generators.term_gen)
+      (fun (stored, probe) ->
+        let keys = List.map (fun u -> Canon.of_term (Term.app "p" [ Term.copy u ])) stored in
+        let probe = Canon.of_term (Term.app "p" [ Term.copy probe ]) in
+        let idx = Answer_index.create () in
+        List.iteri (fun i k -> ignore (Answer_index.add idx k i : int)) keys;
+        let hits = List.map fst (Answer_index.retrieve_subsuming idx probe) in
+        let trail = Trail.create () in
+        List.for_all
+          (fun (i, k) ->
+            let subsumes =
+              Unify.instance_of trail ~instance:(Canon.to_term probe)
+                ~general:(Canon.to_term k)
+            in
+            List.mem i hits = subsumes)
+          (List.mapi (fun i k -> (i, k)) keys));
+    Test.make ~name:"retrieve_subsuming finds the general key of every specialization"
+      ~count:300 Generators.subsumption_pair_gen
+      (fun (general, specific) ->
+        let idx = Answer_index.create () in
+        ignore (Answer_index.add idx (Canon.of_term (Term.app "p" [ general ])) 0 : int);
+        List.map fst
+          (Answer_index.retrieve_subsuming idx
+             (Canon.of_term (Term.app "p" [ Term.copy specific ])))
+        = [ 0 ]);
+    (* the time-stamp property: with an open skeleton, polling from a
+       stamp returns exactly the entries inserted at or after it *)
+    Test.make ~name:"stamped retrieval returns exactly the entries after the stamp" ~count:300
+      (Gen.pair (Gen.list_size (Gen.int_range 1 25) Generators.term_gen) (Gen.int_range 0 30))
+      (fun (stored, from) ->
+        let idx = Answer_index.create () in
+        List.iteri
+          (fun i u ->
+            ignore (Answer_index.add idx (Canon.of_term (Term.app "p" [ Term.copy u ])) i : int))
+          stored;
+        let skel = Canon.of_term (Term.app "p" [ Term.fresh_var () ]) in
+        let seen = ref [] in
+        Answer_index.iter_matching ~from idx skel (fun pos _ -> seen := pos :: !seen);
+        let n = List.length stored in
+        List.rev !seen = List.init (max 0 (n - from)) (fun i -> from + i));
+    Test.make ~name:"stamped lookup is the unstamped lookup filtered by position" ~count:300
+      (Gen.triple
+         (Gen.list_size (Gen.int_range 1 25) Generators.term_gen)
+         Generators.term_gen (Gen.int_range 0 30))
+      (fun (stored, skel, from) ->
+        let idx = Answer_index.create () in
+        List.iteri
+          (fun i u ->
+            ignore (Answer_index.add idx (Canon.of_term (Term.app "p" [ Term.copy u ])) i : int))
+          stored;
+        let skel = Canon.of_term (Term.app "p" [ Term.copy skel ]) in
+        let at from =
+          let seen = ref [] in
+          Answer_index.iter_matching ~from idx skel (fun pos _ -> seen := pos :: !seen);
+          List.rev !seen
+        in
+        at from = List.filter (fun pos -> pos >= from) (at 0));
+  ]
+
+let suite =
+  suite @ subsumption_cases @ List.map (QCheck_alcotest.to_alcotest ~long:false) subsumption_props

@@ -668,6 +668,8 @@ let scheduler_and_stats_cases =
            answer index probes: 4\n\
            answer index candidates: 9 (of 36 stored)\n\
            subsumed calls: 0\n\
+           subsumption hits: 0\n\
+           answers filtered: 0\n\
            drains scheduled: 0\n\
            sccs completed: 0\n\
            early completions: 0\n\

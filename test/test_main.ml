@@ -15,6 +15,7 @@ let () =
       ("differential", Suite_differential.suite);
       ("scheduling", Suite_scheduling.suite);
       ("incremental", Suite_incremental.suite);
+      ("subsumption", Suite_subsumption.suite);
       ("obs", Suite_obs.suite);
       ("server", Suite_server.suite);
       ("journal", Suite_journal.suite);
