@@ -518,10 +518,13 @@ let scheduling () =
    round-trips (so every query re-derives its table), latency
    percentiles and aggregate throughput. *)
 
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else sorted.(max 0 (min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1)))
+(* quantiles come from the same log-bucketed histogram the server's
+   METRICS exposition uses, so bench JSON and scraped
+   histogram_quantile agree on the math *)
+let latency_hist latencies =
+  let h = Xsb.Metrics.Histogram.create () in
+  Array.iter (Xsb.Metrics.Histogram.observe h) latencies;
+  h
 
 let server_bench () =
   header "Server: concurrent clients over loopback TCP";
@@ -578,9 +581,9 @@ let server_bench () =
         Server.stop server;
         if Atomic.get errors > 0 then
           row "  !! %d failed requests in %s\n" (Atomic.get errors) name;
-        Array.sort compare latencies;
+        let hist = latency_hist latencies in
         let total = clients * requests in
-        let us p = 1e6 *. percentile latencies p in
+        let us p = 1e6 *. Xsb.Metrics.Histogram.percentile hist p in
         let throughput = float_of_int total /. wall in
         row "%-14s %8d %10.0f %10.0f %10.0f %10.0f %12.0f\n" name clients (us 50.0) (us 95.0)
           (us 99.0) (us 100.0) throughput;
@@ -602,6 +605,119 @@ let server_bench () =
   output_string oc "] }\n";
   close_out oc;
   row "wrote BENCH_server.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* E15 — the cost of observability: tc-cycle-64 under concurrent load
+   against a server with the metrics registry disabled (the control)
+   and enabled while a scraper thread hits METRICS continuously; the
+   overhead is measured, not assumed. *)
+
+let metrics_bench () =
+  header "Metrics: instrumentation overhead under load (tc-cycle-64)";
+  let open Xsb_server in
+  let clients = if !quick then 4 else 8 in
+  let requests = if !quick then 25 else 100 in
+  let program = Workloads.left_path_tabled ^ Workloads.cycle_edges 64 in
+  let goal = "path(1,X)" in
+  let expected = 64 in
+  let drive ~metrics_enabled ~scrape =
+    let cfg =
+      {
+        Server.default_config with
+        port = 0;
+        workers = clients;
+        queue_capacity = 4 * clients;
+        default_timeout_ms = 60_000;
+        default_max_steps = 0;
+        metrics_enabled;
+      }
+    in
+    let server = Server.start cfg in
+    let latencies = Array.make (clients * requests) 0.0 in
+    let errors = Atomic.make 0 in
+    let scrapes = Atomic.make 0 in
+    let bad_scrapes = Atomic.make 0 in
+    let stop_scraper = Atomic.make false in
+    let scraper =
+      if not scrape then None
+      else
+        Some
+          (Thread.create
+             (fun () ->
+               let c = Client.connect (Server.port server) in
+               Fun.protect
+                 ~finally:(fun () -> Client.close c)
+                 (fun () ->
+                   while not (Atomic.get stop_scraper) do
+                     (match Client.metrics c with
+                     | Ok text -> (
+                         Atomic.incr scrapes;
+                         match Xsb.Metrics.Exposition.validate text with
+                         | Ok _ -> ()
+                         | Error _ -> Atomic.incr bad_scrapes)
+                     | Error _ -> Atomic.incr errors);
+                     (* a continuous scraper, but at a realistic cadence *)
+                     Thread.delay 0.1
+                   done))
+             ())
+    in
+    let run c_idx () =
+      let c = Client.connect (Server.port server) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (match Client.consult c program with Ok _ -> () | Error _ -> Atomic.incr errors);
+          for r = 0 to requests - 1 do
+            let t0 = Xsb.Mclock.now () in
+            (match Client.abolish c with Ok _ -> () | Error _ -> Atomic.incr errors);
+            (match Client.query c goal with
+            | Client.Rows { rows; _ } ->
+                if List.length rows <> expected then Atomic.incr errors
+            | Client.Query_timeout _ | Client.Query_error _ -> Atomic.incr errors);
+            latencies.((c_idx * requests) + r) <- Xsb.Mclock.now () -. t0
+          done)
+    in
+    let t0 = Xsb.Mclock.now () in
+    let threads = List.init clients (fun i -> Thread.create (run i) ()) in
+    List.iter Thread.join threads;
+    let wall = Xsb.Mclock.now () -. t0 in
+    Atomic.set stop_scraper true;
+    (match scraper with Some th -> Thread.join th | None -> ());
+    Server.stop server;
+    if Atomic.get errors > 0 then row "  !! %d failed requests\n" (Atomic.get errors);
+    if Atomic.get bad_scrapes > 0 then
+      row "  !! %d invalid METRICS expositions\n" (Atomic.get bad_scrapes);
+    let hist = latency_hist latencies in
+    let throughput = float_of_int (clients * requests) /. wall in
+    (throughput, hist, Atomic.get scrapes)
+  in
+  row "%-26s %8s %10s %10s %12s\n" "configuration" "clients" "p50(us)" "p95(us)" "req/s";
+  let report name (throughput, hist, _) =
+    let us p = 1e6 *. Xsb.Metrics.Histogram.percentile hist p in
+    row "%-26s %8d %10.0f %10.0f %12.0f\n" name clients (us 50.0) (us 95.0) throughput
+  in
+  let base = drive ~metrics_enabled:false ~scrape:false in
+  report "metrics-off (control)" base;
+  let instr = drive ~metrics_enabled:true ~scrape:true in
+  report "metrics-on + scraper" instr;
+  let (base_rps, base_hist, _) = base and instr_rps, instr_hist, scrapes = instr in
+  let overhead_pct = 100.0 *. (base_rps -. instr_rps) /. base_rps in
+  row "overhead: %.2f%% of throughput (%d scrapes served during the run)\n" overhead_pct scrapes;
+  let oc = open_out "BENCH_metrics.json" in
+  let us h p = 1e6 *. Xsb.Metrics.Histogram.percentile h p in
+  Printf.fprintf oc
+    "{ \"experiment\": \"metrics\", \"workload\": \"tc-cycle-64\", \"clients\": %d, \
+     \"requests_per_client\": %d,\n\
+    \  \"baseline\": { \"throughput_rps\": %.1f, \"p50_us\": %.1f, \"p95_us\": %.1f, \
+     \"p99_us\": %.1f },\n\
+    \  \"instrumented\": { \"throughput_rps\": %.1f, \"p50_us\": %.1f, \"p95_us\": %.1f, \
+     \"p99_us\": %.1f, \"scrapes\": %d },\n\
+    \  \"overhead_pct\": %.2f }\n"
+    clients requests base_rps (us base_hist 50.0) (us base_hist 95.0) (us base_hist 99.0)
+    instr_rps (us instr_hist 50.0) (us instr_hist 95.0) (us instr_hist 99.0) scrapes
+    overhead_pct;
+  close_out oc;
+  row "wrote BENCH_metrics.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Journal: ASSERT throughput per sync policy; recovery time vs size *)
@@ -1001,6 +1117,7 @@ let experiments =
     ("answer_index", answer_index);
     ("scheduling", scheduling);
     ("server", server_bench);
+    ("metrics", metrics_bench);
     ("journal", journal_bench);
     ("incremental", incremental_bench);
     ("subsumption", subsumption_bench);

@@ -137,7 +137,7 @@ let repl session engine_kind wfs bounds =
   loop ()
 
 let main files goals wfs engine_name scheduling interactive stats compile trace trace_out
-    profile max_steps timeout data_dir sync_policy =
+    profile metrics_dump max_steps timeout data_dir sync_policy =
   let mode = if wfs then Some Xsb.Machine.Well_founded else None in
   let bounds = { b_max_steps = max_steps; b_timeout = timeout } in
   let engine_kind =
@@ -188,6 +188,14 @@ let main files goals wfs engine_name scheduling interactive stats compile trace 
     (match !journal with Some j -> ( try Xsb.Journal.close j with _ -> ()) | None -> ());
     if profile then Fmt.pr "%a" (fun ppf () -> Xsb.Session.pp_profile ppf session) ();
     if stats then print_stats session;
+    (if metrics_dump then begin
+       (* the same exposition the server's METRICS op serves, built from
+          this session's engine (and journal, when durable) *)
+       let reg = Xsb.Metrics.create () in
+       Xsb.Engine.publish_metrics (Xsb.Session.engine session) reg;
+       (match !journal with Some j -> Xsb.Journal.publish_metrics j reg | None -> ());
+       print_string (Xsb.Metrics.to_text reg)
+     end);
     !trace_cleanup ();
     code
   in
@@ -218,7 +226,10 @@ let main files goals wfs engine_name scheduling interactive stats compile trace 
       Format.print_flush ()
     end;
     List.iter (fun g -> run_goal session engine_kind wfs bounds g) goals;
-    if interactive || (goals = [] && (not stats) && (not profile) && not compile) then
+    if
+      interactive
+      || (goals = [] && (not stats) && (not profile) && (not metrics_dump) && not compile)
+    then
       repl session engine_kind wfs bounds;
     finish 0
   with
@@ -298,6 +309,15 @@ let profile =
           "Profile per predicate (calls, answers, duplicate ratio, suspensions, task \
            wall time, peak table size) and print the report, hottest predicate first.")
 
+let metrics_dump =
+  Arg.(
+    value & flag
+    & info [ "metrics-dump" ]
+        ~doc:
+          "After the goals, print the engine's metrics (evaluation counters, table-space and \
+           call-index bytes, per-predicate table bytes; journal durability when --data-dir) in \
+           the Prometheus text exposition format.")
+
 let max_steps =
   Arg.(
     value
@@ -347,6 +367,7 @@ let cmd =
     (Cmd.info "xsb" ~doc)
     Term.(
       const main $ files $ goals $ wfs $ engine_name $ scheduling $ interactive $ stats
-      $ compile $ trace $ trace_out $ profile $ max_steps $ timeout $ data_dir $ sync_policy)
+      $ compile $ trace $ trace_out $ profile $ metrics_dump $ max_steps $ timeout $ data_dir
+      $ sync_policy)
 
 let () = exit (Cmd.eval' cmd)

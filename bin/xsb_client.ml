@@ -13,9 +13,12 @@ let code_exit = function
   | _ -> exit_error
 
 let main host port consults fast_loads goals asserts limit timeout_ms max_steps stats abolish
-    ping sync retries backoff_ms =
+    ping sync metrics retries backoff_ms max_elapsed_ms =
   let open Xsb_server in
-  let retry = Client.retry ~retries ~backoff_ms:(float_of_int backoff_ms) () in
+  let retry =
+    Client.retry ~retries ~backoff_ms:(float_of_int backoff_ms)
+      ~max_elapsed_ms:(float_of_int max_elapsed_ms) ()
+  in
   match Client.connect_with_retry ~retry ~host port with
   | exception Unix.Unix_error (err, _, _) ->
       Fmt.epr "xsb_client: cannot connect to %s:%d: %s@." host port (Unix.error_message err);
@@ -69,6 +72,20 @@ let main host port consults fast_loads goals asserts limit timeout_ms max_steps 
           if abolish then simple "abolish" (Client.abolish client);
           if sync then simple "sync" (Client.sync client);
           if stats then simple "statistics" (Client.statistics_retry ~retry client);
+          (if metrics then
+             match Client.metrics_retry ~retry client with
+             | Error { Client.code; message } ->
+                 Fmt.epr "metrics: %s: %s@." (Protocol.err_code_name code) message;
+                 note (code_exit code)
+             | Ok text -> (
+                 (* reject a malformed exposition here, so scripts (and
+                    the CI smoke job) can trust a zero exit *)
+                 match Xsb.Metrics.Exposition.validate text with
+                 | Ok _ -> Fmt.pr "%s" text
+                 | Error why ->
+                     Fmt.pr "%s" text;
+                     Fmt.epr "metrics: invalid exposition: %s@." why;
+                     note exit_error));
           !worst)
 
 open Cmdliner
@@ -132,12 +149,29 @@ let backoff_ms =
     value & opt int 100
     & info [ "backoff-ms" ] ~docv:"MS" ~doc:"Base backoff before the first retry.")
 
+let max_elapsed_ms =
+  Arg.(
+    value & opt int 0
+    & info [ "max-elapsed-ms" ] ~docv:"MS"
+        ~doc:
+          "Total retry budget across attempts, measured on the monotonic clock; once spent, the \
+           next retryable failure is final (0 = no cap).")
+
+let metrics =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the server's Prometheus text exposition (request histograms, table-space \
+           bytes, journal durability), validating its shape first.")
+
 let cmd =
   let doc = "client for the XSB-repro query server" in
   Cmd.v
     (Cmd.info "xsb_client" ~doc)
     Term.(
       const main $ host $ port $ consults $ fast_loads $ goals $ asserts $ limit $ timeout_ms
-      $ max_steps $ stats $ abolish $ ping $ sync $ retries $ backoff_ms)
+      $ max_steps $ stats $ abolish $ ping $ sync $ metrics $ retries $ backoff_ms
+      $ max_elapsed_ms)
 
 let () = exit (Cmd.eval' cmd)

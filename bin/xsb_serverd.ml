@@ -5,13 +5,14 @@
 let stop_requested = Atomic.make false
 
 let main host port workers queue timeout_ms max_steps max_answers preload scheduling access_log
-    profile data_dir sync compact_bytes =
-  let log_channel =
-    match access_log with
+    profile data_dir sync compact_bytes no_metrics slow_ms slow_log =
+  let open_log = function
     | None -> None
     | Some "-" -> Some stdout
     | Some path -> Some (open_out path)
   in
+  let log_channel = open_log access_log in
+  let slow_channel = open_log slow_log in
   let cfg =
     {
       Xsb_server.Server.default_config with
@@ -29,6 +30,9 @@ let main host port workers queue timeout_ms max_steps max_answers preload schedu
       data_dir;
       sync;
       compact_bytes;
+      metrics_enabled = not no_metrics;
+      slow_ms;
+      slow_log = slow_channel;
     }
   in
   match Xsb_server.Server.start cfg with
@@ -63,6 +67,9 @@ let main host port workers queue timeout_ms max_steps max_answers preload schedu
       if profile then Fmt.pr "%a" (fun ppf () -> Xsb_server.Server.pp_profile ppf server) ();
       Fmt.pr "served %d requests@." (Xsb_server.Server.requests_served server);
       (match log_channel with
+      | Some oc when oc != stdout -> close_out oc
+      | _ -> ());
+      (match slow_channel with
       | Some oc when oc != stdout -> close_out oc
       | _ -> ());
       0
@@ -161,12 +168,39 @@ let compact_bytes =
     & info [ "compact-bytes" ] ~docv:"BYTES"
         ~doc:"Snapshot + truncate the journal when it grows past \\$(docv) (0 disables).")
 
+let no_metrics =
+  Arg.(
+    value & flag
+    & info [ "no-metrics" ]
+        ~doc:
+          "Disable the metrics registry's record paths (METRICS still answers, with empty \
+           counters). The control arm when measuring instrumentation overhead.")
+
+let slow_ms =
+  Arg.(
+    value & opt int 0
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Slow-query threshold: requests taking at least \\$(docv) milliseconds are written to \
+           the slow-query log (0 disables).")
+
+let slow_log =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "slow-log" ] ~docv:"FILE"
+        ~doc:
+          "Write one JSON object per slow request to \\$(docv) ('-' for stdout): goal, wall \
+           time, and the per-request engine-stats delta, correlated to the access log by \
+           request id.")
+
 let cmd =
   let doc = "the XSB-repro deductive-database query server" in
   Cmd.v
     (Cmd.info "xsb_serverd" ~doc)
     Term.(
       const main $ host $ port $ workers $ queue $ timeout_ms $ max_steps $ max_answers $ preload
-      $ scheduling $ access_log $ profile $ data_dir $ sync $ compact_bytes)
+      $ scheduling $ access_log $ profile $ data_dir $ sync $ compact_bytes $ no_metrics
+      $ slow_ms $ slow_log)
 
 let () = exit (Cmd.eval' cmd)

@@ -231,6 +231,35 @@ module Index = struct
      variables absorb whole probe subterms through a persistent binding
      environment, so a non-linear stored key like p(X,X) only matches
      probes whose corresponding subterms are equal. *)
+  (* Estimated heap bytes of the whole index: trie nodes, edges (with
+     their token payloads), entry cells, the insertion-order vector, and
+     the stored payloads through the caller's sizer. An estimate on the
+     same model as [Canon.size_bytes] — an upper bound that tracks
+     growth, for table-space accounting. *)
+  let footprint payload_bytes t =
+    let word = 8 in
+    let str s = word + (((String.length s / word) + 1) * word) in
+    let tok_bytes = function
+      | TVar _ | TInt _ | TFloat _ -> 2 * word
+      | TAtom s -> (2 * word) + str s
+      | TStruct (s, _) -> (3 * word) + str s
+    in
+    let total = ref 0 in
+    let rec node n =
+      (* the node record, its child table header, one cons + pair per entry *)
+      total := !total + (4 * word) + (4 * word) + (List.length n.entries * 6 * word);
+      Tok_tbl.iter
+        (fun tok child ->
+          (* one bucket binding per edge, plus the token itself *)
+          total := !total + (4 * word) + tok_bytes tok;
+          node child)
+        n.children
+    in
+    node t.root;
+    total := !total + (3 * word) + (Vec.length t.order * word);
+    Vec.iter (fun p -> total := !total + payload_bytes p) t.order;
+    !total
+
   let retrieve_subsuming t probe =
     let acc = ref [] in
     let rec go node bindings agenda =

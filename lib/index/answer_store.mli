@@ -88,6 +88,13 @@ module Index : sig
       skipped entirely: a late-arriving consumer that polls with its
       last-seen stamp pays for the new answers, not a rescan. *)
 
+  val footprint : ('a -> int) -> 'a t -> int
+  (** [footprint payload_bytes t]: estimated heap bytes of the whole
+      index — trie nodes, edges (with their token payloads), entry
+      cells, the insertion-order vector, and every stored payload
+      through [payload_bytes]. An upper-bound estimate on the same
+      model as [Canon.size_bytes], for table-space accounting. *)
+
   val retrieve_subsuming : 'a t -> Canon.t -> (int * 'a) list
   (** Call-subsumption retrieval (Cruz & Rocha, "Efficient Instance
       Retrieval of Subgoals for Subsumptive Tabled Evaluation"): the

@@ -775,6 +775,30 @@ let stats_json j =
       ("durable_bytes", Xsb_obs.Json.Int j.synced);
     ]
 
+let publish_metrics j reg =
+  let module M = Xsb_obs.Metrics in
+  let s = j.stats in
+  let g help name v =
+    M.Gauge.set (M.gauge reg ~help ("xsb_journal_" ^ name)) v
+  in
+  g "Records appended to the journal." "records_appended_total"
+    (Float.of_int s.records_appended);
+  g "Payload bytes appended to the journal." "bytes_appended_total"
+    (Float.of_int s.bytes_appended);
+  g "fsync(2) calls issued by the journal." "fsyncs_total" (Float.of_int s.fsyncs);
+  g "Snapshot compactions performed." "compactions_total" (Float.of_int s.compactions);
+  g "Records replayed at recovery (snapshot + journal)." "recovered_records"
+    (Float.of_int s.recovered_records);
+  g "Torn tail bytes dropped at recovery." "torn_bytes_dropped"
+    (Float.of_int s.torn_bytes_dropped);
+  g "Wall-clock milliseconds spent in the last recovery." "recovery_ms" s.recovery_ms;
+  g "Journal file size, including records not yet fsynced." "written_bytes"
+    (Float.of_int j.written);
+  g "Bytes known durable (covered by the last fsync)." "durable_bytes"
+    (Float.of_int j.synced);
+  g "Durability lag: written bytes not yet fsynced." "lag_bytes"
+    (Float.of_int (j.written - j.synced))
+
 let pp_stats ppf j =
   Format.fprintf ppf
     "journal: generation %Ld, %d records / %d bytes appended, %d fsyncs, %d compactions, %d \

@@ -190,3 +190,9 @@ type stats = {
 val stats : t -> stats
 val stats_json : t -> Xsb_obs.Json.t
 val pp_stats : Format.formatter -> t -> unit
+
+val publish_metrics : t -> Xsb_obs.Metrics.t -> unit
+(** Snapshot durability state into a metrics registry as
+    [xsb_journal_*] gauges: append/fsync/compaction counts, recovery
+    figures, and the written/durable byte watermarks with their lag.
+    Values are sampled at call time — callers refresh per scrape. *)

@@ -1,0 +1,8 @@
+(* The process monotonic clock (CLOCK_MONOTONIC via a one-line C stub;
+   Mtime is not vendored). Durations measured with [now] are immune to
+   NTP steps; the origin is arbitrary, so values are only meaningful as
+   differences. *)
+
+external now_ns : unit -> int64 = "xsb_mclock_now_ns"
+
+let now () = Int64.to_float (now_ns ()) *. 1e-9

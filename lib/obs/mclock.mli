@@ -1,0 +1,11 @@
+(** A monotonic clock ([CLOCK_MONOTONIC]) for latency measurement and
+    deadlines: unlike [Unix.gettimeofday] it never steps when the system
+    clock is adjusted, so a difference of two readings is always the
+    time that actually elapsed. The origin is arbitrary — readings are
+    meaningful only as differences, never as timestamps. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary origin, nondecreasing. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary origin, nondecreasing. *)

@@ -1,0 +1,17 @@
+/* Monotonic time for latency measurement. Unix.gettimeofday is wall
+   time: an NTP step mid-request corrupts the measured duration (and a
+   deadline computed from it). clock_gettime(CLOCK_MONOTONIC) never
+   steps, so durations are always the time that actually elapsed. */
+
+#include <time.h>
+#include <stdint.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+value xsb_mclock_now_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -214,11 +214,9 @@ end
 (* ------------------------------------------------------------------ *)
 
 module Metrics = struct
-  (* Wall-clock source for task timing. Monotonic-clock libraries (Mtime,
-     bechamel's clock stubs) are not baked into the container, so the
-     default is [Unix.gettimeofday]; swap in a monotonic source here if
-     one is linked. *)
-  let clock : (unit -> float) ref = ref Unix.gettimeofday
+  (* Time source for task timing: the process monotonic clock, so an NTP
+     step cannot corrupt a measured duration. Injectable for tests. *)
+  let clock : (unit -> float) ref = ref Mclock.now
 
   type cell = {
     mutable m_calls : int;  (* times the predicate was selected as a goal *)

@@ -110,9 +110,9 @@ end
 
 module Metrics : sig
   val clock : (unit -> float) ref
-  (** Wall-clock source for task timing, seconds. Defaults to
-      [Unix.gettimeofday]; replace with a monotonic source if one is
-      linked. *)
+  (** Time source for task timing, seconds. Defaults to the monotonic
+      {!Mclock.now} (durations survive NTP steps); injectable for
+      tests. *)
 
   type cell = {
     mutable m_calls : int;

@@ -29,6 +29,7 @@ let assert_ t clause = simple t (Protocol.request Protocol.Assert clause)
 let statistics t = simple t (Protocol.request Protocol.Statistics "")
 let abolish ?(pred = "") t = simple t (Protocol.request Protocol.Abolish pred)
 let sync t = simple t (Protocol.request Protocol.Sync "")
+let metrics t = simple t (Protocol.request Protocol.Metrics "")
 
 (* --- bounded retry with exponential backoff and full jitter --- *)
 
@@ -36,8 +37,10 @@ type retry = {
   retries : int;
   backoff_ms : float;
   max_backoff_ms : float;
+  max_elapsed_ms : float;
   rand : float -> float;
   sleep : float -> unit;
+  clock : unit -> float;
 }
 
 let default_retry =
@@ -45,21 +48,30 @@ let default_retry =
     retries = 3;
     backoff_ms = 100.0;
     max_backoff_ms = 5_000.0;
+    max_elapsed_ms = 0.0;
     rand = Random.float;
     sleep = Unix.sleepf;
+    (* the monotonic clock: an NTP step while we back off must not
+       stretch or collapse the elapsed-time budget *)
+    clock = Xsb.Mclock.now;
   }
 
 let retry ?(retries = default_retry.retries) ?(backoff_ms = default_retry.backoff_ms)
-    ?(max_backoff_ms = default_retry.max_backoff_ms) ?(rand = default_retry.rand)
-    ?(sleep = default_retry.sleep) () =
-  { retries; backoff_ms; max_backoff_ms; rand; sleep }
+    ?(max_backoff_ms = default_retry.max_backoff_ms)
+    ?(max_elapsed_ms = default_retry.max_elapsed_ms) ?(rand = default_retry.rand)
+    ?(sleep = default_retry.sleep) ?(clock = default_retry.clock) () =
+  { retries; backoff_ms; max_backoff_ms; max_elapsed_ms; rand; sleep; clock }
 
 let with_retry r f =
+  let started = r.clock () in
+  let budget_spent () =
+    r.max_elapsed_ms > 0.0 && (r.clock () -. started) *. 1000.0 >= r.max_elapsed_ms
+  in
   let rec go attempt =
     match f () with
     | `Ok v -> Ok v
     | `Retry e ->
-        if attempt >= r.retries then Error e
+        if attempt >= r.retries || budget_spent () then Error e
         else begin
           (* full jitter: uniform in [0, min(max, base * 2^attempt)] *)
           let cap = Float.min r.max_backoff_ms (r.backoff_ms *. (2.0 ** float_of_int attempt)) in
@@ -73,7 +85,7 @@ let with_retry r f =
 (* only requests that are safe to re-send after an ambiguous failure:
    re-running a mutation could apply it twice *)
 let idempotent = function
-  | Protocol.Ping | Protocol.Query | Protocol.Statistics -> true
+  | Protocol.Ping | Protocol.Query | Protocol.Statistics | Protocol.Metrics -> true
   | Protocol.Consult | Protocol.Assert | Protocol.Abolish | Protocol.Sync -> false
 
 let connect_with_retry ?(retry = default_retry) ?host port =
@@ -95,6 +107,7 @@ let retry_overloaded retry run =
 
 let ping_retry ?(retry = default_retry) t = retry_overloaded retry (fun () -> ping t)
 let statistics_retry ?(retry = default_retry) t = retry_overloaded retry (fun () -> statistics t)
+let metrics_retry ?(retry = default_retry) t = retry_overloaded retry (fun () -> metrics t)
 
 type query_outcome =
   | Rows of { rows : string list; truncated : bool }

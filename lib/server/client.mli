@@ -33,6 +33,11 @@ val sync : t -> (string, reply_error) result
 (** Ask a durable server ([--data-dir]) to fsync its journal now;
     [BAD_REQUEST] from an in-memory server. *)
 
+val metrics : t -> (string, reply_error) result
+(** The server's Prometheus text exposition: request counters and
+    latency histograms, table-space byte gauges, journal durability
+    metrics. *)
+
 type query_outcome =
   | Rows of { rows : string list; truncated : bool }
       (** rendered solutions, in answer-arrival order; [truncated] when
@@ -51,27 +56,36 @@ val query : ?limit:int -> ?timeout_ms:int -> ?max_steps:int -> t -> string -> qu
     Exponential backoff with full jitter: before attempt [k+1] the
     client sleeps a uniform-random duration in
     [\[0, min (max_backoff_ms, backoff_ms * 2{^k})\]] milliseconds.
-    Only {e idempotent} requests ([PING], [QUERY], [STATISTICS]) and
-    the initial connect are ever retried — re-sending a mutation after
-    an ambiguous failure could apply it twice. *)
+    Only {e idempotent} requests ([PING], [QUERY], [STATISTICS],
+    [METRICS]) and the initial connect are ever retried — re-sending a
+    mutation after an ambiguous failure could apply it twice. *)
 
 type retry = {
   retries : int;  (** additional attempts after the first *)
   backoff_ms : float;
   max_backoff_ms : float;
+  max_elapsed_ms : float;
+      (** total-elapsed budget across attempts, measured on [clock];
+          once spent, the next retryable failure is final. 0 = no cap *)
   rand : float -> float;  (** jitter source; [Random.float] in production *)
   sleep : float -> unit;  (** seconds; injectable for deterministic tests *)
+  clock : unit -> float;
+      (** monotonic seconds ({!Xsb.Mclock.now} in production — an NTP
+          step must not distort the elapsed budget); injectable *)
 }
 
 val default_retry : retry
-(** 3 retries, 100 ms base, 5 s cap, real randomness and sleeping. *)
+(** 3 retries, 100 ms base, 5 s cap, no elapsed cap, real randomness,
+    sleeping and the monotonic clock. *)
 
 val retry :
   ?retries:int ->
   ?backoff_ms:float ->
   ?max_backoff_ms:float ->
+  ?max_elapsed_ms:float ->
   ?rand:(float -> float) ->
   ?sleep:(float -> unit) ->
+  ?clock:(unit -> float) ->
   unit ->
   retry
 (** {!default_retry} with overrides. *)
@@ -82,7 +96,8 @@ val with_retry : retry -> (unit -> [ `Ok of 'a | `Retry of 'e ]) -> ('a, 'e) res
     budget is spent. *)
 
 val idempotent : Protocol.op -> bool
-(** Whether an op is safe to re-send ([PING]/[QUERY]/[STATISTICS]). *)
+(** Whether an op is safe to re-send
+    ([PING]/[QUERY]/[STATISTICS]/[METRICS]). *)
 
 val connect_with_retry : ?retry:retry -> ?host:string -> int -> (t, string) result
 (** {!connect}, retrying [ECONNREFUSED] (a server still coming up). *)
@@ -91,6 +106,7 @@ val ping_retry : ?retry:retry -> t -> (string, reply_error) result
 (** {!ping}, retrying [OVERLOADED] refusals. *)
 
 val statistics_retry : ?retry:retry -> t -> (string, reply_error) result
+val metrics_retry : ?retry:retry -> t -> (string, reply_error) result
 
 val query_retry :
   ?retry:retry -> ?limit:int -> ?timeout_ms:int -> ?max_steps:int -> t -> string -> query_outcome

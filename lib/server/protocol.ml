@@ -6,7 +6,7 @@ let max_payload = 16 * 1024 * 1024
 let max_header = 4096
 
 type consult_fmt = Text | Fast | Obj
-type op = Ping | Consult | Assert | Query | Statistics | Abolish | Sync
+type op = Ping | Consult | Assert | Query | Statistics | Abolish | Sync | Metrics
 
 type request = {
   op : op;
@@ -62,6 +62,7 @@ let op_name = function
   | Statistics -> "STATISTICS"
   | Abolish -> "ABOLISH"
   | Sync -> "SYNC"
+  | Metrics -> "METRICS"
 
 let op_of_name = function
   | "PING" -> Some Ping
@@ -71,6 +72,7 @@ let op_of_name = function
   | "STATISTICS" -> Some Statistics
   | "ABOLISH" -> Some Abolish
   | "SYNC" -> Some Sync
+  | "METRICS" -> Some Metrics
   | _ -> None
 
 let fmt_name = function Text -> "text" | Fast -> "fast" | Obj -> "obj"

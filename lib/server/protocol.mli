@@ -10,8 +10,8 @@
 
     Requests: [XSB1 <OP> <len>[ <key>=<val>]...\n<payload>] with ops
     [PING], [CONSULT], [ASSERT], [QUERY], [STATISTICS], [ABOLISH],
-    [SYNC] and optional keys [fmt] (consult format), [limit],
-    [timeout_ms], [max_steps].
+    [SYNC], [METRICS] and optional keys [fmt] (consult format),
+    [limit], [timeout_ms], [max_steps].
 
     Replies: [OK <len>\n<payload>], a stream of [ANSWER <len>\n<payload>]
     frames closed by [DONE <count> <more01>\n], or a typed
@@ -38,6 +38,9 @@ type op =
   | Statistics
   | Abolish  (** empty payload: reset tables; ["name/arity"]: remove a predicate *)
   | Sync  (** fsync the durable journal now (needs [--data-dir]) *)
+  | Metrics
+      (** Prometheus text exposition of server, engine and journal
+          metrics (empty payload) *)
 
 type request = {
   op : op;

@@ -21,6 +21,9 @@ type config = {
   data_dir : string option;
   sync : Xsb.Journal.sync_policy;
   compact_bytes : int;
+  metrics_enabled : bool;
+  slow_ms : int;
+  slow_log : out_channel option;
 }
 
 let default_config =
@@ -41,6 +44,9 @@ let default_config =
     data_dir = None;
     sync = Xsb.Journal.Always;
     compact_bytes = 8 * 1024 * 1024;
+    metrics_enabled = true;
+    slow_ms = 0;
+    slow_log = None;
   }
 
 (* --- the bounded request queue ---
@@ -97,6 +103,12 @@ module Bqueue = struct
     t.stopping <- true;
     Condition.broadcast t.nonempty;
     Mutex.unlock t.m
+
+  let length t =
+    Mutex.lock t.m;
+    let n = Queue.length t.q in
+    Mutex.unlock t.m;
+    n
 end
 
 (* --- connections and jobs --- *)
@@ -118,8 +130,8 @@ type job = {
   j_id : int;
   j_conn : conn;
   j_req : Protocol.request;
-  j_received : float;
-  j_deadline : float option;  (* absolute, seconds *)
+  j_received : float;  (* monotonic seconds *)
+  j_deadline : float option;  (* absolute, monotonic seconds *)
 }
 
 (* with --data-dir every connection shares ONE durable session backed
@@ -159,6 +171,11 @@ type t = {
   log_m : Mutex.t;
   agg : (string, agg_cell) Hashtbl.t;
   agg_m : Mutex.t;
+  registry : Xsb.Metrics.t;
+  requests_total : Xsb.Metrics.Counter.t;
+  op_hists : (string * Xsb.Metrics.Histogram.t) list;
+  outcome_counters : (string * Xsb.Metrics.Counter.t) list;
+  in_flight : int Atomic.t;
   mutable worker_threads : Thread.t list;
   mutable acceptor_thread : Thread.t option;
 }
@@ -167,12 +184,56 @@ let port t = t.bound_port
 let requests_served t = Atomic.get t.served
 let journal t = Option.map (fun sh -> sh.sh_journal) t.shared
 let read_only t = match t.shared with Some sh -> sh.sh_read_only | None -> None
+let registry t = t.registry
 let now () = Unix.gettimeofday ()
+
+(* Latency measurement and deadlines run on the monotonic clock, so an
+   NTP step cannot corrupt wall_us or fire (or defer) a timeout; the
+   wall clock survives only in log timestamps. A ref so tests can
+   inject a fake clock. *)
+let monotonic : (unit -> float) ref = ref Xsb.Mclock.now
+
+(* --- the metrics registry (scraped by the METRICS op) --- *)
+
+let duration_help = "Request service time in seconds, by protocol op (queue wait excluded)."
+let outcome_help = "Requests finished, by access-log outcome."
+
+(* handles for the known ops and outcomes are precreated at [start], so
+   the per-request record path is an assoc-list probe, no registry lock *)
+let request_hist t op =
+  match List.assoc_opt op t.op_hists with
+  | Some h -> h
+  | None ->
+      Xsb.Metrics.histogram t.registry ~labels:[ ("op", op) ] ~help:duration_help
+        "xsb_request_duration_seconds"
+
+let outcome_counter t outcome =
+  match List.assoc_opt outcome t.outcome_counters with
+  | Some c -> c
+  | None ->
+      Xsb.Metrics.counter t.registry ~labels:[ ("outcome", outcome) ] ~help:outcome_help
+        "xsb_requests_by_outcome_total"
+
+(* one self-contained exposition per scrape: the server's persistent
+   registry plus a fresh snapshot of engine and journal state (family
+   names are disjoint, so the concatenation is a valid exposition) *)
+let metrics_text t conn =
+  let snap = Xsb.Metrics.create () in
+  Xsb.Engine.publish_metrics (Xsb.Session.engine conn.c_session) snap;
+  (match t.shared with
+  | Some sh -> Xsb.Journal.publish_metrics sh.sh_journal snap
+  | None -> ());
+  Xsb.Metrics.to_text t.registry ^ Xsb.Metrics.to_text snap
 
 (* --- the access log (JSONL through lib/obs's codec) --- *)
 
 let log_request t ~id ~conn_id ~op ~pred ~answers ~steps ~wall ~outcome =
   Atomic.incr t.served;
+  (* one increment per log line, so xsb_requests_total always equals
+     the access-log line count *)
+  Xsb.Metrics.Counter.incr t.requests_total;
+  Xsb.Metrics.Counter.incr (outcome_counter t outcome);
+  Xsb.Metrics.Histogram.observe (request_hist t op) wall;
   (match t.cfg.access_log with
   | None -> ()
   | Some oc ->
@@ -283,7 +344,11 @@ let try_write conn reply =
 let execute t (job : job) =
   let conn = job.j_conn in
   let req = job.j_req in
-  let t0 = now () in
+  let t0 = !monotonic () in
+  let stats0 =
+    let s = Xsb.Session.stats conn.c_session in
+    (s.Xsb.Machine.st_subgoals, s.Xsb.Machine.st_answers, s.Xsb.Machine.st_subsumption_hits)
+  in
   let steps0 = engine_steps conn in
   let eng = Xsb.Session.engine conn.c_session in
   let parse_goal text = Xsb.Parser.term_of_string ~ops:(Xsb.Database.ops (Xsb.Session.db conn.c_session)) text in
@@ -301,6 +366,9 @@ let execute t (job : job) =
           | None -> text
         in
         ignore (try_write conn (Protocol.Ok_ text));
+        ("ok", "", 0)
+    | Protocol.Metrics ->
+        ignore (try_write conn (Protocol.Ok_ (metrics_text t conn)));
         ("ok", "", 0)
     | Protocol.Sync -> (
         match t.shared with
@@ -395,7 +463,7 @@ let execute t (job : job) =
         | goal -> (
             let pred = pred_of_goal goal in
             let deadline_passed () =
-              match job.j_deadline with Some d -> now () >= d | None -> false
+              match job.j_deadline with Some d -> !monotonic () >= d | None -> false
             in
             if deadline_passed () then begin
               (* spent its whole deadline waiting in the queue *)
@@ -462,7 +530,7 @@ let execute t (job : job) =
     match req.Protocol.op with
     | Protocol.Assert | Protocol.Consult | Protocol.Sync -> true
     | Protocol.Abolish -> req.Protocol.payload <> ""
-    | Protocol.Ping | Protocol.Query | Protocol.Statistics -> false
+    | Protocol.Ping | Protocol.Query | Protocol.Statistics | Protocol.Metrics -> false
   in
   let refuse_readonly reason =
     ignore (try_write conn (Protocol.Err (Protocol.Readonly, "server is read-only: " ^ reason)));
@@ -486,15 +554,53 @@ let execute t (job : job) =
                 refuse_readonly reason))
   in
   let outcome, pred, answers = finishing in
+  let wall = !monotonic () -. t0 in
+  let steps = engine_steps conn - steps0 in
   log_request t ~id:job.j_id ~conn_id:conn.c_id
     ~op:(Protocol.op_name req.Protocol.op)
-    ~pred ~answers
-    ~steps:(engine_steps conn - steps0)
-    ~wall:(now () -. t0) ~outcome
+    ~pred ~answers ~steps ~wall ~outcome;
+  (* the slow-query log: a structured line per request over --slow-ms,
+     correlated to the access log by request id, carrying the engine's
+     per-request work delta *)
+  if t.cfg.slow_ms > 0 && wall *. 1000.0 >= float_of_int t.cfg.slow_ms then
+    match t.cfg.slow_log with
+    | None -> ()
+    | Some oc ->
+        let subgoals0, answers0, subs0 = stats0 in
+        let s = Xsb.Session.stats conn.c_session in
+        let goal = req.Protocol.payload in
+        let goal =
+          if String.length goal > 512 then String.sub goal 0 512 ^ "..." else goal
+        in
+        let record =
+          Xsb.Json.Obj
+            [
+              ("ts_us", Xsb.Json.Int (int_of_float (now () *. 1e6)));
+              ("id", Xsb.Json.Int job.j_id);
+              ("conn", Xsb.Json.Int conn.c_id);
+              ("op", Xsb.Json.String (Protocol.op_name req.Protocol.op));
+              ("goal", Xsb.Json.String goal);
+              ("pred", Xsb.Json.String pred);
+              ("outcome", Xsb.Json.String outcome);
+              ("wall_us", Xsb.Json.Int (int_of_float (wall *. 1e6)));
+              ("steps", Xsb.Json.Int steps);
+              ("subgoals", Xsb.Json.Int (s.Xsb.Machine.st_subgoals - subgoals0));
+              ("engine_answers", Xsb.Json.Int (s.Xsb.Machine.st_answers - answers0));
+              ( "subsumption_hits",
+                Xsb.Json.Int (s.Xsb.Machine.st_subsumption_hits - subs0) );
+              ("answers", Xsb.Json.Int answers);
+            ]
+        in
+        Mutex.lock t.log_m;
+        output_string oc (Xsb.Json.to_string record);
+        output_char oc '\n';
+        flush oc;
+        Mutex.unlock t.log_m
 
 (* catch-all so one poisoned request can never kill a worker *)
 let execute_safe t job =
-  (try execute t job
+  Atomic.incr t.in_flight;
+  (try Fun.protect ~finally:(fun () -> Atomic.decr t.in_flight) (fun () -> execute t job)
    with e ->
      ignore
        (try_write job.j_conn
@@ -502,7 +608,7 @@ let execute_safe t job =
      log_request t ~id:job.j_id ~conn_id:job.j_conn.c_id
        ~op:(Protocol.op_name job.j_req.Protocol.op)
        ~pred:"" ~answers:0 ~steps:0
-       ~wall:(now () -. job.j_received)
+       ~wall:(!monotonic () -. job.j_received)
        ~outcome:"exec_error");
   let conn = job.j_conn in
   Mutex.lock conn.c_m;
@@ -554,7 +660,7 @@ let handler_loop t conn =
           ~conn_id:conn.c_id ~op:"?" ~pred:"" ~answers:0 ~steps:0 ~wall:0.0 ~outcome:"bad_request"
     | exception (Sys_error _ | Unix.Unix_error _) -> ()
     | req ->
-        let received = now () in
+        let received = !monotonic () in
         let timeout_ms =
           match req.Protocol.timeout_ms with
           | Some n when n > 0 -> clamp t.cfg.max_timeout_ms n
@@ -702,6 +808,32 @@ let start cfg =
     match Unix.getsockname listen_fd with Unix.ADDR_INET (_, p) -> p | _ -> cfg.port
   in
   let stop_rd, stop_wr = Unix.pipe ~cloexec:true () in
+  let registry = Xsb.Metrics.create () in
+  Xsb.Metrics.set_enabled registry cfg.metrics_enabled;
+  let requests_total =
+    Xsb.Metrics.counter registry
+      ~help:"Requests finished (one per access-log line, refusals included)."
+      "xsb_requests_total"
+  in
+  let op_hists =
+    List.map
+      (fun op ->
+        ( op,
+          Xsb.Metrics.histogram registry ~labels:[ ("op", op) ] ~help:duration_help
+            "xsb_request_duration_seconds" ))
+      [ "PING"; "CONSULT"; "ASSERT"; "QUERY"; "STATISTICS"; "ABOLISH"; "SYNC"; "METRICS"; "?" ]
+  in
+  let outcome_counters =
+    List.map
+      (fun o ->
+        ( o,
+          Xsb.Metrics.counter registry ~labels:[ ("outcome", o) ] ~help:outcome_help
+            "xsb_requests_by_outcome_total" ))
+      [
+        "ok"; "truncated"; "timeout"; "parse_error"; "exec_error"; "bad_request"; "readonly";
+        "overloaded"; "shutting_down";
+      ]
+  in
   let t =
     {
       cfg;
@@ -721,10 +853,28 @@ let start cfg =
       log_m = Mutex.create ();
       agg = Hashtbl.create 16;
       agg_m = Mutex.create ();
+      registry;
+      requests_total;
+      op_hists;
+      outcome_counters;
+      in_flight = Atomic.make 0;
       worker_threads = [];
       acceptor_thread = None;
     }
   in
+  (* liveness gauges, sampled at scrape time *)
+  Xsb.Metrics.gauge_fn registry ~help:"Requests currently executing on a worker."
+    "xsb_in_flight_requests" (fun () -> Float.of_int (Atomic.get t.in_flight));
+  Xsb.Metrics.gauge_fn registry ~help:"Requests waiting in the bounded queue."
+    "xsb_queue_depth" (fun () -> Float.of_int (Bqueue.length t.queue));
+  Xsb.Metrics.gauge_fn registry ~help:"Open client connections." "xsb_connections"
+    (fun () ->
+      Mutex.lock t.conns_m;
+      let n = Hashtbl.length t.conns in
+      Mutex.unlock t.conns_m;
+      Float.of_int n);
+  Xsb.Metrics.gauge_fn registry ~help:"Configured worker threads." "xsb_workers"
+    (fun () -> Float.of_int t.cfg.workers);
   t.worker_threads <- List.init cfg.workers (fun _ -> Thread.create (fun () -> worker_loop t) ());
   t.acceptor_thread <- Some (Thread.create (fun () -> acceptor_loop t) ());
   t
@@ -758,5 +908,6 @@ let stop t =
     (match t.shared with
     | Some sh -> ( try Xsb.Journal.close sh.sh_journal with _ -> ())
     | None -> ());
-    match t.cfg.access_log with Some oc -> ( try flush oc with Sys_error _ -> ()) | None -> ()
+    (match t.cfg.access_log with Some oc -> ( try flush oc with Sys_error _ -> ()) | None -> ());
+    match t.cfg.slow_log with Some oc -> ( try flush oc with Sys_error _ -> ()) | None -> ()
   end

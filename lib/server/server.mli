@@ -37,11 +37,20 @@ type config = {
           keeps the per-connection in-memory sessions. *)
   sync : Xsb.Journal.sync_policy;  (** journal fsync policy (durable mode) *)
   compact_bytes : int;  (** journal auto-compaction threshold; 0 disables *)
+  metrics_enabled : bool;
+      (** [false] turns every metrics record path into a boolean read —
+          the control arm when measuring instrumentation overhead *)
+  slow_ms : int;  (** slow-query threshold in milliseconds; 0 disables *)
+  slow_log : out_channel option;
+      (** one JSON object per request slower than [slow_ms]: ts, id
+          (correlates with the access log), conn, op, goal, outcome,
+          wall_us, and the per-request engine-stats delta (steps,
+          subgoals, engine answers, subsumption hits) *)
 }
 
 val default_config : config
 (** Loopback, port 0, 4 workers, queue 64, 5 s / 10 M step budgets,
-    no preload, no log, no profile. *)
+    no preload, no log, no profile; metrics on, slow-query log off. *)
 
 type t
 
@@ -68,6 +77,19 @@ val journal : t -> Xsb.Journal.t option
 val read_only : t -> string option
 (** Why the server is refusing mutations (a journal write failed), or
     [None] while writes are healthy. *)
+
+val registry : t -> Xsb.Metrics.t
+(** The server's persistent metrics registry: [xsb_requests_total] (one
+    increment per access-log line), [xsb_requests_by_outcome_total],
+    per-op [xsb_request_duration_seconds] histograms, and the
+    [xsb_in_flight_requests] / [xsb_queue_depth] / [xsb_connections]
+    liveness gauges. The METRICS wire op renders this registry plus a
+    fresh engine/journal snapshot as one Prometheus text exposition. *)
+
+val monotonic : (unit -> float) ref
+(** The clock used for latency measurement and deadlines —
+    {!Xsb.Mclock.now} by default, a ref so tests can inject a fake.
+    Wall-clock time is used only for log timestamps. *)
 
 val pp_profile : Format.formatter -> t -> unit
 (** The [--profile] aggregate: per predicate (queries) and per op,

@@ -191,6 +191,67 @@ let pp_table_dump ppf t = Machine.pp_table_dump ppf t.env
 
 let stats t = t.env.Machine.stats
 
+let table_space_bytes t = Machine.table_space_bytes t.env
+let call_index_bytes t = Machine.call_index_bytes t.env
+let table_bytes_by_pred t = Machine.table_bytes_by_pred t.env
+
+let publish_metrics t reg =
+  let module M = Xsb_obs.Metrics in
+  let s = t.env.Machine.stats in
+  let stat kind v =
+    let g =
+      M.gauge reg ~labels:[ ("kind", kind) ]
+        ~help:"SLG evaluation counters since the last table reset."
+        "xsb_engine_stat"
+    in
+    M.Gauge.set g (Float.of_int v)
+  in
+  stat "subgoals" s.Machine.st_subgoals;
+  stat "answers" s.Machine.st_answers;
+  stat "dup_answers" s.Machine.st_dup_answers;
+  stat "suspensions" s.Machine.st_suspensions;
+  stat "resumptions" s.Machine.st_resumptions;
+  stat "resolutions" s.Machine.st_resolutions;
+  stat "neg_suspensions" s.Machine.st_neg_suspensions;
+  stat "nested_evals" s.Machine.st_nested_evals;
+  stat "completions" s.Machine.st_completions;
+  stat "answer_probes" s.Machine.st_answer_probes;
+  stat "answer_candidates" s.Machine.st_answer_candidates;
+  stat "answer_full_size" s.Machine.st_answer_full_size;
+  stat "subsumed_calls" s.Machine.st_subsumed_calls;
+  stat "subsumption_hits" s.Machine.st_subsumption_hits;
+  stat "answers_filtered" s.Machine.st_answers_filtered;
+  stat "drains_scheduled" s.Machine.st_drains_scheduled;
+  stat "sccs_completed" s.Machine.st_sccs_completed;
+  stat "early_completions" s.Machine.st_early_completions;
+  stat "max_scc_size" s.Machine.st_max_scc_size;
+  stat "invalidations" s.Machine.st_invalidations;
+  stat "repairs" s.Machine.st_repairs;
+  stat "folds" s.Machine.st_folds;
+  stat "steps" s.Machine.st_steps;
+  M.Gauge.set
+    (M.gauge reg ~help:"Live tabled subgoals." "xsb_engine_tables")
+    (Float.of_int (Canon.Tbl.length t.env.Machine.tables));
+  M.Gauge.set
+    (M.gauge reg
+       ~help:"Estimated bytes of all answer tables (tries, entries, bookkeeping)."
+       "xsb_table_space_bytes")
+    (Float.of_int (table_space_bytes t));
+  M.Gauge.set
+    (M.gauge reg
+       ~help:"Estimated bytes of the call-subsumption discrimination tries."
+       "xsb_call_index_bytes")
+    (Float.of_int (call_index_bytes t));
+  List.iter
+    (fun ((name, arity), bytes) ->
+      let g =
+        M.gauge reg
+          ~labels:[ ("pred", Printf.sprintf "%s/%d" name arity) ]
+          ~help:"Estimated table bytes per tabled predicate." "xsb_table_bytes"
+      in
+      M.Gauge.set g (Float.of_int bytes))
+    (table_bytes_by_pred t)
+
 let reset_tables t = Machine.abolish_tables t.env
 
 let tables t =

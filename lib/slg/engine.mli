@@ -133,6 +133,24 @@ val pp_table_dump : Format.formatter -> t -> unit
 
 val stats : t -> Machine.stats
 
+val table_space_bytes : t -> int
+(** See {!Machine.table_space_bytes}. *)
+
+val call_index_bytes : t -> int
+(** See {!Machine.call_index_bytes}. *)
+
+val table_bytes_by_pred : t -> ((string * int) * int) list
+(** See {!Machine.table_bytes_by_pred}. *)
+
+val publish_metrics : t -> Xsb_obs.Metrics.t -> unit
+(** Snapshot the engine's observable state into a metrics registry:
+    every {!Machine.stats} counter as [xsb_engine_stat{kind=...}], the
+    live table count, total table-space and call-index byte estimates,
+    and per-predicate [xsb_table_bytes{pred="name/arity"}] gauges.
+    Values are sampled at call time — callers build (or refresh) the
+    registry per scrape. Shared by the server's [METRICS] op and the
+    CLI's [--metrics-dump]. *)
+
 val reset_tables : t -> unit
 (** Abolish the completed tables (see {!Machine.abolish_tables};
     incomplete tables of an in-progress evaluation are retained) and

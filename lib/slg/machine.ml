@@ -814,6 +814,57 @@ let is_tabled env goal =
    library rendering of XSB's statistics/1 and table-inspection
    predicates. *)
 
+(* --- table-space memory accounting (ISSUE PR 8) ---
+
+   Estimated bytes per table: the answer trie (nodes, edges, entries and
+   the answer payloads — template plus delay list) and the per-table
+   bookkeeping hashtables. Estimates on the [Canon.size_bytes] model: an
+   upper bound that tracks growth, cheap enough to compute at scrape
+   time, precise enough to drive the ROADMAP's table-eviction work. *)
+
+let word = 8
+
+let delay_bytes = function
+  | Dneg g -> (2 * word) + Canon.size_bytes g
+  | Dpos (sg, ans) -> (3 * word) + Canon.size_bytes sg + Canon.size_bytes ans
+
+let answer_bytes a =
+  (3 * word)
+  + Canon.size_bytes a.a_template
+  + List.fold_left (fun acc d -> acc + (3 * word) + delay_bytes d) 0 a.a_delays
+
+(* a [Canon.Tbl] with unit-ish payloads: header + one binding per key *)
+let canon_tbl_bytes keys_bytes tbl =
+  (4 * word) + Canon.Tbl.fold (fun k _ acc -> acc + (4 * word) + keys_bytes k) tbl 0
+
+let table_bytes sub =
+  Canon.size_bytes sub.skey
+  + Answer_index.footprint answer_bytes sub.s_store
+  + canon_tbl_bytes Canon.size_bytes sub.s_uncond
+  + canon_tbl_bytes Canon.size_bytes sub.s_seen_raw
+  + canon_tbl_bytes Canon.size_bytes sub.s_agg
+
+let table_space_bytes env =
+  Canon.Tbl.fold (fun _ sub acc -> acc + table_bytes sub) env.tables 0
+
+let call_index_bytes env =
+  Hashtbl.fold
+    (fun _ idx acc -> acc + Answer_index.footprint Canon.size_bytes idx)
+    env.call_index 0
+
+(* estimated bytes per predicate, summed over its tables, largest
+   first — the per-table byte gauges of the METRICS exposition *)
+let table_bytes_by_pred env =
+  let acc : (string * int, int) Hashtbl.t = Hashtbl.create 16 in
+  Canon.Tbl.iter
+    (fun _ sub ->
+      if (fst sub.s_pred).[0] <> '$' then
+        let prev = Option.value ~default:0 (Hashtbl.find_opt acc sub.s_pred) in
+        Hashtbl.replace acc sub.s_pred (prev + table_bytes sub))
+    env.tables;
+  Hashtbl.fold (fun pred bytes rows -> (pred, bytes) :: rows) acc []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
 (* the statistics record as a [name = value] list *)
 let stats_term env =
   let st = env.stats in
@@ -840,6 +891,8 @@ let stats_term env =
       pair "folds" st.st_folds;
       pair "steps" st.st_steps;
       pair "tables" (Canon.Tbl.length env.tables);
+      pair "table_bytes" (table_space_bytes env);
+      pair "call_index_bytes" (call_index_bytes env);
     ]
 
 let sorted_tables env =
@@ -852,14 +905,17 @@ let user_tables env =
 
 let pp_table_dump ppf env =
   let tables = user_tables env in
-  Fmt.pf ppf "table space: %d table%s@." (List.length tables)
-    (if List.length tables = 1 then "" else "s");
+  Fmt.pf ppf "table space: %d table%s, ~%d bytes (+%d call-index bytes)@." (List.length tables)
+    (if List.length tables = 1 then "" else "s")
+    (List.fold_left (fun acc sub -> acc + table_bytes sub) 0 tables)
+    (call_index_bytes env);
   List.iter
     (fun sub ->
-      Fmt.pf ppf "%s  [%s, %d answer%s]@." (key_str sub.skey)
+      Fmt.pf ppf "%s  [%s, %d answer%s, ~%d bytes]@." (key_str sub.skey)
         (match sub.s_state with Complete -> "complete" | Incomplete -> "incomplete")
         (answer_count sub)
-        (if answer_count sub = 1 then "" else "s");
+        (if answer_count sub = 1 then "" else "s")
+        (table_bytes sub);
       iter_answers
         (fun a ->
           Fmt.pf ppf "  %s%s@." (key_str a.a_template)

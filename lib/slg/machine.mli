@@ -228,6 +228,25 @@ val iter_answers : (answer -> unit) -> subgoal -> unit
 
 val fold_answers : ('a -> answer -> 'a) -> 'a -> subgoal -> 'a
 
+(** {1 Table-space memory accounting}
+
+    Estimated bytes on the {!Canon.size_bytes} model: answer tries
+    (nodes, edges, entries, answer templates and delay lists) plus the
+    per-table bookkeeping hashtables. Upper-bound estimates that track
+    growth — the measurement substrate for table eviction; surfaced in
+    [statistics/1] ([table_bytes], [call_index_bytes]), [table_dump/0]
+    and the server's METRICS exposition. *)
+
+val table_bytes : subgoal -> int
+val table_space_bytes : env -> int
+
+val call_index_bytes : env -> int
+(** The call-subsumption discrimination tries ({!env.call_index}). *)
+
+val table_bytes_by_pred : env -> ((string * int) * int) list
+(** Per predicate, summed over its (non-private) tables, largest
+    first. *)
+
 val abolish_tables : env -> unit
 (** Abolish the completed tables and {!reset_stats} the counters.
     Incomplete tables belong to an in-progress evaluation and are

@@ -85,6 +85,23 @@ let rec compare (a : t) (b : t) =
 
 let hash (c : t) = Hashtbl.hash c
 
+(* Estimated heap footprint in bytes (64-bit words): constructor blocks
+   plus string payloads. Atom and functor names are counted in full even
+   though the runtime may share them — table-space accounting wants an
+   upper bound that tracks growth, not an exact liveness measure. *)
+let word = 8
+
+let string_bytes s = word + ((String.length s / word) + 1) * word
+
+let rec size_bytes = function
+  | CVar _ | CInt _ -> 2 * word  (* one-field block *)
+  | CFloat _ -> 2 * word
+  | CAtom a -> (2 * word) + string_bytes a
+  | CStruct (f, args) ->
+      (* the pair block + the args array + the functor name *)
+      (3 * word) + ((Array.length args + 1) * word) + string_bytes f
+      + Array.fold_left (fun acc a -> acc + size_bytes a) 0 args
+
 let rec pp ppf = function
   | CVar n -> Fmt.pf ppf "_%d" n
   | CAtom a -> Fmt.string ppf a

@@ -23,6 +23,13 @@ val is_ground : t -> bool
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
+
+val size_bytes : t -> int
+(** Estimated heap footprint in bytes: constructor blocks plus string
+    payloads, on a 64-bit runtime. Atom and functor names are counted in
+    full even though the runtime may share them — table-space accounting
+    wants an upper bound that tracks growth, not exact liveness. *)
+
 val pp : t Fmt.t
 
 module Tbl : Hashtbl.S with type key = t

@@ -561,6 +561,180 @@ let shutdown_case =
         lines;
       check_bool "drained timeouts logged" true (!timeouts >= 1))
 
+(* --- the METRICS op, the slow-query log, and the monotonic clock
+   (ISSUE PR 8) --- *)
+
+let read_lines path =
+  In_channel.with_open_text path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+
+let json_int field json =
+  match Xsb.Json.member field json with
+  | Some v -> ( match Xsb.Json.as_int v with Some n -> n | None -> Alcotest.failf "%s not an int" field)
+  | None -> Alcotest.failf "missing %s" field
+
+let metrics_cases =
+  [
+    t "METRICS: valid exposition; requests_total matches the access log" `Quick (fun () ->
+        let log_path = Filename.temp_file "access" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove log_path)
+          (fun () ->
+            let log_oc = open_out log_path in
+            let cfg = { Server.default_config with access_log = Some log_oc } in
+            let scrape = ref "" in
+            with_server ~cfg (fun server ->
+                with_client server (fun c ->
+                    ignore (ok (Client.consult c tc_program));
+                    check_int "tc" 5 (List.length (rows_of (Client.query c "path(1,X)")));
+                    scrape := ok (Client.metrics c));
+                ignore (Server.registry server));
+            close_out log_oc;
+            let samples =
+              match Xsb.Metrics.Exposition.validate !scrape with
+              | Ok samples -> samples
+              | Error why -> Alcotest.failf "invalid exposition: %s" why
+            in
+            let find ?labels name =
+              match Xsb.Metrics.Exposition.find ?labels samples name with
+              | Some v -> v
+              | None -> Alcotest.failf "series %s missing" name
+            in
+            (* rendered before its own request was logged: the scrape
+               sees exactly the requests the access log had seen *)
+            check_int "requests_total = pre-scrape log lines" 2
+              (int_of_float (find "xsb_requests_total"));
+            check_int "QUERY histogram counted it" 1
+              (int_of_float
+                 (find ~labels:[ ("op", "QUERY") ] "xsb_request_duration_seconds_count"));
+            check_bool "per-table bytes exported" true
+              (find ~labels:[ ("pred", "path/2") ] "xsb_table_bytes" > 0.0);
+            check_bool "outcome counter" true
+              (find ~labels:[ ("outcome", "ok") ] "xsb_requests_by_outcome_total" >= 2.0);
+            check_bool "liveness gauges present" true
+              (find "xsb_queue_depth" >= 0.0 && find "xsb_connections" >= 0.0);
+            (* the access log now also holds the METRICS request itself *)
+            check_int "log lines" 3 (List.length (read_lines log_path))));
+    t "fake monotonic clock: deterministic wall_us, slow log, wall timestamps" `Quick (fun () ->
+        let access_path = Filename.temp_file "access" ".jsonl" in
+        let slow_path = Filename.temp_file "slow" ".jsonl" in
+        let fake = ref 1000.0 in
+        let saved = !Server.monotonic in
+        Server.monotonic :=
+          (fun () ->
+            fake := !fake +. 1.0;
+            !fake);
+        Fun.protect
+          ~finally:(fun () ->
+            Server.monotonic := saved;
+            Sys.remove access_path;
+            Sys.remove slow_path)
+          (fun () ->
+            let access_oc = open_out access_path in
+            let slow_oc = open_out slow_path in
+            let cfg =
+              {
+                Server.default_config with
+                workers = 1;
+                access_log = Some access_oc;
+                slow_ms = 500;
+                slow_log = Some slow_oc;
+              }
+            in
+            with_server ~cfg (fun server ->
+                with_client server (fun c -> check_string "pong" "pong" (ok (Client.ping c))));
+            close_out access_oc;
+            close_out slow_oc;
+            (* the handler reads the clock once (received), the worker
+               twice (start, end): the measured wall is exactly one
+               fake-clock step, NTP-immune by construction *)
+            (match read_lines access_path with
+            | [ line ] ->
+                let json = Result.get_ok (Xsb.Json.of_string line) in
+                check_int "wall_us is exactly one clock step" 1_000_000 (json_int "wall_us" json);
+                (* timestamps still come from the wall clock, not the fake *)
+                check_bool "ts_us is epoch-scale" true (json_int "ts_us" json > 1_000_000_000_000_000)
+            | lines -> Alcotest.failf "expected 1 access-log line, got %d" (List.length lines));
+            (* 1s >= 500ms: the ping lands in the slow-query log too,
+               correlated by request id and carrying the stats delta *)
+            match read_lines slow_path with
+            | [ line ] ->
+                let json = Result.get_ok (Xsb.Json.of_string line) in
+                check_int "id" 1 (json_int "id" json);
+                check_int "wall_us" 1_000_000 (json_int "wall_us" json);
+                check_int "steps delta" 0 (json_int "steps" json);
+                check_int "subgoals delta" 0 (json_int "subgoals" json);
+                check_bool "op" true
+                  (Xsb.Json.member "op" json
+                  |> Option.map (fun o -> Xsb.Json.as_string o = Some "PING")
+                  |> Option.value ~default:false)
+            | lines -> Alcotest.failf "expected 1 slow-log line, got %d" (List.length lines)));
+    t "no slow log below the threshold" `Quick (fun () ->
+        let slow_path = Filename.temp_file "slow" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove slow_path)
+          (fun () ->
+            let slow_oc = open_out slow_path in
+            let cfg =
+              { Server.default_config with slow_ms = 60_000; slow_log = Some slow_oc }
+            in
+            with_server ~cfg (fun server ->
+                with_client server (fun c -> ignore (ok (Client.ping c))));
+            close_out slow_oc;
+            check_int "empty" 0 (List.length (read_lines slow_path))));
+    t "retry: the elapsed budget caps attempts on the injected clock" `Quick (fun () ->
+        let fake = ref 0.0 in
+        let clock () =
+          fake := !fake +. 1.0;
+          !fake
+        in
+        let attempts = ref 0 in
+        let r =
+          Client.retry ~retries:10 ~backoff_ms:1.0 ~max_elapsed_ms:1_500.0 ~rand:(fun _ -> 0.0)
+            ~sleep:(fun _ -> ()) ~clock ()
+        in
+        (match
+           Client.with_retry r (fun () ->
+               incr attempts;
+               `Retry "down")
+         with
+        | Ok _ -> Alcotest.fail "cannot succeed"
+        | Error e -> check_string "last failure" "down" e);
+        (* started at t=1; after attempt 2 the clock reads 3.0 -> 2000ms
+           elapsed >= 1500ms, so the 10-retry budget never gets used *)
+        check_int "attempts" 2 !attempts;
+        (* without the cap the same schedule runs all 11 attempts *)
+        let attempts' = ref 0 in
+        let r' =
+          Client.retry ~retries:10 ~backoff_ms:1.0 ~max_elapsed_ms:0.0 ~rand:(fun _ -> 0.0)
+            ~sleep:(fun _ -> ()) ~clock ()
+        in
+        (match
+           Client.with_retry r' (fun () ->
+               incr attempts';
+               `Retry "down")
+         with
+        | Ok _ -> Alcotest.fail "cannot succeed"
+        | Error _ -> ());
+        check_int "attempts without cap" 11 !attempts');
+    t "METRICS is idempotent (retryable); metrics off leaves zero counters" `Quick (fun () ->
+        check_bool "idempotent" true (Client.idempotent Protocol.Metrics);
+        let cfg = { Server.default_config with metrics_enabled = false } in
+        with_server ~cfg (fun server ->
+            with_client server (fun c ->
+                ignore (ok (Client.ping c));
+                let text = ok (Client.metrics_retry c) in
+                match Xsb.Metrics.Exposition.validate text with
+                | Error why -> Alcotest.failf "invalid exposition: %s" why
+                | Ok samples ->
+                    check_int "nothing recorded" 0
+                      (int_of_float
+                         (Option.value ~default:(-1.0)
+                            (Xsb.Metrics.Exposition.find samples "xsb_requests_total"))));
+            ignore server));
+  ]
+
 let suite =
-  protocol_cases @ bounded_cases @ negative_cases @ server_cases
+  protocol_cases @ bounded_cases @ negative_cases @ server_cases @ metrics_cases
   @ [ isolation_case; backpressure_case; shutdown_case ]

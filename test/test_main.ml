@@ -17,6 +17,7 @@ let () =
       ("incremental", Suite_incremental.suite);
       ("subsumption", Suite_subsumption.suite);
       ("obs", Suite_obs.suite);
+      ("metrics", Suite_metrics.suite);
       ("server", Suite_server.suite);
       ("journal", Suite_journal.suite);
     ]
