@@ -767,7 +767,7 @@ let journal_bench () =
         with_journal_dir (fun dir ->
             let db = Xsb.Database.create () in
             let pred = Xsb.Database.set_dynamic db "edge" 2 in
-            let j = Xsb.Journal.open_ { Xsb.Journal.dir; sync = policy; compact_bytes = 0 } db in
+            let j = Xsb.Journal.open_ { (Xsb.Journal.default_config ~dir) with Xsb.Journal.sync = policy; compact_bytes = 0 } db in
             Xsb.Journal.attach j;
             let t0 = Unix.gettimeofday () in
             journal_fill db pred n;
@@ -780,6 +780,73 @@ let journal_bench () =
             (name, n, wall, rps, fsyncs)))
       policies
   in
+  (* group commit: writers × records-per-commit. Each writer thread
+     appends [per]-record transactions (append_batch) and blocks on the
+     commit barrier, so the committer amortizes one fsync over every
+     record in flight. The headline (8 writers × 4 records) is gated at
+     >= 10x the sync=always single-writer baseline above. *)
+  let always_rps =
+    match List.find_opt (fun (name, _, _, _, _) -> name = "always") throughput with
+    | Some (_, _, _, rps, _) -> rps
+    | None -> 1.0
+  in
+  let edge_mut k =
+    Xsb.Journal.Add_clause
+      {
+        name = "edge";
+        arity = 2;
+        front = false;
+        dynamic = true;
+        clause =
+          Xsb.Canon.of_term
+            (Xsb.Term.Struct
+               ( ":-",
+                 [|
+                   Xsb.Term.Struct ("edge", [| Xsb.Term.Int k; Xsb.Term.Int (k + 1) |]);
+                   Xsb.Term.Atom "true";
+                 |] ));
+      }
+  in
+  row "%-14s %8s %10s %10s %12s %14s %10s %8s\n" "sync" "writers" "per_commit" "records"
+    "wall_s" "records/s" "fsyncs" "vs_always";
+  let group_sweep =
+    List.map
+      (fun (window_us, writers, per) ->
+        with_journal_dir (fun dir ->
+            let db = Xsb.Database.create () in
+            let j =
+              Xsb.Journal.open_
+                {
+                  (Xsb.Journal.default_config ~dir) with
+                  Xsb.Journal.sync = Xsb.Journal.Group { window_us; max_batch = 256 };
+                  compact_bytes = 0;
+                }
+                db
+            in
+            let rounds = (if !quick then 512 else 8192) / (writers * per) in
+            let n = writers * per * rounds in
+            let t0 = Unix.gettimeofday () in
+            let threads =
+              List.init writers (fun w ->
+                  Thread.create
+                    (fun () ->
+                      for r = 0 to rounds - 1 do
+                        let base = ((w * rounds) + r) * per in
+                        Xsb.Journal.append_batch j (List.init per (fun k -> edge_mut (base + k)))
+                      done)
+                    ())
+            in
+            List.iter Thread.join threads;
+            let wall = Unix.gettimeofday () -. t0 in
+            let fsyncs = (Xsb.Journal.stats j).Xsb.Journal.fsyncs in
+            Xsb.Journal.close j;
+            let rps = float_of_int n /. wall in
+            let label = Printf.sprintf "group=%.1fms" (float_of_int window_us /. 1000.0) in
+            row "%-14s %8d %10d %10d %12.4f %14.0f %10d %7.1fx\n" label writers per n wall rps
+              fsyncs (rps /. always_rps);
+            (window_us, writers, per, n, wall, rps, fsyncs, rps /. always_rps)))
+      [ (200, 1, 1); (200, 1, 4); (200, 8, 1); (200, 8, 4); (200, 8, 8); (1000, 8, 8) ]
+  in
   let sizes = if !quick then [ 1_000; 5_000 ] else [ 1_000; 10_000; 50_000 ] in
   row "%-14s %12s %14s\n" "records" "recovery_s" "records/s";
   let recovery =
@@ -788,7 +855,7 @@ let journal_bench () =
         with_journal_dir (fun dir ->
             let db = Xsb.Database.create () in
             let pred = Xsb.Database.set_dynamic db "edge" 2 in
-            let cfg = { Xsb.Journal.dir; sync = Xsb.Journal.Never; compact_bytes = 0 } in
+            let cfg = { (Xsb.Journal.default_config ~dir) with Xsb.Journal.sync = Xsb.Journal.Never; compact_bytes = 0 } in
             let j = Xsb.Journal.open_ cfg db in
             Xsb.Journal.attach j;
             journal_fill db pred n;
@@ -813,6 +880,17 @@ let journal_bench () =
         name n wall rps fsyncs
         (if i = List.length throughput - 1 then "" else ","))
     throughput;
+  output_string oc "], \"group_commit\": [\n";
+  List.iteri
+    (fun i (window_us, writers, per, n, wall, rps, fsyncs, speedup) ->
+      Printf.fprintf oc
+        "  { \"sync\": \"group\", \"window_ms\": %.1f, \"writers\": %d, \"per_commit\": %d, \
+         \"records\": %d, \"wall_s\": %.4f, \"records_per_s\": %.1f, \"fsyncs\": %d, \
+         \"speedup_vs_always\": %.1f }%s\n"
+        (float_of_int window_us /. 1000.0)
+        writers per n wall rps fsyncs speedup
+        (if i = List.length group_sweep - 1 then "" else ","))
+    group_sweep;
   output_string oc "], \"recovery\": [\n";
   List.iteri
     (fun i (n, wall) ->
@@ -822,6 +900,120 @@ let journal_bench () =
   output_string oc "] }\n";
   close_out oc;
   row "wrote BENCH_journal.json\n"
+
+(* ------------------------------------------------------------------ *)
+(* Replication: standby lag vs sustained write rate. A primary journal
+   under group commit feeds an in-process standby over the real wire
+   protocol; a paced writer holds each target rate for a fixed window
+   while the standby's byte lag is sampled, then the time for the lag
+   to drain to zero once writes stop is measured. *)
+
+let repl_bench () =
+  header "Replication: standby lag vs write rate";
+  (* socket writes to a departing peer must surface as EPIPE, not kill
+     the bench (the server binary does the same) *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let edge_mut k =
+    Xsb.Journal.Add_clause
+      {
+        name = "edge";
+        arity = 2;
+        front = false;
+        dynamic = true;
+        clause =
+          Xsb.Canon.of_term
+            (Xsb.Term.Struct
+               ( ":-",
+                 [|
+                   Xsb.Term.Struct ("edge", [| Xsb.Term.Int k; Xsb.Term.Int (k + 1) |]);
+                   Xsb.Term.Atom "true";
+                 |] ));
+      }
+  in
+  let rates = if !quick then [ 500; 2_000 ] else [ 500; 2_000; 8_000 ] in
+  let window_s = if !quick then 0.5 else 1.0 in
+  row "%-12s %10s %14s %14s %12s\n" "rate_rec_s" "records" "max_lag_B" "mean_lag_B" "catchup_ms";
+  let results =
+    List.map
+      (fun rate ->
+        with_journal_dir (fun pdir ->
+            with_journal_dir (fun sdir ->
+                let pdb = Xsb.Database.create () in
+                let j =
+                  Xsb.Journal.open_
+                    {
+                      (Xsb.Journal.default_config ~dir:pdir) with
+                      Xsb.Journal.sync = Xsb.Journal.default_group;
+                      compact_bytes = 0;
+                    }
+                    pdb
+                in
+                let primary = Xsb_repl.Repl.Primary.start ~port:0 ~journal:j () in
+                (* the standby mirrors into [sdir]; unlike the primary's
+                   Journal.open_, Standby.start expects it to exist *)
+                (try Unix.mkdir sdir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+                let sdb = Xsb.Database.create () in
+                let standby =
+                  Xsb_repl.Repl.Standby.start ~primary_host:"127.0.0.1"
+                    ~primary_port:(Xsb_repl.Repl.Primary.port primary)
+                    ~dir:sdir ~generation:1L ~offset:16 ~keep_generations:0
+                    ~apply:(fun m -> Xsb.Journal.apply_mutation sdb m)
+                    ()
+                in
+                let lag () =
+                  let s = Xsb_repl.Repl.Standby.status standby in
+                  let pgen, poff = Xsb.Journal.durable_position j in
+                  if Int64.equal s.Xsb_repl.Repl.Standby.generation pgen then
+                    max 0 (poff - s.Xsb_repl.Repl.Standby.applied_off)
+                  else max 1 s.Xsb_repl.Repl.Standby.lag_bytes
+                in
+                (* paced writes: batches of 4, spaced to hold the rate *)
+                let per = 4 in
+                let interval = float_of_int per /. float_of_int rate in
+                let deadline = Unix.gettimeofday () +. window_s in
+                let written = ref 0 in
+                let max_lag = ref 0 and lag_sum = ref 0 and samples = ref 0 in
+                let next = ref (Unix.gettimeofday ()) in
+                while Unix.gettimeofday () < deadline do
+                  Xsb.Journal.append_batch j (List.init per (fun k -> edge_mut (!written + k)));
+                  written := !written + per;
+                  let l = lag () in
+                  max_lag := max !max_lag l;
+                  lag_sum := !lag_sum + l;
+                  incr samples;
+                  next := !next +. interval;
+                  let now = Unix.gettimeofday () in
+                  if !next > now then Thread.delay (!next -. now) else next := now
+                done;
+                (* writes stop: time the drain to zero *)
+                let t0 = Unix.gettimeofday () in
+                while lag () > 0 && Unix.gettimeofday () -. t0 < 30.0 do
+                  Thread.delay 0.002
+                done;
+                let catchup_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+                Xsb_repl.Repl.Standby.stop standby;
+                Xsb_repl.Repl.Primary.stop primary;
+                Xsb.Journal.close j;
+                let mean_lag =
+                  if !samples = 0 then 0.0 else float_of_int !lag_sum /. float_of_int !samples
+                in
+                row "%-12d %10d %14d %14.0f %12.1f\n" rate !written !max_lag mean_lag catchup_ms;
+                (rate, !written, !max_lag, mean_lag, catchup_ms))))
+      rates
+  in
+  let oc = open_out "BENCH_repl.json" in
+  output_string oc "{ \"experiment\": \"repl\", \"lag_vs_rate\": [\n";
+  List.iteri
+    (fun i (rate, written, max_lag, mean_lag, catchup_ms) ->
+      Printf.fprintf oc
+        "  { \"target_records_per_s\": %d, \"records\": %d, \"max_lag_bytes\": %d, \
+         \"mean_lag_bytes\": %.0f, \"catchup_ms\": %.1f }%s\n"
+        rate written max_lag mean_lag catchup_ms
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  output_string oc "] }\n";
+  close_out oc;
+  row "wrote BENCH_repl.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Incremental tabling: query throughput and warm-table hit rate on the
@@ -1119,6 +1311,7 @@ let experiments =
     ("server", server_bench);
     ("metrics", metrics_bench);
     ("journal", journal_bench);
+    ("repl", repl_bench);
     ("incremental", incremental_bench);
     ("subsumption", subsumption_bench);
     ("bechamel", bechamel);

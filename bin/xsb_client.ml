@@ -1,19 +1,22 @@
 (* The command-line client: one connection, a sequence of operations in
    command-line order (consults first, then asserts, then goals), with
    exit codes scripts can branch on: 0 ok, 1 error, 2 timeout,
-   3 overloaded. *)
+   3 overloaded, 4 readonly (mutation refused by a standby or a
+   degraded primary). *)
 
 let exit_error = 1
 let exit_timeout = 2
 let exit_overloaded = 3
+let exit_readonly = 4
 
 let code_exit = function
   | Xsb_server.Protocol.Timeout -> exit_timeout
   | Xsb_server.Protocol.Overloaded -> exit_overloaded
+  | Xsb_server.Protocol.Readonly -> exit_readonly
   | _ -> exit_error
 
 let main host port consults fast_loads goals asserts limit timeout_ms max_steps stats abolish
-    ping sync metrics retries backoff_ms max_elapsed_ms =
+    ping sync promote follow_primary metrics retries backoff_ms max_elapsed_ms =
   let open Xsb_server in
   let retry =
     Client.retry ~retries ~backoff_ms:(float_of_int backoff_ms)
@@ -38,7 +41,8 @@ let main host port consults fast_loads goals asserts limit timeout_ms max_steps 
                 Fmt.epr "%s: %s: %s@." what (Protocol.err_code_name code) message;
                 note (code_exit code)
           in
-          if ping then simple "ping" (Client.ping_retry ~retry client);
+          if promote then simple "promote" (Client.promote client);
+          if ping then simple "ping" (Client.ping_retry ~retry ~follow_primary client);
           List.iter
             (fun path ->
               let text = In_channel.with_open_bin path In_channel.input_all in
@@ -52,7 +56,10 @@ let main host port consults fast_loads goals asserts limit timeout_ms max_steps 
           List.iter (fun clause -> simple ("assert " ^ clause) (Client.assert_ client clause)) asserts;
           List.iter
             (fun goal ->
-              match Client.query_retry ~retry ?limit ?timeout_ms ?max_steps client goal with
+              match
+                Client.query_retry ~retry ~follow_primary ?limit ?timeout_ms ?max_steps client
+                  goal
+              with
               | Client.Rows { rows; truncated } ->
                   List.iter (fun row -> Fmt.pr "%s@." row) rows;
                   Fmt.pr "%s (%d solution%s%s)@."
@@ -71,9 +78,9 @@ let main host port consults fast_loads goals asserts limit timeout_ms max_steps 
             goals;
           if abolish then simple "abolish" (Client.abolish client);
           if sync then simple "sync" (Client.sync client);
-          if stats then simple "statistics" (Client.statistics_retry ~retry client);
+          if stats then simple "statistics" (Client.statistics_retry ~retry ~follow_primary client);
           (if metrics then
-             match Client.metrics_retry ~retry client with
+             match Client.metrics_retry ~retry ~follow_primary client with
              | Error { Client.code; message } ->
                  Fmt.epr "metrics: %s: %s@." (Protocol.err_code_name code) message;
                  note (code_exit code)
@@ -136,6 +143,22 @@ let sync =
     value & flag
     & info [ "sync" ] ~doc:"Ask a durable server to fsync its journal after the goals.")
 
+let promote =
+  Arg.(
+    value & flag
+    & info [ "promote" ]
+        ~doc:
+          "Promote a replication standby to a writable primary (failover); runs before any \
+           other operation so the same invocation can then mutate.")
+
+let follow_primary =
+  Arg.(
+    value & flag
+    & info [ "follow-primary" ]
+        ~doc:
+          "Treat READONLY refusals of idempotent requests as retryable (with --retries): a \
+           standby about to be promoted, or a degraded primary being repaired, clears them.")
+
 let retries =
   Arg.(
     value & opt int 0
@@ -171,7 +194,7 @@ let cmd =
     (Cmd.info "xsb_client" ~doc)
     Term.(
       const main $ host $ port $ consults $ fast_loads $ goals $ asserts $ limit $ timeout_ms
-      $ max_steps $ stats $ abolish $ ping $ sync $ metrics $ retries $ backoff_ms
-      $ max_elapsed_ms)
+      $ max_steps $ stats $ abolish $ ping $ sync $ promote $ follow_primary $ metrics $ retries
+      $ backoff_ms $ max_elapsed_ms)
 
 let () = exit (Cmd.eval' cmd)

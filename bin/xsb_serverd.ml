@@ -5,7 +5,8 @@
 let stop_requested = Atomic.make false
 
 let main host port workers queue timeout_ms max_steps max_answers preload scheduling access_log
-    profile data_dir sync compact_bytes no_metrics slow_ms slow_log =
+    profile data_dir sync group_commit_ms group_commit_batch compact_bytes keep_generations
+    repl_port replica_of no_metrics slow_ms slow_log =
   let open_log = function
     | None -> None
     | Some "-" -> Some stdout
@@ -13,6 +14,13 @@ let main host port workers queue timeout_ms max_steps max_answers preload schedu
   in
   let log_channel = open_log access_log in
   let slow_channel = open_log slow_log in
+  (* --group-commit-ms overrides --sync: it IS a sync policy *)
+  let sync =
+    match group_commit_ms with
+    | None -> sync
+    | Some ms ->
+        Xsb.Journal.Group { window_us = ms * 1000; max_batch = group_commit_batch }
+  in
   let cfg =
     {
       Xsb_server.Server.default_config with
@@ -30,6 +38,9 @@ let main host port workers queue timeout_ms max_steps max_answers preload schedu
       data_dir;
       sync;
       compact_bytes;
+      keep_generations;
+      repl_port;
+      replica_of;
       metrics_enabled = not no_metrics;
       slow_ms;
       slow_log = slow_channel;
@@ -48,6 +59,9 @@ let main host port workers queue timeout_ms max_steps max_answers preload schedu
   | exception Xsb.Journal.Io_error { site; message } ->
       Fmt.epr "xsb_serverd: cannot open journal (%s): %s@." site message;
       2
+  | exception Invalid_argument msg ->
+      Fmt.epr "xsb_serverd: %s@." msg;
+      2
   | server ->
       (match Xsb_server.Server.journal server with
       | Some j ->
@@ -59,6 +73,12 @@ let main host port workers queue timeout_ms max_steps max_answers preload schedu
       Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
       Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
       Fmt.pr "listening on %d@." (Xsb_server.Server.port server);
+      (match Xsb_server.Server.repl_listen_port server with
+      | Some p -> Fmt.pr "replication listening on %d@." p
+      | None -> ());
+      (match replica_of with
+      | Some (h, p) -> Fmt.pr "replicating from %s:%d (read-only until PROMOTE)@." h p
+      | None -> ());
       while not (Atomic.get stop_requested) do
         Thread.delay 0.05
       done;
@@ -141,7 +161,10 @@ let sync_conv =
   let parse s =
     match Xsb.Journal.sync_policy_of_string s with
     | Some p -> Ok p
-    | None -> Error (`Msg (Printf.sprintf "bad sync policy %S (never|interval[=N]|always)" s))
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "bad sync policy %S (never|interval[=N]|always|group[=MS[,BATCH]])" s))
   in
   Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Xsb.Journal.sync_policy_to_string p))
 
@@ -159,7 +182,25 @@ let sync =
     value
     & opt sync_conv Xsb.Journal.Always
     & info [ "sync" ] ~docv:"POLICY"
-        ~doc:"Journal fsync policy: never, interval[=N] (every N records), or always.")
+        ~doc:
+          "Journal fsync policy: never, interval[=N] (every N records), always, or \
+           group[=MS[,BATCH]] (group commit: one fsync per batch).")
+
+let group_commit_ms =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "group-commit-ms" ] ~docv:"MS"
+        ~doc:
+          "Group commit: batch concurrent writers for up to \\$(docv) milliseconds and fsync \
+           the whole batch once (acks wait for the batch fsync, so durability is unchanged). \
+           Overrides --sync.")
+
+let group_commit_batch =
+  Arg.(
+    value & opt int 256
+    & info [ "group-commit-batch" ] ~docv:"N"
+        ~doc:"Max records per group-commit batch (with --group-commit-ms).")
 
 let compact_bytes =
   Arg.(
@@ -167,6 +208,46 @@ let compact_bytes =
     & opt int (8 * 1024 * 1024)
     & info [ "compact-bytes" ] ~docv:"BYTES"
         ~doc:"Snapshot + truncate the journal when it grows past \\$(docv) (0 disables).")
+
+let keep_generations =
+  Arg.(
+    value & opt int 0
+    & info [ "keep-generations" ] ~docv:"N"
+        ~doc:
+          "Archive the last \\$(docv) rotated journal generations (and their snapshots) instead \
+           of deleting them on compaction — the raw material for point-in-time recovery and for \
+           standbys following across a rotation. Forced to at least 1 when replication is on.")
+
+let hostport_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | Some i when i > 0 && i < String.length s - 1 -> (
+        let host = String.sub s 0 i in
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+        | Some p when p > 0 && p < 65536 -> Ok (host, p)
+        | _ -> Error (`Msg (Printf.sprintf "bad port in %S (expected HOST:PORT)" s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad address %S (expected HOST:PORT)" s))
+  in
+  Arg.conv (parse, fun ppf (h, p) -> Format.fprintf ppf "%s:%d" h p)
+
+let repl_port =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "repl-port" ] ~docv:"PORT"
+        ~doc:
+          "Serve the replication feed (journal shipping) on \\$(docv) so standbys can follow \
+           this server; 0 picks an ephemeral port (printed at startup). Requires --data-dir.")
+
+let replica_of =
+  Arg.(
+    value
+    & opt (some hostport_conv) None
+    & info [ "replica-of" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Run as a read-only standby of the primary whose replication feed listens at \
+           \\$(docv): mirror and apply its journal continuously, refuse mutations with \
+           READONLY, and accept PROMOTE for failover. Requires --data-dir.")
 
 let no_metrics =
   Arg.(
@@ -200,7 +281,8 @@ let cmd =
     (Cmd.info "xsb_serverd" ~doc)
     Term.(
       const main $ host $ port $ workers $ queue $ timeout_ms $ max_steps $ max_answers $ preload
-      $ scheduling $ access_log $ profile $ data_dir $ sync $ compact_bytes $ no_metrics
-      $ slow_ms $ slow_log)
+      $ scheduling $ access_log $ profile $ data_dir $ sync $ group_commit_ms $ group_commit_batch
+      $ compact_bytes $ keep_generations $ repl_port $ replica_of $ no_metrics $ slow_ms
+      $ slow_log)
 
 let () = exit (Cmd.eval' cmd)

@@ -3,27 +3,58 @@ open Xsb_db
 
 (* ---------- sync policies ---------- *)
 
-type sync_policy = Never | Interval of int | Always
+type sync_policy =
+  | Never
+  | Interval of int
+  | Always
+  | Group of { window_us : int; max_batch : int }
+
+let default_group = Group { window_us = 200; max_batch = 256 }
 
 let sync_policy_of_string s =
   let s = String.lowercase_ascii (String.trim s) in
   let interval n =
     match int_of_string_opt n with Some n when n > 0 -> Some (Interval n) | _ -> None
   in
+  let group rest =
+    (* "MS" or "MS,BATCH"; the window is given in (possibly fractional)
+       milliseconds to match the server's --group-commit-ms flag *)
+    let window ms =
+      match float_of_string_opt ms with
+      | Some ms when ms >= 0.0 -> Some (int_of_float (ms *. 1000.0))
+      | _ -> None
+    in
+    match String.index_opt rest ',' with
+    | None -> (
+        match window rest with
+        | Some w -> Some (Group { window_us = w; max_batch = 256 })
+        | None -> None)
+    | Some i -> (
+        let ms = String.sub rest 0 i
+        and batch = String.sub rest (i + 1) (String.length rest - i - 1) in
+        match (window ms, int_of_string_opt batch) with
+        | Some w, Some b when b > 0 -> Some (Group { window_us = w; max_batch = b })
+        | _ -> None)
+  in
   match s with
   | "never" -> Some Never
   | "always" -> Some Always
   | "interval" -> Some (Interval 64)
+  | "group" -> Some default_group
   | _ -> (
       match String.index_opt s '=' with
       | Some i when String.sub s 0 i = "interval" ->
           interval (String.sub s (i + 1) (String.length s - i - 1))
+      | Some i when String.sub s 0 i = "group" ->
+          group (String.sub s (i + 1) (String.length s - i - 1))
       | _ -> interval s)
 
 let sync_policy_to_string = function
   | Never -> "never"
   | Always -> "always"
   | Interval n -> Printf.sprintf "interval=%d" n
+  | Group { window_us; max_batch } ->
+      Printf.sprintf "group=%g,%d" (float_of_int window_us /. 1000.0) max_batch
 
 (* ---------- mutation records ---------- *)
 
@@ -360,9 +391,15 @@ let header magic gen =
 
 (* ---------- the journal ---------- *)
 
-type config = { dir : string; sync : sync_policy; compact_bytes : int }
+type config = {
+  dir : string;
+  sync : sync_policy;
+  compact_bytes : int;
+  keep_generations : int;
+}
 
-let default_config ~dir = { dir; sync = Always; compact_bytes = 8 * 1024 * 1024 }
+let default_config ~dir =
+  { dir; sync = Always; compact_bytes = 8 * 1024 * 1024; keep_generations = 0 }
 
 type stats = {
   mutable records_appended : int;
@@ -372,6 +409,8 @@ type stats = {
   mutable recovered_records : int;
   mutable torn_bytes_dropped : int;
   mutable recovery_ms : float;
+  mutable group_batches : int;
+  mutable group_batch_records : int;
 }
 
 let fresh_stats () =
@@ -383,6 +422,8 @@ let fresh_stats () =
     recovered_records = 0;
     torn_bytes_dropped = 0;
     recovery_ms = 0.0;
+    group_batches = 0;
+    group_batch_records = 0;
   }
 
 type t = {
@@ -400,6 +441,19 @@ type t = {
      so every one that enters the stream is carried into snapshots *)
   mutable op_decls : mutation list;  (* reversed *)
   stats : stats;
+  (* concurrency: [m] guards every mutable field above. Byte offsets
+     reset at rotation, so commit barriers wait on the cumulative
+     record counters instead — those never go backwards. *)
+  m : Mutex.t;
+  nonempty : Condition.t;  (* wakes the group committer *)
+  acked : Condition.t;  (* durability watermark advanced (or failed) *)
+  sync_done : Condition.t;  (* the committer left its unlocked fsync *)
+  mutable appended_records : int;  (* cumulative across rotations *)
+  mutable synced_records : int;  (* cumulative; includes compaction *)
+  mutable syncing : bool;  (* committer is inside fsync with [m] free *)
+  mutable commit_error : exn option;  (* committer failure, for waiters *)
+  mutable committer : Thread.t option;
+  mutable stop_committer : bool;
 }
 
 exception Io_error of { site : string; message : string }
@@ -424,6 +478,13 @@ let write_all fd s =
   let rec go off = if off < len then go (off + Unix.write_substring fd s off (len - off)) in
   go 0
 
+(* poisoning must also wake commit-barrier waiters: a journal that will
+   never sync again must raise in them, not strand them *)
+let mark_failed j site =
+  j.failed_site <- Some site;
+  Condition.broadcast j.acked;
+  Condition.broadcast j.sync_done
+
 (* every I/O primitive passes its named failpoint first; a Unix error
    or an injected [Fail] poisons the journal (typed [Io_error], the
    server's read-only trigger), an injected crash raises
@@ -432,48 +493,48 @@ let write_all fd s =
 let write_site j site fd bytes =
   (match Failpoint.check site with
   | Some Failpoint.Fail ->
-      j.failed_site <- Some site;
+      mark_failed j site;
       io_error site "injected I/O failure"
   | Some (Failpoint.Short_write n) ->
-      j.failed_site <- Some site;
+      mark_failed j site;
       let n = min (max n 0) (String.length bytes) in
       (try write_all fd (String.sub bytes 0 n) with Unix.Unix_error _ -> ());
       raise (Failpoint.Injected_crash site)
   | Some Failpoint.Crash ->
-      j.failed_site <- Some site;
+      mark_failed j site;
       raise (Failpoint.Injected_crash site)
   | None -> ());
   try write_all fd bytes
   with Unix.Unix_error (e, _, _) ->
-    j.failed_site <- Some site;
+    mark_failed j site;
     io_error site (Unix.error_message e)
 
 let fsync_site j site fd =
   (match Failpoint.check site with
   | Some Failpoint.Fail ->
-      j.failed_site <- Some site;
+      mark_failed j site;
       io_error site "injected fsync failure"
   | Some (Failpoint.Crash | Failpoint.Short_write _) ->
-      j.failed_site <- Some site;
+      mark_failed j site;
       raise (Failpoint.Injected_crash site)
   | None -> ());
   try Unix.fsync fd
   with Unix.Unix_error (e, _, _) ->
-    j.failed_site <- Some site;
+    mark_failed j site;
     io_error site (Unix.error_message e)
 
 let rename_site j site src dst =
   (match Failpoint.check site with
   | Some Failpoint.Fail ->
-      j.failed_site <- Some site;
+      mark_failed j site;
       io_error site "injected rename failure"
   | Some (Failpoint.Crash | Failpoint.Short_write _) ->
-      j.failed_site <- Some site;
+      mark_failed j site;
       raise (Failpoint.Injected_crash site)
   | None -> ());
   try Unix.rename src dst
   with Unix.Unix_error (e, _, _) ->
-    j.failed_site <- Some site;
+    mark_failed j site;
     io_error site (Unix.error_message e)
 
 (* directory fsync: makes a rename durable. Some filesystems refuse
@@ -488,10 +549,10 @@ let fsync_dir_raw dir =
 let fsync_dir_site j site dir =
   (match Failpoint.check site with
   | Some Failpoint.Fail ->
-      j.failed_site <- Some site;
+      mark_failed j site;
       io_error site "injected directory fsync failure"
   | Some (Failpoint.Crash | Failpoint.Short_write _) ->
-      j.failed_site <- Some site;
+      mark_failed j site;
       raise (Failpoint.Injected_crash site)
   | None -> ());
   fsync_dir_raw dir
@@ -533,7 +594,112 @@ let create_journal_file jpath gen =
   fsync_dir_raw (Filename.dirname jpath);
   fd
 
-let open_ ?(tolerate_corruption = false) cfg db =
+(* ---------- the group committer ---------- *)
+
+(* fsync now (caller holds [m]) and release every barrier waiter *)
+let do_sync j =
+  fsync_site j "journal.append.sync" j.fd;
+  j.synced <- j.written;
+  j.synced_records <- j.appended_records;
+  j.pending <- 0;
+  j.stats.fsyncs <- j.stats.fsyncs + 1;
+  Condition.broadcast j.acked
+
+(* wait (holding [m]) until the cumulative durable-record watermark
+   covers [target], re-raising a committer failure into the waiter *)
+let rec await_records j target =
+  if j.synced_records >= target then ()
+  else
+    match j.commit_error with
+    | Some e -> raise e
+    | None -> (
+        match j.failed_site with
+        | Some site -> io_error site "journal write path failed; record not durable"
+        | None ->
+            Condition.wait j.acked j.m;
+            await_records j target)
+
+(* The dedicated group-commit thread: writers enqueue records and block
+   on [acked]; this thread performs one fsync covering the whole batch.
+   After each ack it waits a settle window (yield-based — stdlib
+   [Condition] has no timed wait) for the just-released writers to get
+   their next record in, so batches converge on the writer count
+   instead of alternating 1 / w-1. *)
+let committer_loop j window_us max_batch =
+  let window_s = float_of_int window_us *. 1e-6 in
+  let quiet_s = Float.min 25e-6 (Float.max 5e-6 (window_s *. 0.25)) in
+  Mutex.lock j.m;
+  while not j.stop_committer do
+    while
+      (not j.stop_committer)
+      && (j.written = j.synced || j.failed_site <> None || j.commit_error <> None)
+    do
+      Condition.wait j.nonempty j.m
+    done;
+    if not j.stop_committer then begin
+      (if window_us > 0 then
+         let deadline = Xsb_obs.Mclock.now () +. window_s in
+         let last = ref j.appended_records in
+         let last_growth = ref (Xsb_obs.Mclock.now ()) in
+         let continue = ref true in
+         while !continue do
+           if
+             j.stop_committer || j.failed_site <> None
+             || j.appended_records - j.synced_records >= max_batch
+           then continue := false
+           else begin
+             Mutex.unlock j.m;
+             Thread.yield ();
+             Mutex.lock j.m;
+             let t = Xsb_obs.Mclock.now () in
+             if j.appended_records > !last then begin
+               last := j.appended_records;
+               last_growth := t
+             end;
+             if t >= deadline || t -. !last_growth >= quiet_s then continue := false
+           end
+         done);
+      if j.failed_site = None && j.written > j.synced then begin
+        let upto_bytes = j.written and upto_records = j.appended_records in
+        (* fsync with [m] released so writers keep enqueueing the next
+           batch; [syncing] keeps compaction from swapping the fd away
+           underneath the in-flight fsync *)
+        j.syncing <- true;
+        Mutex.unlock j.m;
+        let failure =
+          try
+            fsync_site j "journal.append.sync" j.fd;
+            None
+          with e -> Some e
+        in
+        Mutex.lock j.m;
+        j.syncing <- false;
+        (match failure with
+        | None ->
+            if upto_bytes > j.synced then begin
+              j.stats.group_batches <- j.stats.group_batches + 1;
+              j.stats.group_batch_records <-
+                j.stats.group_batch_records + (upto_records - j.synced_records);
+              j.synced <- upto_bytes;
+              j.synced_records <- max j.synced_records upto_records;
+              j.pending <- j.appended_records - upto_records;
+              j.stats.fsyncs <- j.stats.fsyncs + 1
+            end
+        | Some e -> if j.commit_error = None then j.commit_error <- Some e);
+        Condition.broadcast j.acked;
+        Condition.broadcast j.sync_done
+      end
+    end
+  done;
+  Mutex.unlock j.m
+
+let start_committer j =
+  match j.cfg.sync with
+  | Group { window_us; max_batch } ->
+      j.committer <- Some (Thread.create (fun () -> committer_loop j window_us max_batch) ())
+  | Never | Interval _ | Always -> ()
+
+let open_common ~replay ~tolerate_corruption cfg db =
   let t0 = Unix.gettimeofday () in
   mkdir_p cfg.dir;
   let jpath = journal_path cfg and spath = snapshot_path cfg in
@@ -546,11 +712,12 @@ let open_ ?(tolerate_corruption = false) cfg db =
     List.iteri
       (fun i m ->
         (match m with Declare_op _ -> op_decls := m :: !op_decls | _ -> ());
-        try apply_mutation db m with
-        | Corrupt_record msg | Obj_file.Bad_object_file msg ->
-            recovery_error file (-1) i ("record failed to apply: " ^ msg))
+        if replay then
+          try apply_mutation db m with
+          | Corrupt_record msg | Obj_file.Bad_object_file msg ->
+              recovery_error file (-1) i ("record failed to apply: " ^ msg))
       records;
-    stats.recovered_records <- stats.recovered_records + List.length records
+    if replay then stats.recovered_records <- stats.recovered_records + List.length records
   in
   (* 1. the snapshot. It is published atomically, so unlike the journal
      it has no legitimate torn tail: anything short of clean is
@@ -624,28 +791,46 @@ let open_ ?(tolerate_corruption = false) cfg db =
         end
   in
   stats.recovery_ms <- 1000.0 *. (Unix.gettimeofday () -. t0);
-  {
-    cfg;
-    db;
-    fd;
-    written;
-    synced = written;
-    pending = 0;
-    generation;
-    failed_site = None;
-    closed = false;
-    attached = false;
-    op_decls = !op_decls;
-    stats;
-  }
+  let j =
+    {
+      cfg;
+      db;
+      fd;
+      written;
+      synced = written;
+      pending = 0;
+      generation;
+      failed_site = None;
+      closed = false;
+      attached = false;
+      op_decls = !op_decls;
+      stats;
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      acked = Condition.create ();
+      sync_done = Condition.create ();
+      appended_records = 0;
+      synced_records = 0;
+      syncing = false;
+      commit_error = None;
+      committer = None;
+      stop_committer = false;
+    }
+  in
+  start_committer j;
+  j
+
+let open_ ?(tolerate_corruption = false) cfg db =
+  open_common ~replay:true ~tolerate_corruption cfg db
+
+(* recovery bookkeeping without replay: for a standby whose database is
+   already live (it applied the stream as it arrived), promotion needs a
+   writable journal positioned at the end of the mirrored file — minus
+   any torn tail — with the op-declaration list snapshots will need. *)
+let resume ?(tolerate_corruption = false) cfg db =
+  open_common ~replay:false ~tolerate_corruption cfg db
 
 (* ---------- appending ---------- *)
-
-let do_sync j =
-  fsync_site j "journal.append.sync" j.fd;
-  j.synced <- j.written;
-  j.pending <- 0;
-  j.stats.fsyncs <- j.stats.fsyncs + 1
 
 (* everything reachable from the database right now, as one snapshot
    record stream: declarations the object-file image cannot carry, then
@@ -669,9 +854,63 @@ let snapshot_records j =
             Some (Set_table_mode { name = Pred.name p; arity = Pred.arity p; mode }))
       (Database.preds j.db)
 
-let compact j =
+(* ---------- generation archives ---------- *)
+
+let archive_journal_path cfg gen =
+  Filename.concat cfg.dir (Printf.sprintf "journal.%Ld.log" gen)
+
+let archive_snapshot_path cfg gen =
+  Filename.concat cfg.dir (Printf.sprintf "snapshot.%Ld.bin" gen)
+
+(* archive by hard link: the rotation rename then replaces the
+   directory entry while the old inode lives on under the archive name
+   — no data is copied. Best-effort: a crash in between just leaves an
+   archive that the next compaction overwrites. *)
+let link_replace src dst =
+  (try Unix.unlink dst with Unix.Unix_error _ -> ());
+  try Unix.link src dst with Unix.Unix_error _ -> ()
+
+(* keep the newest [keep_generations] archived journals (plus the
+   snapshots needed to replay them: journal.<g>.log replays on top of
+   snapshot.<g-1>.bin) *)
+let prune_archives cfg ~next_gen =
+  if cfg.keep_generations > 0 then
+    match Sys.readdir cfg.dir with
+    | exception Sys_error _ -> ()
+    | entries ->
+        let keep_from = Int64.sub next_gen (Int64.of_int cfg.keep_generations) in
+        Array.iter
+          (fun name ->
+            let unlink () =
+              try Unix.unlink (Filename.concat cfg.dir name) with Unix.Unix_error _ -> ()
+            in
+            match Scanf.sscanf_opt name "journal.%Ld.log%!" (fun g -> g) with
+            | Some g when Int64.compare g keep_from < 0 -> unlink ()
+            | Some _ -> ()
+            | None -> (
+                match Scanf.sscanf_opt name "snapshot.%Ld.bin%!" (fun g -> g) with
+                | Some g when Int64.compare g (Int64.pred keep_from) < 0 -> unlink ()
+                | _ -> ()))
+          entries
+
+let compact_locked j =
+  guard_usable j;
+  (* never swap the fd away underneath the committer's in-flight fsync *)
+  while j.syncing do
+    Condition.wait j.sync_done j.m
+  done;
   guard_usable j;
   let jpath = journal_path j.cfg and spath = snapshot_path j.cfg in
+  let archiving = j.cfg.keep_generations > 0 in
+  (* 0. when archiving, settle the outgoing generation onto disk so the
+     archived file is complete, and set aside the snapshot the rename
+     below would otherwise overwrite (it is the replay base for the
+     oldest archived journal) *)
+  if archiving then begin
+    if j.written > j.synced then do_sync j;
+    if Sys.file_exists spath then
+      link_replace spath (archive_snapshot_path j.cfg (Int64.pred j.generation))
+  end;
   (* 1. write the snapshot aside *)
   let stmp = spath ^ ".tmp" in
   let b = Buffer.create 65536 in
@@ -680,7 +919,7 @@ let compact j =
   let sfd =
     try Unix.openfile stmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
     with Unix.Unix_error (e, _, _) ->
-      j.failed_site <- Some "snapshot.write";
+      mark_failed j "snapshot.write";
       io_error "snapshot.write" (Unix.error_message e)
   in
   (try
@@ -694,13 +933,20 @@ let compact j =
      snapshot and ignores the (now stale-generation) journal *)
   rename_site j "snapshot.rename" stmp spath;
   fsync_dir_site j "dir.sync" j.cfg.dir;
+  (* everything enqueued so far is now durable through the snapshot,
+     whether or not its journal bytes were ever fsynced *)
+  j.synced_records <- j.appended_records;
+  Condition.broadcast j.acked;
+  (* 2b. keep the outgoing generation around for point-in-time recovery
+     and standby catch-up *)
+  if archiving then link_replace jpath (archive_journal_path j.cfg j.generation);
   (* 3. rotate the journal to the next generation *)
   let next = Int64.add j.generation 1L in
   let jtmp = jpath ^ ".tmp" in
   let nfd =
     try Unix.openfile jtmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
     with Unix.Unix_error (e, _, _) ->
-      j.failed_site <- Some "journal.rotate.write";
+      mark_failed j "journal.rotate.write";
       io_error "journal.rotate.write" (Unix.error_message e)
   in
   (try
@@ -717,49 +963,239 @@ let compact j =
   j.written <- header_len;
   j.synced <- header_len;
   j.pending <- 0;
-  j.stats.compactions <- j.stats.compactions + 1
+  j.stats.compactions <- j.stats.compactions + 1;
+  prune_archives j.cfg ~next_gen:next
 
-let append j m =
-  guard_usable j;
-  (match m with Declare_op _ -> j.op_decls <- m :: j.op_decls | _ -> ());
-  let bytes = frame (encode_mutation m) in
-  write_site j "journal.append.write" j.fd bytes;
-  j.written <- j.written + String.length bytes;
-  j.pending <- j.pending + 1;
-  j.stats.records_appended <- j.stats.records_appended + 1;
-  j.stats.bytes_appended <- j.stats.bytes_appended + String.length bytes;
-  (match j.cfg.sync with
-  | Always -> do_sync j
-  | Interval n -> if j.pending >= n then do_sync j
-  | Never -> ());
-  if j.cfg.compact_bytes > 0 && j.written >= j.cfg.compact_bytes then compact j
+let with_lock j f =
+  Mutex.lock j.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock j.m) f
+
+let compact j = with_lock j (fun () -> compact_locked j)
+
+(* the shared append path: write [ms] (pre-framed into [bytes]) as one
+   [write(2)], then apply the sync policy. Under [Group], [wait] decides
+   whether to block on the commit barrier here ([append]/[append_batch])
+   or leave that to a later {!barrier} ([enqueue], used by the server so
+   the fsync wait happens outside its session lock). *)
+let append_k j ~wait ms =
+  match ms with
+  | [] -> ()
+  | ms ->
+      let bytes = String.concat "" (List.map (fun m -> frame (encode_mutation m)) ms) in
+      let n = List.length ms in
+      with_lock j @@ fun () ->
+      guard_usable j;
+      List.iter
+        (fun m -> match m with Declare_op _ -> j.op_decls <- m :: j.op_decls | _ -> ())
+        ms;
+      write_site j "journal.append.write" j.fd bytes;
+      j.written <- j.written + String.length bytes;
+      j.pending <- j.pending + n;
+      j.appended_records <- j.appended_records + n;
+      j.stats.records_appended <- j.stats.records_appended + n;
+      j.stats.bytes_appended <- j.stats.bytes_appended + String.length bytes;
+      (match j.cfg.sync with
+      | Always -> do_sync j
+      | Interval k -> if j.pending >= k then do_sync j
+      | Never -> ()
+      | Group _ ->
+          Condition.signal j.nonempty;
+          if wait then await_records j j.appended_records);
+      if j.cfg.compact_bytes > 0 && j.written >= j.cfg.compact_bytes then compact_locked j
+
+let append j m = append_k j ~wait:true [ m ]
+let append_batch j ms = append_k j ~wait:true ms
+let enqueue j m = append_k j ~wait:false [ m ]
+
+let barrier j =
+  with_lock j @@ fun () ->
+  match j.cfg.sync with
+  | Group _ when j.synced_records < j.appended_records ->
+      guard_usable j;
+      Condition.signal j.nonempty;
+      await_records j j.appended_records
+  | _ -> ()
 
 let sync j =
+  with_lock j @@ fun () ->
   guard_usable j;
-  if j.written > j.synced || j.pending > 0 then do_sync j
+  match j.cfg.sync with
+  | Group _ ->
+      if j.synced_records < j.appended_records || j.written > j.synced then begin
+        Condition.signal j.nonempty;
+        await_records j j.appended_records;
+        (* record watermarks can be satisfied by a compaction while raw
+           bytes still trail; settle those directly *)
+        if j.written > j.synced && not j.syncing then do_sync j
+      end
+  | Never | Interval _ | Always -> if j.written > j.synced || j.pending > 0 then do_sync j
 
 let close j =
-  if not j.closed then begin
-    if j.failed_site = None && j.written > j.synced then (try do_sync j with _ -> ());
-    j.closed <- true;
-    try Unix.close j.fd with Unix.Unix_error _ -> ()
+  Mutex.lock j.m;
+  if j.closed then Mutex.unlock j.m
+  else begin
+    (* retire the committer first so the final sync below is ours *)
+    j.stop_committer <- true;
+    Condition.broadcast j.nonempty;
+    let committer = j.committer in
+    Mutex.unlock j.m;
+    (match committer with Some th -> Thread.join th | None -> ());
+    Mutex.lock j.m;
+    if not j.closed then begin
+      if j.failed_site = None && j.written > j.synced then (try do_sync j with _ -> ());
+      j.synced_records <- max j.synced_records j.appended_records;
+      j.closed <- true;
+      (try Unix.close j.fd with Unix.Unix_error _ -> ());
+      Condition.broadcast j.acked
+    end;
+    Mutex.unlock j.m
   end
 
-let attach j =
+let attach ?(deferred = false) j =
   if not j.attached then begin
     j.attached <- true;
     (* closed journals go quiet (a detached CLI session keeps working);
-       failed ones keep raising so the caller can degrade explicitly *)
-    Database.on_mutation j.db (fun m -> if not j.closed then append j (of_db_mutation m))
+       failed ones keep raising so the caller can degrade explicitly.
+       [deferred] skips the group-commit barrier inside the hook — the
+       caller promises to call {!barrier} before acknowledging. *)
+    let record m = if not j.closed then append_k j ~wait:(not deferred) [ of_db_mutation m ] in
+    Database.on_mutation j.db record
   end
 
-let written_bytes j = j.written
-let durable_bytes j = j.synced
-let generation j = j.generation
+let written_bytes j = with_lock j (fun () -> j.written)
+let durable_bytes j = with_lock j (fun () -> j.synced)
+let generation j = with_lock j (fun () -> j.generation)
+let position j = with_lock j (fun () -> (j.generation, j.written))
+let durable_position j = with_lock j (fun () -> (j.generation, j.synced))
 let failed j = j.failed_site
 let stats j = j.stats
 
+(* ---------- streaming reads (the replication feed) ---------- *)
+
+type chunk =
+  | Chunk of string  (** raw framed bytes starting at the given offset *)
+  | Rotated  (** past the end of an archived generation: advance *)
+  | At_tip  (** caller is at the durable frontier of the live file *)
+  | Gone  (** that generation is not on disk (pruned or never existed) *)
+
+let read_range path off len =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> None
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let size = (Unix.fstat fd).Unix.st_size in
+          if off >= size then Some ""
+          else begin
+            ignore (Unix.lseek fd off Unix.SEEK_SET);
+            let len = min len (size - off) in
+            let buf = Bytes.create len in
+            let rec go got =
+              if got >= len then len
+              else
+                match Unix.read fd buf got (len - got) with 0 -> got | n -> go (got + n)
+            in
+            let got = go 0 in
+            Some (Bytes.sub_string buf 0 got)
+          end)
+
+(* only bytes covered by an fsync are ever handed out: a standby must
+   never hold bytes its primary could still lose in a crash *)
+let read_chunk j ~gen ~off ~max_bytes =
+  with_lock j @@ fun () ->
+  let c = Int64.compare gen j.generation in
+  if c > 0 then Gone
+  else if c = 0 then begin
+    if off >= j.synced then At_tip
+    else
+      match read_range (journal_path j.cfg) off (min max_bytes (j.synced - off)) with
+      | Some "" | None -> At_tip
+      | Some data -> Chunk data
+  end
+  else begin
+    match read_range (archive_journal_path j.cfg gen) off max_bytes with
+    | None -> Gone
+    | Some "" -> Rotated
+    | Some data -> Chunk data
+  end
+
+let snapshot_blob j =
+  with_lock j @@ fun () ->
+  match read_file (snapshot_path j.cfg) with
+  | Some buf when String.length buf >= header_len -> Some (String.get_int64_be buf 8, buf)
+  | Some _ | None -> None
+
+(* the snapshot covering exactly [gen]: the live one if it is current,
+   else the archived copy kept alongside the archived journals — what a
+   standby needs at each generation boundary to keep its local
+   (snapshot, journal) pair consistent *)
+let snapshot_blob_for j gen =
+  with_lock j @@ fun () ->
+  let covering path =
+    match read_file path with
+    | Some buf when String.length buf >= header_len && Int64.equal (String.get_int64_be buf 8) gen
+      ->
+        Some buf
+    | Some _ | None -> None
+  in
+  match covering (snapshot_path j.cfg) with
+  | Some buf -> Some buf
+  | None -> covering (archive_snapshot_path j.cfg gen)
+
+(* ---------- point-in-time recovery from the archives ---------- *)
+
+let recover_at ?(upto = max_int) ~dir ~generation:gen db =
+  let cfg = default_config ~dir in
+  let recovery_error file offset records_ok message =
+    raise (Recovery_error { file; offset; records_ok; message })
+  in
+  let scan_file ~magic ~want_gen path buf =
+    if String.length buf < header_len || String.sub buf 0 8 <> magic then
+      recovery_error path 0 0 "bad file header";
+    let g = String.get_int64_be buf 8 in
+    if Int64.compare g want_gen <> 0 then
+      recovery_error path 8 0
+        (Printf.sprintf "file covers generation %Ld, wanted %Ld" g want_gen);
+    let records, end_pos, status = scan buf header_len in
+    (match status with
+    | `Clean | `Torn -> ()  (* a torn tail is still a valid prefix *)
+    | `Corrupt msg -> recovery_error path end_pos (List.length records) msg);
+    records
+  in
+  (* 1. the base state: the snapshot taken when generation [gen] began *)
+  let base = Int64.pred gen in
+  if Int64.compare base 0L > 0 then begin
+    let path =
+      let archived = archive_snapshot_path cfg base in
+      if Sys.file_exists archived then archived else snapshot_path cfg
+    in
+    match read_file path with
+    | None -> recovery_error path 0 0 (Printf.sprintf "no snapshot for generation %Ld" base)
+    | Some buf ->
+        List.iter (apply_mutation db) (scan_file ~magic:snapshot_magic ~want_gen:base path buf)
+  end;
+  (* 2. replay the generation itself, up to the requested record *)
+  let path =
+    let archived = archive_journal_path cfg gen in
+    if Sys.file_exists archived then archived else journal_path cfg
+  in
+  match read_file path with
+  | None -> recovery_error path 0 0 (Printf.sprintf "no journal for generation %Ld" gen)
+  | Some buf ->
+      let records = scan_file ~magic:journal_magic ~want_gen:gen path buf in
+      let applied = ref 0 in
+      List.iter
+        (fun m ->
+          if !applied < upto then begin
+            apply_mutation db m;
+            incr applied
+          end)
+        records;
+      !applied
+
 let stats_json j =
+  with_lock j @@ fun () ->
   Xsb_obs.Json.Obj
     [
       ("generation", Xsb_obs.Json.Int (Int64.to_int j.generation));
@@ -773,10 +1209,13 @@ let stats_json j =
       ("recovery_ms", Xsb_obs.Json.Float j.stats.recovery_ms);
       ("written_bytes", Xsb_obs.Json.Int j.written);
       ("durable_bytes", Xsb_obs.Json.Int j.synced);
+      ("group_batches", Xsb_obs.Json.Int j.stats.group_batches);
+      ("group_batch_records", Xsb_obs.Json.Int j.stats.group_batch_records);
     ]
 
 let publish_metrics j reg =
   let module M = Xsb_obs.Metrics in
+  with_lock j @@ fun () ->
   let s = j.stats in
   let g help name v =
     M.Gauge.set (M.gauge reg ~help ("xsb_journal_" ^ name)) v
@@ -797,7 +1236,10 @@ let publish_metrics j reg =
   g "Bytes known durable (covered by the last fsync)." "durable_bytes"
     (Float.of_int j.synced);
   g "Durability lag: written bytes not yet fsynced." "lag_bytes"
-    (Float.of_int (j.written - j.synced))
+    (Float.of_int (j.written - j.synced));
+  g "Group-commit batches fsynced." "group_batches_total" (Float.of_int s.group_batches);
+  g "Records acknowledged by group-commit batches." "group_batch_records_total"
+    (Float.of_int s.group_batch_records)
 
 let pp_stats ppf j =
   Format.fprintf ppf

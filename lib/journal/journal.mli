@@ -36,10 +36,23 @@ type sync_policy =
   | Never  (** leave syncing to the OS page cache *)
   | Interval of int  (** fsync every [n] records (and on {!sync}/{!close}) *)
   | Always  (** fsync before every append acknowledges *)
+  | Group of { window_us : int; max_batch : int }
+      (** group commit: concurrent appenders block on a commit barrier
+          while a dedicated committer thread issues one fsync for the
+          whole batch. [window_us] bounds how long the committer waits
+          for the batch to stop growing (its settle window);
+          [max_batch] forces an early fsync once that many records are
+          pending. Durability contract on return from [append] is the
+          same as [Always] — only the fsyncs are shared. *)
+
+val default_group : sync_policy
+(** [Group { window_us = 200; max_batch = 256 }]. *)
 
 val sync_policy_of_string : string -> sync_policy option
 (** ["never"], ["always"], ["interval"] (= every 64 records),
-    ["interval=N"], or a bare record count [N]. *)
+    ["interval=N"], a bare record count [N], ["group"],
+    ["group=MS"] (window in fractional milliseconds), or
+    ["group=MS,BATCH"]. *)
 
 val sync_policy_to_string : sync_policy -> string
 
@@ -113,10 +126,16 @@ type config = {
   compact_bytes : int;
       (** auto-compact when the journal exceeds this many bytes;
           [0] disables auto-compaction ({!compact} still works) *)
+  keep_generations : int;
+      (** archive this many rotated journal generations (as
+          [journal.<gen>.log], with their base snapshots as
+          [snapshot.<gen>.bin]) instead of discarding them, enabling
+          point-in-time recovery ({!recover_at}) and standby catch-up
+          across compactions. [0] (the default) keeps none. *)
 }
 
 val default_config : dir:string -> config
-(** [sync = Always], [compact_bytes = 8 MiB]. *)
+(** [sync = Always], [compact_bytes = 8 MiB], [keep_generations = 0]. *)
 
 type t
 
@@ -143,15 +162,44 @@ val open_ : ?tolerate_corruption:bool -> config -> Database.t -> t
     the mutation hook — call {!attach} after a successful open, so
     recovery itself is never re-journaled. *)
 
-val attach : t -> unit
+val resume : ?tolerate_corruption:bool -> config -> Database.t -> t
+(** Like {!open_} but without replaying anything into the database:
+    scans the snapshot and journal only for bookkeeping (generation,
+    end-of-valid-prefix position, operator declarations) and truncates
+    a torn tail. For promoting a standby whose database is already
+    live — its session applied the records as they streamed in, so
+    replaying them again would double every clause. *)
+
+val attach : ?deferred:bool -> t -> unit
 (** Subscribe to the database's mutation hook: from now on every
     mutation is appended (and fsynced per the policy) before the
-    mutator's call returns. Idempotent. *)
+    mutator's call returns. Idempotent. With [~deferred:true] and a
+    {!Group} policy the hook only enqueues — the caller promises to
+    call {!barrier} before acknowledging, so the fsync wait happens
+    outside whatever lock guards the database. *)
 
 val append : t -> mutation -> unit
 (** Explicit append (normally the hook calls this). Raises {!Io_error}
     on write failure; the record is durable on return iff the policy
-    says so. *)
+    says so (under {!Group} it blocks on the commit barrier).
+    Thread-safe, as is the whole interface. *)
+
+val append_batch : t -> mutation list -> unit
+(** Append several records as one transaction: a single [write(2)] and
+    a single commit-barrier wait. The batch is acknowledged as a whole,
+    which is what lets group commit amortize one fsync over many
+    records even from a single writer. *)
+
+val enqueue : t -> mutation -> unit
+(** [append] without the group-commit wait: the record is written and
+    the committer is poked, but durability is only guaranteed after a
+    later {!barrier}/{!sync}. Identical to [append] under non-group
+    policies. *)
+
+val barrier : t -> unit
+(** Block until every record enqueued so far is durable (no-op under
+    non-group policies, where [append] already was). Raises {!Io_error}
+    if the write path failed with records still unacknowledged. *)
 
 val sync : t -> unit
 (** fsync the journal now (the server's [SYNC] op). *)
@@ -172,8 +220,63 @@ val durable_bytes : t -> int
 
 val generation : t -> int64
 
+val position : t -> int64 * int
+(** [(generation, written_bytes)], read atomically. *)
+
+val durable_position : t -> int64 * int
+(** [(generation, durable_bytes)], read atomically — the watermark a
+    replication streamer may ship up to. *)
+
 val failed : t -> string option
 (** The poisoned-journal reason, if the write path has failed. *)
+
+(** {1 Streaming reads and archives} (the replication feed) *)
+
+type chunk =
+  | Chunk of string  (** raw framed bytes starting at the given offset *)
+  | Rotated  (** past the end of an archived generation: advance *)
+  | At_tip  (** at the durable frontier of the live generation *)
+  | Gone  (** that generation is not on disk (pruned or never existed) *)
+
+val read_chunk : t -> gen:int64 -> off:int -> max_bytes:int -> chunk
+(** Read up to [max_bytes] raw journal bytes of generation [gen]
+    starting at byte offset [off] (offsets include the 16-byte file
+    header, so a fresh reader starts at 0). Only fsync-covered bytes of
+    the live generation are ever returned — a standby must never hold
+    bytes its primary could still lose. Archived generations
+    ([keep_generations]) are complete, so [Rotated] at their end means
+    "continue with [gen+1] at offset 0". *)
+
+val snapshot_blob : t -> (int64 * string) option
+(** The current snapshot file, verbatim with its header, and the
+    generation it covers — a fresh standby's bootstrap image. [None]
+    before the first compaction (replay generation 1 from scratch
+    instead). *)
+
+val snapshot_blob_for : t -> int64 -> string option
+(** The snapshot covering exactly that generation — the live
+    [snapshot.bin] if it is current, else the archived
+    [snapshot.<gen>.bin]. What a replication streamer hands a standby
+    at a generation boundary. *)
+
+val archive_journal_path : config -> int64 -> string
+val archive_snapshot_path : config -> int64 -> string
+
+val prune_archives : config -> next_gen:int64 -> unit
+(** Delete archived generations older than
+    [next_gen - keep_generations] (and the snapshots below their replay
+    base). The journal prunes automatically at each compaction; exposed
+    so a standby mirroring the primary's rotations can apply the same
+    retention to its own copies. *)
+
+val recover_at : ?upto:int -> dir:string -> generation:int64 -> Database.t -> int
+(** Point-in-time recovery from the archives: rebuild the state the
+    database had within generation [generation] — its base snapshot
+    ([snapshot.<gen-1>.bin]) plus the first [upto] records of
+    [journal.<gen>.log] (default: all of them; the live files are used
+    when the generation has not rotated away yet). Returns the number
+    of journal records applied. Raises {!Recovery_error} if the needed
+    archives were pruned. *)
 
 (** {1 Metrics} *)
 
@@ -185,6 +288,8 @@ type stats = {
   mutable recovered_records : int;  (** snapshot + journal records replayed *)
   mutable torn_bytes_dropped : int;  (** truncated-away torn tail bytes *)
   mutable recovery_ms : float;
+  mutable group_batches : int;  (** fsyncs issued by the group committer *)
+  mutable group_batch_records : int;  (** records those batches covered *)
 }
 
 val stats : t -> stats

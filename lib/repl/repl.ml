@@ -1,0 +1,648 @@
+(* Journal-shipping replication (DESIGN.md §13).
+
+   The primary streams its journal — the exact framed bytes the crash
+   recovery path already trusts — to standbys over a small wire
+   protocol; a standby mirrors those bytes into its own data directory
+   (so its files are byte-for-byte a prefix of the primary's) and
+   applies each record to its live session as it decodes. Only bytes
+   the primary has fsynced are ever shipped, so a standby can never
+   hold state its primary could still lose.
+
+   Wire protocol (one TCP connection per standby, primary talks after
+   one handshake line from the standby):
+
+     standby -> primary   XSBR1 HELLO <gen> <off>\n
+     primary -> standby   SNAP <gen> <len>\n  <len raw snapshot bytes>
+                          DATA <gen> <off> <len>\n  <len raw journal bytes>
+                          HB <gen> <off>\n
+                          ERR <message>\n
+
+   HELLO carries the standby's durable position ([0 0] for a brand-new
+   standby, which asks to be seeded). SNAP is a verbatim snapshot file
+   covering <gen>; it appears at bootstrap and at every generation
+   boundary, so the standby's (snapshot.bin, journal.log) pair stays
+   consistent for its own crash recovery. DATA is a verbatim byte range
+   of generation <gen> (offset 0 includes the 16-byte file header). HB
+   carries the primary's durable watermark — the standby's lag
+   reference. ERR is terminal (e.g. the standby fell behind every
+   retained archive). *)
+
+let proto_tag = "XSBR1"
+let header_len = 16
+let chunk_bytes = 256 * 1024
+let max_blob = 256 * 1024 * 1024
+let poll_interval = 0.005
+let hb_interval = 0.25
+let reconnect_delay = 0.2
+let max_line = 256
+
+exception Protocol_error of string
+
+let proto_error fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
+
+(* [input_line] would buffer an unbounded header from a hostile peer *)
+let read_line_bounded ic =
+  let buf = Buffer.create 64 in
+  let rec go n =
+    if n > max_line then proto_error "replication header line longer than %d bytes" max_line;
+    match input_char ic with
+    | '\n' -> Buffer.contents buf
+    | c ->
+        Buffer.add_char buf c;
+        go (n + 1)
+  in
+  go 0
+
+let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let parse_len s =
+  match int_of_string_opt s with
+  | Some n when n >= 0 && n <= max_blob -> n
+  | _ -> proto_error "bad length %S" s
+
+let parse_pos g o =
+  match (Int64.of_string_opt g, int_of_string_opt o) with
+  | Some g, Some o when Int64.compare g 0L >= 0 && o >= 0 -> (g, o)
+  | _ -> proto_error "bad position %S %S" g o
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off = if off < len then go (off + Unix.write_substring fd s off (len - off)) in
+  go 0
+
+let link_replace src dst =
+  (try Unix.unlink dst with Unix.Unix_error _ -> ());
+  try Unix.link src dst with Unix.Unix_error _ -> ()
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* --- the primary: one listener, one streamer thread per standby --- *)
+
+module Primary = struct
+  type t = {
+    journal : Xsb.Journal.t;
+    listen_fd : Unix.file_descr;
+    port : int;
+    stop_rd : Unix.file_descr;  (* self-pipe waking the acceptor's select *)
+    stop_wr : Unix.file_descr;
+    stopped : bool Atomic.t;
+    conns : (int, Unix.file_descr * Thread.t) Hashtbl.t;
+    conns_m : Mutex.t;
+    conn_counter : int Atomic.t;
+    shipped_bytes : int Atomic.t;
+    snapshots_shipped : int Atomic.t;
+    mutable acceptor : Thread.t option;
+  }
+
+  let port t = t.port
+
+  let standbys t =
+    Mutex.lock t.conns_m;
+    let n = Hashtbl.length t.conns in
+    Mutex.unlock t.conns_m;
+    n
+
+  let shipped_bytes t = Atomic.get t.shipped_bytes
+
+  let send_snap t oc gen blob =
+    Printf.fprintf oc "SNAP %Ld %d\n" gen (String.length blob);
+    output_string oc blob;
+    flush oc;
+    Atomic.incr t.snapshots_shipped
+
+  let stream t ic oc =
+    let gen, off =
+      match words (read_line_bounded ic) with
+      | [ tag; "HELLO"; g; o ] when tag = proto_tag -> parse_pos g o
+      | _ -> proto_error "bad replication handshake (expected %s HELLO <gen> <off>)" proto_tag
+    in
+    let gen = ref gen and off = ref off in
+    (* HELLO 0 0: a standby with no state at all. Seed it from the
+       latest snapshot when one exists; otherwise it replays generation
+       1 from its header, like recovery would. *)
+    if Int64.equal !gen 0L then begin
+      (match Xsb.Journal.snapshot_blob t.journal with
+      | Some (covered, blob) ->
+          send_snap t oc covered blob;
+          gen := Int64.succ covered
+      | None -> gen := 1L);
+      off := 0
+    end;
+    let last_hb = ref neg_infinity in
+    let heartbeat () =
+      let now = Xsb.Mclock.now () in
+      if now -. !last_hb >= hb_interval then begin
+        let pg, po = Xsb.Journal.durable_position t.journal in
+        Printf.fprintf oc "HB %Ld %d\n" pg po;
+        flush oc;
+        last_hb := now
+      end
+    in
+    while not (Atomic.get t.stopped) do
+      match Xsb.Journal.read_chunk t.journal ~gen:!gen ~off:!off ~max_bytes:chunk_bytes with
+      | Xsb.Journal.Chunk data ->
+          Printf.fprintf oc "DATA %Ld %d %d\n" !gen !off (String.length data);
+          output_string oc data;
+          flush oc;
+          off := !off + String.length data;
+          ignore (Atomic.fetch_and_add t.shipped_bytes (String.length data));
+          heartbeat ()
+      | Xsb.Journal.Rotated -> (
+          (* the standby now holds all of [gen]; hand it the snapshot
+             covering [gen] so its local pair stays recoverable, then
+             continue with the next generation from its header *)
+          match Xsb.Journal.snapshot_blob_for t.journal !gen with
+          | Some blob ->
+              send_snap t oc !gen blob;
+              gen := Int64.succ !gen;
+              off := 0
+          | None ->
+              Printf.fprintf oc "ERR snapshot covering generation %Ld was pruned\n" !gen;
+              flush oc;
+              raise Exit)
+      | Xsb.Journal.Gone ->
+          Printf.fprintf oc
+            "ERR generation %Ld is gone (standby too far behind the retained archives; re-seed \
+             it from an empty data directory)\n"
+            !gen;
+          flush oc;
+          raise Exit
+      | Xsb.Journal.At_tip ->
+          heartbeat ();
+          Thread.delay poll_interval
+    done
+
+  let handle t id fd =
+    let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+    (try stream t ic oc with
+    | Exit | End_of_file | Sys_error _ | Unix.Unix_error _ -> ()
+    | Protocol_error msg -> (
+        try
+          Printf.fprintf oc "ERR %s\n" msg;
+          flush oc
+        with Sys_error _ | Unix.Unix_error _ -> ())
+    | Xsb.Journal.Io_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Mutex.lock t.conns_m;
+    Hashtbl.remove t.conns id;
+    Mutex.unlock t.conns_m
+
+  let acceptor_loop t =
+    let rec loop () =
+      if Atomic.get t.stopped then ()
+      else
+        match Unix.select [ t.listen_fd; t.stop_rd ] [] [] (-1.0) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | ready, _, _ ->
+            if List.mem t.stop_rd ready || Atomic.get t.stopped then ()
+            else begin
+              (match Unix.accept ~cloexec:true t.listen_fd with
+              | exception Unix.Unix_error ((Unix.ECONNABORTED | Unix.EAGAIN | Unix.EINTR), _, _)
+                ->
+                  ()
+              | fd, _ ->
+                  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+                  let id = Atomic.fetch_and_add t.conn_counter 1 in
+                  Mutex.lock t.conns_m;
+                  let th = Thread.create (fun () -> handle t id fd) () in
+                  Hashtbl.replace t.conns id (fd, th);
+                  Mutex.unlock t.conns_m);
+              loop ()
+            end
+    in
+    loop ()
+
+  let start ?(host = "127.0.0.1") ?registry ~port ~journal () =
+    let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+    (try
+       Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+       Unix.listen listen_fd 16
+     with e ->
+       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+       raise e);
+    let bound = match Unix.getsockname listen_fd with Unix.ADDR_INET (_, p) -> p | _ -> port in
+    let stop_rd, stop_wr = Unix.pipe ~cloexec:true () in
+    let t =
+      {
+        journal;
+        listen_fd;
+        port = bound;
+        stop_rd;
+        stop_wr;
+        stopped = Atomic.make false;
+        conns = Hashtbl.create 4;
+        conns_m = Mutex.create ();
+        conn_counter = Atomic.make 0;
+        shipped_bytes = Atomic.make 0;
+        snapshots_shipped = Atomic.make 0;
+        acceptor = None;
+      }
+    in
+    (match registry with
+    | Some reg ->
+        Xsb.Metrics.gauge_fn reg ~help:"Connected replication standbys." "xsb_repl_standbys"
+          (fun () -> float_of_int (standbys t));
+        Xsb.Metrics.gauge_fn reg ~help:"Raw journal bytes shipped to standbys."
+          "xsb_repl_shipped_bytes_total" (fun () -> float_of_int (Atomic.get t.shipped_bytes));
+        Xsb.Metrics.gauge_fn reg
+          ~help:"Snapshots shipped to standbys (bootstrap and generation boundaries)."
+          "xsb_repl_snapshots_shipped_total" (fun () ->
+            float_of_int (Atomic.get t.snapshots_shipped))
+    | None -> ());
+    t.acceptor <- Some (Thread.create (fun () -> acceptor_loop t) ());
+    t
+
+  let stop t =
+    if not (Atomic.exchange t.stopped true) then begin
+      (try ignore (Unix.write t.stop_wr (Bytes.of_string "x") 0 1) with Unix.Unix_error _ -> ());
+      (match t.acceptor with Some th -> Thread.join th | None -> ());
+      let conns =
+        Mutex.lock t.conns_m;
+        let cs = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+        Mutex.unlock t.conns_m;
+        cs
+      in
+      List.iter
+        (fun (fd, _) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        conns;
+      List.iter (fun (_, th) -> Thread.join th) conns;
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.close t.stop_rd with Unix.Unix_error _ -> ());
+      try Unix.close t.stop_wr with Unix.Unix_error _ -> ()
+    end
+end
+
+(* --- the standby: connect, mirror, decode, apply --- *)
+
+module Standby = struct
+  type status = {
+    connected : bool;
+    generation : int64;
+    applied_off : int;
+    applied_records : int;
+    primary_generation : int64;
+    primary_off : int;
+    lag_bytes : int;
+    snapshots_received : int;
+    fatal : string option;
+  }
+
+  type t = {
+    dir : string;
+    keep_generations : int;
+    primary_host : string;
+    primary_port : int;
+    apply : Xsb.Journal.mutation -> unit;
+    stopped : bool Atomic.t;
+    m : Mutex.t;
+    mutable gen : int64;  (* local journal generation *)
+    mutable applied_off : int;  (* frame-aligned persisted+applied frontier *)
+    mutable primary_gen : int64;  (* from HB/DATA *)
+    mutable primary_off : int;
+    mutable applied_records : int;
+    mutable snapshots_received : int;
+    mutable connected : bool;
+    mutable fatal : string option;
+    mutable conn_fd : Unix.file_descr option;
+    mutable thread : Thread.t option;
+  }
+
+  (* unrecoverable by reconnecting (stale position, corrupt stream):
+     the applier parks with the reason instead of retrying forever *)
+  exception Fatal of string
+
+  let fatal fmt = Printf.ksprintf (fun m -> raise (Fatal m)) fmt
+  let journal_file t = Filename.concat t.dir "journal.log"
+  let snapshot_file t = Filename.concat t.dir "snapshot.bin"
+
+  let with_lock t f =
+    Mutex.lock t.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+  (* the standby has never applied anything and has no snapshot: ask
+     the primary to seed it rather than for generation-1 bytes it may
+     long have compacted away *)
+  let is_fresh t =
+    Int64.equal t.gen 1L && t.applied_off <= header_len
+    && not (Sys.file_exists (snapshot_file t))
+
+  let lag_of t =
+    if Int64.equal t.primary_gen 0L then 0 (* no heartbeat yet *)
+    else if Int64.equal t.primary_gen t.gen then max 0 (t.primary_off - t.applied_off)
+    else 1_000_000_000 (* a whole generation behind: effectively infinite *)
+
+  let status t =
+    with_lock t (fun () ->
+        {
+          connected = t.connected;
+          generation = t.gen;
+          applied_off = t.applied_off;
+          applied_records = t.applied_records;
+          primary_generation = t.primary_gen;
+          primary_off = t.primary_off;
+          lag_bytes = lag_of t;
+          snapshots_received = t.snapshots_received;
+          fatal = t.fatal;
+        })
+
+  let journal_cfg t =
+    { (Xsb.Journal.default_config ~dir:t.dir) with Xsb.Journal.keep_generations = t.keep_generations }
+
+  (* Install a snapshot covering [covered]: publish it as snapshot.bin
+     (archiving the outgoing pair like the primary's compaction does),
+     reset journal.log to an empty file awaiting generation covered+1,
+     and — only when seeding a fresh standby — replay its records into
+     the session. At a rotation boundary the records are already live
+     in the session; only the files change. *)
+  let install_snapshot t ~covered ~blob ~seed =
+    if String.length blob < header_len || String.sub blob 0 8 <> "XSBSNP01" then
+      fatal "bad snapshot blob for generation %Ld" covered;
+    if not (Int64.equal (String.get_int64_be blob 8) covered) then
+      fatal "snapshot generation mismatch (header %Ld, announced %Ld)"
+        (String.get_int64_be blob 8) covered;
+    let jpath = journal_file t and spath = snapshot_file t in
+    if (not seed) && t.keep_generations > 0 then begin
+      (match
+         try
+           let ic = open_in_bin spath in
+           Fun.protect
+             ~finally:(fun () -> close_in_noerr ic)
+             (fun () -> if in_channel_length ic >= header_len then Some (really_input_string ic header_len) else None)
+         with Sys_error _ -> None
+       with
+      | Some hdr -> link_replace spath (Xsb.Journal.archive_snapshot_path (journal_cfg t) (String.get_int64_be hdr 8))
+      | None -> ());
+      link_replace jpath (Xsb.Journal.archive_journal_path (journal_cfg t) covered)
+    end;
+    let stmp = spath ^ ".tmp" in
+    (match Unix.openfile stmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 with
+    | exception Unix.Unix_error (e, _, _) -> fatal "snapshot install: %s" (Unix.error_message e)
+    | fd ->
+        (try
+           write_all fd blob;
+           Unix.fsync fd
+         with Unix.Unix_error (e, _, _) ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           fatal "snapshot install: %s" (Unix.error_message e));
+        (try Unix.close fd with Unix.Unix_error _ -> ()));
+    (try Unix.rename stmp spath
+     with Unix.Unix_error (e, _, _) -> fatal "snapshot install: %s" (Unix.error_message e));
+    (* an empty journal.log is a valid crash state: recovery recreates
+       the header for generation covered+1, which is exactly what the
+       next DATA frame will deliver *)
+    (match Unix.openfile jpath [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 with
+    | exception Unix.Unix_error (e, _, _) -> fatal "journal reset: %s" (Unix.error_message e)
+    | fd -> ( try Unix.close fd with Unix.Unix_error _ -> ()));
+    fsync_dir t.dir;
+    if seed then begin
+      let pos = ref header_len in
+      let continue = ref true in
+      while !continue do
+        match Xsb.Journal.read_framed blob !pos with
+        | Xsb.Journal.Record (m, next) ->
+            t.apply m;
+            with_lock t (fun () -> t.applied_records <- t.applied_records + 1);
+            pos := next
+        | Xsb.Journal.End_clean -> continue := false
+        | Xsb.Journal.End_torn | Xsb.Journal.Corrupt _ -> fatal "corrupt snapshot stream"
+      done
+    end;
+    with_lock t (fun () ->
+        t.gen <- Int64.succ covered;
+        t.applied_off <- 0;
+        t.snapshots_received <- t.snapshots_received + 1);
+    Xsb.Journal.prune_archives (journal_cfg t) ~next_gen:(Int64.succ covered)
+
+  let connect_once t =
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string t.primary_host, t.primary_port));
+       try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ()
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    fd
+
+  let session t fd =
+    let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+    let fresh = with_lock t (fun () -> is_fresh t) in
+    if fresh then begin
+      (* discard the header-only local journal: the stream re-delivers
+         generation 1 from byte 0 (or seeds us with a snapshot) *)
+      (match Unix.openfile (journal_file t) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 with
+      | exception Unix.Unix_error _ -> ()
+      | jfd -> ( try Unix.close jfd with Unix.Unix_error _ -> ()));
+      with_lock t (fun () ->
+          t.gen <- 1L;
+          t.applied_off <- 0)
+    end;
+    let hello_gen, hello_off =
+      with_lock t (fun () -> if fresh then (0L, 0) else (t.gen, t.applied_off))
+    in
+    Printf.fprintf oc "%s HELLO %Ld %d\n" proto_tag hello_gen hello_off;
+    flush oc;
+    (* the mirror fd: raw primary bytes land here, making the local
+       journal.log a byte-for-byte prefix of the primary's *)
+    let mirror = ref None in
+    let close_mirror () =
+      match !mirror with
+      | Some mfd ->
+          (try Unix.fsync mfd with Unix.Unix_error _ -> ());
+          (try Unix.close mfd with Unix.Unix_error _ -> ());
+          mirror := None
+      | None -> ()
+    in
+    let mirror_fd () =
+      match !mirror with
+      | Some mfd -> mfd
+      | None ->
+          let mfd = Unix.openfile (journal_file t) [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+          (* drop bytes past the applied frontier: the tail of a frame
+             we never finished receiving on the previous connection *)
+          (try Unix.ftruncate mfd t.applied_off with Unix.Unix_error _ -> ());
+          ignore (Unix.lseek mfd t.applied_off Unix.SEEK_SET);
+          mirror := Some mfd;
+          mfd
+    in
+    let pending = Buffer.create 4096 in
+    let persist_off = ref (with_lock t (fun () -> t.applied_off)) in
+    let expect_seed = ref fresh in
+    (* decode complete frames out of [pending] and apply them; the
+       applied frontier only ever advances past whole frames (and the
+       16-byte generation header), so a reconnect resumes cleanly *)
+    let drain () =
+      let buf = Buffer.contents pending in
+      let base = with_lock t (fun () -> t.applied_off) in
+      let start =
+        if base >= header_len then Some 0
+        else if String.length buf >= header_len - base then begin
+          if base = 0 && String.sub buf 0 8 <> "XSBJNL01" then
+            fatal "replicated generation %Ld does not start with a journal header" t.gen;
+          Some (header_len - base)
+        end
+        else None (* mid-header: wait for more bytes *)
+      in
+      match start with
+      | None -> ()
+      | Some pos0 ->
+          let pos = ref pos0 in
+          let continue = ref true in
+          while !continue do
+            match Xsb.Journal.read_framed buf !pos with
+            | Xsb.Journal.Record (m, next) ->
+                t.apply m;
+                with_lock t (fun () ->
+                    t.applied_records <- t.applied_records + 1;
+                    t.applied_off <- base + next);
+                pos := next
+            | Xsb.Journal.End_clean | Xsb.Journal.End_torn -> continue := false
+            | Xsb.Journal.Corrupt msg -> fatal "corrupt replicated record: %s" msg
+          done;
+          if !pos > 0 then begin
+            let rest = String.sub buf !pos (String.length buf - !pos) in
+            Buffer.clear pending;
+            Buffer.add_string pending rest;
+            with_lock t (fun () -> t.applied_off <- base + !pos)
+          end
+    in
+    Fun.protect ~finally:close_mirror @@ fun () ->
+    while not (Atomic.get t.stopped) do
+      match words (read_line_bounded ic) with
+      | [ "DATA"; g; o; lenw ] ->
+          let g, o = parse_pos g o in
+          let len = parse_len lenw in
+          let data = really_input_string ic len in
+          expect_seed := false;
+          if not (Int64.equal g t.gen) || o <> !persist_off then
+            proto_error "DATA at %Ld/%d but standby expects %Ld/%d" g o t.gen !persist_off;
+          let mfd = mirror_fd () in
+          write_all mfd data;
+          (try Unix.fsync mfd with Unix.Unix_error _ -> ());
+          persist_off := o + len;
+          Buffer.add_string pending data;
+          with_lock t (fun () ->
+              if Int64.equal t.primary_gen g then t.primary_off <- max t.primary_off (o + len)
+              else if Int64.compare t.primary_gen g < 0 then begin
+                t.primary_gen <- g;
+                t.primary_off <- o + len
+              end);
+          drain ()
+      | [ "SNAP"; g; lenw ] ->
+          let covered =
+            match Int64.of_string_opt g with
+            | Some g when Int64.compare g 0L > 0 -> g
+            | _ -> proto_error "bad SNAP generation %S" g
+          in
+          let blob = really_input_string ic (parse_len lenw) in
+          close_mirror ();
+          if !expect_seed then install_snapshot t ~covered ~blob ~seed:true
+          else if
+            Int64.equal covered t.gen && Buffer.length pending = 0
+            && !persist_off = t.applied_off
+          then install_snapshot t ~covered ~blob ~seed:false
+          else
+            fatal
+              "primary compacted past this standby's position (generation %Ld vs local %Ld); \
+               re-seed it from an empty data directory"
+              covered t.gen;
+          expect_seed := false;
+          persist_off := 0;
+          Buffer.clear pending
+      | [ "HB"; g; o ] ->
+          let g, o = parse_pos g o in
+          with_lock t (fun () ->
+              if Int64.compare g t.primary_gen > 0 then begin
+                t.primary_gen <- g;
+                t.primary_off <- o
+              end
+              else if Int64.equal g t.primary_gen then t.primary_off <- max t.primary_off o)
+      | "ERR" :: rest -> fatal "primary refused: %s" (String.concat " " rest)
+      | ws -> proto_error "unexpected replication frame %S" (String.concat " " ws)
+    done
+
+  let rec nap t s =
+    if s > 0.0 && not (Atomic.get t.stopped) then begin
+      Thread.delay (Float.min 0.05 s);
+      nap t (s -. 0.05)
+    end
+
+  let rec run t =
+    if (not (Atomic.get t.stopped)) && with_lock t (fun () -> t.fatal) = None then begin
+      (match connect_once t with
+      | exception (Unix.Unix_error _ | Not_found) -> nap t reconnect_delay
+      | fd ->
+          with_lock t (fun () ->
+              t.conn_fd <- Some fd;
+              t.connected <- true);
+          (try session t fd with
+          | Fatal msg -> with_lock t (fun () -> t.fatal <- Some msg)
+          | End_of_file | Sys_error _ | Unix.Unix_error _ | Protocol_error _ -> ()
+          | e ->
+              with_lock t (fun () ->
+                  t.fatal <- Some ("replication apply failed: " ^ Printexc.to_string e)));
+          with_lock t (fun () ->
+              t.conn_fd <- None;
+              t.connected <- false);
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          nap t reconnect_delay);
+      run t
+    end
+
+  let start ?registry ~primary_host ~primary_port ~dir ~generation ~offset ~keep_generations
+      ~apply () =
+    let t =
+      {
+        dir;
+        keep_generations;
+        primary_host;
+        primary_port;
+        apply;
+        stopped = Atomic.make false;
+        m = Mutex.create ();
+        gen = generation;
+        applied_off = offset;
+        primary_gen = 0L;
+        primary_off = 0;
+        applied_records = 0;
+        snapshots_received = 0;
+        connected = false;
+        fatal = None;
+        conn_fd = None;
+        thread = None;
+      }
+    in
+    (match registry with
+    | Some reg ->
+        Xsb.Metrics.gauge_fn reg
+          ~help:"Bytes between the primary's durable watermark and the standby's applied frontier."
+          "xsb_repl_lag_bytes" (fun () -> float_of_int (lag_of t));
+        Xsb.Metrics.gauge_fn reg ~help:"1 while the replication link to the primary is up."
+          "xsb_repl_connected" (fun () ->
+            with_lock t (fun () -> if t.connected then 1.0 else 0.0));
+        Xsb.Metrics.gauge_fn reg ~help:"Replicated records applied to the live session."
+          "xsb_repl_applied_records_total" (fun () ->
+            with_lock t (fun () -> float_of_int t.applied_records));
+        Xsb.Metrics.gauge_fn reg ~help:"Local journal generation being mirrored."
+          "xsb_repl_generation" (fun () ->
+            with_lock t (fun () -> Int64.to_float t.gen));
+        Xsb.Metrics.gauge_fn reg ~help:"Snapshots received (bootstrap and generation boundaries)."
+          "xsb_repl_snapshots_received_total" (fun () ->
+            with_lock t (fun () -> float_of_int t.snapshots_received))
+    | None -> ());
+    t.thread <- Some (Thread.create (fun () -> run t) ());
+    t
+
+  let stop t =
+    if not (Atomic.exchange t.stopped true) then begin
+      (match with_lock t (fun () -> t.conn_fd) with
+      | Some fd -> ( try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      | None -> ());
+      match t.thread with Some th -> Thread.join th | None -> ()
+    end
+end

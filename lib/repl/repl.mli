@@ -1,0 +1,101 @@
+(** Journal-shipping replication: a primary streams its write-ahead
+    journal — the same framed bytes crash recovery trusts — to
+    standbys, which mirror them byte-for-byte into their own data
+    directory and apply each record to a live session as it arrives
+    (DESIGN.md §13).
+
+    Wire protocol (one TCP connection per standby):
+    {v
+    standby -> primary   XSBR1 HELLO <gen> <off>
+    primary -> standby   SNAP <gen> <len>      + <len> snapshot bytes
+                         DATA <gen> <off> <len> + <len> journal bytes
+                         HB <gen> <off>
+                         ERR <message>
+    v}
+
+    Only fsync-covered bytes are ever shipped, so a standby can never
+    hold state its primary could still lose; the surviving state after
+    any failover is a prefix of the acknowledged mutation stream. A
+    snapshot travels at bootstrap ([HELLO 0 0]) and at every
+    generation boundary, keeping the standby's local
+    [(snapshot.bin, journal.log)] pair valid for its own crash
+    recovery — and for promotion via {!Xsb.Journal.resume}. *)
+
+exception Protocol_error of string
+
+(** The primary side: a listener that serves the journal feed. *)
+module Primary : sig
+  type t
+
+  val start :
+    ?host:string ->
+    ?registry:Xsb.Metrics.t ->
+    port:int ->
+    journal:Xsb.Journal.t ->
+    unit ->
+    t
+  (** Bind (port 0 picks an ephemeral one) and serve. Each accepted
+      standby gets its own streamer thread reading
+      {!Xsb.Journal.read_chunk} /
+      {!Xsb.Journal.snapshot_blob_for}. With [?registry], publishes
+      [xsb_repl_standbys], [xsb_repl_shipped_bytes_total] and
+      [xsb_repl_snapshots_shipped_total] gauges. The journal should
+      archive at least one generation ([keep_generations >= 1]) so a
+      standby can follow across a compaction. *)
+
+  val port : t -> int
+  val standbys : t -> int
+  val shipped_bytes : t -> int
+
+  val stop : t -> unit
+  (** Close the listener and every feed; joins all threads. *)
+end
+
+(** The standby side: connect, mirror, decode, apply. *)
+module Standby : sig
+  type t
+
+  type status = {
+    connected : bool;
+    generation : int64;  (** local journal generation being mirrored *)
+    applied_off : int;  (** frame-aligned applied frontier (file offset) *)
+    applied_records : int;
+    primary_generation : int64;  (** primary durable watermark, from heartbeats *)
+    primary_off : int;
+    lag_bytes : int;
+        (** bytes behind the primary's durable watermark; a sentinel
+            ~1e9 while a whole generation behind *)
+    snapshots_received : int;
+    fatal : string option;
+        (** set when the applier parked: stale position or a corrupt
+            stream — reconnecting cannot help, re-seed the standby *)
+  }
+
+  val start :
+    ?registry:Xsb.Metrics.t ->
+    primary_host:string ->
+    primary_port:int ->
+    dir:string ->
+    generation:int64 ->
+    offset:int ->
+    keep_generations:int ->
+    apply:(Xsb.Journal.mutation -> unit) ->
+    unit ->
+    t
+  (** Spawn the applier thread. [generation]/[offset] is the local
+      journal position after recovery ({!Xsb.Journal.position}) — the
+      standby resumes the stream there, or asks to be seeded when it
+      has no state. [apply] receives each replicated record (and each
+      bootstrap-snapshot record) and must do its own locking against
+      concurrent readers. Reconnects with backoff until {!stop}. With
+      [?registry], publishes [xsb_repl_lag_bytes],
+      [xsb_repl_connected], [xsb_repl_applied_records_total],
+      [xsb_repl_generation] and [xsb_repl_snapshots_received_total]. *)
+
+  val status : t -> status
+
+  val stop : t -> unit
+  (** Disconnect, fsync the mirrored journal and join the applier —
+      after which the data directory is quiescent and
+      {!Xsb.Journal.resume} can take over (promotion). *)
+end

@@ -30,6 +30,7 @@ let statistics t = simple t (Protocol.request Protocol.Statistics "")
 let abolish ?(pred = "") t = simple t (Protocol.request Protocol.Abolish pred)
 let sync t = simple t (Protocol.request Protocol.Sync "")
 let metrics t = simple t (Protocol.request Protocol.Metrics "")
+let promote t = simple t (Protocol.request Protocol.Promote "")
 
 (* --- bounded retry with exponential backoff and full jitter --- *)
 
@@ -86,7 +87,8 @@ let with_retry r f =
    re-running a mutation could apply it twice *)
 let idempotent = function
   | Protocol.Ping | Protocol.Query | Protocol.Statistics | Protocol.Metrics -> true
-  | Protocol.Consult | Protocol.Assert | Protocol.Abolish | Protocol.Sync -> false
+  | Protocol.Consult | Protocol.Assert | Protocol.Abolish | Protocol.Sync | Protocol.Promote ->
+      false
 
 let connect_with_retry ?(retry = default_retry) ?host port =
   with_retry retry (fun () ->
@@ -95,19 +97,34 @@ let connect_with_retry ?(retry = default_retry) ?host port =
       | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
           `Retry (Printf.sprintf "connection refused on port %d" port))
 
-let retry_overloaded retry run =
+(* [READONLY] is only retryable on request: it clears when a standby is
+   promoted (or a degraded primary is repaired), which a caller that
+   "follows the primary" is waiting out. Only idempotent reads go
+   through these wrappers, so re-sending is always safe. *)
+let retryable ~follow_primary code =
+  match code with
+  | Protocol.Overloaded -> true
+  | Protocol.Readonly -> follow_primary
+  | _ -> false
+
+let retry_transient ~follow_primary retry run =
   match
     with_retry retry (fun () ->
         match run () with
-        | Error ({ code = Protocol.Overloaded; _ } as e) -> `Retry e
+        | Error ({ code; _ } as e) when retryable ~follow_primary code -> `Retry e
         | r -> `Ok r)
   with
   | Ok r -> r
   | Error e -> Error e
 
-let ping_retry ?(retry = default_retry) t = retry_overloaded retry (fun () -> ping t)
-let statistics_retry ?(retry = default_retry) t = retry_overloaded retry (fun () -> statistics t)
-let metrics_retry ?(retry = default_retry) t = retry_overloaded retry (fun () -> metrics t)
+let ping_retry ?(retry = default_retry) ?(follow_primary = false) t =
+  retry_transient ~follow_primary retry (fun () -> ping t)
+
+let statistics_retry ?(retry = default_retry) ?(follow_primary = false) t =
+  retry_transient ~follow_primary retry (fun () -> statistics t)
+
+let metrics_retry ?(retry = default_retry) ?(follow_primary = false) t =
+  retry_transient ~follow_primary retry (fun () -> metrics t)
 
 type query_outcome =
   | Rows of { rows : string list; truncated : bool }
@@ -126,11 +143,12 @@ let query ?limit ?timeout_ms ?max_steps t goal =
   in
   collect []
 
-let query_retry ?(retry = default_retry) ?limit ?timeout_ms ?max_steps t goal =
+let query_retry ?(retry = default_retry) ?(follow_primary = false) ?limit ?timeout_ms ?max_steps t
+    goal =
   match
     with_retry retry (fun () ->
         match query ?limit ?timeout_ms ?max_steps t goal with
-        | Query_error ({ code = Protocol.Overloaded; _ } as e) -> `Retry e
+        | Query_error ({ code; _ } as e) when retryable ~follow_primary code -> `Retry e
         | outcome -> `Ok outcome)
   with
   | Ok outcome -> outcome

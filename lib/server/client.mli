@@ -38,6 +38,10 @@ val metrics : t -> (string, reply_error) result
     latency histograms, table-space byte gauges, journal durability
     metrics. *)
 
+val promote : t -> (string, reply_error) result
+(** Promote a replication standby to a writable primary (failover);
+    [BAD_REQUEST] from a server that is not a replica. *)
+
 type query_outcome =
   | Rows of { rows : string list; truncated : bool }
       (** rendered solutions, in answer-arrival order; [truncated] when
@@ -102,13 +106,24 @@ val idempotent : Protocol.op -> bool
 val connect_with_retry : ?retry:retry -> ?host:string -> int -> (t, string) result
 (** {!connect}, retrying [ECONNREFUSED] (a server still coming up). *)
 
-val ping_retry : ?retry:retry -> t -> (string, reply_error) result
-(** {!ping}, retrying [OVERLOADED] refusals. *)
+val ping_retry : ?retry:retry -> ?follow_primary:bool -> t -> (string, reply_error) result
+(** {!ping}, retrying [OVERLOADED] refusals. With [~follow_primary:true]
+    a [READONLY] refusal is also retried: it clears when the standby is
+    promoted (or a degraded primary repaired), so a caller waiting out a
+    failover keeps asking instead of giving up. *)
 
-val statistics_retry : ?retry:retry -> t -> (string, reply_error) result
-val metrics_retry : ?retry:retry -> t -> (string, reply_error) result
+val statistics_retry : ?retry:retry -> ?follow_primary:bool -> t -> (string, reply_error) result
+val metrics_retry : ?retry:retry -> ?follow_primary:bool -> t -> (string, reply_error) result
 
 val query_retry :
-  ?retry:retry -> ?limit:int -> ?timeout_ms:int -> ?max_steps:int -> t -> string -> query_outcome
+  ?retry:retry ->
+  ?follow_primary:bool ->
+  ?limit:int ->
+  ?timeout_ms:int ->
+  ?max_steps:int ->
+  t ->
+  string ->
+  query_outcome
 (** {!query}, retrying [OVERLOADED] refusals (the queue was full; the
-    query never started executing, so re-sending is safe). *)
+    query never started executing, so re-sending is safe) — and, with
+    [~follow_primary:true], [READONLY] ones. *)

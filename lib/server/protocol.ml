@@ -6,7 +6,7 @@ let max_payload = 16 * 1024 * 1024
 let max_header = 4096
 
 type consult_fmt = Text | Fast | Obj
-type op = Ping | Consult | Assert | Query | Statistics | Abolish | Sync | Metrics
+type op = Ping | Consult | Assert | Query | Statistics | Abolish | Sync | Metrics | Promote
 
 type request = {
   op : op;
@@ -63,6 +63,7 @@ let op_name = function
   | Abolish -> "ABOLISH"
   | Sync -> "SYNC"
   | Metrics -> "METRICS"
+  | Promote -> "PROMOTE"
 
 let op_of_name = function
   | "PING" -> Some Ping
@@ -73,6 +74,7 @@ let op_of_name = function
   | "ABOLISH" -> Some Abolish
   | "SYNC" -> Some Sync
   | "METRICS" -> Some Metrics
+  | "PROMOTE" -> Some Promote
   | _ -> None
 
 let fmt_name = function Text -> "text" | Fast -> "fast" | Obj -> "obj"

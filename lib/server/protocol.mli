@@ -10,8 +10,8 @@
 
     Requests: [XSB1 <OP> <len>[ <key>=<val>]...\n<payload>] with ops
     [PING], [CONSULT], [ASSERT], [QUERY], [STATISTICS], [ABOLISH],
-    [SYNC], [METRICS] and optional keys [fmt] (consult format),
-    [limit], [timeout_ms], [max_steps].
+    [SYNC], [METRICS], [PROMOTE] and optional keys [fmt] (consult
+    format), [limit], [timeout_ms], [max_steps].
 
     Replies: [OK <len>\n<payload>], a stream of [ANSWER <len>\n<payload>]
     frames closed by [DONE <count> <more01>\n], or a typed
@@ -41,6 +41,9 @@ type op =
   | Metrics
       (** Prometheus text exposition of server, engine and journal
           metrics (empty payload) *)
+  | Promote
+      (** promote a replication standby to a writable primary (empty
+          payload); [BAD_REQUEST] on a non-replica *)
 
 type request = {
   op : op;
@@ -68,8 +71,9 @@ type err_code =
   | Overloaded  (** the request queue is full — retry later *)
   | Shutting_down  (** the server is draining and accepts no new work *)
   | Readonly
-      (** the durable journal's write path failed; the server now
-          refuses mutations and serves reads only *)
+      (** the server refuses mutations and serves reads only: it is a
+          replication standby, or the durable journal's write path
+          failed *)
 
 val err_code_name : err_code -> string
 val err_code_of_name : string -> err_code option

@@ -21,6 +21,9 @@ type config = {
   data_dir : string option;
   sync : Xsb.Journal.sync_policy;
   compact_bytes : int;
+  keep_generations : int;
+  repl_port : int option;
+  replica_of : (string * int) option;
   metrics_enabled : bool;
   slow_ms : int;
   slow_log : out_channel option;
@@ -44,10 +47,22 @@ let default_config =
     data_dir = None;
     sync = Xsb.Journal.Always;
     compact_bytes = 8 * 1024 * 1024;
+    keep_generations = 0;
+    repl_port = None;
+    replica_of = None;
     metrics_enabled = true;
     slow_ms = 0;
     slow_log = None;
   }
+
+(* the journal config a data directory gets; replication needs at least
+   one archived generation so a standby can follow across a compaction *)
+let journal_config cfg dir =
+  let keep =
+    if cfg.repl_port <> None || cfg.replica_of <> None then max 1 cfg.keep_generations
+    else cfg.keep_generations
+  in
+  { Xsb.Journal.dir; sync = cfg.sync; compact_bytes = cfg.compact_bytes; keep_generations = keep }
 
 (* --- the bounded request queue ---
 
@@ -124,6 +139,9 @@ type conn = {
   c_m : Mutex.t;
   c_done : Condition.t;
   mutable c_job_done : bool;
+  (* group commit defers the ack: while [Some], replies buffer here and
+     flush only after the commit barrier says the batch is durable *)
+  mutable c_defer : Protocol.reply list option;
 }
 
 type job = {
@@ -140,7 +158,7 @@ type job = {
    requests run concurrently, as before) *)
 type shared = {
   sh_session : Xsb.Session.t;
-  sh_journal : Xsb.Journal.t;
+  mutable sh_journal : Xsb.Journal.t;  (* swapped once, at promotion *)
   sh_m : Mutex.t;
   mutable sh_read_only : string option;  (* why mutations are refused *)
 }
@@ -178,12 +196,19 @@ type t = {
   in_flight : int Atomic.t;
   mutable worker_threads : Thread.t list;
   mutable acceptor_thread : Thread.t option;
+  (* replication roles; a standby may move from one to the other at
+     promotion, serialized by [promote_m] *)
+  promote_m : Mutex.t;
+  mutable repl_primary : Xsb_repl.Repl.Primary.t option;
+  mutable repl_standby : Xsb_repl.Repl.Standby.t option;
 }
 
 let port t = t.bound_port
 let requests_served t = Atomic.get t.served
 let journal t = Option.map (fun sh -> sh.sh_journal) t.shared
 let read_only t = match t.shared with Some sh -> sh.sh_read_only | None -> None
+let repl_listen_port t = Option.map Xsb_repl.Repl.Primary.port t.repl_primary
+let replica_status t = Option.map Xsb_repl.Repl.Standby.status t.repl_standby
 let registry t = t.registry
 let now () = Unix.gettimeofday ()
 
@@ -321,6 +346,48 @@ let pred_of_goal goal =
 
 let engine_steps conn = (Xsb.Session.stats conn.c_session).Xsb.Machine.st_steps
 
+(* --- promotion: replication standby -> writable primary --- *)
+
+let promote t =
+  match t.shared with
+  | None -> Protocol.Err (Protocol.Bad_request, "server has no journal (start with --data-dir)")
+  | Some sh -> (
+      Mutex.lock t.promote_m;
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.promote_m) @@ fun () ->
+      match t.repl_standby with
+      | None -> Protocol.Err (Protocol.Bad_request, "not a replica (nothing to promote)")
+      | Some standby -> (
+          (* quiesce the applier: after [stop] returns, nothing else
+             touches the mirrored files, and the database already holds
+             every applied record — [resume] only rebuilds journal
+             bookkeeping (and drops a torn tail), it replays nothing *)
+          Xsb_repl.Repl.Standby.stop standby;
+          let dir = Option.get t.cfg.data_dir in
+          match Xsb.Journal.resume (journal_config t.cfg dir) (Xsb.Session.db sh.sh_session) with
+          | exception e ->
+              Protocol.Err (Protocol.Exec_error, "promotion failed: " ^ Printexc.to_string e)
+          | j ->
+              t.repl_standby <- None;
+              Xsb.Journal.attach ~deferred:true j;
+              let old = sh.sh_journal in
+              Mutex.lock sh.sh_m;
+              sh.sh_journal <- j;
+              sh.sh_read_only <- None;
+              Mutex.unlock sh.sh_m;
+              (try Xsb.Journal.close old with _ -> ());
+              (* a promoted node with --repl-port starts feeding its own
+                 standbys *)
+              (match t.cfg.repl_port with
+              | Some p when t.repl_primary = None -> (
+                  try
+                    t.repl_primary <-
+                      Some
+                        (Xsb_repl.Repl.Primary.start ~host:t.cfg.host ~registry:t.registry
+                           ~port:p ~journal:j ())
+                  with Unix.Unix_error _ -> ())
+              | _ -> ());
+              Protocol.Ok_ (Printf.sprintf "promoted (generation %Ld)" (Xsb.Journal.generation j))))
+
 (* "name/arity" for the targeted ABOLISH form *)
 let pred_indicator s =
   let s = String.trim s in
@@ -336,10 +403,17 @@ let pred_indicator s =
    request still completes (and is logged); the handler sees EOF on its
    next read and closes the connection *)
 let try_write conn reply =
-  try
-    Protocol.write_reply conn.c_oc reply;
-    true
-  with Sys_error _ | Unix.Unix_error _ -> false
+  match conn.c_defer with
+  | Some acc ->
+      (* deferred-ack mode: hold the reply until the commit barrier
+         confirms the batch is durable *)
+      conn.c_defer <- Some (reply :: acc);
+      true
+  | None -> (
+      try
+        Protocol.write_reply conn.c_oc reply;
+        true
+      with Sys_error _ | Unix.Unix_error _ -> false)
 
 let execute t (job : job) =
   let conn = job.j_conn in
@@ -370,6 +444,13 @@ let execute t (job : job) =
     | Protocol.Metrics ->
         ignore (try_write conn (Protocol.Ok_ (metrics_text t conn)));
         ("ok", "", 0)
+    | Protocol.Promote ->
+        (* handled before the shared lock (see [finishing]); reaching
+           the dispatcher means there is no shared state to promote *)
+        ignore
+          (try_write conn
+             (Protocol.Err (Protocol.Bad_request, "server has no journal (start with --data-dir)")));
+        ("bad_request", "", 0)
     | Protocol.Sync -> (
         match t.shared with
         | None ->
@@ -530,28 +611,72 @@ let execute t (job : job) =
     match req.Protocol.op with
     | Protocol.Assert | Protocol.Consult | Protocol.Sync -> true
     | Protocol.Abolish -> req.Protocol.payload <> ""
-    | Protocol.Ping | Protocol.Query | Protocol.Statistics | Protocol.Metrics -> false
+    | Protocol.Ping | Protocol.Query | Protocol.Statistics | Protocol.Metrics
+    | Protocol.Promote ->
+        false
   in
   let refuse_readonly reason =
     ignore (try_write conn (Protocol.Err (Protocol.Readonly, "server is read-only: " ^ reason)));
     ("readonly", "", 0)
   in
   let finishing =
-    match t.shared with
-    | None -> dispatch ()
-    | Some sh -> (
-        match sh.sh_read_only with
-        | Some reason when mutating -> refuse_readonly reason
-        | _ -> (
-            (* one durable session for every connection: serialize *)
-            Mutex.lock sh.sh_m;
-            match Fun.protect ~finally:(fun () -> Mutex.unlock sh.sh_m) dispatch with
-            | finishing -> finishing
-            | exception Xsb.Journal.Io_error { site; message } ->
-                (* the disk write path is gone; keep serving reads *)
-                let reason = Printf.sprintf "journal write failed at %s: %s" site message in
-                sh.sh_read_only <- Some reason;
-                refuse_readonly reason))
+    match req.Protocol.op with
+    | Protocol.Promote ->
+        (* promotion joins the standby applier, which itself takes
+           [sh_m] per record — run it outside the shared lock *)
+        let reply = promote t in
+        let outcome =
+          match reply with
+          | Protocol.Ok_ _ -> "ok"
+          | Protocol.Err (Protocol.Exec_error, _) -> "exec_error"
+          | _ -> "bad_request"
+        in
+        ignore (try_write conn reply);
+        (outcome, "", 0)
+    | _ -> (
+        match t.shared with
+        | None -> dispatch ()
+        | Some sh -> (
+            match sh.sh_read_only with
+            | Some reason when mutating -> refuse_readonly reason
+            | _ -> (
+                (* Under a group-commit policy a mutation's ack must not
+                   leave before its batch's fsync — but the fsync wait
+                   must happen OUTSIDE the session lock, or batches
+                   could never span connections. So: buffer the replies,
+                   run the mutation (the journal hook only enqueues),
+                   release [sh_m], then block on the commit barrier and
+                   flush the ack. *)
+                let defer =
+                  mutating
+                  && match t.cfg.sync with Xsb.Journal.Group _ -> true | _ -> false
+                in
+                if defer then conn.c_defer <- Some [];
+                let degrade site message =
+                  conn.c_defer <- None;
+                  (* the disk write path is gone; keep serving reads *)
+                  let reason = Printf.sprintf "journal write failed at %s: %s" site message in
+                  sh.sh_read_only <- Some reason;
+                  refuse_readonly reason
+                in
+                (* one durable session for every connection: serialize *)
+                Mutex.lock sh.sh_m;
+                match Fun.protect ~finally:(fun () -> Mutex.unlock sh.sh_m) dispatch with
+                | finishing ->
+                    if defer then begin
+                      match Xsb.Journal.barrier sh.sh_journal with
+                      | () ->
+                          let held = List.rev (Option.value conn.c_defer ~default:[]) in
+                          conn.c_defer <- None;
+                          List.iter (fun reply -> ignore (try_write conn reply)) held;
+                          finishing
+                      | exception Xsb.Journal.Io_error { site; message } ->
+                          (* the batch never became durable: withdraw
+                             the buffered ack and report the demotion *)
+                          degrade site message
+                    end
+                    else finishing
+                | exception Xsb.Journal.Io_error { site; message } -> degrade site message)))
   in
   let outcome, pred, answers = finishing in
   let wall = !monotonic () -. t0 in
@@ -715,6 +840,7 @@ let make_conn t fd =
     c_m = Mutex.create ();
     c_done = Condition.create ();
     c_job_done = true;
+    c_defer = None;
   }
 
 let acceptor_loop t =
@@ -770,6 +896,10 @@ let start cfg =
       let probe = Xsb.Session.create ?scheduling:cfg.scheduling () in
       Xsb.Session.consult probe text)
     preload_texts;
+  if cfg.replica_of <> None && cfg.data_dir = None then
+    invalid_arg "Server.start: replica_of requires data_dir";
+  if cfg.repl_port <> None && cfg.data_dir = None then
+    invalid_arg "Server.start: repl_port requires data_dir";
   let shared =
     match cfg.data_dir with
     | None -> None
@@ -778,13 +908,24 @@ let start cfg =
            text, not journaled state, and recovery replays on top *)
         let session = Xsb.Session.create ?scheduling:cfg.scheduling () in
         List.iter (fun text -> Xsb.Session.consult session text) preload_texts;
-        let journal =
-          Xsb.Journal.open_
-            { Xsb.Journal.dir; sync = cfg.sync; compact_bytes = cfg.compact_bytes }
-            (Xsb.Session.db session)
+        let journal = Xsb.Journal.open_ (journal_config cfg dir) (Xsb.Session.db session) in
+        let read_only =
+          match cfg.replica_of with
+          | Some (host, port) ->
+              (* a standby's journal is written by the replication
+                 applier, never by local mutations — don't attach *)
+              Some (Printf.sprintf "replica of %s:%d (PROMOTE to accept writes)" host port)
+          | None ->
+              Xsb.Journal.attach ~deferred:true journal;
+              None
         in
-        Xsb.Journal.attach journal;
-        Some { sh_session = session; sh_journal = journal; sh_m = Mutex.create (); sh_read_only = None }
+        Some
+          {
+            sh_session = session;
+            sh_journal = journal;
+            sh_m = Mutex.create ();
+            sh_read_only = read_only;
+          }
   in
   let close_shared () =
     match shared with
@@ -821,7 +962,10 @@ let start cfg =
         ( op,
           Xsb.Metrics.histogram registry ~labels:[ ("op", op) ] ~help:duration_help
             "xsb_request_duration_seconds" ))
-      [ "PING"; "CONSULT"; "ASSERT"; "QUERY"; "STATISTICS"; "ABOLISH"; "SYNC"; "METRICS"; "?" ]
+      [
+        "PING"; "CONSULT"; "ASSERT"; "QUERY"; "STATISTICS"; "ABOLISH"; "SYNC"; "METRICS";
+        "PROMOTE"; "?";
+      ]
   in
   let outcome_counters =
     List.map
@@ -860,8 +1004,42 @@ let start cfg =
       in_flight = Atomic.make 0;
       worker_threads = [];
       acceptor_thread = None;
+      promote_m = Mutex.create ();
+      repl_primary = None;
+      repl_standby = None;
     }
   in
+  (try
+     (match (shared, cfg.replica_of) with
+     | Some sh, Some (primary_host, primary_port) ->
+         let dir = Option.get cfg.data_dir in
+         let generation, offset = Xsb.Journal.position sh.sh_journal in
+         let keep = (journal_config cfg dir).Xsb.Journal.keep_generations in
+         let apply m =
+           Mutex.lock sh.sh_m;
+           Fun.protect
+             ~finally:(fun () -> Mutex.unlock sh.sh_m)
+             (fun () -> Xsb.Journal.apply_mutation (Xsb.Session.db sh.sh_session) m)
+         in
+         t.repl_standby <-
+           Some
+             (Xsb_repl.Repl.Standby.start ~registry ~primary_host ~primary_port ~dir ~generation
+                ~offset ~keep_generations:keep ~apply ())
+     | _ -> ());
+     match (shared, cfg.repl_port) with
+     | Some sh, Some p when cfg.replica_of = None ->
+         t.repl_primary <-
+           Some (Xsb_repl.Repl.Primary.start ~host:cfg.host ~registry ~port:p ~journal:sh.sh_journal ())
+     | _ -> ()
+   with e ->
+     (match t.repl_standby with
+     | Some s -> ( try Xsb_repl.Repl.Standby.stop s with _ -> ())
+     | None -> ());
+     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+     (try Unix.close t.stop_rd with Unix.Unix_error _ -> ());
+     (try Unix.close t.stop_wr with Unix.Unix_error _ -> ());
+     close_shared ();
+     raise e);
   (* liveness gauges, sampled at scrape time *)
   Xsb.Metrics.gauge_fn registry ~help:"Requests currently executing on a worker."
     "xsb_in_flight_requests" (fun () -> Float.of_int (Atomic.get t.in_flight));
@@ -904,6 +1082,18 @@ let stop t =
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (try Unix.close t.stop_rd with Unix.Unix_error _ -> ());
     (try Unix.close t.stop_wr with Unix.Unix_error _ -> ());
+    (* workers and handlers are joined: no request (or promotion) is in
+       flight, so the replication components can come down cleanly *)
+    (match t.repl_standby with
+    | Some s ->
+        (try Xsb_repl.Repl.Standby.stop s with _ -> ());
+        t.repl_standby <- None
+    | None -> ());
+    (match t.repl_primary with
+    | Some p ->
+        (try Xsb_repl.Repl.Primary.stop p with _ -> ());
+        t.repl_primary <- None
+    | None -> ());
     (* every in-flight mutation has been drained; final sync and close *)
     (match t.shared with
     | Some sh -> ( try Xsb.Journal.close sh.sh_journal with _ -> ())

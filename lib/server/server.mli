@@ -37,6 +37,20 @@ type config = {
           keeps the per-connection in-memory sessions. *)
   sync : Xsb.Journal.sync_policy;  (** journal fsync policy (durable mode) *)
   compact_bytes : int;  (** journal auto-compaction threshold; 0 disables *)
+  keep_generations : int;
+      (** archive this many rotated journal generations (plus their
+          snapshots) on compaction, for point-in-time recovery and for
+          standbys following across a rotation; forced to at least 1
+          when replication is configured; 0 = delete rotated files *)
+  repl_port : int option;
+      (** serve the replication feed (journal shipping) on this port;
+          0 picks an ephemeral one (see {!repl_listen_port}); requires
+          [data_dir] *)
+  replica_of : (string * int) option;
+      (** run as a read-only standby of this primary's replication
+          endpoint: mirror + apply its journal continuously, refuse
+          mutations with [READONLY], accept [PROMOTE]; requires
+          [data_dir] *)
   metrics_enabled : bool;
       (** [false] turns every metrics record path into a boolean read —
           the control arm when measuring instrumentation overhead *)
@@ -75,8 +89,16 @@ val journal : t -> Xsb.Journal.t option
 (** The durable journal, when running with [data_dir]. *)
 
 val read_only : t -> string option
-(** Why the server is refusing mutations (a journal write failed), or
-    [None] while writes are healthy. *)
+(** Why the server is refusing mutations (a replication standby, or a
+    journal write failed), or [None] while writes are healthy. *)
+
+val repl_listen_port : t -> int option
+(** The bound replication-feed port (useful with [repl_port = Some 0]),
+    when this server is serving standbys. *)
+
+val replica_status : t -> Xsb_repl.Repl.Standby.status option
+(** Live standby telemetry (connection, generation, applied frontier,
+    lag), when running with [replica_of] — [None] once promoted. *)
 
 val registry : t -> Xsb.Metrics.t
 (** The server's persistent metrics registry: [xsb_requests_total] (one

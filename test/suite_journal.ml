@@ -279,7 +279,7 @@ let lifecycle_cases =
     t "auto-compaction snapshots, rotates and preserves state" `Quick (fun () ->
         with_dir (fun dir ->
             let db = Xsb.Database.create () in
-            let j = J.open_ { J.dir; J.sync = J.Never; J.compact_bytes = 1500 } db in
+            let j = J.open_ { (J.default_config ~dir) with J.sync = J.Never; compact_bytes = 1500 } db in
             J.attach j;
             for k = 1 to 60 do
               assert_edge db k (k + 1)
@@ -289,7 +289,7 @@ let lifecycle_cases =
             check_bool "snapshot exists" true (Sys.file_exists (Filename.concat dir "snapshot.bin"));
             J.close j;
             let db2 = Xsb.Database.create () in
-            let j2 = J.open_ { J.dir; J.sync = J.Never; J.compact_bytes = 0 } db2 in
+            let j2 = J.open_ { (J.default_config ~dir) with J.sync = J.Never; compact_bytes = 0 } db2 in
             check_string "identical after snapshot+tail replay" (fingerprint db) (fingerprint db2);
             J.close j2));
     t "a torn tail is dropped and the file truncated back" `Quick (fun () ->
@@ -361,7 +361,7 @@ let lifecycle_cases =
     t "a stale-generation journal is never replayed twice" `Quick (fun () ->
         with_dir (fun dir ->
             let db = Xsb.Database.create () in
-            let j = J.open_ { J.dir; J.sync = J.Always; J.compact_bytes = 0 } db in
+            let j = J.open_ { (J.default_config ~dir) with J.sync = J.Always; compact_bytes = 0 } db in
             J.attach j;
             for k = 1 to 3 do
               assert_edge db k k
@@ -527,7 +527,7 @@ let crash_everywhere seed =
     done;
     fingerprint db
   in
-  let cfg dir = { J.dir; J.sync = J.Always; J.compact_bytes = 1500 } in
+  let cfg dir = { (J.default_config ~dir) with J.sync = J.Always; compact_bytes = 1500 } in
   (* clean run: everything acks, and we learn which sites the workload
      hits how often *)
   F.reset ();
@@ -917,6 +917,276 @@ let incremental_server_cases =
                       (List.length (rows_of (Client.query c "sp(a,Y,C)")))))));
   ]
 
+(* --- group commit ---
+
+   Concurrent appenders block on a commit barrier while a dedicated
+   committer thread issues one fsync per batch; the durability contract
+   on return from [append] is the same as [Always]. *)
+
+let group_cfg dir =
+  { (J.default_config ~dir) with J.sync = J.Group { window_us = 200; max_batch = 64 } }
+
+let edge_mut k =
+  J.Add_clause
+    {
+      name = "edge";
+      arity = 2;
+      front = false;
+      dynamic = true;
+      clause = clause_canon (tm "edge" [ i k; i k ]) (Xsb.Term.Atom "true");
+    }
+
+let edge_ids db =
+  match Xsb.Database.find db "edge" 2 with
+  | None -> []
+  | Some pred ->
+      List.filter_map
+        (fun (c : Xsb.Pred.clause) ->
+          match Xsb.Term.deref c.Xsb.Pred.head with
+          | Xsb.Term.Struct ("edge", [| a; _ |]) -> (
+              match Xsb.Term.deref a with Xsb.Term.Int n -> Some n | _ -> None)
+          | _ -> None)
+        (Xsb.Pred.clauses pred)
+
+let group_cases =
+  [
+    t "group commit: concurrent appenders are all durable on return" `Quick (fun () ->
+        with_dir (fun dir ->
+            let db = Xsb.Database.create () in
+            let j = J.open_ (group_cfg dir) db in
+            let writers = 8 and per = 8 in
+            let threads =
+              List.init writers (fun w ->
+                  Thread.create
+                    (fun () ->
+                      for r = 0 to per - 1 do
+                        J.append j (edge_mut ((w * per) + r))
+                      done)
+                    ())
+            in
+            List.iter Thread.join threads;
+            (* every append returned, so every record must be fsynced *)
+            check_int "durable == written" (J.written_bytes j) (J.durable_bytes j);
+            check_bool "the committer issued batches" true ((J.stats j).J.group_batches >= 1);
+            J.close j;
+            let db2 = Xsb.Database.create () in
+            let j2 = J.open_ (group_cfg dir) db2 in
+            check_int "every record recovered" (writers * per) (edge_count db2);
+            J.close j2));
+    t "append_batch: one fsync commits the whole transaction" `Quick (fun () ->
+        with_dir (fun dir ->
+            let db = Xsb.Database.create () in
+            let j = J.open_ (group_cfg dir) db in
+            let before = (J.stats j).J.fsyncs in
+            J.append_batch j (List.init 10 edge_mut);
+            (* the batch lands in one write, so the committer covers it
+               with exactly one fsync — the amortization group commit
+               sells *)
+            check_int "one fsync for ten records" (before + 1) (J.stats j).J.fsyncs;
+            check_int "durable on return" (J.written_bytes j) (J.durable_bytes j);
+            J.close j;
+            let db2 = Xsb.Database.create () in
+            let j2 = J.open_ (group_cfg dir) db2 in
+            check_int "all ten recovered" 10 (edge_count db2);
+            J.close j2));
+    t "deferred group hook: enqueue is durable only after the barrier" `Quick (fun () ->
+        with_dir (fun dir ->
+            let db = Xsb.Database.create () in
+            let j = J.open_ (group_cfg dir) db in
+            J.attach ~deferred:true j;
+            assert_edge db 1 1;
+            assert_edge db 2 2;
+            J.barrier j;
+            check_int "durable after the barrier" (J.written_bytes j) (J.durable_bytes j);
+            J.close j;
+            let db2 = Xsb.Database.create () in
+            let j2 = J.open_ (group_cfg dir) db2 in
+            check_int "both recovered" 2 (edge_count db2);
+            J.close j2));
+  ]
+
+(* --- the group-commit kill-and-recover property ---
+
+   Concurrent writers append under group commit while every I/O site
+   the workload hits is crashed at several of its hit points. A crash
+   between the batch write and the batch fsync (or anywhere else) must
+   never lose a record whose append acknowledged — and must never
+   resurrect a record nobody wrote. Durable-but-unacked records (the
+   crash fell between fsync and the ack broadcast) are allowed: the
+   contract is acked ⊆ recovered ⊆ attempted. *)
+
+let group_crash_everywhere seed =
+  let st = Random.State.make [| seed |] in
+  let writers = 4 and per = 4 + Random.State.int st 4 in
+  let cfg dir =
+    {
+      (J.default_config ~dir) with
+      J.sync =
+        J.Group
+          {
+            window_us = 50 + Random.State.int st 300;
+            max_batch = 1 + Random.State.int st 8;
+          };
+      compact_bytes = 900;
+    }
+  in
+  (* the server's write path: mutate the database under a lock (the
+     deferred hook only enqueues), then block on the commit barrier
+     outside it — so batches form across writers *)
+  let run_writers db j acked =
+    let dbm = Mutex.create () in
+    let threads =
+      List.init writers (fun w ->
+          Thread.create
+            (fun () ->
+              try
+                for r = 0 to per - 1 do
+                  let id = (w * per) + r in
+                  Mutex.lock dbm;
+                  (match assert_edge db id id with
+                  | () -> Mutex.unlock dbm
+                  | exception e ->
+                      Mutex.unlock dbm;
+                      raise e);
+                  J.barrier j;
+                  acked.(id) <- true
+                done
+              with F.Injected_crash _ | J.Io_error _ -> ())
+            ())
+    in
+    List.iter Thread.join threads
+  in
+  (* clean run: learn which I/O sites this workload hits *)
+  F.reset ();
+  with_dir (fun dir ->
+      let db = Xsb.Database.create () in
+      let j = J.open_ (cfg dir) db in
+      J.attach ~deferred:true j;
+      run_writers db j (Array.make (writers * per) false);
+      J.close j);
+  let sites = F.all_hits () in
+  F.reset ();
+  check_bool "the workload exercises several I/O sites" true (List.length sites >= 3);
+  let points hits = List.sort_uniq compare [ 0; hits / 2; hits - 1 ] in
+  List.iter
+    (fun (site, hits) ->
+      List.iter
+        (fun action ->
+          List.iter
+            (fun k ->
+              with_dir (fun dir ->
+                  F.reset ();
+                  F.arm ~after:k site action;
+                  let db = Xsb.Database.create () in
+                  let j = J.open_ (cfg dir) db in
+                  J.attach ~deferred:true j;
+                  let acked = Array.make (writers * per) false in
+                  run_writers db j acked;
+                  F.reset ();
+                  let durable = J.durable_bytes j in
+                  (try J.close j with _ -> ());
+                  (* model the page cache dying with the process: only
+                     fsynced bytes survive — unless a rotation already
+                     replaced the file with a shorter one *)
+                  let jpath = Filename.concat dir "journal.log" in
+                  (match Unix.stat jpath with
+                  | { Unix.st_size; _ } when durable < st_size ->
+                      let fd = Unix.openfile jpath [ Unix.O_WRONLY ] 0o644 in
+                      Unix.ftruncate fd durable;
+                      Unix.close fd
+                  | _ -> ()
+                  | exception Unix.Unix_error _ -> ());
+                  let db2 = Xsb.Database.create () in
+                  let j2 = J.open_ (cfg dir) db2 in
+                  J.close j2;
+                  let recovered = edge_ids db2 in
+                  Array.iteri
+                    (fun id was_acked ->
+                      if was_acked && not (List.mem id recovered) then
+                        Alcotest.failf "seed %d, %s at %s hit %d: acked record %d lost" seed
+                          (action_name action) site k id)
+                    acked;
+                  List.iter
+                    (fun id ->
+                      if id < 0 || id >= writers * per then
+                        Alcotest.failf "seed %d, %s at %s hit %d: phantom record %d" seed
+                          (action_name action) site k id)
+                    recovered))
+            (points hits))
+        [ F.Crash; F.Short_write 5 ])
+    sites;
+  F.reset ()
+
+let group_property_cases =
+  List.map
+    (fun seed ->
+      t
+        (Printf.sprintf "group commit never loses an acked record (seed %d)" seed)
+        `Quick
+        (fun () -> group_crash_everywhere seed))
+    property_seeds
+
+(* --- archived generations and point-in-time recovery --- *)
+
+let archive_cases =
+  [
+    t "keep_generations archives rotations and prunes beyond the window" `Quick (fun () ->
+        with_dir (fun dir ->
+            let cfg =
+              { (J.default_config ~dir) with J.compact_bytes = 0; keep_generations = 2 }
+            in
+            let db = Xsb.Database.create () in
+            let j = J.open_ cfg db in
+            J.attach j;
+            assert_edge db 1 1;
+            J.compact j;
+            assert_edge db 2 2;
+            J.compact j;
+            assert_edge db 3 3;
+            J.compact j;
+            check_bool "generation advanced" true (J.generation j >= 4L);
+            check_bool "gen 3 journal archived" true
+              (Sys.file_exists (J.archive_journal_path cfg 3L));
+            check_bool "gen 2 journal archived" true
+              (Sys.file_exists (J.archive_journal_path cfg 2L));
+            check_bool "gen 1 pruned (window is 2)" false
+              (Sys.file_exists (J.archive_journal_path cfg 1L));
+            J.close j));
+    t "recover_at rebuilds an intermediate generation's state" `Quick (fun () ->
+        with_dir (fun dir ->
+            let cfg =
+              { (J.default_config ~dir) with J.compact_bytes = 0; keep_generations = 8 }
+            in
+            let db = Xsb.Database.create () in
+            let j = J.open_ cfg db in
+            J.attach j;
+            assert_edge db 1 1;
+            assert_edge db 2 2;
+            J.compact j;
+            assert_edge db 3 3;
+            assert_edge db 4 4;
+            J.compact j;
+            assert_edge db 5 5;
+            J.close j;
+            (* generation 2 = snapshot of gen 1 (edges 1,2) + its records *)
+            let db2 = Xsb.Database.create () in
+            let n = J.recover_at ~dir ~generation:2L db2 in
+            check_int "state as of the end of generation 2" 4 (edge_count db2);
+            (* ~upto rewinds within the generation *)
+            let db3 = Xsb.Database.create () in
+            ignore (J.recover_at ~upto:(n - 1) ~dir ~generation:2L db3);
+            check_int "one record earlier" 3 (edge_count db3);
+            (* the live (never-rotated) generation is reachable too *)
+            let db4 = Xsb.Database.create () in
+            ignore (J.recover_at ~dir ~generation:3L db4);
+            check_int "live generation" 5 (edge_count db4);
+            (* a pruned generation is a typed error, not garbage *)
+            match J.recover_at ~dir ~generation:9L (Xsb.Database.create ()) with
+            | exception J.Recovery_error _ -> ()
+            | _ -> Alcotest.fail "expected Recovery_error for a missing generation"));
+  ]
+
 let suite =
-  codec_cases @ lifecycle_cases @ failpoint_cases @ property_cases @ remove_pred_cases
-  @ retry_cases @ server_cases @ incremental_server_cases
+  codec_cases @ lifecycle_cases @ failpoint_cases @ property_cases @ group_cases
+  @ group_property_cases @ archive_cases @ remove_pred_cases @ retry_cases @ server_cases
+  @ incremental_server_cases

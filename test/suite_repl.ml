@@ -1,0 +1,200 @@
+(* Replication (ISSUE PR 9): journal shipping end-to-end through the
+   server — a primary serving its replication feed, a standby mirroring
+   and applying it live, read-only refusal on the standby, snapshot
+   bootstrap after the primary compacted, following across a rotation,
+   and promotion to a writable primary with the acked prefix intact. *)
+
+open Xsb_server
+module J = Xsb.Journal
+module R = Xsb_repl.Repl
+
+let t = Alcotest.test_case
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let with_dir = Suite_journal.with_dir
+
+let with_server cfg f =
+  let server = Server.start { cfg with Server.port = 0 } in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
+
+let with_client server f =
+  let c = Client.connect (Server.port server) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let ok = function
+  | Ok payload -> payload
+  | Error { Client.code; message } ->
+      Alcotest.failf "unexpected error %s: %s" (Protocol.err_code_name code) message
+
+let rows_of = function
+  | Client.Rows { rows; _ } -> rows
+  | Client.Query_timeout _ -> Alcotest.fail "unexpected timeout"
+  | Client.Query_error { code; message } ->
+      Alcotest.failf "unexpected query error %s: %s" (Protocol.err_code_name code) message
+
+(* the single core interleaves the applier with everything else, so
+   settling is a yield loop with a generous deadline, not a sleep *)
+let settle ?(timeout = 15.0) what pred =
+  let deadline = Xsb.Mclock.now () +. timeout in
+  let rec go () =
+    if pred () then ()
+    else if Xsb.Mclock.now () > deadline then Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let primary_cfg ?(compact_bytes = 0) dir =
+  {
+    Server.default_config with
+    Server.data_dir = Some dir;
+    sync = J.default_group;
+    compact_bytes;
+    repl_port = Some 0;
+    keep_generations = 2;
+  }
+
+let standby_cfg dir primary =
+  {
+    Server.default_config with
+    Server.data_dir = Some dir;
+    replica_of = Some primary;
+    compact_bytes = 0;
+  }
+
+let repl_port server =
+  match Server.repl_listen_port server with
+  | Some p -> p
+  | None -> Alcotest.fail "primary has no replication port"
+
+let standby_status server =
+  match Server.replica_status server with
+  | Some s -> s
+  | None -> Alcotest.fail "server is not a standby"
+
+(* caught up = the standby's applied frontier equals the primary's
+   durable position exactly (the lag gauge alone can read 0 before the
+   first heartbeat taught the standby the primary's watermark) *)
+let wait_caught_up primary standby =
+  settle "standby catch-up" (fun () ->
+      let s = standby_status standby in
+      match Server.journal primary with
+      | None -> false
+      | Some j ->
+          let pgen, poff = J.durable_position j in
+          s.R.Standby.connected && s.R.Standby.fatal = None
+          && Int64.equal s.R.Standby.generation pgen
+          && s.R.Standby.applied_off = poff
+          && s.R.Standby.lag_bytes = 0)
+
+let suite =
+  [
+    t "standby follows live writes and serves the same answers" `Quick (fun () ->
+        with_dir (fun pdir ->
+            with_dir (fun sdir ->
+                with_server (primary_cfg pdir) (fun primary ->
+                    with_server (standby_cfg sdir ("127.0.0.1", repl_port primary))
+                      (fun standby ->
+                        with_client primary (fun c ->
+                            ignore (ok (Client.assert_ c "edge(1,2)"));
+                            ignore (ok (Client.assert_ c "edge(2,3)"));
+                            ignore (ok (Client.assert_ c "path(X,Y) :- edge(X,Y)")));
+                        wait_caught_up primary standby;
+                        let s = standby_status standby in
+                        check_bool "records applied" true (s.R.Standby.applied_records >= 3);
+                        check_bool "no fatal" true (s.R.Standby.fatal = None);
+                        with_client standby (fun c ->
+                            check_int "same answers as the primary" 2
+                              (List.length (rows_of (Client.query c "path(X,Y)")));
+                            (* mutations are refused with READONLY *)
+                            match Client.assert_ c "edge(9,9)" with
+                            | Error { Client.code = Protocol.Readonly; _ } -> ()
+                            | Error { Client.code; _ } ->
+                                Alcotest.failf "wrong code %s" (Protocol.err_code_name code)
+                            | Ok _ -> Alcotest.fail "standby accepted a mutation");
+                        (* writes made while the standby is already
+                           attached stream straight through *)
+                        with_client primary (fun c -> ignore (ok (Client.assert_ c "edge(3,4)")));
+                        wait_caught_up primary standby;
+                        with_client standby (fun c ->
+                            check_int "the new edge arrived" 3
+                              (List.length (rows_of (Client.query c "edge(X,Y)")))))))));
+    t "a standby joining after compaction bootstraps from a snapshot" `Quick (fun () ->
+        with_dir (fun pdir ->
+            with_dir (fun sdir ->
+                with_server (primary_cfg pdir) (fun primary ->
+                    with_client primary (fun c ->
+                        ignore (ok (Client.assert_ c "edge(1,2)"));
+                        ignore (ok (Client.assert_ c "edge(2,3)")));
+                    (* rotate: the joining standby can no longer replay
+                       generation 1 record by record — it must be seeded *)
+                    (match Server.journal primary with
+                    | Some j -> J.compact j
+                    | None -> Alcotest.fail "no journal");
+                    with_client primary (fun c -> ignore (ok (Client.assert_ c "edge(3,4)")));
+                    with_server (standby_cfg sdir ("127.0.0.1", repl_port primary))
+                      (fun standby ->
+                        wait_caught_up primary standby;
+                        let s = standby_status standby in
+                        check_bool "seeded by a snapshot" true
+                          (s.R.Standby.snapshots_received >= 1);
+                        check_bool "mirroring the post-snapshot generation" true
+                          (Int64.compare s.R.Standby.generation 1L > 0);
+                        with_client standby (fun c ->
+                            check_int "snapshot + tail both present" 3
+                              (List.length (rows_of (Client.query c "edge(X,Y)")))))))));
+    t "an attached standby follows the primary across a rotation" `Quick (fun () ->
+        with_dir (fun pdir ->
+            with_dir (fun sdir ->
+                with_server (primary_cfg pdir) (fun primary ->
+                    with_server (standby_cfg sdir ("127.0.0.1", repl_port primary))
+                      (fun standby ->
+                        with_client primary (fun c -> ignore (ok (Client.assert_ c "edge(1,2)")));
+                        wait_caught_up primary standby;
+                        (match Server.journal primary with
+                        | Some j -> J.compact j
+                        | None -> Alcotest.fail "no journal");
+                        with_client primary (fun c -> ignore (ok (Client.assert_ c "edge(2,3)")));
+                        wait_caught_up primary standby;
+                        let s = standby_status standby in
+                        check_bool "crossed the generation boundary" true
+                          (Int64.compare s.R.Standby.generation 1L > 0);
+                        check_bool "no fatal" true (s.R.Standby.fatal = None);
+                        with_client standby (fun c ->
+                            check_int "records from both generations" 2
+                              (List.length (rows_of (Client.query c "edge(X,Y)")))))))));
+    t "promotion: the standby becomes a writable primary, prefix intact" `Quick (fun () ->
+        with_dir (fun pdir ->
+            with_dir (fun sdir ->
+                with_server (primary_cfg pdir) (fun primary ->
+                    with_server (standby_cfg sdir ("127.0.0.1", repl_port primary))
+                      (fun standby ->
+                        with_client primary (fun c ->
+                            ignore (ok (Client.assert_ c "edge(1,2)"));
+                            ignore (ok (Client.assert_ c "edge(2,3)")));
+                        wait_caught_up primary standby;
+                        (* the primary dies; the standby takes over *)
+                        Server.stop primary;
+                        with_client standby (fun c ->
+                            ignore (ok (Client.promote c));
+                            (* PROMOTE twice is a clean error, not a wedge *)
+                            (match Client.promote c with
+                            | Error { Client.code = Protocol.Bad_request; _ } -> ()
+                            | _ -> Alcotest.fail "second PROMOTE should be BAD_REQUEST");
+                            check_bool "no longer a replica" true
+                              (Server.replica_status standby = None);
+                            check_bool "writes allowed" true (Server.read_only standby = None);
+                            ignore (ok (Client.assert_ c "edge(3,4)"));
+                            check_int "replicated prefix + new write" 3
+                              (List.length (rows_of (Client.query c "edge(X,Y)"))))));
+                (* the promoted node's data directory recovers standalone:
+                   nothing acked (replicated or written post-promotion)
+                   was lost *)
+                with_server { Server.default_config with Server.data_dir = Some sdir }
+                  (fun reopened ->
+                    with_client reopened (fun c ->
+                        check_int "durable across restart" 3
+                          (List.length (rows_of (Client.query c "edge(X,Y)"))))))));
+  ]

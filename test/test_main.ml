@@ -20,4 +20,5 @@ let () =
       ("metrics", Suite_metrics.suite);
       ("server", Suite_server.suite);
       ("journal", Suite_journal.suite);
+      ("repl", Suite_repl.suite);
     ]
