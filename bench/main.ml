@@ -930,6 +930,39 @@ let repl_bench () =
                  |] ));
       }
   in
+  let open_primary pdir =
+    let pdb = Xsb.Database.create () in
+    let j =
+      Xsb.Journal.open_
+        {
+          (Xsb.Journal.default_config ~dir:pdir) with
+          Xsb.Journal.sync = Xsb.Journal.default_group;
+          compact_bytes = 0;
+        }
+        pdb
+    in
+    (j, Xsb_repl.Repl.Primary.start ~port:0 ~journal:j ())
+  in
+  (* the standby mirrors into [sdir]; unlike the primary's
+     Journal.open_, Standby.start expects it to exist *)
+  let start_standby j primary sdir =
+    (try Unix.mkdir sdir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let sdb = Xsb.Database.create () in
+    Xsb_repl.Repl.Standby.start ~primary_host:"127.0.0.1"
+      ~primary_port:(Xsb_repl.Repl.Primary.port primary)
+      ~dir:sdir ~generation:1L ~offset:Xsb.Journal.header_len ~epoch:(Xsb.Journal.epoch j)
+      ~keep_generations:0
+      ~apply:(fun m -> Xsb.Journal.apply_mutation sdb m)
+      ()
+  in
+  let standby_lag j standby =
+    let s = Xsb_repl.Repl.Standby.status standby in
+    let pgen, poff = Xsb.Journal.durable_position j in
+    if Int64.equal s.Xsb_repl.Repl.Standby.generation pgen then
+      max 0 (poff - s.Xsb_repl.Repl.Standby.applied_off)
+    else max 1 s.Xsb_repl.Repl.Standby.lag_bytes
+  in
+  (* --- lag vs sustained write rate, one standby --- *)
   let rates = if !quick then [ 500; 2_000 ] else [ 500; 2_000; 8_000 ] in
   let window_s = if !quick then 0.5 else 1.0 in
   row "%-12s %10s %14s %14s %12s\n" "rate_rec_s" "records" "max_lag_B" "mean_lag_B" "catchup_ms";
@@ -938,35 +971,9 @@ let repl_bench () =
       (fun rate ->
         with_journal_dir (fun pdir ->
             with_journal_dir (fun sdir ->
-                let pdb = Xsb.Database.create () in
-                let j =
-                  Xsb.Journal.open_
-                    {
-                      (Xsb.Journal.default_config ~dir:pdir) with
-                      Xsb.Journal.sync = Xsb.Journal.default_group;
-                      compact_bytes = 0;
-                    }
-                    pdb
-                in
-                let primary = Xsb_repl.Repl.Primary.start ~port:0 ~journal:j () in
-                (* the standby mirrors into [sdir]; unlike the primary's
-                   Journal.open_, Standby.start expects it to exist *)
-                (try Unix.mkdir sdir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-                let sdb = Xsb.Database.create () in
-                let standby =
-                  Xsb_repl.Repl.Standby.start ~primary_host:"127.0.0.1"
-                    ~primary_port:(Xsb_repl.Repl.Primary.port primary)
-                    ~dir:sdir ~generation:1L ~offset:16 ~keep_generations:0
-                    ~apply:(fun m -> Xsb.Journal.apply_mutation sdb m)
-                    ()
-                in
-                let lag () =
-                  let s = Xsb_repl.Repl.Standby.status standby in
-                  let pgen, poff = Xsb.Journal.durable_position j in
-                  if Int64.equal s.Xsb_repl.Repl.Standby.generation pgen then
-                    max 0 (poff - s.Xsb_repl.Repl.Standby.applied_off)
-                  else max 1 s.Xsb_repl.Repl.Standby.lag_bytes
-                in
+                let j, primary = open_primary pdir in
+                let standby = start_standby j primary sdir in
+                let lag () = standby_lag j standby in
                 (* paced writes: batches of 4, spaced to hold the rate *)
                 let per = 4 in
                 let interval = float_of_int per /. float_of_int rate in
@@ -1001,6 +1008,99 @@ let repl_bench () =
                 (rate, !written, !max_lag, mean_lag, catchup_ms))))
       rates
   in
+  (* --- fan-out: fixed write burst against 1/2/4/8 standbys --- *)
+  header "Replication: fan-out scaling (one burst, N standbys)";
+  let counts = if !quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let burst = if !quick then 2_000 else 10_000 in
+  row "%-10s %10s %12s %14s %14s %12s\n" "standbys" "records" "wall_ms" "shipped_B" "max_lag_B"
+    "catchup_ms";
+  let sweep =
+    List.map
+      (fun n ->
+        with_journal_dir (fun pdir ->
+            let sdirs = List.init n (fun i -> Printf.sprintf "%s_s%d" pdir i) in
+            Fun.protect ~finally:(fun () -> List.iter rm_rf sdirs) @@ fun () ->
+            let j, primary = open_primary pdir in
+            let standbys = List.map (start_standby j primary) sdirs in
+            let max_lag = ref 0 in
+            let t0 = Unix.gettimeofday () in
+            let written = ref 0 in
+            while !written < burst do
+              Xsb.Journal.append_batch j (List.init 8 (fun k -> edge_mut (!written + k)));
+              written := !written + 8;
+              List.iter (fun s -> max_lag := max !max_lag (standby_lag j s)) standbys
+            done;
+            let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+            let t1 = Unix.gettimeofday () in
+            while
+              List.exists (fun s -> standby_lag j s > 0) standbys
+              && Unix.gettimeofday () -. t1 < 30.0
+            do
+              Thread.delay 0.002
+            done;
+            let catchup_ms = (Unix.gettimeofday () -. t1) *. 1000.0 in
+            let shipped = Xsb_repl.Repl.Primary.shipped_bytes primary in
+            List.iter Xsb_repl.Repl.Standby.stop standbys;
+            Xsb_repl.Repl.Primary.stop primary;
+            Xsb.Journal.close j;
+            row "%-10d %10d %12.1f %14d %14d %12.1f\n" n !written wall_ms shipped !max_lag
+              catchup_ms;
+            (n, !written, wall_ms, shipped, !max_lag, catchup_ms)))
+      counts
+  in
+  (* --- semi-sync vs async commit latency --- *)
+  header "Replication: semi-sync (--sync-standby=1) vs async commit latency";
+  let writer_counts = if !quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let per_writer = if !quick then 150 else 500 in
+  row "%-10s %8s %12s %12s %12s\n" "mode" "writers" "p50_us" "p99_us" "degraded";
+  let percentile sorted p =
+    if Array.length sorted = 0 then 0.0
+    else
+      sorted.(min (Array.length sorted - 1) (int_of_float (p *. float_of_int (Array.length sorted))))
+  in
+  let latency_run ~semi writers =
+    with_journal_dir (fun pdir ->
+        with_journal_dir (fun sdir ->
+            let j, primary = open_primary pdir in
+            let standby = start_standby j primary sdir in
+            (* wait for the stream to connect before timing *)
+            let t0 = Unix.gettimeofday () in
+            while
+              (not (Xsb_repl.Repl.Standby.status standby).Xsb_repl.Repl.Standby.connected
+              && Unix.gettimeofday () -. t0 < 5.0)
+            do
+              Thread.delay 0.005
+            done;
+            let lats = Array.init writers (fun _ -> ref []) in
+            let worker w =
+              for i = 0 to per_writer - 1 do
+                let t0 = Unix.gettimeofday () in
+                Xsb.Journal.append j (edge_mut ((w * per_writer) + i));
+                Xsb.Journal.barrier j;
+                (if semi then
+                   let gen, off = Xsb.Journal.durable_position j in
+                   ignore
+                     (Xsb_repl.Repl.Primary.wait_synced primary ~k:1 ~gen ~off ~timeout_s:1.0));
+                lats.(w) := ((Unix.gettimeofday () -. t0) *. 1e6) :: !(lats.(w))
+              done
+            in
+            let threads = List.init writers (fun w -> Thread.create worker w) in
+            List.iter Thread.join threads;
+            let degraded = Xsb_repl.Repl.Primary.degraded primary in
+            Xsb_repl.Repl.Standby.stop standby;
+            Xsb_repl.Repl.Primary.stop primary;
+            Xsb.Journal.close j;
+            let all = Array.of_list (Array.to_list lats |> List.concat_map (fun r -> !r)) in
+            Array.sort compare all;
+            let p50 = percentile all 0.50 and p99 = percentile all 0.99 in
+            row "%-10s %8d %12.1f %12.1f %12b\n"
+              (if semi then "semi-sync" else "async")
+              writers p50 p99 degraded;
+            ((if semi then "semi-sync" else "async"), writers, p50, p99, degraded)))
+  in
+  let latency =
+    List.concat_map (fun w -> [ latency_run ~semi:false w; latency_run ~semi:true w ]) writer_counts
+  in
   let oc = open_out "BENCH_repl.json" in
   output_string oc "{ \"experiment\": \"repl\", \"lag_vs_rate\": [\n";
   List.iteri
@@ -1011,6 +1111,24 @@ let repl_bench () =
         rate written max_lag mean_lag catchup_ms
         (if i = List.length results - 1 then "" else ","))
     results;
+  output_string oc "],\n\"standby_sweep\": [\n";
+  List.iteri
+    (fun i (n, written, wall_ms, shipped, max_lag, catchup_ms) ->
+      Printf.fprintf oc
+        "  { \"standbys\": %d, \"records\": %d, \"wall_ms\": %.1f, \"shipped_bytes\": %d, \
+         \"max_lag_bytes\": %d, \"catchup_ms\": %.1f }%s\n"
+        n written wall_ms shipped max_lag catchup_ms
+        (if i = List.length sweep - 1 then "" else ","))
+    sweep;
+  output_string oc "],\n\"commit_latency\": [\n";
+  List.iteri
+    (fun i (mode, writers, p50, p99, degraded) ->
+      Printf.fprintf oc
+        "  { \"mode\": \"%s\", \"writers\": %d, \"p50_us\": %.1f, \"p99_us\": %.1f, \
+         \"degraded\": %b }%s\n"
+        mode writers p50 p99 degraded
+        (if i = List.length latency - 1 then "" else ","))
+    latency;
   output_string oc "] }\n";
   close_out oc;
   row "wrote BENCH_repl.json\n"

@@ -15,85 +15,109 @@ let code_exit = function
   | Xsb_server.Protocol.Readonly -> exit_readonly
   | _ -> exit_error
 
-let main host port consults fast_loads goals asserts limit timeout_ms max_steps stats abolish
-    ping sync promote follow_primary metrics retries backoff_ms max_elapsed_ms =
+let main host port endpoints consults fast_loads goals asserts limit timeout_ms max_steps stats
+    abolish ping sync promote role follow_primary metrics retries backoff_ms max_elapsed_ms =
   let open Xsb_server in
   let retry =
     Client.retry ~retries ~backoff_ms:(float_of_int backoff_ms)
       ~max_elapsed_ms:(float_of_int max_elapsed_ms) ()
   in
-  match Client.connect_with_retry ~retry ~host port with
-  | exception Unix.Unix_error (err, _, _) ->
-      Fmt.epr "xsb_client: cannot connect to %s:%d: %s@." host port (Unix.error_message err);
-      exit_error
-  | Error reason ->
-      Fmt.epr "xsb_client: cannot connect to %s:%d: %s@." host port reason;
-      exit_error
-  | Ok client ->
-      Fun.protect
-        ~finally:(fun () -> Client.close client)
-        (fun () ->
-          let worst = ref 0 in
-          let note code = worst := max !worst code in
-          let simple what = function
-            | Ok payload -> if payload <> "" then Fmt.pr "%s@." payload
-            | Error { Client.code; message } ->
-                Fmt.epr "%s: %s: %s@." what (Protocol.err_code_name code) message;
-                note (code_exit code)
-          in
-          if promote then simple "promote" (Client.promote client);
-          if ping then simple "ping" (Client.ping_retry ~retry ~follow_primary client);
-          List.iter
-            (fun path ->
-              let text = In_channel.with_open_bin path In_channel.input_all in
-              simple ("consult " ^ path) (Client.consult client text))
-            consults;
-          List.iter
-            (fun path ->
-              let text = In_channel.with_open_bin path In_channel.input_all in
-              simple ("fast-load " ^ path) (Client.consult ~fmt:Protocol.Fast client text))
-            fast_loads;
-          List.iter (fun clause -> simple ("assert " ^ clause) (Client.assert_ client clause)) asserts;
-          List.iter
-            (fun goal ->
-              match
-                Client.query_retry ~retry ~follow_primary ?limit ?timeout_ms ?max_steps client
-                  goal
-              with
-              | Client.Rows { rows; truncated } ->
-                  List.iter (fun row -> Fmt.pr "%s@." row) rows;
-                  Fmt.pr "%s (%d solution%s%s)@."
-                    (if rows = [] then "no" else "yes")
-                    (List.length rows)
-                    (if List.length rows = 1 then "" else "s")
-                    (if truncated then ", truncated" else "")
-              | Client.Query_timeout rows ->
-                  List.iter (fun row -> Fmt.pr "%s@." row) rows;
-                  Fmt.epr "timeout after %d answer%s@." (List.length rows)
-                    (if List.length rows = 1 then "" else "s");
-                  note exit_timeout
-              | Client.Query_error { code; message } ->
-                  Fmt.epr "query %s: %s: %s@." goal (Protocol.err_code_name code) message;
-                  note (code_exit code))
-            goals;
-          if abolish then simple "abolish" (Client.abolish client);
-          if sync then simple "sync" (Client.sync client);
-          if stats then simple "statistics" (Client.statistics_retry ~retry ~follow_primary client);
-          (if metrics then
-             match Client.metrics_retry ~retry ~follow_primary client with
-             | Error { Client.code; message } ->
-                 Fmt.epr "metrics: %s: %s@." (Protocol.err_code_name code) message;
-                 note (code_exit code)
-             | Ok text -> (
-                 (* reject a malformed exposition here, so scripts (and
-                    the CI smoke job) can trust a zero exit *)
-                 match Xsb.Metrics.Exposition.validate text with
-                 | Ok _ -> Fmt.pr "%s" text
-                 | Error why ->
-                     Fmt.pr "%s" text;
-                     Fmt.epr "metrics: invalid exposition: %s@." why;
-                     note exit_error));
-          !worst)
+  let run client =
+    let worst = ref 0 in
+    let note code = worst := max !worst code in
+    let simple what = function
+      | Ok payload -> if payload <> "" then Fmt.pr "%s@." payload
+      | Error { Client.code; message } ->
+          Fmt.epr "%s: %s: %s@." what (Protocol.err_code_name code) message;
+          note (code_exit code)
+    in
+    if promote then simple "promote" (Client.promote client);
+    if role then simple "role" (Client.role_payload client);
+    if ping then simple "ping" (Client.ping_retry ~retry ~follow_primary client);
+    List.iter
+      (fun path ->
+        let text = In_channel.with_open_bin path In_channel.input_all in
+        simple ("consult " ^ path) (Client.consult client text))
+      consults;
+    List.iter
+      (fun path ->
+        let text = In_channel.with_open_bin path In_channel.input_all in
+        simple ("fast-load " ^ path) (Client.consult ~fmt:Protocol.Fast client text))
+      fast_loads;
+    List.iter (fun clause -> simple ("assert " ^ clause) (Client.assert_ client clause)) asserts;
+    List.iter
+      (fun goal ->
+        match
+          Client.query_retry ~retry ~follow_primary ?limit ?timeout_ms ?max_steps client goal
+        with
+        | Client.Rows { rows; truncated } ->
+            List.iter (fun row -> Fmt.pr "%s@." row) rows;
+            Fmt.pr "%s (%d solution%s%s)@."
+              (if rows = [] then "no" else "yes")
+              (List.length rows)
+              (if List.length rows = 1 then "" else "s")
+              (if truncated then ", truncated" else "")
+        | Client.Query_timeout rows ->
+            List.iter (fun row -> Fmt.pr "%s@." row) rows;
+            Fmt.epr "timeout after %d answer%s@." (List.length rows)
+              (if List.length rows = 1 then "" else "s");
+            note exit_timeout
+        | Client.Query_error { code; message } ->
+            Fmt.epr "query %s: %s: %s@." goal (Protocol.err_code_name code) message;
+            note (code_exit code))
+      goals;
+    if abolish then simple "abolish" (Client.abolish client);
+    if sync then simple "sync" (Client.sync client);
+    if stats then simple "statistics" (Client.statistics_retry ~retry ~follow_primary client);
+    (if metrics then
+       match Client.metrics_retry ~retry ~follow_primary client with
+       | Error { Client.code; message } ->
+           Fmt.epr "metrics: %s: %s@." (Protocol.err_code_name code) message;
+           note (code_exit code)
+       | Ok text -> (
+           (* reject a malformed exposition here, so scripts (and
+              the CI smoke job) can trust a zero exit *)
+           match Xsb.Metrics.Exposition.validate text with
+           | Ok _ -> Fmt.pr "%s" text
+           | Error why ->
+               Fmt.pr "%s" text;
+               Fmt.epr "metrics: invalid exposition: %s@." why;
+               note exit_error));
+    !worst
+  in
+  let connect_and_run (h, p) =
+    match Client.connect_with_retry ~retry ~host:h p with
+    | exception Unix.Unix_error (err, _, _) -> Error (h, p, Unix.error_message err)
+    | Error reason -> Error (h, p, reason)
+    | Ok client -> Ok (Fun.protect ~finally:(fun () -> Client.close client) (fun () -> run client))
+  in
+  (* With --endpoints the target is discovered, not fixed: probe every
+     endpoint's ROLE and dial the writable primary on the highest
+     epoch. A READONLY outcome (or a dead node) means the topology
+     changed under us -- re-discover and re-run, up to --retries times,
+     so a client rides out a failover instead of reporting it. *)
+  let discover fallback =
+    match Client.discover_primary endpoints with Some (hp, _) -> hp | None -> fallback
+  in
+  let rec go attempt target =
+    let redial () =
+      Unix.sleepf (float_of_int backoff_ms /. 1000.0 *. (2.0 ** float_of_int attempt));
+      go (attempt + 1) (discover target)
+    in
+    match connect_and_run target with
+    | Error (h, p, reason) ->
+        if endpoints <> [] && attempt < retries then redial ()
+        else begin
+          Fmt.epr "xsb_client: cannot connect to %s:%d: %s@." h p reason;
+          exit_error
+        end
+    | Ok worst when worst = exit_readonly && endpoints <> [] && attempt < retries ->
+        Fmt.epr "xsb_client: %s:%d is read-only; re-discovering the primary@." (fst target)
+          (snd target);
+        redial ()
+    | Ok worst -> worst
+  in
+  go 0 (if endpoints = [] then (host, port) else discover (host, port))
 
 open Cmdliner
 
@@ -101,6 +125,38 @@ let host =
   Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
 
 let port = Arg.(value & opt int 4994 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port.")
+
+let hostport_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | Some i when i > 0 && i < String.length s - 1 -> (
+        let host = String.sub s 0 i in
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+        | Some p when p > 0 && p < 65536 -> Ok (host, p)
+        | _ -> Error (`Msg (Printf.sprintf "bad port in %S (expected HOST:PORT)" s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad address %S (expected HOST:PORT)" s))
+  in
+  Arg.conv (parse, fun ppf (h, p) -> Format.fprintf ppf "%s:%d" h p)
+
+let endpoints =
+  Arg.(
+    value
+    & opt (list hostport_conv) []
+    & info [ "endpoints" ] ~docv:"HOST:PORT,..."
+        ~doc:
+          "The replication topology's client endpoints. The client probes each one's ROLE, \
+           dials the writable primary on the highest epoch, and — when an operation is refused \
+           READONLY or a node dies mid-failover — re-discovers and re-runs (with --retries), \
+           riding out a promotion instead of failing. Overrides --host/--port when discovery \
+           succeeds.")
+
+let role =
+  Arg.(
+    value & flag
+    & info [ "role" ]
+        ~doc:
+          "Print the node's ROLE payload (role, epoch, journal position, repl_port, priority, \
+           peers, and a standby's fatal fencing status) — failover discovery for scripts.")
 
 let consults =
   Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"Program files to consult remotely.")
@@ -193,8 +249,8 @@ let cmd =
   Cmd.v
     (Cmd.info "xsb_client" ~doc)
     Term.(
-      const main $ host $ port $ consults $ fast_loads $ goals $ asserts $ limit $ timeout_ms
-      $ max_steps $ stats $ abolish $ ping $ sync $ promote $ follow_primary $ metrics $ retries
-      $ backoff_ms $ max_elapsed_ms)
+      const main $ host $ port $ endpoints $ consults $ fast_loads $ goals $ asserts $ limit
+      $ timeout_ms $ max_steps $ stats $ abolish $ ping $ sync $ promote $ role $ follow_primary
+      $ metrics $ retries $ backoff_ms $ max_elapsed_ms)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,7 +6,8 @@ let stop_requested = Atomic.make false
 
 let main host port workers queue timeout_ms max_steps max_answers preload scheduling access_log
     profile data_dir sync group_commit_ms group_commit_batch compact_bytes keep_generations
-    repl_port replica_of no_metrics slow_ms slow_log =
+    repl_port replica_of sync_standbys sync_timeout_ms auto_promote promote_priority
+    failover_timeout_ms peers no_metrics slow_ms slow_log =
   let open_log = function
     | None -> None
     | Some "-" -> Some stdout
@@ -41,6 +42,12 @@ let main host port workers queue timeout_ms max_steps max_answers preload schedu
       keep_generations;
       repl_port;
       replica_of;
+      sync_standbys;
+      sync_timeout_ms;
+      auto_promote;
+      promote_priority;
+      failover_timeout_ms;
+      peers;
       metrics_enabled = not no_metrics;
       slow_ms;
       slow_log = slow_channel;
@@ -249,6 +256,60 @@ let replica_of =
            \\$(docv): mirror and apply its journal continuously, refuse mutations with \
            READONLY, and accept PROMOTE for failover. Requires --data-dir.")
 
+let sync_standbys =
+  Arg.(
+    value
+    & opt ~vopt:1 int 0
+    & info [ "sync-standby" ] ~docv:"K"
+        ~doc:
+          "Semi-synchronous replication: a mutation's ack additionally waits until \\$(docv) \
+           standbys have acknowledged the committed journal position (default 1 when the flag \
+           is given bare; 0 = asynchronous). On timeout the commit degrades to async instead of \
+           freezing writers. Requires --repl-port.")
+
+let sync_timeout_ms =
+  Arg.(
+    value & opt int 1000
+    & info [ "sync-timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-commit budget for the semi-synchronous standby wait; past it the write is acked \
+           anyway and the xsb_repl_sync_degraded gauge flips until standbys catch up.")
+
+let auto_promote =
+  Arg.(
+    value & flag
+    & info [ "auto-promote" ]
+        ~doc:
+          "Standby only: promote automatically after --failover-timeout-ms of primary silence — \
+           unless a probed peer (--peers) is a live primary on a current epoch (then retarget \
+           the replication stream at it) or a better-positioned standby exists (then defer).")
+
+let promote_priority =
+  Arg.(
+    value & opt int 0
+    & info [ "promote-priority" ] ~docv:"N"
+        ~doc:
+          "Failover tie-break: lower numbers promote first; each step also adds half a second \
+           of detection grace so replicas don't race each other to promote.")
+
+let failover_timeout_ms =
+  Arg.(
+    value & opt int 3000
+    & info [ "failover-timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Primary-silence threshold (no heartbeat or data) before the failover monitor acts \
+           (with --auto-promote).")
+
+let peers =
+  Arg.(
+    value
+    & opt (list hostport_conv) []
+    & info [ "peers" ] ~docv:"HOST:PORT,..."
+        ~doc:
+          "Client endpoints of the other nodes in the replication topology. The failover \
+           monitor probes them (ROLE) before promoting, and clients using --endpoints learn \
+           them for re-discovery.")
+
 let no_metrics =
   Arg.(
     value & flag
@@ -282,7 +343,8 @@ let cmd =
     Term.(
       const main $ host $ port $ workers $ queue $ timeout_ms $ max_steps $ max_answers $ preload
       $ scheduling $ access_log $ profile $ data_dir $ sync $ group_commit_ms $ group_commit_batch
-      $ compact_bytes $ keep_generations $ repl_port $ replica_of $ no_metrics $ slow_ms
-      $ slow_log)
+      $ compact_bytes $ keep_generations $ repl_port $ replica_of $ sync_standbys
+      $ sync_timeout_ms $ auto_promote $ promote_priority $ failover_timeout_ms $ peers
+      $ no_metrics $ slow_ms $ slow_log)
 
 let () = exit (Cmd.eval' cmd)

@@ -379,15 +379,21 @@ let scan buf start =
 
 (* ---------- file headers ---------- *)
 
-let journal_magic = "XSBJNL01"
-let snapshot_magic = "XSBSNP01"
-let header_len = 16
+let journal_magic = "XSBJNL02"
+let snapshot_magic = "XSBSNP02"
+let header_len = 24
 
-let header magic gen =
+(* magic (8) | generation (i64 BE) | epoch (i64 BE). The epoch is the
+   failover fencing term (DESIGN.md §14): it only ever moves forward,
+   at promotion, and every replication frame carries it. *)
+let header magic gen epoch =
   let b = Buffer.create header_len in
   Buffer.add_string b magic;
   Buffer.add_int64_be b gen;
+  Buffer.add_int64_be b epoch;
   Buffer.contents b
+
+let header_epoch buf = String.get_int64_be buf 16
 
 (* ---------- the journal ---------- *)
 
@@ -434,6 +440,7 @@ type t = {
   mutable synced : int;
   mutable pending : int;  (* records appended since the last fsync *)
   mutable generation : int64;
+  mutable epoch : int64;
   mutable failed_site : string option;
   mutable closed : bool;
   mutable attached : bool;
@@ -576,16 +583,17 @@ let rec mkdir_p dir =
 
 let journal_path cfg = Filename.concat cfg.dir "journal.log"
 let snapshot_path cfg = Filename.concat cfg.dir "snapshot.bin"
+let epochs_path cfg = Filename.concat cfg.dir "epochs.log"
 
 (* a fresh journal containing only its header, published atomically
    (tmp + rename) so a crash can never leave a torn header behind.
    The returned fd stays valid across the rename and is positioned at
    the end of the header. *)
-let create_journal_file jpath gen =
+let create_journal_file jpath gen epoch =
   let tmp = jpath ^ ".tmp" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   (try
-     write_all fd (header journal_magic gen);
+     write_all fd (header journal_magic gen epoch);
      Unix.fsync fd;
      Unix.rename tmp jpath
    with Unix.Unix_error (e, _, _) ->
@@ -723,9 +731,9 @@ let open_common ~replay ~tolerate_corruption cfg db =
      it has no legitimate torn tail: anything short of clean is
      corruption (recoverable as a prefix only under
      [~tolerate_corruption]). *)
-  let snap_gen =
+  let snap_gen, snap_epoch =
     match read_file spath with
-    | None -> 0L
+    | None -> (0L, 1L)
     | Some buf ->
         if String.length buf < header_len || String.sub buf 0 8 <> snapshot_magic then
           recovery_error spath 0 0 "bad snapshot header";
@@ -737,30 +745,34 @@ let open_common ~replay ~tolerate_corruption cfg db =
         | `Torn -> recovery_error spath end_pos (List.length records) "truncated snapshot"
         | `Corrupt msg -> recovery_error spath end_pos (List.length records) msg);
         apply_all spath records;
-        gen
+        (gen, header_epoch buf)
   in
   (* 2. the journal tail *)
-  let generation, fd, written =
+  let generation, epoch, fd, written =
     match read_file jpath with
     | None ->
         let g = Int64.add snap_gen 1L in
-        (g, create_journal_file jpath g, header_len)
+        (g, snap_epoch, create_journal_file jpath g snap_epoch, header_len)
     | Some buf when String.length buf < header_len ->
         (* crashed while the very first header was being written: no
            record can ever have followed it *)
         let g = Int64.add snap_gen 1L in
-        (g, create_journal_file jpath g, header_len)
+        (g, snap_epoch, create_journal_file jpath g snap_epoch, header_len)
     | Some buf ->
         if String.sub buf 0 8 <> journal_magic then
           recovery_error jpath 0 0 "bad journal magic";
         let g = String.get_int64_be buf 8 in
+        let e =
+          let je = header_epoch buf in
+          if Int64.compare je snap_epoch > 0 then je else snap_epoch
+        in
         if Int64.compare g snap_gen <= 0 then begin
           (* stale: the crash hit compaction after the snapshot rename
              but before the journal rotation — every record here is
              already inside the snapshot, so replaying would double
              them. Rotate to the next generation. *)
           let g' = Int64.add snap_gen 1L in
-          (g', create_journal_file jpath g', header_len)
+          (g', e, create_journal_file jpath g' e, header_len)
         end
         else if Int64.compare g (Int64.add snap_gen 1L) > 0 then
           recovery_error jpath 8 0
@@ -787,7 +799,7 @@ let open_common ~replay ~tolerate_corruption cfg db =
            with Unix.Unix_error (e, _, _) ->
              (try Unix.close fd with Unix.Unix_error _ -> ());
              io_error "journal.open" (Unix.error_message e));
-          (g, fd, end_pos)
+          (g, e, fd, end_pos)
         end
   in
   stats.recovery_ms <- 1000.0 *. (Unix.gettimeofday () -. t0);
@@ -800,6 +812,7 @@ let open_common ~replay ~tolerate_corruption cfg db =
       synced = written;
       pending = 0;
       generation;
+      epoch;
       failed_site = None;
       closed = false;
       attached = false;
@@ -914,7 +927,7 @@ let compact_locked j =
   (* 1. write the snapshot aside *)
   let stmp = spath ^ ".tmp" in
   let b = Buffer.create 65536 in
-  Buffer.add_string b (header snapshot_magic j.generation);
+  Buffer.add_string b (header snapshot_magic j.generation j.epoch);
   List.iter (fun m -> Buffer.add_string b (frame (encode_mutation m))) (snapshot_records j);
   let sfd =
     try Unix.openfile stmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
@@ -950,7 +963,7 @@ let compact_locked j =
       io_error "journal.rotate.write" (Unix.error_message e)
   in
   (try
-     write_site j "journal.rotate.write" nfd (header journal_magic next);
+     write_site j "journal.rotate.write" nfd (header journal_magic next j.epoch);
      fsync_site j "journal.rotate.sync" nfd
    with e ->
      (try Unix.close nfd with Unix.Unix_error _ -> ());
@@ -1069,6 +1082,73 @@ let position j = with_lock j (fun () -> (j.generation, j.written))
 let durable_position j = with_lock j (fun () -> (j.generation, j.synced))
 let failed j = j.failed_site
 let stats j = j.stats
+
+(* ---------- epochs (failover fencing) ---------- *)
+
+let epoch j = with_lock j (fun () -> j.epoch)
+
+(* Promotion: retire the current epoch, recording where its authority
+   ends (the fence), and stamp the next epoch into the live journal
+   header. The fence line in epochs.log is what lets this node — as a
+   future primary — accept a stale-epoch standby that stayed within the
+   old epoch's replicated prefix, and refuse one that diverged past it
+   (a deposed primary with unshipped writes). *)
+let bump_epoch j =
+  with_lock j @@ fun () ->
+  guard_usable j;
+  (* settle the outgoing epoch on disk so the fence position is final *)
+  while j.syncing do
+    Condition.wait j.sync_done j.m
+  done;
+  guard_usable j;
+  if j.written > j.synced then do_sync j;
+  let old = j.epoch in
+  let next = Int64.add old 1L in
+  let epath = epochs_path j.cfg in
+  (match
+     Unix.openfile epath [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+   with
+  | exception Unix.Unix_error (e, _, _) -> io_error "epoch.fence" (Unix.error_message e)
+  | fd ->
+      (try
+         write_all fd (Printf.sprintf "%Ld %Ld %d\n" old j.generation j.synced);
+         Unix.fsync fd
+       with Unix.Unix_error (e, _, _) ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         io_error "epoch.fence" (Unix.error_message e));
+      (try Unix.close fd with Unix.Unix_error _ -> ()));
+  (* rewrite the 8 epoch bytes of the live header in place: the rest of
+     the file is untouched, so mirrors remain byte-prefixes everywhere
+     except this one fenced field *)
+  (match Unix.openfile (journal_path j.cfg) [ Unix.O_WRONLY ] 0o644 with
+  | exception Unix.Unix_error (e, _, _) -> io_error "epoch.stamp" (Unix.error_message e)
+  | fd ->
+      (try
+         ignore (Unix.lseek fd 16 Unix.SEEK_SET);
+         let b = Buffer.create 8 in
+         Buffer.add_int64_be b next;
+         write_all fd (Buffer.contents b);
+         Unix.fsync fd
+       with Unix.Unix_error (e, _, _) ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         io_error "epoch.stamp" (Unix.error_message e));
+      (try Unix.close fd with Unix.Unix_error _ -> ()));
+  fsync_dir_raw j.cfg.dir;
+  j.epoch <- next;
+  next
+
+(* where [epoch]'s authority ended on this node, from epochs.log *)
+let epoch_fence j e =
+  match read_file (epochs_path j.cfg) with
+  | None -> None
+  | Some buf ->
+      List.fold_left
+        (fun acc line ->
+          match Scanf.sscanf_opt line " %Ld %Ld %d" (fun ep g o -> (ep, g, o)) with
+          | Some (ep, g, o) when Int64.equal ep e -> Some (g, o)
+          | _ -> acc)
+        None
+        (String.split_on_char '\n' buf)
 
 (* ---------- streaming reads (the replication feed) ---------- *)
 
@@ -1199,6 +1279,7 @@ let stats_json j =
   Xsb_obs.Json.Obj
     [
       ("generation", Xsb_obs.Json.Int (Int64.to_int j.generation));
+      ("epoch", Xsb_obs.Json.Int (Int64.to_int j.epoch));
       ("sync", Xsb_obs.Json.String (sync_policy_to_string j.cfg.sync));
       ("records_appended", Xsb_obs.Json.Int j.stats.records_appended);
       ("bytes_appended", Xsb_obs.Json.Int j.stats.bytes_appended);
@@ -1239,7 +1320,8 @@ let publish_metrics j reg =
     (Float.of_int (j.written - j.synced));
   g "Group-commit batches fsynced." "group_batches_total" (Float.of_int s.group_batches);
   g "Records acknowledged by group-commit batches." "group_batch_records_total"
-    (Float.of_int s.group_batch_records)
+    (Float.of_int s.group_batch_records);
+  g "Failover fencing epoch stamped in the journal header." "epoch" (Int64.to_float j.epoch)
 
 let pp_stats ppf j =
   Format.fprintf ppf

@@ -4,14 +4,18 @@
 
     On-disk layout (inside one data directory):
 
-    - [journal.log] — header (magic ["XSBJNL01"] + i64 generation),
-      then CRC32-framed, length-prefixed mutation records:
-      [u32 length | u32 crc32(payload) | payload]. Payloads use the
-      same validated codec as object files ([Xsb_db.Codec]) — no
-      [Marshal] anywhere on the recovery path.
-    - [snapshot.bin] — header (magic ["XSBSNP01"] + i64 covered
-      generation), then the same record framing: declaration records
-      followed by one whole-database object-file image.
+    - [journal.log] — header (magic ["XSBJNL02"] + i64 generation +
+      i64 failover epoch), then CRC32-framed, length-prefixed mutation
+      records: [u32 length | u32 crc32(payload) | payload]. Payloads
+      use the same validated codec as object files ([Xsb_db.Codec]) —
+      no [Marshal] anywhere on the recovery path.
+    - [snapshot.bin] — header (magic ["XSBSNP02"] + i64 covered
+      generation + i64 epoch), then the same record framing:
+      declaration records followed by one whole-database object-file
+      image.
+    - [epochs.log] — one text line [<epoch> <gen> <off>] per retired
+      epoch: the fence position where that epoch's authority ended
+      (written by {!bump_epoch} at promotion).
 
     Recovery replays [snapshot + journal tail]. A torn or corrupt
     {e final} journal record is a clean EOF (the file is truncated back
@@ -220,6 +224,32 @@ val durable_bytes : t -> int
 
 val generation : t -> int64
 
+val header_len : int
+(** Size of the [journal.log] / [snapshot.bin] file header (24 bytes:
+    magic, generation, epoch). The first record starts here. *)
+
+val journal_magic : string
+val snapshot_magic : string
+
+val epoch : t -> int64
+(** The failover fencing epoch stamped in the live journal header.
+    Starts at 1 in a fresh directory; moves forward only at
+    {!bump_epoch}. *)
+
+val bump_epoch : t -> int64
+(** Retire the current epoch and return the next one (promotion).
+    Settles pending bytes, appends the fence line
+    [<old_epoch> <generation> <durable_off>] to [epochs.log] (fsynced),
+    and rewrites the epoch field of the live journal header in place.
+    Raises {!Io_error} if any of that fails. *)
+
+val epoch_fence : t -> int64 -> (int64 * int) option
+(** Where the given (retired) epoch's authority ended on this node, as
+    [(generation, offset)] from [epochs.log] — the acceptance bound for
+    a stale-epoch standby trying to resume: positions at or before the
+    fence are prefixes of the replicated stream, positions past it
+    diverged. [None] when this node never retired that epoch. *)
+
 val position : t -> int64 * int
 (** [(generation, written_bytes)], read atomically. *)
 
@@ -240,8 +270,8 @@ type chunk =
 
 val read_chunk : t -> gen:int64 -> off:int -> max_bytes:int -> chunk
 (** Read up to [max_bytes] raw journal bytes of generation [gen]
-    starting at byte offset [off] (offsets include the 16-byte file
-    header, so a fresh reader starts at 0). Only fsync-covered bytes of
+    starting at byte offset [off] (offsets include the {!header_len}
+    file header, so a fresh reader starts at 0). Only fsync-covered bytes of
     the live generation are ever returned — a standby must never hold
     bytes its primary could still lose. Archived generations
     ([keep_generations]) are complete, so [Rotated] at their end means

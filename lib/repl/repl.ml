@@ -1,4 +1,4 @@
-(* Journal-shipping replication (DESIGN.md §13).
+(* Journal-shipping replication (DESIGN.md §13–§14).
 
    The primary streams its journal — the exact framed bytes the crash
    recovery path already trusts — to standbys over a small wire
@@ -8,27 +8,42 @@
    the primary has fsynced are ever shipped, so a standby can never
    hold state its primary could still lose.
 
-   Wire protocol (one TCP connection per standby, primary talks after
-   one handshake line from the standby):
+   Wire protocol (one TCP connection per standby; the standby speaks
+   first, then both sides talk full-duplex — the primary streams, the
+   standby acks):
 
-     standby -> primary   XSBR1 HELLO <gen> <off>\n
-     primary -> standby   SNAP <gen> <len>\n  <len raw snapshot bytes>
+     standby -> primary   XSBR2 HELLO <epoch> <gen> <off>\n
+                          ACK <epoch> <gen> <off>\n        (repeated)
+     primary -> standby   EPOCH <epoch>\n                  (first frame)
+                          SNAP <gen> <len>\n  <len raw snapshot bytes>
                           DATA <gen> <off> <len>\n  <len raw journal bytes>
-                          HB <gen> <off>\n
+                          HB <epoch> <gen> <off>\n
                           ERR <message>\n
 
-   HELLO carries the standby's durable position ([0 0] for a brand-new
-   standby, which asks to be seeded). SNAP is a verbatim snapshot file
-   covering <gen>; it appears at bootstrap and at every generation
-   boundary, so the standby's (snapshot.bin, journal.log) pair stays
-   consistent for its own crash recovery. DATA is a verbatim byte range
-   of generation <gen> (offset 0 includes the 16-byte file header). HB
-   carries the primary's durable watermark — the standby's lag
-   reference. ERR is terminal (e.g. the standby fell behind every
-   retained archive). *)
+   HELLO carries the standby's failover epoch and durable position
+   ([0 0] for a brand-new standby, which asks to be seeded). The
+   primary fences the handshake: a HELLO from a *higher* epoch means
+   this node was deposed (it stops accepting and tells its owner via
+   [on_deposed]); a HELLO from a *lower* epoch is admitted only when
+   its position is inside the prefix recorded for that epoch in
+   epochs.log — anything past the fence diverged on the old timeline
+   and must re-seed. EPOCH is the primary's first frame; a standby
+   adopts a higher epoch (stamping its mirrored header, since in-place
+   epoch rewrites are never re-shipped) and refuses a lower one.
 
-let proto_tag = "XSBR1"
-let header_len = 16
+   SNAP is a verbatim snapshot file covering <gen>; it appears at
+   bootstrap and at every generation boundary, so the standby's
+   (snapshot.bin, journal.log) pair stays consistent for its own crash
+   recovery. DATA is a verbatim byte range of generation <gen> (offset
+   0 includes the file header). HB carries the primary's durable
+   watermark — the standby's lag reference. ACK reports the standby's
+   persisted-and-applied frontier; the primary's semi-synchronous
+   commit barrier ({!Primary.wait_synced}) counts them. ERR is
+   terminal (fencing, or the standby fell behind every retained
+   archive). *)
+
+let proto_tag = "XSBR2"
+let header_len = Xsb.Journal.header_len
 let chunk_bytes = 256 * 1024
 let max_blob = 256 * 1024 * 1024
 let poll_interval = 0.005
@@ -65,6 +80,11 @@ let parse_pos g o =
   | Some g, Some o when Int64.compare g 0L >= 0 && o >= 0 -> (g, o)
   | _ -> proto_error "bad position %S %S" g o
 
+let parse_epoch e =
+  match Int64.of_string_opt e with
+  | Some e when Int64.compare e 0L >= 0 -> e
+  | _ -> proto_error "bad epoch %S" e
+
 let write_all fd s =
   let len = String.length s in
   let rec go off = if off < len then go (off + Unix.write_substring fd s off (len - off)) in
@@ -81,9 +101,40 @@ let fsync_dir dir =
       (try Unix.fsync fd with Unix.Unix_error _ -> ());
       (try Unix.close fd with Unix.Unix_error _ -> ())
 
-(* --- the primary: one listener, one streamer thread per standby --- *)
+(* (gen, off) ordering: generations are totally ordered and offsets
+   within one generation are byte offsets of the same file bytes *)
+let pos_ge (g1, o1) (g2, o2) =
+  Int64.compare g1 g2 > 0 || (Int64.equal g1 g2 && o1 >= o2)
+
+(* the streamer's failpoint site: [Short_write n] ships the first [n]
+   bytes of the frame (header line included) and then "crashes" the
+   connection — a torn DATA/SNAP the standby must survive *)
+let send_frame oc payload =
+  match Xsb.Failpoint.check "repl.stream.send" with
+  | None ->
+      output_string oc payload;
+      flush oc
+  | Some (Xsb.Failpoint.Short_write n) ->
+      let n = min (max n 0) (String.length payload) in
+      (try
+         output_string oc (String.sub payload 0 n);
+         flush oc
+       with Sys_error _ -> ());
+      raise (Xsb.Failpoint.Injected_crash "repl.stream.send")
+  | Some _ -> raise (Xsb.Failpoint.Injected_crash "repl.stream.send")
+
+(* --- the primary: one listener, streamer + ack-reader per standby --- *)
 
 module Primary = struct
+  (* per-connection standby bookkeeping, held in a reusable [slot] so
+     the per-standby gauge cardinality is bounded by the peak number of
+     concurrent standbys, not by the churn of reconnects *)
+  type standby_info = {
+    si_slot : int;
+    mutable si_ack_gen : int64;
+    mutable si_ack_off : int;
+  }
+
   type t = {
     journal : Xsb.Journal.t;
     listen_fd : Unix.file_descr;
@@ -96,6 +147,11 @@ module Primary = struct
     conn_counter : int Atomic.t;
     shipped_bytes : int Atomic.t;
     snapshots_shipped : int Atomic.t;
+    registry : Xsb.Metrics.t option;
+    on_deposed : (int64 -> unit) option;
+    slots : (int, standby_info option ref) Hashtbl.t;
+    slots_m : Mutex.t;
+    mutable degraded : bool;  (* sticky until a semi-sync wait succeeds again *)
     mutable acceptor : Thread.t option;
   }
 
@@ -108,19 +164,127 @@ module Primary = struct
     n
 
   let shipped_bytes t = Atomic.get t.shipped_bytes
+  let degraded t = t.degraded
+
+  let register_slot_gauges t reg slot cell =
+    let labels = [ ("standby", string_of_int slot) ] in
+    Xsb.Metrics.gauge_fn reg ~labels
+      ~help:"1 while this standby slot has a live replication connection."
+      "xsb_repl_standby_connected" (fun () ->
+        match !cell with Some _ -> 1.0 | None -> 0.0);
+    Xsb.Metrics.gauge_fn reg ~labels
+      ~help:"Bytes between the primary's durable watermark and this standby's acked frontier."
+      "xsb_repl_standby_lag_bytes" (fun () ->
+        match !cell with
+        | None -> 0.0
+        | Some si -> (
+            match Xsb.Journal.durable_position t.journal with
+            | exception _ -> 0.0
+            | pg, po ->
+                if Int64.equal pg si.si_ack_gen then float_of_int (max 0 (po - si.si_ack_off))
+                else if Int64.compare pg si.si_ack_gen > 0 then 1e9
+                else 0.0));
+    Xsb.Metrics.gauge_fn reg ~labels
+      ~help:"Journal offset this standby last acknowledged as persisted and applied."
+      "xsb_repl_standby_acked_off" (fun () ->
+        match !cell with None -> 0.0 | Some si -> float_of_int si.si_ack_off)
+
+  let claim_slot t =
+    Mutex.lock t.slots_m;
+    let rec free n =
+      match Hashtbl.find_opt t.slots n with
+      | Some r when !r <> None -> free (n + 1)
+      | _ -> n
+    in
+    let slot = free 0 in
+    let si = { si_slot = slot; si_ack_gen = 0L; si_ack_off = 0 } in
+    let fresh_cell =
+      match Hashtbl.find_opt t.slots slot with
+      | Some r ->
+          r := Some si;
+          None
+      | None ->
+          let r = ref (Some si) in
+          Hashtbl.add t.slots slot r;
+          Some r
+    in
+    Mutex.unlock t.slots_m;
+    (* gauge registration takes the registry lock; never hold slots_m
+       across it (a scrape samples these callbacks under that lock) *)
+    (match (fresh_cell, t.registry) with
+    | Some cell, Some reg -> register_slot_gauges t reg slot cell
+    | _ -> ());
+    si
+
+  let release_slot t si =
+    Mutex.lock t.slots_m;
+    (match Hashtbl.find_opt t.slots si.si_slot with
+    | Some r -> ( match !r with Some cur when cur == si -> r := None | _ -> ())
+    | None -> ());
+    Mutex.unlock t.slots_m
+
+  let acked_count t ~gen ~off =
+    (* caller holds slots_m *)
+    Hashtbl.fold
+      (fun _ r n ->
+        match !r with
+        | Some si when pos_ge (si.si_ack_gen, si.si_ack_off) (gen, off) -> n + 1
+        | _ -> n)
+      t.slots 0
+
+  (* The semi-synchronous commit barrier: block until [k] standbys have
+     acked (gen, off) or [timeout_s] elapses. Stdlib [Condition] has no
+     timed wait, so this polls — a short yield-spin for the common
+     sub-millisecond ack, then 0.5 ms naps. The [degraded] flag is
+     sticky across timeouts and clears on the next in-time success. *)
+  let wait_synced t ~k ~gen ~off ~timeout_s =
+    if k <= 0 then true
+    else begin
+      let deadline = Xsb.Mclock.now () +. timeout_s in
+      Mutex.lock t.slots_m;
+      let ok = ref (acked_count t ~gen ~off >= k) in
+      let spins = ref 0 in
+      while (not !ok) && (not (Atomic.get t.stopped)) && Xsb.Mclock.now () < deadline do
+        Mutex.unlock t.slots_m;
+        if !spins < 64 then begin
+          incr spins;
+          Thread.yield ()
+        end
+        else Thread.delay 0.0005;
+        Mutex.lock t.slots_m;
+        ok := acked_count t ~gen ~off >= k
+      done;
+      t.degraded <- not !ok;
+      Mutex.unlock t.slots_m;
+      !ok
+    end
 
   let send_snap t oc gen blob =
-    Printf.fprintf oc "SNAP %Ld %d\n" gen (String.length blob);
-    output_string oc blob;
-    flush oc;
+    let hdr = Printf.sprintf "SNAP %Ld %d\n" gen (String.length blob) in
+    send_frame oc (hdr ^ blob);
     Atomic.incr t.snapshots_shipped
 
-  let stream t ic oc =
-    let gen, off =
-      match words (read_line_bounded ic) with
-      | [ tag; "HELLO"; g; o ] when tag = proto_tag -> parse_pos g o
-      | _ -> proto_error "bad replication handshake (expected %s HELLO <gen> <off>)" proto_tag
-    in
+  (* the connection's read half: ACK lines from the standby. Runs until
+     the peer closes or the streamer shuts the socket down. *)
+  let ack_loop t si ic =
+    try
+      while not (Atomic.get t.stopped) do
+        match words (read_line_bounded ic) with
+        | [ "ACK"; e; g; o ] ->
+            ignore (parse_epoch e);
+            (* the handshake already fenced the epoch for this connection *)
+            let g, o = parse_pos g o in
+            Mutex.lock t.slots_m;
+            if pos_ge (g, o) (si.si_ack_gen, si.si_ack_off) then begin
+              si.si_ack_gen <- g;
+              si.si_ack_off <- o
+            end;
+            Mutex.unlock t.slots_m
+        | ws -> proto_error "unexpected frame from standby %S" (String.concat " " ws)
+      done
+    with End_of_file | Sys_error _ | Unix.Unix_error _ | Protocol_error _ -> ()
+
+  let stream t oc ~my_epoch ~gen ~off =
     let gen = ref gen and off = ref off in
     (* HELLO 0 0: a standby with no state at all. Seed it from the
        latest snapshot when one exists; otherwise it replays generation
@@ -138,7 +302,7 @@ module Primary = struct
       let now = Xsb.Mclock.now () in
       if now -. !last_hb >= hb_interval then begin
         let pg, po = Xsb.Journal.durable_position t.journal in
-        Printf.fprintf oc "HB %Ld %d\n" pg po;
+        Printf.fprintf oc "HB %Ld %Ld %d\n" my_epoch pg po;
         flush oc;
         last_hb := now
       end
@@ -146,9 +310,8 @@ module Primary = struct
     while not (Atomic.get t.stopped) do
       match Xsb.Journal.read_chunk t.journal ~gen:!gen ~off:!off ~max_bytes:chunk_bytes with
       | Xsb.Journal.Chunk data ->
-          Printf.fprintf oc "DATA %Ld %d %d\n" !gen !off (String.length data);
-          output_string oc data;
-          flush oc;
+          let hdr = Printf.sprintf "DATA %Ld %d %d\n" !gen !off (String.length data) in
+          send_frame oc (hdr ^ data);
           off := !off + String.length data;
           ignore (Atomic.fetch_and_add t.shipped_bytes (String.length data));
           heartbeat ()
@@ -177,17 +340,80 @@ module Primary = struct
           Thread.delay poll_interval
     done
 
+  (* The handshake fence (DESIGN.md §14). Three cases, checked against
+     this primary's epoch E and epochs.log:
+       - HELLO epoch > E: *we* are the stale node. Tell the owner via
+         [on_deposed] (the server flips read-only) and refuse.
+       - HELLO epoch = E, or a fresh standby (0/0): admit.
+       - HELLO epoch < E: admit only when the offered position is
+         inside the fenced prefix of that epoch — bytes both timelines
+         share. Past the fence the standby wrote journal bytes this
+         primary never had: it must re-seed. *)
+  let fence t oc ~hello_epoch ~hello_gen ~hello_off ~my_epoch =
+    if Int64.compare hello_epoch my_epoch > 0 then begin
+      (match t.on_deposed with Some f -> f hello_epoch | None -> ());
+      Printf.fprintf oc "ERR deposed: peer speaks epoch %Ld, this node is at epoch %Ld\n"
+        hello_epoch my_epoch;
+      flush oc;
+      raise Exit
+    end;
+    if
+      Int64.compare hello_epoch my_epoch < 0
+      && not (Int64.equal hello_gen 0L && hello_off = 0)
+    then begin
+      let inside_fence =
+        match Xsb.Journal.epoch_fence t.journal hello_epoch with
+        | Some (fg, fo) ->
+            Int64.compare hello_gen fg < 0 || (Int64.equal hello_gen fg && hello_off <= fo)
+        | None -> false
+      in
+      if not inside_fence then begin
+        Printf.fprintf oc
+          "ERR fenced: epoch %Ld position %Ld/%d diverged from this primary's history; re-seed \
+           the standby from an empty data directory\n"
+          hello_epoch hello_gen hello_off;
+        flush oc;
+        raise Exit
+      end
+    end
+
   let handle t id fd =
     let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
-    (try stream t ic oc with
+    let si = ref None in
+    let acker = ref None in
+    (try
+       let hello_epoch, hello_gen, hello_off =
+         match words (read_line_bounded ic) with
+         | [ tag; "HELLO"; e; g; o ] when tag = proto_tag ->
+             let e = parse_epoch e in
+             let g, o = parse_pos g o in
+             (e, g, o)
+         | _ ->
+             proto_error "bad replication handshake (expected %s HELLO <epoch> <gen> <off>)"
+               proto_tag
+       in
+       let my_epoch = Xsb.Journal.epoch t.journal in
+       fence t oc ~hello_epoch ~hello_gen ~hello_off ~my_epoch;
+       Printf.fprintf oc "EPOCH %Ld\n" my_epoch;
+       flush oc;
+       let info = claim_slot t in
+       si := Some info;
+       acker := Some (Thread.create (fun () -> ack_loop t info ic) ());
+       stream t oc ~my_epoch ~gen:hello_gen ~off:hello_off
+     with
     | Exit | End_of_file | Sys_error _ | Unix.Unix_error _ -> ()
+    | Xsb.Failpoint.Injected_crash _ -> ()  (* simulated stream death: drop the connection *)
     | Protocol_error msg -> (
         try
           Printf.fprintf oc "ERR %s\n" msg;
           flush oc
         with Sys_error _ | Unix.Unix_error _ -> ())
     | Xsb.Journal.Io_error _ -> ());
+    (* unblock the ack reader before joining it *)
+    (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (match !acker with Some th -> Thread.join th | None -> ());
     (try Unix.close fd with Unix.Unix_error _ -> ());
+    (match !si with Some info -> release_slot t info | None -> ());
     Mutex.lock t.conns_m;
     Hashtbl.remove t.conns id;
     Mutex.unlock t.conns_m
@@ -217,7 +443,7 @@ module Primary = struct
     in
     loop ()
 
-  let start ?(host = "127.0.0.1") ?registry ~port ~journal () =
+  let start ?(host = "127.0.0.1") ?registry ?on_deposed ~port ~journal () =
     let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
     (try
@@ -241,6 +467,11 @@ module Primary = struct
         conn_counter = Atomic.make 0;
         shipped_bytes = Atomic.make 0;
         snapshots_shipped = Atomic.make 0;
+        registry;
+        on_deposed;
+        slots = Hashtbl.create 4;
+        slots_m = Mutex.create ();
+        degraded = false;
         acceptor = None;
       }
     in
@@ -253,7 +484,12 @@ module Primary = struct
         Xsb.Metrics.gauge_fn reg
           ~help:"Snapshots shipped to standbys (bootstrap and generation boundaries)."
           "xsb_repl_snapshots_shipped_total" (fun () ->
-            float_of_int (Atomic.get t.snapshots_shipped))
+            float_of_int (Atomic.get t.snapshots_shipped));
+        Xsb.Metrics.gauge_fn reg
+          ~help:
+            "1 while semi-synchronous commit is degraded to async (the last sync wait timed \
+             out)."
+          "xsb_repl_sync_degraded" (fun () -> if t.degraded then 1.0 else 0.0)
     | None -> ());
     t.acceptor <- Some (Thread.create (fun () -> acceptor_loop t) ());
     t
@@ -278,7 +514,7 @@ module Primary = struct
     end
 end
 
-(* --- the standby: connect, mirror, decode, apply --- *)
+(* --- the standby: connect, mirror, decode, apply, ack --- *)
 
 module Standby = struct
   type status = {
@@ -290,6 +526,8 @@ module Standby = struct
     primary_off : int;
     lag_bytes : int;
     snapshots_received : int;
+    epoch : int64;
+    seconds_since_contact : float;
     fatal : string option;
   }
 
@@ -307,6 +545,8 @@ module Standby = struct
     mutable primary_off : int;
     mutable applied_records : int;
     mutable snapshots_received : int;
+    mutable epoch : int64;  (* highest epoch seen, from start + EPOCH/HB *)
+    mutable last_contact : float;  (* monotonic; any frame from the primary *)
     mutable connected : bool;
     mutable fatal : string option;
     mutable conn_fd : Unix.file_descr option;
@@ -348,11 +588,42 @@ module Standby = struct
           primary_off = t.primary_off;
           lag_bytes = lag_of t;
           snapshots_received = t.snapshots_received;
+          epoch = t.epoch;
+          seconds_since_contact = Xsb.Mclock.now () -. t.last_contact;
           fatal = t.fatal;
         })
 
   let journal_cfg t =
     { (Xsb.Journal.default_config ~dir:t.dir) with Xsb.Journal.keep_generations = t.keep_generations }
+
+  (* A new primary's first EPOCH frame: stamp the adopted epoch into the
+     mirrored journal header. The primary bumped its own header with an
+     in-place rewrite that the byte stream never re-ships, so without
+     this the standby's header would resurrect the old epoch after a
+     local restart. *)
+  let stamp_epoch t e =
+    match Unix.openfile (journal_file t) [ Unix.O_WRONLY ] 0o644 with
+    | exception Unix.Unix_error _ -> ()
+    | fd ->
+        let size = try (Unix.fstat fd).Unix.st_size with Unix.Unix_error _ -> 0 in
+        if size >= header_len then
+          (try
+             ignore (Unix.lseek fd 16 Unix.SEEK_SET);
+             let b = Buffer.create 8 in
+             Buffer.add_int64_be b e;
+             write_all fd (Buffer.contents b);
+             Unix.fsync fd
+           with Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+
+  let adopt_epoch t e =
+    let local = with_lock t (fun () -> t.epoch) in
+    if Int64.compare e local < 0 then
+      fatal "primary speaks stale epoch %Ld (this standby already saw epoch %Ld)" e local
+    else if Int64.compare e local > 0 then begin
+      stamp_epoch t e;
+      with_lock t (fun () -> t.epoch <- e)
+    end
 
   (* Install a snapshot covering [covered]: publish it as snapshot.bin
      (archiving the outgoing pair like the primary's compaction does),
@@ -361,7 +632,7 @@ module Standby = struct
      the session. At a rotation boundary the records are already live
      in the session; only the files change. *)
   let install_snapshot t ~covered ~blob ~seed =
-    if String.length blob < header_len || String.sub blob 0 8 <> "XSBSNP01" then
+    if String.length blob < header_len || String.sub blob 0 8 <> Xsb.Journal.snapshot_magic then
       fatal "bad snapshot blob for generation %Ld" covered;
     if not (Int64.equal (String.get_int64_be blob 8) covered) then
       fatal "snapshot generation mismatch (header %Ld, announced %Ld)"
@@ -442,11 +713,22 @@ module Standby = struct
           t.gen <- 1L;
           t.applied_off <- 0)
     end;
-    let hello_gen, hello_off =
-      with_lock t (fun () -> if fresh then (0L, 0) else (t.gen, t.applied_off))
+    let hello_epoch, hello_gen, hello_off =
+      with_lock t (fun () -> if fresh then (t.epoch, 0L, 0) else (t.epoch, t.gen, t.applied_off))
     in
-    Printf.fprintf oc "%s HELLO %Ld %d\n" proto_tag hello_gen hello_off;
+    Printf.fprintf oc "%s HELLO %Ld %Ld %d\n" proto_tag hello_epoch hello_gen hello_off;
     flush oc;
+    (* report the persisted+applied frontier back to the primary's
+       semi-sync barrier — after every drain and on every heartbeat *)
+    let send_ack () =
+      (match Xsb.Failpoint.check "repl.standby.ack" with
+      | Some _ -> raise (Xsb.Failpoint.Injected_crash "repl.standby.ack")
+      | None -> ());
+      let e, g, o = with_lock t (fun () -> (t.epoch, t.gen, t.applied_off)) in
+      Printf.fprintf oc "ACK %Ld %Ld %d\n" e g o;
+      flush oc
+    in
+    let touch () = with_lock t (fun () -> t.last_contact <- Xsb.Mclock.now ()) in
     (* the mirror fd: raw primary bytes land here, making the local
        journal.log a byte-for-byte prefix of the primary's *)
     let mirror = ref None in
@@ -475,14 +757,14 @@ module Standby = struct
     let expect_seed = ref fresh in
     (* decode complete frames out of [pending] and apply them; the
        applied frontier only ever advances past whole frames (and the
-       16-byte generation header), so a reconnect resumes cleanly *)
+       generation header), so a reconnect resumes cleanly *)
     let drain () =
       let buf = Buffer.contents pending in
       let base = with_lock t (fun () -> t.applied_off) in
       let start =
         if base >= header_len then Some 0
         else if String.length buf >= header_len - base then begin
-          if base = 0 && String.sub buf 0 8 <> "XSBJNL01" then
+          if base = 0 && String.sub buf 0 8 <> Xsb.Journal.journal_magic then
             fatal "replicated generation %Ld does not start with a journal header" t.gen;
           Some (header_len - base)
         end
@@ -513,7 +795,9 @@ module Standby = struct
     in
     Fun.protect ~finally:close_mirror @@ fun () ->
     while not (Atomic.get t.stopped) do
-      match words (read_line_bounded ic) with
+      let line = read_line_bounded ic in
+      touch ();
+      match words line with
       | [ "DATA"; g; o; lenw ] ->
           let g, o = parse_pos g o in
           let len = parse_len lenw in
@@ -521,6 +805,9 @@ module Standby = struct
           expect_seed := false;
           if not (Int64.equal g t.gen) || o <> !persist_off then
             proto_error "DATA at %Ld/%d but standby expects %Ld/%d" g o t.gen !persist_off;
+          (match Xsb.Failpoint.check "repl.standby.apply" with
+          | Some _ -> raise (Xsb.Failpoint.Injected_crash "repl.standby.apply")
+          | None -> ());
           let mfd = mirror_fd () in
           write_all mfd data;
           (try Unix.fsync mfd with Unix.Unix_error _ -> ());
@@ -532,7 +819,8 @@ module Standby = struct
                 t.primary_gen <- g;
                 t.primary_off <- o + len
               end);
-          drain ()
+          drain ();
+          send_ack ()
       | [ "SNAP"; g; lenw ] ->
           let covered =
             match Int64.of_string_opt g with
@@ -553,15 +841,21 @@ module Standby = struct
               covered t.gen;
           expect_seed := false;
           persist_off := 0;
-          Buffer.clear pending
-      | [ "HB"; g; o ] ->
+          Buffer.clear pending;
+          send_ack ()
+      | [ "EPOCH"; e ] ->
+          adopt_epoch t (parse_epoch e);
+          send_ack ()
+      | [ "HB"; e; g; o ] ->
+          adopt_epoch t (parse_epoch e);
           let g, o = parse_pos g o in
           with_lock t (fun () ->
               if Int64.compare g t.primary_gen > 0 then begin
                 t.primary_gen <- g;
                 t.primary_off <- o
               end
-              else if Int64.equal g t.primary_gen then t.primary_off <- max t.primary_off o)
+              else if Int64.equal g t.primary_gen then t.primary_off <- max t.primary_off o);
+          send_ack ()
       | "ERR" :: rest -> fatal "primary refused: %s" (String.concat " " rest)
       | ws -> proto_error "unexpected replication frame %S" (String.concat " " ws)
     done
@@ -583,6 +877,7 @@ module Standby = struct
           (try session t fd with
           | Fatal msg -> with_lock t (fun () -> t.fatal <- Some msg)
           | End_of_file | Sys_error _ | Unix.Unix_error _ | Protocol_error _ -> ()
+          | Xsb.Failpoint.Injected_crash _ -> ()  (* simulated death: reconnect and resume *)
           | e ->
               with_lock t (fun () ->
                   t.fatal <- Some ("replication apply failed: " ^ Printexc.to_string e)));
@@ -594,8 +889,8 @@ module Standby = struct
       run t
     end
 
-  let start ?registry ~primary_host ~primary_port ~dir ~generation ~offset ~keep_generations
-      ~apply () =
+  let start ?registry ~primary_host ~primary_port ~dir ~generation ~offset ~epoch
+      ~keep_generations ~apply () =
     let t =
       {
         dir;
@@ -611,6 +906,8 @@ module Standby = struct
         primary_off = 0;
         applied_records = 0;
         snapshots_received = 0;
+        epoch;
+        last_contact = Xsb.Mclock.now ();
         connected = false;
         fatal = None;
         conn_fd = None;
@@ -631,6 +928,11 @@ module Standby = struct
         Xsb.Metrics.gauge_fn reg ~help:"Local journal generation being mirrored."
           "xsb_repl_generation" (fun () ->
             with_lock t (fun () -> Int64.to_float t.gen));
+        Xsb.Metrics.gauge_fn reg ~help:"Failover epoch this standby is following."
+          "xsb_repl_epoch" (fun () -> with_lock t (fun () -> Int64.to_float t.epoch));
+        Xsb.Metrics.gauge_fn reg ~help:"Seconds since the last frame from the primary."
+          "xsb_repl_seconds_since_contact" (fun () ->
+            with_lock t (fun () -> Xsb.Mclock.now () -. t.last_contact));
         Xsb.Metrics.gauge_fn reg ~help:"Snapshots received (bootstrap and generation boundaries)."
           "xsb_repl_snapshots_received_total" (fun () ->
             with_lock t (fun () -> float_of_int t.snapshots_received))

@@ -2,24 +2,36 @@
     journal — the same framed bytes crash recovery trusts — to
     standbys, which mirror them byte-for-byte into their own data
     directory and apply each record to a live session as it arrives
-    (DESIGN.md §13).
+    (DESIGN.md §13–§14).
 
-    Wire protocol (one TCP connection per standby):
+    Wire protocol (one TCP connection per standby, full-duplex after
+    the handshake):
     {v
-    standby -> primary   XSBR1 HELLO <gen> <off>
-    primary -> standby   SNAP <gen> <len>      + <len> snapshot bytes
+    standby -> primary   XSBR2 HELLO <epoch> <gen> <off>
+                         ACK <epoch> <gen> <off>            (repeated)
+    primary -> standby   EPOCH <epoch>                      (first frame)
+                         SNAP <gen> <len>       + <len> snapshot bytes
                          DATA <gen> <off> <len> + <len> journal bytes
-                         HB <gen> <off>
+                         HB <epoch> <gen> <off>
                          ERR <message>
     v}
 
     Only fsync-covered bytes are ever shipped, so a standby can never
     hold state its primary could still lose; the surviving state after
     any failover is a prefix of the acknowledged mutation stream. A
-    snapshot travels at bootstrap ([HELLO 0 0]) and at every
+    snapshot travels at bootstrap ([HELLO .. 0 0]) and at every
     generation boundary, keeping the standby's local
     [(snapshot.bin, journal.log)] pair valid for its own crash
-    recovery — and for promotion via {!Xsb.Journal.resume}. *)
+    recovery — and for promotion via {!Xsb.Journal.resume}.
+
+    Failover safety rests on the monotonic {e epoch}
+    ({!Xsb.Journal.epoch}): a promotion bumps it, and the handshake
+    fences on it — a deposed primary that comes back is refused unless
+    its position lies inside the prefix the new timeline shares with
+    the old one ({!Xsb.Journal.epoch_fence}), so a split brain cannot
+    merge silently. The ACK stream feeds the semi-synchronous commit
+    barrier ({!Primary.wait_synced}): with [--sync-standby=K] a write
+    is acknowledged to the client only once K standbys hold it. *)
 
 exception Protocol_error of string
 
@@ -30,28 +42,50 @@ module Primary : sig
   val start :
     ?host:string ->
     ?registry:Xsb.Metrics.t ->
+    ?on_deposed:(int64 -> unit) ->
     port:int ->
     journal:Xsb.Journal.t ->
     unit ->
     t
   (** Bind (port 0 picks an ephemeral one) and serve. Each accepted
-      standby gets its own streamer thread reading
-      {!Xsb.Journal.read_chunk} /
-      {!Xsb.Journal.snapshot_blob_for}. With [?registry], publishes
-      [xsb_repl_standbys], [xsb_repl_shipped_bytes_total] and
-      [xsb_repl_snapshots_shipped_total] gauges. The journal should
-      archive at least one generation ([keep_generations >= 1]) so a
-      standby can follow across a compaction. *)
+      standby gets its own streamer thread (reading
+      {!Xsb.Journal.read_chunk} / {!Xsb.Journal.snapshot_blob_for})
+      plus an ack-reader thread feeding {!wait_synced}. [?on_deposed]
+      fires when a peer connects with a {e higher} epoch — this node
+      was failed over away from and should stop accepting writes. With
+      [?registry], publishes [xsb_repl_standbys],
+      [xsb_repl_shipped_bytes_total],
+      [xsb_repl_snapshots_shipped_total], [xsb_repl_sync_degraded],
+      and per-slot [xsb_repl_standby_connected{standby=N}],
+      [xsb_repl_standby_lag_bytes{standby=N}] and
+      [xsb_repl_standby_acked_off{standby=N}] gauges (slots are
+      reused, so cardinality is bounded by peak concurrency). The
+      journal should archive at least one generation
+      ([keep_generations >= 1]) so a standby can follow across a
+      compaction. *)
 
   val port : t -> int
   val standbys : t -> int
   val shipped_bytes : t -> int
 
+  val wait_synced : t -> k:int -> gen:int64 -> off:int -> timeout_s:float -> bool
+  (** The semi-synchronous commit barrier: block until [k] standbys
+      have acknowledged journal position [(gen, off)] as persisted and
+      applied, or [timeout_s] elapses. [true] means the write is
+      provably on [k] standbys; [false] means the wait degraded to
+      asynchronous (the write is still durable locally). [k <= 0]
+      returns [true] immediately. *)
+
+  val degraded : t -> bool
+  (** [true] after a {!wait_synced} timed out, until a later wait
+      succeeds in time — mirrored by the [xsb_repl_sync_degraded]
+      gauge. *)
+
   val stop : t -> unit
   (** Close the listener and every feed; joins all threads. *)
 end
 
-(** The standby side: connect, mirror, decode, apply. *)
+(** The standby side: connect, mirror, decode, apply, ack. *)
 module Standby : sig
   type t
 
@@ -66,9 +100,13 @@ module Standby : sig
         (** bytes behind the primary's durable watermark; a sentinel
             ~1e9 while a whole generation behind *)
     snapshots_received : int;
+    epoch : int64;  (** highest failover epoch seen (start value or adopted) *)
+    seconds_since_contact : float;
+        (** monotonic seconds since any frame arrived — the failover
+            monitor's heartbeat-loss signal *)
     fatal : string option;
-        (** set when the applier parked: stale position or a corrupt
-            stream — reconnecting cannot help, re-seed the standby *)
+        (** set when the applier parked: stale position, stale-epoch
+            primary, or a corrupt stream — reconnecting cannot help *)
   }
 
   val start :
@@ -78,6 +116,7 @@ module Standby : sig
     dir:string ->
     generation:int64 ->
     offset:int ->
+    epoch:int64 ->
     keep_generations:int ->
     apply:(Xsb.Journal.mutation -> unit) ->
     unit ->
@@ -85,12 +124,16 @@ module Standby : sig
   (** Spawn the applier thread. [generation]/[offset] is the local
       journal position after recovery ({!Xsb.Journal.position}) — the
       standby resumes the stream there, or asks to be seeded when it
-      has no state. [apply] receives each replicated record (and each
-      bootstrap-snapshot record) and must do its own locking against
-      concurrent readers. Reconnects with backoff until {!stop}. With
-      [?registry], publishes [xsb_repl_lag_bytes],
-      [xsb_repl_connected], [xsb_repl_applied_records_total],
-      [xsb_repl_generation] and [xsb_repl_snapshots_received_total]. *)
+      has no state. [epoch] is the local journal's fencing epoch
+      ({!Xsb.Journal.epoch}); the standby adopts any higher epoch the
+      primary announces and parks fatally on a lower one. [apply]
+      receives each replicated record (and each bootstrap-snapshot
+      record) and must do its own locking against concurrent readers.
+      Reconnects with backoff until {!stop}. With [?registry],
+      publishes [xsb_repl_lag_bytes], [xsb_repl_connected],
+      [xsb_repl_applied_records_total], [xsb_repl_generation],
+      [xsb_repl_epoch], [xsb_repl_seconds_since_contact] and
+      [xsb_repl_snapshots_received_total]. *)
 
   val status : t -> status
 

@@ -42,6 +42,47 @@ val promote : t -> (string, reply_error) result
 (** Promote a replication standby to a writable primary (failover);
     [BAD_REQUEST] from a server that is not a replica. *)
 
+(** {1 Failover discovery (the ROLE op)} *)
+
+type role = Primary_role | Standby_role
+
+type role_info = {
+  role : role;
+  epoch : int64;  (** failover fencing epoch of the node's timeline *)
+  generation : int64;  (** journal position: durable (primary) or applied (standby) *)
+  offset : int;
+  repl_port : int option;  (** the replication feed, when serving one *)
+  priority : int;  (** [--promote-priority]; lower promotes first *)
+  read_only : bool;
+  peers : (string * int) list;  (** the node's [--peers] topology list *)
+  fatal : string option;
+      (** standby only: why its applier parked (e.g. fenced after a
+          split brain) *)
+}
+
+val role : t -> (role_info, reply_error) result
+(** Ask the node who it is. Never refused for being read-only — fenced
+    and deposed nodes answer too, which is how a client finds its way
+    to the new primary. *)
+
+val role_payload : t -> (string, reply_error) result
+(** The raw ROLE payload ("key: value" lines) — what [xsb_client --role]
+    prints, greppable by scripts. *)
+
+val role_info_of_payload : string -> role_info
+(** Parse a raw ROLE payload ("key: value" lines); unknown keys are
+    ignored. *)
+
+val probe_role : ?host:string -> int -> role_info option
+(** Connect, ask {!role}, close — [None] on any failure (refused,
+    unreachable, malformed). Safe against dead nodes by construction. *)
+
+val discover_primary : (string * int) list -> ((string * int) * role_info) option
+(** Probe every endpoint and return the writable primary with the
+    highest epoch, with the endpoint it answered on — the node a
+    failed-over client should re-dial. [None] when no writable primary
+    answered (election still in progress: retry). *)
+
 type query_outcome =
   | Rows of { rows : string list; truncated : bool }
       (** rendered solutions, in answer-arrival order; [truncated] when
@@ -101,7 +142,7 @@ val with_retry : retry -> (unit -> [ `Ok of 'a | `Retry of 'e ]) -> ('a, 'e) res
 
 val idempotent : Protocol.op -> bool
 (** Whether an op is safe to re-send
-    ([PING]/[QUERY]/[STATISTICS]/[METRICS]). *)
+    ([PING]/[QUERY]/[STATISTICS]/[METRICS]/[ROLE]). *)
 
 val connect_with_retry : ?retry:retry -> ?host:string -> int -> (t, string) result
 (** {!connect}, retrying [ECONNREFUSED] (a server still coming up). *)

@@ -6,7 +6,17 @@ let max_payload = 16 * 1024 * 1024
 let max_header = 4096
 
 type consult_fmt = Text | Fast | Obj
-type op = Ping | Consult | Assert | Query | Statistics | Abolish | Sync | Metrics | Promote
+type op =
+  | Ping
+  | Consult
+  | Assert
+  | Query
+  | Statistics
+  | Abolish
+  | Sync
+  | Metrics
+  | Promote
+  | Role
 
 type request = {
   op : op;
@@ -64,6 +74,7 @@ let op_name = function
   | Sync -> "SYNC"
   | Metrics -> "METRICS"
   | Promote -> "PROMOTE"
+  | Role -> "ROLE"
 
 let op_of_name = function
   | "PING" -> Some Ping
@@ -75,6 +86,7 @@ let op_of_name = function
   | "SYNC" -> Some Sync
   | "METRICS" -> Some Metrics
   | "PROMOTE" -> Some Promote
+  | "ROLE" -> Some Role
   | _ -> None
 
 let fmt_name = function Text -> "text" | Fast -> "fast" | Obj -> "obj"

@@ -10,8 +10,8 @@
 
     Requests: [XSB1 <OP> <len>[ <key>=<val>]...\n<payload>] with ops
     [PING], [CONSULT], [ASSERT], [QUERY], [STATISTICS], [ABOLISH],
-    [SYNC], [METRICS], [PROMOTE] and optional keys [fmt] (consult
-    format), [limit], [timeout_ms], [max_steps].
+    [SYNC], [METRICS], [PROMOTE], [ROLE] and optional keys [fmt]
+    (consult format), [limit], [timeout_ms], [max_steps].
 
     Replies: [OK <len>\n<payload>], a stream of [ANSWER <len>\n<payload>]
     frames closed by [DONE <count> <more01>\n], or a typed
@@ -44,6 +44,13 @@ type op =
   | Promote
       (** promote a replication standby to a writable primary (empty
           payload); [BAD_REQUEST] on a non-replica *)
+  | Role
+      (** failover discovery (empty payload): one [key: value] line per
+          row — [role] (primary|standby), [epoch], [generation],
+          [offset], [repl_port], [priority], [read_only], [peers]
+          (comma-separated [host:port] list) and, on a standby,
+          [fatal]. Never refused: clients use it to find the writable
+          primary after a failover *)
 
 type request = {
   op : op;

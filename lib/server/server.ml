@@ -24,6 +24,12 @@ type config = {
   keep_generations : int;
   repl_port : int option;
   replica_of : (string * int) option;
+  sync_standbys : int;
+  sync_timeout_ms : int;
+  auto_promote : bool;
+  promote_priority : int;
+  failover_timeout_ms : int;
+  peers : (string * int) list;
   metrics_enabled : bool;
   slow_ms : int;
   slow_log : out_channel option;
@@ -50,6 +56,12 @@ let default_config =
     keep_generations = 0;
     repl_port = None;
     replica_of = None;
+    sync_standbys = 0;
+    sync_timeout_ms = 1_000;
+    auto_promote = false;
+    promote_priority = 0;
+    failover_timeout_ms = 3_000;
+    peers = [];
     metrics_enabled = true;
     slow_ms = 0;
     slow_log = None;
@@ -201,6 +213,7 @@ type t = {
   promote_m : Mutex.t;
   mutable repl_primary : Xsb_repl.Repl.Primary.t option;
   mutable repl_standby : Xsb_repl.Repl.Standby.t option;
+  mutable failover_thread : Thread.t option;
 }
 
 let port t = t.bound_port
@@ -210,6 +223,13 @@ let read_only t = match t.shared with Some sh -> sh.sh_read_only | None -> None
 let repl_listen_port t = Option.map Xsb_repl.Repl.Primary.port t.repl_primary
 let replica_status t = Option.map Xsb_repl.Repl.Standby.status t.repl_standby
 let registry t = t.registry
+
+(* a standby's live epoch moves with the stream (adopted from EPOCH
+   frames); a primary's lives in the journal *)
+let epoch t =
+  match t.repl_standby with
+  | Some s -> Some (Xsb_repl.Repl.Standby.status s).Xsb_repl.Repl.Standby.epoch
+  | None -> Option.map (fun sh -> Xsb.Journal.epoch sh.sh_journal) t.shared
 let now () = Unix.gettimeofday ()
 
 (* Latency measurement and deadlines run on the monotonic clock, so an
@@ -348,6 +368,40 @@ let engine_steps conn = (Xsb.Session.stats conn.c_session).Xsb.Machine.st_steps
 
 (* --- promotion: replication standby -> writable primary --- *)
 
+(* a peer announced a higher failover epoch: this node was failed over
+   away from while it was alive (or partitioned). Stop accepting writes
+   — the new timeline wins, and clients discover it via ROLE. *)
+let deposed t e =
+  match t.shared with
+  | None -> ()
+  | Some sh ->
+      if sh.sh_read_only = None then
+        sh.sh_read_only <-
+          Some (Printf.sprintf "deposed by epoch %Ld (a newer primary exists; PROMOTE refused)" e)
+
+let start_primary t j =
+  match t.cfg.repl_port with
+  | Some p when t.repl_primary = None -> (
+      try
+        t.repl_primary <-
+          Some
+            (Xsb_repl.Repl.Primary.start ~host:t.cfg.host ~registry:t.registry
+               ~on_deposed:(fun e -> deposed t e) ~port:p ~journal:j ())
+      with Unix.Unix_error _ -> ())
+  | _ -> ()
+
+let spawn_standby t sh ~primary_host ~primary_port ~generation ~offset ~epoch =
+  let dir = Option.get t.cfg.data_dir in
+  let keep = (journal_config t.cfg dir).Xsb.Journal.keep_generations in
+  let apply m =
+    Mutex.lock sh.sh_m;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock sh.sh_m)
+      (fun () -> Xsb.Journal.apply_mutation (Xsb.Session.db sh.sh_session) m)
+  in
+  Xsb_repl.Repl.Standby.start ~primary_host ~primary_port ~dir ~generation ~offset ~epoch
+    ~keep_generations:keep ~apply ()
+
 let promote t =
   match t.shared with
   | None -> Protocol.Err (Protocol.Bad_request, "server has no journal (start with --data-dir)")
@@ -368,6 +422,10 @@ let promote t =
               Protocol.Err (Protocol.Exec_error, "promotion failed: " ^ Printexc.to_string e)
           | j ->
               t.repl_standby <- None;
+              (* a new timeline: bump the fencing epoch so the deposed
+                 primary (and any standby that followed it past this
+                 point) can never silently re-join *)
+              let e = try Xsb.Journal.bump_epoch j with Xsb.Journal.Io_error _ -> Xsb.Journal.epoch j in
               Xsb.Journal.attach ~deferred:true j;
               let old = sh.sh_journal in
               Mutex.lock sh.sh_m;
@@ -377,16 +435,103 @@ let promote t =
               (try Xsb.Journal.close old with _ -> ());
               (* a promoted node with --repl-port starts feeding its own
                  standbys *)
-              (match t.cfg.repl_port with
-              | Some p when t.repl_primary = None -> (
-                  try
-                    t.repl_primary <-
-                      Some
-                        (Xsb_repl.Repl.Primary.start ~host:t.cfg.host ~registry:t.registry
-                           ~port:p ~journal:j ())
-                  with Unix.Unix_error _ -> ())
-              | _ -> ());
-              Protocol.Ok_ (Printf.sprintf "promoted (generation %Ld)" (Xsb.Journal.generation j))))
+              start_primary t j;
+              Protocol.Ok_
+                (Printf.sprintf "promoted (generation %Ld, epoch %Ld)"
+                   (Xsb.Journal.generation j) e)))
+
+(* --- automatic failover (standby side) ---
+
+   A monitor thread watches the standby's last-contact clock. Once the
+   primary has been silent for [failover_timeout_ms] plus a
+   priority-staggered grace (0.5 s per priority step, so replicas don't
+   race), the standby probes every configured peer's ROLE:
+
+     - a live, writable primary with an epoch >= ours exists: the old
+       primary address is stale, not the primary itself — retarget the
+       stream at the survivor instead of promoting (split-brain
+       avoidance);
+     - a peer standby is strictly ahead of us, or tied with a lower
+       priority number: defer — it will promote, and we will discover
+       it on a later round;
+     - otherwise: self-promote (which bumps the epoch and fences the
+       old timeline). *)
+
+let pos_cmp (g1, o1) (g2, o2) =
+  match Int64.compare g1 g2 with 0 -> compare o1 o2 | c -> c
+
+let retarget t ~host ~repl_port =
+  Mutex.lock t.promote_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.promote_m) @@ fun () ->
+  match (t.repl_standby, t.shared) with
+  | Some s, Some sh ->
+      Xsb_repl.Repl.Standby.stop s;
+      let st = Xsb_repl.Repl.Standby.status s in
+      t.repl_standby <-
+        Some
+          (spawn_standby t sh ~primary_host:host ~primary_port:repl_port
+             ~generation:st.Xsb_repl.Repl.Standby.generation
+             ~offset:st.Xsb_repl.Repl.Standby.applied_off ~epoch:st.Xsb_repl.Repl.Standby.epoch);
+      sh.sh_read_only <-
+        Some (Printf.sprintf "replica of %s:%d (PROMOTE to accept writes)" host repl_port)
+  | _ -> ()
+
+let consider_failover t standby =
+  let st = Xsb_repl.Repl.Standby.status standby in
+  let open Xsb_repl.Repl.Standby in
+  let peers =
+    List.filter (fun (h, p) -> not (h = t.cfg.host && p = t.bound_port)) t.cfg.peers
+  in
+  let infos =
+    List.filter_map
+      (fun (h, p) -> Option.map (fun i -> (h, i)) (Client.probe_role ~host:h p))
+      peers
+  in
+  let live_primary =
+    List.find_opt
+      (fun ((_, i) : string * Client.role_info) ->
+        i.Client.role = Client.Primary_role && (not i.Client.read_only)
+        && Int64.compare i.Client.epoch st.epoch >= 0)
+      infos
+  in
+  match live_primary with
+  | Some (h, i) -> (
+      match i.Client.repl_port with
+      | Some rp -> retarget t ~host:h ~repl_port:rp
+      | None -> ())
+  | None ->
+      let better ((_, i) : string * Client.role_info) =
+        i.Client.role = Client.Standby_role
+        && (Int64.compare i.Client.epoch st.epoch > 0
+           || (let c =
+                 pos_cmp (i.Client.generation, i.Client.offset) (st.generation, st.applied_off)
+               in
+               c > 0 || (c = 0 && i.Client.priority < t.cfg.promote_priority)))
+      in
+      if List.exists better infos then () (* the better candidate promotes; re-check next tick *)
+      else ignore (promote t)
+
+let failover_monitor t =
+  let threshold =
+    (float_of_int t.cfg.failover_timeout_ms /. 1000.0)
+    +. (0.5 *. float_of_int t.cfg.promote_priority)
+  in
+  let rec loop () =
+    if Atomic.get t.stopped then ()
+    else begin
+      (match t.repl_standby with
+      | Some s ->
+          let st = Xsb_repl.Repl.Standby.status s in
+          if
+            st.Xsb_repl.Repl.Standby.fatal = None
+            && st.Xsb_repl.Repl.Standby.seconds_since_contact > threshold
+          then ( try consider_failover t s with _ -> ())
+      | None -> ());
+      Thread.delay 0.1;
+      loop ()
+    end
+  in
+  loop ()
 
 (* "name/arity" for the targeted ABOLISH form *)
 let pred_indicator s =
@@ -443,6 +588,48 @@ let execute t (job : job) =
         ("ok", "", 0)
     | Protocol.Metrics ->
         ignore (try_write conn (Protocol.Ok_ (metrics_text t conn)));
+        ("ok", "", 0)
+    | Protocol.Role ->
+        (* failover discovery: who am I, which timeline, how far along,
+           and who else is in the topology. Never refused — a client
+           re-dialing after a failover needs it from every node,
+           including read-only and fenced ones. *)
+        let b = Buffer.create 128 in
+        (match t.repl_standby with
+        | Some s ->
+            let st = Xsb_repl.Repl.Standby.status s in
+            let open Xsb_repl.Repl.Standby in
+            Buffer.add_string b "role: standby\n";
+            Buffer.add_string b (Printf.sprintf "epoch: %Ld\n" st.epoch);
+            Buffer.add_string b (Printf.sprintf "generation: %Ld\n" st.generation);
+            Buffer.add_string b (Printf.sprintf "offset: %d\n" st.applied_off);
+            Buffer.add_string b
+              (Printf.sprintf "fatal: %s\n" (Option.value st.fatal ~default:"-"))
+        | None -> (
+            Buffer.add_string b "role: primary\n";
+            match t.shared with
+            | Some sh -> (
+                match
+                  ( Xsb.Journal.epoch sh.sh_journal,
+                    Xsb.Journal.durable_position sh.sh_journal )
+                with
+                | exception _ -> Buffer.add_string b "epoch: 0\ngeneration: 0\noffset: 0\n"
+                | e, (g, o) ->
+                    Buffer.add_string b (Printf.sprintf "epoch: %Ld\n" e);
+                    Buffer.add_string b (Printf.sprintf "generation: %Ld\n" g);
+                    Buffer.add_string b (Printf.sprintf "offset: %d\n" o))
+            | None -> Buffer.add_string b "epoch: 0\ngeneration: 0\noffset: 0\n"));
+        (match repl_listen_port t with
+        | Some p -> Buffer.add_string b (Printf.sprintf "repl_port: %d\n" p)
+        | None -> Buffer.add_string b "repl_port: -\n");
+        Buffer.add_string b (Printf.sprintf "priority: %d\n" t.cfg.promote_priority);
+        Buffer.add_string b
+          (Printf.sprintf "read_only: %s\n" (if read_only t <> None then "yes" else "no"));
+        Buffer.add_string b
+          (Printf.sprintf "peers: %s\n"
+             (String.concat ","
+                (List.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) t.cfg.peers)));
+        ignore (try_write conn (Protocol.Ok_ (Buffer.contents b)));
         ("ok", "", 0)
     | Protocol.Promote ->
         (* handled before the shared lock (see [finishing]); reaching
@@ -612,7 +799,7 @@ let execute t (job : job) =
     | Protocol.Assert | Protocol.Consult | Protocol.Sync -> true
     | Protocol.Abolish -> req.Protocol.payload <> ""
     | Protocol.Ping | Protocol.Query | Protocol.Statistics | Protocol.Metrics
-    | Protocol.Promote ->
+    | Protocol.Promote | Protocol.Role ->
         false
   in
   let refuse_readonly reason =
@@ -647,9 +834,14 @@ let execute t (job : job) =
                    run the mutation (the journal hook only enqueues),
                    release [sh_m], then block on the commit barrier and
                    flush the ack. *)
+                (* semi-synchronous commit rides the same deferred-ack
+                   machinery as group commit: the reply waits behind the
+                   local fsync barrier AND K standby acks *)
+                let semi_sync = t.cfg.sync_standbys > 0 && t.repl_primary <> None in
                 let defer =
                   mutating
-                  && match t.cfg.sync with Xsb.Journal.Group _ -> true | _ -> false
+                  && ((match t.cfg.sync with Xsb.Journal.Group _ -> true | _ -> false)
+                     || semi_sync)
                 in
                 if defer then conn.c_defer <- Some [];
                 let degrade site message =
@@ -666,6 +858,17 @@ let execute t (job : job) =
                     if defer then begin
                       match Xsb.Journal.barrier sh.sh_journal with
                       | () ->
+                          (* locally durable; now wait for K standbys
+                             (or degrade to async on timeout — writers
+                             must never freeze on a dead standby) *)
+                          (match (t.repl_primary, semi_sync) with
+                          | Some prim, true ->
+                              let g, o = Xsb.Journal.durable_position sh.sh_journal in
+                              ignore
+                                (Xsb_repl.Repl.Primary.wait_synced prim ~k:t.cfg.sync_standbys
+                                   ~gen:g ~off:o
+                                   ~timeout_s:(float_of_int t.cfg.sync_timeout_ms /. 1000.0))
+                          | _ -> ());
                           let held = List.rev (Option.value conn.c_defer ~default:[]) in
                           conn.c_defer <- None;
                           List.iter (fun reply -> ignore (try_write conn reply)) held;
@@ -964,7 +1167,7 @@ let start cfg =
             "xsb_request_duration_seconds" ))
       [
         "PING"; "CONSULT"; "ASSERT"; "QUERY"; "STATISTICS"; "ABOLISH"; "SYNC"; "METRICS";
-        "PROMOTE"; "?";
+        "PROMOTE"; "ROLE"; "?";
       ]
   in
   let outcome_counters =
@@ -1007,29 +1210,53 @@ let start cfg =
       promote_m = Mutex.create ();
       repl_primary = None;
       repl_standby = None;
+      failover_thread = None;
     }
   in
   (try
      (match (shared, cfg.replica_of) with
      | Some sh, Some (primary_host, primary_port) ->
-         let dir = Option.get cfg.data_dir in
          let generation, offset = Xsb.Journal.position sh.sh_journal in
-         let keep = (journal_config cfg dir).Xsb.Journal.keep_generations in
-         let apply m =
-           Mutex.lock sh.sh_m;
-           Fun.protect
-             ~finally:(fun () -> Mutex.unlock sh.sh_m)
-             (fun () -> Xsb.Journal.apply_mutation (Xsb.Session.db sh.sh_session) m)
-         in
+         let ep = Xsb.Journal.epoch sh.sh_journal in
          t.repl_standby <-
-           Some
-             (Xsb_repl.Repl.Standby.start ~registry ~primary_host ~primary_port ~dir ~generation
-                ~offset ~keep_generations:keep ~apply ())
+           Some (spawn_standby t sh ~primary_host ~primary_port ~generation ~offset ~epoch:ep);
+         (* standby gauges live on the server, looked up through
+            [t.repl_standby] at scrape time — so a retarget (which
+            replaces the Standby value) can't strand stale closures in
+            the find-or-create registry *)
+         let status_gauge name help f =
+           Xsb.Metrics.gauge_fn registry ~help name (fun () ->
+               match t.repl_standby with
+               | Some s -> ( try f (Xsb_repl.Repl.Standby.status s) with _ -> 0.0)
+               | None -> 0.0)
+         in
+         let open Xsb_repl.Repl.Standby in
+         status_gauge "xsb_repl_lag_bytes"
+           "Bytes between the primary's durable watermark and the standby's applied frontier."
+           (fun st -> float_of_int st.lag_bytes);
+         status_gauge "xsb_repl_connected" "1 while the replication link to the primary is up."
+           (fun st -> if st.connected then 1.0 else 0.0);
+         status_gauge "xsb_repl_applied_records_total"
+           "Replicated records applied to the live session." (fun st ->
+             float_of_int st.applied_records);
+         status_gauge "xsb_repl_generation" "Local journal generation being mirrored." (fun st ->
+             Int64.to_float st.generation);
+         status_gauge "xsb_repl_epoch" "Failover epoch this standby is following." (fun st ->
+             Int64.to_float st.epoch);
+         status_gauge "xsb_repl_seconds_since_contact"
+           "Seconds since the last frame from the primary." (fun st ->
+             st.seconds_since_contact);
+         status_gauge "xsb_repl_snapshots_received_total"
+           "Snapshots received (bootstrap and generation boundaries)." (fun st ->
+             float_of_int st.snapshots_received)
      | _ -> ());
      match (shared, cfg.repl_port) with
      | Some sh, Some p when cfg.replica_of = None ->
          t.repl_primary <-
-           Some (Xsb_repl.Repl.Primary.start ~host:cfg.host ~registry ~port:p ~journal:sh.sh_journal ())
+           Some
+             (Xsb_repl.Repl.Primary.start ~host:cfg.host ~registry
+                ~on_deposed:(fun e -> deposed t e)
+                ~port:p ~journal:sh.sh_journal ())
      | _ -> ()
    with e ->
      (match t.repl_standby with
@@ -1055,6 +1282,8 @@ let start cfg =
     (fun () -> Float.of_int t.cfg.workers);
   t.worker_threads <- List.init cfg.workers (fun _ -> Thread.create (fun () -> worker_loop t) ());
   t.acceptor_thread <- Some (Thread.create (fun () -> acceptor_loop t) ());
+  if cfg.auto_promote && t.repl_standby <> None then
+    t.failover_thread <- Some (Thread.create (fun () -> failover_monitor t) ());
   t
 
 let stop t =
@@ -1079,6 +1308,13 @@ let stop t =
         try Unix.shutdown conn.c_fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
       handlers;
     List.iter (fun (_, th) -> Thread.join th) handlers;
+    (* the failover monitor may be mid-probe or mid-promotion; join it
+       before the replication components and journal come down *)
+    (match t.failover_thread with
+    | Some th ->
+        Thread.join th;
+        t.failover_thread <- None
+    | None -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (try Unix.close t.stop_rd with Unix.Unix_error _ -> ());
     (try Unix.close t.stop_wr with Unix.Unix_error _ -> ());

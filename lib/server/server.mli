@@ -51,6 +51,28 @@ type config = {
           endpoint: mirror + apply its journal continuously, refuse
           mutations with [READONLY], accept [PROMOTE]; requires
           [data_dir] *)
+  sync_standbys : int;
+      (** semi-synchronous commit: a mutation's ack additionally waits
+          for this many standby acknowledgements (on top of the local
+          fsync barrier); 0 = asynchronous replication. On timeout the
+          write degrades to async ([xsb_repl_sync_degraded] flips)
+          rather than freezing writers *)
+  sync_timeout_ms : int;  (** semi-sync wait budget per commit (default 1000) *)
+  auto_promote : bool;
+      (** standby only: promote automatically after
+          [failover_timeout_ms] of primary silence, unless a probed
+          peer is a live primary (then retarget the stream at it) or a
+          better-positioned standby exists (then defer to it) *)
+  promote_priority : int;
+      (** failover tie-break: lower numbers promote first; each step
+          also adds 0.5 s of detection grace so replicas don't race *)
+  failover_timeout_ms : int;
+      (** primary-silence threshold before the failover monitor acts
+          (default 3000) *)
+  peers : (string * int) list;
+      (** client endpoints ([host:port]) of the other nodes in the
+          topology — probed via ROLE during failover, and served back
+          to clients for [--endpoints] discovery *)
   metrics_enabled : bool;
       (** [false] turns every metrics record path into a boolean read —
           the control arm when measuring instrumentation overhead *)
@@ -99,6 +121,10 @@ val repl_listen_port : t -> int option
 val replica_status : t -> Xsb_repl.Repl.Standby.status option
 (** Live standby telemetry (connection, generation, applied frontier,
     lag), when running with [replica_of] — [None] once promoted. *)
+
+val epoch : t -> int64 option
+(** The failover fencing epoch: the standby's live (adopted) epoch, or
+    the journal's on a primary; [None] without [data_dir]. *)
 
 val registry : t -> Xsb.Metrics.t
 (** The server's persistent metrics registry: [xsb_requests_total] (one

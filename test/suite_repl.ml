@@ -89,6 +89,21 @@ let wait_caught_up primary standby =
           && s.R.Standby.applied_off = poff
           && s.R.Standby.lag_bytes = 0)
 
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* the value of an unlabelled gauge/counter line in a Prometheus text
+   exposition, e.g. [metric_value text "xsb_repl_sync_degraded"] *)
+let metric_value text name =
+  String.split_on_char '\n' text
+  |> List.find_map (fun line ->
+         match String.index_opt line ' ' with
+         | Some i when String.sub line 0 i = name ->
+             float_of_string_opt (String.sub line (i + 1) (String.length line - i - 1))
+         | _ -> None)
+
 let suite =
   [
     t "standby follows live writes and serves the same answers" `Quick (fun () ->
@@ -197,4 +212,272 @@ let suite =
                     with_client reopened (fun c ->
                         check_int "durable across restart" 3
                           (List.length (rows_of (Client.query c "edge(X,Y)"))))))));
+    t "fan-out: three standbys follow; losing one is invisible to the rest" `Quick (fun () ->
+        with_dir (fun pdir ->
+            with_dir (fun d1 ->
+                with_dir (fun d2 ->
+                    with_dir (fun d3 ->
+                        with_server (primary_cfg pdir) (fun primary ->
+                            let ep = ("127.0.0.1", repl_port primary) in
+                            with_server (standby_cfg d1 ep) (fun sb1 ->
+                                with_server (standby_cfg d2 ep) (fun sb2 ->
+                                    let sb3 =
+                                      Server.start { (standby_cfg d3 ep) with Server.port = 0 }
+                                    in
+                                    let stopped3 = ref false in
+                                    Fun.protect
+                                      ~finally:(fun () ->
+                                        if not !stopped3 then Server.stop sb3)
+                                    @@ fun () ->
+                                    with_client primary (fun c ->
+                                        ignore (ok (Client.assert_ c "edge(1,2)"));
+                                        ignore (ok (Client.assert_ c "edge(2,3)")));
+                                    wait_caught_up primary sb1;
+                                    wait_caught_up primary sb2;
+                                    wait_caught_up primary sb3;
+                                    (* one standby dies mid-topology *)
+                                    Server.stop sb3;
+                                    stopped3 := true;
+                                    with_client primary (fun c ->
+                                        ignore (ok (Client.assert_ c "edge(3,4)")));
+                                    wait_caught_up primary sb1;
+                                    wait_caught_up primary sb2;
+                                    List.iter
+                                      (fun sb ->
+                                        with_client sb (fun c ->
+                                            check_int "survivor serves every edge" 3
+                                              (List.length
+                                                 (rows_of (Client.query c "edge(X,Y)")))))
+                                      [ sb1; sb2 ]))))))));
+    t "semi-sync: the ack implies the write is already on the standby" `Quick (fun () ->
+        with_dir (fun pdir ->
+            with_dir (fun sdir ->
+                let cfg =
+                  { (primary_cfg pdir) with Server.sync_standbys = 1; sync_timeout_ms = 5_000 }
+                in
+                with_server cfg (fun primary ->
+                    with_server (standby_cfg sdir ("127.0.0.1", repl_port primary))
+                      (fun standby ->
+                        wait_caught_up primary standby;
+                        with_client primary (fun c -> ignore (ok (Client.assert_ c "edge(1,2)")));
+                        (* no settling here: the commit barrier already
+                           waited for the standby's acknowledgement *)
+                        let s = standby_status standby in
+                        let j =
+                          match Server.journal primary with
+                          | Some j -> j
+                          | None -> Alcotest.fail "no journal"
+                        in
+                        let pgen, poff = J.durable_position j in
+                        check_bool "standby at (or past) the acked position" true
+                          (Int64.equal s.R.Standby.generation pgen
+                          && s.R.Standby.applied_off >= poff);
+                        with_client primary (fun c ->
+                            check_bool "not degraded" true
+                              (metric_value (ok (Client.metrics c)) "xsb_repl_sync_degraded"
+                              = Some 0.0)))))));
+    t "semi-sync degrades to async with no standby, and recovers" `Quick (fun () ->
+        with_dir (fun pdir ->
+            with_dir (fun sdir ->
+                let cfg =
+                  { (primary_cfg pdir) with Server.sync_standbys = 1; sync_timeout_ms = 500 }
+                in
+                with_server cfg (fun primary ->
+                    (* no standby attached: the commit must still ack
+                       (degraded), never freeze the writer *)
+                    let t0 = Xsb.Mclock.now () in
+                    with_client primary (fun c -> ignore (ok (Client.assert_ c "edge(1,2)")));
+                    check_bool "acked without any standby" true (Xsb.Mclock.now () -. t0 < 10.0);
+                    with_client primary (fun c ->
+                        check_bool "degraded gauge up" true
+                          (metric_value (ok (Client.metrics c)) "xsb_repl_sync_degraded"
+                          = Some 1.0));
+                    with_server (standby_cfg sdir ("127.0.0.1", repl_port primary))
+                      (fun standby ->
+                        wait_caught_up primary standby;
+                        with_client primary (fun c -> ignore (ok (Client.assert_ c "edge(2,3)")));
+                        with_client primary (fun c ->
+                            check_bool "degraded clears once a standby acks in time" true
+                              (metric_value (ok (Client.metrics c)) "xsb_repl_sync_degraded"
+                              = Some 0.0));
+                        wait_caught_up primary standby)))));
+    t "ROLE: identity and peers; discover_primary picks the writable node" `Quick (fun () ->
+        with_dir (fun pdir ->
+            with_dir (fun sdir ->
+                let cfg = { (primary_cfg pdir) with Server.peers = [ ("127.0.0.1", 1) ] } in
+                with_server cfg (fun primary ->
+                    with_server (standby_cfg sdir ("127.0.0.1", repl_port primary))
+                      (fun standby ->
+                        wait_caught_up primary standby;
+                        with_client primary (fun c ->
+                            match Client.role c with
+                            | Error _ -> Alcotest.fail "ROLE refused on the primary"
+                            | Ok i ->
+                                check_bool "primary role" true
+                                  (i.Client.role = Client.Primary_role);
+                                check_bool "writable" true (not i.Client.read_only);
+                                check_bool "epoch >= 1" true (Int64.compare i.Client.epoch 1L >= 0);
+                                check_bool "repl feed advertised" true
+                                  (i.Client.repl_port = Some (repl_port primary));
+                                check_bool "peers echoed" true
+                                  (i.Client.peers = [ ("127.0.0.1", 1) ]));
+                        with_client standby (fun c ->
+                            match Client.role c with
+                            | Error _ ->
+                                Alcotest.fail "ROLE refused on the standby (must answer read-only)"
+                            | Ok i ->
+                                check_bool "standby role" true
+                                  (i.Client.role = Client.Standby_role);
+                                check_bool "read-only" true i.Client.read_only;
+                                check_bool "healthy applier" true (i.Client.fatal = None));
+                        let eps =
+                          [
+                            ("127.0.0.1", Server.port standby);
+                            ("127.0.0.1", Server.port primary);
+                            ("127.0.0.1", 1);
+                          ]
+                        in
+                        match Client.discover_primary eps with
+                        | Some ((_, p), i) ->
+                            check_int "discovery lands on the primary" (Server.port primary) p;
+                            check_bool "discovered role is primary" true
+                              (i.Client.role = Client.Primary_role)
+                        | None -> Alcotest.fail "no primary discovered")))));
+    t "split-brain: the promoted timeline fences a diverged old primary" `Quick (fun () ->
+        with_dir (fun pdir ->
+            with_dir (fun sdir ->
+                (let old_primary = Server.start { (primary_cfg pdir) with Server.port = 0 } in
+                 let stopped_old = ref false in
+                 Fun.protect
+                   ~finally:(fun () -> if not !stopped_old then Server.stop old_primary)
+                 @@ fun () ->
+                 let bcfg =
+                   {
+                     (standby_cfg sdir ("127.0.0.1", repl_port old_primary)) with
+                     Server.repl_port = Some 0;
+                     keep_generations = 2;
+                   }
+                 in
+                 with_server bcfg (fun b ->
+                     with_client old_primary (fun c ->
+                         ignore (ok (Client.assert_ c "edge(1,2)"));
+                         ignore (ok (Client.assert_ c "edge(2,3)")));
+                     wait_caught_up old_primary b;
+                     (* failover while the old primary is still alive
+                        and writable: a split brain *)
+                     with_client b (fun c -> ignore (ok (Client.promote c)));
+                     check_bool "promotion bumped the epoch" true (Server.epoch b = Some 2L);
+                     (* both sides accept writes — the timelines diverge *)
+                     with_client b (fun c -> ignore (ok (Client.assert_ c "edge(100,101)")));
+                     with_client old_primary (fun c ->
+                         ignore (ok (Client.assert_ c "edge(666,666)")));
+                     Server.stop old_primary;
+                     stopped_old := true;
+                     (* the deposed primary restarts as a standby of the
+                        new timeline: it diverged past epoch 1's fence,
+                        so it must be refused, not silently rewound *)
+                     with_server (standby_cfg pdir ("127.0.0.1", repl_port b)) (fun fenced ->
+                         settle "fencing verdict" (fun () ->
+                             (standby_status fenced).R.Standby.fatal <> None);
+                         (match (standby_status fenced).R.Standby.fatal with
+                         | Some msg -> check_bool "told it is fenced" true (contains msg "fenced")
+                         | None -> assert false);
+                         with_client fenced (fun c ->
+                             check_int "fenced node kept its (divergent) state" 3
+                               (List.length (rows_of (Client.query c "edge(X,Y)")))));
+                     with_client b (fun c ->
+                         check_int "new timeline: replicated prefix + its own write" 3
+                           (List.length (rows_of (Client.query c "edge(X,Y)"))))));
+                (* the new primary's acked state and epoch survive a
+                   restart of its data directory *)
+                with_server { Server.default_config with Server.data_dir = Some sdir }
+                  (fun reopened ->
+                    check_bool "epoch durable on the new timeline" true
+                      (Server.epoch reopened = Some 2L);
+                    with_client reopened (fun c ->
+                        check_int "acked prefix + post-promotion write" 3
+                          (List.length (rows_of (Client.query c "edge(X,Y)"))))))));
+    t "auto-promote: a silent primary is failed over, epoch bumped" `Quick (fun () ->
+        with_dir (fun pdir ->
+            with_dir (fun sdir ->
+                let primary = Server.start { (primary_cfg pdir) with Server.port = 0 } in
+                let stopped = ref false in
+                Fun.protect ~finally:(fun () -> if not !stopped then Server.stop primary)
+                @@ fun () ->
+                let bcfg =
+                  {
+                    (standby_cfg sdir ("127.0.0.1", repl_port primary)) with
+                    Server.auto_promote = true;
+                    failover_timeout_ms = 400;
+                    repl_port = Some 0;
+                    keep_generations = 2;
+                  }
+                in
+                with_server bcfg (fun b ->
+                    with_client primary (fun c -> ignore (ok (Client.assert_ c "edge(1,2)")));
+                    wait_caught_up primary b;
+                    (* the primary dies; nobody calls PROMOTE *)
+                    Server.stop primary;
+                    stopped := true;
+                    settle ~timeout:20.0 "automatic promotion" (fun () ->
+                        Server.replica_status b = None && Server.read_only b = None);
+                    check_bool "epoch bumped by the automatic promotion" true
+                      (Server.epoch b = Some 2L);
+                    with_client b (fun c ->
+                        ignore (ok (Client.assert_ c "edge(2,3)"));
+                        check_int "old prefix + new write" 2
+                          (List.length (rows_of (Client.query c "edge(X,Y)"))))))));
+    t "crash injection at every replication I/O site: the stream converges" `Quick (fun () ->
+        let cases =
+          [
+            ("repl.stream.send", Xsb.Failpoint.Crash);
+            ("repl.stream.send", Xsb.Failpoint.Short_write 3);
+            ("repl.standby.apply", Xsb.Failpoint.Crash);
+            ("repl.standby.ack", Xsb.Failpoint.Crash);
+          ]
+        in
+        List.iter
+          (fun (site, action) ->
+            List.iter
+              (fun after ->
+                Fun.protect ~finally:Xsb.Failpoint.reset @@ fun () ->
+                with_dir (fun pdir ->
+                    with_dir (fun sdir ->
+                        with_server (primary_cfg pdir) (fun primary ->
+                            with_server (standby_cfg sdir ("127.0.0.1", repl_port primary))
+                              (fun standby ->
+                                wait_caught_up primary standby;
+                                Xsb.Failpoint.arm ~after site action;
+                                (* write until the armed site has fired
+                                   (the streamer coalesces records into
+                                   chunks, so a fixed count could pass
+                                   under the seed), pacing slightly so
+                                   each record ships in its own frame *)
+                                let wrote = ref 0 in
+                                with_client primary (fun c ->
+                                    while
+                                      !wrote < 4
+                                      || (Xsb.Failpoint.hits site <= after && !wrote < 60)
+                                    do
+                                      incr wrote;
+                                      ignore
+                                        (ok
+                                           (Client.assert_ c
+                                              (Printf.sprintf "edge(%d,%d)" !wrote (!wrote + 1))));
+                                      Thread.delay 0.01
+                                    done);
+                                check_bool (site ^ " actually triggered") true
+                                  (Xsb.Failpoint.hits site > after);
+                                (* the injected crash drops the stream;
+                                   the standby reconnects and resumes
+                                   from its mirrored position — every
+                                   acked record converges exactly once *)
+                                wait_caught_up primary standby;
+                                with_client standby (fun c ->
+                                    check_int
+                                      (Printf.sprintf "converged after %s (seed %d)" site after)
+                                      !wrote
+                                      (List.length (rows_of (Client.query c "edge(X,Y)")))))))))
+              [ 0; 3 ])
+          cases);
   ]
